@@ -1,0 +1,476 @@
+//! The Chimera topology of D-Wave annealers and minor embedding.
+//!
+//! §3.3/§4.2 of the paper: superconducting annealers have *limited
+//! connectivity*, so a problem must be minor-embedded — "combining several
+//! physical qubits into a logical qubit" — which "considerably increases
+//! the number of required qubits and also \[affects\] the quality of the
+//! solution". The D-Wave 2000Q is a `C_16` Chimera: a 16x16 grid of
+//! `K_{4,4}` unit cells (2048 qubits, 6016 couplers).
+
+use crate::ising::Ising;
+use std::collections::{HashMap, VecDeque};
+
+/// A Chimera graph `C_m`: an `m x m` grid of `K_{4,4}` cells.
+///
+/// Qubit addressing: cell `(r, c)`, side (`0` = vertical partition,
+/// couples north/south; `1` = horizontal partition, couples east/west),
+/// offset `0..4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chimera {
+    m: usize,
+}
+
+impl Chimera {
+    /// Creates `C_m`.
+    pub fn new(m: usize) -> Self {
+        Chimera { m }
+    }
+
+    /// The D-Wave 2000Q topology, `C_16`.
+    pub fn dwave_2000q() -> Self {
+        Chimera::new(16)
+    }
+
+    /// Grid dimension `m`.
+    pub fn dimension(&self) -> usize {
+        self.m
+    }
+
+    /// Total qubits: `8 m^2`.
+    pub fn qubit_count(&self) -> usize {
+        8 * self.m * self.m
+    }
+
+    /// Total couplers: `16 m^2` intra-cell plus `8 m (m-1)` inter-cell.
+    pub fn coupler_count(&self) -> usize {
+        16 * self.m * self.m + 8 * self.m * (self.m - 1)
+    }
+
+    /// Packs an address into a qubit id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    pub fn id(&self, r: usize, c: usize, side: usize, offset: usize) -> usize {
+        assert!(r < self.m && c < self.m && side < 2 && offset < 4);
+        ((r * self.m + c) * 2 + side) * 4 + offset
+    }
+
+    /// Unpacks a qubit id into `(row, col, side, offset)`.
+    pub fn coords(&self, id: usize) -> (usize, usize, usize, usize) {
+        let offset = id % 4;
+        let side = (id / 4) % 2;
+        let cell = id / 8;
+        (cell / self.m, cell % self.m, side, offset)
+    }
+
+    /// Whether two qubits share a coupler.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ra, ca, sa, oa) = self.coords(a);
+        let (rb, cb, sb, ob) = self.coords(b);
+        if ra == rb && ca == cb {
+            // Intra-cell: complete bipartite between the two sides.
+            return sa != sb;
+        }
+        if sa != sb || oa != ob {
+            return false;
+        }
+        match sa {
+            0 => ca == cb && ra.abs_diff(rb) == 1, // vertical: north/south
+            _ => ra == rb && ca.abs_diff(cb) == 1, // horizontal: east/west
+        }
+    }
+
+    /// Neighbouring qubits of `q`.
+    pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        let (r, c, side, offset) = self.coords(q);
+        let mut out = Vec::with_capacity(6);
+        // Intra-cell: the four qubits on the other side.
+        for o in 0..4 {
+            out.push(self.id(r, c, 1 - side, o));
+        }
+        match side {
+            0 => {
+                if r > 0 {
+                    out.push(self.id(r - 1, c, 0, offset));
+                }
+                if r + 1 < self.m {
+                    out.push(self.id(r + 1, c, 0, offset));
+                }
+            }
+            _ => {
+                if c > 0 {
+                    out.push(self.id(r, c - 1, 1, offset));
+                }
+                if c + 1 < self.m {
+                    out.push(self.id(r, c + 1, 1, offset));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A minor embedding: one chain of physical qubits per logical variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    chains: Vec<Vec<usize>>,
+}
+
+/// Why an embedding is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmbedError {
+    /// Two chains share a physical qubit.
+    Overlap(usize),
+    /// A chain is not connected in the hardware graph.
+    DisconnectedChain(usize),
+    /// No coupler exists between two chains that must interact.
+    MissingCoupler(usize, usize),
+}
+
+impl std::fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbedError::Overlap(q) => write!(f, "physical qubit {q} used by two chains"),
+            EmbedError::DisconnectedChain(i) => write!(f, "chain {i} is disconnected"),
+            EmbedError::MissingCoupler(i, j) => {
+                write!(f, "no coupler between chains {i} and {j}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+impl Embedding {
+    /// The chains (indexed by logical variable).
+    pub fn chains(&self) -> &[Vec<usize>] {
+        &self.chains
+    }
+
+    /// Number of logical variables.
+    pub fn logical_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total physical qubits used.
+    pub fn physical_count(&self) -> usize {
+        self.chains.iter().map(Vec::len).sum()
+    }
+
+    /// Longest chain length.
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Validates the embedding on `chimera` assuming all logical pairs
+    /// interact (clique requirement).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_clique(&self, chimera: &Chimera) -> Result<(), EmbedError> {
+        // Disjointness.
+        let mut seen = HashMap::new();
+        for (i, chain) in self.chains.iter().enumerate() {
+            for &q in chain {
+                if seen.insert(q, i).is_some() {
+                    return Err(EmbedError::Overlap(q));
+                }
+            }
+        }
+        // Connectivity of each chain.
+        for (i, chain) in self.chains.iter().enumerate() {
+            if !chain_connected(chain, chimera) {
+                return Err(EmbedError::DisconnectedChain(i));
+            }
+        }
+        // Every pair of chains has a coupler.
+        for i in 0..self.chains.len() {
+            for j in i + 1..self.chains.len() {
+                let coupled = self.chains[i].iter().any(|&a| {
+                    self.chains[j].iter().any(|&b| chimera.are_coupled(a, b))
+                });
+                if !coupled {
+                    return Err(EmbedError::MissingCoupler(i, j));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes a physical sample by majority vote over each chain; ties
+    /// resolve to `+1`. Returns `(logical spins, broken chain count)`.
+    pub fn decode(&self, physical: &HashMap<usize, i8>) -> (Vec<i8>, usize) {
+        let mut logical = Vec::with_capacity(self.chains.len());
+        let mut broken = 0;
+        for chain in &self.chains {
+            let up = chain
+                .iter()
+                .filter(|q| physical.get(q).copied().unwrap_or(1) > 0)
+                .count();
+            let down = chain.len() - up;
+            if up != 0 && down != 0 {
+                broken += 1;
+            }
+            logical.push(if up >= down { 1 } else { -1 });
+        }
+        (logical, broken)
+    }
+}
+
+fn chain_connected(chain: &[usize], chimera: &Chimera) -> bool {
+    if chain.is_empty() {
+        return false;
+    }
+    let set: std::collections::HashSet<usize> = chain.iter().copied().collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = VecDeque::from([chain[0]]);
+    seen.insert(chain[0]);
+    while let Some(q) = queue.pop_front() {
+        for nb in chimera.neighbors(q) {
+            if set.contains(&nb) && seen.insert(nb) {
+                queue.push_back(nb);
+            }
+        }
+    }
+    seen.len() == chain.len()
+}
+
+/// The standard cross-shaped clique embedding: `K_n` fits `C_m` iff
+/// `n <= 4m`, with chains of length `2m`.
+///
+/// Variable `i` (row `r = i/4`, offset `o = i%4`) owns the horizontal-side
+/// qubits of offset `o` across row `r` plus the vertical-side qubits of
+/// offset `o` down column `r`.
+pub fn clique_embedding(n: usize, chimera: &Chimera) -> Option<Embedding> {
+    let m = chimera.dimension();
+    if n > 4 * m {
+        return None;
+    }
+    let mut chains = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = i / 4;
+        let o = i % 4;
+        let mut chain = Vec::with_capacity(2 * m);
+        for c in 0..m {
+            chain.push(chimera.id(r, c, 1, o)); // horizontal strip (row r)
+        }
+        for rr in 0..m {
+            chain.push(chimera.id(rr, r, 0, o)); // vertical strip (col r)
+        }
+        chains.push(chain);
+    }
+    Some(Embedding { chains })
+}
+
+/// Largest clique size embeddable on `chimera` with this construction.
+pub fn max_clique(chimera: &Chimera) -> usize {
+    4 * chimera.dimension()
+}
+
+/// Embeds a (dense) logical Ising model onto Chimera hardware.
+///
+/// Chain edges get a ferromagnetic coupling `-chain_strength`; logical
+/// fields spread uniformly over their chain; each logical coupling is
+/// placed on one available physical coupler. Returns the physical model
+/// (over a *compacted* index space) together with the embedding and the
+/// compaction map.
+pub fn embed_ising(
+    logical: &Ising,
+    chimera: &Chimera,
+    chain_strength: f64,
+) -> Option<EmbeddedProblem> {
+    let n = logical.len();
+    let embedding = clique_embedding(n, chimera)?;
+    // Compact the used physical qubits.
+    let mut phys_index: HashMap<usize, usize> = HashMap::new();
+    for chain in embedding.chains() {
+        for &q in chain {
+            let next = phys_index.len();
+            phys_index.entry(q).or_insert(next);
+        }
+    }
+    let mut physical = Ising::new(phys_index.len());
+    // Chain ferromagnetic couplings along hardware edges within the chain.
+    for chain in embedding.chains() {
+        for (a_pos, &a) in chain.iter().enumerate() {
+            for &b in chain.iter().skip(a_pos + 1) {
+                if chimera.are_coupled(a, b) {
+                    physical.add_coupling(phys_index[&a], phys_index[&b], -chain_strength);
+                }
+            }
+        }
+    }
+    // Fields spread over chains.
+    for (i, chain) in embedding.chains().iter().enumerate() {
+        let share = logical.field(i) / chain.len() as f64;
+        if share != 0.0 {
+            for &q in chain {
+                physical.add_field(phys_index[&q], share);
+            }
+        }
+    }
+    // Logical couplings on the first available inter-chain coupler.
+    for ((i, j), w) in logical.couplings() {
+        if w == 0.0 {
+            continue;
+        }
+        let mut placed = false;
+        'outer: for &a in &embedding.chains()[i] {
+            for &b in &embedding.chains()[j] {
+                if chimera.are_coupled(a, b) {
+                    physical.add_coupling(phys_index[&a], phys_index[&b], w);
+                    placed = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(EmbeddedProblem {
+        physical,
+        embedding,
+        phys_index,
+    })
+}
+
+/// An embedded problem: the physical Ising model plus decode metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedProblem {
+    /// The hardware-level Ising model over compacted indices.
+    pub physical: Ising,
+    /// Chains per logical variable (hardware qubit ids).
+    pub embedding: Embedding,
+    /// Hardware qubit id → compact physical index.
+    pub phys_index: HashMap<usize, usize>,
+}
+
+impl EmbeddedProblem {
+    /// Decodes a physical sample (compact index space) into logical spins.
+    /// Returns `(logical spins, broken chains)`.
+    pub fn decode(&self, sample: &[i8]) -> (Vec<i8>, usize) {
+        let by_hw: HashMap<usize, i8> = self
+            .phys_index
+            .iter()
+            .map(|(&hw, &idx)| (hw, sample[idx]))
+            .collect();
+        self.embedding.decode(&by_hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::SimulatedAnnealer;
+    use crate::sampler::Sampler;
+
+    #[test]
+    fn dwave_2000q_dimensions() {
+        let c = Chimera::dwave_2000q();
+        assert_eq!(c.qubit_count(), 2048);
+        assert_eq!(c.coupler_count(), 6016);
+    }
+
+    #[test]
+    fn id_coords_roundtrip() {
+        let c = Chimera::new(4);
+        for id in 0..c.qubit_count() {
+            let (r, cc, s, o) = c.coords(id);
+            assert_eq!(c.id(r, cc, s, o), id);
+        }
+    }
+
+    #[test]
+    fn coupling_structure() {
+        let c = Chimera::new(2);
+        // Intra-cell: vertical 0 couples to all horizontal.
+        let v0 = c.id(0, 0, 0, 0);
+        for o in 0..4 {
+            assert!(c.are_coupled(v0, c.id(0, 0, 1, o)));
+            assert!(!c.are_coupled(v0, c.id(0, 0, 0, o)), "same side uncoupled");
+        }
+        // Inter-cell vertical: same column, adjacent rows, same offset.
+        assert!(c.are_coupled(c.id(0, 0, 0, 2), c.id(1, 0, 0, 2)));
+        assert!(!c.are_coupled(c.id(0, 0, 0, 2), c.id(1, 0, 0, 3)));
+        // Inter-cell horizontal: same row, adjacent cols.
+        assert!(c.are_coupled(c.id(0, 0, 1, 1), c.id(0, 1, 1, 1)));
+        assert!(!c.are_coupled(c.id(0, 0, 1, 1), c.id(1, 1, 1, 1)));
+    }
+
+    #[test]
+    fn neighbor_list_is_symmetric() {
+        let c = Chimera::new(3);
+        for q in 0..c.qubit_count() {
+            for nb in c.neighbors(q) {
+                assert!(c.are_coupled(q, nb), "{q} ~ {nb}");
+                assert!(c.neighbors(nb).contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn clique_embedding_is_valid_up_to_4m() {
+        let c = Chimera::new(4);
+        let e = clique_embedding(16, &c).expect("K16 fits C4");
+        e.verify_clique(&c).expect("valid embedding");
+        assert_eq!(e.max_chain_len(), 8); // 2m
+        assert!(clique_embedding(17, &c).is_none());
+    }
+
+    #[test]
+    fn dwave_2000q_max_clique_is_64() {
+        let c = Chimera::dwave_2000q();
+        assert_eq!(max_clique(&c), 64);
+        let e = clique_embedding(64, &c).expect("K64 fits");
+        e.verify_clique(&c).expect("valid K64 embedding");
+        assert_eq!(e.physical_count(), 64 * 32);
+    }
+
+    #[test]
+    fn embedded_problem_recovers_logical_optimum() {
+        // Frustrated 5-spin dense model, solved natively vs embedded.
+        let mut logical = Ising::new(5);
+        logical.add_field(0, 0.6);
+        logical.add_field(3, -0.4);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                logical.add_coupling(i, j, if (i + j) % 2 == 0 { 0.5 } else { -0.5 });
+            }
+        }
+        let (_, exact) = logical.brute_force_minimum();
+        let chimera = Chimera::new(2);
+        let emb = embed_ising(&logical, &chimera, 2.0).expect("K5 fits C2");
+        let sa = SimulatedAnnealer::new().with_seed(7);
+        let set = sa.sample(&emb.physical, 30);
+        let best = set.best().unwrap();
+        let (decoded, broken) = emb.decode(&best.spins);
+        let achieved = logical.energy(&decoded);
+        assert!(
+            (achieved - exact).abs() < 1e-9,
+            "embedded solve {achieved} vs exact {exact} ({broken} broken chains)"
+        );
+    }
+
+    #[test]
+    fn decode_counts_broken_chains() {
+        let c = Chimera::new(2);
+        let e = clique_embedding(2, &c).unwrap();
+        let mut sample = HashMap::new();
+        // Chain 0 uniformly up; chain 1 split.
+        for &q in &e.chains()[0] {
+            sample.insert(q, 1i8);
+        }
+        for (k, &q) in e.chains()[1].iter().enumerate() {
+            sample.insert(q, if k % 2 == 0 { 1 } else { -1 });
+        }
+        let (spins, broken) = e.decode(&sample);
+        assert_eq!(spins[0], 1);
+        assert_eq!(broken, 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! A digital annealer in the style of Fujitsu's "quantum-inspired"
+//! machine (§4.2 of the paper): fully-connected, no embedding needed, with
+//! parallel trial evaluation and an escape mechanism.
+//!
+//! The algorithm evaluates *all* single-spin flips each iteration (the
+//! hardware does this in parallel), accepts one of the admissible flips
+//! uniformly, and when stuck raises a dynamic energy offset so it can walk
+//! out of local minima — the published DA strategy.
+
+use crate::ising::Ising;
+use crate::sampler::{SampleSet, Sampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Fujitsu-style digital annealer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitalAnnealer {
+    /// Inverse temperature (fixed; the DA relies on the offset escape
+    /// rather than a cooling schedule).
+    pub beta: f64,
+    /// Iterations per read.
+    pub iterations: usize,
+    /// Offset increase applied when no flip is accepted.
+    pub offset_step: f64,
+    /// Hardware capacity: maximum number of variables (8192 on the
+    /// second-generation DA the paper mentions).
+    pub capacity: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DigitalAnnealer {
+    fn default() -> Self {
+        DigitalAnnealer {
+            beta: 2.0,
+            iterations: 2_000,
+            offset_step: 0.5,
+            capacity: 8192,
+            seed: 0xD161,
+        }
+    }
+}
+
+impl DigitalAnnealer {
+    /// A default-configured digital annealer (8192-node capacity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether a problem fits the machine (fully connected: the only
+    /// limit is variable count — no minor embedding, §3.3).
+    pub fn fits(&self, ising: &Ising) -> bool {
+        ising.len() <= self.capacity
+    }
+
+    fn run_once(&self, ising: &Ising, rng: &mut StdRng) -> Vec<i8> {
+        let n = ising.len();
+        let mut s: Vec<i8> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect();
+        if n == 0 {
+            return s;
+        }
+        let mut best = s.clone();
+        let mut best_e = ising.energy(&s);
+        let mut cur_e = best_e;
+        let mut offset = 0.0f64;
+        let mut accepted_flips: Vec<usize> = Vec::with_capacity(n);
+        for _ in 0..self.iterations {
+            accepted_flips.clear();
+            // Parallel trial: evaluate every flip against the offset
+            // relaxed Metropolis criterion.
+            for i in 0..n {
+                let delta = ising.flip_delta(&s, i) - offset;
+                if delta <= 0.0 || rng.gen_bool((-self.beta * delta).exp().min(1.0)) {
+                    accepted_flips.push(i);
+                }
+            }
+            if accepted_flips.is_empty() {
+                offset += self.offset_step;
+                continue;
+            }
+            offset = 0.0;
+            let i = accepted_flips[rng.gen_range(0..accepted_flips.len())];
+            cur_e += ising.flip_delta(&s, i);
+            s[i] = -s[i];
+            if cur_e < best_e {
+                best_e = cur_e;
+                best = s.clone();
+            }
+        }
+        best
+    }
+}
+
+impl Sampler for DigitalAnnealer {
+    fn sample(&self, ising: &Ising, reads: u64) -> SampleSet {
+        assert!(
+            self.fits(ising),
+            "problem of {} variables exceeds the {}-node capacity",
+            ising.len(),
+            self.capacity
+        );
+        let mut all = Vec::with_capacity(reads as usize);
+        for r in 0..reads {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(r));
+            all.push(self.run_once(ising, &mut rng));
+        }
+        SampleSet::from_reads(ising, all)
+    }
+
+    fn name(&self) -> &str {
+        "digital-annealer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_ferromagnetic_chain() {
+        let mut m = Ising::new(10);
+        for i in 0..9 {
+            m.add_coupling(i, i + 1, -1.0);
+        }
+        let set = DigitalAnnealer::new().sample(&m, 5);
+        assert_eq!(set.lowest_energy(), Some(-9.0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_dense_instances() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(44);
+        for trial in 0..3 {
+            let n = 9;
+            let mut m = Ising::new(n);
+            for i in 0..n {
+                m.add_field(i, rng.gen_range(-1.0..1.0));
+                for j in i + 1..n {
+                    m.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+                }
+            }
+            let (_, exact) = m.brute_force_minimum();
+            let found = DigitalAnnealer::new()
+                .with_seed(trial)
+                .sample(&m, 10)
+                .lowest_energy()
+                .unwrap();
+            assert!(
+                (found - exact).abs() < 1e-9,
+                "trial {trial}: DA {found} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_check() {
+        let da = DigitalAnnealer::new();
+        assert!(da.fits(&Ising::new(8192)));
+        assert!(!da.fits(&Ising::new(8193)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_problem_panics() {
+        let da = DigitalAnnealer {
+            capacity: 4,
+            ..Default::default()
+        };
+        let m = Ising::new(5);
+        let _ = da.sample(&m, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! The Ising spin model: `E(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j`.
+//!
+//! The computational model of quantum annealers (§3.3/§4.2 of the paper):
+//! spins take values in `{-1, +1}` and the annealer estimates the minimum
+//! energy configuration.
+
+use std::collections::HashMap;
+
+/// An Ising model with local fields `h` and couplings `J`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ising {
+    h: Vec<f64>,
+    /// Couplings keyed by `(min, max)` variable pair.
+    j: HashMap<(usize, usize), f64>,
+    /// Adjacency: for each spin, its coupled partners and weights.
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Ising {
+    /// Creates a field-free, coupling-free model over `n` spins.
+    pub fn new(n: usize) -> Self {
+        Ising {
+            h: vec![0.0; n],
+            j: HashMap::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Whether the model has no spins.
+    pub fn is_empty(&self) -> bool {
+        self.h.is_empty()
+    }
+
+    /// Adds `w` to the local field of spin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn add_field(&mut self, i: usize, w: f64) {
+        self.h[i] += w;
+    }
+
+    /// Adds `w` to the coupling between `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn add_coupling(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i != j, "self-coupling");
+        assert!(i < self.len() && j < self.len(), "index out of range");
+        let key = (i.min(j), i.max(j));
+        *self.j.entry(key).or_insert(0.0) += w;
+        // Rebuild adjacency entries for the pair.
+        update_adj(&mut self.adj, i, j, self.j[&key]);
+        update_adj(&mut self.adj, j, i, self.j[&key]);
+    }
+
+    /// The local field of spin `i`.
+    pub fn field(&self, i: usize) -> f64 {
+        self.h[i]
+    }
+
+    /// The coupling between `i` and `j` (0 if absent).
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        let key = (i.min(j), i.max(j));
+        self.j.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// All couplings as `((i, j), w)` with `i < j`.
+    pub fn couplings(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.j.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Coupled neighbours of spin `i` with weights.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f64)] {
+        &self.adj[i]
+    }
+
+    /// Total energy of a spin configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != self.len()`.
+    pub fn energy(&self, s: &[i8]) -> f64 {
+        assert_eq!(s.len(), self.len(), "configuration length mismatch");
+        let mut e = 0.0;
+        for (i, &hv) in self.h.iter().enumerate() {
+            e += hv * s[i] as f64;
+        }
+        for (&(i, j), &w) in &self.j {
+            e += w * (s[i] as f64) * (s[j] as f64);
+        }
+        e
+    }
+
+    /// Energy change from flipping spin `i` in configuration `s`.
+    ///
+    /// `delta = E(s with s_i flipped) - E(s) = -2 s_i (h_i + sum_j J_ij s_j)`.
+    pub fn flip_delta(&self, s: &[i8], i: usize) -> f64 {
+        let mut local = self.h[i];
+        for &(j, w) in &self.adj[i] {
+            local += w * s[j] as f64;
+        }
+        -2.0 * s[i] as f64 * local
+    }
+
+    /// Exhaustively finds a minimum-energy configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 25`.
+    pub fn brute_force_minimum(&self) -> (Vec<i8>, f64) {
+        let n = self.len();
+        assert!(n <= 25, "brute force limited to 25 spins");
+        let mut best = (vec![1i8; n], f64::INFINITY);
+        for bits in 0..(1u64 << n) {
+            let s: Vec<i8> = (0..n)
+                .map(|i| if (bits >> i) & 1 == 1 { -1 } else { 1 })
+                .collect();
+            let e = self.energy(&s);
+            if e < best.1 {
+                best = (s, e);
+            }
+        }
+        best
+    }
+}
+
+fn update_adj(adj: &mut [Vec<(usize, f64)>], from: usize, to: usize, w: f64) {
+    if let Some(entry) = adj[from].iter_mut().find(|(t, _)| *t == to) {
+        entry.1 = w;
+    } else {
+        adj[from].push((to, w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_of_ferromagnet() {
+        // Two spins, J = -1: aligned states have energy -1.
+        let mut m = Ising::new(2);
+        m.add_coupling(0, 1, -1.0);
+        assert_eq!(m.energy(&[1, 1]), -1.0);
+        assert_eq!(m.energy(&[-1, -1]), -1.0);
+        assert_eq!(m.energy(&[1, -1]), 1.0);
+    }
+
+    #[test]
+    fn field_biases_spin() {
+        let mut m = Ising::new(1);
+        m.add_field(0, 2.0);
+        assert_eq!(m.energy(&[1]), 2.0);
+        assert_eq!(m.energy(&[-1]), -2.0);
+        let (s, e) = m.brute_force_minimum();
+        assert_eq!(s, vec![-1]);
+        assert_eq!(e, -2.0);
+    }
+
+    #[test]
+    fn flip_delta_matches_energy_difference() {
+        let mut m = Ising::new(4);
+        m.add_field(0, 0.5);
+        m.add_field(2, -1.0);
+        m.add_coupling(0, 1, -1.0);
+        m.add_coupling(1, 2, 2.0);
+        m.add_coupling(0, 3, 0.7);
+        let s = vec![1i8, -1, 1, -1];
+        for i in 0..4 {
+            let mut s2 = s.clone();
+            s2[i] = -s2[i];
+            let exact = m.energy(&s2) - m.energy(&s);
+            let delta = m.flip_delta(&s, i);
+            assert!((exact - delta).abs() < 1e-12, "spin {i}");
+        }
+    }
+
+    #[test]
+    fn coupling_accumulates() {
+        let mut m = Ising::new(2);
+        m.add_coupling(0, 1, 1.0);
+        m.add_coupling(1, 0, 0.5);
+        assert_eq!(m.coupling(0, 1), 1.5);
+        assert_eq!(m.neighbors(0), &[(1, 1.5)]);
+    }
+
+    #[test]
+    fn frustrated_triangle_minimum() {
+        // Antiferromagnetic triangle: minimum energy is -J (one unsatisfied
+        // edge), i.e. -1 + -1 + 1 = -1 with J = 1.
+        let mut m = Ising::new(3);
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            m.add_coupling(a, b, 1.0);
+        }
+        let (_, e) = m.brute_force_minimum();
+        assert_eq!(e, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-coupling")]
+    fn rejects_self_coupling() {
+        Ising::new(2).add_coupling(1, 1, 1.0);
+    }
+}

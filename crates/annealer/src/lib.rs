@@ -1,0 +1,44 @@
+//! # annealer — the quantum annealing substrate
+//!
+//! The second accelerator class of Bertels et al. (DATE 2020): annealing
+//! based optimisation (§3.3, §4.2). The level of abstraction is the
+//! classical Ising model, isomorphic to QUBO; hardware comes in two
+//! flavours the paper contrasts:
+//!
+//! - superconducting annealers (D-Wave 2000Q): 2048 qubits on a Chimera
+//!   graph with *limited connectivity*, requiring NP-hard minor embedding
+//!   ([`chimera`]);
+//! - "quantum-inspired" digital annealers (Fujitsu): 8192 nodes, fully
+//!   connected, no embedding ([`DigitalAnnealer`]).
+//!
+//! [`SimulatedAnnealer`] provides both the classical baseline and the
+//! sampling engine standing in for the quantum hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use annealer::{Ising, Sampler, SimulatedAnnealer};
+//!
+//! let mut model = Ising::new(4);
+//! for i in 0..3 {
+//!     model.add_coupling(i, i + 1, -1.0); // ferromagnetic chain
+//! }
+//! let best = SimulatedAnnealer::new().sample(&model, 10);
+//! assert_eq!(best.lowest_energy(), Some(-3.0));
+//! ```
+
+pub mod chimera;
+pub mod digital;
+pub mod ising;
+pub mod qubo;
+pub mod sa;
+pub mod sampler;
+pub mod sqa;
+
+pub use chimera::{Chimera, EmbedError, Embedding, EmbeddedProblem, clique_embedding, embed_ising, max_clique};
+pub use digital::DigitalAnnealer;
+pub use ising::Ising;
+pub use qubo::{Qubo, bits_to_spins, spins_to_bits};
+pub use sa::SimulatedAnnealer;
+pub use sampler::{Sample, SampleSet, Sampler};
+pub use sqa::QuantumAnnealer;

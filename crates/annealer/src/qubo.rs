@@ -1,0 +1,245 @@
+//! Quadratic Unconstrained Binary Optimisation (QUBO) models.
+//!
+//! §3.3 of the paper: "the optimisation problem is modelled as a QUBO
+//! expressed by: minimise `y = x^t Q x`", with `x` binary and `Q` an upper
+//! triangular matrix of constants, and "quantum annealers use the Ising
+//! model ... isomorphic to the QUBO model".
+
+use crate::ising::Ising;
+use std::fmt;
+
+/// A QUBO instance: minimise `x^T Q x` over binary `x`.
+///
+/// `Q` is stored upper-triangular: `q[i][j]` with `i <= j`; the diagonal
+/// holds linear terms (`x_i^2 = x_i`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Qubo {
+    n: usize,
+    /// Dense upper-triangular storage: index by `tri_index(i, j, n)`.
+    q: Vec<f64>,
+}
+
+fn tri_index(i: usize, j: usize, n: usize) -> usize {
+    debug_assert!(i <= j && j < n);
+    i * n + j - i * (i + 1) / 2
+}
+
+impl Qubo {
+    /// Creates a zero QUBO over `n` variables.
+    pub fn new(n: usize) -> Self {
+        Qubo {
+            n,
+            q: vec![0.0; n * (n + 1) / 2],
+        }
+    }
+
+    /// Number of binary variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the model has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The coefficient `Q[i][j]` (order-insensitive).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (i.min(j), i.max(j));
+        self.q[tri_index(a, b, self.n)]
+    }
+
+    /// Sets the coefficient `Q[i][j]` (order-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (a, b) = (i.min(j), i.max(j));
+        self.q[tri_index(a, b, self.n)] = w;
+    }
+
+    /// Adds `w` to the coefficient `Q[i][j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn add(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (a, b) = (i.min(j), i.max(j));
+        self.q[tri_index(a, b, self.n)] += w;
+    }
+
+    /// Objective value `x^T Q x` for an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    #[allow(clippy::needless_range_loop)] // index pairs (i, j) read more clearly
+    pub fn energy(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.n, "assignment length mismatch");
+        let mut e = 0.0;
+        for i in 0..self.n {
+            if !x[i] {
+                continue;
+            }
+            for j in i..self.n {
+                if x[j] {
+                    e += self.q[tri_index(i, j, self.n)];
+                }
+            }
+        }
+        e
+    }
+
+    /// Converts to the isomorphic Ising model via `x_i = (1 - s_i) / 2`
+    /// (spin up `s = +1` ↔ `x = 0`). Returns the Ising model and the
+    /// constant offset such that
+    /// `qubo.energy(x) = ising.energy(s) + offset`.
+    pub fn to_ising(&self) -> (Ising, f64) {
+        let n = self.n;
+        let mut h = vec![0.0; n];
+        let mut ising = Ising::new(n);
+        let mut offset = 0.0;
+        for i in 0..n {
+            for j in i..n {
+                let w = self.q[tri_index(i, j, n)];
+                if w == 0.0 {
+                    continue;
+                }
+                if i == j {
+                    // x_i = (1 - s_i)/2: w*x = w/2 - (w/2) s_i.
+                    offset += w / 2.0;
+                    h[i] -= w / 2.0;
+                } else {
+                    // w * x_i x_j = w/4 (1 - s_i - s_j + s_i s_j).
+                    offset += w / 4.0;
+                    h[i] -= w / 4.0;
+                    h[j] -= w / 4.0;
+                    ising.add_coupling(i, j, w / 4.0);
+                }
+            }
+        }
+        for (i, hv) in h.into_iter().enumerate() {
+            ising.add_field(i, hv);
+        }
+        (ising, offset)
+    }
+
+    /// Exhaustively finds the minimum-energy assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 25` (enumeration would be too large).
+    pub fn brute_force_minimum(&self) -> (Vec<bool>, f64) {
+        assert!(self.n <= 25, "brute force limited to 25 variables");
+        let mut best = (vec![false; self.n], f64::INFINITY);
+        for bits in 0..(1u64 << self.n) {
+            let x: Vec<bool> = (0..self.n).map(|i| (bits >> i) & 1 == 1).collect();
+            let e = self.energy(&x);
+            if e < best.1 {
+                best = (x, e);
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Qubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "qubo over {} variables:", self.n)?;
+        for i in 0..self.n {
+            for j in i..self.n {
+                let w = self.get(i, j);
+                if w != 0.0 {
+                    writeln!(f, "  Q[{i}][{j}] = {w}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Converts a spin vector to binary via `x = (1 - s) / 2`.
+pub fn spins_to_bits(s: &[i8]) -> Vec<bool> {
+    s.iter().map(|&v| v < 0).collect()
+}
+
+/// Converts a binary vector to spins via `s = 1 - 2x`.
+pub fn bits_to_spins(x: &[bool]) -> Vec<i8> {
+    x.iter().map(|&b| if b { -1 } else { 1 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_computation() {
+        let mut q = Qubo::new(3);
+        q.set(0, 0, 1.0);
+        q.set(0, 1, -2.0);
+        q.set(2, 2, 3.0);
+        assert_eq!(q.energy(&[false, false, false]), 0.0);
+        assert_eq!(q.energy(&[true, false, false]), 1.0);
+        assert_eq!(q.energy(&[true, true, false]), -1.0);
+        assert_eq!(q.energy(&[true, true, true]), 2.0);
+    }
+
+    #[test]
+    fn get_set_symmetric() {
+        let mut q = Qubo::new(4);
+        q.set(3, 1, 5.0);
+        assert_eq!(q.get(1, 3), 5.0);
+        assert_eq!(q.get(3, 1), 5.0);
+        q.add(1, 3, 1.0);
+        assert_eq!(q.get(1, 3), 6.0);
+    }
+
+    #[test]
+    fn ising_isomorphism_on_all_assignments() {
+        let mut q = Qubo::new(4);
+        q.set(0, 0, 2.0);
+        q.set(1, 1, -1.0);
+        q.set(0, 1, 3.0);
+        q.set(1, 2, -2.5);
+        q.set(0, 3, 0.5);
+        q.set(2, 3, 1.5);
+        let (ising, offset) = q.to_ising();
+        for bits in 0..16u64 {
+            let x: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            let s = bits_to_spins(&x);
+            let eq = q.energy(&x);
+            let ei = ising.energy(&s) + offset;
+            assert!(
+                (eq - ei).abs() < 1e-9,
+                "assignment {x:?}: qubo {eq} vs ising {ei}"
+            );
+        }
+    }
+
+    #[test]
+    fn spin_bit_roundtrip() {
+        let x = vec![true, false, true, true];
+        assert_eq!(spins_to_bits(&bits_to_spins(&x)), x);
+    }
+
+    #[test]
+    fn brute_force_finds_known_minimum() {
+        // Minimise (x0 - x1)^2-ish: Q = x0 + x1 - 2 x0 x1 has minima at
+        // 00 and 11 with energy 0.
+        let mut q = Qubo::new(2);
+        q.set(0, 0, 1.0);
+        q.set(1, 1, 1.0);
+        q.set(0, 1, -2.0);
+        let (_, e) = q.brute_force_minimum();
+        assert_eq!(e, 0.0);
+        // Biased: reward x0=1.
+        let mut q = Qubo::new(2);
+        q.set(0, 0, -1.0);
+        let (x, e) = q.brute_force_minimum();
+        assert!(x[0]);
+        assert_eq!(e, -1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Simulated annealing: the classical baseline and the software stand-in
+//! for the quantum annealer hardware we do not have.
+//!
+//! The paper's hybrid-optimisation stack runs "small chunks of
+//! quantum circuits/anneals ... in burst, measured, and restarted"; this
+//! sampler plays the anneal role, with a geometric inverse-temperature
+//! schedule and Metropolis acceptance.
+
+use crate::ising::Ising;
+use crate::sampler::{SampleSet, Sampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulated annealing sampler over Ising models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedAnnealer {
+    /// Initial inverse temperature.
+    pub beta_start: f64,
+    /// Final inverse temperature.
+    pub beta_end: f64,
+    /// Number of temperature steps.
+    pub steps: usize,
+    /// Monte-Carlo sweeps (full spin passes) per temperature step.
+    pub sweeps_per_step: usize,
+    /// RNG seed; each read uses `seed + read_index`.
+    pub seed: u64,
+}
+
+impl Default for SimulatedAnnealer {
+    fn default() -> Self {
+        SimulatedAnnealer {
+            beta_start: 0.1,
+            beta_end: 10.0,
+            steps: 64,
+            sweeps_per_step: 4,
+            seed: 0xA11EA1,
+        }
+    }
+}
+
+impl SimulatedAnnealer {
+    /// A default-configured annealer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs one anneal from a random start and returns the final state.
+    pub fn anneal_once(&self, ising: &Ising, rng: &mut StdRng) -> Vec<i8> {
+        let n = ising.len();
+        let mut s: Vec<i8> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect();
+        if n == 0 {
+            return s;
+        }
+        let ratio = if self.steps > 1 {
+            (self.beta_end / self.beta_start).powf(1.0 / (self.steps as f64 - 1.0))
+        } else {
+            1.0
+        };
+        let mut beta = self.beta_start;
+        for _ in 0..self.steps {
+            for _ in 0..self.sweeps_per_step {
+                for i in 0..n {
+                    let delta = ising.flip_delta(&s, i);
+                    if delta <= 0.0 || rng.gen_bool((-beta * delta).exp().min(1.0)) {
+                        s[i] = -s[i];
+                    }
+                }
+            }
+            beta *= ratio;
+        }
+        s
+    }
+}
+
+impl Sampler for SimulatedAnnealer {
+    fn sample(&self, ising: &Ising, reads: u64) -> SampleSet {
+        let mut all = Vec::with_capacity(reads as usize);
+        for r in 0..reads {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(r));
+            all.push(self.anneal_once(ising, &mut rng));
+        }
+        SampleSet::from_reads(ising, all)
+    }
+
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_ferromagnetic_ground_state() {
+        let mut m = Ising::new(8);
+        for i in 0..7 {
+            m.add_coupling(i, i + 1, -1.0);
+        }
+        let set = SimulatedAnnealer::new().sample(&m, 10);
+        assert_eq!(set.lowest_energy(), Some(-7.0));
+        let best = set.best().unwrap();
+        assert!(best.spins.iter().all(|&s| s == best.spins[0]));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(33);
+        for trial in 0..5 {
+            let n = 10;
+            let mut m = Ising::new(n);
+            for i in 0..n {
+                m.add_field(i, rng.gen_range(-1.0..1.0));
+                for j in i + 1..n {
+                    if rng.gen_bool(0.4) {
+                        m.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+                    }
+                }
+            }
+            let (_, exact) = m.brute_force_minimum();
+            let set = SimulatedAnnealer::new()
+                .with_seed(trial)
+                .sample(&m, 20);
+            let found = set.lowest_energy().unwrap();
+            assert!(
+                (found - exact).abs() < 1e-9,
+                "trial {trial}: SA {found} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_fields() {
+        let mut m = Ising::new(3);
+        m.add_field(0, 1.0);
+        m.add_field(1, -1.0);
+        let set = SimulatedAnnealer::new().sample(&m, 5);
+        let best = set.best().unwrap();
+        assert_eq!(best.spins[0], -1);
+        assert_eq!(best.spins[1], 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut m = Ising::new(6);
+        for i in 0..5 {
+            m.add_coupling(i, i + 1, 1.0);
+        }
+        let a = SimulatedAnnealer::new().with_seed(9).sample(&m, 5);
+        let b = SimulatedAnnealer::new().with_seed(9).sample(&m, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = Ising::new(0);
+        let set = SimulatedAnnealer::new().sample(&m, 3);
+        assert_eq!(set.lowest_energy(), Some(0.0));
+    }
+}

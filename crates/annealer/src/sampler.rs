@@ -1,0 +1,110 @@
+//! The sampler abstraction and sample sets.
+//!
+//! Mirrors the API shape of annealing SDKs (D-Wave Ocean's samplers):
+//! every solver takes an Ising model and a number of reads and returns an
+//! energy-sorted sample set.
+
+use crate::ising::Ising;
+
+/// One distinct sampled configuration with its energy and multiplicity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The spin configuration.
+    pub spins: Vec<i8>,
+    /// Its Ising energy.
+    pub energy: f64,
+    /// How many reads returned it.
+    pub occurrences: u64,
+}
+
+/// A collection of samples, sorted by ascending energy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampleSet {
+    samples: Vec<Sample>,
+}
+
+impl SampleSet {
+    /// Builds a sample set from raw reads, deduplicating and sorting.
+    pub fn from_reads(ising: &Ising, reads: Vec<Vec<i8>>) -> Self {
+        let mut samples: Vec<Sample> = Vec::new();
+        for spins in reads {
+            let energy = ising.energy(&spins);
+            if let Some(s) = samples.iter_mut().find(|s| s.spins == spins) {
+                s.occurrences += 1;
+            } else {
+                samples.push(Sample {
+                    spins,
+                    energy,
+                    occurrences: 1,
+                });
+            }
+        }
+        samples.sort_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite energies"));
+        SampleSet { samples }
+    }
+
+    /// The lowest-energy sample, if any reads were taken.
+    pub fn best(&self) -> Option<&Sample> {
+        self.samples.first()
+    }
+
+    /// The lowest energy seen.
+    pub fn lowest_energy(&self) -> Option<f64> {
+        self.best().map(|s| s.energy)
+    }
+
+    /// All distinct samples, ascending energy.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Number of distinct configurations.
+    pub fn distinct(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total reads.
+    pub fn total_reads(&self) -> u64 {
+        self.samples.iter().map(|s| s.occurrences).sum()
+    }
+}
+
+/// Anything that can sample low-energy states of an Ising model.
+pub trait Sampler {
+    /// Draws `reads` configurations, aiming for low energy.
+    fn sample(&self, ising: &Ising, reads: u64) -> SampleSet;
+
+    /// Human-readable solver name (for experiment tables).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_set_dedup_and_sort() {
+        let mut m = Ising::new(2);
+        m.add_coupling(0, 1, -1.0);
+        let set = SampleSet::from_reads(
+            &m,
+            vec![vec![1, -1], vec![1, 1], vec![1, 1], vec![-1, -1]],
+        );
+        assert_eq!(set.distinct(), 3);
+        assert_eq!(set.total_reads(), 4);
+        assert_eq!(set.lowest_energy(), Some(-1.0));
+        let best = set.best().unwrap();
+        assert_eq!(best.energy, -1.0);
+        // The duplicated ground state has multiplicity 2.
+        let ground: Vec<_> = set.iter().filter(|s| s.energy == -1.0).collect();
+        assert_eq!(ground.iter().map(|s| s.occurrences).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn empty_sample_set() {
+        let m = Ising::new(1);
+        let set = SampleSet::from_reads(&m, vec![]);
+        assert!(set.best().is_none());
+        assert_eq!(set.total_reads(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulated **quantum** annealing (SQA): the closest software model of a
+//! superconducting quantum annealer.
+//!
+//! Real annealers (D-Wave, §4.2 of the paper) evolve the transverse-field
+//! Ising Hamiltonian `H(s) = A(s) sum_i sigma^x_i + B(s) H_problem`. The
+//! standard classical simulation is path-integral Monte-Carlo: the
+//! quantum system at inverse temperature `beta` maps (Suzuki–Trotter) to
+//! `P` coupled classical replicas ("imaginary-time slices") with a
+//! ferromagnetic inter-slice coupling `J_perp` that strengthens as the
+//! transverse field is annealed away. Quantum tunnelling appears as
+//! coordinated multi-slice moves.
+
+use crate::ising::Ising;
+use crate::sampler::{SampleSet, Sampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A path-integral Monte-Carlo quantum annealer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantumAnnealer {
+    /// Trotter slices (replicas).
+    pub slices: usize,
+    /// Inverse temperature of the quantum system.
+    pub beta: f64,
+    /// Initial transverse field strength.
+    pub gamma_start: f64,
+    /// Final transverse field strength (near zero).
+    pub gamma_end: f64,
+    /// Annealing steps.
+    pub steps: usize,
+    /// Sweeps per annealing step.
+    pub sweeps_per_step: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QuantumAnnealer {
+    fn default() -> Self {
+        QuantumAnnealer {
+            slices: 16,
+            beta: 8.0,
+            gamma_start: 3.0,
+            gamma_end: 0.01,
+            steps: 60,
+            sweeps_per_step: 2,
+            seed: 0x50A1,
+        }
+    }
+}
+
+impl QuantumAnnealer {
+    /// A default-configured quantum annealer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// One full anneal; returns the best slice configuration seen.
+    fn anneal_once(&self, ising: &Ising, rng: &mut StdRng) -> Vec<i8> {
+        let n = ising.len();
+        let p = self.slices;
+        if n == 0 {
+            return Vec::new();
+        }
+        // replicas[k][i]: spin i in slice k.
+        let mut replicas: Vec<Vec<i8>> = (0..p)
+            .map(|_| {
+                (0..n)
+                    .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+                    .collect()
+            })
+            .collect();
+        let beta_slice = self.beta / p as f64;
+        let mut best: Vec<i8> = replicas[0].clone();
+        let mut best_e = ising.energy(&best);
+
+        let ratio = if self.steps > 1 {
+            (self.gamma_end / self.gamma_start).powf(1.0 / (self.steps as f64 - 1.0))
+        } else {
+            1.0
+        };
+        let mut gamma = self.gamma_start;
+        for _ in 0..self.steps {
+            // Inter-slice coupling from the Suzuki-Trotter mapping:
+            // J_perp = -(1/(2 beta_slice)) ln tanh(beta_slice * gamma).
+            let t = (beta_slice * gamma).tanh();
+            let j_perp = if t > 0.0 {
+                -0.5 / beta_slice * t.ln()
+            } else {
+                f64::INFINITY
+            };
+            for _ in 0..self.sweeps_per_step {
+                for k in 0..p {
+                    let up = (k + 1) % p;
+                    let down = (k + p - 1) % p;
+                    for i in 0..n {
+                        // Problem-energy delta within the slice, scaled
+                        // by beta_slice; plus inter-slice kinetic term.
+                        let d_problem = ising.flip_delta(&replicas[k], i);
+                        let s = replicas[k][i] as f64;
+                        let neighbours =
+                            replicas[up][i] as f64 + replicas[down][i] as f64;
+                        let d_kinetic = 2.0 * j_perp * s * neighbours;
+                        let delta = beta_slice * d_problem + beta_slice * d_kinetic;
+                        if delta <= 0.0 || rng.gen_bool((-delta).exp().min(1.0)) {
+                            replicas[k][i] = -replicas[k][i];
+                            let e = ising.energy(&replicas[k]);
+                            if e < best_e {
+                                best_e = e;
+                                best = replicas[k].clone();
+                            }
+                        }
+                    }
+                }
+                // Global move: flip one spin across every slice at once
+                // (a "quantum" tunnelling move; costs no kinetic energy).
+                let i = rng.gen_range(0..n);
+                let d_total: f64 = replicas
+                    .iter()
+                    .map(|r| ising.flip_delta(r, i))
+                    .sum::<f64>()
+                    * beta_slice;
+                if d_total <= 0.0 || rng.gen_bool((-d_total).exp().min(1.0)) {
+                    for r in replicas.iter_mut() {
+                        r[i] = -r[i];
+                    }
+                    let e = ising.energy(&replicas[0]);
+                    if e < best_e {
+                        best_e = e;
+                        best = replicas[0].clone();
+                    }
+                }
+            }
+            gamma *= ratio;
+        }
+        // Final readout: pick the best slice.
+        for r in &replicas {
+            let e = ising.energy(r);
+            if e < best_e {
+                best_e = e;
+                best = r.clone();
+            }
+        }
+        best
+    }
+}
+
+impl Sampler for QuantumAnnealer {
+    fn sample(&self, ising: &Ising, reads: u64) -> SampleSet {
+        let mut all = Vec::with_capacity(reads as usize);
+        for r in 0..reads {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(r));
+            all.push(self.anneal_once(ising, &mut rng));
+        }
+        SampleSet::from_reads(ising, all)
+    }
+
+    fn name(&self) -> &str {
+        "quantum-annealer-piqmc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_ferromagnetic_chain() {
+        let mut m = Ising::new(8);
+        for i in 0..7 {
+            m.add_coupling(i, i + 1, -1.0);
+        }
+        let set = QuantumAnnealer::new().sample(&m, 8);
+        assert_eq!(set.lowest_energy(), Some(-7.0));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(60);
+        for trial in 0..4 {
+            let n = 8;
+            let mut m = Ising::new(n);
+            for i in 0..n {
+                m.add_field(i, rng.gen_range(-1.0..1.0));
+                for j in i + 1..n {
+                    if rng.gen_bool(0.5) {
+                        m.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+                    }
+                }
+            }
+            let (_, exact) = m.brute_force_minimum();
+            let found = QuantumAnnealer::new()
+                .with_seed(trial)
+                .sample(&m, 15)
+                .lowest_energy()
+                .unwrap();
+            assert!(
+                (found - exact).abs() < 1e-9,
+                "trial {trial}: SQA {found} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn tunnels_through_a_tall_thin_barrier() {
+        // A two-cluster model where the clusters must flip together:
+        // strong internal ferromagnet + weak global bias. Single-spin
+        // dynamics must break a strong bond to move between minima; the
+        // global (tunnelling) move crosses directly.
+        let n = 6;
+        let mut m = Ising::new(n);
+        for i in 0..n - 1 {
+            m.add_coupling(i, i + 1, -2.0);
+        }
+        // Bias towards all-down being the true ground state.
+        for i in 0..n {
+            m.add_field(i, 0.1);
+        }
+        let set = QuantumAnnealer::new().with_seed(3).sample(&m, 10);
+        let best = set.best().unwrap();
+        assert!(
+            best.spins.iter().all(|&s| s == -1),
+            "expected the biased ground state, got {:?}",
+            best.spins
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut m = Ising::new(5);
+        for i in 0..4 {
+            m.add_coupling(i, i + 1, 1.0);
+        }
+        let a = QuantumAnnealer::new().with_seed(1).sample(&m, 4);
+        let b = QuantumAnnealer::new().with_seed(1).sample(&m, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_model_is_fine() {
+        let m = Ising::new(0);
+        let set = QuantumAnnealer::new().sample(&m, 2);
+        assert_eq!(set.lowest_energy(), Some(0.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion bench for the algorithm-level workloads: Shor order finding,
+//! VQE energy evaluation, and QAOA layer application.
+
+use annealer::Ising;
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use optim::qaoa::Qaoa;
+use optim::vqe::Vqe;
+use qca_core::shor::order_finding_measurement;
+use qxsim::{Pauli, PauliString, PauliSum};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn bench_shor_order_finding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shor_order_finding");
+    for (a, n, t) in [(7u64, 15u64, 8u32), (2, 21, 10)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("a{a}_n{n}")),
+            &(a, n, t),
+            |b, &(a, n, t)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| order_finding_measurement(a, n, t, &mut rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_vqe_energy(c: &mut Criterion) {
+    let mut h = PauliSum::new();
+    h.add(0.3435, PauliString::z(0))
+        .add(-0.4347, PauliString::z(1))
+        .add(0.5716, PauliString::new(vec![(0, Pauli::Z), (1, Pauli::Z)]))
+        .add(0.0910, PauliString::new(vec![(0, Pauli::X), (1, Pauli::X)]));
+    let vqe = Vqe::new(h, 2, 1);
+    let params = vec![0.3; vqe.parameter_count()];
+    c.bench_function("vqe_energy_eval_2q", |b| {
+        b.iter(|| vqe.energy(&params));
+    });
+}
+
+fn bench_qaoa_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_evaluate");
+    for n in [8usize, 12, 16] {
+        let mut m = Ising::new(n);
+        for i in 0..n {
+            m.add_coupling(i, (i + 1) % n, 1.0);
+        }
+        let qaoa = Qaoa::new(m, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| qaoa.evaluate(&[0.4, 0.3]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shor_order_finding, bench_vqe_energy, bench_qaoa_evaluate
+}
+criterion_main!(benches);

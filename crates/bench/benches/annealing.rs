@@ -1,0 +1,55 @@
+//! Criterion bench for the annealing substrate: SA and the digital
+//! annealer on dense problems, plus the Chimera embedding cost (E4).
+
+use annealer::{Chimera, DigitalAnnealer, Ising, Sampler, SimulatedAnnealer, clique_embedding};
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense_ising(n: usize, seed: u64) -> Ising {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Ising::new(n);
+    for i in 0..n {
+        m.add_field(i, rng.gen_range(-1.0..1.0));
+        for j in i + 1..n {
+            m.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+        }
+    }
+    m
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_annealing");
+    for n in [16usize, 64, 144] {
+        let m = dense_ising(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SimulatedAnnealer::new().sample(&m, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_digital(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digital_annealer");
+    for n in [16usize, 64] {
+        let m = dense_ising(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| DigitalAnnealer::new().sample(&m, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let chimera = Chimera::dwave_2000q();
+    c.bench_function("chimera_k64_clique_embedding", |b| {
+        b.iter(|| clique_embedding(64, &chimera).expect("fits"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sa, bench_digital, bench_embedding
+}
+criterion_main!(benches);

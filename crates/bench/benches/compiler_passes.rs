@@ -1,0 +1,58 @@
+//! Criterion bench for the OpenQL pass pipeline: decomposition,
+//! optimisation, routing and scheduling on growing circuits.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use openql::{Compiler, Kernel, Platform, QuantumProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_program(qubits: usize, gates: usize, seed: u64) -> QuantumProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut k = Kernel::new("rand", qubits);
+    for _ in 0..gates {
+        if rng.gen_bool(0.4) {
+            let a = rng.gen_range(0..qubits);
+            let b = (a + 1 + rng.gen_range(0..qubits - 1)) % qubits;
+            k.cnot(a, b);
+        } else {
+            let q = rng.gen_range(0..qubits);
+            match rng.gen_range(0..4) {
+                0 => k.h(q),
+                1 => k.t(q),
+                2 => k.rz(q, 0.3),
+                _ => k.x(q),
+            };
+        }
+    }
+    k.measure_all();
+    let mut p = QuantumProgram::new("rand", qubits);
+    p.add_kernel(k);
+    p
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_superconducting_grid");
+    for gates in [50usize, 200, 800] {
+        let p = random_program(9, gates, 3);
+        let compiler = Compiler::new(Platform::superconducting_grid(3, 3));
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
+            b.iter(|| compiler.compile(&p).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_perfect_compile(c: &mut Criterion) {
+    let p = random_program(9, 400, 4);
+    let compiler = Compiler::new(Platform::perfect(9));
+    c.bench_function("compile_perfect_400g", |b| {
+        b.iter(|| compiler.compile(&p).expect("compiles"));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full_compile, bench_perfect_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for E7: quantum-vs-classical unstructured search work.
+//! The quantum side pays per-iteration state updates; the classical side
+//! scans. The crossover in *queries* is quadratic even though the
+//! simulator itself is exponential.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use qgs::classical::best_hamming_search;
+use qgs::dna::MarkovModel;
+use qgs::grover::{grover_search, optimal_iterations};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn bench_grover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grover_search");
+    for bits in [8usize, 12, 14] {
+        let target = (1u64 << bits) - 3;
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| grover_search(bits, |x| x == target, optimal_iterations(bits, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_classical_scan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut group = c.benchmark_group("classical_hamming_scan");
+    for len in [256usize, 1024, 4096] {
+        let reference = MarkovModel::uniform(1).generate(len, &mut rng);
+        let read = reference.subsequence(len / 2, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| best_hamming_search(&reference, &read));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_grover, bench_classical_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for E1's control path: eQASM translation and
+//! cycle-accurate micro-architecture execution throughput.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use eqasm::{MicroArchitecture, PulseOnlyDevice, translate};
+use openql::{Compiler, Kernel, Platform, QuantumProgram};
+
+fn rb_like(length: usize) -> QuantumProgram {
+    let mut k = Kernel::new("seq", 2);
+    for i in 0..length {
+        k.x90(0);
+        k.y90(1);
+        if i % 3 == 0 {
+            k.cz(0, 1);
+        }
+    }
+    k.measure_all();
+    let mut p = QuantumProgram::new("seq", 2);
+    p.add_kernel(k);
+    p
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eqasm_translate");
+    for len in [50usize, 200, 800] {
+        let out = Compiler::new(Platform::superconducting_grid(1, 2))
+            .compile(&rb_like(len))
+            .expect("compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| translate(&out.schedule).expect("translates"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microarch_execute");
+    for len in [50usize, 200, 800] {
+        let out = Compiler::new(Platform::superconducting_grid(1, 2))
+            .compile(&rb_like(len))
+            .expect("compiles");
+        let eq = translate(&out.schedule).expect("translates");
+        let arch = MicroArchitecture::superconducting();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let mut dev = PulseOnlyDevice::new(2);
+                arch.execute(&eq, &mut dev).expect("executes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_translate, bench_execute
+}
+criterion_main!(benches);

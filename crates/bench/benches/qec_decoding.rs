@@ -1,0 +1,60 @@
+//! Criterion bench for E8: syndrome decoding throughput — the paper's
+//! point that "a very large graph needs to be processed and interpreted
+//! in real-time" makes decoder speed an architecture constraint.
+
+use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use qec::decoder::decode_x_errors;
+use qec::monte::{NoiseKind, sample_error};
+use qec::{LookupDecoder, StabilizerCode, SurfaceCode, Tableau};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn bench_surface_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surface_decode_p02");
+    for d in [3usize, 5, 7, 9] {
+        let code = SurfaceCode::new(d);
+        let mut rng = StdRng::seed_from_u64(5);
+        let errors: Vec<_> = (0..32)
+            .map(|_| sample_error(code.data_qubits(), 0.02, NoiseKind::BitFlip, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                for e in &errors {
+                    let defects = code.x_error_defects(e);
+                    let _ = decode_x_errors(&code, &defects);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_build(c: &mut Criterion) {
+    c.bench_function("steane_lookup_build", |b| {
+        b.iter(|| LookupDecoder::for_code(&StabilizerCode::steane()));
+    });
+}
+
+fn bench_tableau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_ghz");
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = Tableau::zero_state(n);
+                t.h(0);
+                for q in 0..n - 1 {
+                    t.cnot(q, q + 1);
+                }
+                t
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_surface_decode, bench_lookup_build, bench_tableau
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for E5: state-vector gate application cost vs qubit
+//! count (the exponential wall of the QX engine).
+
+use cqasm::GateKind;
+use criterion::{BenchmarkId, Criterion, Throughput, criterion_group, criterion_main};
+use qxsim::StateVector;
+
+fn ghz(n: usize) -> StateVector {
+    let mut s = StateVector::zero_state(n);
+    s.apply_gate(&GateKind::H, &[0]);
+    for q in 0..n - 1 {
+        s.apply_gate(&GateKind::Cnot, &[q, q + 1]);
+    }
+    s
+}
+
+fn bench_ghz_prep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qx_ghz_prep");
+    for n in [8usize, 12, 16, 20] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| ghz(n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qx_single_gate");
+    for n in [10usize, 14, 18, 20] {
+        let state = ghz(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| {
+                    s.apply_gate(&GateKind::H, &[n / 2]);
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ghz_prep, bench_single_gate
+}
+criterion_main!(benches);

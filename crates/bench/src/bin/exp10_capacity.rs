@@ -1,0 +1,55 @@
+//! E10 (§2.3 footnote 2): the ~150-logical-qubit estimate for holding a
+//! human-genome-scale search index, plus the physical-qubit bill once
+//! surface-code protection is added.
+
+use qca_bench::{header, row};
+use qgs::CapacityModel;
+
+fn main() {
+    println!("\n== E10a: logical qubit budget vs reference / read size ==");
+    header(&["reference", "read", "index", "data", "ancilla", "total"]);
+    for (name, reference, read) in [
+        ("1 Mbase", 1_000_000u64, 50u64),
+        ("100 Mbase", 100_000_000, 50),
+        ("human 3.1G", 3_100_000_000, 50),
+        ("human, 100b reads", 3_100_000_000, 100),
+        ("human, 150b reads", 3_100_000_000, 150),
+    ] {
+        let m = CapacityModel::new(reference, read);
+        row(&[
+            name.to_owned(),
+            read.to_string(),
+            m.index_qubits().to_string(),
+            m.data_qubits().to_string(),
+            m.ancilla_qubits().to_string(),
+            m.total_logical_qubits().to_string(),
+        ]);
+    }
+    let paper = CapacityModel::human_genome();
+    println!(
+        "paper's estimate: ~150 logical qubits; this model: {}",
+        paper.total_logical_qubits()
+    );
+
+    println!("\n== E10b: physical bill with surface-code protection ==");
+    header(&["code distance", "phys/logical", "total physical"]);
+    for d in [3u64, 5, 11, 17, 25] {
+        let per = (2 * d - 1) * (2 * d - 1);
+        row(&[
+            d.to_string(),
+            per.to_string(),
+            paper.physical_qubits(d).to_string(),
+        ]);
+    }
+
+    println!("\n== E10c: query counts at genome scale ==");
+    let g = paper.grover_iterations();
+    let c = paper.classical_comparisons();
+    println!("grover iterations:      {g}");
+    println!("classical comparisons:  {c}");
+    println!(
+        "query ratio:            {:.0}x (the paper's 'modest quadratic speedup\n\
+         that becomes extremely relevant' at 1000s of CPU hours per genome)",
+        c as f64 / g as f64
+    );
+}

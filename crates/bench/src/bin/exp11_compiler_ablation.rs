@@ -1,0 +1,202 @@
+//! E11 (ablation): how much each compiler design choice buys.
+//!
+//! Sweeps the §2.6 mapping/scheduling choices: initial placement
+//! (identity vs interaction-greedy), peephole optimisation (on/off) and
+//! scheduling direction (ASAP/ALAP), reporting SWAPs, gate counts and
+//! latency on random and structured workloads.
+
+use openql::{
+    Compiler, CompilerOptions, InitialPlacement, Kernel, Platform, QuantumProgram,
+    ScheduleDirection,
+};
+use qca_bench::{header, row};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_program(qubits: usize, gates: usize, seed: u64) -> QuantumProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut k = Kernel::new("rand", qubits);
+    for _ in 0..gates {
+        if rng.gen_bool(0.35) {
+            let a = rng.gen_range(0..qubits);
+            let b = (a + 1 + rng.gen_range(0..qubits - 1)) % qubits;
+            k.cnot(a, b);
+        } else {
+            let q = rng.gen_range(0..qubits);
+            match rng.gen_range(0..4) {
+                0 => k.h(q),
+                1 => k.t(q),
+                2 => k.rz(q, 0.7),
+                _ => k.x(q),
+            };
+        }
+    }
+    k.measure_all();
+    let mut p = QuantumProgram::new("rand", qubits);
+    p.add_kernel(k);
+    p
+}
+
+fn clustered_program(qubits: usize, seed: u64) -> QuantumProgram {
+    // Pairs (0, n-1), (1, n-2)... interact heavily: worst case for
+    // identity placement on a grid, best case for greedy.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut k = Kernel::new("clustered", qubits);
+    for _ in 0..40 {
+        let pair = rng.gen_range(0..qubits / 2);
+        k.cnot(pair, qubits - 1 - pair);
+        k.t(pair);
+    }
+    k.measure_all();
+    let mut p = QuantumProgram::new("clustered", qubits);
+    p.add_kernel(k);
+    p
+}
+
+fn compile_with(
+    program: &QuantumProgram,
+    placement: InitialPlacement,
+    optimize: bool,
+    schedule: ScheduleDirection,
+) -> (usize, usize, u64) {
+    let out = Compiler::with_options(
+        Platform::superconducting_grid(3, 3),
+        CompilerOptions {
+            optimize,
+            placement,
+            schedule,
+            force_routing: false,
+        },
+    )
+    .compile(program)
+    .expect("compiles");
+    (
+        out.report.swaps_inserted,
+        out.report.output_stats.gates,
+        out.report.latency_cycles,
+    )
+}
+
+fn main() {
+    println!("\n== E11a: initial placement ablation (SWAP counts) ==");
+    header(&["workload", "identity", "greedy", "reduction"]);
+    for (name, program) in [
+        ("random-1", random_program(9, 60, 1)),
+        ("random-2", random_program(9, 60, 2)),
+        ("clustered", clustered_program(8, 3)),
+    ] {
+        let (s_id, _, _) = compile_with(
+            &program,
+            InitialPlacement::Identity,
+            true,
+            ScheduleDirection::Asap,
+        );
+        let (s_gr, _, _) = compile_with(
+            &program,
+            InitialPlacement::GreedyInteraction,
+            true,
+            ScheduleDirection::Asap,
+        );
+        let red = if s_id > 0 {
+            format!("{:.0}%", 100.0 * (s_id as f64 - s_gr as f64) / s_id as f64)
+        } else {
+            "-".to_owned()
+        };
+        row(&[name.to_owned(), s_id.to_string(), s_gr.to_string(), red]);
+    }
+
+    println!("\n== E11b: peephole optimiser ablation (gate counts / latency) ==");
+    header(&["workload", "gates off", "gates on", "lat off", "lat on"]);
+    for (name, program) in [
+        ("random-1", random_program(9, 120, 4)),
+        ("random-2", random_program(9, 120, 5)),
+    ] {
+        let (_, g_off, l_off) = compile_with(
+            &program,
+            InitialPlacement::GreedyInteraction,
+            false,
+            ScheduleDirection::Asap,
+        );
+        let (_, g_on, l_on) = compile_with(
+            &program,
+            InitialPlacement::GreedyInteraction,
+            true,
+            ScheduleDirection::Asap,
+        );
+        row(&[
+            name.to_owned(),
+            g_off.to_string(),
+            g_on.to_string(),
+            l_off.to_string(),
+            l_on.to_string(),
+        ]);
+    }
+
+    println!("\n== E11c: scheduling direction (same latency, different issue profile) ==");
+    header(&["workload", "asap lat", "alap lat"]);
+    {
+        let (name, program) = ("random", random_program(9, 80, 6));
+        let (_, _, asap) = compile_with(
+            &program,
+            InitialPlacement::GreedyInteraction,
+            true,
+            ScheduleDirection::Asap,
+        );
+        let (_, _, alap) = compile_with(
+            &program,
+            InitialPlacement::GreedyInteraction,
+            true,
+            ScheduleDirection::Alap,
+        );
+        row(&[name.to_owned(), asap.to_string(), alap.to_string()]);
+    }
+    println!("\n== E11d: ALAP protects excitations under idle decay (end to end) ==");
+    // An excitation on q0 must survive until a long chain on q1 finishes;
+    // under idle amplitude damping, ALAP issues the excitation late.
+    use openql::Kernel as K2;
+    use qca_core::{FullStack, QubitKind};
+    let mut k = K2::new("idle", 2);
+    k.x(0);
+    for _ in 0..20 {
+        k.x(1);
+        k.x(1);
+    }
+    k.measure_all();
+    let mut prog = QuantumProgram::new("idle", 2);
+    prog.add_kernel(k);
+    header(&["schedule", "P(q0 still excited)"]);
+    for (name, dir) in [("asap", ScheduleDirection::Asap), ("alap", ScheduleDirection::Alap)] {
+        let run = FullStack::perfect(2)
+            .with_qubits(QubitKind::Real {
+                p1: 0.0,
+                p2: 0.0,
+                readout: 0.0,
+                t1_us: 0.2,
+                gate_ns: 20.0,
+            })
+            .with_compiler_options(CompilerOptions {
+                optimize: false,
+                schedule: dir,
+                ..Default::default()
+            })
+            .execute(&prog, 2000)
+            .expect("runs");
+        let survive: u64 = run
+            .histogram
+            .iter()
+            .filter(|(b, _)| b & 1 == 1)
+            .map(|(_, c)| c)
+            .sum();
+        row(&[
+            name.to_owned(),
+            format!("{:.4}", survive as f64 / run.histogram.shots() as f64),
+        ]);
+    }
+
+    println!(
+        "\nShape check: greedy placement only pays off on clustered interaction\n\
+         (random workloads are placement-agnostic); the optimiser strictly\n\
+         shrinks gate count and latency; ASAP/ALAP agree on total latency but\n\
+         ALAP keeps fragile states alive longer under idle decoherence."
+    );
+}

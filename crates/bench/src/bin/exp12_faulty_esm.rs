@@ -1,0 +1,37 @@
+//! E12 (ablation / §2.1): faulty syndrome measurement — why ESM "needs to
+//! be repeated multiple times before a final conclusion is reached".
+//! Logical error rate vs number of majority-voted ESM rounds.
+
+use qca_bench::{header, row, sci};
+use qec::StabilizerCode;
+use qec::faulty::faulty_logical_error_rate;
+
+fn main() {
+    let trials = 25_000;
+    println!("\n== E12: repetition-3, data noise p=0.01, measurement noise q ==");
+    header(&["q_meas", "1 round", "3 rounds", "5 rounds", "9 rounds"]);
+    let code = StabilizerCode::repetition(3);
+    for q in [0.0, 0.02, 0.05, 0.10, 0.20] {
+        let r: Vec<String> = [1usize, 3, 5, 9]
+            .iter()
+            .map(|&rounds| sci(faulty_logical_error_rate(&code, 0.01, q, rounds, trials, 12)))
+            .collect();
+        row(&[sci(q), r[0].clone(), r[1].clone(), r[2].clone(), r[3].clone()]);
+    }
+
+    println!("\n== E12b: Steane [[7,1,3]], p=0.005 ==");
+    header(&["q_meas", "1 round", "3 rounds", "7 rounds"]);
+    let steane = StabilizerCode::steane();
+    for q in [0.0, 0.05, 0.10] {
+        let r: Vec<String> = [1usize, 3, 7]
+            .iter()
+            .map(|&rounds| sci(faulty_logical_error_rate(&steane, 0.005, q, rounds, 10_000, 13)))
+            .collect();
+        row(&[sci(q), r[0].clone(), r[1].clone(), r[2].clone()]);
+    }
+    println!(
+        "\nShape check: at q=0 all columns agree (code capacity); as q grows,\n\
+         one noisy reading is useless while majority-voted repetition\n\
+         restores the code-capacity rate — the paper's prescription."
+    );
+}

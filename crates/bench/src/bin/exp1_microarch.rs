@@ -1,0 +1,95 @@
+//! E1 (Fig 6): the experimental micro-architecture pipeline for
+//! superconducting (real) qubits, and its retargeting to a semiconducting
+//! platform by configuration only.
+//!
+//! Regenerates: randomised-benchmarking programs compiled
+//! OpenQL → cQASM → eQASM, executed with nanosecond timing; survival
+//! curves per qubit model; the retargeting comparison.
+
+use qca_bench::{f, header, row};
+use qca_core::rb::{CliffordTable, single_qubit_rb, survival_probability, two_qubit_echo};
+use qca_core::{FullStack, QubitKind};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn main() {
+    let table = CliffordTable::single_qubit();
+    let mut rng = StdRng::seed_from_u64(1);
+    let shots = 400;
+    let seqs = 6;
+
+    println!("\n== E1a: single-qubit randomised benchmarking (superconducting stack) ==");
+    header(&["length", "perfect", "realistic", "real"]);
+    let stacks = [
+        FullStack::superconducting(1, 1).with_qubits(QubitKind::Perfect),
+        FullStack::superconducting(1, 1).with_qubits(QubitKind::realistic_today()),
+        FullStack::superconducting(1, 1).with_qubits(QubitKind::real_transmon()),
+    ];
+    for m in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut survivals = [0.0f64; 3];
+        for _ in 0..seqs {
+            let p = single_qubit_rb(&table, m, &mut rng);
+            for (k, stack) in stacks.iter().enumerate() {
+                let run = stack.execute(&p, shots).expect("stack executes");
+                survivals[k] += survival_probability(&run.histogram);
+            }
+        }
+        row(&[
+            m.to_string(),
+            f(survivals[0] / seqs as f64),
+            f(survivals[1] / seqs as f64),
+            f(survivals[2] / seqs as f64),
+        ]);
+    }
+
+    println!("\n== E1b: two-qubit motion-reversal benchmark ==");
+    header(&["depth", "perfect", "real"]);
+    let stacks2 = [
+        FullStack::superconducting(1, 2).with_qubits(QubitKind::Perfect),
+        FullStack::superconducting(1, 2).with_qubits(QubitKind::real_transmon()),
+    ];
+    for m in [1usize, 2, 4, 8] {
+        let mut survivals = [0.0f64; 2];
+        for _ in 0..4 {
+            let p = two_qubit_echo(m, &mut rng);
+            for (k, stack) in stacks2.iter().enumerate() {
+                let run = stack.execute(&p, 200).expect("stack executes");
+                survivals[k] += survival_probability(&run.histogram);
+            }
+        }
+        row(&[
+            m.to_string(),
+            f(survivals[0] / 4.0),
+            f(survivals[1] / 4.0),
+        ]);
+    }
+
+    println!("\n== E1c: retargeting by configuration (same OpenQL program) ==");
+    let program = single_qubit_rb(&table, 16, &mut rng);
+    header(&["platform", "pulses", "ns/shot", "codeword[0]"]);
+    for (name, stack) in [
+        (
+            "supercond.",
+            FullStack::superconducting(1, 1).with_qubits(QubitKind::Perfect),
+        ),
+        (
+            "semicond.",
+            FullStack::semiconducting(1).with_qubits(QubitKind::Perfect),
+        ),
+    ] {
+        let run = stack.execute(&program, 5).expect("stack executes");
+        let pulses = run.pulses.expect("pulse trace");
+        row(&[
+            name.to_owned(),
+            pulses.len().to_string(),
+            run.shot_time_ns.unwrap_or(0).to_string(),
+            format!("0x{:02x}", pulses.first().map_or(0, |p| p.codeword)),
+        ]);
+    }
+    println!(
+        "\nShape check: survival decays with length only for noisy models; the\n\
+         semiconducting retarget emits the same pulse sequence with different\n\
+         code-words and a longer timeline (paper: only the compiler config and\n\
+         micro-code unit change)."
+    );
+}

@@ -1,0 +1,58 @@
+//! E5 (§2.7): QX simulator scalability — "up to 35 fully-entangled qubits
+//! on a laptop PC". The state-vector memory doubles per qubit; we sweep
+//! GHZ preparation up to the machine's comfortable limit and report
+//! time-per-gate and memory, exposing the exponential wall.
+
+use cqasm::GateKind;
+use qca_bench::{header, row, sci};
+use qxsim::StateVector;
+use std::time::Instant;
+
+fn main() {
+    println!("\n== E5: QX state-vector scaling (fully-entangled GHZ prep) ==");
+    header(&["qubits", "amplitudes", "memory", "total ms", "us/gate"]);
+    let max_qubits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(26);
+    for n in (4..=max_qubits).step_by(2) {
+        let start = Instant::now();
+        let mut s = StateVector::zero_state(n);
+        s.apply_gate(&GateKind::H, &[0]);
+        for q in 0..n - 1 {
+            s.apply_gate(&GateKind::Cnot, &[q, q + 1]);
+        }
+        let elapsed = start.elapsed();
+        let p0 = s.probability_of(0);
+        assert!((p0 - 0.5).abs() < 1e-9, "GHZ check failed at n={n}");
+        let amps = 1u64 << n;
+        let bytes = amps * 16;
+        row(&[
+            n.to_string(),
+            amps.to_string(),
+            human_bytes(bytes),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e6 / n as f64),
+        ]);
+    }
+    println!(
+        "\nShape check: time and memory double per added qubit (pure 2^n\n\
+         scaling). Extrapolating, 35 qubits needs {} of state — the paper's\n\
+         laptop-class ceiling; ~50 qubits ({}) is the proof-of-concept\n\
+         horizon it mentions.",
+        human_bytes(16u64 << 35),
+        human_bytes(16u64 << 50)
+    );
+    let _ = sci(0.0);
+}
+
+fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1}{}", UNITS[u])
+}

@@ -1,0 +1,109 @@
+//! E6 (§2.7): realistic error models — impact of error rates from the
+//! current 1e-2 down to the 1e-5/1e-6 regime, and beyond the simplistic
+//! depolarizing model (bit-flip, phase-flip, amplitude damping).
+
+use cqasm::GateKind;
+use openql::{Kernel, QuantumProgram};
+use qca_bench::{header, row, sci};
+use qca_core::{FullStack, QubitKind};
+use qxsim::{ErrorChannel, QubitModel, RealisticParams, Simulator};
+
+fn ghz_program(n: usize) -> QuantumProgram {
+    let mut k = Kernel::new("ghz", n);
+    k.h(0);
+    for q in 0..n - 1 {
+        k.cnot(q, q + 1);
+    }
+    k.measure_all();
+    let mut p = QuantumProgram::new("ghz", n);
+    p.add_kernel(k);
+    p
+}
+
+fn qft_like(n: usize) -> cqasm::Program {
+    let mut b = cqasm::Program::builder(n).subcircuit("qft");
+    for q in 0..n {
+        b = b.gate(GateKind::H, &[q]);
+        for t in q + 1..n {
+            b = b.gate(GateKind::CRk((t - q + 1) as u32), &[t, q]);
+        }
+    }
+    b.measure_all().build()
+}
+
+fn main() {
+    let n = 5;
+    let shots = 2000;
+
+    println!("\n== E6a: GHZ success vs depolarizing error rate ==");
+    header(&["p (2q gate)", "ghz fidelity", "error amplification"]);
+    let ghz = ghz_program(n);
+    let mut baseline = None;
+    for p2 in [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2] {
+        let stack = FullStack::perfect(n).with_qubits(if p2 == 0.0 {
+            QubitKind::Perfect
+        } else {
+            QubitKind::Realistic {
+                p1: p2 / 10.0,
+                p2,
+                readout: 0.0,
+            }
+        });
+        let run = stack.execute(&ghz, shots).expect("executes");
+        let good = run.histogram.probability(0) + run.histogram.probability((1 << n) - 1);
+        if p2 == 0.0 {
+            baseline = Some(good);
+        }
+        let amp = baseline.map_or(0.0, |b| (b - good) / b.max(1e-12));
+        row(&[sci(p2), format!("{good:.4}"), format!("{amp:.4}")]);
+    }
+
+    println!("\n== E6b: channel comparison at fixed rate 1e-2 (QFT-like circuit) ==");
+    header(&["channel", "P(measured=ideal most likely)"]);
+    let circuit = qft_like(4);
+    let ideal_hist = Simulator::perfect().run_shots(&circuit, 4000).unwrap();
+    let ideal_top = ideal_hist.most_likely().unwrap_or(0);
+    let channels: [(&str, ErrorChannel); 4] = [
+        ("depolarizing", ErrorChannel::Depolarizing { p: 1e-2 }),
+        ("bit-flip", ErrorChannel::BitFlip { p: 1e-2 }),
+        ("phase-flip", ErrorChannel::PhaseFlip { p: 1e-2 }),
+        ("amp-damping", ErrorChannel::AmplitudeDamping { gamma: 1e-2 }),
+    ];
+    for (name, ch) in channels {
+        let model = QubitModel::Realistic(RealisticParams {
+            channel_1q: ch,
+            channel_2q: ch,
+            readout_error: 0.0,
+            idle_channel: ErrorChannel::None,
+        });
+        let hist = Simulator::with_model(model)
+            .run_shots(&circuit, 4000)
+            .unwrap();
+        row(&[name.to_owned(), format!("{:.4}", hist.probability(ideal_top))]);
+    }
+
+    println!("\n== E6c: readout error isolated ==");
+    header(&["readout p", "observed flip rate"]);
+    let meas_only = {
+        let mut k = Kernel::new("m", 1);
+        k.measure(0);
+        let mut p = QuantumProgram::new("m", 1);
+        p.add_kernel(k);
+        p
+    };
+    for pm in [0.0, 0.01, 0.05, 0.10] {
+        let stack = FullStack::perfect(1).with_qubits(QubitKind::Realistic {
+            p1: 0.0,
+            p2: 0.0,
+            readout: pm,
+        });
+        let run = stack.execute(&meas_only, 5000).expect("executes");
+        row(&[sci(pm), format!("{:.4}", run.histogram.probability(1))]);
+    }
+    println!(
+        "\nShape check: fidelity degrades monotonically with the rate; the\n\
+         1e-5/1e-6 regime is indistinguishable from perfect at these depths\n\
+         (the paper's motivation for studying those rates on deeper codes),\n\
+         while 1e-2 — today's hardware — visibly breaks a 5-qubit GHZ."
+    );
+}

@@ -1,0 +1,31 @@
+//! # qca-bench — the experiment harness
+//!
+//! One binary per paper experiment (see `DESIGN.md` for the experiment
+//! index E1–E10) plus Criterion benches for the performance-sensitive
+//! kernels. Each binary prints the rows/series the corresponding figure
+//! or table of the paper reports.
+
+use std::fmt::Display;
+
+/// Prints a markdown-style table row.
+pub fn row<D: Display>(cells: &[D]) {
+    let s: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("| {} |", s.join(" | "));
+}
+
+/// Prints a table header with a separator line.
+pub fn header(cells: &[&str]) {
+    row(cells);
+    let sep: Vec<String> = cells.iter().map(|_| "-".repeat(12)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float in scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}

@@ -1,0 +1,312 @@
+//! The heterogeneous system model of Fig 1: a classical host CPU
+//! delegating kernels to a pool of accelerators.
+//!
+//! "The classical host processor keeps the control over the total system
+//! and delegates the execution of certain parts to the available
+//! accelerators" — including the paper's two new co-processor classes:
+//! the quantum-gate accelerator and the quantum annealer.
+
+use crate::stack::{FullStack, StackError};
+use annealer::{Ising, SampleSet, Sampler};
+use openql::QuantumProgram;
+use qxsim::ShotHistogram;
+use std::fmt;
+
+/// Accelerator classes attached to the host (Fig 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceleratorKind {
+    /// Field-programmable gate array.
+    Fpga,
+    /// Graphics processing unit.
+    Gpu,
+    /// Neural processing unit (e.g. a TPU).
+    Npu,
+    /// Gate-model quantum accelerator.
+    QuantumGate,
+    /// Quantum annealer.
+    QuantumAnnealer,
+}
+
+impl fmt::Display for AcceleratorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AcceleratorKind::Fpga => "fpga",
+            AcceleratorKind::Gpu => "gpu",
+            AcceleratorKind::Npu => "npu",
+            AcceleratorKind::QuantumGate => "quantum-gate",
+            AcceleratorKind::QuantumAnnealer => "quantum-annealer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A computational kernel the host may offload.
+#[derive(Debug, Clone)]
+pub enum KernelPayload {
+    /// A gate-model circuit with a shot budget.
+    GateCircuit {
+        /// The quantum program.
+        program: QuantumProgram,
+        /// Shots to execute.
+        shots: u64,
+    },
+    /// An Ising/QUBO sampling task.
+    Anneal {
+        /// The spin model.
+        ising: Ising,
+        /// Reads to draw.
+        reads: u64,
+    },
+}
+
+/// What an offloaded kernel returned.
+#[derive(Debug, Clone)]
+pub enum KernelResult {
+    /// Measurement histogram from a gate-model run.
+    Histogram(ShotHistogram),
+    /// Sample set from an annealing run.
+    Samples(SampleSet),
+}
+
+/// Something the host can delegate kernels to.
+pub trait Accelerator {
+    /// The accelerator class.
+    fn kind(&self) -> AcceleratorKind;
+    /// Human-readable name.
+    fn name(&self) -> String;
+    /// Whether this accelerator can execute the payload.
+    fn accepts(&self, payload: &KernelPayload) -> bool;
+    /// Executes a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any stack-layer failure.
+    fn execute(&mut self, payload: &KernelPayload) -> Result<KernelResult, StackError>;
+}
+
+/// The gate-model quantum accelerator: a [`FullStack`] behind the
+/// accelerator interface.
+#[derive(Debug, Clone)]
+pub struct QuantumGateAccelerator {
+    stack: FullStack,
+}
+
+impl QuantumGateAccelerator {
+    /// Wraps a configured stack.
+    pub fn new(stack: FullStack) -> Self {
+        QuantumGateAccelerator { stack }
+    }
+}
+
+impl Accelerator for QuantumGateAccelerator {
+    fn kind(&self) -> AcceleratorKind {
+        AcceleratorKind::QuantumGate
+    }
+
+    fn name(&self) -> String {
+        format!("quantum-gate({})", self.stack.platform().name())
+    }
+
+    fn accepts(&self, payload: &KernelPayload) -> bool {
+        match payload {
+            KernelPayload::GateCircuit { program, .. } => {
+                program.qubit_count() <= self.stack.platform().qubit_count()
+            }
+            KernelPayload::Anneal { .. } => false,
+        }
+    }
+
+    fn execute(&mut self, payload: &KernelPayload) -> Result<KernelResult, StackError> {
+        match payload {
+            KernelPayload::GateCircuit { program, shots } => {
+                let run = self.stack.execute(program, *shots)?;
+                Ok(KernelResult::Histogram(run.histogram))
+            }
+            KernelPayload::Anneal { .. } => {
+                unreachable!("host checks accepts() before execute()")
+            }
+        }
+    }
+}
+
+/// The annealing accelerator: any [`Sampler`] behind the interface.
+pub struct QuantumAnnealerAccelerator<S: Sampler> {
+    sampler: S,
+    capacity: usize,
+}
+
+impl<S: Sampler> QuantumAnnealerAccelerator<S> {
+    /// Wraps a sampler with a variable-count capacity.
+    pub fn new(sampler: S, capacity: usize) -> Self {
+        QuantumAnnealerAccelerator { sampler, capacity }
+    }
+}
+
+impl<S: Sampler> Accelerator for QuantumAnnealerAccelerator<S> {
+    fn kind(&self) -> AcceleratorKind {
+        AcceleratorKind::QuantumAnnealer
+    }
+
+    fn name(&self) -> String {
+        format!("quantum-annealer({})", self.sampler.name())
+    }
+
+    fn accepts(&self, payload: &KernelPayload) -> bool {
+        match payload {
+            KernelPayload::Anneal { ising, .. } => ising.len() <= self.capacity,
+            KernelPayload::GateCircuit { .. } => false,
+        }
+    }
+
+    fn execute(&mut self, payload: &KernelPayload) -> Result<KernelResult, StackError> {
+        match payload {
+            KernelPayload::Anneal { ising, reads } => {
+                Ok(KernelResult::Samples(self.sampler.sample(ising, *reads)))
+            }
+            KernelPayload::GateCircuit { .. } => {
+                unreachable!("host checks accepts() before execute()")
+            }
+        }
+    }
+}
+
+/// Errors from the host's delegation logic.
+#[derive(Debug)]
+pub enum OffloadError {
+    /// No attached accelerator accepts the payload.
+    NoAccelerator,
+    /// The chosen accelerator failed.
+    Failed(StackError),
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::NoAccelerator => write!(f, "no accelerator accepts this kernel"),
+            OffloadError::Failed(e) => write!(f, "accelerator failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+/// The classical host CPU controlling the heterogeneous system.
+#[derive(Default)]
+pub struct HostCpu {
+    accelerators: Vec<Box<dyn Accelerator>>,
+}
+
+impl HostCpu {
+    /// A host with no accelerators attached.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an accelerator.
+    pub fn attach(&mut self, accelerator: Box<dyn Accelerator>) -> &mut Self {
+        self.accelerators.push(accelerator);
+        self
+    }
+
+    /// Names and kinds of attached accelerators.
+    pub fn inventory(&self) -> Vec<(AcceleratorKind, String)> {
+        self.accelerators
+            .iter()
+            .map(|a| (a.kind(), a.name()))
+            .collect()
+    }
+
+    /// Delegates a kernel to the first accelerator that accepts it — the
+    /// host "keeps the control over the total system".
+    ///
+    /// # Errors
+    ///
+    /// [`OffloadError::NoAccelerator`] if nothing accepts the payload.
+    pub fn offload(&mut self, payload: &KernelPayload) -> Result<KernelResult, OffloadError> {
+        for acc in &mut self.accelerators {
+            if acc.accepts(payload) {
+                return acc.execute(payload).map_err(OffloadError::Failed);
+            }
+        }
+        Err(OffloadError::NoAccelerator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annealer::SimulatedAnnealer;
+    use openql::Kernel;
+
+    fn bell_payload() -> KernelPayload {
+        let mut k = Kernel::new("bell", 2);
+        k.h(0).cnot(0, 1).measure_all();
+        let mut p = QuantumProgram::new("bell", 2);
+        p.add_kernel(k);
+        KernelPayload::GateCircuit {
+            program: p,
+            shots: 100,
+        }
+    }
+
+    fn chain_payload() -> KernelPayload {
+        let mut m = Ising::new(4);
+        for i in 0..3 {
+            m.add_coupling(i, i + 1, -1.0);
+        }
+        KernelPayload::Anneal { ising: m, reads: 5 }
+    }
+
+    fn host() -> HostCpu {
+        let mut h = HostCpu::new();
+        h.attach(Box::new(QuantumGateAccelerator::new(FullStack::perfect(4))));
+        h.attach(Box::new(QuantumAnnealerAccelerator::new(
+            SimulatedAnnealer::new(),
+            8192,
+        )));
+        h
+    }
+
+    #[test]
+    fn host_routes_gate_kernels_to_gate_accelerator() {
+        let mut h = host();
+        match h.offload(&bell_payload()).unwrap() {
+            KernelResult::Histogram(hist) => {
+                assert_eq!(hist.shots(), 100);
+                assert_eq!(hist.count(0b01) + hist.count(0b10), 0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_routes_anneal_kernels_to_annealer() {
+        let mut h = host();
+        match h.offload(&chain_payload()).unwrap() {
+            KernelResult::Samples(set) => {
+                assert_eq!(set.lowest_energy(), Some(-3.0));
+            }
+            other => panic!("expected samples, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unservable_kernel_is_rejected() {
+        let mut h = HostCpu::new();
+        h.attach(Box::new(QuantumGateAccelerator::new(FullStack::perfect(1))));
+        let err = h.offload(&chain_payload()).unwrap_err();
+        assert!(matches!(err, OffloadError::NoAccelerator));
+        // Also when the circuit is too big for the attached device.
+        let err = h.offload(&bell_payload()).unwrap_err();
+        assert!(matches!(err, OffloadError::NoAccelerator));
+    }
+
+    #[test]
+    fn inventory_lists_all() {
+        let h = host();
+        let inv = h.inventory();
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv[0].0, AcceleratorKind::QuantumGate);
+        assert_eq!(inv[1].0, AcceleratorKind::QuantumAnnealer);
+    }
+}

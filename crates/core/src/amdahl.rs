@@ -1,0 +1,151 @@
+//! Amdahl's-law acceleration model.
+//!
+//! §1 of the paper defines an accelerator as "a co-processor ... capable
+//! of accelerating the execution of specific computational intensive
+//! kernels, as to speed up the overall execution according to Amdahl's
+//! law". This module makes that quantitative backbone explicit, including
+//! the multi-accelerator form matching Fig 1 and a quantum-kernel case
+//! study helper used by experiment E9.
+
+/// Overall speedup when a fraction `f` of the work runs `s` times faster.
+///
+/// # Panics
+///
+/// Panics if `f` is outside `[0, 1]` or `s <= 0`.
+pub fn speedup(f: f64, s: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+    assert!(s > 0.0, "acceleration factor must be positive");
+    1.0 / ((1.0 - f) + f / s)
+}
+
+/// The asymptotic speedup as the accelerator becomes infinitely fast:
+/// `1 / (1 - f)`.
+pub fn speedup_limit(f: f64) -> f64 {
+    assert!((0.0..1.0).contains(&f), "fraction must be in [0, 1)");
+    1.0 / (1.0 - f)
+}
+
+/// Speedup with several accelerators, each taking a disjoint fraction of
+/// the workload (the heterogeneous system of Fig 1).
+///
+/// # Panics
+///
+/// Panics if fractions are negative or sum above 1, or any factor is
+/// non-positive.
+pub fn heterogeneous_speedup(kernels: &[(f64, f64)]) -> f64 {
+    let mut serial = 1.0;
+    let mut accelerated = 0.0;
+    for &(f, s) in kernels {
+        assert!(f >= 0.0, "negative fraction");
+        assert!(s > 0.0, "non-positive factor");
+        serial -= f;
+        accelerated += f / s;
+    }
+    assert!(serial >= -1e-12, "fractions sum above 1");
+    1.0 / (serial.max(0.0) + accelerated)
+}
+
+/// A quantum-kernel case study: a classical workload with one kernel
+/// amenable to quadratic (Grover-style) quantum speedup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantumKernelCase {
+    /// Fraction of total runtime in the searchable kernel.
+    pub kernel_fraction: f64,
+    /// Classical work of the kernel (e.g. items scanned).
+    pub classical_work: f64,
+    /// Quantum overhead factor per query (slower clock, QEC, I/O).
+    pub quantum_overhead: f64,
+}
+
+impl QuantumKernelCase {
+    /// The effective acceleration factor of the quantum kernel:
+    /// `sqrt(work)` fewer queries, divided by the per-query overhead.
+    pub fn kernel_factor(&self) -> f64 {
+        self.classical_work.sqrt() / self.quantum_overhead
+    }
+
+    /// The end-to-end speedup per Amdahl.
+    pub fn end_to_end_speedup(&self) -> f64 {
+        let s = self.kernel_factor();
+        if s <= 1.0 {
+            // Quantum slower than classical: offloading hurts.
+            speedup(self.kernel_fraction, s)
+        } else {
+            speedup(self.kernel_fraction, s)
+        }
+    }
+
+    /// The minimum classical work at which offloading breaks even
+    /// (`kernel_factor == 1`).
+    pub fn break_even_work(&self) -> f64 {
+        self.quantum_overhead * self.quantum_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        assert!((speedup(0.5, 2.0) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((speedup(0.9, 10.0) - 1.0 / 0.19).abs() < 1e-12);
+        assert!((speedup(0.0, 100.0) - 1.0).abs() < 1e-12);
+        assert!((speedup(1.0, 4.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn limit_dominates_any_finite_factor() {
+        for f in [0.1, 0.5, 0.9, 0.99] {
+            assert!(speedup(f, 1e12) <= speedup_limit(f) + 1e-9);
+            assert!(speedup(f, 10.0) < speedup_limit(f));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_reduces_to_single() {
+        let single = speedup(0.6, 8.0);
+        let multi = heterogeneous_speedup(&[(0.6, 8.0)]);
+        assert!((single - multi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_multiple_accelerators() {
+        // 40% on GPU at 10x, 30% on quantum at 100x, 30% serial.
+        let s = heterogeneous_speedup(&[(0.4, 10.0), (0.3, 100.0)]);
+        let expected = 1.0 / (0.3 + 0.04 + 0.003);
+        assert!((s - expected).abs() < 1e-12);
+        assert!(s > 2.5 && s < 3.0);
+    }
+
+    #[test]
+    fn quantum_case_study_break_even() {
+        let case = QuantumKernelCase {
+            kernel_fraction: 0.8,
+            classical_work: 1e4,
+            quantum_overhead: 100.0,
+        };
+        // sqrt(1e4)/100 = 1: exactly break-even.
+        assert!((case.kernel_factor() - 1.0).abs() < 1e-12);
+        assert!((case.end_to_end_speedup() - 1.0).abs() < 1e-12);
+        assert!((case.break_even_work() - 1e4).abs() < 1e-9);
+        // Bigger problems win.
+        let big = QuantumKernelCase {
+            classical_work: 1e10,
+            ..case
+        };
+        assert!(big.end_to_end_speedup() > 4.0);
+        // Smaller problems lose.
+        let small = QuantumKernelCase {
+            classical_work: 100.0,
+            ..case
+        };
+        assert!(small.end_to_end_speedup() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_fraction() {
+        let _ = speedup(1.5, 2.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # qca-core — the full-stack quantum accelerator architecture
+//!
+//! The top-level crate of this reproduction of Bertels et al., *"Quantum
+//! Computer Architecture: Towards Full-Stack Quantum Accelerators"* (DATE
+//! 2020). The paper's contribution is an *architecture*: a quantum
+//! computer is a co-processor behind a classical host, built as a full
+//! stack of layers. This crate wires the layer crates together:
+//!
+//! | Layer | Crate |
+//! |-------|-------|
+//! | Application / accelerator logic | [`qgs`], [`optim`] |
+//! | Quantum language + compiler | [`openql`] |
+//! | Common assembly | [`cqasm`] |
+//! | Executable assembly + micro-architecture | [`eqasm`] |
+//! | Simulator (perfect/realistic/real qubits) | [`qxsim`] |
+//! | Error correction substrate | [`qec`] |
+//! | Annealing substrate | [`annealer`] |
+//!
+//! and adds the architecture-level pieces:
+//!
+//! - [`QubitKind`] — the real / realistic / perfect qubit taxonomy (§2.1);
+//! - [`FullStack`] — application → OpenQL → cQASM → (QX | eQASM →
+//!   micro-architecture) execution (Fig 2/3);
+//! - [`HostCpu`] + [`Accelerator`] — the heterogeneous system of Fig 1;
+//! - [`amdahl`] — the acceleration model;
+//! - [`rb`] — the randomised-benchmarking workloads of §3.1;
+//! - [`runtime`] — in-accelerator measurement aggregation (§3.2).
+//!
+//! # Example: the same Bell program on two stacks
+//!
+//! ```
+//! use openql::{Kernel, QuantumProgram};
+//! use qca_core::{ExecutionBackend, FullStack, QubitKind};
+//!
+//! # fn main() -> Result<(), qca_core::StackError> {
+//! let mut k = Kernel::new("bell", 2);
+//! k.h(0).cnot(0, 1).measure_all();
+//! let mut program = QuantumProgram::new("demo", 2);
+//! program.add_kernel(k);
+//!
+//! // Application development: perfect qubits, QX simulator.
+//! let dev = FullStack::perfect(2).execute(&program, 100)?;
+//! assert_eq!(dev.histogram.count(0b01) + dev.histogram.count(0b10), 0);
+//!
+//! // Experimental control: eQASM micro-architecture with pulse trace.
+//! let lab = FullStack::superconducting(1, 2)
+//!     .with_qubits(QubitKind::Perfect)
+//!     .execute(&program, 10)?;
+//! assert!(lab.pulses.expect("pulse trace").len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accelerator;
+pub mod amdahl;
+pub mod qubits;
+pub mod rb;
+pub mod runtime;
+pub mod shor;
+pub mod stack;
+pub mod tomography;
+
+pub use accelerator::{
+    Accelerator, AcceleratorKind, HostCpu, KernelPayload, KernelResult, OffloadError,
+    QuantumAnnealerAccelerator, QuantumGateAccelerator,
+};
+pub use qubits::QubitKind;
+pub use stack::{ExecutionBackend, FullStack, StackError, StackRun};
+pub use tomography::{BlochVector, tomography_qubit};

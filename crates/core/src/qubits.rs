@@ -1,0 +1,131 @@
+//! The paper's central taxonomy: **real**, **realistic** and **perfect**
+//! qubits (§2.1).
+//!
+//! - *Perfect* qubits never decohere and execute gates exactly — offered
+//!   to application developers so they can "focus their reasoning on the
+//!   quantum logic".
+//! - *Realistic* qubits carry configurable error models — the vehicle for
+//!   studying "the impact of realistic error models, better error-rates
+//!   and longer coherence times".
+//! - *Real* qubits are experimental devices; in this stack they are
+//!   realistic models instantiated from published calibration data.
+
+use qxsim::QubitModel;
+
+/// Which qubits the stack simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum QubitKind {
+    /// No decoherence, no gate errors (application development).
+    #[default]
+    Perfect,
+    /// Parameterised error model.
+    Realistic {
+        /// Single-qubit gate depolarizing probability.
+        p1: f64,
+        /// Two-qubit gate depolarizing probability (per operand).
+        p2: f64,
+        /// Readout flip probability.
+        readout: f64,
+    },
+    /// Calibration-derived model of an experimental device.
+    Real {
+        /// Single-qubit gate error.
+        p1: f64,
+        /// Two-qubit gate error.
+        p2: f64,
+        /// Readout flip probability.
+        readout: f64,
+        /// Energy-relaxation time in microseconds.
+        t1_us: f64,
+        /// Cycle/gate time in nanoseconds.
+        gate_ns: f64,
+    },
+}
+
+impl QubitKind {
+    /// Today's NISQ numbers as quoted in the paper (§2.4: operation error
+    /// rates around 0.1–1%, coherence in the tens of microseconds).
+    pub fn realistic_today() -> Self {
+        QubitKind::Realistic {
+            p1: 1e-3,
+            p2: 1e-2,
+            readout: 2e-2,
+        }
+    }
+
+    /// The improved regime the paper says must be understood
+    /// (§2.7: error rates of 1e-5 / 1e-6).
+    pub fn realistic_future() -> Self {
+        QubitKind::Realistic {
+            p1: 1e-6,
+            p2: 1e-5,
+            readout: 1e-4,
+        }
+    }
+
+    /// A transmon-flavoured real-qubit model (0.1% single-qubit error,
+    /// 1% two-qubit, 20 us T1, 20 ns cycle — the superconducting numbers
+    /// cited in §2.4).
+    pub fn real_transmon() -> Self {
+        QubitKind::Real {
+            p1: 1e-3,
+            p2: 1e-2,
+            readout: 2e-2,
+            t1_us: 20.0,
+            gate_ns: 20.0,
+        }
+    }
+
+    /// Lowers the taxonomy entry to a simulator error model.
+    pub fn to_model(self) -> QubitModel {
+        match self {
+            QubitKind::Perfect => QubitModel::Perfect,
+            QubitKind::Realistic { p1, p2, readout } => {
+                QubitModel::realistic_depolarizing(p1, p2, readout)
+            }
+            QubitKind::Real {
+                p1,
+                p2,
+                readout,
+                t1_us,
+                gate_ns,
+            } => QubitModel::real_from_rates(p1, p2, readout, t1_us, gate_ns),
+        }
+    }
+
+    /// Whether this kind introduces noise.
+    pub fn is_noisy(self) -> bool {
+        !matches!(self, QubitKind::Perfect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_lowered_to_noise_free_model() {
+        let m = QubitKind::Perfect.to_model();
+        assert!(!m.is_noisy());
+        assert!(!QubitKind::Perfect.is_noisy());
+    }
+
+    #[test]
+    fn realistic_presets_are_ordered() {
+        let today = QubitKind::realistic_today();
+        let future = QubitKind::realistic_future();
+        let (QubitKind::Realistic { p2: pt, .. }, QubitKind::Realistic { p2: pf, .. }) =
+            (today, future)
+        else {
+            panic!("presets must be realistic")
+        };
+        assert!(pf < pt / 100.0, "future errors should be >=100x better");
+    }
+
+    #[test]
+    fn real_model_carries_idle_decay() {
+        let m = QubitKind::real_transmon().to_model();
+        assert!(m.is_noisy());
+        assert!(!m.idle_channel().is_none(), "real qubits decay while idle");
+    }
+}

@@ -1,0 +1,234 @@
+//! Randomised benchmarking (RB) workloads.
+//!
+//! §3.1 of the paper: "we have been focusing on randomised bench-marking
+//! experiments for one or two qubits which was written in OpenQL" — the
+//! canonical workload for the experimental superconducting stack. This
+//! module generates:
+//!
+//! - standard single-qubit Clifford RB sequences (random Cliffords plus
+//!   the exact recovery Clifford, so the ideal circuit is the identity);
+//! - two-qubit motion-reversal (echo) sequences: a random entangling
+//!   circuit followed by its exact inverse.
+//!
+//! Under noise, the survival probability (returning to `|0...0>`) decays
+//! with sequence length; the decay rate measures the average gate error.
+
+use cqasm::GateKind;
+use cqasm::math::Mat2;
+use openql::{Kernel, QuantumProgram};
+use rand::Rng;
+
+/// The 24-element single-qubit Clifford group with gate realisations.
+#[derive(Debug, Clone)]
+pub struct CliffordTable {
+    elements: Vec<(Mat2, Vec<GateKind>)>,
+}
+
+impl CliffordTable {
+    /// Builds the group by closing `{H, S}` under multiplication.
+    pub fn single_qubit() -> Self {
+        let gens = [GateKind::H, GateKind::S];
+        let mut elements: Vec<(Mat2, Vec<GateKind>)> = vec![(Mat2::identity(), Vec::new())];
+        let mut frontier = elements.clone();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for (mat, seq) in &frontier {
+                for g in gens {
+                    let gm = match g.unitary() {
+                        cqasm::GateUnitary::One(m) => m,
+                        _ => unreachable!("generators are single-qubit"),
+                    };
+                    // Appending gate g to the circuit multiplies on the left.
+                    let prod = gm.matmul(mat);
+                    if !elements
+                        .iter()
+                        .any(|(m, _)| m.approx_eq_up_to_phase(&prod))
+                    {
+                        let mut s = seq.clone();
+                        s.push(g);
+                        elements.push((prod, s.clone()));
+                        next.push((prod, s));
+                    }
+                }
+            }
+            frontier = next;
+        }
+        CliffordTable { elements }
+    }
+
+    /// Number of group elements (24).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the table is empty (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The gate sequence realising element `idx`.
+    pub fn sequence(&self, idx: usize) -> &[GateKind] {
+        &self.elements[idx].1
+    }
+
+    /// The unitary of element `idx`.
+    pub fn unitary(&self, idx: usize) -> &Mat2 {
+        &self.elements[idx].0
+    }
+
+    /// Index of the element inverting `net` (up to global phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a Clifford (cannot happen for products of
+    /// table elements).
+    pub fn inverse_of(&self, net: &Mat2) -> usize {
+        let inv = net.dagger();
+        self.elements
+            .iter()
+            .position(|(m, _)| m.approx_eq_up_to_phase(&inv))
+            .expect("net unitary must be a Clifford")
+    }
+}
+
+/// Builds a single-qubit RB program: `length` random Cliffords, the
+/// recovery Clifford, and a measurement. The ideal outcome is always 0.
+pub fn single_qubit_rb<R: Rng + ?Sized>(
+    table: &CliffordTable,
+    length: usize,
+    rng: &mut R,
+) -> QuantumProgram {
+    let mut kernel = Kernel::new(format!("rb_m{length}"), 1);
+    let mut net = Mat2::identity();
+    for _ in 0..length {
+        let idx = rng.gen_range(0..table.len());
+        for &g in table.sequence(idx) {
+            kernel.gate(g, &[0]);
+        }
+        net = table.unitary(idx).matmul(&net);
+    }
+    let rec = table.inverse_of(&net);
+    for &g in table.sequence(rec) {
+        kernel.gate(g, &[0]);
+    }
+    kernel.measure(0);
+    let mut p = QuantumProgram::new(format!("rb_m{length}"), 1);
+    p.add_kernel(kernel);
+    p
+}
+
+/// Builds a two-qubit motion-reversal (echo) program: `length` layers of
+/// random single-qubit gates plus a CZ, followed by the exact inverse.
+/// The ideal outcome is always `|00>`.
+pub fn two_qubit_echo<R: Rng + ?Sized>(length: usize, rng: &mut R) -> QuantumProgram {
+    let pool = [
+        GateKind::H,
+        GateKind::S,
+        GateKind::Sdag,
+        GateKind::T,
+        GateKind::Tdag,
+        GateKind::X,
+        GateKind::Y,
+    ];
+    let mut forward = Kernel::new("echo_fwd", 2);
+    for _ in 0..length {
+        for q in 0..2 {
+            let g = pool[rng.gen_range(0..pool.len())];
+            forward.gate(g, &[q]);
+        }
+        forward.cz(0, 1);
+    }
+    let mut kernel = Kernel::new(format!("echo_m{length}"), 2);
+    for ins in forward.instructions() {
+        kernel.instruction(ins.clone());
+    }
+    kernel.append_inverse_of(&forward);
+    kernel.measure_all();
+    let mut p = QuantumProgram::new(format!("echo_m{length}"), 2);
+    p.add_kernel(kernel);
+    p
+}
+
+/// The survival probability: fraction of shots returning all-zero bits.
+pub fn survival_probability(hist: &qxsim::ShotHistogram) -> f64 {
+    hist.probability(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxsim::{QubitModel, Simulator};
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn clifford_group_has_24_elements() {
+        let t = CliffordTable::single_qubit();
+        assert_eq!(t.len(), 24);
+    }
+
+    #[test]
+    fn every_element_has_an_inverse_in_the_table() {
+        let t = CliffordTable::single_qubit();
+        for i in 0..t.len() {
+            let inv = t.inverse_of(t.unitary(i));
+            let prod = t.unitary(inv).matmul(t.unitary(i));
+            assert!(
+                prod.approx_eq_up_to_phase(&Mat2::identity()),
+                "element {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rb_sequences_are_identity_on_perfect_qubits() {
+        let t = CliffordTable::single_qubit();
+        let mut rng = StdRng::seed_from_u64(51);
+        for length in [1usize, 5, 20] {
+            let p = single_qubit_rb(&t, length, &mut rng);
+            let hist = Simulator::perfect()
+                .run_shots(&p.to_cqasm(), 100)
+                .unwrap();
+            assert_eq!(
+                survival_probability(&hist),
+                1.0,
+                "length {length} not identity"
+            );
+        }
+    }
+
+    #[test]
+    fn echo_sequences_are_identity_on_perfect_qubits() {
+        let mut rng = StdRng::seed_from_u64(52);
+        for length in [1usize, 4, 10] {
+            let p = two_qubit_echo(length, &mut rng);
+            let hist = Simulator::perfect()
+                .run_shots(&p.to_cqasm(), 100)
+                .unwrap();
+            assert_eq!(survival_probability(&hist), 1.0, "length {length}");
+        }
+    }
+
+    #[test]
+    fn survival_decays_with_length_under_noise() {
+        let t = CliffordTable::single_qubit();
+        let mut rng = StdRng::seed_from_u64(53);
+        let noisy =
+            Simulator::with_model(QubitModel::realistic_depolarizing(0.02, 0.0, 0.0));
+        let mut survival = Vec::new();
+        for length in [2usize, 16, 64] {
+            // Average over several random sequences.
+            let mut acc = 0.0;
+            for _ in 0..4 {
+                let p = single_qubit_rb(&t, length, &mut rng);
+                let hist = noisy.run_shots(&p.to_cqasm(), 150).unwrap();
+                acc += survival_probability(&hist);
+            }
+            survival.push(acc / 4.0);
+        }
+        assert!(
+            survival[0] > survival[2] + 0.1,
+            "survival should decay: {survival:?}"
+        );
+    }
+}

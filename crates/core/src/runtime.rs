@@ -1,0 +1,113 @@
+//! Run-time support: in-accelerator measurement aggregation.
+//!
+//! §3.2 of the paper: "since most quantum algorithms expect a statistical
+//! central tendency over multiple measurements, the expected probability
+//! of the solution state can be calculated inside the quantum accelerator
+//! itself, aggregating the measurements over multiple runs" — avoiding a
+//! host round-trip per shot. This module is that aggregation layer.
+
+use qxsim::ShotHistogram;
+
+/// Aggregated statistics over a measurement histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateReport {
+    /// Total shots aggregated.
+    pub shots: u64,
+    /// Expected value of the user's observable.
+    pub expectation: f64,
+    /// Standard error of the mean estimate.
+    pub standard_error: f64,
+}
+
+/// Computes the expectation of `observable(bits)` over a histogram,
+/// entirely "inside the accelerator".
+pub fn aggregate_expectation<F: Fn(u64) -> f64>(
+    hist: &ShotHistogram,
+    observable: F,
+) -> AggregateReport {
+    let shots = hist.shots();
+    if shots == 0 {
+        return AggregateReport {
+            shots: 0,
+            expectation: 0.0,
+            standard_error: 0.0,
+        };
+    }
+    let mut mean = 0.0;
+    let mut mean_sq = 0.0;
+    for (bits, count) in hist.iter() {
+        let v = observable(bits);
+        let w = count as f64 / shots as f64;
+        mean += w * v;
+        mean_sq += w * v * v;
+    }
+    let var = (mean_sq - mean * mean).max(0.0);
+    AggregateReport {
+        shots,
+        expectation: mean,
+        standard_error: (var / shots as f64).sqrt(),
+    }
+}
+
+/// The empirical probability that the measured bits satisfy `pred`
+/// (e.g. "is the solution state").
+pub fn success_probability<F: Fn(u64) -> bool>(hist: &ShotHistogram, pred: F) -> f64 {
+    if hist.shots() == 0 {
+        return 0.0;
+    }
+    let hits: u64 = hist
+        .iter()
+        .filter(|(bits, _)| pred(*bits))
+        .map(|(_, c)| c)
+        .sum();
+    hits as f64 / hist.shots() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> ShotHistogram {
+        // 60 x 0b00, 40 x 0b11.
+        let mut h = ShotHistogram::new();
+        for _ in 0..60 {
+            h.record(0b00);
+        }
+        for _ in 0..40 {
+            h.record(0b11);
+        }
+        h
+    }
+
+    #[test]
+    fn expectation_of_parity() {
+        let r = aggregate_expectation(&hist(), |b| if b.count_ones() % 2 == 0 { 1.0 } else { -1.0 });
+        // Both outcomes have even parity.
+        assert!((r.expectation - 1.0).abs() < 1e-12);
+        assert!(r.standard_error < 1e-12);
+        assert_eq!(r.shots, 100);
+    }
+
+    #[test]
+    fn expectation_of_ones_count() {
+        let r = aggregate_expectation(&hist(), |b| b.count_ones() as f64);
+        assert!((r.expectation - 0.8).abs() < 1e-12);
+        assert!(r.standard_error > 0.0);
+    }
+
+    #[test]
+    fn success_probability_counts_predicate() {
+        let p = success_probability(&hist(), |b| b == 0b11);
+        assert!((p - 0.4).abs() < 1e-12);
+        assert_eq!(success_probability(&hist(), |_| false), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = ShotHistogram::new();
+        let r = aggregate_expectation(&h, |b| b as f64);
+        assert_eq!(r.shots, 0);
+        assert_eq!(r.expectation, 0.0);
+        assert_eq!(success_probability(&h, |_| true), 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Shor's algorithm: quantum period finding for integer factoring.
+//!
+//! §2.3 of the paper: "the cryptography domain is a clear candidate as
+//! algorithms such as Shor's factorisation showed that potentially a
+//! quantum computer can break any RSA-based encryption, as it leads to
+//! finding the prime factors of the public key". This module implements
+//! the full pipeline:
+//!
+//! 1. classically reduce factoring to order finding;
+//! 2. quantum order finding: a `t`-qubit counting register in uniform
+//!    superposition, controlled modular multiplications
+//!    `|y> -> |a^{2^k} y mod N>` (applied as permutation unitaries),
+//!    inverse QFT, measure;
+//! 3. continued-fraction post-processing to extract the order `r`;
+//! 4. `gcd(a^{r/2} ± 1, N)` yields the factors.
+
+use cqasm::GateKind;
+use qxsim::StateVector;
+use rand::Rng;
+
+/// Greatest common divisor.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+/// Modular exponentiation `base^exp mod modulus`.
+pub fn mod_pow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// The convergents `s/r` of the continued-fraction expansion of
+/// `y / 2^t`, with denominators capped at `max_denominator`.
+pub fn convergents(y: u64, t_bits: u32, max_denominator: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut num = y;
+    let mut den = 1u64 << t_bits;
+    // Continued fraction coefficients.
+    let (mut p0, mut p1) = (0u64, 1u64);
+    let (mut q0, mut q1) = (1u64, 0u64);
+    while den != 0 {
+        let a = num / den;
+        let p2 = a.saturating_mul(p1).saturating_add(p0);
+        let q2 = a.saturating_mul(q1).saturating_add(q0);
+        if q2 > max_denominator {
+            break;
+        }
+        out.push((p2, q2));
+        let rem = num % den;
+        num = den;
+        den = rem;
+        p0 = p1;
+        p1 = p2;
+        q0 = q1;
+        q1 = q2;
+    }
+    out
+}
+
+/// One quantum order-finding run: returns the measured counting value
+/// `y` (an approximation of `s/r * 2^t`).
+///
+/// Register layout: work register in bits `0..m` (initialised to `|1>`),
+/// counting register in bits `m..m+t`.
+///
+/// # Panics
+///
+/// Panics if the registers would exceed the simulable range or
+/// `gcd(a, n) != 1`.
+pub fn order_finding_measurement<R: Rng + ?Sized>(
+    a: u64,
+    n: u64,
+    t_bits: u32,
+    rng: &mut R,
+) -> u64 {
+    assert!(gcd(a, n) == 1, "a and n must be coprime");
+    let m = 64 - (n - 1).leading_zeros(); // work bits
+    let total = m + t_bits;
+    assert!(total <= 22, "register of {total} qubits too large");
+    let m = m as usize;
+    let t = t_bits as usize;
+    let work_mask = (1u64 << m) - 1;
+
+    let mut state = StateVector::basis_state(m + t, 1); // work = |1>
+    for k in 0..t {
+        state.apply_gate(&GateKind::H, &[m + k]);
+    }
+    // Controlled multiplications: counting bit k controls *= a^{2^k}.
+    for k in 0..t {
+        let factor = mod_pow(a, 1 << k, n);
+        let control = 1u64 << (m + k);
+        state.apply_permutation(|b| {
+            if b & control == 0 {
+                return b;
+            }
+            let y = b & work_mask;
+            if y >= n {
+                return b; // outside the modular domain: identity
+            }
+            let y2 = y * factor % n;
+            (b & !work_mask) | y2
+        });
+    }
+    // Inverse QFT on the counting register (LSB-first at bit m).
+    for i in 0..t / 2 {
+        state.apply_gate(&GateKind::Swap, &[m + i, m + t - 1 - i]);
+    }
+    for i in 0..t {
+        for j in 0..i {
+            let kk = (i - j + 1) as u32;
+            let angle = -(2.0 * std::f64::consts::PI) / (1u64 << kk) as f64;
+            state.apply_gate(&GateKind::Cr(angle), &[m + j, m + i]);
+        }
+        state.apply_gate(&GateKind::H, &[m + i]);
+    }
+    // Measure the counting register.
+    let basis = state.sample_all(rng);
+    (basis >> m) & ((1 << t) - 1)
+}
+
+/// Finds the multiplicative order of `a` mod `n` by repeated quantum
+/// measurements and continued fractions. Returns `None` if no attempt
+/// produces the order.
+pub fn find_order<R: Rng + ?Sized>(
+    a: u64,
+    n: u64,
+    t_bits: u32,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<u64> {
+    for _ in 0..attempts {
+        let y = order_finding_measurement(a, n, t_bits, rng);
+        if y == 0 {
+            continue;
+        }
+        for (_, r) in convergents(y, t_bits, n) {
+            if r > 0 && mod_pow(a, r, n) == 1 {
+                return Some(r);
+            }
+        }
+    }
+    None
+}
+
+/// A successful factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Factorization {
+    /// The base whose order was found.
+    pub a: u64,
+    /// The measured order.
+    pub order: u64,
+    /// The two non-trivial factors (p <= q, p * q == n).
+    pub factors: (u64, u64),
+}
+
+/// Factors an odd composite `n` with Shor's algorithm (quantum order
+/// finding on the simulator + classical post-processing).
+///
+/// Returns `None` if all attempts fail (probabilistic algorithm).
+///
+/// # Panics
+///
+/// Panics if `n < 4` or the required registers exceed the simulator
+/// range (n up to ~45 with the default `t = 2 * bits(n)`).
+pub fn shor_factor<R: Rng + ?Sized>(n: u64, attempts: usize, rng: &mut R) -> Option<Factorization> {
+    assert!(n >= 4, "n too small");
+    let bits = 64 - (n - 1).leading_zeros();
+    let t_bits = 2 * bits;
+    for _ in 0..attempts {
+        let a = rng.gen_range(2..n);
+        let g = gcd(a, n);
+        if g != 1 {
+            // Lucky classical factor.
+            return Some(Factorization {
+                a,
+                order: 0,
+                factors: order_factors(g, n / g),
+            });
+        }
+        let Some(r) = find_order(a, n, t_bits, 3, rng) else {
+            continue;
+        };
+        if r % 2 != 0 {
+            continue;
+        }
+        let x = mod_pow(a, r / 2, n);
+        if x == n - 1 {
+            continue; // trivial root
+        }
+        let p = gcd(x + 1, n);
+        let q = gcd(x + n - 1, n);
+        for f in [p, q] {
+            if f != 1 && f != n {
+                return Some(Factorization {
+                    a,
+                    order: r,
+                    factors: order_factors(f, n / f),
+                });
+            }
+        }
+    }
+    None
+}
+
+fn order_factors(a: u64, b: u64) -> (u64, u64) {
+    (a.min(b), a.max(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn gcd_and_mod_pow() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(mod_pow(7, 4, 15), 1); // order of 7 mod 15 is 4
+        assert_eq!(mod_pow(2, 10, 1000), 24);
+    }
+
+    #[test]
+    fn convergents_of_known_fraction() {
+        // y/2^t = 192/256 = 3/4: convergents include (3, 4).
+        let c = convergents(192, 8, 20);
+        assert!(c.contains(&(3, 4)), "{c:?}");
+        // 85/256 ~ 1/3.
+        let c = convergents(85, 8, 20);
+        assert!(c.iter().any(|&(_, q)| q == 3), "{c:?}");
+    }
+
+    #[test]
+    fn order_finding_peaks_at_multiples_of_n_over_r() {
+        // a = 7, N = 15: order 4. With t = 8, measurement concentrates on
+        // multiples of 256/4 = 64.
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut on_peak = 0;
+        let runs = 40;
+        for _ in 0..runs {
+            let y = order_finding_measurement(7, 15, 8, &mut rng);
+            if y % 64 == 0 {
+                on_peak += 1;
+            }
+        }
+        assert!(on_peak > runs * 8 / 10, "only {on_peak}/{runs} on peaks");
+    }
+
+    #[test]
+    fn finds_the_order_of_7_mod_15() {
+        let mut rng = StdRng::seed_from_u64(16);
+        assert_eq!(find_order(7, 15, 8, 5, &mut rng), Some(4));
+    }
+
+    #[test]
+    fn finds_the_order_of_2_mod_15() {
+        let mut rng = StdRng::seed_from_u64(17);
+        assert_eq!(find_order(2, 15, 8, 5, &mut rng), Some(4));
+    }
+
+    #[test]
+    fn factors_fifteen() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let f = shor_factor(15, 10, &mut rng).expect("15 factors");
+        assert_eq!(f.factors, (3, 5));
+    }
+
+    #[test]
+    fn factors_twenty_one() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let f = shor_factor(21, 10, &mut rng).expect("21 factors");
+        assert_eq!(f.factors, (3, 7));
+    }
+
+    #[test]
+    fn rejects_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shor_factor(3, 1, &mut rng)
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! The full stack itself: application → OpenQL → cQASM → (QX | eQASM →
+//! micro-architecture → device).
+//!
+//! This module realises Fig 2 and Fig 3 of the paper: the same layered
+//! stack instantiated either with **perfect qubits on the QX simulator**
+//! (application development) or with **real/realistic qubits behind the
+//! eQASM micro-architecture** (experimental control), selected purely by
+//! configuration.
+
+use crate::qubits::QubitKind;
+use cqasm::Program;
+use eqasm::{
+    EqasmProgram, ExecError, MicroArchitecture, PulseEvent, QxDevice, TranslateError, translate,
+};
+use openql::{CompileError, CompileReport, Compiler, CompilerOptions, Mapping, Platform, QuantumProgram};
+use qxsim::{ExecuteError, ShotHistogram, Simulator};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Where compiled programs execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionBackend {
+    /// Directly on the QX simulator (Fig 2b).
+    #[default]
+    QxSimulator,
+    /// Through eQASM and the cycle-accurate micro-architecture, which
+    /// drives a QX-backed quantum device (Fig 2a / Fig 6).
+    MicroArchitecture,
+}
+
+/// Errors from any stack layer.
+#[derive(Debug)]
+pub enum StackError {
+    /// Compiler failure.
+    Compile(CompileError),
+    /// Backend (cQASM→eQASM) failure.
+    Translate(TranslateError),
+    /// Micro-architecture runtime failure.
+    Execute(ExecError),
+    /// Simulator failure.
+    Simulate(ExecuteError),
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::Compile(e) => write!(f, "compile: {e}"),
+            StackError::Translate(e) => write!(f, "translate: {e}"),
+            StackError::Execute(e) => write!(f, "execute: {e}"),
+            StackError::Simulate(e) => write!(f, "simulate: {e}"),
+        }
+    }
+}
+
+impl StdError for StackError {}
+
+impl From<CompileError> for StackError {
+    fn from(e: CompileError) -> Self {
+        StackError::Compile(e)
+    }
+}
+impl From<TranslateError> for StackError {
+    fn from(e: TranslateError) -> Self {
+        StackError::Translate(e)
+    }
+}
+impl From<ExecError> for StackError {
+    fn from(e: ExecError) -> Self {
+        StackError::Execute(e)
+    }
+}
+impl From<ExecuteError> for StackError {
+    fn from(e: ExecuteError) -> Self {
+        StackError::Simulate(e)
+    }
+}
+
+/// Everything one stack execution produced.
+#[derive(Debug, Clone)]
+pub struct StackRun {
+    /// Compiler report (gate counts, SWAPs, latency).
+    pub compile: CompileReport,
+    /// The emitted cQASM.
+    pub cqasm: Program,
+    /// The eQASM stream (micro-architecture backend only).
+    pub eqasm: Option<EqasmProgram>,
+    /// Aggregated measurement histogram over all shots.
+    pub histogram: ShotHistogram,
+    /// The pulse trace of the first shot (micro-architecture backend).
+    pub pulses: Option<Vec<PulseEvent>>,
+    /// Wall-clock quantum time of one shot in nanoseconds
+    /// (micro-architecture backend).
+    pub shot_time_ns: Option<u64>,
+    /// Final logical→physical mapping, if the program was routed.
+    pub final_mapping: Option<Mapping>,
+}
+
+/// A configured full-stack quantum accelerator.
+///
+/// # Example
+///
+/// ```
+/// use openql::{Kernel, QuantumProgram};
+/// use qca_core::{FullStack, QubitKind};
+///
+/// # fn main() -> Result<(), qca_core::StackError> {
+/// let mut k = Kernel::new("bell", 2);
+/// k.h(0).cnot(0, 1).measure_all();
+/// let mut program = QuantumProgram::new("demo", 2);
+/// program.add_kernel(k);
+///
+/// // Perfect qubits on the simulator: application development mode.
+/// let stack = FullStack::perfect(2);
+/// let run = stack.execute(&program, 100)?;
+/// assert_eq!(run.histogram.count(0b01) + run.histogram.count(0b10), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullStack {
+    platform: Platform,
+    qubits: QubitKind,
+    backend: ExecutionBackend,
+    microarch: MicroArchitecture,
+    options: CompilerOptions,
+    seed: u64,
+}
+
+impl FullStack {
+    /// Perfect qubits, fully connected, QX backend — the application
+    /// developer's stack (Fig 2b).
+    pub fn perfect(qubit_count: usize) -> Self {
+        FullStack {
+            platform: Platform::perfect(qubit_count),
+            qubits: QubitKind::Perfect,
+            backend: ExecutionBackend::QxSimulator,
+            microarch: MicroArchitecture::superconducting(),
+            options: CompilerOptions::default(),
+            seed: 0x57AC,
+        }
+    }
+
+    /// The experimental superconducting stack (Fig 2a / Fig 6): grid
+    /// topology, CZ-basis gates, eQASM micro-architecture, real-qubit
+    /// noise model.
+    pub fn superconducting(rows: usize, cols: usize) -> Self {
+        FullStack {
+            platform: Platform::superconducting_grid(rows, cols),
+            qubits: QubitKind::real_transmon(),
+            backend: ExecutionBackend::MicroArchitecture,
+            microarch: MicroArchitecture::superconducting(),
+            options: CompilerOptions::default(),
+            seed: 0x57AC,
+        }
+    }
+
+    /// The semiconducting (spin-qubit) retarget of the same stack:
+    /// identical architecture, different configuration and micro-code.
+    pub fn semiconducting(qubit_count: usize) -> Self {
+        FullStack {
+            platform: Platform::semiconducting_linear(qubit_count),
+            qubits: QubitKind::Real {
+                p1: 2e-3,
+                p2: 2e-2,
+                readout: 3e-2,
+                t1_us: 100.0,
+                gate_ns: 40.0,
+            },
+            backend: ExecutionBackend::MicroArchitecture,
+            microarch: MicroArchitecture::semiconducting(),
+            options: CompilerOptions::default(),
+            seed: 0x57AC,
+        }
+    }
+
+    /// Overrides the qubit kind (e.g. run the experimental platform with
+    /// perfect qubits to isolate control-path effects).
+    pub fn with_qubits(mut self, qubits: QubitKind) -> Self {
+        self.qubits = qubits;
+        self
+    }
+
+    /// Overrides the execution backend.
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the compiler options (e.g. ALAP scheduling to shorten
+    /// idle windows before measurement, per §2.6).
+    pub fn with_compiler_options(mut self, options: CompilerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The compile platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The configured qubit kind.
+    pub fn qubits(&self) -> QubitKind {
+        self.qubits
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> ExecutionBackend {
+        self.backend
+    }
+
+    /// Executes an OpenQL program through the full stack.
+    ///
+    /// # Errors
+    ///
+    /// Any layer may fail; see [`StackError`].
+    pub fn execute(&self, program: &QuantumProgram, shots: u64) -> Result<StackRun, StackError> {
+        let compiled =
+            Compiler::with_options(self.platform.clone(), self.options).compile(program)?;
+        match self.backend {
+            ExecutionBackend::QxSimulator => {
+                let sim = Simulator::with_model(self.qubits.to_model()).with_seed(self.seed);
+                let histogram = sim.run_shots(&compiled.program, shots)?;
+                Ok(StackRun {
+                    compile: compiled.report,
+                    cqasm: compiled.program,
+                    eqasm: None,
+                    histogram,
+                    pulses: None,
+                    shot_time_ns: None,
+                    final_mapping: compiled.final_mapping,
+                })
+            }
+            ExecutionBackend::MicroArchitecture => {
+                let eq = translate(&compiled.schedule)?;
+                let mut histogram = ShotHistogram::new();
+                let mut pulses = None;
+                let mut shot_time = None;
+                let n = compiled.program.qubit_count();
+                for shot in 0..shots {
+                    let mut device =
+                        QxDevice::with_model(n, self.qubits.to_model(), self.seed ^ shot);
+                    let trace = self.microarch.execute(&eq, &mut device)?;
+                    histogram.record(trace.measurements);
+                    if shot == 0 {
+                        shot_time = Some(trace.total_time_ns);
+                        pulses = Some(trace.pulses);
+                    }
+                }
+                Ok(StackRun {
+                    compile: compiled.report,
+                    cqasm: compiled.program,
+                    eqasm: Some(eq),
+                    histogram,
+                    pulses,
+                    shot_time_ns: shot_time,
+                    final_mapping: compiled.final_mapping,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openql::Kernel;
+
+    fn bell() -> QuantumProgram {
+        let mut k = Kernel::new("bell", 2);
+        k.h(0).cnot(0, 1).measure_all();
+        let mut p = QuantumProgram::new("bell", 2);
+        p.add_kernel(k);
+        p
+    }
+
+    #[test]
+    fn perfect_stack_runs_bell() {
+        let run = FullStack::perfect(2).execute(&bell(), 200).unwrap();
+        assert_eq!(run.histogram.count(0b01) + run.histogram.count(0b10), 0);
+        assert!(run.eqasm.is_none());
+        assert!(run.pulses.is_none());
+    }
+
+    #[test]
+    fn superconducting_stack_produces_pulses_and_time() {
+        let stack = FullStack::superconducting(1, 2).with_qubits(QubitKind::Perfect);
+        let run = stack.execute(&bell(), 50).unwrap();
+        let pulses = run.pulses.expect("microarch records pulses");
+        assert!(!pulses.is_empty());
+        assert!(run.shot_time_ns.expect("timed") > 0);
+        assert!(run.eqasm.is_some());
+        // Perfect qubits through the control path keep Bell correlations.
+        assert_eq!(run.histogram.count(0b01) + run.histogram.count(0b10), 0);
+    }
+
+    #[test]
+    fn noisy_stack_pollutes_histogram() {
+        let stack = FullStack::superconducting(1, 2); // real transmon noise
+        let run = stack.execute(&bell(), 400).unwrap();
+        let bad = run.histogram.count(0b01) + run.histogram.count(0b10);
+        assert!(bad > 0, "real qubits must show errors");
+        let good = run.histogram.count(0b00) + run.histogram.count(0b11);
+        assert!(good > bad, "signal should still dominate");
+    }
+
+    #[test]
+    fn retargeting_changes_timing_only_by_config() {
+        let sc = FullStack::superconducting(1, 2).with_qubits(QubitKind::Perfect);
+        let spin = FullStack::semiconducting(2).with_qubits(QubitKind::Perfect);
+        let run_sc = sc.execute(&bell(), 10).unwrap();
+        let run_spin = spin.execute(&bell(), 10).unwrap();
+        assert!(
+            run_spin.shot_time_ns.unwrap() > run_sc.shot_time_ns.unwrap(),
+            "spin qubits are slower end to end"
+        );
+    }
+
+    #[test]
+    fn simulator_backend_on_experimental_platform() {
+        // Mix and match: experimental platform, simulator backend.
+        let stack = FullStack::superconducting(1, 2)
+            .with_backend(ExecutionBackend::QxSimulator)
+            .with_qubits(QubitKind::Perfect);
+        let run = stack.execute(&bell(), 50).unwrap();
+        assert!(run.eqasm.is_none());
+        assert_eq!(run.histogram.shots(), 50);
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        let mut k = Kernel::new("big", 9);
+        k.h(8);
+        let mut p = QuantumProgram::new("big", 9);
+        p.add_kernel(k);
+        let err = FullStack::perfect(2).execute(&p, 1).unwrap_err();
+        assert!(matches!(err, StackError::Compile(_)));
+    }
+}
+
+#[cfg(test)]
+mod scheduling_noise_tests {
+    use super::*;
+    use crate::qubits::QubitKind;
+    use openql::{Kernel, ScheduleDirection};
+
+    /// §2.6's rationale for ALAP: on decohering qubits, issuing a state
+    /// preparation as late as possible shortens the idle window before
+    /// measurement. Build a program where one qubit is excited and then
+    /// must wait for a long chain on other qubits; under idle amplitude
+    /// damping, ALAP preserves the excitation better than ASAP.
+    #[test]
+    fn alap_preserves_excited_states_better_under_idle_decay() {
+        let mut k = Kernel::new("idle", 2);
+        k.x(0); // the fragile excitation (independent of the chain below)
+        for _ in 0..20 {
+            k.x(1);
+            k.x(1);
+        }
+        // measure_all synchronises both qubits: the excitation on q0 must
+        // survive until the chain on q1 finishes.
+        k.measure_all();
+        let mut p = QuantumProgram::new("idle", 2);
+        p.add_kernel(k);
+
+        let idle_decay = QubitKind::Real {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.0,
+            t1_us: 0.05, // brutally short T1 so decay dominates
+            gate_ns: 20.0,
+        };
+        let run_with = |dir: ScheduleDirection| {
+            FullStack::perfect(2)
+                .with_qubits(idle_decay)
+                .with_compiler_options(CompilerOptions {
+                    optimize: false, // keep the X-X chain as busy time
+                    schedule: dir,
+                    ..Default::default()
+                })
+                .with_seed(5)
+                .execute(&p, 600)
+                .unwrap()
+        };
+        let asap = run_with(ScheduleDirection::Asap);
+        let alap = run_with(ScheduleDirection::Alap);
+        let survival = |run: &StackRun| {
+            run.histogram
+                .iter()
+                .filter(|(bits, _)| bits & 1 == 1)
+                .map(|(_, c)| c)
+                .sum::<u64>() as f64
+                / run.histogram.shots() as f64
+        };
+        let s_asap = survival(&asap);
+        let s_alap = survival(&alap);
+        assert!(
+            s_alap > s_asap + 0.05,
+            "ALAP should protect the excitation: asap {s_asap} vs alap {s_alap}"
+        );
+    }
+}

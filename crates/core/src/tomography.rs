@@ -1,0 +1,160 @@
+//! Single-qubit state tomography.
+//!
+//! The perfect-qubit track exists so end-users can "verify and check the
+//! algorithm that they are working on and test if the computed results
+//! have a meaning" (§2.1). Tomography is the verification primitive for
+//! *states*: measure a prepared qubit in the X, Y and Z bases over many
+//! shots, estimate the Bloch vector, and compare with the ideal state.
+
+use crate::stack::{FullStack, StackError};
+use cqasm::GateKind;
+use openql::{Kernel, QuantumProgram};
+
+/// An estimated single-qubit state as a Bloch vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlochVector {
+    /// `<X>` component.
+    pub x: f64,
+    /// `<Y>` component.
+    pub y: f64,
+    /// `<Z>` component.
+    pub z: f64,
+}
+
+impl BlochVector {
+    /// Euclidean length (1 for pure states, < 1 for mixed estimates).
+    pub fn length(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Fidelity with another Bloch vector's state:
+    /// `F = (1 + a . b) / 2` for one pure and one arbitrary state.
+    pub fn fidelity(&self, other: &BlochVector) -> f64 {
+        0.5 * (1.0 + self.x * other.x + self.y * other.y + self.z * other.z)
+    }
+}
+
+/// A preparation circuit under tomography: a closure appending gates that
+/// prepare the state of `qubit` inside a kernel.
+pub type Preparation<'a> = &'a dyn Fn(&mut Kernel);
+
+/// Runs single-qubit tomography of the state prepared by `prepare` on
+/// qubit 0, using `shots` per basis on the given stack.
+///
+/// # Errors
+///
+/// Propagates stack failures.
+pub fn tomography_qubit(
+    stack: &FullStack,
+    prepare: Preparation<'_>,
+    shots: u64,
+) -> Result<BlochVector, StackError> {
+    // Z basis: measure directly. X basis: H then measure.
+    // Y basis: S† then H then measure.
+    let run_basis = |basis: &[GateKind]| -> Result<f64, StackError> {
+        let mut k = Kernel::new("tomo", 1);
+        prepare(&mut k);
+        for g in basis {
+            k.gate(*g, &[0]);
+        }
+        k.measure(0);
+        let mut p = QuantumProgram::new("tomo", 1);
+        p.add_kernel(k);
+        let hist = stack.execute(&p, shots)?.histogram;
+        // <P> = P(0) - P(1).
+        Ok(hist.probability(0) - hist.probability(1))
+    };
+    Ok(BlochVector {
+        x: run_basis(&[GateKind::H])?,
+        y: run_basis(&[GateKind::Sdag, GateKind::H])?,
+        z: run_basis(&[])?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qubits::QubitKind;
+
+    fn stack() -> FullStack {
+        FullStack::perfect(1).with_seed(99)
+    }
+
+    #[test]
+    fn tomography_of_zero_state() {
+        let b = tomography_qubit(&stack(), &|_k| {}, 3000).unwrap();
+        assert!(b.x.abs() < 0.05, "x {}", b.x);
+        assert!(b.y.abs() < 0.05, "y {}", b.y);
+        assert!((b.z - 1.0).abs() < 0.02, "z {}", b.z);
+    }
+
+    #[test]
+    fn tomography_of_plus_state() {
+        let b = tomography_qubit(&stack(), &|k| {
+            k.h(0);
+        }, 3000)
+        .unwrap();
+        assert!((b.x - 1.0).abs() < 0.02, "x {}", b.x);
+        assert!(b.y.abs() < 0.05);
+        assert!(b.z.abs() < 0.05);
+    }
+
+    #[test]
+    fn tomography_of_y_eigenstate() {
+        let b = tomography_qubit(&stack(), &|k| {
+            k.h(0).s(0);
+        }, 3000)
+        .unwrap();
+        assert!((b.y - 1.0).abs() < 0.02, "y {}", b.y);
+        assert!((b.length() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn tomography_of_rotated_state() {
+        let theta = 0.8f64;
+        let b = tomography_qubit(&stack(), &|k| {
+            k.ry(0, theta);
+        }, 4000)
+        .unwrap();
+        assert!((b.x - theta.sin()).abs() < 0.05, "x {}", b.x);
+        assert!((b.z - theta.cos()).abs() < 0.05, "z {}", b.z);
+    }
+
+    #[test]
+    fn noise_shrinks_the_bloch_vector() {
+        let noisy = FullStack::perfect(1)
+            .with_qubits(QubitKind::Realistic {
+                p1: 0.05,
+                p2: 0.0,
+                readout: 0.0,
+            })
+            .with_seed(7);
+        // Use a rotation preparation: the compiler cannot cancel it
+        // against the tomography basis change, so every circuit carries
+        // noisy gates.
+        let pure = tomography_qubit(&stack(), &|k| {
+            k.ry(0, 1.1);
+        }, 4000)
+        .unwrap();
+        let mixed = tomography_qubit(&noisy, &|k| {
+            k.ry(0, 1.1);
+        }, 4000)
+        .unwrap();
+        assert!(
+            mixed.length() < pure.length() - 0.02,
+            "noise must shrink: {} vs {}",
+            mixed.length(),
+            pure.length()
+        );
+    }
+
+    #[test]
+    fn fidelity_between_estimates() {
+        let plus = BlochVector { x: 1.0, y: 0.0, z: 0.0 };
+        let minus = BlochVector { x: -1.0, y: 0.0, z: 0.0 };
+        let zero = BlochVector { x: 0.0, y: 0.0, z: 1.0 };
+        assert!((plus.fidelity(&plus) - 1.0).abs() < 1e-12);
+        assert!(plus.fidelity(&minus).abs() < 1e-12);
+        assert!((plus.fidelity(&zero) - 0.5).abs() < 1e-12);
+    }
+}

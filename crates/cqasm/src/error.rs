@@ -1,0 +1,68 @@
+//! Error types for parsing and validating cQASM programs.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The text could not be parsed. Carries the 1-based line number and a
+    /// description of what went wrong.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The program parsed but is semantically invalid (e.g. a qubit index
+    /// out of range, or overlapping operands inside a bundle).
+    Validate {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Error {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        Error::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn validate(message: impl Into<String>) -> Self {
+        Error::Validate {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Validate { message } => write!(f, "invalid program: {message}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::parse(3, "unknown gate `foo`");
+        assert_eq!(e.to_string(), "parse error at line 3: unknown gate `foo`");
+        let e = Error::validate("qubit index 9 out of range");
+        assert_eq!(e.to_string(), "invalid program: qubit index 9 out of range");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,435 @@
+//! The cQASM gate set and its exact unitary semantics.
+//!
+//! The set mirrors the default OpenQL/QX gate library: the Pauli group,
+//! Clifford phase gates, the `T` pair, the calibrated 90-degree rotations
+//! used by the eQASM backends (`x90`, `y90`, `mx90`, `my90`), parameterised
+//! rotations, and the standard two- and three-qubit entangling gates.
+
+use crate::math::{C64, Mat2, Mat4};
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2};
+use std::fmt;
+
+/// A gate from the cQASM gate library, including any rotation parameter.
+///
+/// `GateKind` identifies *which* operation is applied; the qubit operands
+/// live in [`crate::GateApp`]. Parameterised variants carry their angle in
+/// radians (or the exponent `k` for [`GateKind::CRk`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateKind {
+    /// Identity (explicit wait of one gate slot on a qubit).
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdag,
+    /// `T = diag(1, e^{i pi/4})`.
+    T,
+    /// `T† = diag(1, e^{-i pi/4})`.
+    Tdag,
+    /// Calibrated +90 degree rotation about X (eQASM primitive).
+    X90,
+    /// Calibrated +90 degree rotation about Y (eQASM primitive).
+    Y90,
+    /// Calibrated -90 degree rotation about X (eQASM primitive).
+    Mx90,
+    /// Calibrated -90 degree rotation about Y (eQASM primitive).
+    My90,
+    /// Rotation about X by the given angle (radians).
+    Rx(f64),
+    /// Rotation about Y by the given angle (radians).
+    Ry(f64),
+    /// Rotation about Z by the given angle (radians).
+    Rz(f64),
+    /// Controlled-NOT; operand order is `control, target`.
+    Cnot,
+    /// Controlled-Z (symmetric in its operands).
+    Cz,
+    /// SWAP of two qubits.
+    Swap,
+    /// Controlled phase rotation by the given angle (radians).
+    Cr(f64),
+    /// Controlled phase rotation by `2*pi / 2^k` (the QFT primitive).
+    CRk(u32),
+    /// Toffoli (controlled-controlled-NOT); operands `c1, c2, target`.
+    Toffoli,
+}
+
+/// The unitary action of a gate, in a form the simulator can apply directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateUnitary {
+    /// A single-qubit unitary.
+    One(Mat2),
+    /// A two-qubit unitary in the basis `|q0 q1>` with the *first operand*
+    /// as the most significant bit.
+    Two(Mat4),
+    /// A doubly-controlled single-qubit unitary (applied to the last
+    /// operand when both control operands are `|1>`).
+    ControlledControlled(Mat2),
+}
+
+impl GateKind {
+    /// Number of qubit operands the gate takes.
+    pub fn arity(&self) -> usize {
+        use GateKind::*;
+        match self {
+            I | H | X | Y | Z | S | Sdag | T | Tdag | X90 | Y90 | Mx90 | My90 | Rx(_) | Ry(_)
+            | Rz(_) => 1,
+            Cnot | Cz | Swap | Cr(_) | CRk(_) => 2,
+            Toffoli => 3,
+        }
+    }
+
+    /// The lower-case cQASM mnemonic (without operands or parameters).
+    pub fn mnemonic(&self) -> &'static str {
+        use GateKind::*;
+        match self {
+            I => "i",
+            H => "h",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            S => "s",
+            Sdag => "sdag",
+            T => "t",
+            Tdag => "tdag",
+            X90 => "x90",
+            Y90 => "y90",
+            Mx90 => "mx90",
+            My90 => "my90",
+            Rx(_) => "rx",
+            Ry(_) => "ry",
+            Rz(_) => "rz",
+            Cnot => "cnot",
+            Cz => "cz",
+            Swap => "swap",
+            Cr(_) => "cr",
+            CRk(_) => "crk",
+            Toffoli => "toffoli",
+        }
+    }
+
+    /// The rotation angle parameter, if the gate has one.
+    pub fn angle(&self) -> Option<f64> {
+        use GateKind::*;
+        match self {
+            Rx(a) | Ry(a) | Rz(a) | Cr(a) => Some(*a),
+            CRk(k) => Some(2.0 * std::f64::consts::PI / (1u64 << k) as f64),
+            _ => None,
+        }
+    }
+
+    /// The inverse gate (`U†`).
+    ///
+    /// Every gate in the library has its inverse in the library, which the
+    /// compiler relies on for uncomputation and optimisation.
+    pub fn dagger(&self) -> GateKind {
+        use GateKind::*;
+        match *self {
+            S => Sdag,
+            Sdag => S,
+            T => Tdag,
+            Tdag => T,
+            X90 => Mx90,
+            Mx90 => X90,
+            Y90 => My90,
+            My90 => Y90,
+            Rx(a) => Rx(-a),
+            Ry(a) => Ry(-a),
+            Rz(a) => Rz(-a),
+            Cr(a) => Cr(-a),
+            CRk(k) => Cr(-(2.0 * std::f64::consts::PI / (1u64 << k) as f64)),
+            g => g, // self-inverse: I, H, X, Y, Z, CNOT, CZ, SWAP, Toffoli
+        }
+    }
+
+    /// Whether the gate is diagonal in the computational basis.
+    ///
+    /// Diagonal gates commute with each other and with measurements in the
+    /// Z basis; the optimiser exploits this.
+    pub fn is_diagonal(&self) -> bool {
+        use GateKind::*;
+        matches!(self, I | Z | S | Sdag | T | Tdag | Rz(_) | Cz | Cr(_) | CRk(_))
+    }
+
+    /// Whether the gate is a member of the Clifford group.
+    pub fn is_clifford(&self) -> bool {
+        use GateKind::*;
+        matches!(
+            self,
+            I | H | X | Y | Z | S | Sdag | X90 | Y90 | Mx90 | My90 | Cnot | Cz | Swap
+        )
+    }
+
+    /// Whether the gate acts on two or more qubits.
+    pub fn is_multi_qubit(&self) -> bool {
+        self.arity() > 1
+    }
+
+    /// The exact unitary of the gate.
+    pub fn unitary(&self) -> GateUnitary {
+        use GateKind::*;
+        let s = C64::real(FRAC_1_SQRT_2);
+        match *self {
+            I => GateUnitary::One(Mat2::identity()),
+            H => GateUnitary::One(Mat2([[s, s], [s, -s]])),
+            X => GateUnitary::One(Mat2([[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]])),
+            Y => GateUnitary::One(Mat2([[C64::ZERO, -C64::I], [C64::I, C64::ZERO]])),
+            Z => GateUnitary::One(Mat2([[C64::ONE, C64::ZERO], [C64::ZERO, -C64::ONE]])),
+            S => GateUnitary::One(Mat2([[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]])),
+            Sdag => GateUnitary::One(Mat2([[C64::ONE, C64::ZERO], [C64::ZERO, -C64::I]])),
+            T => GateUnitary::One(Mat2([
+                [C64::ONE, C64::ZERO],
+                [C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)],
+            ])),
+            Tdag => GateUnitary::One(Mat2([
+                [C64::ONE, C64::ZERO],
+                [C64::ZERO, C64::cis(-std::f64::consts::FRAC_PI_4)],
+            ])),
+            X90 => rotation_x(FRAC_PI_2),
+            Mx90 => rotation_x(-FRAC_PI_2),
+            Y90 => rotation_y(FRAC_PI_2),
+            My90 => rotation_y(-FRAC_PI_2),
+            Rx(a) => rotation_x(a),
+            Ry(a) => rotation_y(a),
+            Rz(a) => rotation_z(a),
+            Cnot => {
+                let mut m = Mat4::identity();
+                m.0[2][2] = C64::ZERO;
+                m.0[3][3] = C64::ZERO;
+                m.0[2][3] = C64::ONE;
+                m.0[3][2] = C64::ONE;
+                GateUnitary::Two(m)
+            }
+            Cz => {
+                let mut m = Mat4::identity();
+                m.0[3][3] = -C64::ONE;
+                GateUnitary::Two(m)
+            }
+            Swap => {
+                let mut m = Mat4::identity();
+                m.0[1][1] = C64::ZERO;
+                m.0[2][2] = C64::ZERO;
+                m.0[1][2] = C64::ONE;
+                m.0[2][1] = C64::ONE;
+                GateUnitary::Two(m)
+            }
+            Cr(a) => {
+                let mut m = Mat4::identity();
+                m.0[3][3] = C64::cis(a);
+                GateUnitary::Two(m)
+            }
+            CRk(k) => {
+                let a = 2.0 * std::f64::consts::PI / (1u64 << k) as f64;
+                let mut m = Mat4::identity();
+                m.0[3][3] = C64::cis(a);
+                GateUnitary::Two(m)
+            }
+            Toffoli => GateUnitary::ControlledControlled(Mat2([
+                [C64::ZERO, C64::ONE],
+                [C64::ONE, C64::ZERO],
+            ])),
+        }
+    }
+}
+
+fn rotation_x(a: f64) -> GateUnitary {
+    let c = C64::real((a / 2.0).cos());
+    let s = C64::new(0.0, -(a / 2.0).sin());
+    GateUnitary::One(Mat2([[c, s], [s, c]]))
+}
+
+fn rotation_y(a: f64) -> GateUnitary {
+    let c = C64::real((a / 2.0).cos());
+    let s = C64::real((a / 2.0).sin());
+    GateUnitary::One(Mat2([[c, -s], [s, c]]))
+}
+
+fn rotation_z(a: f64) -> GateUnitary {
+    GateUnitary::One(Mat2([
+        [C64::cis(-a / 2.0), C64::ZERO],
+        [C64::ZERO, C64::cis(a / 2.0)],
+    ]))
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn mat2_of(g: GateKind) -> Mat2 {
+        match g.unitary() {
+            GateUnitary::One(m) => m,
+            other => panic!("expected single-qubit unitary, got {other:?}"),
+        }
+    }
+
+    fn mat4_of(g: GateKind) -> Mat4 {
+        match g.unitary() {
+            GateUnitary::Two(m) => m,
+            other => panic!("expected two-qubit unitary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        let gates = [
+            GateKind::I,
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdag,
+            GateKind::T,
+            GateKind::Tdag,
+            GateKind::X90,
+            GateKind::Y90,
+            GateKind::Mx90,
+            GateKind::My90,
+            GateKind::Rx(0.37),
+            GateKind::Ry(1.2),
+            GateKind::Rz(-2.5),
+            GateKind::Cnot,
+            GateKind::Cz,
+            GateKind::Swap,
+            GateKind::Cr(0.7),
+            GateKind::CRk(3),
+            GateKind::Toffoli,
+        ];
+        for g in gates {
+            match g.unitary() {
+                GateUnitary::One(m) => assert!(m.is_unitary(), "{g} not unitary"),
+                GateUnitary::Two(m) => assert!(m.is_unitary(), "{g} not unitary"),
+                GateUnitary::ControlledControlled(m) => {
+                    assert!(m.is_unitary(), "{g} not unitary")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dagger_inverts_every_single_qubit_gate() {
+        let gates = [
+            GateKind::I,
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdag,
+            GateKind::T,
+            GateKind::Tdag,
+            GateKind::X90,
+            GateKind::Y90,
+            GateKind::Mx90,
+            GateKind::My90,
+            GateKind::Rx(0.9),
+            GateKind::Ry(0.4),
+            GateKind::Rz(2.2),
+        ];
+        for g in gates {
+            let u = mat2_of(g);
+            let v = mat2_of(g.dagger());
+            assert!(
+                u.matmul(&v).approx_eq(&Mat2::identity()),
+                "{g} dagger failed"
+            );
+        }
+    }
+
+    #[test]
+    fn x90_squared_is_x_up_to_phase() {
+        let x90 = mat2_of(GateKind::X90);
+        let x = mat2_of(GateKind::X);
+        assert!(x90.matmul(&x90).approx_eq_up_to_phase(&x));
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let h = mat2_of(GateKind::H);
+        let z = mat2_of(GateKind::Z);
+        let x = mat2_of(GateKind::X);
+        assert!(h.matmul(&z).matmul(&h).approx_eq(&x));
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        let t = mat2_of(GateKind::T);
+        let s = mat2_of(GateKind::S);
+        assert!(t.matmul(&t).approx_eq(&s));
+    }
+
+    #[test]
+    fn rz_pi_is_z_up_to_phase() {
+        let rz = mat2_of(GateKind::Rz(PI));
+        let z = mat2_of(GateKind::Z);
+        assert!(rz.approx_eq_up_to_phase(&z));
+    }
+
+    #[test]
+    fn crk_matches_cr() {
+        let crk = mat4_of(GateKind::CRk(2));
+        let cr = mat4_of(GateKind::Cr(PI / 2.0));
+        assert!(crk.approx_eq(&cr));
+    }
+
+    #[test]
+    fn cnot_action_on_basis() {
+        let m = mat4_of(GateKind::Cnot);
+        // |10> -> |11>
+        assert_eq!(m.0[3][2], C64::ONE);
+        // |11> -> |10>
+        assert_eq!(m.0[2][3], C64::ONE);
+        // |00>, |01> fixed.
+        assert_eq!(m.0[0][0], C64::ONE);
+        assert_eq!(m.0[1][1], C64::ONE);
+    }
+
+    #[test]
+    fn swap_is_self_inverse() {
+        let m = mat4_of(GateKind::Swap);
+        assert!(m.matmul(&m).approx_eq(&Mat4::identity()));
+    }
+
+    #[test]
+    fn arity_and_mnemonics() {
+        assert_eq!(GateKind::H.arity(), 1);
+        assert_eq!(GateKind::Cnot.arity(), 2);
+        assert_eq!(GateKind::Toffoli.arity(), 3);
+        assert_eq!(GateKind::Rx(1.0).mnemonic(), "rx");
+        assert_eq!(GateKind::CRk(4).mnemonic(), "crk");
+    }
+
+    #[test]
+    fn clifford_and_diagonal_classification() {
+        assert!(GateKind::H.is_clifford());
+        assert!(GateKind::Cnot.is_clifford());
+        assert!(!GateKind::T.is_clifford());
+        assert!(!GateKind::Toffoli.is_clifford());
+        assert!(GateKind::Rz(0.3).is_diagonal());
+        assert!(GateKind::Cz.is_diagonal());
+        assert!(!GateKind::Rx(0.3).is_diagonal());
+    }
+
+    #[test]
+    fn angle_reporting() {
+        assert_eq!(GateKind::Rx(1.5).angle(), Some(1.5));
+        let crk = GateKind::CRk(1).angle().expect("crk has angle");
+        assert!((crk - PI).abs() < 1e-12);
+        assert_eq!(GateKind::H.angle(), None);
+    }
+}

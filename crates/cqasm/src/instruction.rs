@@ -1,0 +1,257 @@
+//! Instructions: gate applications, state preparation, measurement, timing.
+
+use crate::gate::GateKind;
+use std::fmt;
+
+/// A qubit operand, `q[i]` in the assembly syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Qubit(pub usize);
+
+/// A classical measurement bit, `b[i]` in the assembly syntax.
+///
+/// In cQASM there is one implicit bit per qubit; measuring `q[i]` writes
+/// `b[i]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bit(pub usize);
+
+impl Qubit {
+    /// The raw index of the qubit.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl Bit {
+    /// The raw index of the bit.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(i: usize) -> Self {
+        Qubit(i)
+    }
+}
+
+impl From<usize> for Bit {
+    fn from(i: usize) -> Self {
+        Bit(i)
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q[{}]", self.0)
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b[{}]", self.0)
+    }
+}
+
+/// A gate applied to concrete qubit operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateApp {
+    /// Which gate.
+    pub kind: GateKind,
+    /// Operands, in the order required by [`GateKind`] (e.g. control first
+    /// for [`GateKind::Cnot`]).
+    pub qubits: Vec<Qubit>,
+}
+
+impl GateApp {
+    /// Creates a gate application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of operands does not match the gate's arity;
+    /// this is a programming error, not an input error.
+    pub fn new(kind: GateKind, qubits: Vec<Qubit>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            kind.arity(),
+            "gate {kind} expects {} operand(s), got {}",
+            kind.arity(),
+            qubits.len()
+        );
+        GateApp { kind, qubits }
+    }
+}
+
+impl fmt::Display for GateApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.mnemonic())?;
+        let mut sep = " ";
+        for q in &self.qubits {
+            write!(f, "{sep}{q}")?;
+            sep = ", ";
+        }
+        if let Some(a) = self.kind.angle() {
+            if matches!(self.kind, GateKind::CRk(_)) {
+                // crk prints its integer exponent, not the derived angle.
+                if let GateKind::CRk(k) = self.kind {
+                    write!(f, ", {k}")?;
+                }
+                let _ = a;
+            } else {
+                write!(f, ", {a}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A single cQASM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// Initialise a qubit to `|0>`.
+    PrepZ(Qubit),
+    /// Apply a gate.
+    Gate(GateApp),
+    /// Apply a gate only if the given classical bit is one
+    /// (binary-controlled gate, `c-<gate> b[i], ...`).
+    Cond(Bit, GateApp),
+    /// Measure a qubit in the Z basis into its implicit bit.
+    Measure(Qubit),
+    /// Measure every qubit.
+    MeasureAll,
+    /// A bundle of instructions issued in the same cycle
+    /// (`{ g1 | g2 | ... }` syntax). Operand sets must be disjoint.
+    Bundle(Vec<Instruction>),
+    /// Idle for the given number of cycles.
+    Wait(u64),
+    /// Debugging aid: ask the executor to dump its state.
+    Display,
+}
+
+impl Instruction {
+    /// Convenience constructor for a plain gate instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity.
+    pub fn gate(kind: GateKind, qubits: &[usize]) -> Self {
+        Instruction::Gate(GateApp::new(
+            kind,
+            qubits.iter().copied().map(Qubit).collect(),
+        ))
+    }
+
+    /// All qubits this instruction touches (operands, or all qubits for
+    /// [`Instruction::MeasureAll`], represented by an empty slice there).
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self {
+            Instruction::PrepZ(q) | Instruction::Measure(q) => vec![*q],
+            Instruction::Gate(g) | Instruction::Cond(_, g) => g.qubits.clone(),
+            Instruction::Bundle(instrs) => {
+                instrs.iter().flat_map(|i| i.qubits()).collect()
+            }
+            Instruction::MeasureAll | Instruction::Wait(_) | Instruction::Display => vec![],
+        }
+    }
+
+    /// Whether this is a unitary gate (i.e. neither preparation, measurement
+    /// nor a timing/debug directive). Bundles count as gates if non-empty.
+    pub fn is_unitary_gate(&self) -> bool {
+        matches!(self, Instruction::Gate(_) | Instruction::Cond(_, _))
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::PrepZ(q) => write!(f, "prep_z {q}"),
+            Instruction::Gate(g) => write!(f, "{g}"),
+            Instruction::Cond(b, g) => {
+                write!(f, "c-{} {b}", g.kind.mnemonic())?;
+                for q in &g.qubits {
+                    write!(f, ", {q}")?;
+                }
+                if let Some(a) = g.kind.angle() {
+                    if let GateKind::CRk(k) = g.kind {
+                        write!(f, ", {k}")?;
+                        let _ = a;
+                    } else {
+                        write!(f, ", {a}")?;
+                    }
+                }
+                Ok(())
+            }
+            Instruction::Measure(q) => write!(f, "measure {q}"),
+            Instruction::MeasureAll => write!(f, "measure_all"),
+            Instruction::Bundle(instrs) => {
+                write!(f, "{{ ")?;
+                for (i, ins) in instrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{ins}")?;
+                }
+                write!(f, " }}")
+            }
+            Instruction::Wait(n) => write!(f, "wait {n}"),
+            Instruction::Display => write!(f, "display"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instruction::gate(GateKind::H, &[0]).to_string(), "h q[0]");
+        assert_eq!(
+            Instruction::gate(GateKind::Cnot, &[0, 1]).to_string(),
+            "cnot q[0], q[1]"
+        );
+        assert_eq!(
+            Instruction::gate(GateKind::Rx(0.5), &[2]).to_string(),
+            "rx q[2], 0.5"
+        );
+        assert_eq!(
+            Instruction::gate(GateKind::CRk(3), &[0, 1]).to_string(),
+            "crk q[0], q[1], 3"
+        );
+        assert_eq!(Instruction::Measure(Qubit(1)).to_string(), "measure q[1]");
+        assert_eq!(Instruction::PrepZ(Qubit(0)).to_string(), "prep_z q[0]");
+        assert_eq!(Instruction::Wait(7).to_string(), "wait 7");
+    }
+
+    #[test]
+    fn bundle_display() {
+        let b = Instruction::Bundle(vec![
+            Instruction::gate(GateKind::X, &[0]),
+            Instruction::gate(GateKind::Y, &[1]),
+        ]);
+        assert_eq!(b.to_string(), "{ x q[0] | y q[1] }");
+    }
+
+    #[test]
+    fn conditional_display() {
+        let c = Instruction::Cond(Bit(0), GateApp::new(GateKind::X, vec![Qubit(2)]));
+        assert_eq!(c.to_string(), "c-x b[0], q[2]");
+    }
+
+    #[test]
+    fn qubit_collection() {
+        let b = Instruction::Bundle(vec![
+            Instruction::gate(GateKind::Cnot, &[0, 1]),
+            Instruction::gate(GateKind::H, &[3]),
+        ]);
+        assert_eq!(b.qubits(), vec![Qubit(0), Qubit(1), Qubit(3)]);
+        assert!(Instruction::MeasureAll.qubits().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operand")]
+    fn wrong_arity_panics() {
+        let _ = GateApp::new(GateKind::Cnot, vec![Qubit(0)]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # cQASM — the common quantum assembly language
+//!
+//! This crate implements the *common QASM* layer of the full-stack quantum
+//! accelerator described in Bertels et al., *"Quantum Computer Architecture:
+//! Towards Full-Stack Quantum Accelerators"* (DATE 2020). cQASM is the
+//! technology-independent instruction set produced by the OpenQL compiler and
+//! consumed by both the QX simulator and the eQASM backend pass.
+//!
+//! The crate provides:
+//!
+//! - a typed in-memory representation ([`Program`], [`Subcircuit`],
+//!   [`Instruction`], [`GateKind`]);
+//! - exact gate semantics ([`GateKind::unitary`]) over a small self-contained
+//!   complex/matrix kernel ([`math`]);
+//! - a text parser ([`Program::parse`]) and printer (`Display`) that
+//!   round-trip;
+//! - semantic validation ([`Program::validate`]) and circuit statistics
+//!   ([`Program::stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cqasm::Program;
+//!
+//! # fn main() -> Result<(), cqasm::Error> {
+//! let src = "\
+//! version 1.0
+//! qubits 2
+//! .bell
+//!   h q[0]
+//!   cnot q[0], q[1]
+//!   measure q[0]
+//!   measure q[1]
+//! ";
+//! let program = Program::parse(src)?;
+//! assert_eq!(program.qubit_count(), 2);
+//! assert_eq!(program.subcircuits().len(), 1);
+//! // Printing and re-parsing yields the same program.
+//! let reprinted = Program::parse(&program.to_string())?;
+//! assert_eq!(program, reprinted);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod gate;
+pub mod instruction;
+pub mod math;
+pub mod parser;
+pub mod program;
+pub mod stats;
+pub mod writer;
+
+pub use error::Error;
+pub use gate::{GateKind, GateUnitary};
+pub use instruction::{Bit, GateApp, Instruction, Qubit};
+pub use program::{ErrorModelSpec, Program, ProgramBuilder, Subcircuit};
+pub use stats::CircuitStats;

@@ -1,0 +1,517 @@
+//! Text parser for the cQASM syntax.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! version 1.0
+//! qubits 5
+//!
+//! # comment (also: // comment)
+//! .subcircuit_name            # or .name(iterations)
+//!   h q[0]
+//!   cnot q[0], q[1]
+//!   rx q[2], 1.5708
+//!   crk q[0], q[1], 3
+//!   c-x b[0], q[1]            # binary-controlled gate
+//!   { x q[0] | y q[1] }       # parallel bundle
+//!   prep_z q[0]
+//!   measure q[0]
+//!   measure_all
+//!   wait 10
+//!   display
+//! ```
+
+use crate::error::Error;
+use crate::gate::GateKind;
+use crate::instruction::{Bit, GateApp, Instruction, Qubit};
+use crate::program::{Program, Subcircuit};
+
+/// Parses cQASM text into a [`Program`] (without semantic validation;
+/// [`Program::parse`] runs validation on top of this).
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with the offending line number.
+pub fn parse(src: &str) -> Result<Program, Error> {
+    let mut version: Option<String> = None;
+    let mut qubits: Option<usize> = None;
+    let mut error_model: Option<crate::program::ErrorModelSpec> = None;
+    let mut subcircuits: Vec<Subcircuit> = Vec::new();
+
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("version") {
+            if version.is_some() {
+                return Err(Error::parse(lineno, "duplicate version directive"));
+            }
+            version = Some(rest.trim().to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("qubits") {
+            if qubits.is_some() {
+                return Err(Error::parse(lineno, "duplicate qubits directive"));
+            }
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| Error::parse(lineno, format!("invalid qubit count `{}`", rest.trim())))?;
+            qubits = Some(n);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("error_model") {
+            if error_model.is_some() {
+                return Err(Error::parse(lineno, "duplicate error_model directive"));
+            }
+            error_model = Some(parse_error_model(rest, lineno)?);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let (name, iters) = parse_subcircuit_header(rest, lineno)?;
+            subcircuits.push(Subcircuit::with_iterations(name, iters));
+            continue;
+        }
+
+        if qubits.is_none() {
+            return Err(Error::parse(
+                lineno,
+                "instruction before `qubits` directive",
+            ));
+        }
+        if subcircuits.is_empty() {
+            subcircuits.push(Subcircuit::new("default"));
+        }
+        let ins = parse_instruction(line, lineno)?;
+        subcircuits
+            .last_mut()
+            .expect("just ensured non-empty")
+            .push(ins);
+    }
+
+    let qubit_count =
+        qubits.ok_or_else(|| Error::parse(src.lines().count().max(1), "missing `qubits` directive"))?;
+    let mut program = Program::new(qubit_count);
+    if let Some(v) = version {
+        program.set_version(v);
+    }
+    program.set_error_model(error_model);
+    for s in subcircuits {
+        program.push_subcircuit(s);
+    }
+    Ok(program)
+}
+
+fn parse_error_model(
+    rest: &str,
+    lineno: usize,
+) -> Result<crate::program::ErrorModelSpec, Error> {
+    let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+    let name = parts
+        .first()
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| Error::parse(lineno, "error_model needs a model name"))?;
+    let mut params = Vec::new();
+    for p in &parts[1..] {
+        let v: f64 = p
+            .parse()
+            .map_err(|_| Error::parse(lineno, format!("invalid error_model parameter `{p}`")))?;
+        params.push(v);
+    }
+    Ok(crate::program::ErrorModelSpec {
+        name: name.to_string(),
+        params,
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find('#').unwrap_or(line.len());
+    let cut2 = line.find("//").unwrap_or(line.len());
+    &line[..cut.min(cut2)]
+}
+
+fn parse_subcircuit_header(rest: &str, lineno: usize) -> Result<(String, u64), Error> {
+    let rest = rest.trim();
+    if let Some(open) = rest.find('(') {
+        let name = rest[..open].trim();
+        let close = rest
+            .find(')')
+            .ok_or_else(|| Error::parse(lineno, "missing `)` in subcircuit header"))?;
+        let iters: u64 = rest[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|_| Error::parse(lineno, "invalid iteration count"))?;
+        if name.is_empty() {
+            return Err(Error::parse(lineno, "empty subcircuit name"));
+        }
+        Ok((name.to_owned(), iters))
+    } else {
+        if rest.is_empty() {
+            return Err(Error::parse(lineno, "empty subcircuit name"));
+        }
+        Ok((rest.to_owned(), 1))
+    }
+}
+
+fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, Error> {
+    if line.starts_with('{') {
+        if !line.ends_with('}') {
+            return Err(Error::parse(lineno, "bundle must close with `}` on the same line"));
+        }
+        let inner = &line[1..line.len() - 1];
+        let parts: Vec<&str> = inner.split('|').map(str::trim).collect();
+        let mut instrs = Vec::with_capacity(parts.len());
+        for p in parts {
+            if p.is_empty() {
+                return Err(Error::parse(lineno, "empty slot in bundle"));
+            }
+            instrs.push(parse_simple(p, lineno)?);
+        }
+        return Ok(Instruction::Bundle(instrs));
+    }
+    parse_simple(line, lineno)
+}
+
+fn parse_simple(line: &str, lineno: usize) -> Result<Instruction, Error> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let mnemonic_lc = mnemonic.to_ascii_lowercase();
+
+    match mnemonic_lc.as_str() {
+        "measure_all" => return expect_no_args(rest, lineno).map(|_| Instruction::MeasureAll),
+        "display" => return expect_no_args(rest, lineno).map(|_| Instruction::Display),
+        "measure" | "measure_z" => {
+            let q = parse_qubit_ref(rest, lineno)?;
+            return Ok(Instruction::Measure(q));
+        }
+        "prep_z" | "prep" => {
+            let q = parse_qubit_ref(rest, lineno)?;
+            return Ok(Instruction::PrepZ(q));
+        }
+        "wait" => {
+            let n: u64 = rest
+                .parse()
+                .map_err(|_| Error::parse(lineno, format!("invalid wait count `{rest}`")))?;
+            return Ok(Instruction::Wait(n));
+        }
+        _ => {}
+    }
+
+    if let Some(gate_name) = mnemonic_lc.strip_prefix("c-") {
+        let args: Vec<&str> = split_args(rest);
+        if args.is_empty() {
+            return Err(Error::parse(lineno, "binary-controlled gate needs a bit operand"));
+        }
+        let bit = parse_bit_ref(args[0], lineno)?;
+        let app = build_gate(gate_name, &args[1..], lineno)?;
+        return Ok(Instruction::Cond(bit, app));
+    }
+
+    let args: Vec<&str> = split_args(rest);
+    let app = build_gate(&mnemonic_lc, &args, lineno)?;
+    Ok(Instruction::Gate(app))
+}
+
+fn expect_no_args(rest: &str, lineno: usize) -> Result<(), Error> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::parse(lineno, format!("unexpected operands `{rest}`")))
+    }
+}
+
+fn split_args(rest: &str) -> Vec<&str> {
+    if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    }
+}
+
+fn build_gate(name: &str, args: &[&str], lineno: usize) -> Result<GateApp, Error> {
+    let (kind, operand_count) = match name {
+        "i" | "id" => (GateKind::I, 1),
+        "h" => (GateKind::H, 1),
+        "x" => (GateKind::X, 1),
+        "y" => (GateKind::Y, 1),
+        "z" => (GateKind::Z, 1),
+        "s" => (GateKind::S, 1),
+        "sdag" => (GateKind::Sdag, 1),
+        "t" => (GateKind::T, 1),
+        "tdag" => (GateKind::Tdag, 1),
+        "x90" => (GateKind::X90, 1),
+        "y90" => (GateKind::Y90, 1),
+        "mx90" => (GateKind::Mx90, 1),
+        "my90" => (GateKind::My90, 1),
+        "cnot" | "cx" => (GateKind::Cnot, 2),
+        "cz" => (GateKind::Cz, 2),
+        "swap" => (GateKind::Swap, 2),
+        "toffoli" | "ccx" => (GateKind::Toffoli, 3),
+        "rx" | "ry" | "rz" | "cr" | "crk" => {
+            // Parameterised gates: last argument is the parameter.
+            let qubit_args = match name {
+                "rx" | "ry" | "rz" => 1,
+                _ => 2,
+            };
+            if args.len() != qubit_args + 1 {
+                return Err(Error::parse(
+                    lineno,
+                    format!(
+                        "gate `{name}` expects {qubit_args} qubit operand(s) and a parameter"
+                    ),
+                ));
+            }
+            let param = args[qubit_args];
+            let kind = match name {
+                "rx" => GateKind::Rx(parse_angle(param, lineno)?),
+                "ry" => GateKind::Ry(parse_angle(param, lineno)?),
+                "rz" => GateKind::Rz(parse_angle(param, lineno)?),
+                "cr" => GateKind::Cr(parse_angle(param, lineno)?),
+                "crk" => {
+                    let k: u32 = param.parse().map_err(|_| {
+                        Error::parse(lineno, format!("invalid crk exponent `{param}`"))
+                    })?;
+                    GateKind::CRk(k)
+                }
+                _ => unreachable!(),
+            };
+            let mut qubits = Vec::with_capacity(qubit_args);
+            for a in &args[..qubit_args] {
+                qubits.push(parse_qubit_ref(a, lineno)?);
+            }
+            return Ok(GateApp::new(kind, qubits));
+        }
+        other => {
+            return Err(Error::parse(lineno, format!("unknown gate `{other}`")));
+        }
+    };
+    if args.len() != operand_count {
+        return Err(Error::parse(
+            lineno,
+            format!(
+                "gate `{name}` expects {operand_count} operand(s), got {}",
+                args.len()
+            ),
+        ));
+    }
+    let mut qubits = Vec::with_capacity(operand_count);
+    for a in args {
+        qubits.push(parse_qubit_ref(a, lineno)?);
+    }
+    Ok(GateApp::new(kind, qubits))
+}
+
+fn parse_angle(s: &str, lineno: usize) -> Result<f64, Error> {
+    // Accept plain floats plus the common `pi`-expressions emitted by hand
+    // written kernels (e.g. `pi/2`, `-pi/4`, `2*pi`).
+    let t = s.trim().to_ascii_lowercase();
+    if let Ok(v) = t.parse::<f64>() {
+        return Ok(v);
+    }
+    let (sign, t) = match t.strip_prefix('-') {
+        Some(rest) => (-1.0, rest.to_owned()),
+        None => (1.0, t),
+    };
+    let pi = std::f64::consts::PI;
+    if t == "pi" {
+        return Ok(sign * pi);
+    }
+    if let Some(denom) = t.strip_prefix("pi/") {
+        let d: f64 = denom
+            .parse()
+            .map_err(|_| Error::parse(lineno, format!("invalid angle `{s}`")))?;
+        return Ok(sign * pi / d);
+    }
+    if let Some(num) = t.strip_suffix("*pi") {
+        let n: f64 = num
+            .parse()
+            .map_err(|_| Error::parse(lineno, format!("invalid angle `{s}`")))?;
+        return Ok(sign * n * pi);
+    }
+    Err(Error::parse(lineno, format!("invalid angle `{s}`")))
+}
+
+fn parse_qubit_ref(s: &str, lineno: usize) -> Result<Qubit, Error> {
+    parse_indexed(s, 'q', lineno).map(Qubit)
+}
+
+fn parse_bit_ref(s: &str, lineno: usize) -> Result<Bit, Error> {
+    parse_indexed(s, 'b', lineno).map(Bit)
+}
+
+fn parse_indexed(s: &str, reg: char, lineno: usize) -> Result<usize, Error> {
+    let t = s.trim();
+    let body = t
+        .strip_prefix(reg)
+        .and_then(|r| r.trim().strip_prefix('['))
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| Error::parse(lineno, format!("expected `{reg}[i]`, got `{t}`")))?;
+    body.trim()
+        .parse()
+        .map_err(|_| Error::parse(lineno, format!("invalid index in `{t}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("version 1.0\nqubits 2\n.main\nh q[0]\ncnot q[0], q[1]\n").unwrap();
+        assert_eq!(p.qubit_count(), 2);
+        assert_eq!(p.version(), "1.0");
+        assert_eq!(p.subcircuits().len(), 1);
+        assert_eq!(p.subcircuits()[0].instructions().len(), 2);
+    }
+
+    #[test]
+    fn parses_without_explicit_subcircuit() {
+        let p = parse("qubits 1\nx q[0]\n").unwrap();
+        assert_eq!(p.subcircuits()[0].name(), "default");
+    }
+
+    #[test]
+    fn parses_iterated_subcircuit() {
+        let p = parse("qubits 1\n.loop(5)\nx q[0]\n").unwrap();
+        assert_eq!(p.subcircuits()[0].iterations(), 5);
+    }
+
+    #[test]
+    fn parses_bundle() {
+        let p = parse("qubits 2\n{ x q[0] | y q[1] }\n").unwrap();
+        match &p.subcircuits()[0].instructions()[0] {
+            Instruction::Bundle(v) => assert_eq!(v.len(), 2),
+            other => panic!("expected bundle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_conditional() {
+        let p = parse("qubits 2\nc-x b[0], q[1]\n").unwrap();
+        match &p.subcircuits()[0].instructions()[0] {
+            Instruction::Cond(b, g) => {
+                assert_eq!(b.index(), 0);
+                assert_eq!(g.kind, GateKind::X);
+                assert_eq!(g.qubits, vec![Qubit(1)]);
+            }
+            other => panic!("expected conditional, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_rotations_and_pi_expressions() {
+        let p = parse("qubits 1\nrx q[0], 1.5\nrz q[0], pi/2\nry q[0], -pi\nrz q[0], 2*pi\n")
+            .unwrap();
+        let ins = p.subcircuits()[0].instructions();
+        match &ins[1] {
+            Instruction::Gate(g) => {
+                let a = g.kind.angle().unwrap();
+                assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &ins[3] {
+            Instruction::Gate(g) => {
+                let a = g.kind.angle().unwrap();
+                assert!((a - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_crk() {
+        let p = parse("qubits 2\ncrk q[0], q[1], 3\n").unwrap();
+        match &p.subcircuits()[0].instructions()[0] {
+            Instruction::Gate(g) => assert_eq!(g.kind, GateKind::CRk(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse("# top\nqubits 1\n\n// c++-style\nx q[0]  # trailing\n").unwrap();
+        assert_eq!(p.subcircuits()[0].instructions().len(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_gate() {
+        let e = parse("qubits 1\nfrobnicate q[0]\n").unwrap_err();
+        assert!(e.to_string().contains("unknown gate"));
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn error_on_missing_qubits() {
+        assert!(parse("x q[0]\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn error_on_bad_operand_count() {
+        assert!(parse("qubits 2\ncnot q[0]\n").is_err());
+        assert!(parse("qubits 2\nh q[0], q[1]\n").is_err());
+    }
+
+    #[test]
+    fn error_on_bad_reference() {
+        assert!(parse("qubits 1\nx p[0]\n").is_err());
+        assert!(parse("qubits 1\nx q[zero]\n").is_err());
+    }
+
+    #[test]
+    fn cx_and_ccx_aliases() {
+        let p = parse("qubits 3\ncx q[0], q[1]\nccx q[0], q[1], q[2]\n").unwrap();
+        let ins = p.subcircuits()[0].instructions();
+        assert!(matches!(&ins[0], Instruction::Gate(g) if g.kind == GateKind::Cnot));
+        assert!(matches!(&ins[1], Instruction::Gate(g) if g.kind == GateKind::Toffoli));
+    }
+
+    #[test]
+    fn measure_variants() {
+        let p = parse("qubits 2\nmeasure q[0]\nmeasure_all\n").unwrap();
+        let ins = p.subcircuits()[0].instructions();
+        assert!(matches!(ins[0], Instruction::Measure(Qubit(0))));
+        assert!(matches!(ins[1], Instruction::MeasureAll));
+    }
+}
+
+#[cfg(test)]
+mod error_model_tests {
+    use super::*;
+
+    #[test]
+    fn parses_error_model_directive() {
+        let p = parse("version 1.0\nqubits 2\nerror_model depolarizing_channel, 0.001\nh q[0]\n")
+            .unwrap();
+        let m = p.error_model().expect("model parsed");
+        assert_eq!(m.name, "depolarizing_channel");
+        assert_eq!(m.params, vec![0.001]);
+    }
+
+    #[test]
+    fn roundtrips_through_the_writer() {
+        let src = "version 1.0\nqubits 1\nerror_model depolarizing_channel, 0.01\nx q[0]\n";
+        let p = parse(src).unwrap();
+        let q = parse(&p.to_string()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        assert!(parse("qubits 1\nerror_model a, 1\nerror_model b, 2\n").is_err());
+        assert!(parse("qubits 1\nerror_model depolarizing_channel, soup\n").is_err());
+        assert!(parse("qubits 1\nerror_model\n").is_err());
+    }
+
+    #[test]
+    fn multi_parameter_models() {
+        let p = parse("qubits 1\nerror_model pauli_channel, 0.1, 0.2, 0.3\n").unwrap();
+        assert_eq!(p.error_model().unwrap().params.len(), 3);
+    }
+}

@@ -1,0 +1,446 @@
+//! Programs and subcircuits: the top-level cQASM containers.
+
+use crate::error::Error;
+use crate::instruction::{Instruction, Qubit};
+use crate::stats::CircuitStats;
+use std::fmt;
+
+/// A named subcircuit (`.name` or `.name(iterations)` in the text syntax).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subcircuit {
+    name: String,
+    iterations: u64,
+    instructions: Vec<Instruction>,
+}
+
+impl Subcircuit {
+    /// Creates an empty subcircuit executed once.
+    pub fn new(name: impl Into<String>) -> Self {
+        Subcircuit {
+            name: name.into(),
+            iterations: 1,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Creates an empty subcircuit repeated `iterations` times.
+    pub fn with_iterations(name: impl Into<String>, iterations: u64) -> Self {
+        Subcircuit {
+            name: name.into(),
+            iterations,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// The subcircuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many times the executor repeats this subcircuit.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Mutable access to the instruction sequence (used by compiler passes).
+    pub fn instructions_mut(&mut self) -> &mut Vec<Instruction> {
+        &mut self.instructions
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: Instruction) {
+        self.instructions.push(instruction);
+    }
+}
+
+impl Extend<Instruction> for Subcircuit {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+/// A complete cQASM program: a version banner, a qubit count, and a list of
+/// subcircuits.
+///
+/// Construct programs either with [`Program::parse`] from text, or
+/// programmatically with [`Program::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    version: String,
+    qubit_count: usize,
+    subcircuits: Vec<Subcircuit>,
+    error_model: Option<ErrorModelSpec>,
+}
+
+/// An `error_model` directive: the QX convention of configuring the
+/// simulator's noise from inside the assembly file
+/// (e.g. `error_model depolarizing_channel, 0.001`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorModelSpec {
+    /// Model name (e.g. `depolarizing_channel`).
+    pub name: String,
+    /// Numeric parameters.
+    pub params: Vec<f64>,
+}
+
+impl Program {
+    /// Creates an empty program over `qubit_count` qubits (version `1.0`).
+    pub fn new(qubit_count: usize) -> Self {
+        Program {
+            version: "1.0".to_owned(),
+            qubit_count,
+            subcircuits: Vec::new(),
+            error_model: None,
+        }
+    }
+
+    /// The `error_model` directive, if the program declares one.
+    pub fn error_model(&self) -> Option<&ErrorModelSpec> {
+        self.error_model.as_ref()
+    }
+
+    /// Sets or clears the `error_model` directive.
+    pub fn set_error_model(&mut self, model: Option<ErrorModelSpec>) {
+        self.error_model = model;
+    }
+
+    /// Starts a fluent builder for programmatic construction.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cqasm::{GateKind, Program};
+    ///
+    /// let p = Program::builder(2)
+    ///     .subcircuit("bell")
+    ///     .gate(GateKind::H, &[0])
+    ///     .gate(GateKind::Cnot, &[0, 1])
+    ///     .measure_all()
+    ///     .build();
+    /// assert_eq!(p.stats().two_qubit_gates, 1);
+    /// ```
+    pub fn builder(qubit_count: usize) -> ProgramBuilder {
+        ProgramBuilder {
+            program: Program::new(qubit_count),
+        }
+    }
+
+    /// Parses a cQASM source text. See [`crate::parser`] for the grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] on malformed text and [`Error::Validate`] if
+    /// the parsed program is semantically invalid.
+    pub fn parse(src: &str) -> Result<Self, Error> {
+        let p = crate::parser::parse(src)?;
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// The version banner (normally `"1.0"`).
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// Sets the version banner.
+    pub fn set_version(&mut self, version: impl Into<String>) {
+        self.version = version.into();
+    }
+
+    /// Number of qubits the program addresses.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// The subcircuits in program order.
+    pub fn subcircuits(&self) -> &[Subcircuit] {
+        &self.subcircuits
+    }
+
+    /// Mutable access to the subcircuits (used by compiler passes).
+    pub fn subcircuits_mut(&mut self) -> &mut Vec<Subcircuit> {
+        &mut self.subcircuits
+    }
+
+    /// Appends a subcircuit.
+    pub fn push_subcircuit(&mut self, sub: Subcircuit) {
+        self.subcircuits.push(sub);
+    }
+
+    /// Iterates over every instruction of every subcircuit, expanding
+    /// iteration counts (a subcircuit with `iterations = n` contributes its
+    /// body `n` times).
+    pub fn flat_instructions(&self) -> impl Iterator<Item = &Instruction> + '_ {
+        self.subcircuits.iter().flat_map(|s| {
+            std::iter::repeat_n(s.instructions(), s.iterations() as usize)
+                .flatten()
+        })
+    }
+
+    /// Checks semantic validity: qubit indices in range, non-empty bundles
+    /// with disjoint operand sets, classical bit indices in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Validate`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), Error> {
+        for sub in &self.subcircuits {
+            for ins in sub.instructions() {
+                self.validate_instruction(ins, sub.name())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_instruction(&self, ins: &Instruction, sub: &str) -> Result<(), Error> {
+        let check_qubit = |q: Qubit| -> Result<(), Error> {
+            if q.index() >= self.qubit_count {
+                return Err(Error::validate(format!(
+                    "qubit index {} out of range (program has {} qubits) in subcircuit `{sub}`",
+                    q.index(),
+                    self.qubit_count
+                )));
+            }
+            Ok(())
+        };
+        match ins {
+            Instruction::Bundle(instrs) => {
+                if instrs.is_empty() {
+                    return Err(Error::validate(format!(
+                        "empty bundle in subcircuit `{sub}`"
+                    )));
+                }
+                let mut seen: Vec<Qubit> = Vec::new();
+                for inner in instrs {
+                    if matches!(inner, Instruction::Bundle(_)) {
+                        return Err(Error::validate(format!(
+                            "nested bundle in subcircuit `{sub}`"
+                        )));
+                    }
+                    self.validate_instruction(inner, sub)?;
+                    for q in inner.qubits() {
+                        if seen.contains(&q) {
+                            return Err(Error::validate(format!(
+                                "qubit {q} used twice within one bundle in subcircuit `{sub}`"
+                            )));
+                        }
+                        seen.push(q);
+                    }
+                }
+                Ok(())
+            }
+            Instruction::Cond(bit, g) => {
+                if bit.index() >= self.qubit_count {
+                    return Err(Error::validate(format!(
+                        "bit index {} out of range (program has {} bits) in subcircuit `{sub}`",
+                        bit.index(),
+                        self.qubit_count
+                    )));
+                }
+                let distinct = distinct_operands(&g.qubits);
+                if !distinct {
+                    return Err(Error::validate(format!(
+                        "repeated operand in `{ins}` in subcircuit `{sub}`"
+                    )));
+                }
+                g.qubits.iter().try_for_each(|q| check_qubit(*q))
+            }
+            Instruction::Gate(g) => {
+                if !distinct_operands(&g.qubits) {
+                    return Err(Error::validate(format!(
+                        "repeated operand in `{ins}` in subcircuit `{sub}`"
+                    )));
+                }
+                g.qubits.iter().try_for_each(|q| check_qubit(*q))
+            }
+            other => other.qubits().into_iter().try_for_each(check_qubit),
+        }
+    }
+
+    /// Computes gate-count / depth statistics over the flattened program.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::of(self)
+    }
+}
+
+fn distinct_operands(qs: &[Qubit]) -> bool {
+    for (i, a) in qs.iter().enumerate() {
+        if qs[i + 1..].contains(a) {
+            return false;
+        }
+    }
+    true
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::writer::write_program(self, f)
+    }
+}
+
+/// Fluent builder returned by [`Program::builder`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Opens a new subcircuit; subsequent instructions go into it.
+    pub fn subcircuit(mut self, name: impl Into<String>) -> Self {
+        self.program.push_subcircuit(Subcircuit::new(name));
+        self
+    }
+
+    /// Opens a new subcircuit repeated `iterations` times.
+    pub fn subcircuit_iterated(mut self, name: impl Into<String>, iterations: u64) -> Self {
+        self.program
+            .push_subcircuit(Subcircuit::with_iterations(name, iterations));
+        self
+    }
+
+    fn current(&mut self) -> &mut Subcircuit {
+        if self.program.subcircuits.is_empty() {
+            self.program.push_subcircuit(Subcircuit::new("main"));
+        }
+        self.program
+            .subcircuits
+            .last_mut()
+            .expect("just ensured non-empty")
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity.
+    pub fn gate(mut self, kind: crate::GateKind, qubits: &[usize]) -> Self {
+        self.current().push(Instruction::gate(kind, qubits));
+        self
+    }
+
+    /// Appends an arbitrary instruction.
+    pub fn instruction(mut self, ins: Instruction) -> Self {
+        self.current().push(ins);
+        self
+    }
+
+    /// Appends `prep_z` on a qubit.
+    pub fn prep_z(mut self, qubit: usize) -> Self {
+        self.current().push(Instruction::PrepZ(Qubit(qubit)));
+        self
+    }
+
+    /// Appends a measurement of one qubit.
+    pub fn measure(mut self, qubit: usize) -> Self {
+        self.current().push(Instruction::Measure(Qubit(qubit)));
+        self
+    }
+
+    /// Appends a measurement of all qubits.
+    pub fn measure_all(mut self) -> Self {
+        self.current().push(Instruction::MeasureAll);
+        self
+    }
+
+    /// Finishes building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed program fails validation; the builder API
+    /// is typed, so this only happens on out-of-range qubit indices.
+    pub fn build(self) -> Program {
+        self.program
+            .validate()
+            .expect("builder produced an invalid program");
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn builder_roundtrip() {
+        let p = Program::builder(3)
+            .subcircuit("init")
+            .prep_z(0)
+            .prep_z(1)
+            .subcircuit("body")
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build();
+        assert_eq!(p.subcircuits().len(), 2);
+        assert_eq!(p.subcircuits()[1].name(), "body");
+        assert_eq!(p.flat_instructions().count(), 5);
+    }
+
+    #[test]
+    fn builder_creates_default_subcircuit() {
+        let p = Program::builder(1).gate(GateKind::X, &[0]).build();
+        assert_eq!(p.subcircuits()[0].name(), "main");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        let mut p = Program::new(2);
+        let mut s = Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[5]));
+        p.push_subcircuit(s);
+        assert!(matches!(p.validate(), Err(Error::Validate { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_bundle() {
+        let mut p = Program::new(2);
+        let mut s = Subcircuit::new("s");
+        s.push(Instruction::Bundle(vec![
+            Instruction::gate(GateKind::X, &[0]),
+            Instruction::gate(GateKind::Y, &[0]),
+        ]));
+        p.push_subcircuit(s);
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn validation_rejects_nested_bundle() {
+        let mut p = Program::new(2);
+        let mut s = Subcircuit::new("s");
+        s.push(Instruction::Bundle(vec![Instruction::Bundle(vec![
+            Instruction::gate(GateKind::X, &[0]),
+        ])]));
+        p.push_subcircuit(s);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_repeated_operand() {
+        let mut p = Program::new(2);
+        let mut s = Subcircuit::new("s");
+        s.instructions_mut().push(Instruction::Gate(
+            crate::instruction::GateApp {
+                kind: GateKind::Cnot,
+                qubits: vec![Qubit(1), Qubit(1)],
+            },
+        ));
+        p.push_subcircuit(s);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn iterations_expand_in_flat_instructions() {
+        let mut p = Program::new(1);
+        let mut s = Subcircuit::with_iterations("loop", 3);
+        s.push(Instruction::gate(GateKind::X, &[0]));
+        p.push_subcircuit(s);
+        assert_eq!(p.flat_instructions().count(), 3);
+    }
+}

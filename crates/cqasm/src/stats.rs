@@ -1,0 +1,132 @@
+//! Circuit statistics: gate counts and depth, used by the compiler reports
+//! and the experiment harness.
+
+use crate::instruction::Instruction;
+use crate::program::Program;
+use std::fmt;
+
+/// Summary statistics of a (flattened) program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Total unitary gate applications (bundles expanded, conditionals
+    /// counted).
+    pub gates: usize,
+    /// Gates acting on a single qubit.
+    pub single_qubit_gates: usize,
+    /// Gates acting on exactly two qubits.
+    pub two_qubit_gates: usize,
+    /// Gates acting on three or more qubits.
+    pub multi_qubit_gates: usize,
+    /// Measurement operations (`measure_all` counts as one per qubit).
+    pub measurements: usize,
+    /// State preparations.
+    pub preparations: usize,
+    /// Circuit depth in *logical time steps*: each bundle is one step, each
+    /// stand-alone instruction is one step, repeated per subcircuit
+    /// iteration.
+    pub depth: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a program.
+    pub fn of(program: &Program) -> Self {
+        let mut s = CircuitStats::default();
+        for ins in program.flat_instructions() {
+            s.absorb(ins, program.qubit_count());
+            s.depth += 1;
+        }
+        s
+    }
+
+    fn absorb(&mut self, ins: &Instruction, qubit_count: usize) {
+        match ins {
+            Instruction::Gate(g) | Instruction::Cond(_, g) => {
+                self.gates += 1;
+                match g.kind.arity() {
+                    1 => self.single_qubit_gates += 1,
+                    2 => self.two_qubit_gates += 1,
+                    _ => self.multi_qubit_gates += 1,
+                }
+            }
+            Instruction::Measure(_) => self.measurements += 1,
+            Instruction::MeasureAll => self.measurements += qubit_count,
+            Instruction::PrepZ(_) => self.preparations += 1,
+            Instruction::Bundle(instrs) => {
+                for inner in instrs {
+                    self.absorb(inner, qubit_count);
+                }
+            }
+            Instruction::Wait(_) | Instruction::Display => {}
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gates={} (1q={}, 2q={}, 3q+={}), measurements={}, preps={}, depth={}",
+            self.gates,
+            self.single_qubit_gates,
+            self.two_qubit_gates,
+            self.multi_qubit_gates,
+            self.measurements,
+            self.preparations,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::program::Subcircuit;
+
+    #[test]
+    fn counts_by_arity() {
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Toffoli, &[0, 1, 2])
+            .measure_all()
+            .build();
+        let s = p.stats();
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.single_qubit_gates, 1);
+        assert_eq!(s.two_qubit_gates, 1);
+        assert_eq!(s.multi_qubit_gates, 1);
+        assert_eq!(s.measurements, 3);
+        assert_eq!(s.depth, 4);
+    }
+
+    #[test]
+    fn bundle_counts_gates_but_one_depth_step() {
+        let p = Program::builder(2)
+            .instruction(Instruction::Bundle(vec![
+                Instruction::gate(GateKind::X, &[0]),
+                Instruction::gate(GateKind::Y, &[1]),
+            ]))
+            .build();
+        let s = p.stats();
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.depth, 1);
+    }
+
+    #[test]
+    fn iterations_multiply_counts() {
+        let mut p = Program::new(1);
+        let mut sub = Subcircuit::with_iterations("loop", 4);
+        sub.push(Instruction::gate(GateKind::X, &[0]));
+        p.push_subcircuit(sub);
+        let s = p.stats();
+        assert_eq!(s.gates, 4);
+        assert_eq!(s.depth, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = Program::builder(1).gate(GateKind::X, &[0]).build();
+        assert!(p.stats().to_string().contains("gates=1"));
+    }
+}

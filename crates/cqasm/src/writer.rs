@@ -1,0 +1,70 @@
+//! Pretty-printer producing parseable cQASM text.
+//!
+//! `Program` implements `Display` via [`write_program`]; the output
+//! round-trips through [`crate::parser::parse`].
+
+use crate::program::Program;
+use std::fmt;
+
+/// Writes a program in cQASM text form.
+///
+/// Used by `impl Display for Program`; exposed for writers that want to
+/// stream into any [`fmt::Write`].
+pub fn write_program(program: &Program, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    writeln!(f, "version {}", program.version())?;
+    writeln!(f, "qubits {}", program.qubit_count())?;
+    if let Some(model) = program.error_model() {
+        write!(f, "error_model {}", model.name)?;
+        for p in &model.params {
+            write!(f, ", {p}")?;
+        }
+        writeln!(f)?;
+    }
+    for sub in program.subcircuits() {
+        writeln!(f)?;
+        if sub.iterations() == 1 {
+            writeln!(f, ".{}", sub.name())?;
+        } else {
+            writeln!(f, ".{}({})", sub.name(), sub.iterations())?;
+        }
+        for ins in sub.instructions() {
+            writeln!(f, "  {ins}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gate::GateKind;
+    use crate::instruction::Instruction;
+    use crate::program::Program;
+
+    #[test]
+    fn roundtrip_simple() {
+        let p = Program::builder(3)
+            .subcircuit("init")
+            .prep_z(0)
+            .subcircuit_iterated("body", 2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Rz(0.25), &[2])
+            .instruction(Instruction::Bundle(vec![
+                Instruction::gate(GateKind::X, &[0]),
+                Instruction::gate(GateKind::Y, &[1]),
+            ]))
+            .measure_all()
+            .build();
+        let text = p.to_string();
+        let q = Program::parse(&text).expect("reprint parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn header_format() {
+        let p = Program::builder(4).gate(GateKind::X, &[0]).build();
+        let text = p.to_string();
+        assert!(text.starts_with("version 1.0\nqubits 4\n"));
+        assert!(text.contains(".main\n"));
+    }
+}

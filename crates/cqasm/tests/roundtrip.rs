@@ -1,0 +1,107 @@
+//! Property-based tests: printing any generated program and re-parsing it
+//! yields the identical program, and validation accepts what the builder
+//! produces.
+
+use cqasm::{GateKind, Instruction, Program, Qubit};
+use proptest::prelude::*;
+
+const QUBITS: usize = 6;
+
+fn arb_gate_kind() -> impl Strategy<Value = GateKind> {
+    prop_oneof![
+        Just(GateKind::I),
+        Just(GateKind::H),
+        Just(GateKind::X),
+        Just(GateKind::Y),
+        Just(GateKind::Z),
+        Just(GateKind::S),
+        Just(GateKind::Sdag),
+        Just(GateKind::T),
+        Just(GateKind::Tdag),
+        Just(GateKind::X90),
+        Just(GateKind::Y90),
+        Just(GateKind::Mx90),
+        Just(GateKind::My90),
+        // Finite angles that print exactly (parser reads full f64 precision).
+        (-8i32..8).prop_map(|k| GateKind::Rx(k as f64 * 0.25)),
+        (-8i32..8).prop_map(|k| GateKind::Ry(k as f64 * 0.25)),
+        (-8i32..8).prop_map(|k| GateKind::Rz(k as f64 * 0.25)),
+        Just(GateKind::Cnot),
+        Just(GateKind::Cz),
+        Just(GateKind::Swap),
+        (1u32..6).prop_map(GateKind::CRk),
+        Just(GateKind::Toffoli),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let gate = arb_gate_kind().prop_flat_map(|kind| {
+        let arity = kind.arity();
+        proptest::sample::subsequence((0..QUBITS).collect::<Vec<_>>(), arity)
+            .prop_map(move |qs| Instruction::gate(kind, &qs))
+    });
+    prop_oneof![
+        8 => gate,
+        1 => (0..QUBITS).prop_map(|q| Instruction::Measure(Qubit(q))),
+        1 => (0..QUBITS).prop_map(|q| Instruction::PrepZ(Qubit(q))),
+        1 => Just(Instruction::MeasureAll),
+        1 => (1u64..20).prop_map(Instruction::Wait),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_instruction(), 1..30).prop_map(|instrs| {
+        let mut b = Program::builder(QUBITS).subcircuit("generated");
+        for i in instrs {
+            b = b.instruction(i);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(p in arb_program()) {
+        let text = p.to_string();
+        let q = Program::parse(&text).expect("printed program parses");
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn builder_output_validates(p in arb_program()) {
+        prop_assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn stats_gate_count_matches_flat_walk(p in arb_program()) {
+        let expected = p
+            .flat_instructions()
+            .filter(|i| i.is_unitary_gate())
+            .count();
+        prop_assert_eq!(p.stats().gates, expected);
+    }
+}
+
+proptest! {
+    /// The parser never panics, whatever bytes it is fed — it returns
+    /// `Err` on garbage instead.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
+        let _ = Program::parse(&src);
+    }
+
+    /// Line-structured garbage (plausible-looking tokens) also never
+    /// panics and never produces an invalid program.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        lines in proptest::collection::vec(
+            "(qubits|version|h|cnot|rx|measure|\\.sub|\\{|error_model)? ?(q\\[[0-9]{1,3}\\]|b\\[[0-9]\\]|[0-9.]{1,6}|,)*",
+            0..12
+        )
+    ) {
+        let src = lines.join("\n");
+        if let Ok(p) = Program::parse(&src) {
+            prop_assert!(p.validate().is_ok());
+        }
+    }
+}

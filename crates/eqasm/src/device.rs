@@ -1,0 +1,160 @@
+//! Quantum device backends for the micro-architecture.
+//!
+//! The micro-architecture drives *some* qubit chip — in this stack either
+//! the QX simulator (quantum semantics + pulses) or a pulse-only sink (the
+//! closest software equivalent of attaching the control electronics to a
+//! scope instead of a fridge). This substitution is what lets the full
+//! digital control path run without analogue hardware.
+
+use cqasm::GateKind;
+use qxsim::{QubitModel, StateVector};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+/// Something the micro-architecture can send quantum operations to.
+pub trait QuantumDevice {
+    /// Number of physical qubits.
+    fn qubit_count(&self) -> usize;
+    /// Applies a native unitary gate.
+    fn apply_gate(&mut self, gate: &GateKind, qubits: &[usize]);
+    /// Initialises a qubit to `|0>`.
+    fn prep(&mut self, qubit: usize);
+    /// Measures a qubit in the Z basis.
+    fn measure(&mut self, qubit: usize) -> bool;
+}
+
+/// The QX simulator attached as the quantum chip (Fig 7's pink block).
+#[derive(Debug)]
+pub struct QxDevice {
+    state: StateVector,
+    model: QubitModel,
+    rng: StdRng,
+}
+
+impl QxDevice {
+    /// A device over perfect qubits.
+    pub fn perfect(qubit_count: usize) -> Self {
+        QxDevice::with_model(qubit_count, QubitModel::Perfect, 0xBEEF)
+    }
+
+    /// A device with an explicit qubit model and RNG seed.
+    pub fn with_model(qubit_count: usize, model: QubitModel, seed: u64) -> Self {
+        QxDevice {
+            state: StateVector::zero_state(qubit_count),
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Read access to the current state (for verification).
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// Resets the register to `|0...0>`.
+    pub fn reset_all(&mut self) {
+        self.state = StateVector::zero_state(self.state.qubit_count());
+    }
+}
+
+impl QuantumDevice for QxDevice {
+    fn qubit_count(&self) -> usize {
+        self.state.qubit_count()
+    }
+
+    fn apply_gate(&mut self, gate: &GateKind, qubits: &[usize]) {
+        self.state.apply_gate(gate, qubits);
+        let channel = self.model.gate_channel(gate.arity());
+        if !channel.is_none() {
+            for &q in qubits {
+                channel.apply(&mut self.state, q, &mut self.rng);
+            }
+        }
+    }
+
+    fn prep(&mut self, qubit: usize) {
+        self.state.reset(qubit, &mut self.rng);
+    }
+
+    fn measure(&mut self, qubit: usize) -> bool {
+        let outcome = self.state.measure(qubit, &mut self.rng);
+        qxsim::error_model::flip_readout(outcome, self.model.readout_error(), &mut self.rng)
+    }
+}
+
+/// A sink that records nothing quantum: used to exercise the control path
+/// (timing, code-words, queues) without quantum semantics. Measurements
+/// return a fixed pattern.
+#[derive(Debug, Clone)]
+pub struct PulseOnlyDevice {
+    qubit_count: usize,
+    measurement_pattern: bool,
+}
+
+impl PulseOnlyDevice {
+    /// A sink over `qubit_count` qubits whose measurements all read 0.
+    pub fn new(qubit_count: usize) -> Self {
+        PulseOnlyDevice {
+            qubit_count,
+            measurement_pattern: false,
+        }
+    }
+
+    /// A sink whose measurements all read 1 (for branch testing).
+    pub fn all_ones(qubit_count: usize) -> Self {
+        PulseOnlyDevice {
+            qubit_count,
+            measurement_pattern: true,
+        }
+    }
+}
+
+impl QuantumDevice for PulseOnlyDevice {
+    fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+    fn apply_gate(&mut self, _gate: &GateKind, _qubits: &[usize]) {}
+    fn prep(&mut self, _qubit: usize) {}
+    fn measure(&mut self, _qubit: usize) -> bool {
+        self.measurement_pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qx_device_runs_gates() {
+        let mut d = QxDevice::perfect(2);
+        d.apply_gate(&GateKind::X, &[0]);
+        assert!(d.measure(0));
+        assert!(!d.measure(1));
+    }
+
+    #[test]
+    fn qx_device_reset() {
+        let mut d = QxDevice::perfect(1);
+        d.apply_gate(&GateKind::X, &[0]);
+        d.reset_all();
+        assert!(!d.measure(0));
+    }
+
+    #[test]
+    fn prep_resets_single_qubit() {
+        let mut d = QxDevice::perfect(2);
+        d.apply_gate(&GateKind::X, &[0]);
+        d.apply_gate(&GateKind::X, &[1]);
+        d.prep(0);
+        assert!(!d.measure(0));
+        assert!(d.measure(1));
+    }
+
+    #[test]
+    fn pulse_only_device_patterns() {
+        let mut z = PulseOnlyDevice::new(2);
+        let mut o = PulseOnlyDevice::all_ones(2);
+        assert!(!z.measure(0));
+        assert!(o.measure(1));
+    }
+}

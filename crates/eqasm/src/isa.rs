@@ -1,0 +1,353 @@
+//! The eQASM instruction set (after Fu et al., reference 27 of the paper).
+//!
+//! eQASM is the *executable* QASM: the compiler backend lowers cQASM into
+//! this ISA, which a classical micro-architecture executes with
+//! nanosecond-precise timing. The set combines:
+//!
+//! - classical ALU/branch instructions executed by the control processor;
+//! - target-register setup (`SMIS`/`SMIT`) naming qubit (pair) masks;
+//! - timing instructions (`QWAIT`);
+//! - very-long-instruction-word quantum bundles, each carrying a
+//!   *pre-interval* — the number of cycles between the previous bundle's
+//!   issue point and this one.
+
+use cqasm::GateKind;
+use std::fmt;
+
+/// Comparison conditions for branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// Branch always.
+    Always,
+    /// Branch if the last comparison was equal.
+    Eq,
+    /// Branch if the last comparison was not equal.
+    Ne,
+    /// Branch if less than.
+    Lt,
+    /// Branch if greater than or equal.
+    Ge,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Condition::Always => "always",
+            Condition::Eq => "eq",
+            Condition::Ne => "ne",
+            Condition::Lt => "lt",
+            Condition::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A quantum operation inside a bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QOp {
+    /// What to apply.
+    pub opcode: QOpcode,
+    /// Which target register selects the operand qubits.
+    pub operand: Operand,
+}
+
+/// Quantum opcodes the micro-code unit understands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QOpcode {
+    /// A unitary from the cQASM library (must be platform-native).
+    Gate(GateKind),
+    /// Z-basis measurement.
+    MeasZ,
+    /// Initialisation to `|0>`.
+    PrepZ,
+}
+
+impl QOpcode {
+    /// Mnemonic used for micro-code lookup and disassembly.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            QOpcode::Gate(g) => g.mnemonic().to_owned(),
+            QOpcode::MeasZ => "measz".to_owned(),
+            QOpcode::PrepZ => "prepz".to_owned(),
+        }
+    }
+}
+
+/// A target-register operand: `S` registers hold single-qubit masks, `T`
+/// registers hold qubit-pair lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Single-qubit target register index.
+    S(u8),
+    /// Two-qubit target register index.
+    T(u8),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::S(i) => write!(f, "s{i}"),
+            Operand::T(i) => write!(f, "t{i}"),
+        }
+    }
+}
+
+/// One eQASM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EqInstruction {
+    /// Load immediate into a general-purpose register.
+    Ldi {
+        /// Destination register.
+        rd: u8,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd = rs + rt`.
+    Add {
+        /// Destination register.
+        rd: u8,
+        /// First source.
+        rs: u8,
+        /// Second source.
+        rt: u8,
+    },
+    /// `rd = rs - rt`.
+    Sub {
+        /// Destination register.
+        rd: u8,
+        /// First source.
+        rs: u8,
+        /// Second source.
+        rt: u8,
+    },
+    /// Fetch measurement result of a qubit into a register.
+    Fmr {
+        /// Destination register.
+        rd: u8,
+        /// Physical qubit whose measurement result file is read.
+        qubit: usize,
+    },
+    /// Compare two registers, setting flags for a following branch.
+    Cmp {
+        /// First source.
+        rs: u8,
+        /// Second source.
+        rt: u8,
+    },
+    /// Relative branch by `offset` instructions when `cond` holds.
+    Br {
+        /// Branch condition.
+        cond: Condition,
+        /// Signed instruction offset from the *next* instruction.
+        offset: i64,
+    },
+    /// Define a single-qubit target mask.
+    Smis {
+        /// S-register to define.
+        sd: u8,
+        /// Qubits in the mask.
+        qubits: Vec<usize>,
+    },
+    /// Define a two-qubit target list.
+    Smit {
+        /// T-register to define.
+        td: u8,
+        /// Ordered qubit pairs.
+        pairs: Vec<(usize, usize)>,
+    },
+    /// Advance the quantum timing queue by `cycles`.
+    Qwait {
+        /// Idle cycles.
+        cycles: u64,
+    },
+    /// A quantum bundle: all `ops` issue `pre_interval` cycles after the
+    /// previous bundle's issue point.
+    Bundle {
+        /// Cycles since the previous quantum issue point.
+        pre_interval: u64,
+        /// Parallel quantum operations.
+        ops: Vec<QOp>,
+    },
+    /// No operation.
+    Nop,
+    /// Halt execution.
+    Stop,
+}
+
+impl fmt::Display for EqInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqInstruction::Ldi { rd, imm } => write!(f, "ldi r{rd}, {imm}"),
+            EqInstruction::Add { rd, rs, rt } => write!(f, "add r{rd}, r{rs}, r{rt}"),
+            EqInstruction::Sub { rd, rs, rt } => write!(f, "sub r{rd}, r{rs}, r{rt}"),
+            EqInstruction::Fmr { rd, qubit } => write!(f, "fmr r{rd}, q{qubit}"),
+            EqInstruction::Cmp { rs, rt } => write!(f, "cmp r{rs}, r{rt}"),
+            EqInstruction::Br { cond, offset } => write!(f, "br {cond}, {offset:+}"),
+            EqInstruction::Smis { sd, qubits } => {
+                write!(f, "smis s{sd}, {{")?;
+                for (i, q) in qubits.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{q}")?;
+                }
+                write!(f, "}}")
+            }
+            EqInstruction::Smit { td, pairs } => {
+                write!(f, "smit t{td}, {{")?;
+                for (i, (a, b)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "({a},{b})")?;
+                }
+                write!(f, "}}")
+            }
+            EqInstruction::Qwait { cycles } => write!(f, "qwait {cycles}"),
+            EqInstruction::Bundle { pre_interval, ops } => {
+                write!(f, "{pre_interval}: ")?;
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{} {}", op.opcode.mnemonic(), op.operand)?;
+                }
+                Ok(())
+            }
+            EqInstruction::Nop => f.write_str("nop"),
+            EqInstruction::Stop => f.write_str("stop"),
+        }
+    }
+}
+
+/// A complete eQASM program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EqasmProgram {
+    instructions: Vec<EqInstruction>,
+    qubit_count: usize,
+}
+
+impl EqasmProgram {
+    /// Creates an empty program over `qubit_count` physical qubits.
+    pub fn new(qubit_count: usize) -> Self {
+        EqasmProgram {
+            instructions: Vec::new(),
+            qubit_count,
+        }
+    }
+
+    /// Physical qubits addressed.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// The instruction stream.
+    pub fn instructions(&self) -> &[EqInstruction] {
+        &self.instructions
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: EqInstruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// Number of quantum bundles in the stream.
+    pub fn bundle_count(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, EqInstruction::Bundle { .. }))
+            .count()
+    }
+}
+
+impl Extend<EqInstruction> for EqasmProgram {
+    fn extend<T: IntoIterator<Item = EqInstruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+impl fmt::Display for EqasmProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# eqasm, {} qubits", self.qubit_count)?;
+        for ins in &self.instructions {
+            writeln!(f, "{ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EqInstruction::Ldi { rd: 1, imm: -3 }.to_string(), "ldi r1, -3");
+        assert_eq!(
+            EqInstruction::Smis {
+                sd: 2,
+                qubits: vec![0, 3]
+            }
+            .to_string(),
+            "smis s2, {0, 3}"
+        );
+        assert_eq!(
+            EqInstruction::Smit {
+                td: 0,
+                pairs: vec![(0, 1)]
+            }
+            .to_string(),
+            "smit t0, {(0,1)}"
+        );
+        assert_eq!(EqInstruction::Qwait { cycles: 4 }.to_string(), "qwait 4");
+        assert_eq!(
+            EqInstruction::Br {
+                cond: Condition::Eq,
+                offset: 2
+            }
+            .to_string(),
+            "br eq, +2"
+        );
+        let b = EqInstruction::Bundle {
+            pre_interval: 1,
+            ops: vec![
+                QOp {
+                    opcode: QOpcode::Gate(GateKind::X90),
+                    operand: Operand::S(0),
+                },
+                QOp {
+                    opcode: QOpcode::Gate(GateKind::Cz),
+                    operand: Operand::T(1),
+                },
+            ],
+        };
+        assert_eq!(b.to_string(), "1: x90 s0 | cz t1");
+    }
+
+    #[test]
+    fn program_accumulates() {
+        let mut p = EqasmProgram::new(2);
+        p.push(EqInstruction::Smis {
+            sd: 0,
+            qubits: vec![0],
+        });
+        p.push(EqInstruction::Bundle {
+            pre_interval: 0,
+            ops: vec![QOp {
+                opcode: QOpcode::Gate(GateKind::X90),
+                operand: Operand::S(0),
+            }],
+        });
+        p.push(EqInstruction::Stop);
+        assert_eq!(p.instructions().len(), 3);
+        assert_eq!(p.bundle_count(), 1);
+        assert!(p.to_string().contains("x90 s0"));
+    }
+
+    #[test]
+    fn opcode_mnemonics() {
+        assert_eq!(QOpcode::MeasZ.mnemonic(), "measz");
+        assert_eq!(QOpcode::Gate(GateKind::Cz).mnemonic(), "cz");
+        assert_eq!(QOpcode::PrepZ.mnemonic(), "prepz");
+    }
+}

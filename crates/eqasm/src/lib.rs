@@ -1,0 +1,46 @@
+//! # eqasm — executable QASM and the quantum micro-architecture
+//!
+//! This crate is the bottom digital layer of the full-stack accelerator of
+//! Bertels et al. (DATE 2020, §2.5 and §3.1): the eQASM instruction set
+//! ([`EqasmProgram`]), the backend compiler pass from scheduled cQASM
+//! ([`translate()`]), the retargetable micro-code unit ([`MicrocodeTable`])
+//! and a cycle-accurate micro-architecture executor
+//! ([`MicroArchitecture`]) that drives either the QX simulator
+//! ([`QxDevice`]) or a pulse-only sink ([`PulseOnlyDevice`]).
+//!
+//! The end-to-end pipeline of Fig 6 — algorithm → OpenQL → cQASM → eQASM →
+//! micro-code → code-words → pulses — runs entirely in software here; the
+//! analogue transduction is replaced by timestamped [`PulseEvent`] records.
+//!
+//! # Example
+//!
+//! ```
+//! use eqasm::{MicroArchitecture, QxDevice, translate};
+//! use openql::{Compiler, Kernel, Platform, QuantumProgram};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut k = Kernel::new("bell", 2);
+//! k.h(0).cnot(0, 1).measure_all();
+//! let mut p = QuantumProgram::new("demo", 2);
+//! p.add_kernel(k);
+//!
+//! let out = Compiler::new(Platform::superconducting_grid(1, 2)).compile(&p)?;
+//! let eq = translate(&out.schedule)?;
+//! let mut device = QxDevice::perfect(2);
+//! let trace = MicroArchitecture::superconducting().execute(&eq, &mut device)?;
+//! assert_eq!(trace.bit(0), trace.bit(1)); // Bell correlation
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod device;
+pub mod isa;
+pub mod microarch;
+pub mod microcode;
+pub mod translate;
+
+pub use device::{PulseOnlyDevice, QuantumDevice, QxDevice};
+pub use isa::{Condition, EqInstruction, EqasmProgram, Operand, QOp, QOpcode};
+pub use microarch::{ExecError, ExecutionTrace, MicroArchitecture, PulseEvent};
+pub use microcode::{ChannelKind, CodewordEntry, MicrocodeTable};
+pub use translate::{TranslateError, translate};

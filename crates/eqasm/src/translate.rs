@@ -1,0 +1,379 @@
+//! The backend compiler pass: scheduled cQASM → eQASM.
+//!
+//! This is the "second back-end compiler pass that translates cQASM into
+//! the eQASM version" described in §3.1 of the paper. The input is an
+//! OpenQL [`openql::Schedule`] (cycle-annotated instructions in physical
+//! operand space); the output is an [`EqasmProgram`] whose bundles carry
+//! pre-interval timing and whose operands are SMIS/SMIT target registers.
+
+use crate::isa::{Condition, EqInstruction, EqasmProgram, Operand, QOp, QOpcode};
+use cqasm::{GateKind, Instruction};
+use openql::Schedule;
+use std::collections::HashMap;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from the backend pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The instruction cannot be expressed in eQASM (e.g. a gate of arity
+    /// three reached the backend; decompose first).
+    Unsupported(String),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Unsupported(m) => write!(f, "cannot translate to eqasm: {m}"),
+        }
+    }
+}
+
+impl StdError for TranslateError {}
+
+/// Scratch registers used by conditional-gate expansion.
+const REG_ZERO: u8 = 0;
+const REG_MEAS: u8 = 1;
+
+/// Round-robin allocator for target registers, reusing exact mask matches.
+struct TargetRegs<K> {
+    map: HashMap<K, u8>,
+    next: u8,
+    capacity: u8,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> TargetRegs<K> {
+    fn new(capacity: u8) -> Self {
+        TargetRegs {
+            map: HashMap::new(),
+            next: 0,
+            capacity,
+        }
+    }
+
+    /// Returns `(register, needs_definition)`.
+    fn get(&mut self, key: &K) -> (u8, bool) {
+        if let Some(&r) = self.map.get(key) {
+            return (r, false);
+        }
+        let r = self.next;
+        self.next = (self.next + 1) % self.capacity;
+        // Evict whatever key previously used this register.
+        self.map.retain(|_, v| *v != r);
+        self.map.insert(key.clone(), r);
+        (r, true)
+    }
+}
+
+/// Translates a schedule into eQASM.
+///
+/// # Errors
+///
+/// Returns [`TranslateError::Unsupported`] for instructions outside the
+/// eQASM model (three-qubit gates, nested bundles).
+pub fn translate(schedule: &Schedule) -> Result<EqasmProgram, TranslateError> {
+    let n = schedule.qubit_count();
+    let mut out = EqasmProgram::new(n);
+    let mut sregs: TargetRegs<Vec<usize>> = TargetRegs::new(32);
+    let mut tregs: TargetRegs<Vec<(usize, usize)>> = TargetRegs::new(32);
+    out.push(EqInstruction::Ldi {
+        rd: REG_ZERO,
+        imm: 0,
+    });
+
+    let mut prev_issue: u64 = 0;
+    let items = schedule.items();
+    let mut i = 0usize;
+    while i < items.len() {
+        let start = items[i].start;
+        // Collect the cycle's instructions.
+        let mut slot = Vec::new();
+        while i < items.len() && items[i].start == start {
+            slot.push(&items[i].instruction);
+            i += 1;
+        }
+        let pre_interval = start - prev_issue;
+        prev_issue = start;
+
+        // Split unconditional ops from conditionals.
+        let mut ops: Vec<QOp> = Vec::new();
+        let mut conditionals: Vec<(usize, &cqasm::GateApp)> = Vec::new();
+        // Group unconditional gates by (opcode, arity) preserving kind
+        // equality, accumulating masks.
+        let mut one_q: Vec<(GateKind, Vec<usize>)> = Vec::new();
+        let mut two_q: Vec<(GateKind, Vec<(usize, usize)>)> = Vec::new();
+        let mut meas: Vec<usize> = Vec::new();
+        let mut preps: Vec<usize> = Vec::new();
+
+        for ins in slot {
+            match ins {
+                Instruction::Gate(g) => match g.qubits.len() {
+                    1 => add_grouped(&mut one_q, g.kind, g.qubits[0].index()),
+                    2 => add_grouped_pairs(
+                        &mut two_q,
+                        g.kind,
+                        (g.qubits[0].index(), g.qubits[1].index()),
+                    ),
+                    _ => {
+                        return Err(TranslateError::Unsupported(format!(
+                            "{}-qubit gate `{}`",
+                            g.qubits.len(),
+                            g.kind
+                        )));
+                    }
+                },
+                Instruction::Cond(bit, g) => conditionals.push((bit.index(), g)),
+                Instruction::Measure(q) => meas.push(q.index()),
+                Instruction::MeasureAll => meas.extend(0..n),
+                Instruction::PrepZ(q) => preps.push(q.index()),
+                Instruction::Wait(_) | Instruction::Display => {}
+                Instruction::Bundle(_) => {
+                    return Err(TranslateError::Unsupported(
+                        "nested bundle in schedule".to_owned(),
+                    ));
+                }
+            }
+        }
+
+        for (kind, qubits) in &one_q {
+            let (reg, fresh) = sregs.get(qubits);
+            if fresh {
+                out.push(EqInstruction::Smis {
+                    sd: reg,
+                    qubits: qubits.clone(),
+                });
+            }
+            ops.push(QOp {
+                opcode: QOpcode::Gate(*kind),
+                operand: Operand::S(reg),
+            });
+        }
+        for (kind, pairs) in &two_q {
+            let (reg, fresh) = tregs.get(pairs);
+            if fresh {
+                out.push(EqInstruction::Smit {
+                    td: reg,
+                    pairs: pairs.clone(),
+                });
+            }
+            ops.push(QOp {
+                opcode: QOpcode::Gate(*kind),
+                operand: Operand::T(reg),
+            });
+        }
+        if !preps.is_empty() {
+            let mut qs = preps.clone();
+            qs.sort_unstable();
+            let (reg, fresh) = sregs.get(&qs);
+            if fresh {
+                out.push(EqInstruction::Smis { sd: reg, qubits: qs });
+            }
+            ops.push(QOp {
+                opcode: QOpcode::PrepZ,
+                operand: Operand::S(reg),
+            });
+        }
+        if !meas.is_empty() {
+            let mut qs = meas.clone();
+            qs.sort_unstable();
+            qs.dedup();
+            let (reg, fresh) = sregs.get(&qs);
+            if fresh {
+                out.push(EqInstruction::Smis { sd: reg, qubits: qs });
+            }
+            ops.push(QOp {
+                opcode: QOpcode::MeasZ,
+                operand: Operand::S(reg),
+            });
+        }
+
+        if !ops.is_empty() {
+            out.push(EqInstruction::Bundle { pre_interval, ops });
+        } else if pre_interval > 0 && conditionals.is_empty() {
+            out.push(EqInstruction::Qwait {
+                cycles: pre_interval,
+            });
+        }
+
+        // Conditional gates: fetch the measurement result and branch over a
+        // single-op bundle when the bit is zero.
+        for (bit, g) in conditionals {
+            if g.qubits.len() != 1 {
+                return Err(TranslateError::Unsupported(
+                    "conditional multi-qubit gate".to_owned(),
+                ));
+            }
+            out.push(EqInstruction::Fmr {
+                rd: REG_MEAS,
+                qubit: bit,
+            });
+            out.push(EqInstruction::Cmp {
+                rs: REG_MEAS,
+                rt: REG_ZERO,
+            });
+            let qubits = vec![g.qubits[0].index()];
+            let (reg, fresh) = sregs.get(&qubits);
+            if fresh {
+                out.push(EqInstruction::Smis { sd: reg, qubits });
+            }
+            out.push(EqInstruction::Br {
+                cond: Condition::Eq,
+                offset: 1,
+            });
+            out.push(EqInstruction::Bundle {
+                pre_interval: 0,
+                ops: vec![QOp {
+                    opcode: QOpcode::Gate(g.kind),
+                    operand: Operand::S(reg),
+                }],
+            });
+        }
+    }
+    out.push(EqInstruction::Stop);
+    Ok(out)
+}
+
+fn add_grouped(groups: &mut Vec<(GateKind, Vec<usize>)>, kind: GateKind, q: usize) {
+    for (k, qs) in groups.iter_mut() {
+        if *k == kind {
+            qs.push(q);
+            qs.sort_unstable();
+            return;
+        }
+    }
+    groups.push((kind, vec![q]));
+}
+
+fn add_grouped_pairs(
+    groups: &mut Vec<(GateKind, Vec<(usize, usize)>)>,
+    kind: GateKind,
+    pair: (usize, usize),
+) {
+    for (k, ps) in groups.iter_mut() {
+        if *k == kind {
+            ps.push(pair);
+            return;
+        }
+    }
+    groups.push((kind, vec![pair]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openql::{Platform, ScheduleDirection, schedule};
+
+    fn schedule_of(src: &str, platform: &Platform) -> Schedule {
+        let p = cqasm::Program::parse(src).unwrap();
+        schedule(&p, platform, ScheduleDirection::Asap)
+    }
+
+    #[test]
+    fn bell_translates_with_bundles() {
+        let s = schedule_of(
+            "qubits 2\nx90 q[0]\ncz q[0], q[1]\nmeasure_all\n",
+            &Platform::superconducting_grid(1, 2),
+        );
+        let e = translate(&s).unwrap();
+        assert_eq!(e.bundle_count(), 3);
+        let text = e.to_string();
+        assert!(text.contains("smis"));
+        assert!(text.contains("smit"));
+        assert!(text.contains("measz"));
+        assert!(text.ends_with("stop\n"));
+    }
+
+    #[test]
+    fn parallel_same_gate_shares_one_mask() {
+        let s = schedule_of(
+            "qubits 3\n{ x90 q[0] | x90 q[1] | x90 q[2] }\n",
+            &Platform::superconducting_grid(1, 3),
+        );
+        let e = translate(&s).unwrap();
+        // One SMIS covering {0,1,2}, one bundle with a single op.
+        let smis: Vec<_> = e
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                EqInstruction::Smis { qubits, .. } => Some(qubits.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(smis, vec![vec![0, 1, 2]]);
+        assert_eq!(e.bundle_count(), 1);
+    }
+
+    #[test]
+    fn pre_intervals_encode_schedule_gaps() {
+        let s = schedule_of(
+            "qubits 1\nx90 q[0]\nwait 5\ny90 q[0]\n",
+            &Platform::superconducting_grid(1, 1),
+        );
+        let e = translate(&s).unwrap();
+        let intervals: Vec<u64> = e
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                EqInstruction::Bundle { pre_interval, .. } => Some(*pre_interval),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(intervals, vec![0, 6]); // x90 at 0, y90 at 1+5
+    }
+
+    #[test]
+    fn mask_registers_are_reused_on_repeat() {
+        let s = schedule_of(
+            "qubits 1\nx90 q[0]\ny90 q[0]\nx90 q[0]\n",
+            &Platform::superconducting_grid(1, 1),
+        );
+        let e = translate(&s).unwrap();
+        let smis_count = e
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i, EqInstruction::Smis { .. }))
+            .count();
+        assert_eq!(smis_count, 1, "same mask should be defined once");
+    }
+
+    #[test]
+    fn conditional_gate_expands_to_fmr_cmp_br() {
+        let s = schedule_of(
+            "qubits 2\nmeasure q[0]\nc-x90 b[0], q[1]\n",
+            &Platform::superconducting_grid(1, 2),
+        );
+        let e = translate(&s).unwrap();
+        let text = e.to_string();
+        assert!(text.contains("fmr r1, q0"));
+        assert!(text.contains("cmp r1, r0"));
+        assert!(text.contains("br eq, +1"));
+    }
+
+    #[test]
+    fn three_qubit_gate_rejected() {
+        let s = schedule_of("qubits 3\ntoffoli q[0], q[1], q[2]\n", &Platform::perfect(3));
+        assert!(matches!(
+            translate(&s),
+            Err(TranslateError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_rz_angles_do_not_merge() {
+        let s = schedule_of(
+            "qubits 2\n{ rz q[0], 0.5 | rz q[1], 0.75 }\n",
+            &Platform::superconducting_grid(1, 2),
+        );
+        let e = translate(&s).unwrap();
+        // Two different angles -> two ops in the bundle, two masks.
+        let bundle_ops: usize = e
+            .instructions()
+            .iter()
+            .filter_map(|i| match i {
+                EqInstruction::Bundle { ops, .. } => Some(ops.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(bundle_ops, 2);
+    }
+}

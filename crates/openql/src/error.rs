@@ -1,0 +1,77 @@
+//! Compiler error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the OpenQL compiler passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A gate cannot be expressed in the target primitive gate set.
+    Unsupported {
+        /// The gate mnemonic.
+        gate: String,
+        /// The target gate-set name.
+        target: String,
+    },
+    /// The program references more qubits than the platform provides.
+    TooManyQubits {
+        /// Qubits the program needs.
+        needed: usize,
+        /// Qubits the platform has.
+        available: usize,
+    },
+    /// The router failed to connect two qubits (disconnected topology).
+    Unroutable {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+    },
+    /// The input program failed cQASM validation.
+    InvalidProgram(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsupported { gate, target } => {
+                write!(f, "gate `{gate}` has no decomposition into gate set `{target}`")
+            }
+            CompileError::TooManyQubits { needed, available } => write!(
+                f,
+                "program needs {needed} qubits but the platform provides {available}"
+            ),
+            CompileError::Unroutable { a, b } => {
+                write!(f, "no routing path between physical qubits {a} and {b}")
+            }
+            CompileError::InvalidProgram(m) => write!(f, "invalid input program: {m}"),
+        }
+    }
+}
+
+impl StdError for CompileError {}
+
+impl From<cqasm::Error> for CompileError {
+    fn from(e: cqasm::Error) -> Self {
+        CompileError::InvalidProgram(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CompileError::Unsupported {
+            gate: "toffoli".into(),
+            target: "cz-basis".into(),
+        };
+        assert!(e.to_string().contains("toffoli"));
+        let e = CompileError::TooManyQubits {
+            needed: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

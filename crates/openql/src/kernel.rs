@@ -1,0 +1,360 @@
+//! The OpenQL programming interface: quantum kernels and programs.
+//!
+//! Applications are written against this typed API (the paper's "quantum
+//! logic" layer, §2.3/§2.4), then lowered to cQASM by [`QuantumProgram::to_cqasm`]
+//! and compiled for a platform by [`crate::Compiler`].
+
+use cqasm::{GateApp, GateKind, Instruction, Program, Qubit, Subcircuit};
+
+/// A quantum kernel: a named straight-line sequence of quantum operations.
+///
+/// Kernels are the unit the host CPU offloads to the accelerator; classical
+/// control (loops) is expressed by repeating kernels.
+///
+/// # Example
+///
+/// ```
+/// use openql::{Kernel, QuantumProgram};
+///
+/// let mut k = Kernel::new("bell", 2);
+/// k.h(0).cnot(0, 1).measure_all();
+/// let mut p = QuantumProgram::new("demo", 2);
+/// p.add_kernel(k);
+/// let cq = p.to_cqasm();
+/// assert_eq!(cq.stats().gates, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    qubit_count: usize,
+    instructions: Vec<Instruction>,
+}
+
+macro_rules! one_qubit_method {
+    ($(#[$doc:meta])* $name:ident, $kind:expr) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, q: usize) -> &mut Self {
+            self.push_gate($kind, &[q])
+        }
+    };
+}
+
+impl Kernel {
+    /// Creates an empty kernel over `qubit_count` qubits.
+    pub fn new(name: impl Into<String>, qubit_count: usize) -> Self {
+        Kernel {
+            name: name.into(),
+            qubit_count,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits the kernel addresses.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// The instruction sequence built so far.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    fn push_gate(&mut self, kind: GateKind, qubits: &[usize]) -> &mut Self {
+        for &q in qubits {
+            assert!(
+                q < self.qubit_count,
+                "qubit {q} out of range for kernel `{}` ({} qubits)",
+                self.name,
+                self.qubit_count
+            );
+        }
+        self.instructions.push(Instruction::gate(kind, qubits));
+        self
+    }
+
+    /// Appends an arbitrary gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand count or indices are invalid.
+    pub fn gate(&mut self, kind: GateKind, qubits: &[usize]) -> &mut Self {
+        self.push_gate(kind, qubits)
+    }
+
+    one_qubit_method!(
+        /// Appends an identity gate.
+        identity, GateKind::I);
+    one_qubit_method!(
+        /// Appends a Hadamard.
+        h, GateKind::H);
+    one_qubit_method!(
+        /// Appends a Pauli-X.
+        x, GateKind::X);
+    one_qubit_method!(
+        /// Appends a Pauli-Y.
+        y, GateKind::Y);
+    one_qubit_method!(
+        /// Appends a Pauli-Z.
+        z, GateKind::Z);
+    one_qubit_method!(
+        /// Appends an S gate.
+        s, GateKind::S);
+    one_qubit_method!(
+        /// Appends an S† gate.
+        sdag, GateKind::Sdag);
+    one_qubit_method!(
+        /// Appends a T gate.
+        t, GateKind::T);
+    one_qubit_method!(
+        /// Appends a T† gate.
+        tdag, GateKind::Tdag);
+    one_qubit_method!(
+        /// Appends a calibrated +90° X rotation.
+        x90, GateKind::X90);
+    one_qubit_method!(
+        /// Appends a calibrated +90° Y rotation.
+        y90, GateKind::Y90);
+
+    /// Appends `rx(q, angle)`.
+    pub fn rx(&mut self, q: usize, angle: f64) -> &mut Self {
+        self.push_gate(GateKind::Rx(angle), &[q])
+    }
+
+    /// Appends `ry(q, angle)`.
+    pub fn ry(&mut self, q: usize, angle: f64) -> &mut Self {
+        self.push_gate(GateKind::Ry(angle), &[q])
+    }
+
+    /// Appends `rz(q, angle)`.
+    pub fn rz(&mut self, q: usize, angle: f64) -> &mut Self {
+        self.push_gate(GateKind::Rz(angle), &[q])
+    }
+
+    /// Appends a CNOT with `control, target`.
+    pub fn cnot(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push_gate(GateKind::Cnot, &[control, target])
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push_gate(GateKind::Cz, &[a, b])
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push_gate(GateKind::Swap, &[a, b])
+    }
+
+    /// Appends a controlled phase rotation.
+    pub fn cr(&mut self, control: usize, target: usize, angle: f64) -> &mut Self {
+        self.push_gate(GateKind::Cr(angle), &[control, target])
+    }
+
+    /// Appends the QFT phase primitive `crk`.
+    pub fn crk(&mut self, control: usize, target: usize, k: u32) -> &mut Self {
+        self.push_gate(GateKind::CRk(k), &[control, target])
+    }
+
+    /// Appends a Toffoli with controls `c1, c2` and target `t`.
+    pub fn toffoli(&mut self, c1: usize, c2: usize, target: usize) -> &mut Self {
+        self.push_gate(GateKind::Toffoli, &[c1, c2, target])
+    }
+
+    /// Appends a `prep_z`.
+    pub fn prep_z(&mut self, q: usize) -> &mut Self {
+        self.instructions.push(Instruction::PrepZ(Qubit(q)));
+        self
+    }
+
+    /// Appends a measurement.
+    pub fn measure(&mut self, q: usize) -> &mut Self {
+        self.instructions.push(Instruction::Measure(Qubit(q)));
+        self
+    }
+
+    /// Appends a measurement of every qubit.
+    pub fn measure_all(&mut self) -> &mut Self {
+        self.instructions.push(Instruction::MeasureAll);
+        self
+    }
+
+    /// Appends a binary-controlled gate: apply `kind` to `qubits` iff
+    /// classical bit `bit` is one.
+    pub fn cond_gate(&mut self, bit: usize, kind: GateKind, qubits: &[usize]) -> &mut Self {
+        let app = GateApp::new(kind, qubits.iter().copied().map(Qubit).collect());
+        self.instructions.push(Instruction::Cond(cqasm::Bit(bit), app));
+        self
+    }
+
+    /// Appends an idle wait of `cycles`.
+    pub fn wait(&mut self, cycles: u64) -> &mut Self {
+        self.instructions.push(Instruction::Wait(cycles));
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn instruction(&mut self, ins: Instruction) -> &mut Self {
+        self.instructions.push(ins);
+        self
+    }
+
+    /// Appends the inverse of this kernel's gates in reverse order
+    /// (uncomputation). Non-unitary instructions are skipped.
+    pub fn append_inverse_of(&mut self, other: &Kernel) -> &mut Self {
+        for ins in other.instructions.iter().rev() {
+            if let Instruction::Gate(g) = ins {
+                let inv = g.kind.dagger();
+                self.instructions.push(Instruction::Gate(GateApp::new(
+                    inv,
+                    g.qubits.clone(),
+                )));
+            }
+        }
+        self
+    }
+}
+
+/// A quantum program: an ordered list of kernels with iteration counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantumProgram {
+    name: String,
+    qubit_count: usize,
+    kernels: Vec<(Kernel, u64)>,
+}
+
+impl QuantumProgram {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>, qubit_count: usize) -> Self {
+        QuantumProgram {
+            name: name.into(),
+            qubit_count,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// Appends a kernel executed once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel addresses more qubits than the program has.
+    pub fn add_kernel(&mut self, kernel: Kernel) -> &mut Self {
+        self.add_kernel_iterated(kernel, 1)
+    }
+
+    /// Appends a kernel executed `iterations` times (classical loop around
+    /// quantum logic, §2.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel addresses more qubits than the program has.
+    pub fn add_kernel_iterated(&mut self, kernel: Kernel, iterations: u64) -> &mut Self {
+        assert!(
+            kernel.qubit_count() <= self.qubit_count,
+            "kernel `{}` needs {} qubits, program has {}",
+            kernel.name(),
+            kernel.qubit_count(),
+            self.qubit_count
+        );
+        self.kernels.push((kernel, iterations));
+        self
+    }
+
+    /// The kernels with their iteration counts.
+    pub fn kernels(&self) -> &[(Kernel, u64)] {
+        &self.kernels
+    }
+
+    /// Lowers the program to cQASM.
+    pub fn to_cqasm(&self) -> Program {
+        let mut p = Program::new(self.qubit_count);
+        for (k, iters) in &self.kernels {
+            let mut sub = Subcircuit::with_iterations(k.name(), *iters);
+            sub.extend(k.instructions().iter().cloned());
+            p.push_subcircuit(sub);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_kernel_building() {
+        let mut k = Kernel::new("k", 3);
+        k.h(0)
+            .cnot(0, 1)
+            .toffoli(0, 1, 2)
+            .rz(2, 0.5)
+            .measure(2);
+        assert_eq!(k.instructions().len(), 5);
+    }
+
+    #[test]
+    fn lowering_to_cqasm() {
+        let mut k = Kernel::new("body", 2);
+        k.h(0).cnot(0, 1);
+        let mut p = QuantumProgram::new("prog", 2);
+        p.add_kernel_iterated(k, 3);
+        let cq = p.to_cqasm();
+        assert_eq!(cq.qubit_count(), 2);
+        assert_eq!(cq.subcircuits()[0].iterations(), 3);
+        assert_eq!(cq.stats().gates, 6);
+        cq.validate().expect("lowered program is valid");
+    }
+
+    #[test]
+    fn uncompute_appends_daggers_in_reverse() {
+        let mut fwd = Kernel::new("fwd", 1);
+        fwd.h(0).t(0);
+        let mut k = Kernel::new("k", 1);
+        k.append_inverse_of(&fwd);
+        let ins = k.instructions();
+        assert_eq!(ins.len(), 2);
+        assert!(matches!(&ins[0], Instruction::Gate(g) if g.kind == GateKind::Tdag));
+        assert!(matches!(&ins[1], Instruction::Gate(g) if g.kind == GateKind::H));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kernel_rejects_bad_qubit() {
+        Kernel::new("k", 1).h(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 5 qubits")]
+    fn program_rejects_oversized_kernel() {
+        let k = Kernel::new("k", 5);
+        QuantumProgram::new("p", 2).add_kernel(k);
+    }
+
+    #[test]
+    fn cond_gate_lowered() {
+        let mut k = Kernel::new("k", 2);
+        k.h(0).measure(0).cond_gate(0, GateKind::X, &[1]);
+        let mut p = QuantumProgram::new("p", 2);
+        p.add_kernel(k);
+        let cq = p.to_cqasm();
+        assert!(cq.validate().is_ok());
+        assert!(matches!(
+            cq.subcircuits()[0].instructions()[2],
+            Instruction::Cond(_, _)
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! # openql — the quantum compiler of the full-stack accelerator
+//!
+//! Rust implementation of the OpenQL layer from Bertels et al., *"Quantum
+//! Computer Architecture: Towards Full-Stack Quantum Accelerators"* (DATE
+//! 2020). OpenQL is where quantum logic is expressed ([`Kernel`],
+//! [`QuantumProgram`]) and compiled ([`Compiler`]) into the common assembly
+//! cQASM for a concrete [`Platform`]:
+//!
+//! 1. **decomposition** ([`decompose()`]) lowers library gates to the
+//!    platform's primitive set (e.g. `{x90, y90, mx90, my90, rz, cz}`);
+//! 2. **optimisation** ([`optimize()`]) cancels and fuses gates;
+//! 3. **mapping** ([`map`]) places logical qubits and routes two-qubit
+//!    gates through nearest-neighbour topologies with SWAP insertion;
+//! 4. **scheduling** ([`schedule()`]) packs instructions into hardware
+//!    cycles, exposing qubit-level parallelism as cQASM bundles.
+//!
+//! # Example
+//!
+//! ```
+//! use openql::{Compiler, Kernel, Platform, QuantumProgram};
+//!
+//! # fn main() -> Result<(), openql::CompileError> {
+//! let mut k = Kernel::new("bell", 2);
+//! k.h(0).cnot(0, 1).measure_all();
+//! let mut program = QuantumProgram::new("demo", 2);
+//! program.add_kernel(k);
+//!
+//! let out = Compiler::new(Platform::superconducting_grid(1, 2)).compile(&program)?;
+//! println!("{}", out.program); // platform-conforming cQASM
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod compiler;
+pub mod decompose;
+pub mod error;
+pub mod kernel;
+pub mod library;
+pub mod map;
+pub mod optimize;
+pub mod platform;
+pub mod schedule;
+pub mod topology;
+
+pub use compiler::{CompileOutput, CompileReport, Compiler, CompilerOptions};
+pub use decompose::decompose;
+pub use error::CompileError;
+pub use kernel::{Kernel, QuantumProgram};
+pub use library::{DjOracle, bernstein_vazirani, deutsch_jozsa, ghz, iqft, phase_estimation, qft};
+pub use map::{InitialPlacement, Mapping, RoutingResult, route};
+pub use optimize::{OptimizeReport, optimize};
+pub use platform::{GateDurations, Platform, TargetGateSet};
+pub use schedule::{Schedule, ScheduleDirection, TimedInstruction, schedule};
+pub use topology::Topology;

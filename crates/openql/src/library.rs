@@ -1,0 +1,321 @@
+//! A library of standard quantum-algorithm kernels.
+//!
+//! §2.3 of the paper surveys the application domains that motivate the
+//! accelerator — cryptography (Shor's period finding builds on the QFT),
+//! search, and "manipulation of a large set of data items to produce a
+//! statistical answer". These generators produce the textbook circuits as
+//! OpenQL kernels so that every layer of the stack can be exercised with
+//! real algorithm structure rather than random gates.
+
+use crate::kernel::Kernel;
+
+/// Appends the quantum Fourier transform on `qubits`, where `qubits[0]`
+/// is the *least significant* bit of the transformed index (matching the
+/// simulator's basis convention): `QFT|x> = N^{-1/2} sum_y e^{2 pi i xy/N} |y>`.
+///
+/// Uses `H` plus controlled-phase `CRk` gates — the cQASM primitive named
+/// after exactly this use. Includes the final bit-reversal swaps.
+pub fn qft(kernel: &mut Kernel, qubits: &[usize]) {
+    let n = qubits.len();
+    // Process from the most significant (qubits[n-1]) downwards.
+    for i in (0..n).rev() {
+        kernel.h(qubits[i]);
+        for j in (0..i).rev() {
+            // Controlled phase 2*pi / 2^(i-j+1), control j, target i.
+            kernel.crk(qubits[j], qubits[i], (i - j + 1) as u32);
+        }
+    }
+    // Bit reversal.
+    for i in 0..n / 2 {
+        kernel.swap(qubits[i], qubits[n - 1 - i]);
+    }
+}
+
+/// Appends the inverse QFT (exact gate-by-gate reversal of [`qft`]).
+pub fn iqft(kernel: &mut Kernel, qubits: &[usize]) {
+    let n = qubits.len();
+    for i in 0..n / 2 {
+        kernel.swap(qubits[i], qubits[n - 1 - i]);
+    }
+    for i in 0..n {
+        for j in 0..i {
+            let k = (i - j + 1) as u32;
+            let angle = -(2.0 * std::f64::consts::PI) / (1u64 << k) as f64;
+            kernel.cr(qubits[j], qubits[i], angle);
+        }
+        kernel.h(qubits[i]);
+    }
+}
+
+/// Builds a Bernstein–Vazirani kernel over `n` data qubits plus one
+/// ancilla (qubit `n`): one oracle query reveals the hidden bit-string
+/// `secret`.
+///
+/// # Panics
+///
+/// Panics if `secret >= 2^n`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Kernel {
+    assert!(secret < (1 << n), "secret wider than register");
+    let mut k = Kernel::new(format!("bv_{secret:b}"), n + 1);
+    // Ancilla in |->.
+    k.x(n).h(n);
+    for q in 0..n {
+        k.h(q);
+    }
+    // Oracle: CNOT from each secret bit into the ancilla.
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            k.cnot(q, n);
+        }
+    }
+    for q in 0..n {
+        k.h(q);
+        k.measure(q);
+    }
+    k
+}
+
+/// The Deutsch–Jozsa oracle families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DjOracle {
+    /// `f(x) = 0` for all x.
+    ConstantZero,
+    /// `f(x) = 1` for all x.
+    ConstantOne,
+    /// `f(x) = x_0 ^ x_1 ^ ...` (parity — balanced).
+    BalancedParity,
+    /// `f(x) = x_bit` (single-bit projection — balanced).
+    BalancedBit(usize),
+}
+
+/// Builds a Deutsch–Jozsa kernel over `n` data qubits plus one ancilla.
+/// Measuring all-zero on the data register means *constant*.
+pub fn deutsch_jozsa(n: usize, oracle: DjOracle) -> Kernel {
+    let mut k = Kernel::new("deutsch_jozsa", n + 1);
+    k.x(n).h(n);
+    for q in 0..n {
+        k.h(q);
+    }
+    match oracle {
+        DjOracle::ConstantZero => {}
+        DjOracle::ConstantOne => {
+            k.x(n);
+        }
+        DjOracle::BalancedParity => {
+            for q in 0..n {
+                k.cnot(q, n);
+            }
+        }
+        DjOracle::BalancedBit(bit) => {
+            assert!(bit < n, "oracle bit out of range");
+            k.cnot(bit, n);
+        }
+    }
+    for q in 0..n {
+        k.h(q);
+        k.measure(q);
+    }
+    k
+}
+
+/// Appends a GHZ preparation over the given qubits.
+pub fn ghz(kernel: &mut Kernel, qubits: &[usize]) {
+    if qubits.is_empty() {
+        return;
+    }
+    kernel.h(qubits[0]);
+    for w in qubits.windows(2) {
+        kernel.cnot(w[0], w[1]);
+    }
+}
+
+/// Builds a quantum-phase-estimation kernel estimating the phase of
+/// `Rz`-like diagonal unitary `U|1> = e^{2 pi i phase}|1>` with
+/// `precision` counting qubits. The eigenstate qubit is the last one.
+///
+/// The measured counting register (read as an integer, LSB = qubit 0)
+/// concentrates on `round(phase * 2^precision)`.
+pub fn phase_estimation(precision: usize, phase: f64) -> Kernel {
+    let n = precision;
+    let mut k = Kernel::new("qpe", n + 1);
+    // Eigenstate |1> of the diagonal unitary.
+    k.x(n);
+    for q in 0..n {
+        k.h(q);
+    }
+    // Controlled-U^{2^q}: U = phase gate of angle 2 pi phase; controlled
+    // version is CR with the doubled angles.
+    for q in 0..n {
+        let angle = 2.0 * std::f64::consts::PI * phase * (1u64 << q) as f64;
+        k.cr(q, n, angle);
+    }
+    // Counting qubit q holds weight 2^q, so the register is the
+    // LSB-first QFT of |round(phase * 2^n)> — undo it directly.
+    let order: Vec<usize> = (0..n).collect();
+    iqft(&mut k, &order);
+    for q in 0..n {
+        k.measure(q);
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::QuantumProgram;
+    use qxsim::{Simulator, StateVector};
+
+    fn run(kernel: Kernel, n: usize, shots: u64) -> qxsim::ShotHistogram {
+        let mut p = QuantumProgram::new("t", n);
+        p.add_kernel(kernel);
+        Simulator::perfect().run_shots(&p.to_cqasm(), shots).unwrap()
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let mut k = Kernel::new("qft", 3);
+        qft(&mut k, &[0, 1, 2]);
+        let mut p = QuantumProgram::new("t", 3);
+        p.add_kernel(k);
+        let r = Simulator::perfect().run_once(&p.to_cqasm()).unwrap();
+        for b in 0..8u64 {
+            assert!((r.state.probability_of(b) - 0.125).abs() < 1e-10, "{b}");
+        }
+    }
+
+    #[test]
+    fn qft_followed_by_iqft_is_identity() {
+        let mut k = Kernel::new("round", 4);
+        // Non-trivial input state.
+        k.x(1).x(3).h(0).t(0);
+        let mut reference = QuantumProgram::new("ref", 4);
+        reference.add_kernel(k.clone());
+        let ref_state = Simulator::perfect()
+            .run_once(&reference.to_cqasm())
+            .unwrap()
+            .state;
+
+        qft(&mut k, &[0, 1, 2, 3]);
+        iqft(&mut k, &[0, 1, 2, 3]);
+        let mut p = QuantumProgram::new("t", 4);
+        p.add_kernel(k);
+        let state = Simulator::perfect().run_once(&p.to_cqasm()).unwrap().state;
+        let f = state.fidelity(&ref_state);
+        assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
+    }
+
+    #[test]
+    fn qft_maps_basis_to_fourier_phases() {
+        // QFT|x> has uniform magnitudes with phases e^{2 pi i x y / N}.
+        let n = 3;
+        let x = 5u64;
+        let mut k = Kernel::new("qft", n);
+        for q in 0..n {
+            if (x >> q) & 1 == 1 {
+                k.x(q);
+            }
+        }
+        qft(&mut k, &[0, 1, 2]);
+        let mut p = QuantumProgram::new("t", n);
+        p.add_kernel(k);
+        let state = Simulator::perfect().run_once(&p.to_cqasm()).unwrap().state;
+        let dim = 8;
+        let expected: Vec<cqasm::math::C64> = (0..dim)
+            .map(|y| {
+                cqasm::math::C64::cis(
+                    2.0 * std::f64::consts::PI * (x as f64) * (y as f64) / dim as f64,
+                ) * (1.0 / (dim as f64).sqrt())
+            })
+            .collect();
+        let expected = StateVector::from_amplitudes(expected);
+        let f = state.fidelity(&expected);
+        assert!((f - 1.0).abs() < 1e-9, "fidelity {f}");
+    }
+
+    #[test]
+    fn bernstein_vazirani_reads_the_secret_in_one_query() {
+        for secret in [0b0000u64, 0b1011, 0b1111, 0b0100] {
+            let k = bernstein_vazirani(4, secret);
+            let hist = run(k, 5, 100);
+            // Data bits (0..4) must equal the secret on every shot.
+            for (bits, count) in hist.iter() {
+                assert_eq!(bits & 0b1111, secret, "secret {secret:04b} x{count}");
+            }
+        }
+    }
+
+    #[test]
+    fn deutsch_jozsa_separates_constant_from_balanced() {
+        let n = 4;
+        for (oracle, constant) in [
+            (DjOracle::ConstantZero, true),
+            (DjOracle::ConstantOne, true),
+            (DjOracle::BalancedParity, false),
+            (DjOracle::BalancedBit(2), false),
+        ] {
+            let k = deutsch_jozsa(n, oracle);
+            let hist = run(k, n + 1, 100);
+            let all_zero = hist
+                .iter()
+                .all(|(bits, _)| bits & ((1 << n) - 1) == 0);
+            assert_eq!(all_zero, constant, "{oracle:?}");
+        }
+    }
+
+    #[test]
+    fn ghz_helper_produces_parity_states() {
+        let mut k = Kernel::new("g", 4);
+        ghz(&mut k, &[0, 1, 2, 3]);
+        k.measure_all();
+        let hist = run(k, 4, 200);
+        assert_eq!(hist.count(0b0101), 0);
+        assert!(hist.count(0b0000) > 0 && hist.count(0b1111) > 0);
+    }
+
+    #[test]
+    fn phase_estimation_recovers_exact_phases() {
+        let precision = 4;
+        for target in [1u64, 5, 12] {
+            let phase = target as f64 / 16.0;
+            let k = phase_estimation(precision, phase);
+            let hist = run(k, precision + 1, 200);
+            // Counting register (bits 0..4) equals target on (almost) all
+            // shots for exactly representable phases.
+            let top = hist.most_likely().unwrap() & 0b1111;
+            assert_eq!(top, target, "phase {phase}");
+            assert!(hist.probability(top | (1 << precision)) + hist.probability(top) > 0.95);
+        }
+    }
+
+    #[test]
+    fn phase_estimation_approximates_irrational_phase() {
+        let precision = 5;
+        let phase = 0.3; // not exactly representable in 5 bits
+        let k = phase_estimation(precision, phase);
+        let hist = run(k, precision + 1, 400);
+        let mask = (1u64 << precision) - 1;
+        let expected = (phase * 32.0).round() as u64; // 10
+        // The nearest representable value dominates.
+        let mut best = (0u64, 0u64);
+        for (bits, count) in hist.iter() {
+            let v = bits & mask;
+            if count > best.1 {
+                best = (v, count);
+            }
+        }
+        assert_eq!(best.0, expected, "histogram peak off target");
+    }
+
+    #[test]
+    fn library_kernels_compile_for_constrained_platforms() {
+        use crate::compiler::Compiler;
+        use crate::platform::Platform;
+        let k = bernstein_vazirani(3, 0b101);
+        let mut p = QuantumProgram::new("bv", 4);
+        p.add_kernel(k);
+        let out = Compiler::new(Platform::superconducting_grid(2, 2))
+            .compile(&p)
+            .expect("BV compiles to the grid");
+        assert!(out.report.output_stats.gates > 0);
+    }
+}

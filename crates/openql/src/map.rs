@@ -1,0 +1,571 @@
+//! Placement and routing of qubits (§2.6 of the paper).
+//!
+//! Circuit descriptions assume any pair of qubits can interact; real
+//! devices only offer nearest-neighbour two-qubit gates. The mapper
+//! assigns logical qubits to physical positions (placement) and inserts
+//! `MOVE`/`SWAP` operations at run points where operands are not adjacent
+//! (routing), exactly the compiler responsibility the paper describes.
+
+use crate::error::CompileError;
+use crate::topology::Topology;
+use cqasm::{GateApp, GateKind, Instruction, Program, Qubit};
+use std::collections::HashMap;
+
+/// A bijection between logical and physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    l2p: Vec<usize>,
+    p2l: Vec<usize>,
+}
+
+impl Mapping {
+    /// The identity mapping over `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Mapping {
+            l2p: (0..n).collect(),
+            p2l: (0..n).collect(),
+        }
+    }
+
+    /// Builds a mapping from an explicit logical→physical table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not a permutation.
+    pub fn from_l2p(l2p: Vec<usize>) -> Self {
+        let n = l2p.len();
+        let mut p2l = vec![usize::MAX; n];
+        for (l, &p) in l2p.iter().enumerate() {
+            assert!(p < n && p2l[p] == usize::MAX, "not a permutation");
+            p2l[p] = l;
+        }
+        Mapping { l2p, p2l }
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.l2p.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.l2p.is_empty()
+    }
+
+    /// Physical position of logical qubit `l`.
+    pub fn physical(&self, l: usize) -> usize {
+        self.l2p[l]
+    }
+
+    /// Logical qubit residing at physical position `p`.
+    pub fn logical(&self, p: usize) -> usize {
+        self.p2l[p]
+    }
+
+    /// Records a SWAP of the contents of two physical positions.
+    pub fn swap_physical(&mut self, pa: usize, pb: usize) {
+        let la = self.p2l[pa];
+        let lb = self.p2l[pb];
+        self.p2l.swap(pa, pb);
+        self.l2p[la] = pb;
+        self.l2p[lb] = pa;
+    }
+
+    /// The logical→physical table.
+    pub fn l2p(&self) -> &[usize] {
+        &self.l2p
+    }
+}
+
+/// How the router chooses the initial placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialPlacement {
+    /// Logical qubit `i` starts at physical position `i`.
+    #[default]
+    Identity,
+    /// Greedy placement that puts strongly-interacting logical pairs on
+    /// adjacent physical qubits.
+    GreedyInteraction,
+}
+
+/// Output of the router.
+#[derive(Debug, Clone)]
+pub struct RoutingResult {
+    /// The routed program, with all operands in *physical* space and all
+    /// two-qubit gates nearest-neighbour. Subcircuit iterations are
+    /// expanded (routing changes the mapping, so bodies cannot repeat
+    /// verbatim).
+    pub program: Program,
+    /// Placement before the first instruction.
+    pub initial: Mapping,
+    /// Placement after the last instruction (needed to decode
+    /// measurement registers and final states).
+    pub final_mapping: Mapping,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Routes `program` onto `topology`.
+///
+/// # Errors
+///
+/// - [`CompileError::TooManyQubits`] if the program needs more qubits than
+///   the topology provides.
+/// - [`CompileError::Unroutable`] if the topology is disconnected between
+///   two operands.
+/// - [`CompileError::Unsupported`] if a gate with three or more operands
+///   reaches the router on a constrained topology (decompose first).
+pub fn route(
+    program: &Program,
+    topology: &Topology,
+    placement: InitialPlacement,
+) -> Result<RoutingResult, CompileError> {
+    let n_logical = program.qubit_count();
+    let n_physical = topology.qubit_count();
+    if n_logical > n_physical {
+        return Err(CompileError::TooManyQubits {
+            needed: n_logical,
+            available: n_physical,
+        });
+    }
+
+    let initial = match placement {
+        InitialPlacement::Identity => Mapping::identity(n_physical),
+        InitialPlacement::GreedyInteraction => greedy_placement(program, topology),
+    };
+    let mut mapping = initial.clone();
+    let mut out = Program::new(n_physical);
+    out.set_version(program.version());
+    let mut sub = cqasm::Subcircuit::new("routed");
+    let mut swaps = 0usize;
+
+    for ins in program.flat_instructions() {
+        route_instruction(ins, topology, &mut mapping, &mut sub, &mut swaps)?;
+    }
+    out.push_subcircuit(sub);
+    Ok(RoutingResult {
+        program: out,
+        initial,
+        final_mapping: mapping,
+        swaps_inserted: swaps,
+    })
+}
+
+fn route_instruction(
+    ins: &Instruction,
+    topology: &Topology,
+    mapping: &mut Mapping,
+    sub: &mut cqasm::Subcircuit,
+    swaps: &mut usize,
+) -> Result<(), CompileError> {
+    match ins {
+        Instruction::Gate(g) => {
+            let app = route_gate(g, topology, mapping, sub, swaps)?;
+            sub.push(Instruction::Gate(app));
+            Ok(())
+        }
+        Instruction::Cond(bit, g) => {
+            // Classical bits are written at the *physical* position a
+            // logical qubit occupied when measured; conditionals must read
+            // the same slot. Remap through the current mapping (sound as
+            // long as the measured qubit has not been swapped between its
+            // measurement and this use — the router never moves a qubit
+            // except to serve a two-qubit gate, so a measure→cond pair on
+            // an untouched qubit keeps its slot).
+            let phys_bit = cqasm::Bit(mapping.physical(bit.index()));
+            let app = route_gate(g, topology, mapping, sub, swaps)?;
+            sub.push(Instruction::Cond(phys_bit, app));
+            Ok(())
+        }
+        Instruction::Measure(q) => {
+            sub.push(Instruction::Measure(Qubit(mapping.physical(q.index()))));
+            Ok(())
+        }
+        Instruction::PrepZ(q) => {
+            sub.push(Instruction::PrepZ(Qubit(mapping.physical(q.index()))));
+            Ok(())
+        }
+        Instruction::Bundle(instrs) => {
+            // Routing may insert swaps between slots; flatten and let the
+            // scheduler re-bundle.
+            for inner in instrs {
+                route_instruction(inner, topology, mapping, sub, swaps)?;
+            }
+            Ok(())
+        }
+        other => {
+            sub.push(other.clone());
+            Ok(())
+        }
+    }
+}
+
+fn route_gate(
+    g: &GateApp,
+    topology: &Topology,
+    mapping: &mut Mapping,
+    sub: &mut cqasm::Subcircuit,
+    swaps: &mut usize,
+) -> Result<GateApp, CompileError> {
+    match g.qubits.len() {
+        1 => Ok(GateApp::new(
+            g.kind,
+            vec![Qubit(mapping.physical(g.qubits[0].index()))],
+        )),
+        2 => {
+            let la = g.qubits[0].index();
+            let lb = g.qubits[1].index();
+            let pa = mapping.physical(la);
+            let pb = mapping.physical(lb);
+            if !topology.are_adjacent(pa, pb) {
+                let path = topology
+                    .shortest_path(pa, pb)
+                    .ok_or(CompileError::Unroutable { a: pa, b: pb })?;
+                // Move the first operand along the path until it neighbours
+                // the second: swap through path[0..len-2].
+                for w in path.windows(2).take(path.len() - 2) {
+                    sub.push(Instruction::gate(GateKind::Swap, &[w[0], w[1]]));
+                    mapping.swap_physical(w[0], w[1]);
+                    *swaps += 1;
+                }
+            }
+            let pa = mapping.physical(la);
+            let pb = mapping.physical(lb);
+            debug_assert!(topology.are_adjacent(pa, pb));
+            Ok(GateApp::new(g.kind, vec![Qubit(pa), Qubit(pb)]))
+        }
+        _ => {
+            // Multi-qubit gates only pass through if every operand pair is
+            // mutually adjacent (true on fully-connected topologies).
+            let phys: Vec<usize> = g.qubits.iter().map(|q| mapping.physical(q.index())).collect();
+            let all_adjacent = phys.iter().enumerate().all(|(i, &a)| {
+                phys[i + 1..].iter().all(|&b| topology.are_adjacent(a, b))
+            });
+            if all_adjacent {
+                Ok(GateApp::new(
+                    g.kind,
+                    phys.into_iter().map(Qubit).collect(),
+                ))
+            } else {
+                Err(CompileError::Unsupported {
+                    gate: g.kind.mnemonic().to_owned(),
+                    target: format!("routing on {}", topology.name()),
+                })
+            }
+        }
+    }
+}
+
+/// Greedy interaction-aware placement: strongly-interacting logical pairs
+/// are seeded onto adjacent physical qubits.
+fn greedy_placement(program: &Program, topology: &Topology) -> Mapping {
+    let n_logical = program.qubit_count();
+    let n_physical = topology.qubit_count();
+
+    // Interaction weights between logical pairs.
+    let mut weights: HashMap<(usize, usize), usize> = HashMap::new();
+    for ins in program.flat_instructions() {
+        let qs = ins.qubits();
+        if qs.len() == 2 {
+            let (a, b) = (qs[0].index().min(qs[1].index()), qs[0].index().max(qs[1].index()));
+            *weights.entry((a, b)).or_insert(0) += 1;
+        }
+    }
+    let mut pairs: Vec<((usize, usize), usize)> = weights.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut l2p = vec![usize::MAX; n_logical];
+    let mut used = vec![false; n_physical];
+
+    // Seed: heaviest pair on the highest-degree edge.
+    if let Some(((a, b), _)) = pairs.first() {
+        let best_edge = topology
+            .edges()
+            .into_iter()
+            .max_by_key(|&(u, v)| topology.neighbors(u).len() + topology.neighbors(v).len());
+        if let Some((u, v)) = best_edge {
+            l2p[*a] = u;
+            l2p[*b] = v;
+            used[u] = true;
+            used[v] = true;
+        }
+    }
+
+    // Place remaining logicals: for each interaction pair in weight order,
+    // put unplaced partners as close as possible to placed ones.
+    for ((a, b), _) in &pairs {
+        for (&src, &dst) in [(a, b), (b, a)] {
+            if l2p[src] != usize::MAX && l2p[dst] == usize::MAX {
+                let anchor = l2p[src];
+                let target = (0..n_physical)
+                    .filter(|&p| !used[p])
+                    .min_by_key(|&p| topology.distance(anchor, p).unwrap_or(usize::MAX));
+                if let Some(p) = target {
+                    l2p[dst] = p;
+                    used[p] = true;
+                }
+            }
+        }
+    }
+
+    // Any untouched logical qubits: first free physical slots.
+    let mut free = (0..n_physical).filter(|&p| !used[p]);
+    for slot in l2p.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = free.next().expect("enough physical qubits");
+        }
+    }
+    // Pad to a full permutation over physical qubits.
+    let mut full = l2p;
+    for p in free {
+        full.push(p);
+    }
+    Mapping::from_l2p(full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxsim::StateVector;
+
+    /// Applies only unitary gates of a program to a fresh state.
+    fn run_gates(p: &Program, n: usize) -> StateVector {
+        let mut s = StateVector::zero_state(n);
+        for ins in p.flat_instructions() {
+            if let Instruction::Gate(g) = ins {
+                let idx: Vec<usize> = g.qubits.iter().map(|q| q.index()).collect();
+                s.apply_gate(&g.kind, &idx);
+            }
+        }
+        s
+    }
+
+    /// Permutes the basis of `state` so that physical basis bit
+    /// `mapping.physical(l)` moves to logical bit `l`.
+    fn unpermute(state: &StateVector, mapping: &Mapping) -> StateVector {
+        let n = state.qubit_count();
+        let mut amps = vec![cqasm::math::C64::ZERO; 1 << n];
+        for (y, a) in state.amplitudes().iter().enumerate() {
+            let mut x = 0usize;
+            for l in 0..n {
+                if (y >> mapping.physical(l)) & 1 == 1 {
+                    x |= 1 << l;
+                }
+            }
+            amps[x] = *a;
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    fn assert_routing_preserves(p: &Program, topo: &Topology, placement: InitialPlacement) {
+        let res = route(p, topo, placement).expect("routable");
+        // Every two-qubit gate in the output is NN.
+        for ins in res.program.flat_instructions() {
+            if let Instruction::Gate(g) = ins {
+                if g.qubits.len() == 2 {
+                    assert!(
+                        topo.are_adjacent(g.qubits[0].index(), g.qubits[1].index()),
+                        "non-adjacent gate {ins} survived routing"
+                    );
+                }
+            }
+        }
+        // Semantics preserved modulo the final permutation.
+        let original = run_gates(p, topo.qubit_count());
+        let routed = run_gates(&res.program, topo.qubit_count());
+        let unrouted = unpermute(&routed, &res.final_mapping);
+        let f = original.fidelity(&unrouted);
+        assert!((f - 1.0).abs() < 1e-9, "routing changed semantics: {f}");
+    }
+
+    fn pad_program(p: Program, n: usize) -> Program {
+        // Rebuild with a larger qubit count so logical space == physical.
+        let mut out = Program::new(n);
+        for s in p.subcircuits() {
+            out.push_subcircuit(s.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn adjacent_gates_untouched() {
+        let t = Topology::linear(3);
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .build();
+        let res = route(&p, &t, InitialPlacement::Identity).unwrap();
+        assert_eq!(res.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn distant_gate_gets_swaps_on_line() {
+        let t = Topology::linear(4);
+        let p = Program::builder(4).gate(GateKind::Cnot, &[0, 3]).build();
+        let res = route(&p, &t, InitialPlacement::Identity).unwrap();
+        assert_eq!(res.swaps_inserted, 2);
+        assert_routing_preserves(&p, &t, InitialPlacement::Identity);
+    }
+
+    #[test]
+    fn routing_preserves_semantics_on_grid() {
+        let t = Topology::grid(2, 3);
+        let p = pad_program(
+            Program::builder(6)
+                .gate(GateKind::H, &[0])
+                .gate(GateKind::Cnot, &[0, 5])
+                .gate(GateKind::Cnot, &[1, 4])
+                .gate(GateKind::T, &[4])
+                .gate(GateKind::Cnot, &[5, 2])
+                .build(),
+            6,
+        );
+        assert_routing_preserves(&p, &t, InitialPlacement::Identity);
+        assert_routing_preserves(&p, &t, InitialPlacement::GreedyInteraction);
+    }
+
+    #[test]
+    fn greedy_placement_reduces_swaps_for_clustered_interaction() {
+        // Logical 0 and 5 interact heavily; identity placement on a line
+        // pays a long path every time, greedy placement puts them together.
+        let t = Topology::linear(6);
+        let mut b = Program::builder(6).subcircuit("k");
+        for _ in 0..5 {
+            b = b.gate(GateKind::Cnot, &[0, 5]);
+        }
+        let p = b.build();
+        let id = route(&p, &t, InitialPlacement::Identity).unwrap();
+        let greedy = route(&p, &t, InitialPlacement::GreedyInteraction).unwrap();
+        assert!(
+            greedy.swaps_inserted < id.swaps_inserted,
+            "greedy {} vs identity {}",
+            greedy.swaps_inserted,
+            id.swaps_inserted
+        );
+        assert_eq!(greedy.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        let t = Topology::linear(2);
+        let p = Program::builder(4).gate(GateKind::H, &[3]).build();
+        assert!(matches!(
+            route(&p, &t, InitialPlacement::Identity),
+            Err(CompileError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_topology_unroutable() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        let p = Program::builder(4).gate(GateKind::Cnot, &[0, 3]).build();
+        assert!(matches!(
+            route(&p, &t, InitialPlacement::Identity),
+            Err(CompileError::Unroutable { .. })
+        ));
+    }
+
+    #[test]
+    fn toffoli_passes_on_fully_connected_only() {
+        let p = Program::builder(3)
+            .gate(GateKind::Toffoli, &[0, 1, 2])
+            .build();
+        assert!(route(&p, &Topology::fully_connected(3), InitialPlacement::Identity).is_ok());
+        assert!(matches!(
+            route(&p, &Topology::linear(3), InitialPlacement::Identity),
+            Err(CompileError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn measurements_are_remapped() {
+        let t = Topology::linear(3);
+        let p = Program::builder(3)
+            .gate(GateKind::Cnot, &[0, 2])
+            .measure(0)
+            .build();
+        let res = route(&p, &t, InitialPlacement::Identity).unwrap();
+        // Logical 0 moved to physical 1 by the single swap.
+        assert_eq!(res.final_mapping.physical(0), 1);
+        let measured: Vec<_> = res
+            .program
+            .flat_instructions()
+            .filter_map(|i| match i {
+                Instruction::Measure(q) => Some(q.index()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(measured, vec![1]);
+    }
+
+    #[test]
+    fn conditional_bits_are_remapped_with_their_qubits() {
+        // Logical q0 is measured, then q1 is conditionally flipped on b0.
+        // Route with a non-identity placement: the bit operand must follow
+        // the physical slot of logical 0, or feedback reads garbage.
+        let t = Topology::linear(3);
+        let mut p = Program::new(3);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[0]));
+        s.push(Instruction::Measure(cqasm::Qubit(0)));
+        s.push(Instruction::Cond(
+            cqasm::Bit(0),
+            GateApp::new(GateKind::X, vec![Qubit(1)]),
+        ));
+        p.push_subcircuit(s);
+        // Force a permuted placement: logical 0 -> physical 2.
+        let placement = Mapping::from_l2p(vec![2, 1, 0]);
+        let mut mapping = placement.clone();
+        let mut sub = cqasm::Subcircuit::new("routed");
+        let mut swaps = 0;
+        for ins in p.flat_instructions() {
+            route_instruction(ins, &t, &mut mapping, &mut sub, &mut swaps).unwrap();
+        }
+        let cond = sub
+            .instructions()
+            .iter()
+            .find_map(|i| match i {
+                Instruction::Cond(b, g) => Some((b.index(), g.qubits[0].index())),
+                _ => None,
+            })
+            .expect("conditional survives routing");
+        assert_eq!(cond.0, 2, "bit must follow logical 0 to physical 2");
+        assert_eq!(cond.1, 1, "target follows logical 1");
+    }
+
+    #[test]
+    fn mapping_bookkeeping() {
+        let mut m = Mapping::identity(3);
+        m.swap_physical(0, 2);
+        assert_eq!(m.physical(0), 2);
+        assert_eq!(m.physical(2), 0);
+        assert_eq!(m.logical(2), 0);
+        assert_eq!(m.logical(0), 2);
+        assert_eq!(m.physical(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn mapping_rejects_non_permutation() {
+        let _ = Mapping::from_l2p(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn iterated_subcircuits_are_expanded() {
+        let t = Topology::linear(3);
+        let mut p = Program::new(3);
+        let mut s = cqasm::Subcircuit::with_iterations("loop", 3);
+        s.push(Instruction::gate(GateKind::Cnot, &[0, 2]));
+        p.push_subcircuit(s);
+        let res = route(&p, &t, InitialPlacement::Identity).unwrap();
+        // Three CNOTs appear (plus swaps); iterations were expanded.
+        let cnots = res
+            .program
+            .flat_instructions()
+            .filter(|i| matches!(i, Instruction::Gate(g) if g.kind == GateKind::Cnot))
+            .count();
+        assert_eq!(cnots, 3);
+        assert_eq!(res.program.subcircuits().len(), 1);
+        assert_eq!(res.program.subcircuits()[0].iterations(), 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Peephole circuit optimisation.
+//!
+//! Cancels adjacent inverse pairs (`h h`, `cnot cnot`, ...), merges
+//! same-axis rotation runs (`rz(a) rz(b) -> rz(a+b)`) and drops identity
+//! operations. "Adjacent" means no intervening instruction touches any of
+//! the operand qubits, so the pass is sound for straight-line code. Runs to
+//! a fixed point.
+
+use cqasm::{GateApp, GateKind, Instruction, Program};
+
+/// Result summary of an optimisation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeReport {
+    /// Gates removed by cancellation of inverse pairs.
+    pub cancelled: usize,
+    /// Rotation pairs merged into one gate.
+    pub merged: usize,
+    /// Identity / zero-angle gates dropped.
+    pub dropped_identities: usize,
+}
+
+impl OptimizeReport {
+    /// Total gates eliminated.
+    pub fn total_removed(&self) -> usize {
+        self.cancelled + self.merged + self.dropped_identities
+    }
+}
+
+/// Optimises every subcircuit of `program`, returning the new program and a
+/// report of what was removed.
+pub fn optimize(program: &Program) -> (Program, OptimizeReport) {
+    let mut out = Program::new(program.qubit_count());
+    out.set_version(program.version());
+    let mut report = OptimizeReport::default();
+    for sub in program.subcircuits() {
+        let mut new_sub = cqasm::Subcircuit::with_iterations(sub.name(), sub.iterations());
+        let mut instrs = sub.instructions().to_vec();
+        loop {
+            let before = instrs.len();
+            instrs = drop_identities(instrs, &mut report);
+            instrs = peephole_pass(instrs, &mut report);
+            if instrs.len() == before {
+                break;
+            }
+        }
+        new_sub.extend(instrs);
+        out.push_subcircuit(new_sub);
+    }
+    (out, report)
+}
+
+fn is_identity_gate(kind: &GateKind) -> bool {
+    match kind {
+        GateKind::I => true,
+        GateKind::Rx(a) | GateKind::Ry(a) | GateKind::Rz(a) | GateKind::Cr(a) => {
+            a.abs() < 1e-12
+        }
+        _ => false,
+    }
+}
+
+fn drop_identities(instrs: Vec<Instruction>, report: &mut OptimizeReport) -> Vec<Instruction> {
+    instrs
+        .into_iter()
+        .filter(|ins| {
+            if let Instruction::Gate(g) = ins {
+                if is_identity_gate(&g.kind) {
+                    report.dropped_identities += 1;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect()
+}
+
+/// Merge rule for two adjacent gates on identical operands.
+enum Fusion {
+    Cancel,
+    Replace(GateKind),
+    None,
+}
+
+fn fuse(a: &GateKind, b: &GateKind) -> Fusion {
+    use GateKind::*;
+    // Self-inverse pairs.
+    let self_inverse = matches!(a, I | H | X | Y | Z | Cnot | Cz | Swap | Toffoli);
+    if self_inverse && a == b {
+        return Fusion::Cancel;
+    }
+    // Exact inverse pairs in the library.
+    if a.dagger() == *b && matches!(a, S | Sdag | T | Tdag | X90 | Mx90 | Y90 | My90) {
+        return Fusion::Cancel;
+    }
+    // Rotation merging.
+    match (a, b) {
+        (Rx(p), Rx(q)) => Fusion::Replace(Rx(p + q)),
+        (Ry(p), Ry(q)) => Fusion::Replace(Ry(p + q)),
+        (Rz(p), Rz(q)) => Fusion::Replace(Rz(p + q)),
+        (Cr(p), Cr(q)) => Fusion::Replace(Cr(p + q)),
+        (S, S) => Fusion::Replace(Z),
+        (T, T) => Fusion::Replace(S),
+        (Tdag, Tdag) => Fusion::Replace(Sdag),
+        _ => Fusion::None,
+    }
+}
+
+fn peephole_pass(instrs: Vec<Instruction>, report: &mut OptimizeReport) -> Vec<Instruction> {
+    let mut out: Vec<Instruction> = Vec::with_capacity(instrs.len());
+    'next: for ins in instrs {
+        let Instruction::Gate(ref g) = ins else {
+            out.push(ins);
+            continue;
+        };
+        // Walk backwards over emitted instructions: we may fuse with the
+        // most recent gate on exactly the same operands, provided nothing
+        // in between touches any of those qubits.
+        for i in (0..out.len()).rev() {
+            let prev = &out[i];
+            let overlap = prev
+                .qubits()
+                .iter()
+                .any(|q| g.qubits.contains(q))
+                || matches!(prev, Instruction::MeasureAll);
+            if !overlap {
+                continue;
+            }
+            if let Instruction::Gate(pg) = prev {
+                if pg.qubits == g.qubits {
+                    match fuse(&pg.kind, &g.kind) {
+                        Fusion::Cancel => {
+                            out.remove(i);
+                            report.cancelled += 2;
+                            continue 'next;
+                        }
+                        Fusion::Replace(kind) => {
+                            if is_identity_gate(&kind) {
+                                out.remove(i);
+                                report.cancelled += 2;
+                            } else {
+                                let qubits = pg.qubits.clone();
+                                out[i] = Instruction::Gate(GateApp::new(kind, qubits));
+                                report.merged += 1;
+                            }
+                            continue 'next;
+                        }
+                        Fusion::None => {}
+                    }
+                }
+            }
+            // Blocking instruction found; stop searching.
+            break;
+        }
+        out.push(ins);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqasm::Program;
+
+    fn gates_of(p: &Program) -> usize {
+        p.stats().gates
+    }
+
+    #[test]
+    fn cancels_adjacent_hadamards() {
+        let p = Program::builder(1)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::H, &[0])
+            .build();
+        let (o, r) = optimize(&p);
+        assert_eq!(gates_of(&o), 0);
+        assert_eq!(r.cancelled, 2);
+    }
+
+    #[test]
+    fn cancels_cnot_pair() {
+        let p = Program::builder(2)
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Cnot, &[0, 1])
+            .build();
+        let (o, _) = optimize(&p);
+        assert_eq!(gates_of(&o), 0);
+    }
+
+    #[test]
+    fn does_not_cancel_cnot_with_swapped_operands() {
+        let p = Program::builder(2)
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Cnot, &[1, 0])
+            .build();
+        let (o, _) = optimize(&p);
+        assert_eq!(gates_of(&o), 2);
+    }
+
+    #[test]
+    fn merges_rotations() {
+        let p = Program::builder(1)
+            .gate(GateKind::Rz(0.3), &[0])
+            .gate(GateKind::Rz(0.4), &[0])
+            .build();
+        let (o, r) = optimize(&p);
+        assert_eq!(gates_of(&o), 1);
+        assert_eq!(r.merged, 1);
+        let first = o.flat_instructions().next().unwrap().clone();
+        match first {
+            Instruction::Gate(g) => {
+                assert!((g.kind.angle().unwrap() - 0.7).abs() < 1e-12)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opposite_rotations_cancel_fully() {
+        let p = Program::builder(1)
+            .gate(GateKind::Rx(0.9), &[0])
+            .gate(GateKind::Rx(-0.9), &[0])
+            .build();
+        let (o, _) = optimize(&p);
+        assert_eq!(gates_of(&o), 0);
+    }
+
+    #[test]
+    fn intervening_gate_on_same_qubit_blocks_fusion() {
+        let p = Program::builder(1)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::X, &[0])
+            .gate(GateKind::H, &[0])
+            .build();
+        let (o, _) = optimize(&p);
+        assert_eq!(gates_of(&o), 3);
+    }
+
+    #[test]
+    fn gate_on_other_qubit_does_not_block() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::X, &[1])
+            .gate(GateKind::H, &[0])
+            .build();
+        let (o, _) = optimize(&p);
+        // The two Hadamards cancel; the X remains.
+        assert_eq!(gates_of(&o), 1);
+    }
+
+    #[test]
+    fn measurement_blocks_fusion() {
+        let p = Program::builder(1)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::H, &[0])
+            .build();
+        let (o, _) = optimize(&p);
+        assert_eq!(gates_of(&o), 2);
+    }
+
+    #[test]
+    fn t_t_becomes_s_then_cancels_with_sdag() {
+        let p = Program::builder(1)
+            .gate(GateKind::T, &[0])
+            .gate(GateKind::T, &[0])
+            .gate(GateKind::Sdag, &[0])
+            .build();
+        let (o, _) = optimize(&p);
+        assert_eq!(gates_of(&o), 0);
+    }
+
+    #[test]
+    fn drops_identity_and_zero_rotations() {
+        let p = Program::builder(1)
+            .gate(GateKind::I, &[0])
+            .gate(GateKind::Rz(0.0), &[0])
+            .gate(GateKind::X, &[0])
+            .build();
+        let (o, r) = optimize(&p);
+        assert_eq!(gates_of(&o), 1);
+        assert_eq!(r.dropped_identities, 2);
+    }
+
+    #[test]
+    fn cascading_cancellation() {
+        // x h h x -> x x -> (empty)
+        let p = Program::builder(1)
+            .gate(GateKind::X, &[0])
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::X, &[0])
+            .build();
+        let (o, _) = optimize(&p);
+        assert_eq!(gates_of(&o), 0);
+    }
+
+    #[test]
+    fn preserves_semantics_on_random_circuits() {
+        use qxsim::StateVector;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let kinds = [
+            GateKind::H,
+            GateKind::X,
+            GateKind::T,
+            GateKind::Tdag,
+            GateKind::S,
+            GateKind::Rz(0.4),
+            GateKind::Rx(-0.4),
+        ];
+        for _ in 0..20 {
+            let mut b = Program::builder(3).subcircuit("r");
+            for _ in 0..30 {
+                let k = kinds[rng.gen_range(0..kinds.len())];
+                let q = rng.gen_range(0..3);
+                b = b.gate(k, &[q]);
+                if rng.gen_bool(0.3) {
+                    let a = rng.gen_range(0..3);
+                    let c = (a + 1 + rng.gen_range(0..2)) % 3;
+                    b = b.gate(GateKind::Cnot, &[a, c]);
+                }
+            }
+            let p = b.build();
+            let (o, _) = optimize(&p);
+            let mut sa = StateVector::zero_state(3);
+            let mut sb = StateVector::zero_state(3);
+            for ins in p.flat_instructions() {
+                if let Instruction::Gate(g) = ins {
+                    let idx: Vec<usize> = g.qubits.iter().map(|q| q.index()).collect();
+                    sa.apply_gate(&g.kind, &idx);
+                }
+            }
+            for ins in o.flat_instructions() {
+                if let Instruction::Gate(g) = ins {
+                    let idx: Vec<usize> = g.qubits.iter().map(|q| q.index()).collect();
+                    sb.apply_gate(&g.kind, &idx);
+                }
+            }
+            let f = sa.fidelity(&sb);
+            assert!((f - 1.0).abs() < 1e-9, "optimizer broke circuit: {f}");
+        }
+    }
+}

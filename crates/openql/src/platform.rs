@@ -1,0 +1,261 @@
+//! Platform configuration: the compiler's description of a target.
+//!
+//! The paper stresses that retargeting the same micro-architecture to a
+//! different quantum technology only requires swapping "the configuration
+//! file for the compiler" (§3.1). A [`Platform`] is that configuration: a
+//! topology, a primitive gate set, gate durations and the hardware cycle
+//! time.
+
+use crate::topology::Topology;
+use cqasm::GateKind;
+
+/// The primitive gate set a target executes natively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetGateSet {
+    /// Any cQASM gate is accepted (simulator target / perfect qubits).
+    #[default]
+    Universal,
+    /// One-qubit gates plus CNOT; three-qubit gates and SWAP must be
+    /// decomposed.
+    CnotBasis,
+    /// Calibrated rotations `{x90, y90, mx90, my90, rz}` plus CZ — the
+    /// native set of the superconducting transmon targets in the paper.
+    CzBasis,
+}
+
+impl TargetGateSet {
+    /// A short name used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TargetGateSet::Universal => "universal",
+            TargetGateSet::CnotBasis => "cnot-basis",
+            TargetGateSet::CzBasis => "cz-basis",
+        }
+    }
+
+    /// Whether a gate is a native primitive of this set.
+    pub fn accepts(&self, kind: &GateKind) -> bool {
+        use GateKind::*;
+        match self {
+            TargetGateSet::Universal => true,
+            TargetGateSet::CnotBasis => !matches!(kind, Toffoli | Swap),
+            TargetGateSet::CzBasis => {
+                matches!(kind, I | X90 | Y90 | Mx90 | My90 | Rz(_) | Cz)
+            }
+        }
+    }
+}
+
+/// Gate timing in integer hardware cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateDurations {
+    /// Cycles for any single-qubit gate.
+    pub single_qubit: u64,
+    /// Cycles for any two-qubit gate.
+    pub two_qubit: u64,
+    /// Cycles for a measurement.
+    pub measure: u64,
+    /// Cycles for a state preparation.
+    pub prep: u64,
+}
+
+impl Default for GateDurations {
+    fn default() -> Self {
+        GateDurations {
+            single_qubit: 1,
+            two_qubit: 2,
+            measure: 4,
+            prep: 2,
+        }
+    }
+}
+
+/// A compile target: name, topology, primitive gates and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    name: String,
+    topology: Topology,
+    gate_set: TargetGateSet,
+    durations: GateDurations,
+    cycle_time_ns: u64,
+}
+
+impl Platform {
+    /// Creates a platform from parts.
+    pub fn new(
+        name: impl Into<String>,
+        topology: Topology,
+        gate_set: TargetGateSet,
+        durations: GateDurations,
+        cycle_time_ns: u64,
+    ) -> Self {
+        Platform {
+            name: name.into(),
+            topology,
+            gate_set,
+            durations,
+            cycle_time_ns,
+        }
+    }
+
+    /// A perfect-qubit platform: full connectivity, universal gate set.
+    ///
+    /// This is the target used during algorithm development (§2.1: perfect
+    /// qubits let the designer ignore NN constraints at their discretion).
+    pub fn perfect(qubit_count: usize) -> Self {
+        Platform::new(
+            "perfect",
+            Topology::fully_connected(qubit_count),
+            TargetGateSet::Universal,
+            GateDurations::default(),
+            1,
+        )
+    }
+
+    /// A superconducting transmon-style platform: 2-D grid topology,
+    /// CZ-basis primitives, 20 ns cycle. Mirrors the experimental target of
+    /// the Fig 6 micro-architecture.
+    pub fn superconducting_grid(rows: usize, cols: usize) -> Self {
+        Platform::new(
+            format!("superconducting-{rows}x{cols}"),
+            Topology::grid(rows, cols),
+            TargetGateSet::CzBasis,
+            GateDurations {
+                single_qubit: 1,
+                two_qubit: 2,
+                measure: 15, // readout is long on transmons
+                prep: 10,
+            },
+            20,
+        )
+    }
+
+    /// A semiconducting spin-qubit style platform: linear array, CZ basis,
+    /// slower gates (the second technology the Fig 6 micro-architecture
+    /// was retargeted to).
+    pub fn semiconducting_linear(n: usize) -> Self {
+        Platform::new(
+            format!("semiconducting-linear-{n}"),
+            Topology::linear(n),
+            TargetGateSet::CzBasis,
+            GateDurations {
+                single_qubit: 4,
+                two_qubit: 8,
+                measure: 50,
+                prep: 25,
+            },
+            10,
+        )
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The connectivity graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The primitive gate set.
+    pub fn gate_set(&self) -> TargetGateSet {
+        self.gate_set
+    }
+
+    /// Gate timing.
+    pub fn durations(&self) -> GateDurations {
+        self.durations
+    }
+
+    /// Hardware cycle time in nanoseconds.
+    pub fn cycle_time_ns(&self) -> u64 {
+        self.cycle_time_ns
+    }
+
+    /// Number of physical qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.topology.qubit_count()
+    }
+
+    /// Duration of one instruction in cycles.
+    pub fn instruction_cycles(&self, ins: &cqasm::Instruction) -> u64 {
+        match ins {
+            cqasm::Instruction::Gate(g) | cqasm::Instruction::Cond(_, g) => {
+                if g.kind.arity() <= 1 {
+                    self.durations.single_qubit
+                } else {
+                    self.durations.two_qubit
+                }
+            }
+            cqasm::Instruction::Measure(_) | cqasm::Instruction::MeasureAll => {
+                self.durations.measure
+            }
+            cqasm::Instruction::PrepZ(_) => self.durations.prep,
+            cqasm::Instruction::Wait(n) => *n,
+            cqasm::Instruction::Bundle(instrs) => instrs
+                .iter()
+                .map(|i| self.instruction_cycles(i))
+                .max()
+                .unwrap_or(0),
+            cqasm::Instruction::Display => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqasm::Instruction;
+
+    #[test]
+    fn perfect_platform_accepts_everything() {
+        let p = Platform::perfect(5);
+        assert!(p.gate_set().accepts(&GateKind::Toffoli));
+        assert!(p.topology().are_adjacent(0, 4));
+        assert_eq!(p.qubit_count(), 5);
+    }
+
+    #[test]
+    fn cz_basis_accepts_only_primitives() {
+        let gs = TargetGateSet::CzBasis;
+        assert!(gs.accepts(&GateKind::X90));
+        assert!(gs.accepts(&GateKind::Rz(0.5)));
+        assert!(gs.accepts(&GateKind::Cz));
+        assert!(!gs.accepts(&GateKind::H));
+        assert!(!gs.accepts(&GateKind::Cnot));
+        assert!(!gs.accepts(&GateKind::Toffoli));
+    }
+
+    #[test]
+    fn cnot_basis_rejects_three_qubit() {
+        let gs = TargetGateSet::CnotBasis;
+        assert!(gs.accepts(&GateKind::H));
+        assert!(gs.accepts(&GateKind::Cnot));
+        assert!(!gs.accepts(&GateKind::Toffoli));
+        assert!(!gs.accepts(&GateKind::Swap));
+    }
+
+    #[test]
+    fn durations_by_instruction() {
+        let p = Platform::superconducting_grid(2, 2);
+        assert_eq!(p.instruction_cycles(&Instruction::gate(GateKind::X90, &[0])), 1);
+        assert_eq!(p.instruction_cycles(&Instruction::gate(GateKind::Cz, &[0, 1])), 2);
+        assert_eq!(p.instruction_cycles(&Instruction::Measure(cqasm::Qubit(0))), 15);
+        assert_eq!(p.instruction_cycles(&Instruction::Wait(9)), 9);
+        let b = Instruction::Bundle(vec![
+            Instruction::gate(GateKind::X90, &[0]),
+            Instruction::gate(GateKind::Cz, &[1, 2]),
+        ]);
+        assert_eq!(p.instruction_cycles(&b), 2);
+    }
+
+    #[test]
+    fn retargeting_presets_differ_only_in_config() {
+        let sc = Platform::superconducting_grid(2, 2);
+        let spin = Platform::semiconducting_linear(4);
+        assert_eq!(sc.gate_set(), spin.gate_set());
+        assert_ne!(sc.cycle_time_ns(), spin.cycle_time_ns());
+        assert_ne!(sc.topology(), spin.topology());
+    }
+}

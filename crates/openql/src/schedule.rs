@@ -1,0 +1,388 @@
+//! Instruction scheduling (§2.6: "scheduling of operations").
+//!
+//! Applies classical list scheduling to exploit the parallelism between
+//! qubits: instructions that touch disjoint qubits and whose dependencies
+//! are met issue in the same cycle. Durations come from the
+//! [`crate::Platform`], so the schedule is in hardware cycles — the timing
+//! basis the eQASM backend needs.
+
+use crate::platform::Platform;
+use cqasm::{Instruction, Program};
+
+/// Scheduling direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleDirection {
+    /// As soon as possible.
+    #[default]
+    Asap,
+    /// As late as possible (same latency, operations pushed towards the
+    /// end; reduces idle time before measurement on decohering qubits).
+    Alap,
+}
+
+/// One scheduled instruction with its issue cycle and duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedInstruction {
+    /// Issue cycle.
+    pub start: u64,
+    /// Duration in cycles.
+    pub duration: u64,
+    /// The instruction itself.
+    pub instruction: Instruction,
+}
+
+/// A scheduled program: timed instructions sorted by start cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    qubit_count: usize,
+    items: Vec<TimedInstruction>,
+    latency: u64,
+}
+
+impl Schedule {
+    /// Number of qubits the scheduled program addresses.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// Timed instructions, sorted by `(start, original order)`.
+    pub fn items(&self) -> &[TimedInstruction] {
+        &self.items
+    }
+
+    /// Total latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of distinct issue cycles (bundles).
+    pub fn bundle_count(&self) -> usize {
+        let mut cycles: Vec<u64> = self.items.iter().map(|t| t.start).collect();
+        cycles.dedup();
+        cycles.len()
+    }
+
+    /// Rewrites the schedule as a cQASM program with explicit bundles and
+    /// waits, executable by QX and translatable to eQASM.
+    pub fn to_program(&self) -> Program {
+        let mut p = Program::new(self.qubit_count);
+        let mut sub = cqasm::Subcircuit::new("scheduled");
+        let mut cursor = 0u64;
+        let mut i = 0usize;
+        while i < self.items.len() {
+            let start = self.items[i].start;
+            if start > cursor {
+                sub.push(Instruction::Wait(start - cursor));
+            }
+            // Collect all instructions issued this cycle.
+            let mut slot: Vec<Instruction> = Vec::new();
+            let mut max_dur = 0;
+            while i < self.items.len() && self.items[i].start == start {
+                max_dur = max_dur.max(self.items[i].duration);
+                slot.push(self.items[i].instruction.clone());
+                i += 1;
+            }
+            if slot.len() == 1 {
+                sub.push(slot.pop().expect("one element"));
+            } else {
+                sub.push(Instruction::Bundle(slot));
+            }
+            cursor = start + max_dur.max(1);
+        }
+        p.push_subcircuit(sub);
+        p
+    }
+}
+
+/// Schedules `program` for `platform`.
+///
+/// Explicit `wait` instructions in the input act as global barriers of the
+/// given length; bundles in the input are flattened and re-derived from the
+/// dependence analysis.
+pub fn schedule(program: &Program, platform: &Platform, direction: ScheduleDirection) -> Schedule {
+    // Flatten to a linear op list first.
+    let mut linear: Vec<Instruction> = Vec::new();
+    for ins in program.flat_instructions() {
+        flatten(ins, &mut linear);
+    }
+    match direction {
+        ScheduleDirection::Asap => asap(&linear, program.qubit_count(), platform),
+        ScheduleDirection::Alap => {
+            // ALAP = reverse, ASAP, mirror.
+            let reversed: Vec<Instruction> = linear.iter().rev().cloned().collect();
+            let fwd = asap(&reversed, program.qubit_count(), platform);
+            let total = fwd.latency;
+            let mut items: Vec<TimedInstruction> = fwd
+                .items
+                .into_iter()
+                .map(|t| TimedInstruction {
+                    start: total - (t.start + t.duration),
+                    duration: t.duration,
+                    instruction: t.instruction,
+                })
+                .collect();
+            items.sort_by_key(|t| t.start);
+            Schedule {
+                qubit_count: program.qubit_count(),
+                items,
+                latency: total,
+            }
+        }
+    }
+}
+
+fn flatten(ins: &Instruction, out: &mut Vec<Instruction>) {
+    match ins {
+        Instruction::Bundle(instrs) => {
+            for i in instrs {
+                flatten(i, out);
+            }
+        }
+        Instruction::Display => {}
+        other => out.push(other.clone()),
+    }
+}
+
+fn asap(linear: &[Instruction], qubit_count: usize, platform: &Platform) -> Schedule {
+    let n = qubit_count;
+    let mut qubit_free = vec![0u64; n];
+    let mut bit_ready = vec![0u64; n];
+    let mut barrier = 0u64; // earliest start after the last global wait
+    let mut items = Vec::with_capacity(linear.len());
+    let mut latency = 0u64;
+
+    for ins in linear {
+        let duration = platform.instruction_cycles(ins);
+        let qubits: Vec<usize> = match ins {
+            Instruction::MeasureAll => (0..n).collect(),
+            other => other.qubits().iter().map(|q| q.index()).collect(),
+        };
+        let mut start = barrier;
+        for &q in &qubits {
+            start = start.max(qubit_free[q]);
+        }
+        if let Instruction::Cond(bit, _) = ins {
+            start = start.max(bit_ready[bit.index()]);
+        }
+        match ins {
+            Instruction::Wait(cycles) => {
+                // Global barrier: everything issued so far must finish,
+                // then idle for `cycles`.
+                let all_done = qubit_free.iter().copied().max().unwrap_or(0).max(barrier);
+                barrier = all_done + cycles;
+                latency = latency.max(barrier);
+                continue; // timing-only; not emitted as an item
+            }
+            Instruction::Measure(q) => {
+                bit_ready[q.index()] = start + duration;
+            }
+            Instruction::MeasureAll => {
+                for b in bit_ready.iter_mut() {
+                    *b = start + duration;
+                }
+            }
+            _ => {}
+        }
+        for &q in &qubits {
+            qubit_free[q] = start + duration;
+        }
+        latency = latency.max(start + duration);
+        items.push(TimedInstruction {
+            start,
+            duration,
+            instruction: ins.clone(),
+        });
+    }
+    items.sort_by_key(|t| t.start);
+    Schedule {
+        qubit_count: n,
+        items,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn platform() -> Platform {
+        Platform::perfect(4)
+    }
+
+    #[test]
+    fn independent_gates_schedule_in_parallel() {
+        let p = Program::builder(4)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::H, &[1])
+            .gate(GateKind::H, &[2])
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        assert!(s.items().iter().all(|t| t.start == 0));
+        assert_eq!(s.latency(), 1);
+        assert_eq!(s.bundle_count(), 1);
+    }
+
+    #[test]
+    fn dependent_gates_serialise() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::H, &[1])
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        let starts: Vec<u64> = s.items().iter().map(|t| t.start).collect();
+        // H@0, CNOT@1 (dur 2), H@3.
+        assert_eq!(starts, vec![0, 1, 3]);
+        assert_eq!(s.latency(), 4);
+    }
+
+    #[test]
+    fn no_bundle_shares_qubits() {
+        let p = Program::builder(4)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Cnot, &[2, 3])
+            .gate(GateKind::T, &[2])
+            .gate(GateKind::Cnot, &[1, 2])
+            .measure_all()
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        // Group by start and check disjointness.
+        let mut by_start: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for t in s.items() {
+            let qs: Vec<usize> = match &t.instruction {
+                Instruction::MeasureAll => (0..4).collect(),
+                other => other.qubits().iter().map(|q| q.index()).collect(),
+            };
+            let slot = by_start.entry(t.start).or_default();
+            for q in qs {
+                assert!(!slot.contains(&q), "qubit {q} double-booked at {}", t.start);
+                slot.push(q);
+            }
+        }
+    }
+
+    #[test]
+    fn per_qubit_order_preserved() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::T, &[0])
+            .gate(GateKind::X, &[0])
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        let kinds: Vec<&Instruction> = s.items().iter().map(|t| &t.instruction).collect();
+        assert!(matches!(kinds[0], Instruction::Gate(g) if g.kind == GateKind::H));
+        assert!(matches!(kinds[1], Instruction::Gate(g) if g.kind == GateKind::T));
+        assert!(matches!(kinds[2], Instruction::Gate(g) if g.kind == GateKind::X));
+        let starts: Vec<u64> = s.items().iter().map(|t| t.start).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn alap_has_same_latency_but_later_starts() {
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::H, &[1])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::H, &[2]) // independent; ASAP puts it at 0
+            .build();
+        let asap_s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        let alap_s = schedule(&p, &platform(), ScheduleDirection::Alap);
+        assert_eq!(asap_s.latency(), alap_s.latency());
+        let h2_asap = asap_s
+            .items()
+            .iter()
+            .find(|t| t.instruction.qubits() == vec![cqasm::Qubit(2)])
+            .unwrap()
+            .start;
+        let h2_alap = alap_s
+            .items()
+            .iter()
+            .find(|t| t.instruction.qubits() == vec![cqasm::Qubit(2)])
+            .unwrap()
+            .start;
+        assert_eq!(h2_asap, 0);
+        assert!(h2_alap > h2_asap, "ALAP should delay the independent gate");
+    }
+
+    #[test]
+    fn wait_acts_as_global_barrier() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .instruction(Instruction::Wait(5))
+            .gate(GateKind::H, &[1])
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        // H@0 (dur 1), barrier until 6, second H at 6.
+        assert_eq!(s.items()[1].start, 6);
+        assert_eq!(s.latency(), 7);
+    }
+
+    #[test]
+    fn conditional_waits_for_measurement() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .instruction(Instruction::Cond(
+                cqasm::Bit(0),
+                cqasm::GateApp::new(GateKind::X, vec![cqasm::Qubit(1)]),
+            ))
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        let cond = s
+            .items()
+            .iter()
+            .find(|t| matches!(t.instruction, Instruction::Cond(_, _)))
+            .unwrap();
+        // H dur 1, measure dur 4 -> bit ready at 5.
+        assert_eq!(cond.start, 5);
+    }
+
+    #[test]
+    fn to_program_roundtrip_semantics() {
+        use qxsim::Simulator;
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Cnot, &[1, 2])
+            .measure_all()
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        let sp = s.to_program();
+        sp.validate().expect("scheduled program valid");
+        let h1 = Simulator::perfect().run_shots(&p, 300).unwrap();
+        let h2 = Simulator::perfect().run_shots(&sp, 300).unwrap();
+        // Same outcome support (GHZ: only 000 and 111).
+        assert_eq!(h1.count(0b010), 0);
+        assert_eq!(h2.count(0b010), 0);
+        assert!(h2.count(0b000) > 0 && h2.count(0b111) > 0);
+    }
+
+    #[test]
+    fn to_program_emits_bundles_for_parallel_slots() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::H, &[1])
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        let sp = s.to_program();
+        let first = sp.subcircuits()[0].instructions().first().unwrap();
+        assert!(matches!(first, Instruction::Bundle(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn durations_respected_on_slow_platform() {
+        let p = Program::builder(2)
+            .gate(GateKind::X90, &[0])
+            .gate(GateKind::Cz, &[0, 1])
+            .measure(0)
+            .build();
+        let plat = Platform::semiconducting_linear(2);
+        let s = schedule(&p, &plat, ScheduleDirection::Asap);
+        // x90: 4 cycles, cz: 8, measure: 50.
+        let starts: Vec<u64> = s.items().iter().map(|t| t.start).collect();
+        assert_eq!(starts, vec![0, 4, 12]);
+        assert_eq!(s.latency(), 62);
+    }
+}

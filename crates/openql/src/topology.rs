@@ -1,0 +1,254 @@
+//! Qubit-plane topologies and shortest-path queries.
+//!
+//! Real quantum devices impose nearest-neighbour (NN) constraints (§2.6 of
+//! the paper): two-qubit gates require adjacent qubits. The topology tells
+//! the mapper which physical qubits interact and how far apart any two
+//! qubits are.
+
+use std::collections::VecDeque;
+
+/// An undirected connectivity graph over physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    qubit_count: usize,
+    /// Adjacency lists, sorted.
+    adjacency: Vec<Vec<usize>>,
+    name: String,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `>= qubit_count` or is a
+    /// self-loop.
+    pub fn from_edges(qubit_count: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); qubit_count];
+        for &(a, b) in edges {
+            assert!(a < qubit_count && b < qubit_count, "edge out of range");
+            assert_ne!(a, b, "self-loop edge");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        for l in &mut adjacency {
+            l.sort_unstable();
+        }
+        Topology {
+            qubit_count,
+            adjacency,
+            name: "custom".to_owned(),
+        }
+    }
+
+    /// A 1-D chain `0 - 1 - ... - (n-1)`.
+    pub fn linear(n: usize) -> Self {
+        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let mut t = Topology::from_edges(n, &edges);
+        t.name = format!("linear-{n}");
+        t
+    }
+
+    /// A 2-D grid with nearest-neighbour connectivity — the layout the
+    /// paper names as what "most current quantum technologies" pursue.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((i, i + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((i, i + cols));
+                }
+            }
+        }
+        let mut t = Topology::from_edges(n, &edges);
+        t.name = format!("grid-{rows}x{cols}");
+        t
+    }
+
+    /// All-to-all connectivity (perfect qubits with no NN constraint).
+    pub fn fully_connected(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in a + 1..n {
+                edges.push((a, b));
+            }
+        }
+        let mut t = Topology::from_edges(n, &edges);
+        t.name = format!("full-{n}");
+        t
+    }
+
+    /// Number of physical qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// Human-readable topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Neighbours of qubit `q`, sorted.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Whether `a` and `b` are directly connected.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// All edges `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (a, nbrs) in self.adjacency.iter().enumerate() {
+            for &b in nbrs {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS hop distance between two qubits, or `None` if disconnected.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        self.shortest_path(a, b).map(|p| p.len() - 1)
+    }
+
+    /// A shortest path from `a` to `b` inclusive, or `None` if disconnected.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev = vec![usize::MAX; self.qubit_count];
+        let mut queue = VecDeque::new();
+        prev[a] = a;
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if prev[v] == usize::MAX {
+                    prev[v] = u;
+                    if v == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while cur != a {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.qubit_count == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.qubit_count];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.qubit_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_adjacency() {
+        let t = Topology::linear(4);
+        assert!(t.are_adjacent(0, 1));
+        assert!(t.are_adjacent(2, 3));
+        assert!(!t.are_adjacent(0, 2));
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.distance(0, 3), Some(3));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.qubit_count(), 9);
+        assert_eq!(t.edge_count(), 12);
+        // Centre qubit (index 4) has 4 neighbours.
+        assert_eq!(t.neighbors(4), &[1, 3, 5, 7]);
+        // Corner has 2.
+        assert_eq!(t.neighbors(0), &[1, 3]);
+        assert_eq!(t.distance(0, 8), Some(4));
+    }
+
+    #[test]
+    fn fully_connected_distance_is_one() {
+        let t = Topology::fully_connected(5);
+        assert_eq!(t.edge_count(), 10);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    assert_eq!(t.distance(a, b), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_steps() {
+        let t = Topology::grid(2, 3);
+        let p = t.shortest_path(0, 5).expect("connected");
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 5);
+        for w in p.windows(2) {
+            assert!(t.are_adjacent(w[0], w[1]));
+        }
+        assert_eq!(p.len() - 1, 3);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+        assert_eq!(t.distance(0, 3), None);
+        assert!(Topology::linear(4).is_connected());
+    }
+
+    #[test]
+    fn path_to_self() {
+        let t = Topology::linear(3);
+        assert_eq!(t.shortest_path(1, 1), Some(vec![1]));
+        assert_eq!(t.distance(1, 1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edge() {
+        let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+}

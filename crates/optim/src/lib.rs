@@ -1,0 +1,46 @@
+//! # optim — the quantum optimisation accelerator
+//!
+//! The third full-stack example of Bertels et al. (DATE 2020, §3.3):
+//! near-term quantum acceleration of optimisation problems, with the
+//! travelling salesman as the use case (Fig 9: four Dutch cities, 16 QUBO
+//! qubits, optimal tour cost 1.42).
+//!
+//! The problem is modelled as a QUBO ([`TspQubo`]), isomorphic to the
+//! Ising model, and solved on **both** quantum computation models the
+//! paper considers:
+//!
+//! - the annealing model, through any [`annealer::Sampler`]
+//!   (simulated annealing, the Chimera-embedded D-Wave-style flow, or the
+//!   fully-connected digital annealer);
+//! - the gate model, through [`Qaoa`] driven by the hybrid
+//!   quantum-classical loop ([`HybridOptimizer`], Fig 8).
+//!
+//! Classical comparators (brute force, branch and bound, 2-opt,
+//! Monte-Carlo) live in [`tsp`].
+//!
+//! # Example
+//!
+//! ```
+//! use optim::{TspInstance, solve_tsp_with_sampler};
+//! use annealer::SimulatedAnnealer;
+//!
+//! let tsp = TspInstance::nl_four_cities();
+//! let sol = solve_tsp_with_sampler(&tsp, &SimulatedAnnealer::new(), 30).unwrap();
+//! assert!((sol.cost - 1.42).abs() < 1e-9); // the paper's optimum
+//! ```
+
+pub mod hybrid;
+pub mod maxcut;
+pub mod qaoa;
+pub mod qubo_encode;
+pub mod solve;
+pub mod tsp;
+pub mod vqe;
+
+pub use hybrid::{HybridOptimizer, HybridRun};
+pub use maxcut::MaxCut;
+pub use qaoa::{Qaoa, QaoaEvaluation};
+pub use qubo_encode::TspQubo;
+pub use solve::{TspSolution, solve_tsp_qaoa, solve_tsp_with_sampler};
+pub use tsp::TspInstance;
+pub use vqe::{Vqe, VqeRun};

@@ -1,0 +1,226 @@
+//! TSP → QUBO encoding (§3.3 of the paper).
+//!
+//! One binary variable per `(city, time)` pair — `N^2` qubits for `N`
+//! cities ("we need 16 qubits to encode the example TSP into a QUBO").
+//! The interactions follow the paper's four categories:
+//!
+//! 1. every node must be assigned (reward for using a variable);
+//! 2. the same node in two different time slots is penalised;
+//! 3. the same time slot for two different nodes is penalised;
+//! 4. the travel cost of consecutive time slots is the edge weight.
+
+use crate::tsp::TspInstance;
+use annealer::Qubo;
+
+/// A TSP instance encoded as a QUBO.
+#[derive(Debug, Clone)]
+pub struct TspQubo {
+    /// The QUBO model over `n^2` variables.
+    pub qubo: Qubo,
+    /// Number of cities.
+    pub cities: usize,
+    /// The constraint penalty weight used.
+    pub penalty: f64,
+}
+
+impl TspQubo {
+    /// Encodes `tsp` with the given constraint penalty (must exceed the
+    /// longest possible tour to make constraint violations never pay).
+    pub fn encode(tsp: &TspInstance, penalty: f64) -> Self {
+        let n = tsp.len();
+        let var = |city: usize, time: usize| city * n + time;
+        let mut q = Qubo::new(n * n);
+
+        for city in 0..n {
+            // (1) + (2): (1 - sum_t x_{c,t})^2 expands to
+            // -sum_t x + 2 sum_{t<t'} x x' (+ constant), scaled by penalty.
+            for t1 in 0..n {
+                q.add(var(city, t1), var(city, t1), -penalty);
+                for t2 in t1 + 1..n {
+                    q.add(var(city, t1), var(city, t2), 2.0 * penalty);
+                }
+            }
+        }
+        for time in 0..n {
+            // (3): one node per time slot.
+            for c1 in 0..n {
+                q.add(var(c1, time), var(c1, time), -penalty);
+                for c2 in c1 + 1..n {
+                    q.add(var(c1, time), var(c2, time), 2.0 * penalty);
+                }
+            }
+        }
+        // (4): tour cost between consecutive time slots (cyclic).
+        for t in 0..n {
+            let t_next = (t + 1) % n;
+            for c1 in 0..n {
+                for c2 in 0..n {
+                    if c1 == c2 {
+                        continue;
+                    }
+                    q.add(var(c1, t), var(c2, t_next), tsp.distance(c1, c2));
+                }
+            }
+        }
+        TspQubo {
+            qubo: q,
+            cities: n,
+            penalty,
+        }
+    }
+
+    /// A penalty that provably dominates any tour-cost saving: the total
+    /// weight of the `n` largest edges plus one.
+    pub fn default_penalty(tsp: &TspInstance) -> f64 {
+        let n = tsp.len();
+        let mut max_d = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                max_d = max_d.max(tsp.distance(i, j));
+            }
+        }
+        max_d * n as f64 + 1.0
+    }
+
+    /// Number of binary variables / qubits (`n^2`).
+    pub fn variables(&self) -> usize {
+        self.cities * self.cities
+    }
+
+    /// The constant offset of the encoding: both constraint families
+    /// contribute `penalty` per row, i.e. `2 n * penalty` total, so
+    /// `tour_cost = qubo_energy + 2 n penalty` for feasible assignments.
+    pub fn constant_offset(&self) -> f64 {
+        2.0 * self.cities as f64 * self.penalty
+    }
+
+    /// Decodes a bit assignment into a tour, or `None` if infeasible.
+    pub fn decode(&self, bits: &[bool]) -> Option<Vec<usize>> {
+        let n = self.cities;
+        if bits.len() != n * n {
+            return None;
+        }
+        let mut tour = vec![usize::MAX; n];
+        for time in 0..n {
+            let mut assigned = None;
+            for city in 0..n {
+                if bits[city * n + time] {
+                    if assigned.is_some() {
+                        return None; // two cities in one slot
+                    }
+                    assigned = Some(city);
+                }
+            }
+            tour[time] = assigned?;
+        }
+        // Each city exactly once.
+        let mut seen = vec![false; n];
+        for &c in &tour {
+            if seen[c] {
+                return None;
+            }
+            seen[c] = true;
+        }
+        Some(tour)
+    }
+
+    /// Encodes a tour into the corresponding feasible bit assignment.
+    pub fn encode_tour(&self, tour: &[usize]) -> Vec<bool> {
+        let n = self.cities;
+        let mut bits = vec![false; n * n];
+        for (time, &city) in tour.iter().enumerate() {
+            bits[city * n + time] = true;
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_instance() -> (TspInstance, TspQubo) {
+        let tsp = TspInstance::nl_four_cities();
+        let penalty = TspQubo::default_penalty(&tsp);
+        let enc = TspQubo::encode(&tsp, penalty);
+        (tsp, enc)
+    }
+
+    #[test]
+    fn four_cities_need_sixteen_qubits() {
+        let (_, enc) = paper_instance();
+        assert_eq!(enc.variables(), 16, "paper: 16 qubits for 4 cities");
+    }
+
+    #[test]
+    fn feasible_energy_equals_tour_cost_plus_offset() {
+        let (tsp, enc) = paper_instance();
+        for tour in [[0usize, 1, 2, 3], [2, 0, 3, 1], [3, 2, 1, 0]] {
+            let bits = enc.encode_tour(&tour);
+            let e = enc.qubo.energy(&bits) + enc.constant_offset();
+            let cost = tsp.tour_cost(&tour);
+            assert!(
+                (e - cost).abs() < 1e-9,
+                "tour {tour:?}: energy {e} vs cost {cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn qubo_minimum_is_optimal_tour() {
+        let (tsp, enc) = paper_instance();
+        let (bits, energy) = enc.qubo.brute_force_minimum();
+        let tour = enc.decode(&bits).expect("minimum must be feasible");
+        let cost = tsp.tour_cost(&tour);
+        assert!((cost - 1.42).abs() < 1e-9, "decoded cost {cost}");
+        assert!((energy + enc.constant_offset() - 1.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_assignments_cost_more_than_any_tour() {
+        let (tsp, enc) = paper_instance();
+        let worst_tour = {
+            let mut worst = 0.0f64;
+            let (_, best) = tsp.brute_force();
+            let _ = best;
+            for tour in [[0usize, 1, 2, 3], [0, 2, 1, 3], [0, 1, 3, 2]] {
+                worst = worst.max(tsp.tour_cost(&tour));
+            }
+            worst
+        };
+        // Empty assignment violates everything.
+        let empty = vec![false; 16];
+        let e_empty = enc.qubo.energy(&empty) + enc.constant_offset();
+        assert!(e_empty > worst_tour, "empty {e_empty} vs worst {worst_tour}");
+        // Duplicate city.
+        let mut dup = enc.encode_tour(&[0, 1, 2, 3]);
+        dup[3 * 4 + 3] = false; // drop city 3 at t3
+        dup[4 + 3] = true; // city 1 again at t3
+        assert!(enc.decode(&dup).is_none());
+        let e_dup = enc.qubo.energy(&dup) + enc.constant_offset();
+        assert!(e_dup > worst_tour);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let (_, enc) = paper_instance();
+        assert!(enc.decode(&[false; 16]).is_none());
+        assert!(enc.decode(&[true; 16]).is_none());
+        assert!(enc.decode(&[false; 9]).is_none());
+        let good = enc.encode_tour(&[1, 3, 0, 2]);
+        assert_eq!(enc.decode(&good), Some(vec![1, 3, 0, 2]));
+    }
+
+    #[test]
+    fn qubit_count_grows_quadratically() {
+        // The paper: "the amount of qubits needed to solve the problem
+        // grows as N^2".
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for n in [3usize, 5, 8] {
+            let tsp = TspInstance::random(n, &mut rng);
+            let enc = TspQubo::encode(&tsp, 10.0);
+            assert_eq!(enc.variables(), n * n);
+        }
+    }
+}

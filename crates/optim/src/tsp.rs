@@ -1,0 +1,404 @@
+//! Travelling Salesman Problem instances and classical solvers.
+//!
+//! §3.3 of the paper uses route planning between four cities in the
+//! Netherlands reduced to a TSP graph built from scaled Euclidean
+//! distances; enumerating all solutions gives an optimal tour of cost
+//! **1.42**. That exact instance is [`TspInstance::nl_four_cities`].
+//! Classical comparators include exhaustive enumeration, branch and
+//! bound (the method behind the 85 900-city exact record the paper cites)
+//! and Monte-Carlo / 2-opt heuristics ("used for larger inputs").
+
+use rand::Rng;
+use std::fmt;
+
+/// A symmetric TSP instance over a complete graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TspInstance {
+    names: Vec<String>,
+    /// Dense symmetric distance matrix.
+    dist: Vec<f64>,
+}
+
+impl TspInstance {
+    /// Builds an instance from city coordinates (Euclidean distances).
+    pub fn from_coords(names: Vec<String>, coords: &[(f64, f64)]) -> Self {
+        let n = coords.len();
+        assert_eq!(names.len(), n, "one name per city");
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = coords[i].0 - coords[j].0;
+                let dy = coords[i].1 - coords[j].1;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        TspInstance { names, dist }
+    }
+
+    /// Builds an instance from an explicit distance matrix (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or not symmetric.
+    pub fn from_matrix(names: Vec<String>, dist: Vec<f64>) -> Self {
+        let n = names.len();
+        assert_eq!(dist.len(), n * n, "matrix must be n x n");
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (dist[i * n + j] - dist[j * n + i]).abs() < 1e-9,
+                    "matrix must be symmetric"
+                );
+            }
+        }
+        TspInstance { names, dist }
+    }
+
+    /// Scales all distances by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for d in &mut self.dist {
+            *d *= factor;
+        }
+    }
+
+    /// The paper's four-city Netherlands example (Fig 9): scaled Euclidean
+    /// distances normalised so that the optimal tour costs exactly 1.42,
+    /// the value the paper reports from exhaustive enumeration.
+    pub fn nl_four_cities() -> Self {
+        // Approximate lon/lat of Amsterdam, Utrecht, Rotterdam, Eindhoven.
+        let names = vec![
+            "Amsterdam".to_owned(),
+            "Utrecht".to_owned(),
+            "Rotterdam".to_owned(),
+            "Eindhoven".to_owned(),
+        ];
+        let coords = [(4.90, 52.37), (5.12, 52.09), (4.48, 51.92), (5.47, 51.44)];
+        let mut inst = TspInstance::from_coords(names, &coords);
+        // Scale so the optimal tour costs exactly 1.42 (paper's reported
+        // optimum for its scaled-Euclidean graph).
+        let (_, raw_opt) = inst.brute_force();
+        inst.scale(1.42 / raw_opt);
+        inst
+    }
+
+    /// A pseudo-random Euclidean instance in the unit square.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let coords: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let names = (0..n).map(|i| format!("city{i}")).collect();
+        TspInstance::from_coords(names, &coords)
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the instance has no cities.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// City names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Distance between two cities.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.len() + j]
+    }
+
+    /// Cost of a tour given as a permutation of all city indices
+    /// (returns to the start at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tour` is not a permutation of `0..n`.
+    pub fn tour_cost(&self, tour: &[usize]) -> f64 {
+        let n = self.len();
+        assert_eq!(tour.len(), n, "tour must visit every city once");
+        let mut seen = vec![false; n];
+        for &c in tour {
+            assert!(!seen[c], "tour repeats city {c}");
+            seen[c] = true;
+        }
+        let mut cost = 0.0;
+        for k in 0..n {
+            cost += self.distance(tour[k], tour[(k + 1) % n]);
+        }
+        cost
+    }
+
+    /// Exhaustive enumeration (fix city 0, permute the rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 12` (factorial blow-up).
+    pub fn brute_force(&self) -> (Vec<usize>, f64) {
+        let n = self.len();
+        assert!(n <= 12, "brute force limited to 12 cities");
+        if n <= 1 {
+            return ((0..n).collect(), 0.0);
+        }
+        let mut rest: Vec<usize> = (1..n).collect();
+        let mut best_tour = Vec::new();
+        let mut best = f64::INFINITY;
+        permute(&mut rest, 0, &mut |perm| {
+            let mut tour = Vec::with_capacity(n);
+            tour.push(0);
+            tour.extend_from_slice(perm);
+            let cost = self.tour_cost(&tour);
+            if cost < best {
+                best = cost;
+                best_tour = tour;
+            }
+        });
+        (best_tour, best)
+    }
+
+    /// Branch and bound exact solver (prunes on partial cost).
+    ///
+    /// Returns the optimal tour, its cost, and the number of search nodes
+    /// expanded (the work metric).
+    pub fn branch_and_bound(&self) -> (Vec<usize>, f64, u64) {
+        let n = self.len();
+        if n <= 1 {
+            return ((0..n).collect(), 0.0, 1);
+        }
+        // Seed the bound with a quick heuristic.
+        let (heur_tour, heur_cost) = self.nearest_neighbor(0);
+        let mut best = heur_cost + 1e-12;
+        let mut best_tour = heur_tour;
+        let mut nodes = 0u64;
+        let mut path = vec![0usize];
+        let mut used = vec![false; n];
+        used[0] = true;
+        self.bnb_recurse(&mut path, &mut used, 0.0, &mut best, &mut best_tour, &mut nodes);
+        (best_tour, best, nodes)
+    }
+
+    fn bnb_recurse(
+        &self,
+        path: &mut Vec<usize>,
+        used: &mut [bool],
+        cost: f64,
+        best: &mut f64,
+        best_tour: &mut Vec<usize>,
+        nodes: &mut u64,
+    ) {
+        *nodes += 1;
+        let n = self.len();
+        if path.len() == n {
+            let total = cost + self.distance(path[n - 1], path[0]);
+            if total < *best {
+                *best = total;
+                *best_tour = path.clone();
+            }
+            return;
+        }
+        let last = *path.last().expect("non-empty path");
+        for next in 1..n {
+            if used[next] {
+                continue;
+            }
+            let extended = cost + self.distance(last, next);
+            if extended >= *best {
+                continue; // prune
+            }
+            used[next] = true;
+            path.push(next);
+            self.bnb_recurse(path, used, extended, best, best_tour, nodes);
+            path.pop();
+            used[next] = false;
+        }
+    }
+
+    /// Nearest-neighbour construction heuristic from a start city.
+    pub fn nearest_neighbor(&self, start: usize) -> (Vec<usize>, f64) {
+        let n = self.len();
+        let mut tour = vec![start];
+        let mut used = vec![false; n];
+        used[start] = true;
+        while tour.len() < n {
+            let last = *tour.last().expect("non-empty");
+            let next = (0..n)
+                .filter(|&c| !used[c])
+                .min_by(|&a, &b| {
+                    self.distance(last, a)
+                        .partial_cmp(&self.distance(last, b))
+                        .expect("finite")
+                })
+                .expect("cities remain");
+            used[next] = true;
+            tour.push(next);
+        }
+        let cost = self.tour_cost(&tour);
+        (tour, cost)
+    }
+
+    /// 2-opt local improvement until no improving swap exists.
+    pub fn two_opt(&self, tour: &[usize]) -> (Vec<usize>, f64) {
+        let n = self.len();
+        let mut t = tour.to_vec();
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for i in 0..n - 1 {
+                for j in i + 2..n {
+                    if i == 0 && j == n - 1 {
+                        continue; // same edge
+                    }
+                    let a = t[i];
+                    let b = t[i + 1];
+                    let c = t[j];
+                    let d = t[(j + 1) % n];
+                    let delta = self.distance(a, c) + self.distance(b, d)
+                        - self.distance(a, b)
+                        - self.distance(c, d);
+                    if delta < -1e-12 {
+                        t[i + 1..=j].reverse();
+                        improved = true;
+                    }
+                }
+            }
+        }
+        let cost = self.tour_cost(&t);
+        (t, cost)
+    }
+
+    /// Monte-Carlo search: best of `samples` random tours (the heuristic
+    /// the paper notes is "used for larger inputs").
+    pub fn monte_carlo<R: Rng + ?Sized>(&self, samples: u64, rng: &mut R) -> (Vec<usize>, f64) {
+        let n = self.len();
+        let mut best_tour: Vec<usize> = (0..n).collect();
+        let mut best = self.tour_cost(&best_tour);
+        let mut tour: Vec<usize> = (0..n).collect();
+        for _ in 0..samples {
+            // Fisher-Yates shuffle.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                tour.swap(i, j);
+            }
+            let cost = self.tour_cost(&tour);
+            if cost < best {
+                best = cost;
+                best_tour = tour.clone();
+            }
+        }
+        (best_tour, best)
+    }
+}
+
+fn permute<F: FnMut(&[usize])>(items: &mut Vec<usize>, k: usize, f: &mut F) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+impl fmt::Display for TspInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "tsp over {} cities: {:?}", self.len(), self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn nl_four_cities_optimum_is_1_42() {
+        let tsp = TspInstance::nl_four_cities();
+        let (tour, cost) = tsp.brute_force();
+        assert!((cost - 1.42).abs() < 1e-9, "optimal cost {cost}");
+        assert_eq!(tour.len(), 4);
+        assert_eq!(tsp.len(), 4);
+    }
+
+    #[test]
+    fn tour_cost_of_square() {
+        let tsp = TspInstance::from_coords(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            &[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)],
+        );
+        assert!((tsp.tour_cost(&[0, 1, 2, 3]) - 4.0).abs() < 1e-12);
+        // Crossing diagonal tour is longer.
+        assert!(tsp.tour_cost(&[0, 2, 1, 3]) > 4.0);
+    }
+
+    #[test]
+    fn branch_and_bound_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..5 {
+            let tsp = TspInstance::random(7, &mut rng);
+            let (_, bf) = tsp.brute_force();
+            let (_, bb, nodes) = tsp.branch_and_bound();
+            assert!((bf - bb).abs() < 1e-9, "bnb {bb} vs brute {bf}");
+            // Pruning: fewer nodes than the full 6! * partial tree.
+            assert!(nodes < 2000, "nodes {nodes}");
+        }
+    }
+
+    #[test]
+    fn two_opt_improves_nearest_neighbor() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut improved_any = false;
+        for _ in 0..10 {
+            let tsp = TspInstance::random(10, &mut rng);
+            let (nn_tour, nn) = tsp.nearest_neighbor(0);
+            let (_, opt2) = tsp.two_opt(&nn_tour);
+            assert!(opt2 <= nn + 1e-12);
+            if opt2 < nn - 1e-9 {
+                improved_any = true;
+            }
+        }
+        assert!(improved_any, "2-opt should improve at least one instance");
+    }
+
+    #[test]
+    fn monte_carlo_finds_small_instance_optimum() {
+        let tsp = TspInstance::nl_four_cities();
+        let mut rng = StdRng::seed_from_u64(23);
+        let (_, mc) = tsp.monte_carlo(200, &mut rng);
+        assert!((mc - 1.42).abs() < 1e-9, "mc best {mc}");
+    }
+
+    #[test]
+    fn heuristics_bounded_below_by_optimum() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let tsp = TspInstance::random(8, &mut rng);
+        let (_, opt) = tsp.brute_force();
+        let (_, nn) = tsp.nearest_neighbor(0);
+        let (_, mc) = tsp.monte_carlo(50, &mut rng);
+        assert!(nn >= opt - 1e-12);
+        assert!(mc >= opt - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats city")]
+    fn invalid_tour_rejected() {
+        let tsp = TspInstance::nl_four_cities();
+        let _ = tsp.tour_cost(&[0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn matrix_constructor_checks_symmetry() {
+        let names = vec!["a".into(), "b".into()];
+        let ok = TspInstance::from_matrix(names.clone(), vec![0.0, 2.0, 2.0, 0.0]);
+        assert_eq!(ok.distance(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        let names = vec!["a".into(), "b".into()];
+        let _ = TspInstance::from_matrix(names, vec![0.0, 2.0, 3.0, 0.0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Stabilizer codes in the code-capacity (Pauli-frame) model.
+//!
+//! A code is given by its stabilizer supports; errors are Pauli masks on
+//! the data qubits; syndromes are parities of error masks over supports.
+//! The small codes here (repetition, Steane) are exactly the "small codes"
+//! the paper says Preskill's NISQ argument revived against surface codes
+//! (§2.1).
+
+/// A Pauli error pattern over `n` data qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliError {
+    /// X component per qubit.
+    pub x: Vec<bool>,
+    /// Z component per qubit.
+    pub z: Vec<bool>,
+}
+
+impl PauliError {
+    /// The identity error on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliError {
+            x: vec![false; n],
+            z: vec![false; n],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the error is the identity.
+    pub fn is_empty(&self) -> bool {
+        !self.x.iter().any(|&b| b) && !self.z.iter().any(|&b| b)
+    }
+
+    /// Pauli weight (qubits with any non-identity component).
+    pub fn weight(&self) -> usize {
+        self.x
+            .iter()
+            .zip(&self.z)
+            .filter(|(&x, &z)| x || z)
+            .count()
+    }
+
+    /// Multiplies (XORs) another error into this one.
+    pub fn compose(&mut self, other: &PauliError) {
+        for i in 0..self.x.len() {
+            self.x[i] ^= other.x[i];
+            self.z[i] ^= other.z[i];
+        }
+    }
+
+    /// Parity of the X component over a support set.
+    pub fn x_parity(&self, support: &[usize]) -> bool {
+        support.iter().filter(|&&q| self.x[q]).count() % 2 == 1
+    }
+
+    /// Parity of the Z component over a support set.
+    pub fn z_parity(&self, support: &[usize]) -> bool {
+        support.iter().filter(|&&q| self.z[q]).count() % 2 == 1
+    }
+}
+
+/// The syndrome of an error: one bit per stabilizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Syndrome {
+    /// Bits from Z-type stabilizers (which detect X errors).
+    pub z_checks: Vec<bool>,
+    /// Bits from X-type stabilizers (which detect Z errors).
+    pub x_checks: Vec<bool>,
+}
+
+impl Syndrome {
+    /// Whether any check fired.
+    pub fn is_trivial(&self) -> bool {
+        !self.z_checks.iter().any(|&b| b) && !self.x_checks.iter().any(|&b| b)
+    }
+}
+
+/// A CSS stabilizer code described by its check supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StabilizerCode {
+    name: String,
+    n: usize,
+    k: usize,
+    d: usize,
+    /// Supports of Z-type stabilizers (detect X errors).
+    z_stabilizers: Vec<Vec<usize>>,
+    /// Supports of X-type stabilizers (detect Z errors).
+    x_stabilizers: Vec<Vec<usize>>,
+    /// Support of the logical X operator.
+    logical_x: Vec<usize>,
+    /// Support of the logical Z operator.
+    logical_z: Vec<usize>,
+}
+
+impl StabilizerCode {
+    /// Builds a code from raw parts.
+    #[allow(clippy::too_many_arguments)] // a code *is* these eight parts
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        k: usize,
+        d: usize,
+        z_stabilizers: Vec<Vec<usize>>,
+        x_stabilizers: Vec<Vec<usize>>,
+        logical_x: Vec<usize>,
+        logical_z: Vec<usize>,
+    ) -> Self {
+        StabilizerCode {
+            name: name.into(),
+            n,
+            k,
+            d,
+            z_stabilizers,
+            x_stabilizers,
+            logical_x,
+            logical_z,
+        }
+    }
+
+    /// The distance-`d` bit-flip repetition code `|0..0>/|1..1>`.
+    ///
+    /// Detects X errors via adjacent `ZZ` checks; offers no phase
+    /// protection (the textbook "small code").
+    pub fn repetition(d: usize) -> Self {
+        assert!(d >= 2, "repetition code needs d >= 2");
+        let z_stabs: Vec<Vec<usize>> = (0..d - 1).map(|i| vec![i, i + 1]).collect();
+        StabilizerCode::new(
+            format!("repetition-{d}"),
+            d,
+            1,
+            d,
+            z_stabs,
+            Vec::new(),
+            (0..d).collect(), // logical X = X on every qubit
+            vec![0],          // logical Z = Z on one qubit
+        )
+    }
+
+    /// The Steane `[[7,1,3]]` code (CSS from the `[7,4,3]` Hamming code).
+    pub fn steane() -> Self {
+        let supports = vec![vec![3, 4, 5, 6], vec![1, 2, 5, 6], vec![0, 2, 4, 6]];
+        StabilizerCode::new(
+            "steane-[[7,1,3]]",
+            7,
+            1,
+            3,
+            supports.clone(),
+            supports,
+            (0..7).collect(),
+            (0..7).collect(),
+        )
+    }
+
+    /// Code name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical data qubits.
+    pub fn data_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of logical qubits.
+    pub fn logical_qubits(&self) -> usize {
+        self.k
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        self.d
+    }
+
+    /// Number of stabilizer checks (= ancilla qubits in a standard ESM
+    /// layout, the overhead Preskill's argument is about).
+    pub fn ancilla_qubits(&self) -> usize {
+        self.z_stabilizers.len() + self.x_stabilizers.len()
+    }
+
+    /// Z-type stabilizer supports.
+    pub fn z_stabilizers(&self) -> &[Vec<usize>] {
+        &self.z_stabilizers
+    }
+
+    /// X-type stabilizer supports.
+    pub fn x_stabilizers(&self) -> &[Vec<usize>] {
+        &self.x_stabilizers
+    }
+
+    /// Logical X support.
+    pub fn logical_x(&self) -> &[usize] {
+        &self.logical_x
+    }
+
+    /// Logical Z support.
+    pub fn logical_z(&self) -> &[usize] {
+        &self.logical_z
+    }
+
+    /// Measures the error syndrome of `error`.
+    pub fn syndrome(&self, error: &PauliError) -> Syndrome {
+        Syndrome {
+            z_checks: self
+                .z_stabilizers
+                .iter()
+                .map(|s| error.x_parity(s))
+                .collect(),
+            x_checks: self
+                .x_stabilizers
+                .iter()
+                .map(|s| error.z_parity(s))
+                .collect(),
+        }
+    }
+
+    /// Whether a *syndrome-free* residual error acts as a logical operator.
+    ///
+    /// A residual X-type component is a logical X iff it anticommutes with
+    /// logical Z (odd overlap), and dually for Z components.
+    pub fn is_logical_error(&self, residual: &PauliError) -> bool {
+        residual.x_parity(&self.logical_z) || residual.z_parity(&self.logical_x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_code_shape() {
+        let c = StabilizerCode::repetition(3);
+        assert_eq!(c.data_qubits(), 3);
+        assert_eq!(c.ancilla_qubits(), 2);
+        assert_eq!(c.distance(), 3);
+        assert_eq!(c.z_stabilizers(), &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn repetition_syndromes_distinguish_single_flips() {
+        let c = StabilizerCode::repetition(3);
+        let mut syndromes = Vec::new();
+        for q in 0..3 {
+            let mut e = PauliError::identity(3);
+            e.x[q] = true;
+            let s = c.syndrome(&e);
+            assert!(!s.is_trivial());
+            syndromes.push(s.z_checks.clone());
+        }
+        // All three single-flip syndromes are distinct.
+        syndromes.sort();
+        syndromes.dedup();
+        assert_eq!(syndromes.len(), 3);
+    }
+
+    #[test]
+    fn repetition_ignores_phase_errors() {
+        let c = StabilizerCode::repetition(3);
+        let mut e = PauliError::identity(3);
+        e.z[1] = true;
+        assert!(c.syndrome(&e).is_trivial());
+        // ... and that undetected Z is a logical error.
+        assert!(c.is_logical_error(&e));
+    }
+
+    #[test]
+    fn steane_distinguishes_all_single_qubit_errors() {
+        let c = StabilizerCode::steane();
+        assert_eq!(c.data_qubits(), 7);
+        assert_eq!(c.ancilla_qubits(), 6);
+        let mut seen = Vec::new();
+        for q in 0..7 {
+            let mut e = PauliError::identity(7);
+            e.x[q] = true;
+            let s = c.syndrome(&e);
+            assert!(!s.is_trivial(), "X{q} undetected");
+            seen.push((s.z_checks.clone(), s.x_checks.clone()));
+            let mut e = PauliError::identity(7);
+            e.z[q] = true;
+            let s = c.syndrome(&e);
+            assert!(!s.is_trivial(), "Z{q} undetected");
+        }
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 7, "single-X syndromes must be unique");
+    }
+
+    #[test]
+    fn stabilizers_commute_with_logicals() {
+        // Logical operators have trivial syndrome.
+        for c in [StabilizerCode::repetition(5), StabilizerCode::steane()] {
+            let mut lx = PauliError::identity(c.data_qubits());
+            for &q in c.logical_x() {
+                lx.x[q] = true;
+            }
+            assert!(c.syndrome(&lx).is_trivial(), "{}: logical X detected", c.name());
+            assert!(c.is_logical_error(&lx));
+            let mut lz = PauliError::identity(c.data_qubits());
+            for &q in c.logical_z() {
+                lz.z[q] = true;
+            }
+            assert!(c.syndrome(&lz).is_trivial(), "{}: logical Z detected", c.name());
+            assert!(c.is_logical_error(&lz));
+        }
+    }
+
+    #[test]
+    fn pauli_error_algebra() {
+        let mut a = PauliError::identity(3);
+        a.x[0] = true;
+        a.z[1] = true;
+        assert_eq!(a.weight(), 2);
+        let mut b = PauliError::identity(3);
+        b.x[0] = true;
+        a.compose(&b);
+        assert_eq!(a.weight(), 1);
+        assert!(!a.is_empty());
+        a.z[1] = false;
+        assert!(a.is_empty());
+    }
+}

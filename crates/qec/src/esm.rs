@@ -1,0 +1,166 @@
+//! Error-syndrome-measurement (ESM) circuits as cQASM programs.
+//!
+//! §2.1 of the paper: "after every sequence of quantum gates, the system
+//! needs to measure out its state and interpret those measurements to see
+//! if an error has been produced". This module builds the ancilla-based
+//! ESM circuits for a [`crate::StabilizerCode`] so the full stack (compiler +
+//! simulator + micro-architecture) can run real error-correction rounds.
+
+use crate::code::StabilizerCode;
+use cqasm::{GateKind, Instruction, Program, Qubit, Subcircuit};
+
+/// Layout of an ESM program: which program qubits are data vs ancilla.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EsmLayout {
+    /// Number of data qubits (indices `0..data`).
+    pub data: usize,
+    /// Ancillas for Z-type checks (indices `data..data+z_count`).
+    pub z_ancillas: usize,
+    /// Ancillas for X-type checks (after the Z ancillas).
+    pub x_ancillas: usize,
+}
+
+impl EsmLayout {
+    /// Total program qubits.
+    pub fn total(&self) -> usize {
+        self.data + self.z_ancillas + self.x_ancillas
+    }
+
+    /// Program qubit of the `i`-th Z-check ancilla.
+    pub fn z_ancilla(&self, i: usize) -> usize {
+        self.data + i
+    }
+
+    /// Program qubit of the `i`-th X-check ancilla.
+    pub fn x_ancilla(&self, i: usize) -> usize {
+        self.data + self.z_ancillas + i
+    }
+}
+
+/// Builds one ESM round for `code` as a cQASM program.
+///
+/// Z-type checks use an ancilla in `|0>` as CNOT target from each data
+/// qubit in the support; X-type checks use a `|+>` ancilla as CNOT control.
+/// Each ancilla is prepared, entangled and measured; repeated rounds (the
+/// paper notes measurements "need to be repeated multiple times") are
+/// emitted as an iterated subcircuit.
+pub fn esm_program(code: &StabilizerCode, rounds: u64) -> (Program, EsmLayout) {
+    let layout = EsmLayout {
+        data: code.data_qubits(),
+        z_ancillas: code.z_stabilizers().len(),
+        x_ancillas: code.x_stabilizers().len(),
+    };
+    let mut program = Program::new(layout.total());
+    let mut sub = Subcircuit::with_iterations("esm_round", rounds);
+    for (i, support) in code.z_stabilizers().iter().enumerate() {
+        let anc = layout.z_ancilla(i);
+        sub.push(Instruction::PrepZ(Qubit(anc)));
+        for &dq in support {
+            sub.push(Instruction::gate(GateKind::Cnot, &[dq, anc]));
+        }
+        sub.push(Instruction::Measure(Qubit(anc)));
+    }
+    for (i, support) in code.x_stabilizers().iter().enumerate() {
+        let anc = layout.x_ancilla(i);
+        sub.push(Instruction::PrepZ(Qubit(anc)));
+        sub.push(Instruction::gate(GateKind::H, &[anc]));
+        for &dq in support {
+            sub.push(Instruction::gate(GateKind::Cnot, &[anc, dq]));
+        }
+        sub.push(Instruction::gate(GateKind::H, &[anc]));
+        sub.push(Instruction::Measure(Qubit(anc)));
+    }
+    program.push_subcircuit(sub);
+    (program, layout)
+}
+
+/// Extracts the Z-check syndrome bits from a measured bit register.
+pub fn z_syndrome_bits(layout: &EsmLayout, bits: u64) -> Vec<bool> {
+    (0..layout.z_ancillas)
+        .map(|i| (bits >> layout.z_ancilla(i)) & 1 == 1)
+        .collect()
+}
+
+/// Extracts the X-check syndrome bits from a measured bit register.
+pub fn x_syndrome_bits(layout: &EsmLayout, bits: u64) -> Vec<bool> {
+    (0..layout.x_ancillas)
+        .map(|i| (bits >> layout.x_ancilla(i)) & 1 == 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::PauliError;
+    use qxsim::Simulator;
+
+    /// Runs one ESM round on a state with an injected X error and returns
+    /// the measured Z-syndrome.
+    fn measured_syndrome(code: &StabilizerCode, flipped: &[usize]) -> Vec<bool> {
+        let (esm, layout) = esm_program(code, 1);
+        // Prepend the error injection.
+        let mut program = Program::new(layout.total());
+        let mut inject = Subcircuit::new("inject");
+        for &q in flipped {
+            inject.push(Instruction::gate(GateKind::X, &[q]));
+        }
+        program.push_subcircuit(inject);
+        for s in esm.subcircuits() {
+            program.push_subcircuit(s.clone());
+        }
+        let r = Simulator::perfect().run_once(&program).unwrap();
+        z_syndrome_bits(&layout, r.bits)
+    }
+
+    #[test]
+    fn clean_state_has_trivial_syndrome() {
+        let code = StabilizerCode::repetition(3);
+        assert_eq!(measured_syndrome(&code, &[]), vec![false, false]);
+    }
+
+    #[test]
+    fn single_flips_produce_textbook_syndromes() {
+        let code = StabilizerCode::repetition(3);
+        assert_eq!(measured_syndrome(&code, &[0]), vec![true, false]);
+        assert_eq!(measured_syndrome(&code, &[1]), vec![true, true]);
+        assert_eq!(measured_syndrome(&code, &[2]), vec![false, true]);
+    }
+
+    #[test]
+    fn measured_syndrome_matches_pauli_frame_model() {
+        let code = StabilizerCode::repetition(5);
+        for q in 0..5 {
+            let mut e = PauliError::identity(5);
+            e.x[q] = true;
+            let model = code.syndrome(&e).z_checks;
+            let measured = measured_syndrome(&code, &[q]);
+            assert_eq!(measured, model, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn steane_esm_layout_counts() {
+        let code = StabilizerCode::steane();
+        let (p, layout) = esm_program(&code, 3);
+        assert_eq!(layout.total(), 13); // 7 data + 3 + 3 ancilla
+        assert_eq!(p.subcircuits()[0].iterations(), 3);
+        p.validate().expect("esm program valid");
+    }
+
+    #[test]
+    fn steane_x_checks_detect_z_errors() {
+        let code = StabilizerCode::steane();
+        let (esm, layout) = esm_program(&code, 1);
+        let mut program = Program::new(layout.total());
+        let mut inject = Subcircuit::new("inject");
+        inject.push(Instruction::gate(GateKind::Z, &[6]));
+        program.push_subcircuit(inject);
+        for s in esm.subcircuits() {
+            program.push_subcircuit(s.clone());
+        }
+        let r = Simulator::perfect().run_once(&program).unwrap();
+        let xs = x_syndrome_bits(&layout, r.bits);
+        // Z on qubit 6 is in all three X-check supports.
+        assert_eq!(xs, vec![true, true, true]);
+    }
+}

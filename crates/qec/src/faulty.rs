@@ -1,0 +1,152 @@
+//! Faulty syndrome measurement and repeated ESM rounds.
+//!
+//! §2.1 of the paper: "Measurements themselves can be erroneous and
+//! therefore need to be repeated multiple times before a final conclusion
+//! is reached." This module implements the phenomenological noise model:
+//! the data error pattern is fixed, but each syndrome *bit* read is
+//! flipped independently with probability `q` per round. Majority voting
+//! over `r` rounds suppresses measurement errors exponentially — the
+//! repetition the paper prescribes.
+
+use crate::code::{PauliError, StabilizerCode, Syndrome};
+use crate::decoder::LookupDecoder;
+use crate::monte::{NoiseKind, sample_error};
+use rand::Rng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reads the Z-check syndrome of `error` with per-bit flip probability
+/// `q` (one noisy ESM round).
+pub fn noisy_syndrome<R: Rng + ?Sized>(
+    code: &StabilizerCode,
+    error: &PauliError,
+    q: f64,
+    rng: &mut R,
+) -> Syndrome {
+    let mut s = code.syndrome(error);
+    for b in s.z_checks.iter_mut().chain(s.x_checks.iter_mut()) {
+        if q > 0.0 && rng.gen_bool(q) {
+            *b = !*b;
+        }
+    }
+    s
+}
+
+/// Majority-votes a sequence of syndrome readings bit-wise.
+/// Ties (even round counts) resolve to `false` (no defect).
+pub fn majority_vote(rounds: &[Syndrome]) -> Syndrome {
+    assert!(!rounds.is_empty(), "need at least one round");
+    let z_len = rounds[0].z_checks.len();
+    let x_len = rounds[0].x_checks.len();
+    let vote = |get: &dyn Fn(&Syndrome) -> &Vec<bool>, len: usize| -> Vec<bool> {
+        (0..len)
+            .map(|i| {
+                let ones = rounds.iter().filter(|r| get(r)[i]).count();
+                2 * ones > rounds.len()
+            })
+            .collect()
+    };
+    Syndrome {
+        z_checks: vote(&|r| &r.z_checks, z_len),
+        x_checks: vote(&|r| &r.x_checks, x_len),
+    }
+}
+
+/// Logical error rate of a small code under data noise `p` *and*
+/// measurement noise `q`, with `rounds` repeated ESM readings that are
+/// majority-voted before decoding.
+pub fn faulty_logical_error_rate(
+    code: &StabilizerCode,
+    p: f64,
+    q: f64,
+    rounds: usize,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    assert!(rounds >= 1, "at least one ESM round");
+    let decoder = LookupDecoder::for_code(code);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u64;
+    for _ in 0..trials {
+        let e = sample_error(code.data_qubits(), p, NoiseKind::BitFlip, &mut rng);
+        let readings: Vec<Syndrome> = (0..rounds)
+            .map(|_| noisy_syndrome(code, &e, q, &mut rng))
+            .collect();
+        let voted = majority_vote(&readings);
+        let mut residual = e.clone();
+        residual.compose(&decoder.decode(&voted));
+        if !code.syndrome(&residual).is_trivial() || code.is_logical_error(&residual) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_vote_recovers_the_true_syndrome() {
+        let code = StabilizerCode::repetition(3);
+        let mut e = PauliError::identity(3);
+        e.x[0] = true;
+        let truth = code.syndrome(&e);
+        let mut rng = StdRng::seed_from_u64(1);
+        // 9 rounds at q = 0.2: the vote is almost always right.
+        let mut correct = 0;
+        for _ in 0..200 {
+            let rounds: Vec<Syndrome> = (0..9)
+                .map(|_| noisy_syndrome(&code, &e, 0.2, &mut rng))
+                .collect();
+            if majority_vote(&rounds) == truth {
+                correct += 1;
+            }
+        }
+        assert!(correct > 190, "vote correct {correct}/200");
+    }
+
+    #[test]
+    fn noiseless_measurement_matches_code_capacity() {
+        let code = StabilizerCode::repetition(3);
+        let p = 0.05;
+        let faulty = faulty_logical_error_rate(&code, p, 0.0, 1, 20_000, 2);
+        let capacity =
+            crate::monte::code_logical_error_rate(&code, p, NoiseKind::BitFlip, 20_000, 2);
+        assert!(
+            (faulty - capacity).abs() < 0.01,
+            "faulty q=0 {faulty} vs capacity {capacity}"
+        );
+    }
+
+    #[test]
+    fn repeating_rounds_suppresses_measurement_errors() {
+        let code = StabilizerCode::repetition(3);
+        let p = 0.01;
+        let q = 0.10;
+        let one = faulty_logical_error_rate(&code, p, q, 1, 15_000, 3);
+        let five = faulty_logical_error_rate(&code, p, q, 5, 15_000, 3);
+        let nine = faulty_logical_error_rate(&code, p, q, 9, 15_000, 3);
+        assert!(
+            five < one / 2.0,
+            "5 rounds ({five}) should be far below 1 round ({one})"
+        );
+        assert!(nine <= five + 0.005, "9 rounds {nine} vs 5 rounds {five}");
+    }
+
+    #[test]
+    fn steane_also_benefits_from_repetition() {
+        let code = StabilizerCode::steane();
+        let one = faulty_logical_error_rate(&code, 0.005, 0.08, 1, 8_000, 4);
+        let five = faulty_logical_error_rate(&code, 0.005, 0.08, 5, 8_000, 4);
+        assert!(five < one, "5 rounds {five} vs 1 round {one}");
+    }
+
+    #[test]
+    fn even_round_counts_are_valid() {
+        let code = StabilizerCode::repetition(3);
+        // Just exercises the tie-break path.
+        let r = faulty_logical_error_rate(&code, 0.02, 0.05, 4, 2_000, 5);
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

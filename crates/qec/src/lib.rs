@@ -1,0 +1,44 @@
+//! # qec — the quantum error correction substrate
+//!
+//! The "realistic qubit" track of Bertels et al. (DATE 2020, §2.1, §2.4)
+//! rests on quantum error correction: data + ancilla qubits on a 2-D
+//! lattice, error syndrome measurements after every gate sequence, and a
+//! decoder interpreting the syndrome graph in real time. This crate builds
+//! that substrate from scratch:
+//!
+//! - [`Tableau`] — a CHP-style stabilizer simulator (Gottesman–Knill),
+//!   scaling to hundreds of qubits where the state-vector engine stops;
+//! - [`StabilizerCode`] — small codes (repetition, Steane `[[7,1,3]]`), the
+//!   codes Preskill's NISQ argument revived;
+//! - [`SurfaceCode`] — the planar surface code with its
+//!   `(2d-1)^2`-physical-qubit footprint;
+//! - [`LookupDecoder`] / [`decoder::decode_x_errors`] — exact and greedy
+//!   matching decoders;
+//! - [`monte`] — Monte-Carlo logical-error-rate estimation;
+//! - [`esm`] — syndrome-extraction circuits emitted as cQASM so the full
+//!   stack can execute real QEC rounds.
+//!
+//! # Example
+//!
+//! ```
+//! use qec::monte::surface_logical_error_rate;
+//!
+//! // Below threshold, a larger distance suppresses logical errors.
+//! let d3 = surface_logical_error_rate(3, 0.02, 2_000, 7);
+//! let d5 = surface_logical_error_rate(5, 0.02, 2_000, 7);
+//! assert!(d5 <= d3 + 0.01);
+//! ```
+
+pub mod code;
+pub mod decoder;
+pub mod esm;
+pub mod faulty;
+pub mod monte;
+pub mod surface;
+pub mod tableau;
+
+pub use code::{PauliError, StabilizerCode, Syndrome};
+pub use decoder::LookupDecoder;
+pub use monte::NoiseKind;
+pub use surface::SurfaceCode;
+pub use tableau::Tableau;

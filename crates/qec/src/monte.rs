@@ -1,0 +1,208 @@
+//! Monte-Carlo estimation of logical error rates.
+//!
+//! The deliverable behind the paper's realistic-qubit track: how the
+//! logical failure probability of a code+decoder falls (or fails to fall)
+//! with the physical error rate, and where the pseudo-threshold sits.
+
+use crate::code::{PauliError, StabilizerCode};
+use crate::decoder::{LookupDecoder, decode_x_errors, decode_z_errors};
+use crate::surface::SurfaceCode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise model for code-capacity Monte-Carlo runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseKind {
+    /// Independent X flips with probability `p` per data qubit.
+    BitFlip,
+    /// Independent Z flips with probability `p` per data qubit.
+    PhaseFlip,
+    /// Depolarizing: each qubit suffers X, Y or Z with probability `p/3`
+    /// each.
+    Depolarizing,
+}
+
+/// Samples an error over `n` qubits.
+pub fn sample_error<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    kind: NoiseKind,
+    rng: &mut R,
+) -> PauliError {
+    let mut e = PauliError::identity(n);
+    for q in 0..n {
+        match kind {
+            NoiseKind::BitFlip => {
+                if rng.gen_bool(p) {
+                    e.x[q] = true;
+                }
+            }
+            NoiseKind::PhaseFlip => {
+                if rng.gen_bool(p) {
+                    e.z[q] = true;
+                }
+            }
+            NoiseKind::Depolarizing => {
+                if rng.gen_bool(p) {
+                    match rng.gen_range(0..3) {
+                        0 => e.x[q] = true,
+                        1 => e.z[q] = true,
+                        _ => {
+                            e.x[q] = true;
+                            e.z[q] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    e
+}
+
+/// Logical error rate of a small code with its exact lookup decoder.
+pub fn code_logical_error_rate(
+    code: &StabilizerCode,
+    p: f64,
+    kind: NoiseKind,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let decoder = LookupDecoder::for_code(code);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u64;
+    for _ in 0..trials {
+        let e = sample_error(code.data_qubits(), p, kind, &mut rng);
+        let mut residual = e.clone();
+        residual.compose(&decoder.decode(&code.syndrome(&e)));
+        // If the decoder left a syndrome (uncorrectable weight), count as
+        // failure outright.
+        if !code.syndrome(&residual).is_trivial() || code.is_logical_error(&residual) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+/// Logical X-failure rate of the surface code under bit-flip noise with
+/// the greedy matching decoder.
+pub fn surface_logical_error_rate(d: usize, p: f64, trials: u64, seed: u64) -> f64 {
+    let code = SurfaceCode::new(d);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u64;
+    for _ in 0..trials {
+        let e = sample_error(code.data_qubits(), p, NoiseKind::BitFlip, &mut rng);
+        let corr = decode_x_errors(&code, &code.x_error_defects(&e));
+        let mut residual = e.clone();
+        residual.compose(&corr);
+        debug_assert!(code.x_error_defects(&residual).is_empty());
+        if residual.x_parity(code.logical_z()) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+/// Logical Z-failure rate of the surface code under phase-flip noise.
+pub fn surface_logical_phase_error_rate(d: usize, p: f64, trials: u64, seed: u64) -> f64 {
+    let code = SurfaceCode::new(d);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u64;
+    for _ in 0..trials {
+        let e = sample_error(code.data_qubits(), p, NoiseKind::PhaseFlip, &mut rng);
+        let corr = decode_z_errors(&code, &code.z_error_defects(&e));
+        let mut residual = e.clone();
+        residual.compose(&corr);
+        if residual.z_parity(code.logical_x()) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_never_fails() {
+        assert_eq!(surface_logical_error_rate(3, 0.0, 200, 1), 0.0);
+        let rep = StabilizerCode::repetition(3);
+        assert_eq!(
+            code_logical_error_rate(&rep, 0.0, NoiseKind::BitFlip, 200, 1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn repetition_suppresses_bit_flips_quadratically() {
+        let rep = StabilizerCode::repetition(3);
+        let p = 0.05;
+        let rate = code_logical_error_rate(&rep, p, NoiseKind::BitFlip, 30_000, 2);
+        // Exact: 3p^2(1-p) + p^3 ~ 0.00725.
+        let exact = 3.0 * p * p * (1.0 - p) + p * p * p;
+        assert!(
+            (rate - exact).abs() < 0.003,
+            "rate {rate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn repetition_does_not_protect_against_phase_flips() {
+        let rep = StabilizerCode::repetition(3);
+        let p = 0.05;
+        let rate = code_logical_error_rate(&rep, p, NoiseKind::PhaseFlip, 20_000, 3);
+        // Any single Z flip is an undetected logical error: rate ~ 1-(1-p)^3 ~ 0.14.
+        assert!(rate > 0.10, "rate {rate}");
+    }
+
+    #[test]
+    fn steane_beats_physical_rate_below_pseudothreshold() {
+        let steane = StabilizerCode::steane();
+        let p = 0.01;
+        let rate = code_logical_error_rate(&steane, p, NoiseKind::Depolarizing, 30_000, 4);
+        assert!(rate < p, "logical {rate} should beat physical {p}");
+    }
+
+    #[test]
+    fn surface_code_below_threshold_improves_with_distance() {
+        let p = 0.02;
+        let r3 = surface_logical_error_rate(3, p, 4_000, 5);
+        let r7 = surface_logical_error_rate(7, p, 4_000, 5);
+        assert!(
+            r7 < r3,
+            "distance should help below threshold: d3={r3}, d7={r7}"
+        );
+    }
+
+    #[test]
+    fn surface_code_above_threshold_gets_worse_with_distance() {
+        let p = 0.35;
+        let r3 = surface_logical_error_rate(3, p, 2_000, 6);
+        let r7 = surface_logical_error_rate(7, p, 2_000, 6);
+        assert!(
+            r7 > r3 * 0.8,
+            "far above threshold distance must not help: d3={r3}, d7={r7}"
+        );
+    }
+
+    #[test]
+    fn phase_flip_dual_behaves_like_bit_flip() {
+        let p = 0.02;
+        let rx = surface_logical_error_rate(3, p, 4_000, 7);
+        let rz = surface_logical_phase_error_rate(3, p, 4_000, 7);
+        // Dual lattices: rates should be within a small factor.
+        assert!((rx - rz).abs() < 0.05, "x {rx} vs z {rz}");
+    }
+
+    #[test]
+    fn depolarizing_sampler_statistics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut weight = 0usize;
+        let trials = 2000;
+        for _ in 0..trials {
+            weight += sample_error(10, 0.3, NoiseKind::Depolarizing, &mut rng).weight();
+        }
+        let mean = weight as f64 / trials as f64;
+        assert!((mean - 3.0).abs() < 0.2, "mean weight {mean}");
+    }
+}

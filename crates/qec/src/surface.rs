@@ -1,0 +1,261 @@
+//! The planar surface code (§2.1 of the paper: data qubits + ancilla
+//! qubits on a 2-D nearest-neighbour lattice, error syndrome measurement
+//! over plaquettes).
+//!
+//! Layout: a `(2d-1) x (2d-1)` grid. Cells with even coordinate parity are
+//! data qubits; odd-parity cells are checks — X-type on even rows, Z-type
+//! on odd rows. Each check acts on its in-grid N/S/E/W data neighbours.
+//! This is the standard planar code with `n = d^2 + (d-1)^2` data qubits
+//! and `2d(d-1)` ancillas.
+
+use crate::code::PauliError;
+
+/// A distance-`d` planar surface code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurfaceCode {
+    d: usize,
+    /// Data qubit index per grid cell (usize::MAX for non-data cells).
+    cell_to_data: Vec<usize>,
+    /// Grid coordinates of each data qubit.
+    data_coords: Vec<(usize, usize)>,
+    /// Z-check positions (odd rows) and their data supports.
+    z_checks: Vec<((usize, usize), Vec<usize>)>,
+    /// X-check positions (even rows, odd parity) and their data supports.
+    x_checks: Vec<((usize, usize), Vec<usize>)>,
+    /// Logical Z support: top row of data qubits.
+    logical_z: Vec<usize>,
+    /// Logical X support: left column of data qubits.
+    logical_x: Vec<usize>,
+}
+
+impl SurfaceCode {
+    /// Builds a distance-`d` planar surface code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2`.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 2, "surface code needs d >= 2");
+        let side = 2 * d - 1;
+        let mut cell_to_data = vec![usize::MAX; side * side];
+        let mut data_coords = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                if (r + c) % 2 == 0 {
+                    cell_to_data[r * side + c] = data_coords.len();
+                    data_coords.push((r, c));
+                }
+            }
+        }
+        let data_at = |r: isize, c: isize| -> Option<usize> {
+            if r < 0 || c < 0 || r >= side as isize || c >= side as isize {
+                return None;
+            }
+            let idx = cell_to_data[r as usize * side + c as usize];
+            (idx != usize::MAX).then_some(idx)
+        };
+        let mut z_checks = Vec::new();
+        let mut x_checks = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                if (r + c) % 2 == 1 {
+                    let support: Vec<usize> = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+                        .iter()
+                        .filter_map(|&(dr, dc)| data_at(r as isize + dr, c as isize + dc))
+                        .collect();
+                    if r % 2 == 1 {
+                        z_checks.push(((r, c), support));
+                    } else {
+                        x_checks.push(((r, c), support));
+                    }
+                }
+            }
+        }
+        // Logical Z: top row (r = 0, all even columns). Logical X: left
+        // column (c = 0, all even rows).
+        let logical_z: Vec<usize> = (0..side)
+            .step_by(2)
+            .map(|c| cell_to_data[c])
+            .collect();
+        let logical_x: Vec<usize> = (0..side)
+            .step_by(2)
+            .map(|r| cell_to_data[r * side])
+            .collect();
+        SurfaceCode {
+            d,
+            cell_to_data,
+            data_coords,
+            z_checks,
+            x_checks,
+            logical_z,
+            logical_x,
+        }
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        self.d
+    }
+
+    /// Number of data qubits (`d^2 + (d-1)^2`).
+    pub fn data_qubits(&self) -> usize {
+        self.data_coords.len()
+    }
+
+    /// Number of ancilla (check) qubits (`2d(d-1)`).
+    pub fn ancilla_qubits(&self) -> usize {
+        self.z_checks.len() + self.x_checks.len()
+    }
+
+    /// Total physical qubits per logical qubit — the overhead figure behind
+    /// Preskill's "surface code requires too many ancillas" argument.
+    pub fn total_qubits(&self) -> usize {
+        self.data_qubits() + self.ancilla_qubits()
+    }
+
+    /// Z-check supports.
+    pub fn z_checks(&self) -> impl Iterator<Item = &[usize]> {
+        self.z_checks.iter().map(|(_, s)| s.as_slice())
+    }
+
+    /// X-check supports.
+    pub fn x_checks(&self) -> impl Iterator<Item = &[usize]> {
+        self.x_checks.iter().map(|(_, s)| s.as_slice())
+    }
+
+    /// Logical Z support.
+    pub fn logical_z(&self) -> &[usize] {
+        &self.logical_z
+    }
+
+    /// Logical X support.
+    pub fn logical_x(&self) -> &[usize] {
+        &self.logical_x
+    }
+
+    /// Syndrome of the X component of an error: fired Z-checks, as
+    /// positions on the grid (the "defects" the decoder matches).
+    pub fn x_error_defects(&self, error: &PauliError) -> Vec<(usize, usize)> {
+        self.z_checks
+            .iter()
+            .filter(|(_, s)| error.x_parity(s))
+            .map(|(pos, _)| *pos)
+            .collect()
+    }
+
+    /// Syndrome of the Z component: fired X-checks.
+    pub fn z_error_defects(&self, error: &PauliError) -> Vec<(usize, usize)> {
+        self.x_checks
+            .iter()
+            .filter(|(_, s)| error.z_parity(s))
+            .map(|(pos, _)| *pos)
+            .collect()
+    }
+
+    /// The data qubit at grid cell `(r, c)`, if that cell is a data cell.
+    pub fn data_at(&self, r: usize, c: usize) -> Option<usize> {
+        let side = 2 * self.d - 1;
+        if r >= side || c >= side {
+            return None;
+        }
+        let idx = self.cell_to_data[r * side + c];
+        (idx != usize::MAX).then_some(idx)
+    }
+
+    /// Grid coordinates of a data qubit.
+    pub fn coords_of(&self, data: usize) -> (usize, usize) {
+        self.data_coords[data]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts_match_formulas() {
+        for d in 2..=7 {
+            let s = SurfaceCode::new(d);
+            assert_eq!(s.data_qubits(), d * d + (d - 1) * (d - 1), "data d={d}");
+            assert_eq!(s.ancilla_qubits(), 2 * d * (d - 1), "ancilla d={d}");
+            assert_eq!(s.total_qubits(), (2 * d - 1) * (2 * d - 1), "total d={d}");
+        }
+    }
+
+    #[test]
+    fn checks_have_weight_two_to_four() {
+        let s = SurfaceCode::new(3);
+        for sup in s.z_checks().chain(s.x_checks()) {
+            assert!((2..=4).contains(&sup.len()), "support {sup:?}");
+        }
+    }
+
+    #[test]
+    fn logical_operators_have_distance_weight() {
+        for d in 2..=5 {
+            let s = SurfaceCode::new(d);
+            assert_eq!(s.logical_z().len(), d);
+            assert_eq!(s.logical_x().len(), d);
+        }
+    }
+
+    #[test]
+    fn logical_z_commutes_with_all_checks() {
+        let s = SurfaceCode::new(4);
+        let mut e = PauliError::identity(s.data_qubits());
+        for &q in s.logical_z() {
+            e.z[q] = true;
+        }
+        // Z logical only threatens X-checks.
+        assert!(
+            s.z_error_defects(&e).is_empty(),
+            "logical Z must be undetectable"
+        );
+        let mut ex = PauliError::identity(s.data_qubits());
+        for &q in s.logical_x() {
+            ex.x[q] = true;
+        }
+        assert!(
+            s.x_error_defects(&ex).is_empty(),
+            "logical X must be undetectable"
+        );
+    }
+
+    #[test]
+    fn single_x_error_fires_one_or_two_z_checks() {
+        let s = SurfaceCode::new(3);
+        for q in 0..s.data_qubits() {
+            let mut e = PauliError::identity(s.data_qubits());
+            e.x[q] = true;
+            let defects = s.x_error_defects(&e);
+            assert!(
+                (1..=2).contains(&defects.len()),
+                "qubit {q} fired {} Z-checks",
+                defects.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stabilizer_product_is_undetectable() {
+        // Applying X on a full X-check support looks like a stabilizer:
+        // trivial Z-syndrome.
+        let s = SurfaceCode::new(3);
+        let sup: Vec<usize> = s.x_checks().next().unwrap().to_vec();
+        let mut e = PauliError::identity(s.data_qubits());
+        for q in sup {
+            e.x[q] = true;
+        }
+        assert!(s.x_error_defects(&e).is_empty());
+    }
+
+    #[test]
+    fn data_at_and_coords_roundtrip() {
+        let s = SurfaceCode::new(3);
+        for q in 0..s.data_qubits() {
+            let (r, c) = s.coords_of(q);
+            assert_eq!(s.data_at(r, c), Some(q));
+        }
+        assert_eq!(s.data_at(0, 1), None); // odd parity cell is a check
+    }
+}

@@ -1,0 +1,412 @@
+//! A CHP-style stabilizer simulator (Gottesman–Knill / Aaronson–Gottesman).
+//!
+//! Clifford circuits on thousands of qubits simulate in polynomial time,
+//! which is what makes studying error-correction circuits tractable: the
+//! paper's "realistic qubit" track requires processing "a very large graph
+//! ... in real-time" of syndrome measurements (§2.1), far beyond
+//! state-vector reach. The tableau tracks `2n` Pauli generators
+//! (destabilizers and stabilizers) plus sign bits.
+
+use rand::Rng;
+
+/// A stabilizer state of `n` qubits.
+///
+/// Supports the Clifford gates `H`, `S`, `CNOT` (and the Paulis derived
+/// from them) plus Z-basis measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    /// `x[i][j]`: row `i` has an X component on qubit `j`.
+    x: Vec<Vec<bool>>,
+    /// `z[i][j]`: row `i` has a Z component on qubit `j`.
+    z: Vec<Vec<bool>>,
+    /// Sign bit per row (`true` = negative).
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// The state `|0...0>`: destabilizers `X_i`, stabilizers `Z_i`.
+    pub fn zero_state(n: usize) -> Self {
+        let rows = 2 * n + 1; // last row is measurement scratch
+        let mut t = Tableau {
+            n,
+            x: vec![vec![false; n]; rows],
+            z: vec![vec![false; n]; rows],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            t.x[i][i] = true; // destabilizer X_i
+            t.z[n + i][i] = true; // stabilizer Z_i
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            std::mem::swap(&mut self.x[i][q], &mut self.z[i][q]);
+        }
+    }
+
+    /// Phase gate on `q`.
+    pub fn s(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            self.z[i][q] ^= self.x[i][q];
+        }
+    }
+
+    /// Inverse phase gate on `q` (`S S S`).
+    pub fn sdag(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// CNOT with control `c` and target `t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][c] && self.z[i][t] && (self.x[i][t] == self.z[i][c]);
+            self.x[i][t] ^= self.x[i][c];
+            self.z[i][c] ^= self.z[i][t];
+        }
+    }
+
+    /// CZ via `H(t); CNOT(c,t); H(t)`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][q];
+        }
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q];
+        }
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y_gate(&mut self, q: usize) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] ^ self.z[i][q];
+        }
+    }
+
+    /// Measures qubit `q` in the Z basis, collapsing the state.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        let n = self.n;
+        // Random outcome iff some stabilizer anticommutes with Z_q.
+        let p = (n..2 * n).find(|&i| self.x[i][q]);
+        match p {
+            Some(p) => {
+                let outcome = rng.gen_bool(0.5);
+                for i in 0..2 * n {
+                    if i != p && self.x[i][q] {
+                        self.rowsum(i, p);
+                    }
+                }
+                // Destabilizer p-n becomes the old stabilizer row p.
+                self.x[p - n] = self.x[p].clone();
+                self.z[p - n] = self.z[p].clone();
+                self.r[p - n] = self.r[p];
+                // New stabilizer: (+/-) Z_q.
+                for j in 0..n {
+                    self.x[p][j] = false;
+                    self.z[p][j] = false;
+                }
+                self.z[p][q] = true;
+                self.r[p] = outcome;
+                outcome
+            }
+            None => self.deterministic_outcome(q),
+        }
+    }
+
+    /// The outcome of measuring `q` when it is deterministic (no stabilizer
+    /// anticommutes with `Z_q`). Does not modify the state.
+    pub fn deterministic_outcome(&mut self, q: usize) -> bool {
+        let n = self.n;
+        let scratch = 2 * n;
+        for j in 0..n {
+            self.x[scratch][j] = false;
+            self.z[scratch][j] = false;
+        }
+        self.r[scratch] = false;
+        for i in 0..n {
+            if self.x[i][q] {
+                self.rowsum(scratch, i + n);
+            }
+        }
+        self.r[scratch]
+    }
+
+    /// Whether measuring `q` would give a random outcome.
+    pub fn is_random(&self, q: usize) -> bool {
+        (self.n..2 * self.n).any(|i| self.x[i][q])
+    }
+
+    /// Expectation that the qubit measures 1: exactly 0, 1, or 0.5.
+    pub fn probability_one(&mut self, q: usize) -> f64 {
+        if self.is_random(q) {
+            0.5
+        } else if self.deterministic_outcome(q) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Row multiplication `row_h <- row_h * row_i`, tracking the phase.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        // Phase exponent accumulates mod 4; stored r bits are mod-2 signs.
+        let mut g_sum: i32 = 2 * (self.r[h] as i32) + 2 * (self.r[i] as i32);
+        for j in 0..self.n {
+            g_sum += g(
+                self.x[i][j],
+                self.z[i][j],
+                self.x[h][j],
+                self.z[h][j],
+            );
+        }
+        self.r[h] = g_sum.rem_euclid(4) == 2;
+        for j in 0..self.n {
+            self.x[h][j] ^= self.x[i][j];
+            self.z[h][j] ^= self.z[i][j];
+        }
+    }
+
+    /// Applies an X/Z error pattern (used for Pauli error injection in
+    /// error-correction studies): bit `q` of `x_mask` applies `X_q`, bit
+    /// `q` of `z_mask` applies `Z_q`.
+    pub fn apply_pauli_masks(&mut self, x_mask: &[bool], z_mask: &[bool]) {
+        for q in 0..self.n {
+            if x_mask[q] {
+                self.x_gate(q);
+            }
+            if z_mask[q] {
+                self.z_gate(q);
+            }
+        }
+    }
+}
+
+/// The Aaronson–Gottesman phase function for multiplying single-qubit
+/// Paulis: returns the exponent of `i` (mod 4, in {-1, 0, 1}).
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => (z2 as i32) - (x2 as i32),
+        (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+        (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn zero_state_measures_zero() {
+        let mut t = Tableau::zero_state(3);
+        let mut r = rng();
+        for q in 0..3 {
+            assert!(!t.is_random(q));
+            assert!(!t.measure(q, &mut r));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::zero_state(2);
+        t.x_gate(1);
+        let mut r = rng();
+        assert!(!t.measure(0, &mut r));
+        assert!(t.measure(1, &mut r));
+    }
+
+    #[test]
+    fn hadamard_randomises_then_collapses() {
+        let mut r = rng();
+        let mut ones = 0;
+        for _ in 0..200 {
+            let mut t = Tableau::zero_state(1);
+            t.h(0);
+            assert!(t.is_random(0));
+            let m1 = t.measure(0, &mut r);
+            // Second measurement must repeat the first.
+            let m2 = t.measure(0, &mut r);
+            assert_eq!(m1, m2);
+            if m1 {
+                ones += 1;
+            }
+        }
+        assert!((60..140).contains(&ones), "got {ones}/200 ones");
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut t = Tableau::zero_state(2);
+            t.h(0);
+            t.cnot(0, 1);
+            let a = t.measure(0, &mut r);
+            let b = t.measure(1, &mut r);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ghz_parity() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut t = Tableau::zero_state(5);
+            t.h(0);
+            for q in 0..4 {
+                t.cnot(q, q + 1);
+            }
+            let first = t.measure(0, &mut r);
+            for q in 1..5 {
+                assert_eq!(t.measure(q, &mut r), first);
+            }
+        }
+    }
+
+    #[test]
+    fn s_gate_phases() {
+        // H S S H |0> = H Z H |0> = X |0> = |1>.
+        let mut t = Tableau::zero_state(1);
+        t.h(0);
+        t.s(0);
+        t.s(0);
+        t.h(0);
+        let mut r = rng();
+        assert!(t.measure(0, &mut r));
+    }
+
+    #[test]
+    fn sdag_inverts_s() {
+        let mut t = Tableau::zero_state(1);
+        t.h(0);
+        t.s(0);
+        t.sdag(0);
+        t.h(0);
+        let mut r = rng();
+        assert!(!t.measure(0, &mut r));
+    }
+
+    #[test]
+    fn cz_phase_kickback() {
+        // |++> -CZ-> measured in X basis: H both, CZ, H both, both still
+        // random; but CZ |1+> = |1-> so H gives |11>.
+        let mut t = Tableau::zero_state(2);
+        t.x_gate(0);
+        t.h(1);
+        t.cz(0, 1);
+        t.h(1);
+        let mut r = rng();
+        assert!(t.measure(0, &mut r));
+        assert!(t.measure(1, &mut r));
+    }
+
+    #[test]
+    fn y_gate_is_xz_up_to_phase() {
+        // Y|0> = i|1>: measurement sees |1>.
+        let mut t = Tableau::zero_state(1);
+        t.y_gate(0);
+        let mut r = rng();
+        assert!(t.measure(0, &mut r));
+    }
+
+    #[test]
+    fn probability_one_values() {
+        let mut t = Tableau::zero_state(2);
+        t.x_gate(0);
+        t.h(1);
+        assert_eq!(t.probability_one(0), 1.0);
+        assert_eq!(t.probability_one(1), 0.5);
+        let mut t2 = Tableau::zero_state(1);
+        assert_eq!(t2.probability_one(0), 0.0);
+    }
+
+    #[test]
+    fn agrees_with_statevector_on_random_clifford() {
+        use cqasm::GateKind;
+        use qxsim::StateVector;
+        use rand::Rng;
+        let mut r = rng();
+        for _ in 0..30 {
+            let n = 4;
+            let mut t = Tableau::zero_state(n);
+            let mut s = StateVector::zero_state(n);
+            for _ in 0..25 {
+                match r.gen_range(0..4) {
+                    0 => {
+                        let q = r.gen_range(0..n);
+                        t.h(q);
+                        s.apply_gate(&GateKind::H, &[q]);
+                    }
+                    1 => {
+                        let q = r.gen_range(0..n);
+                        t.s(q);
+                        s.apply_gate(&GateKind::S, &[q]);
+                    }
+                    2 => {
+                        let q = r.gen_range(0..n);
+                        t.x_gate(q);
+                        s.apply_gate(&GateKind::X, &[q]);
+                    }
+                    _ => {
+                        let a = r.gen_range(0..n);
+                        let b = (a + 1 + r.gen_range(0..n - 1)) % n;
+                        t.cnot(a, b);
+                        s.apply_gate(&GateKind::Cnot, &[a, b]);
+                    }
+                }
+            }
+            for q in 0..n {
+                let p_tab = t.probability_one(q);
+                let p_sv = s.probability_one(q);
+                assert!(
+                    (p_tab - p_sv).abs() < 1e-9,
+                    "qubit {q}: tableau {p_tab} vs statevector {p_sv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_many_qubits() {
+        // 500-qubit GHZ in milliseconds — impossible for the state-vector
+        // engine, easy for the tableau.
+        let n = 500;
+        let mut t = Tableau::zero_state(n);
+        t.h(0);
+        for q in 0..n - 1 {
+            t.cnot(q, q + 1);
+        }
+        let mut r = rng();
+        let first = t.measure(0, &mut r);
+        assert_eq!(t.measure(n - 1, &mut r), first);
+    }
+}

@@ -1,0 +1,242 @@
+//! The quantum read-alignment pipeline of §3.2.
+//!
+//! "The reference DNA is sliced and stored as indexed entries in a
+//! superposed quantum database ... A quantum search on the database
+//! amplifies the measurement probability of the nearest match to the
+//! query and thereby of the corresponding index. Due to the reference
+//! database and index being entangled, the closest-match index can be
+//! estimated."
+//!
+//! The register layout is `|index> (x) |kmer>`: index bits high, the
+//! 2-bit-per-base k-mer low. The database state superposes one basis state
+//! per reference position; the error-tolerant oracle marks entries whose
+//! k-mer part is within a base-Hamming radius of the (possibly corrupted)
+//! read.
+
+use crate::dna::Sequence;
+use crate::qam::QuantumAssociativeMemory;
+
+/// Per-base Hamming distance between two packed k-mers.
+pub fn base_hamming(a: u64, b: u64, k: usize) -> usize {
+    let mut diff = a ^ b;
+    let mut count = 0;
+    for _ in 0..k {
+        if diff & 0b11 != 0 {
+            count += 1;
+        }
+        diff >>= 2;
+    }
+    count
+}
+
+/// Result of a quantum alignment.
+#[derive(Debug, Clone)]
+pub struct AlignmentOutcome {
+    /// The recalled reference position.
+    pub position: usize,
+    /// Probability mass on all matching entries after amplification.
+    pub success_probability: f64,
+    /// Amplitude-amplification iterations used (the quantum query count).
+    pub iterations: usize,
+    /// Number of database entries that matched the tolerance.
+    pub matches: usize,
+}
+
+/// The quantum aligner: an indexed superposed k-mer database.
+#[derive(Debug, Clone)]
+pub struct QuantumAligner {
+    reference: Sequence,
+    kmer_len: usize,
+    index_bits: usize,
+    memory: QuantumAssociativeMemory,
+}
+
+impl QuantumAligner {
+    /// Builds the aligner by slicing `reference` into all overlapping
+    /// k-mers and storing `(position, kmer)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is shorter than `kmer_len`, or the register
+    /// (index + 2k data qubits) exceeds the simulable range.
+    pub fn new(reference: Sequence, kmer_len: usize) -> Self {
+        assert!(reference.len() >= kmer_len, "reference shorter than k");
+        let positions = reference.len() - kmer_len + 1;
+        let index_bits = usize::BITS as usize - (positions - 1).leading_zeros() as usize;
+        let index_bits = index_bits.max(1);
+        let data_bits = 2 * kmer_len;
+        let mut memory = QuantumAssociativeMemory::new(index_bits + data_bits);
+        for pos in 0..positions {
+            let kmer = reference.subsequence(pos, kmer_len).encode();
+            memory.store(((pos as u64) << data_bits) | kmer);
+        }
+        QuantumAligner {
+            reference,
+            kmer_len,
+            index_bits,
+            memory,
+        }
+    }
+
+    /// The reference being indexed.
+    pub fn reference(&self) -> &Sequence {
+        &self.reference
+    }
+
+    /// Qubits in the database register (`index + 2k`).
+    pub fn qubit_count(&self) -> usize {
+        self.memory.qubit_count()
+    }
+
+    /// Index (position) qubits.
+    pub fn index_bits(&self) -> usize {
+        self.index_bits
+    }
+
+    /// Number of stored entries (reference positions).
+    pub fn entry_count(&self) -> usize {
+        self.memory.patterns().len()
+    }
+
+    /// Aligns a read against the database, tolerating up to
+    /// `max_mismatches` base substitutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read length differs from the aligner's k-mer length.
+    pub fn align(&self, read: &Sequence, max_mismatches: usize) -> AlignmentOutcome {
+        assert_eq!(
+            read.len(),
+            self.kmer_len,
+            "read length must equal the k-mer length"
+        );
+        let query = read.encode();
+        let k = self.kmer_len;
+        let data_bits = 2 * k;
+        let data_mask = (1u64 << data_bits) - 1;
+        let oracle =
+            move |entry: u64| base_hamming(entry & data_mask, query, k) <= max_mismatches;
+        let matches = self
+            .memory
+            .patterns()
+            .iter()
+            .filter(|&&p| oracle(p))
+            .count();
+        let result = self.memory.recall(oracle, None);
+        AlignmentOutcome {
+            position: (result.recalled >> data_bits) as usize,
+            success_probability: result.success_probability,
+            iterations: result.iterations,
+            matches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::best_hamming_search;
+    use crate::reads::ReadGenerator;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn reference() -> Sequence {
+        Sequence::parse("ACGTGGCAATTCCGA").unwrap()
+    }
+
+    #[test]
+    fn base_hamming_counts_bases_not_bits() {
+        let a = Sequence::parse("ACGT").unwrap().encode();
+        let b = Sequence::parse("ACTT").unwrap().encode(); // G->T differs in both bits
+        assert_eq!(base_hamming(a, b, 4), 1);
+        let c = Sequence::parse("TGCA").unwrap().encode();
+        assert_eq!(base_hamming(a, c, 4), 4);
+        assert_eq!(base_hamming(a, a, 4), 0);
+    }
+
+    #[test]
+    fn database_stores_every_position() {
+        let aligner = QuantumAligner::new(reference(), 4);
+        assert_eq!(aligner.entry_count(), 12);
+        assert_eq!(aligner.index_bits(), 4);
+        assert_eq!(aligner.qubit_count(), 4 + 8);
+    }
+
+    #[test]
+    fn exact_read_aligns_to_true_position() {
+        let aligner = QuantumAligner::new(reference(), 4);
+        for pos in [0usize, 3, 7, 11] {
+            let read = reference().subsequence(pos, 4);
+            let out = aligner.align(&read, 0);
+            assert_eq!(out.position, pos, "read at {pos}");
+            assert!(out.success_probability > 0.9, "p = {}", out.success_probability);
+        }
+    }
+
+    #[test]
+    fn corrupted_read_aligns_with_tolerance() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let aligner = QuantumAligner::new(reference(), 5);
+        let gen = ReadGenerator::new(5, 0.0);
+        // Take a clean read and corrupt exactly one base.
+        let clean = gen.sample_at(&reference(), 6, &mut rng);
+        let mut bases: Vec<crate::dna::Base> = clean.bases.bases().to_vec();
+        bases[2] = match bases[2] {
+            crate::dna::Base::A => crate::dna::Base::C,
+            _ => crate::dna::Base::A,
+        };
+        let corrupted: Sequence = bases.into_iter().collect();
+        // Zero tolerance misses; tolerance 1 recovers the position.
+        let strict = aligner.align(&corrupted, 0);
+        let lax = aligner.align(&corrupted, 1);
+        assert!(strict.matches == 0 || strict.position != 6 || lax.matches >= 1);
+        assert_eq!(lax.position, 6);
+        assert!(lax.success_probability > 0.8);
+    }
+
+    #[test]
+    fn agrees_with_classical_baseline() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let reference = crate::dna::MarkovModel::uniform(1).generate(28, &mut rng);
+        let aligner = QuantumAligner::new(reference.clone(), 5);
+        let gen = ReadGenerator::new(5, 0.0);
+        for _ in 0..10 {
+            let read = gen.sample(&reference, &mut rng);
+            let classical = best_hamming_search(&reference, &read.bases);
+            let quantum = aligner.align(&read.bases, 0);
+            assert!(
+                classical.positions.contains(&quantum.position),
+                "quantum {} vs classical {:?}",
+                quantum.position,
+                classical.positions
+            );
+        }
+    }
+
+    #[test]
+    fn iterations_scale_with_sqrt_of_database() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let small_ref = crate::dna::MarkovModel::uniform(0).generate(12, &mut rng);
+        let large_ref = crate::dna::MarkovModel::uniform(0).generate(40, &mut rng);
+        let small = QuantumAligner::new(small_ref.clone(), 4);
+        let large = QuantumAligner::new(large_ref.clone(), 4);
+        let read_s = small_ref.subsequence(2, 4);
+        let read_l = large_ref.subsequence(2, 4);
+        let out_s = small.align(&read_s, 0);
+        let out_l = large.align(&read_l, 0);
+        // Iterations grow sublinearly with entries (sqrt shape).
+        let ratio_entries = large.entry_count() as f64 / small.entry_count() as f64;
+        let ratio_iters = out_l.iterations.max(1) as f64 / out_s.iterations.max(1) as f64;
+        assert!(
+            ratio_iters < ratio_entries,
+            "iterations {ratio_iters}x vs entries {ratio_entries}x"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read length")]
+    fn wrong_read_length_rejected() {
+        let aligner = QuantumAligner::new(reference(), 4);
+        let _ = aligner.align(&Sequence::parse("ACGTA").unwrap(), 0);
+    }
+}

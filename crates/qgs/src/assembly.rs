@@ -1,0 +1,386 @@
+//! De novo genome assembly as combinatorial optimisation.
+//!
+//! §3.2 of the paper: reconstruction "can either be carried out by
+//! aligning these reads to an already available reference genome, or in a
+//! *de novo* assembly manner. This requires the algorithmic primitive of
+//! searching an unstructured database or **graph-based combinatorial
+//! optimisation** respectively."
+//!
+//! This module implements the second primitive: reads form an overlap
+//! graph; the assembly order is the maximum-overlap Hamiltonian path;
+//! and that path problem is encoded as a QUBO solvable on the annealing
+//! accelerator — the same machinery as the TSP stack, pointed at genomics.
+
+use crate::dna::Sequence;
+use annealer::{Qubo, Sampler, spins_to_bits};
+
+/// Pairwise suffix–prefix overlap graph over a read set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapGraph {
+    reads: Vec<Sequence>,
+    /// `overlaps[i][j]`: longest suffix of read i equal to a prefix of
+    /// read j (i != j).
+    overlaps: Vec<Vec<usize>>,
+}
+
+impl OverlapGraph {
+    /// Builds the graph; overlaps shorter than `min_overlap` count as 0.
+    pub fn build(reads: &[Sequence], min_overlap: usize) -> Self {
+        let n = reads.len();
+        let mut overlaps = vec![vec![0usize; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let o = suffix_prefix_overlap(&reads[i], &reads[j]);
+                if o >= min_overlap {
+                    overlaps[i][j] = o;
+                }
+            }
+        }
+        OverlapGraph {
+            reads: reads.to_vec(),
+            overlaps,
+        }
+    }
+
+    /// Number of reads.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the graph has no reads.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// The reads.
+    pub fn reads(&self) -> &[Sequence] {
+        &self.reads
+    }
+
+    /// Overlap length of the ordered pair `(i, j)`.
+    pub fn overlap(&self, i: usize, j: usize) -> usize {
+        self.overlaps[i][j]
+    }
+
+    /// Merges reads along an ordering into a contig.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the reads.
+    pub fn merge_path(&self, order: &[usize]) -> Sequence {
+        assert_eq!(order.len(), self.len(), "order must cover every read");
+        let mut contig = self.reads[order[0]].clone();
+        for w in order.windows(2) {
+            let o = self.overlaps[w[0]][w[1]];
+            let next = &self.reads[w[1]];
+            for &b in &next.bases()[o..] {
+                contig.push(b);
+            }
+        }
+        contig
+    }
+
+    /// Total overlap along an ordering (the objective to maximise).
+    pub fn path_overlap(&self, order: &[usize]) -> usize {
+        order.windows(2).map(|w| self.overlaps[w[0]][w[1]]).sum()
+    }
+
+    /// Greedy classical assembly: repeatedly merge the highest-overlap
+    /// pair. Returns the read ordering.
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j) scan
+    pub fn greedy_order(&self) -> Vec<usize> {
+        let n = self.len();
+        // Each fragment chain is tracked by its head and tail read.
+        let mut next: Vec<Option<usize>> = vec![None; n];
+        let mut has_pred = vec![false; n];
+        let mut merged_pairs = 0;
+        while merged_pairs + 1 < n {
+            // Best (i, j): i is a chain tail (no successor), j a chain
+            // head (no predecessor), i and j in different chains.
+            let mut best: Option<(usize, usize, usize)> = None;
+            for i in 0..n {
+                if next[i].is_some() {
+                    continue;
+                }
+                for j in 0..n {
+                    if i == j || has_pred[j] {
+                        continue;
+                    }
+                    // Avoid closing a cycle: walk from j's chain end.
+                    if chain_tail(&next, j) == i {
+                        continue;
+                    }
+                    let o = self.overlaps[i][j];
+                    if best.is_none_or(|(_, _, bo)| o > bo) {
+                        best = Some((i, j, o));
+                    }
+                }
+            }
+            let Some((i, j, _)) = best else { break };
+            next[i] = Some(j);
+            has_pred[j] = true;
+            merged_pairs += 1;
+        }
+        // Emit the chain from its head.
+        let head = (0..n).find(|&r| !has_pred[r]).expect("a head exists");
+        let mut order = vec![head];
+        let mut cur = head;
+        while let Some(nx) = next[cur] {
+            order.push(nx);
+            cur = nx;
+        }
+        // Any disconnected leftovers (shouldn't happen with full merge).
+        for r in 0..n {
+            if !order.contains(&r) {
+                order.push(r);
+            }
+        }
+        order
+    }
+
+    /// Encodes the maximum-overlap Hamiltonian *path* as a QUBO over
+    /// `n^2` variables `x[read][slot]` (same constraint families as the
+    /// TSP encoding, §3.3, minus the cyclic closing edge; overlaps enter
+    /// as rewards).
+    pub fn to_qubo(&self, penalty: f64) -> Qubo {
+        let n = self.len();
+        let var = |read: usize, slot: usize| read * n + slot;
+        let mut q = Qubo::new(n * n);
+        for read in 0..n {
+            for s1 in 0..n {
+                q.add(var(read, s1), var(read, s1), -penalty);
+                for s2 in s1 + 1..n {
+                    q.add(var(read, s1), var(read, s2), 2.0 * penalty);
+                }
+            }
+        }
+        for slot in 0..n {
+            for r1 in 0..n {
+                q.add(var(r1, slot), var(r1, slot), -penalty);
+                for r2 in r1 + 1..n {
+                    q.add(var(r1, slot), var(r2, slot), 2.0 * penalty);
+                }
+            }
+        }
+        // Reward consecutive overlaps (negative weight = preferred).
+        for slot in 0..n - 1 {
+            for r1 in 0..n {
+                for r2 in 0..n {
+                    if r1 == r2 {
+                        continue;
+                    }
+                    let o = self.overlaps[r1][r2] as f64;
+                    if o > 0.0 {
+                        q.add(var(r1, slot), var(r2, slot + 1), -o);
+                    }
+                }
+            }
+        }
+        q
+    }
+
+    /// A penalty dominating any overlap reward.
+    pub fn default_penalty(&self) -> f64 {
+        let max_o = self
+            .overlaps
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64;
+        max_o * self.len() as f64 + 1.0
+    }
+
+    /// Decodes a QUBO assignment into a read ordering, if feasible.
+    pub fn decode(&self, bits: &[bool]) -> Option<Vec<usize>> {
+        let n = self.len();
+        if bits.len() != n * n {
+            return None;
+        }
+        let mut order = vec![usize::MAX; n];
+        for slot in 0..n {
+            let mut found = None;
+            for read in 0..n {
+                if bits[read * n + slot] {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some(read);
+                }
+            }
+            order[slot] = found?;
+        }
+        let mut seen = vec![false; n];
+        for &r in &order {
+            if seen[r] {
+                return None;
+            }
+            seen[r] = true;
+        }
+        Some(order)
+    }
+
+    /// Assembles via the annealing accelerator: QUBO → sampler → best
+    /// feasible ordering → contig. Returns `None` if no read decodes.
+    pub fn assemble_with<S: Sampler + ?Sized>(
+        &self,
+        sampler: &S,
+        reads_budget: u64,
+    ) -> Option<(Vec<usize>, Sequence)> {
+        let q = self.to_qubo(self.default_penalty());
+        let (ising, _offset) = q.to_ising();
+        let samples = sampler.sample(&ising, reads_budget);
+        let mut best: Option<(Vec<usize>, usize)> = None;
+        for s in samples.iter() {
+            let bits = spins_to_bits(&s.spins);
+            if let Some(order) = self.decode(&bits) {
+                let score = self.path_overlap(&order);
+                if best.as_ref().is_none_or(|(_, b)| score > *b) {
+                    best = Some((order, score));
+                }
+            }
+        }
+        best.map(|(order, _)| {
+            let contig = self.merge_path(&order);
+            (order, contig)
+        })
+    }
+}
+
+fn chain_tail(next: &[Option<usize>], mut from: usize) -> usize {
+    while let Some(n) = next[from] {
+        from = n;
+    }
+    from
+}
+
+/// Longest suffix of `a` equal to a prefix of `b` (strictly shorter than
+/// either read).
+pub fn suffix_prefix_overlap(a: &Sequence, b: &Sequence) -> usize {
+    let max = a.len().min(b.len()).saturating_sub(1);
+    for len in (1..=max).rev() {
+        if a.bases()[a.len() - len..] == b.bases()[..len] {
+            return len;
+        }
+    }
+    0
+}
+
+/// Fragments a sequence into overlapping reads of `read_len` with step
+/// `stride` (test/workload helper mirroring an idealised sequencer).
+pub fn fragment(reference: &Sequence, read_len: usize, stride: usize) -> Vec<Sequence> {
+    let mut reads = Vec::new();
+    let mut pos = 0;
+    while pos + read_len <= reference.len() {
+        reads.push(reference.subsequence(pos, read_len));
+        if pos + read_len == reference.len() {
+            break;
+        }
+        pos = (pos + stride).min(reference.len() - read_len);
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annealer::SimulatedAnnealer;
+
+    fn reference() -> Sequence {
+        Sequence::parse("ACGTGGCAATTCC").unwrap()
+    }
+
+    #[test]
+    fn overlap_computation() {
+        let a = Sequence::parse("ACGTG").unwrap();
+        let b = Sequence::parse("GTGCA").unwrap();
+        assert_eq!(suffix_prefix_overlap(&a, &b), 3);
+        assert_eq!(suffix_prefix_overlap(&b, &a), 1);
+        let c = Sequence::parse("TTTTT").unwrap();
+        assert_eq!(suffix_prefix_overlap(&a, &c), 0);
+    }
+
+    #[test]
+    fn fragmentation_covers_the_reference() {
+        let reads = fragment(&reference(), 6, 3);
+        assert!(reads.len() >= 3);
+        assert_eq!(reads[0].to_string(), "ACGTGG");
+        // Last read ends exactly at the reference end.
+        assert_eq!(
+            reads.last().unwrap().bases(),
+            &reference().bases()[reference().len() - 6..]
+        );
+    }
+
+    #[test]
+    fn greedy_assembly_reconstructs_the_reference() {
+        let reads = fragment(&reference(), 6, 3);
+        let graph = OverlapGraph::build(&reads, 2);
+        let order = graph.greedy_order();
+        let contig = graph.merge_path(&order);
+        assert_eq!(contig, reference());
+    }
+
+    #[test]
+    fn qubo_assembly_reconstructs_the_reference() {
+        let reads = fragment(&reference(), 6, 3);
+        let graph = OverlapGraph::build(&reads, 2);
+        let sampler = SimulatedAnnealer::new().with_seed(8);
+        let (order, contig) = graph
+            .assemble_with(&sampler, 40)
+            .expect("a feasible ordering");
+        assert_eq!(contig, reference(), "order {order:?}");
+    }
+
+    #[test]
+    fn qubo_optimum_is_the_max_overlap_path() {
+        let reads = fragment(&reference(), 6, 4);
+        let graph = OverlapGraph::build(&reads, 1);
+        let q = graph.to_qubo(graph.default_penalty());
+        let (bits, _) = q.brute_force_minimum();
+        let order = graph.decode(&bits).expect("minimum is feasible");
+        // Compare with exhaustive best path.
+        let n = graph.len();
+        let mut best = 0;
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute_all(&mut perm, 0, &mut |p| {
+            best = best.max(graph.path_overlap(p));
+        });
+        assert_eq!(graph.path_overlap(&order), best);
+    }
+
+    fn permute_all<F: FnMut(&[usize])>(items: &mut Vec<usize>, k: usize, f: &mut F) {
+        if k == items.len() {
+            f(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute_all(items, k + 1, f);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_infeasible() {
+        let reads = fragment(&reference(), 6, 3);
+        let graph = OverlapGraph::build(&reads, 2);
+        let n = graph.len();
+        assert!(graph.decode(&vec![false; n * n]).is_none());
+        assert!(graph.decode(&vec![true; n * n]).is_none());
+    }
+
+    #[test]
+    fn merge_path_without_overlap_concatenates() {
+        let reads = vec![
+            Sequence::parse("AAAA").unwrap(),
+            Sequence::parse("CCCC").unwrap(),
+        ];
+        let graph = OverlapGraph::build(&reads, 1);
+        let contig = graph.merge_path(&[0, 1]);
+        assert_eq!(contig.to_string(), "AAAACCCC");
+    }
+}

@@ -1,0 +1,126 @@
+//! Qubit-capacity model for genome-scale search.
+//!
+//! The paper estimates (§2.3, footnote 2): "given the size of the human
+//! genome and currently available sequencers, the number of qubits
+//! required will be around 150 logical qubits". This module makes that
+//! estimate reproducible: index register + data register + the distance
+//! comparator workspace of the error-tolerant oracle.
+
+/// Capacity model for an indexed k-mer search database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityModel {
+    /// Reference length in bases.
+    pub reference_len: u64,
+    /// Read (k-mer) length in bases.
+    pub read_len: u64,
+}
+
+impl CapacityModel {
+    /// Creates a model.
+    pub fn new(reference_len: u64, read_len: u64) -> Self {
+        CapacityModel {
+            reference_len,
+            read_len,
+        }
+    }
+
+    /// The human-genome / short-read scenario of the paper: ~3.1 Gbase
+    /// reference, 50-base reads from current sequencers.
+    pub fn human_genome() -> Self {
+        CapacityModel::new(3_100_000_000, 50)
+    }
+
+    /// Index qubits: `ceil(log2(#positions))`.
+    pub fn index_qubits(&self) -> u64 {
+        let positions = self.reference_len - self.read_len + 1;
+        64 - (positions - 1).leading_zeros() as u64
+    }
+
+    /// Data qubits: two per base.
+    pub fn data_qubits(&self) -> u64 {
+        2 * self.read_len
+    }
+
+    /// Oracle workspace: a distance accumulator able to count up to the
+    /// read length, duplicated for comparator carries, plus a result
+    /// qubit and a phase ancilla.
+    pub fn ancilla_qubits(&self) -> u64 {
+        let counter = 64 - (2 * self.read_len - 1).leading_zeros() as u64;
+        2 * counter + 2
+    }
+
+    /// Total logical qubits.
+    pub fn total_logical_qubits(&self) -> u64 {
+        self.index_qubits() + self.data_qubits() + self.ancilla_qubits()
+    }
+
+    /// Physical qubits when each logical qubit is a distance-`d` planar
+    /// surface-code patch (`(2d-1)^2` physical per logical).
+    pub fn physical_qubits(&self, code_distance: u64) -> u64 {
+        let per_logical = (2 * code_distance - 1).pow(2);
+        self.total_logical_qubits() * per_logical
+    }
+
+    /// Grover iterations to search the database (`pi/4 sqrt(N)`).
+    pub fn grover_iterations(&self) -> u64 {
+        let n = (self.reference_len - self.read_len + 1) as f64;
+        (std::f64::consts::FRAC_PI_4 * n.sqrt()).ceil() as u64
+    }
+
+    /// Classical comparisons for a linear scan (`N * read_len`).
+    pub fn classical_comparisons(&self) -> u64 {
+        (self.reference_len - self.read_len + 1) * self.read_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_genome_matches_paper_estimate() {
+        let m = CapacityModel::human_genome();
+        assert_eq!(m.index_qubits(), 32);
+        assert_eq!(m.data_qubits(), 100);
+        let total = m.total_logical_qubits();
+        // The paper says "around 150 logical qubits".
+        assert!(
+            (140..=160).contains(&total),
+            "estimate {total} strays from ~150"
+        );
+    }
+
+    #[test]
+    fn small_model_counts() {
+        let m = CapacityModel::new(16 + 3, 4); // 16 positions
+        assert_eq!(m.index_qubits(), 4);
+        assert_eq!(m.data_qubits(), 8);
+    }
+
+    #[test]
+    fn quadratic_speedup_in_queries() {
+        let m = CapacityModel::human_genome();
+        let grover = m.grover_iterations() as f64;
+        let classical = m.classical_comparisons() as f64 / m.read_len as f64;
+        // sqrt scaling: grover ~ sqrt(classical) * pi/4.
+        let expected = std::f64::consts::FRAC_PI_4 * classical.sqrt();
+        assert!((grover / expected - 1.0).abs() < 0.01);
+        assert!(grover < classical / 10_000.0, "speedup should be enormous");
+    }
+
+    #[test]
+    fn physical_overhead_grows_quadratically_in_distance() {
+        let m = CapacityModel::human_genome();
+        let d5 = m.physical_qubits(5);
+        let d10 = m.physical_qubits(10);
+        assert_eq!(d5, m.total_logical_qubits() * 81);
+        assert!(d10 > d5 * 4 - m.total_logical_qubits() * 10);
+    }
+
+    #[test]
+    fn index_grows_logarithmically() {
+        let small = CapacityModel::new(1_000_000, 50);
+        let big = CapacityModel::new(1_000_000_000, 50);
+        assert!(big.index_qubits() - small.index_qubits() <= 10);
+    }
+}

@@ -1,0 +1,163 @@
+//! Classical alignment baselines.
+//!
+//! The paper motivates quantum search by the cost of classical
+//! unstructured search over the read/reference space ("1000s of CPU hours"
+//! for one human genome, §2.3). These are the honest classical comparators:
+//! exact scanning and best-Hamming-distance scanning, instrumented with
+//! comparison counts so the experiment harness can report work, not just
+//! wall-clock.
+
+use crate::dna::Sequence;
+
+/// Result of a classical alignment query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicalAlignment {
+    /// Best matching position(s) in the reference.
+    pub positions: Vec<usize>,
+    /// Hamming distance of the best match.
+    pub distance: usize,
+    /// Number of base comparisons performed (the work metric).
+    pub comparisons: u64,
+}
+
+/// Finds all positions where `pattern` occurs exactly in `reference`.
+pub fn exact_search(reference: &Sequence, pattern: &Sequence) -> ClassicalAlignment {
+    let n = reference.len();
+    let m = pattern.len();
+    let mut positions = Vec::new();
+    let mut comparisons = 0u64;
+    if m == 0 || m > n {
+        return ClassicalAlignment {
+            positions,
+            distance: 0,
+            comparisons,
+        };
+    }
+    let rb = reference.bases();
+    let pb = pattern.bases();
+    for start in 0..=n - m {
+        let mut matched = true;
+        for (k, p) in pb.iter().enumerate() {
+            comparisons += 1;
+            if rb[start + k] != *p {
+                matched = false;
+                break;
+            }
+        }
+        if matched {
+            positions.push(start);
+        }
+    }
+    ClassicalAlignment {
+        positions,
+        distance: 0,
+        comparisons,
+    }
+}
+
+/// Finds the position(s) of minimum Hamming distance (approximate
+/// matching: the classical analogue of the paper's error-tolerant
+/// alignment).
+pub fn best_hamming_search(reference: &Sequence, pattern: &Sequence) -> ClassicalAlignment {
+    let n = reference.len();
+    let m = pattern.len();
+    let mut best = usize::MAX;
+    let mut positions = Vec::new();
+    let mut comparisons = 0u64;
+    if m == 0 || m > n {
+        return ClassicalAlignment {
+            positions,
+            distance: 0,
+            comparisons,
+        };
+    }
+    let rb = reference.bases();
+    let pb = pattern.bases();
+    for start in 0..=n - m {
+        let mut dist = 0usize;
+        for (k, p) in pb.iter().enumerate() {
+            comparisons += 1;
+            if rb[start + k] != *p {
+                dist += 1;
+                if dist > best {
+                    break; // early abandon
+                }
+            }
+        }
+        match dist.cmp(&best) {
+            std::cmp::Ordering::Less => {
+                best = dist;
+                positions.clear();
+                positions.push(start);
+            }
+            std::cmp::Ordering::Equal => positions.push(start),
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    ClassicalAlignment {
+        positions,
+        distance: best,
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Sequence {
+        Sequence::parse("ACGTACGTGGCCAATT").unwrap()
+    }
+
+    #[test]
+    fn exact_finds_all_occurrences() {
+        let r = exact_search(&reference(), &Sequence::parse("ACGT").unwrap());
+        assert_eq!(r.positions, vec![0, 4]);
+        assert!(r.comparisons > 0);
+    }
+
+    #[test]
+    fn exact_miss_returns_empty() {
+        let r = exact_search(&reference(), &Sequence::parse("TTTT").unwrap());
+        assert!(r.positions.is_empty());
+    }
+
+    #[test]
+    fn hamming_finds_best_despite_error() {
+        // "ACGA" is distance 1 from "ACGT" at 0 and 4.
+        let r = best_hamming_search(&reference(), &Sequence::parse("ACGA").unwrap());
+        assert_eq!(r.distance, 1);
+        assert_eq!(r.positions, vec![0, 4]);
+    }
+
+    #[test]
+    fn hamming_distance_zero_for_exact() {
+        let r = best_hamming_search(&reference(), &Sequence::parse("GGCC").unwrap());
+        assert_eq!(r.distance, 0);
+        assert_eq!(r.positions, vec![8]);
+    }
+
+    #[test]
+    fn comparison_count_scales_linearly() {
+        let small = Sequence::parse("ACGTACGT").unwrap();
+        let big: Sequence = std::iter::repeat_n(small.bases().iter().copied(), 8)
+            .flatten()
+            .collect();
+        let p = Sequence::parse("TTTT").unwrap();
+        let c_small = exact_search(&small, &p).comparisons;
+        let c_big = exact_search(&big, &p).comparisons;
+        assert!(
+            c_big > c_small * 4,
+            "work should grow with reference size: {c_small} -> {c_big}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let r = exact_search(&reference(), &Sequence::new());
+        assert!(r.positions.is_empty());
+        let long = Sequence::parse("ACGTACGTGGCCAATTACGTACGTACGT").unwrap();
+        let r = exact_search(&reference(), &long);
+        assert!(r.positions.is_empty());
+    }
+}

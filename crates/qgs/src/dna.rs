@@ -1,0 +1,376 @@
+//! DNA sequences and artificial genome generation.
+//!
+//! §3.2 of the paper: "for testing the functionality of the algorithm, we
+//! use artificial DNA sequences that preserve the statistical and entropic
+//! complexity of the base pairs in biological genomes; yet in a reduced
+//! size so that they can be efficiently simulated". The generator here is
+//! an order-k Markov chain whose transition statistics are either supplied
+//! or estimated from a template sequence.
+
+use rand::Rng;
+use std::fmt;
+
+/// A nucleotide base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Base {
+    /// Adenine.
+    A,
+    /// Cytosine.
+    C,
+    /// Guanine.
+    G,
+    /// Thymine.
+    T,
+}
+
+impl Base {
+    /// All four bases in encoding order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Two-bit encoding (`A=00, C=01, G=10, T=11`).
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Base::A => 0,
+            Base::C => 1,
+            Base::G => 2,
+            Base::T => 3,
+        }
+    }
+
+    /// Decodes a two-bit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    pub fn from_bits(bits: u64) -> Base {
+        match bits {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            other => panic!("invalid base code {other}"),
+        }
+    }
+
+    /// Parses a character (case-insensitive).
+    pub fn from_char(c: char) -> Option<Base> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Base::A),
+            'C' => Some(Base::C),
+            'G' => Some(Base::G),
+            'T' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// The display character.
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// A DNA sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Sequence(Vec<Base>);
+
+impl Sequence {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Sequence(Vec::new())
+    }
+
+    /// Parses from a string of `ACGT` characters.
+    ///
+    /// Returns `None` if any character is not a base.
+    pub fn parse(s: &str) -> Option<Self> {
+        s.chars().map(Base::from_char).collect::<Option<Vec<_>>>().map(Sequence)
+    }
+
+    /// Length in bases.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bases.
+    pub fn bases(&self) -> &[Base] {
+        &self.0
+    }
+
+    /// The subsequence `[start, start+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn subsequence(&self, start: usize, len: usize) -> Sequence {
+        Sequence(self.0[start..start + len].to_vec())
+    }
+
+    /// Packs the sequence into an integer, first base in the *most*
+    /// significant position (so lexicographic order matches numeric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence exceeds 32 bases (64 bits).
+    pub fn encode(&self) -> u64 {
+        assert!(self.len() <= 32, "sequence too long to pack");
+        self.0.iter().fold(0u64, |acc, b| (acc << 2) | b.to_bits())
+    }
+
+    /// Unpacks `len` bases from an integer (inverse of [`Sequence::encode`]).
+    pub fn decode(mut code: u64, len: usize) -> Sequence {
+        let mut out = vec![Base::A; len];
+        for i in (0..len).rev() {
+            out[i] = Base::from_bits(code & 3);
+            code >>= 2;
+        }
+        Sequence(out)
+    }
+
+    /// Hamming distance in *bases* to another sequence of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &Sequence) -> usize {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Base frequency histogram `[A, C, G, T]` as fractions.
+    pub fn base_frequencies(&self) -> [f64; 4] {
+        let mut counts = [0usize; 4];
+        for b in &self.0 {
+            counts[b.to_bits() as usize] += 1;
+        }
+        let total = self.len().max(1) as f64;
+        counts.map(|c| c as f64 / total)
+    }
+
+    /// Shannon entropy of the base distribution, in bits (max 2.0).
+    pub fn base_entropy(&self) -> f64 {
+        self.base_frequencies()
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.log2())
+            .sum()
+    }
+
+    /// Appends a base.
+    pub fn push(&mut self, base: Base) {
+        self.0.push(base);
+    }
+}
+
+impl FromIterator<Base> for Sequence {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        Sequence(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An order-k Markov model over bases, used to generate artificial
+/// genomes with controlled statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovModel {
+    order: usize,
+    /// Transition weights indexed by packed k-mer context, then next base.
+    table: Vec<[f64; 4]>,
+}
+
+impl MarkovModel {
+    /// A uniform (maximum-entropy) model of the given order.
+    pub fn uniform(order: usize) -> Self {
+        let contexts = 1usize << (2 * order);
+        MarkovModel {
+            order,
+            table: vec![[0.25; 4]; contexts],
+        }
+    }
+
+    /// Estimates the model from a template sequence (add-one smoothing),
+    /// preserving its statistical complexity as the paper prescribes.
+    pub fn estimate(template: &Sequence, order: usize) -> Self {
+        let contexts = 1usize << (2 * order);
+        let mut counts = vec![[1.0f64; 4]; contexts];
+        let bases = template.bases();
+        for w in bases.windows(order + 1) {
+            let ctx = w[..order]
+                .iter()
+                .fold(0usize, |acc, b| (acc << 2) | b.to_bits() as usize);
+            counts[ctx][w[order].to_bits() as usize] += 1.0;
+        }
+        for row in &mut counts {
+            let total: f64 = row.iter().sum();
+            for v in row.iter_mut() {
+                *v /= total;
+            }
+        }
+        MarkovModel {
+            order,
+            table: counts,
+        }
+    }
+
+    /// Model order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Generates a sequence of `len` bases.
+    pub fn generate<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Sequence {
+        let mut out = Sequence::new();
+        let mask = (1usize << (2 * self.order)).saturating_sub(1);
+        let mut ctx = 0usize;
+        for i in 0..len {
+            let probs = if i < self.order {
+                &[0.25; 4]
+            } else {
+                &self.table[ctx]
+            };
+            let r: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = Base::T;
+            for (k, &p) in probs.iter().enumerate() {
+                acc += p;
+                if r < acc {
+                    chosen = Base::from_bits(k as u64);
+                    break;
+                }
+            }
+            out.push(chosen);
+            ctx = ((ctx << 2) | chosen.to_bits() as usize) & mask;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let s = Sequence::parse("ACGTGCA").unwrap();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.to_string(), "ACGTGCA");
+        assert!(Sequence::parse("ACGX").is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = Sequence::parse("GATTACA").unwrap();
+        let code = s.encode();
+        assert_eq!(Sequence::decode(code, 7), s);
+    }
+
+    #[test]
+    fn encoding_is_lexicographic() {
+        let a = Sequence::parse("AAC").unwrap();
+        let b = Sequence::parse("AAG").unwrap();
+        let c = Sequence::parse("CAA").unwrap();
+        assert!(a.encode() < b.encode());
+        assert!(b.encode() < c.encode());
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = Sequence::parse("ACGT").unwrap();
+        let b = Sequence::parse("ACCT").unwrap();
+        assert_eq!(a.hamming(&b), 1);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let flat = Sequence::parse("AAAA").unwrap();
+        assert!(flat.base_entropy() < 1e-12);
+        let max = Sequence::parse("ACGTACGT").unwrap();
+        assert!((max.base_entropy() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_markov_statistics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = MarkovModel::uniform(1).generate(8000, &mut rng);
+        for f in s.base_frequencies() {
+            assert!((f - 0.25).abs() < 0.03, "frequency {f}");
+        }
+        assert!(s.base_entropy() > 1.99);
+    }
+
+    #[test]
+    fn estimated_model_preserves_bias() {
+        // Template heavily GC-biased; generated sequences should be too.
+        let template: Sequence = std::iter::repeat_n([Base::G, Base::C, Base::G, Base::G], 200)
+            .flatten()
+            .collect();
+        let model = MarkovModel::estimate(&template, 1);
+        let mut rng = StdRng::seed_from_u64(6);
+        let generated = model.generate(4000, &mut rng);
+        let f = generated.base_frequencies();
+        let gc = f[1] + f[2];
+        assert!(gc > 0.8, "GC fraction {gc} should be high");
+    }
+
+    #[test]
+    fn estimated_model_preserves_dinucleotide_structure() {
+        // Template alternates AC: P(C|A) ~ 1.
+        let template: Sequence = std::iter::repeat_n([Base::A, Base::C], 300)
+            .flatten()
+            .collect();
+        let model = MarkovModel::estimate(&template, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = model.generate(2000, &mut rng);
+        // Count transitions A -> C.
+        let bases = g.bases();
+        let mut a_total = 0;
+        let mut a_to_c = 0;
+        for w in bases.windows(2) {
+            if w[0] == Base::A {
+                a_total += 1;
+                if w[1] == Base::C {
+                    a_to_c += 1;
+                }
+            }
+        }
+        assert!(a_total > 0);
+        let frac = a_to_c as f64 / a_total as f64;
+        assert!(frac > 0.9, "P(C|A) = {frac}");
+    }
+
+    #[test]
+    fn subsequence_extraction() {
+        let s = Sequence::parse("ACGTACGT").unwrap();
+        assert_eq!(s.subsequence(2, 3).to_string(), "GTA");
+    }
+}

@@ -1,0 +1,254 @@
+//! Grover search: the quantum search primitive of the genome accelerator.
+//!
+//! §2.3 of the paper: "the quantum search primitive (Grover's search)
+//! itself is provably optimal over any other classical or quantum
+//! unstructured search algorithm", with a quadratic speedup in query count
+//! that matters at genomic scale. Two implementations:
+//!
+//! - [`grover_search`]: a state-level implementation (phase oracle plus
+//!   inversion-about-the-mean), scaling to ~20 qubits;
+//! - [`grover_circuit`]: a gate-level cQASM construction (X-conjugated
+//!   multi-controlled Z oracle and diffuser) that exercises the compiler
+//!   and micro-architecture path for small registers.
+
+use cqasm::math::C64;
+use cqasm::{GateKind, Program, Qubit};
+use qxsim::StateVector;
+
+/// The optimal Grover iteration count for `marked` solutions among
+/// `2^n_qubits` items: `floor(pi/4 * sqrt(N/M))`.
+pub fn optimal_iterations(n_qubits: usize, marked: usize) -> usize {
+    if marked == 0 {
+        return 0;
+    }
+    let n = (1u64 << n_qubits) as f64;
+    ((std::f64::consts::FRAC_PI_4) * (n / marked as f64).sqrt()).floor() as usize
+}
+
+/// Result of a state-level Grover run.
+#[derive(Debug, Clone)]
+pub struct GroverResult {
+    /// The final state (before measurement).
+    pub state: StateVector,
+    /// Iterations applied.
+    pub iterations: usize,
+    /// Total probability mass on marked items.
+    pub success_probability: f64,
+}
+
+/// Runs Grover search over `n_qubits` with the given oracle predicate,
+/// for `iterations` rounds (use [`optimal_iterations`] for the optimum).
+///
+/// The register starts in the uniform superposition; each round applies
+/// the phase oracle and the inversion about the mean.
+pub fn grover_search<F: Fn(u64) -> bool>(
+    n_qubits: usize,
+    oracle: F,
+    iterations: usize,
+) -> GroverResult {
+    let mut state = StateVector::zero_state(n_qubits);
+    for q in 0..n_qubits {
+        state.apply_gate(&GateKind::H, &[q]);
+    }
+    for _ in 0..iterations {
+        state.apply_phase_if(C64::real(-1.0), &oracle);
+        invert_about_mean(&mut state);
+    }
+    let success_probability = state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| oracle(*i as u64))
+        .map(|(_, a)| a.norm_sqr())
+        .sum();
+    GroverResult {
+        state,
+        iterations,
+        success_probability,
+    }
+}
+
+/// The diffusion operator `2|s><s| - I` applied exactly.
+fn invert_about_mean(state: &mut StateVector) {
+    let amps = state.amplitudes();
+    let mut mean = C64::ZERO;
+    for a in amps {
+        mean += *a;
+    }
+    let inv_n = 1.0 / amps.len() as f64;
+    mean = mean * inv_n;
+    let new: Vec<C64> = amps.iter().map(|a| mean * 2.0 - *a).collect();
+    // new is unitary image of a normalised state; renormalisation inside
+    // from_amplitudes only corrects floating-point drift.
+    *state = StateVector::from_amplitudes(new);
+}
+
+/// Builds a gate-level Grover circuit marking the single basis state
+/// `target`, with the optimal number of iterations, as a cQASM program
+/// ending in `measure_all`.
+///
+/// Supports up to 3 qubits (the multi-controlled Z is built from CZ and
+/// H-conjugated Toffoli).
+///
+/// # Panics
+///
+/// Panics if `n_qubits` is 0 or greater than 3, or `target >= 2^n`.
+pub fn grover_circuit(n_qubits: usize, target: u64) -> Program {
+    assert!((1..=3).contains(&n_qubits), "circuit form supports 1-3 qubits");
+    assert!(target < (1 << n_qubits), "target out of range");
+    let mut p = Program::new(n_qubits);
+    let mut sub = cqasm::Subcircuit::new("init");
+    for q in 0..n_qubits {
+        sub.push(cqasm::Instruction::gate(GateKind::H, &[q]));
+    }
+    p.push_subcircuit(sub);
+
+    let iters = optimal_iterations(n_qubits, 1).max(1);
+    let mut body = cqasm::Subcircuit::with_iterations("grover_iteration", iters as u64);
+    // Oracle: X-conjugate the zero bits of `target`, apply C^{n-1}Z, undo.
+    let zero_bits: Vec<usize> = (0..n_qubits).filter(|q| (target >> q) & 1 == 0).collect();
+    for &q in &zero_bits {
+        body.push(cqasm::Instruction::gate(GateKind::X, &[q]));
+    }
+    push_controlled_z(&mut body, n_qubits);
+    for &q in &zero_bits {
+        body.push(cqasm::Instruction::gate(GateKind::X, &[q]));
+    }
+    // Diffuser: H^n X^n (C^{n-1}Z) X^n H^n.
+    for q in 0..n_qubits {
+        body.push(cqasm::Instruction::gate(GateKind::H, &[q]));
+        body.push(cqasm::Instruction::gate(GateKind::X, &[q]));
+    }
+    push_controlled_z(&mut body, n_qubits);
+    for q in 0..n_qubits {
+        body.push(cqasm::Instruction::gate(GateKind::X, &[q]));
+        body.push(cqasm::Instruction::gate(GateKind::H, &[q]));
+    }
+    p.push_subcircuit(body);
+
+    let mut fin = cqasm::Subcircuit::new("readout");
+    fin.push(cqasm::Instruction::MeasureAll);
+    p.push_subcircuit(fin);
+    p
+}
+
+/// Appends a Z controlled on all other qubits (C^{n-1}Z) for n = 1..=3.
+fn push_controlled_z(sub: &mut cqasm::Subcircuit, n_qubits: usize) {
+    match n_qubits {
+        1 => sub.push(cqasm::Instruction::gate(GateKind::Z, &[0])),
+        2 => sub.push(cqasm::Instruction::gate(GateKind::Cz, &[0, 1])),
+        3 => {
+            // CCZ = H(2) CCX(0,1,2) H(2).
+            sub.push(cqasm::Instruction::gate(GateKind::H, &[2]));
+            sub.push(cqasm::Instruction::Gate(cqasm::GateApp::new(
+                GateKind::Toffoli,
+                vec![Qubit(0), Qubit(1), Qubit(2)],
+            )));
+            sub.push(cqasm::Instruction::gate(GateKind::H, &[2]));
+        }
+        other => unreachable!("unsupported register size {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxsim::Simulator;
+
+    #[test]
+    fn optimal_iteration_counts() {
+        assert_eq!(optimal_iterations(2, 1), 1);
+        assert_eq!(optimal_iterations(4, 1), 3);
+        assert_eq!(optimal_iterations(10, 1), 25);
+        assert_eq!(optimal_iterations(10, 4), 12);
+        assert_eq!(optimal_iterations(10, 0), 0);
+    }
+
+    #[test]
+    fn single_marked_item_amplifies_to_near_certainty() {
+        for n in 3..=8 {
+            let target = (1u64 << n) - 2;
+            let r = grover_search(n, |x| x == target, optimal_iterations(n, 1));
+            assert!(
+                r.success_probability > 0.9,
+                "n={n}: success {}",
+                r.success_probability
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_scaling_of_iterations() {
+        // 4x the database -> 2x the iterations.
+        let i8 = optimal_iterations(8, 1) as f64;
+        let i10 = optimal_iterations(10, 1) as f64;
+        assert!((i10 / i8 - 2.0).abs() < 0.1, "ratio {}", i10 / i8);
+    }
+
+    #[test]
+    fn overshooting_reduces_success() {
+        let n = 6;
+        let target = 5u64;
+        let opt = optimal_iterations(n, 1);
+        let at_opt = grover_search(n, |x| x == target, opt).success_probability;
+        let over = grover_search(n, |x| x == target, opt * 2).success_probability;
+        assert!(at_opt > over, "optimal {at_opt} vs overshoot {over}");
+    }
+
+    #[test]
+    fn multiple_marked_items() {
+        let n = 8;
+        let marked = [3u64, 77, 200, 255];
+        let r = grover_search(
+            n,
+            |x| marked.contains(&x),
+            optimal_iterations(n, marked.len()),
+        );
+        assert!(r.success_probability > 0.9, "{}", r.success_probability);
+        // Mass is spread across the marked set.
+        for &m in &marked {
+            assert!(r.state.probability_of(m) > 0.15);
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_uniform() {
+        let r = grover_search(4, |x| x == 7, 0);
+        assert!((r.success_probability - 1.0 / 16.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn circuit_form_matches_state_form_two_qubits() {
+        for target in 0..4u64 {
+            let p = grover_circuit(2, target);
+            let hist = Simulator::perfect().run_shots(&p, 200).unwrap();
+            // 2-qubit Grover with one iteration is exact.
+            assert_eq!(
+                hist.count(target),
+                200,
+                "target {target} not certain: {hist}"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_form_three_qubits_amplifies_target() {
+        let target = 0b101u64;
+        let p = grover_circuit(3, target);
+        let hist = Simulator::perfect().run_shots(&p, 400).unwrap();
+        let frac = hist.probability(target);
+        // Theoretical success after 2 iterations on 8 items: ~0.945.
+        assert!(frac > 0.85, "target frequency {frac}");
+    }
+
+    #[test]
+    fn circuit_survives_compilation() {
+        use openql::{Compiler, Platform};
+        let p = grover_circuit(3, 0b110);
+        let out = Compiler::new(Platform::perfect(3))
+            .compile_cqasm(&p)
+            .expect("compiles");
+        let hist = Simulator::perfect().run_shots(&out.program, 300).unwrap();
+        assert!(hist.probability(0b110) > 0.85);
+    }
+}

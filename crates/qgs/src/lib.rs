@@ -1,0 +1,50 @@
+//! # qgs — the quantum genome sequencing accelerator
+//!
+//! The second full-stack example of Bertels et al. (DATE 2020, §3.2): read
+//! alignment accelerated by quantum search. The pipeline combines
+//! "domain-specific modification on Grover's search and quantum
+//! associative memory": the reference is sliced into indexed k-mers stored
+//! in a superposed database, and amplitude amplification raises the
+//! probability of the entry nearest the (error-carrying) read, index
+//! included — so measuring yields the alignment position.
+//!
+//! Components:
+//!
+//! - [`dna`] — sequences plus order-k Markov artificial genome generation
+//!   (the paper's prescription for simulator-scale test data);
+//! - [`reads`] — sequencing-read simulation with substitution errors;
+//! - [`classical`] — exact and best-Hamming scan baselines;
+//! - [`grover`] — the search primitive, state-level and gate-level;
+//! - [`qam`] — quantum associative memory with approximate recall;
+//! - [`aligner`] — the full index-entangled alignment pipeline;
+//! - [`capacity`] — the ~150-logical-qubit human-genome estimate.
+//!
+//! # Example
+//!
+//! ```
+//! use qgs::aligner::QuantumAligner;
+//! use qgs::dna::Sequence;
+//!
+//! let reference = Sequence::parse("ACGTGGCAATTCCGA").unwrap();
+//! let aligner = QuantumAligner::new(reference.clone(), 4);
+//! let read = reference.subsequence(7, 4);
+//! let hit = aligner.align(&read, 0);
+//! assert_eq!(hit.position, 7);
+//! ```
+
+pub mod aligner;
+pub mod assembly;
+pub mod capacity;
+pub mod classical;
+pub mod dna;
+pub mod grover;
+pub mod qam;
+pub mod reads;
+
+pub use aligner::{AlignmentOutcome, QuantumAligner};
+pub use assembly::{OverlapGraph, fragment, suffix_prefix_overlap};
+pub use capacity::CapacityModel;
+pub use dna::{Base, MarkovModel, Sequence};
+pub use grover::{GroverResult, grover_circuit, grover_search, optimal_iterations};
+pub use qam::{QuantumAssociativeMemory, RecallResult};
+pub use reads::{Read, ReadGenerator};

@@ -1,0 +1,261 @@
+//! Quantum associative memory (QAM).
+//!
+//! §3.2 of the paper: "the reference DNA is sliced and stored as indexed
+//! entries in a superposed quantum database giving exponential increase in
+//! capacity", recalled through amplitude amplification so that "a quantum
+//! search on the database amplifies the measurement probability of the
+//! nearest match to the query".
+//!
+//! The memory state is an equal superposition over the stored patterns;
+//! recall uses generalised amplitude amplification: the reflection about
+//! the *memory state* replaces Grover's uniform diffuser, so amplification
+//! acts within the stored set only.
+
+use cqasm::math::C64;
+use qxsim::StateVector;
+
+/// A quantum associative memory over `n_qubits`-bit patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantumAssociativeMemory {
+    n_qubits: usize,
+    patterns: Vec<u64>,
+}
+
+/// Result of a recall operation.
+#[derive(Debug, Clone)]
+pub struct RecallResult {
+    /// The post-amplification state.
+    pub state: StateVector,
+    /// Amplitude-amplification iterations applied.
+    pub iterations: usize,
+    /// Probability mass on the marked (matching) patterns.
+    pub success_probability: f64,
+    /// The most probable basis state (the recalled pattern).
+    pub recalled: u64,
+}
+
+impl QuantumAssociativeMemory {
+    /// An empty memory over `n_qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` exceeds 24 (state too large to simulate here).
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 24, "memory register too large to simulate");
+        QuantumAssociativeMemory {
+            n_qubits,
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Register width.
+    pub fn qubit_count(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Stores a pattern (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern does not fit the register.
+    pub fn store(&mut self, pattern: u64) {
+        assert!(
+            pattern < (1u64 << self.n_qubits),
+            "pattern wider than register"
+        );
+        if !self.patterns.contains(&pattern) {
+            self.patterns.push(pattern);
+        }
+    }
+
+    /// Stored patterns.
+    pub fn patterns(&self) -> &[u64] {
+        &self.patterns
+    }
+
+    /// The capacity in patterns: `2^n`, exponential in qubits — the
+    /// "exponential increase in capacity" the paper claims versus the
+    /// linear scaling of classical memory.
+    pub fn capacity(&self) -> u64 {
+        1u64 << self.n_qubits
+    }
+
+    /// The memory state: an equal superposition of the stored patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is empty.
+    pub fn memory_state(&self) -> StateVector {
+        assert!(!self.patterns.is_empty(), "memory is empty");
+        let dim = 1usize << self.n_qubits;
+        let amp = C64::real(1.0 / (self.patterns.len() as f64).sqrt());
+        let mut amps = vec![C64::ZERO; dim];
+        for &p in &self.patterns {
+            amps[p as usize] = amp;
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    /// Recalls the stored pattern(s) satisfying `matches`, by amplitude
+    /// amplification started from (and reflecting about) the memory state.
+    ///
+    /// `iterations = None` uses the optimum `floor(pi/4 sqrt(P/M))` where
+    /// `P` is the stored count and `M` the matching count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is empty.
+    pub fn recall<F: Fn(u64) -> bool>(&self, matches: F, iterations: Option<usize>) -> RecallResult {
+        let psi0 = self.memory_state();
+        let marked: Vec<u64> = self
+            .patterns
+            .iter()
+            .copied()
+            .filter(|&p| matches(p))
+            .collect();
+        let iters = iterations.unwrap_or_else(|| {
+            if marked.is_empty() {
+                0
+            } else {
+                ((std::f64::consts::FRAC_PI_4)
+                    * (self.patterns.len() as f64 / marked.len() as f64).sqrt())
+                .floor() as usize
+            }
+        });
+        let mut state = psi0.clone();
+        for _ in 0..iters {
+            state.apply_phase_if(C64::real(-1.0), &matches);
+            reflect_about(&mut state, &psi0);
+        }
+        let success_probability = state
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matches(*i as u64))
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let recalled = state
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.norm_sqr()
+                    .partial_cmp(&b.1.norm_sqr())
+                    .expect("finite")
+            })
+            .map(|(i, _)| i as u64)
+            .unwrap_or(0);
+        RecallResult {
+            state,
+            iterations: iters,
+            success_probability,
+            recalled,
+        }
+    }
+}
+
+/// The reflection `2|psi0><psi0| - I`.
+fn reflect_about(state: &mut StateVector, psi0: &StateVector) {
+    let mut inner = C64::ZERO;
+    for (a, b) in psi0.amplitudes().iter().zip(state.amplitudes()) {
+        inner += a.conj() * *b;
+    }
+    let new: Vec<C64> = psi0
+        .amplitudes()
+        .iter()
+        .zip(state.amplitudes())
+        .map(|(p, s)| *p * inner * 2.0 - *s)
+        .collect();
+    *state = StateVector::from_amplitudes(new);
+}
+
+/// Hamming distance between bit-strings.
+pub fn bit_hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory() -> QuantumAssociativeMemory {
+        let mut m = QuantumAssociativeMemory::new(6);
+        for p in [0b000011u64, 0b010101, 0b101010, 0b111100, 0b001100, 0b110011] {
+            m.store(p);
+        }
+        m
+    }
+
+    #[test]
+    fn memory_state_is_uniform_over_patterns() {
+        let m = memory();
+        let s = m.memory_state();
+        for &p in m.patterns() {
+            assert!((s.probability_of(p) - 1.0 / 6.0).abs() < 1e-10);
+        }
+        assert!(s.probability_of(0b111111) < 1e-12);
+    }
+
+    #[test]
+    fn exact_recall_amplifies_single_pattern() {
+        let m = memory();
+        let r = m.recall(|p| p == 0b101010, None);
+        assert!(
+            r.success_probability > 0.9,
+            "success {}",
+            r.success_probability
+        );
+        assert_eq!(r.recalled, 0b101010);
+    }
+
+    #[test]
+    fn approximate_recall_finds_nearest() {
+        let m = memory();
+        // Query 0b101011 is distance 1 from stored 0b101010; every other
+        // stored pattern is further.
+        let query = 0b101011u64;
+        let r = m.recall(|p| bit_hamming(p, query) <= 1, None);
+        assert_eq!(r.recalled, 0b101010);
+        assert!(r.success_probability > 0.85);
+    }
+
+    #[test]
+    fn recall_with_no_match_changes_nothing() {
+        let m = memory();
+        let r = m.recall(|p| p == 0b111111, None);
+        assert_eq!(r.iterations, 0);
+        assert!(r.success_probability < 1e-12);
+    }
+
+    #[test]
+    fn amplification_stays_within_stored_set() {
+        let m = memory();
+        let r = m.recall(|p| bit_hamming(p, 0b010101) <= 1, None);
+        // No amplitude leaks to unstored basis states.
+        let unstored_mass: f64 = (0..64u64)
+            .filter(|b| !m.patterns().contains(b))
+            .map(|b| r.state.probability_of(b))
+            .sum();
+        assert!(unstored_mass < 1e-9, "leaked {unstored_mass}");
+    }
+
+    #[test]
+    fn capacity_is_exponential() {
+        assert_eq!(QuantumAssociativeMemory::new(10).capacity(), 1024);
+        assert_eq!(QuantumAssociativeMemory::new(20).capacity(), 1 << 20);
+    }
+
+    #[test]
+    fn store_is_idempotent() {
+        let mut m = QuantumAssociativeMemory::new(4);
+        m.store(3);
+        m.store(3);
+        assert_eq!(m.patterns().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than register")]
+    fn oversized_pattern_rejected() {
+        QuantumAssociativeMemory::new(3).store(8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Sequencing-read simulation.
+//!
+//! Sequencing machines emit short reads with per-base error rates; the
+//! paper's alignment algorithm explicitly "considers inherent read errors
+//! in the sequence, incorporating the requirement for approximate optimal
+//! matching" (§3.2). This module generates reads with known ground truth.
+
+use crate::dna::{Base, Sequence};
+use rand::Rng;
+
+/// A simulated read: the (possibly corrupted) bases plus ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// The read content as it leaves the sequencer.
+    pub bases: Sequence,
+    /// True position in the reference it was drawn from.
+    pub true_position: usize,
+    /// Number of substitution errors introduced.
+    pub errors: usize,
+}
+
+/// Generates reads from a reference with substitution errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadGenerator {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Per-base substitution probability.
+    pub error_rate: f64,
+}
+
+impl ReadGenerator {
+    /// Creates a generator.
+    pub fn new(read_len: usize, error_rate: f64) -> Self {
+        ReadGenerator {
+            read_len,
+            error_rate,
+        }
+    }
+
+    /// Samples one read from a uniformly random reference position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is shorter than the read length.
+    pub fn sample<R: Rng + ?Sized>(&self, reference: &Sequence, rng: &mut R) -> Read {
+        assert!(
+            reference.len() >= self.read_len,
+            "reference shorter than read length"
+        );
+        let position = rng.gen_range(0..=reference.len() - self.read_len);
+        self.sample_at(reference, position, rng)
+    }
+
+    /// Samples a read from a fixed position (substitutions still random).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the reference.
+    pub fn sample_at<R: Rng + ?Sized>(
+        &self,
+        reference: &Sequence,
+        position: usize,
+        rng: &mut R,
+    ) -> Read {
+        let mut bases = reference.subsequence(position, self.read_len);
+        let mut errors = 0;
+        let original = bases.clone();
+        let mut corrupted: Vec<Base> = original.bases().to_vec();
+        for b in corrupted.iter_mut() {
+            if rng.gen_bool(self.error_rate) {
+                // Substitute with a *different* base.
+                let mut nb = *b;
+                while nb == *b {
+                    nb = Base::from_bits(rng.gen_range(0..4));
+                }
+                *b = nb;
+                errors += 1;
+            }
+        }
+        bases = corrupted.into_iter().collect();
+        Read {
+            bases,
+            true_position: position,
+            errors,
+        }
+    }
+
+    /// Samples a batch of reads.
+    pub fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        reference: &Sequence,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Read> {
+        (0..count).map(|_| self.sample(reference, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn reference() -> Sequence {
+        Sequence::parse("ACGTACGTGGCCAATTACGT").unwrap()
+    }
+
+    #[test]
+    fn error_free_reads_match_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = ReadGenerator::new(5, 0.0);
+        for _ in 0..20 {
+            let r = g.sample(&reference(), &mut rng);
+            assert_eq!(r.errors, 0);
+            assert_eq!(
+                r.bases,
+                reference().subsequence(r.true_position, 5),
+                "read must match its source window"
+            );
+        }
+    }
+
+    #[test]
+    fn error_rate_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = ReadGenerator::new(10, 0.2);
+        let total_errors: usize = g
+            .sample_batch(&reference(), 500, &mut rng)
+            .iter()
+            .map(|r| r.errors)
+            .sum();
+        let rate = total_errors as f64 / 5000.0;
+        assert!((rate - 0.2).abs() < 0.03, "observed error rate {rate}");
+    }
+
+    #[test]
+    fn errors_equal_hamming_distance_to_source() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = ReadGenerator::new(8, 0.3);
+        for _ in 0..50 {
+            let r = g.sample(&reference(), &mut rng);
+            let source = reference().subsequence(r.true_position, 8);
+            assert_eq!(r.bases.hamming(&source), r.errors);
+        }
+    }
+
+    #[test]
+    fn fixed_position_sampling() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = ReadGenerator::new(4, 0.0);
+        let r = g.sample_at(&reference(), 3, &mut rng);
+        assert_eq!(r.true_position, 3);
+        assert_eq!(r.bases.to_string(), "TACG");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than read length")]
+    fn oversized_read_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = ReadGenerator::new(100, 0.0).sample(&reference(), &mut rng);
+    }
+}

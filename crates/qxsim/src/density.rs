@@ -1,0 +1,387 @@
+//! Exact density-matrix simulation for small registers.
+//!
+//! While the state-vector engine handles noise by Monte-Carlo trajectory
+//! sampling (one Kraus branch per shot), this module evolves the full
+//! density matrix, giving *exact* channel semantics. It is quadratically
+//! more expensive (`4^n` entries) and therefore reserved for small systems:
+//! validating the trajectory sampler, studying error channels exactly, and
+//! QEC unit analyses.
+
+use crate::error_model::ErrorChannel;
+use cqasm::GateKind;
+use cqasm::math::{C64, Mat2};
+
+/// A mixed quantum state of `n` qubits as a dense `2^n x 2^n` density
+/// matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    /// Row-major storage: `rho[r * dim + c]`.
+    rho: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0...0><0...0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 13` (the matrix would exceed ~1 GiB).
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= 13, "density matrix of {n} qubits is too large");
+        let dim = 1usize << n;
+        let mut rho = vec![C64::ZERO; dim * dim];
+        rho[0] = C64::ONE;
+        DensityMatrix { n, dim, rho }
+    }
+
+    /// Builds `|psi><psi|` from a pure state.
+    pub fn from_pure(state: &crate::state::StateVector) -> Self {
+        let n = state.qubit_count();
+        let dim = 1usize << n;
+        let amps = state.amplitudes();
+        let mut rho = vec![C64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                rho[r * dim + c] = amps[r] * amps[c].conj();
+            }
+        }
+        DensityMatrix { n, dim, rho }
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// Trace of the matrix (1 for a valid state).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.rho[i * self.dim + i].re).sum()
+    }
+
+    /// Purity `Tr(rho^2)`: 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                // Tr(rho^2) = sum_{r,c} rho[r][c] * rho[c][r]; for Hermitian
+                // rho this is sum |rho[r][c]|^2.
+                acc += self.rho[r * self.dim + c].norm_sqr();
+            }
+        }
+        acc
+    }
+
+    /// Probability of measuring qubit `q` as one.
+    pub fn probability_one(&self, q: usize) -> f64 {
+        let mask = 1usize << q;
+        (0..self.dim)
+            .filter(|i| i & mask != 0)
+            .map(|i| self.rho[i * self.dim + i].re)
+            .sum()
+    }
+
+    /// Fidelity `<psi| rho |psi>` against a pure reference state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn fidelity_pure(&self, psi: &crate::state::StateVector) -> f64 {
+        assert_eq!(self.n, psi.qubit_count());
+        let amps = psi.amplitudes();
+        let mut acc = C64::ZERO;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                acc += amps[r].conj() * self.rho[r * self.dim + c] * amps[c];
+            }
+        }
+        acc.re
+    }
+
+    /// Applies a single-qubit unitary `U` to qubit `q`:
+    /// `rho <- U rho U†`.
+    pub fn apply_1q(&mut self, u: &Mat2, q: usize) {
+        self.left_mul(u, q);
+        self.right_mul_dagger(u, q);
+    }
+
+    /// Applies a library gate (single- and two-qubit gates supported).
+    ///
+    /// # Panics
+    ///
+    /// Panics on three-qubit gates (decompose first) or bad operands.
+    pub fn apply_gate(&mut self, kind: &GateKind, qubits: &[usize]) {
+        match kind.unitary() {
+            cqasm::GateUnitary::One(m) => self.apply_1q(&m, qubits[0]),
+            cqasm::GateUnitary::Two(m) => self.apply_2q(&m, qubits[0], qubits[1]),
+            cqasm::GateUnitary::ControlledControlled(_) => {
+                panic!("decompose three-qubit gates before density simulation")
+            }
+        }
+    }
+
+    /// Applies a two-qubit unitary (first operand = high bit, matching the
+    /// state-vector convention).
+    pub fn apply_2q(&mut self, m: &cqasm::math::Mat4, q_hi: usize, q_lo: usize) {
+        // Left multiply on rows.
+        let bh = 1usize << q_hi;
+        let bl = 1usize << q_lo;
+        for c in 0..self.dim {
+            for r in 0..self.dim {
+                if r & bh != 0 || r & bl != 0 {
+                    continue;
+                }
+                let idx = [r, r | bl, r | bh, r | bh | bl];
+                let vals = idx.map(|i| self.rho[i * self.dim + c]);
+                for (row, &i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (col, v) in vals.iter().enumerate() {
+                        acc += m.0[row][col] * *v;
+                    }
+                    self.rho[i * self.dim + c] = acc;
+                }
+            }
+        }
+        // Right multiply by dagger on columns.
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if c & bh != 0 || c & bl != 0 {
+                    continue;
+                }
+                let idx = [c, c | bl, c | bh, c | bh | bl];
+                let vals = idx.map(|i| self.rho[r * self.dim + i]);
+                for (col, &i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (k, v) in vals.iter().enumerate() {
+                        // (rho * M†)[r][i] = sum_k rho[r][k] * conj(M[i][k])
+                        acc += *v * m.0[col][k].conj();
+                    }
+                    self.rho[r * self.dim + i] = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies a set of Kraus operators on qubit `q`:
+    /// `rho <- sum_k K_k rho K_k†`.
+    pub fn apply_kraus(&mut self, kraus: &[Mat2], q: usize) {
+        let mut acc = vec![C64::ZERO; self.dim * self.dim];
+        for k in kraus {
+            let mut branch = self.clone();
+            branch.left_mul(k, q);
+            branch.right_mul_dagger(k, q);
+            for (a, b) in acc.iter_mut().zip(&branch.rho) {
+                *a += *b;
+            }
+        }
+        self.rho = acc;
+    }
+
+    /// Applies the exact superoperator of an [`ErrorChannel`] on qubit `q`.
+    pub fn apply_channel(&mut self, channel: &ErrorChannel, q: usize) {
+        match *channel {
+            ErrorChannel::None => {}
+            ErrorChannel::Depolarizing { p } => {
+                let sqrt = |x: f64| C64::real(x.sqrt());
+                let id = scale(&pauli(GateKind::I), sqrt(1.0 - p));
+                let x = scale(&pauli(GateKind::X), sqrt(p / 3.0));
+                let y = scale(&pauli(GateKind::Y), sqrt(p / 3.0));
+                let z = scale(&pauli(GateKind::Z), sqrt(p / 3.0));
+                self.apply_kraus(&[id, x, y, z], q);
+            }
+            ErrorChannel::BitFlip { p } => {
+                let id = scale(&pauli(GateKind::I), C64::real((1.0 - p).sqrt()));
+                let x = scale(&pauli(GateKind::X), C64::real(p.sqrt()));
+                self.apply_kraus(&[id, x], q);
+            }
+            ErrorChannel::PhaseFlip { p } => {
+                let id = scale(&pauli(GateKind::I), C64::real((1.0 - p).sqrt()));
+                let z = scale(&pauli(GateKind::Z), C64::real(p.sqrt()));
+                self.apply_kraus(&[id, z], q);
+            }
+            ErrorChannel::AmplitudeDamping { gamma } => {
+                let k0 = Mat2([
+                    [C64::ONE, C64::ZERO],
+                    [C64::ZERO, C64::real((1.0 - gamma).sqrt())],
+                ]);
+                let k1 = Mat2([
+                    [C64::ZERO, C64::real(gamma.sqrt())],
+                    [C64::ZERO, C64::ZERO],
+                ]);
+                self.apply_kraus(&[k0, k1], q);
+            }
+        }
+    }
+
+    fn left_mul(&mut self, u: &Mat2, q: usize) {
+        let bit = 1usize << q;
+        let [[m00, m01], [m10, m11]] = u.0;
+        for c in 0..self.dim {
+            for r in 0..self.dim {
+                if r & bit != 0 {
+                    continue;
+                }
+                let r0 = r;
+                let r1 = r | bit;
+                let a0 = self.rho[r0 * self.dim + c];
+                let a1 = self.rho[r1 * self.dim + c];
+                self.rho[r0 * self.dim + c] = m00 * a0 + m01 * a1;
+                self.rho[r1 * self.dim + c] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    fn right_mul_dagger(&mut self, u: &Mat2, q: usize) {
+        let bit = 1usize << q;
+        let [[m00, m01], [m10, m11]] = u.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if c & bit != 0 {
+                    continue;
+                }
+                let c0 = c;
+                let c1 = c | bit;
+                let a0 = self.rho[r * self.dim + c0];
+                let a1 = self.rho[r * self.dim + c1];
+                // (rho U†)[r][c] = sum_k rho[r][k] conj(U[c][k])
+                self.rho[r * self.dim + c0] = a0 * m00.conj() + a1 * m01.conj();
+                self.rho[r * self.dim + c1] = a0 * m10.conj() + a1 * m11.conj();
+            }
+        }
+    }
+}
+
+fn pauli(g: GateKind) -> Mat2 {
+    match g.unitary() {
+        cqasm::GateUnitary::One(m) => m,
+        _ => unreachable!("pauli gates are single-qubit"),
+    }
+}
+
+fn scale(m: &Mat2, s: C64) -> Mat2 {
+    Mat2([
+        [m.0[0][0] * s, m.0[0][1] * s],
+        [m.0[1][0] * s, m.0[1][1] * s],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    #[test]
+    fn zero_state_is_pure() {
+        let rho = DensityMatrix::zero_state(2);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let mut rho = DensityMatrix::zero_state(2);
+        let mut psi = StateVector::zero_state(2);
+        for (g, qs) in [
+            (GateKind::H, vec![0]),
+            (GateKind::T, vec![0]),
+            (GateKind::Cnot, vec![0, 1]),
+            (GateKind::Ry(0.7), vec![1]),
+        ] {
+            rho.apply_gate(&g, &qs);
+            psi.apply_gate(&g, &qs);
+        }
+        assert!((rho.fidelity_pure(&psi) - 1.0).abs() < 1e-10);
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_and_preserves_trace() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&GateKind::H, &[0]);
+        rho.apply_channel(&ErrorChannel::Depolarizing { p: 0.3 }, 0);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!(rho.purity() < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn full_depolarizing_gives_maximally_mixed() {
+        let mut rho = DensityMatrix::zero_state(1);
+        // p = 3/4 with uniform Paulis is the completely depolarizing point.
+        rho.apply_channel(&ErrorChannel::Depolarizing { p: 0.75 }, 0);
+        assert!((rho.probability_one(0) - 0.5).abs() < 1e-10);
+        assert!((rho.purity() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_exact_population() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&GateKind::X, &[0]);
+        rho.apply_channel(&ErrorChannel::AmplitudeDamping { gamma: 0.3 }, 0);
+        assert!((rho.probability_one(0) - 0.7).abs() < 1e-10);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trajectory_sampler_matches_exact_channel() {
+        use rand::SeedableRng;
+        use rand::rngs::StdRng;
+        // Exact: H then bit-flip channel p=0.2, measure P(1).
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&GateKind::H, &[0]);
+        rho.apply_channel(&ErrorChannel::BitFlip { p: 0.2 }, 0);
+        let exact = rho.probability_one(0);
+        // Trajectories.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 4000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut psi = StateVector::zero_state(1);
+            psi.apply_gate(&GateKind::H, &[0]);
+            ErrorChannel::BitFlip { p: 0.2 }.apply(&mut psi, 0, &mut rng);
+            acc += psi.probability_one(0);
+        }
+        let sampled = acc / trials as f64;
+        assert!(
+            (sampled - exact).abs() < 0.02,
+            "trajectory {sampled} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn phase_flip_kills_coherences() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&GateKind::H, &[0]);
+        // p = 1/2 phase flip fully dephases.
+        rho.apply_channel(&ErrorChannel::PhaseFlip { p: 0.5 }, 0);
+        // Off-diagonal elements vanish.
+        assert!(rho.rho[1].abs() < 1e-10);
+        assert!(rho.rho[2].abs() < 1e-10);
+        assert!((rho.purity() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_qubit_gate_on_density_matches_statevector() {
+        let mut rho = DensityMatrix::zero_state(3);
+        let mut psi = StateVector::zero_state(3);
+        for (g, qs) in [
+            (GateKind::H, vec![2]),
+            (GateKind::Cnot, vec![2, 0]),
+            (GateKind::Cz, vec![0, 1]),
+            (GateKind::Swap, vec![1, 2]),
+        ] {
+            rho.apply_gate(&g, &qs);
+            psi.apply_gate(&g, &qs);
+        }
+        assert!((rho.fidelity_pure(&psi) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn from_pure_roundtrip() {
+        let mut psi = StateVector::zero_state(2);
+        psi.apply_gate(&GateKind::H, &[0]);
+        psi.apply_gate(&GateKind::Cnot, &[0, 1]);
+        let rho = DensityMatrix::from_pure(&psi);
+        assert!((rho.fidelity_pure(&psi) - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+}

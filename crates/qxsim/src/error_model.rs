@@ -1,0 +1,273 @@
+//! Stochastic error channels for realistic-qubit simulation.
+//!
+//! The paper (§2.7) calls for simulating "realistic qubits" with error
+//! models starting from the depolarizing channel and extending beyond it
+//! (bit-flip, phase-flip, amplitude damping), at error rates spanning the
+//! current 10⁻² down to the 10⁻⁵/10⁻⁶ regime the physics community needs to
+//! reach. Channels are applied by Monte-Carlo unravelling on the state
+//! vector (quantum-trajectory method): each shot samples one Kraus branch,
+//! so averaging over shots reproduces the channel exactly.
+
+use crate::state::StateVector;
+use cqasm::GateKind;
+use cqasm::math::{C64, Mat2};
+use rand::Rng;
+
+/// A single-qubit noise channel applied after gate operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorChannel {
+    /// No noise (perfect qubits).
+    None,
+    /// Symmetric depolarizing: with probability `p`, apply X, Y or Z chosen
+    /// uniformly. This is the "simplistic" baseline model named in §2.7.
+    Depolarizing {
+        /// Total error probability per application.
+        p: f64,
+    },
+    /// Bit flip: with probability `p` apply X.
+    BitFlip {
+        /// Error probability per application.
+        p: f64,
+    },
+    /// Phase flip: with probability `p` apply Z.
+    PhaseFlip {
+        /// Error probability per application.
+        p: f64,
+    },
+    /// Amplitude damping with decay probability `gamma` (energy relaxation
+    /// towards `|0>`, the trajectory version of T1 decay).
+    AmplitudeDamping {
+        /// Decay probability per application.
+        gamma: f64,
+    },
+}
+
+impl ErrorChannel {
+    /// Applies one sample of the channel to qubit `q`.
+    pub fn apply<R: Rng + ?Sized>(&self, state: &mut StateVector, q: usize, rng: &mut R) {
+        match *self {
+            ErrorChannel::None => {}
+            ErrorChannel::Depolarizing { p } => {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    let pauli = match rng.gen_range(0..3) {
+                        0 => GateKind::X,
+                        1 => GateKind::Y,
+                        _ => GateKind::Z,
+                    };
+                    state.apply_gate(&pauli, &[q]);
+                }
+            }
+            ErrorChannel::BitFlip { p } => {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    state.apply_gate(&GateKind::X, &[q]);
+                }
+            }
+            ErrorChannel::PhaseFlip { p } => {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    state.apply_gate(&GateKind::Z, &[q]);
+                }
+            }
+            ErrorChannel::AmplitudeDamping { gamma } => {
+                apply_amplitude_damping(state, q, gamma, rng);
+            }
+        }
+    }
+
+    /// Whether the channel is the identity.
+    pub fn is_none(&self) -> bool {
+        matches!(self, ErrorChannel::None)
+    }
+}
+
+/// Quantum-trajectory application of the amplitude damping channel with
+/// Kraus operators `K0 = diag(1, sqrt(1-g))`, `K1 = sqrt(g) |0><1|`.
+fn apply_amplitude_damping<R: Rng + ?Sized>(
+    state: &mut StateVector,
+    q: usize,
+    gamma: f64,
+    rng: &mut R,
+) {
+    let gamma = gamma.clamp(0.0, 1.0);
+    // Branch probability of the decay (K1) outcome is gamma * P(|1>).
+    let p1 = state.probability_one(q);
+    let p_decay = gamma * p1;
+    if rng.gen_bool(p_decay.clamp(0.0, 1.0)) {
+        // K1: project onto |1>, then flip to |0>. collapse() renormalises.
+        state.collapse(q, true);
+        state.apply_gate(&GateKind::X, &[q]);
+    } else {
+        // K0: damp the |1> amplitude and renormalise.
+        let k0 = Mat2([
+            [C64::ONE, C64::ZERO],
+            [C64::ZERO, C64::real((1.0 - gamma).sqrt())],
+        ]);
+        state.apply_1q(&k0, q);
+        let norm = state.norm();
+        if norm > 0.0 {
+            let inv = 1.0 / norm;
+            let scaled: Vec<C64> = state.amplitudes().iter().map(|a| *a * inv).collect();
+            *state = StateVector::from_amplitudes(scaled);
+        }
+    }
+}
+
+/// Flips a classical measurement outcome with probability `p` (readout
+/// error).
+pub fn flip_readout<R: Rng + ?Sized>(outcome: bool, p: f64, rng: &mut R) -> bool {
+    if p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0)) {
+        !outcome
+    } else {
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn none_channel_is_identity() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&GateKind::H, &[0]);
+        let before = s.clone();
+        ErrorChannel::None.apply(&mut s, 0, &mut rng());
+        assert!((s.fidelity(&before) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_flip_rate_statistics() {
+        let p = 0.3;
+        let mut r = rng();
+        let mut flipped = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let mut s = StateVector::zero_state(1);
+            ErrorChannel::BitFlip { p }.apply(&mut s, 0, &mut r);
+            if s.probability_one(0) > 0.5 {
+                flipped += 1;
+            }
+        }
+        let rate = flipped as f64 / trials as f64;
+        assert!((rate - p).abs() < 0.05, "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn phase_flip_leaves_populations() {
+        let mut r = rng();
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&GateKind::H, &[0]);
+        for _ in 0..50 {
+            ErrorChannel::PhaseFlip { p: 0.5 }.apply(&mut s, 0, &mut r);
+            assert!((s.probability_one(0) - 0.5).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn depolarizing_damps_ghz_fidelity() {
+        let mut r = rng();
+        let build = |noise: Option<f64>, r: &mut StdRng| {
+            let mut s = StateVector::zero_state(3);
+            s.apply_gate(&GateKind::H, &[0]);
+            for q in 0..2 {
+                s.apply_gate(&GateKind::Cnot, &[q, q + 1]);
+                if let Some(p) = noise {
+                    ErrorChannel::Depolarizing { p }.apply(&mut s, q, r);
+                    ErrorChannel::Depolarizing { p }.apply(&mut s, q + 1, r);
+                }
+            }
+            s
+        };
+        let ideal = build(None, &mut r);
+        let shots = 300;
+        let mut fid = 0.0;
+        for _ in 0..shots {
+            fid += build(Some(0.2), &mut r).fidelity(&ideal);
+        }
+        fid /= shots as f64;
+        assert!(fid < 0.9, "noisy fidelity should drop, got {fid}");
+        assert!(fid > 0.2, "noise should not destroy everything, got {fid}");
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut r = rng();
+        let gamma = 0.25;
+        let trials = 2000;
+        let mut decayed = 0;
+        for _ in 0..trials {
+            let mut s = StateVector::basis_state(1, 1);
+            ErrorChannel::AmplitudeDamping { gamma }.apply(&mut s, 0, &mut r);
+            if s.probability_one(0) < 0.5 {
+                decayed += 1;
+            }
+        }
+        let rate = decayed as f64 / trials as f64;
+        assert!((rate - gamma).abs() < 0.05, "observed decay rate {rate}");
+    }
+
+    #[test]
+    fn amplitude_damping_fixes_ground_state() {
+        let mut r = rng();
+        let mut s = StateVector::zero_state(1);
+        ErrorChannel::AmplitudeDamping { gamma: 0.9 }.apply(&mut s, 0, &mut r);
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_biases_superposition_towards_zero() {
+        let mut r = rng();
+        let gamma = 0.5;
+        let trials = 4000;
+        let mut p1_sum = 0.0;
+        for _ in 0..trials {
+            let mut s = StateVector::zero_state(1);
+            s.apply_gate(&GateKind::H, &[0]);
+            ErrorChannel::AmplitudeDamping { gamma }.apply(&mut s, 0, &mut r);
+            p1_sum += s.probability_one(0);
+        }
+        let p1 = p1_sum / trials as f64;
+        // Exact channel: P(1) = 0.5 * (1 - gamma) = 0.25.
+        assert!((p1 - 0.25).abs() < 0.03, "mean P(1) = {p1}");
+    }
+
+    #[test]
+    fn readout_flip_statistics() {
+        let mut r = rng();
+        let trials = 2000;
+        let mut flips = 0;
+        for _ in 0..trials {
+            if flip_readout(false, 0.1, &mut r) {
+                flips += 1;
+            }
+        }
+        let rate = flips as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.03, "observed readout flip rate {rate}");
+        assert!(!flip_readout(false, 0.0, &mut r));
+    }
+
+    #[test]
+    fn channels_preserve_norm() {
+        let mut r = rng();
+        let channels = [
+            ErrorChannel::Depolarizing { p: 0.5 },
+            ErrorChannel::BitFlip { p: 0.5 },
+            ErrorChannel::PhaseFlip { p: 0.5 },
+            ErrorChannel::AmplitudeDamping { gamma: 0.5 },
+        ];
+        for ch in channels {
+            for _ in 0..50 {
+                let mut s = StateVector::zero_state(2);
+                s.apply_gate(&GateKind::H, &[0]);
+                s.apply_gate(&GateKind::Cnot, &[0, 1]);
+                ch.apply(&mut s, 0, &mut r);
+                assert!((s.norm() - 1.0).abs() < 1e-9, "{ch:?} broke the norm");
+            }
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The QX execution engine: runs cQASM programs on the state-vector kernel
+//! under a chosen qubit model.
+//!
+//! This realises the execution loop of Fig 3 in the paper: the (simulated)
+//! micro-architectural layer sends each quantum instruction to QX, which
+//! executes it, measures qubit states on demand and returns results to the
+//! classical side.
+
+use crate::error_model::flip_readout;
+use crate::histogram::ShotHistogram;
+use crate::qubit_model::QubitModel;
+use crate::state::StateVector;
+use cqasm::{Instruction, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Errors from executing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecuteError {
+    /// The program failed semantic validation before execution.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::Invalid(m) => write!(f, "program invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecuteError {}
+
+/// Outcome of one shot: the final quantum state and the classical register.
+#[derive(Debug, Clone)]
+pub struct ShotResult {
+    /// The post-execution quantum state.
+    pub state: StateVector,
+    /// Final classical bits (bit `i` = `b[i]`).
+    pub bits: u64,
+}
+
+/// The QX simulator: a state-vector executor with a pluggable qubit model.
+///
+/// # Example
+///
+/// ```
+/// use cqasm::Program;
+/// use qxsim::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Program::parse("qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n")?;
+/// let hist = Simulator::perfect().run_shots(&p, 200)?;
+/// // Only |00> and |11> appear for a Bell pair.
+/// assert_eq!(hist.count(0b01) + hist.count(0b10), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    model: QubitModel,
+    seed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator::perfect()
+    }
+}
+
+impl Simulator {
+    /// A simulator over perfect qubits (the application-development model).
+    pub fn perfect() -> Self {
+        Simulator {
+            model: QubitModel::Perfect,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A simulator over the given qubit model.
+    pub fn with_model(model: QubitModel) -> Self {
+        Simulator {
+            model,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A simulator configured from the program's own `error_model`
+    /// directive (the QX convention of declaring noise inside the cQASM
+    /// file). Falls back to perfect qubits when the program declares no
+    /// model or the model name is unknown.
+    pub fn for_program(program: &Program) -> Self {
+        let model = program
+            .error_model()
+            .and_then(QubitModel::from_spec)
+            .unwrap_or(QubitModel::Perfect);
+        Simulator::with_model(model)
+    }
+
+    /// Replaces the random seed (execution is deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The active qubit model.
+    pub fn model(&self) -> &QubitModel {
+        &self.model
+    }
+
+    /// Runs the program once and returns the final state and bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] if the program fails validation.
+    pub fn run_once(&self, program: &Program) -> Result<ShotResult, ExecuteError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.run_with_rng(program, &mut rng)
+    }
+
+    /// Runs the program `shots` times, collecting the final classical bits
+    /// of each shot into a histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] if the program fails validation.
+    pub fn run_shots(&self, program: &Program, shots: u64) -> Result<ShotHistogram, ExecuteError> {
+        program
+            .validate()
+            .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut hist = ShotHistogram::new();
+        for _ in 0..shots {
+            let r = self.run_validated(program, &mut rng);
+            hist.record(r.bits);
+        }
+        Ok(hist)
+    }
+
+    /// Runs the program `shots` times across `threads` worker threads.
+    ///
+    /// Each shot draws randomness from its own stream seeded by
+    /// `(simulator seed, shot index)`, so the result is deterministic and
+    /// *independent of the thread count* — but it is a different stream
+    /// than the sequential [`Simulator::run_shots`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] if the program fails validation.
+    pub fn run_shots_parallel(
+        &self,
+        program: &Program,
+        shots: u64,
+        threads: usize,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        program
+            .validate()
+            .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
+        let threads = threads.max(1);
+        let results: Vec<u64> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = shots * t as u64 / threads as u64;
+                let hi = shots * (t as u64 + 1) / threads as u64;
+                let sim = self;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::with_capacity((hi - lo) as usize);
+                    for shot in lo..hi {
+                        let mut rng =
+                            StdRng::seed_from_u64(sim.seed.wrapping_add(shot.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                        out.push(sim.run_validated(program, &mut rng).bits);
+                    }
+                    out
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shot worker panicked"))
+                .collect()
+        });
+        Ok(results.into_iter().collect())
+    }
+
+    /// Runs the program once with a caller-provided RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] if the program fails validation.
+    pub fn run_with_rng<R: Rng + ?Sized>(
+        &self,
+        program: &Program,
+        rng: &mut R,
+    ) -> Result<ShotResult, ExecuteError> {
+        program
+            .validate()
+            .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
+        Ok(self.run_validated(program, rng))
+    }
+
+    fn run_validated<R: Rng + ?Sized>(&self, program: &Program, rng: &mut R) -> ShotResult {
+        let n = program.qubit_count();
+        let mut state = StateVector::zero_state(n);
+        let mut bits: u64 = 0;
+        let idle = self.model.idle_channel();
+        for ins in program.flat_instructions() {
+            self.execute_instruction(ins, &mut state, &mut bits, rng);
+            // Schedule-aware idling: while this (top-level) instruction
+            // occupies its operands, every *uninvolved* qubit decoheres
+            // for one step. Explicit `wait` handles its own idling for
+            // all qubits inside execute_instruction.
+            if !idle.is_none() && !matches!(ins, Instruction::Wait(_) | Instruction::Display) {
+                let involved: Vec<usize> = match ins {
+                    Instruction::MeasureAll => (0..n).collect(),
+                    other => other.qubits().iter().map(|q| q.index()).collect(),
+                };
+                for q in 0..n {
+                    if !involved.contains(&q) {
+                        idle.apply(&mut state, q, rng);
+                    }
+                }
+            }
+        }
+        ShotResult { state, bits }
+    }
+
+    fn execute_instruction<R: Rng + ?Sized>(
+        &self,
+        ins: &Instruction,
+        state: &mut StateVector,
+        bits: &mut u64,
+        rng: &mut R,
+    ) {
+        match ins {
+            Instruction::PrepZ(q) => state.reset(q.index(), rng),
+            Instruction::Gate(g) => self.apply_gate_noisy(state, &g.kind, &g.qubits, rng),
+            Instruction::Cond(bit, g) => {
+                if (*bits >> bit.index()) & 1 == 1 {
+                    self.apply_gate_noisy(state, &g.kind, &g.qubits, rng);
+                }
+            }
+            Instruction::Measure(q) => {
+                let outcome = state.measure(q.index(), rng);
+                let reported = flip_readout(outcome, self.model.readout_error(), rng);
+                set_bit(bits, q.index(), reported);
+            }
+            Instruction::MeasureAll => {
+                let basis = state.measure_all(rng);
+                for q in 0..state.qubit_count() {
+                    let outcome = (basis >> q) & 1 == 1;
+                    let reported = flip_readout(outcome, self.model.readout_error(), rng);
+                    set_bit(bits, q, reported);
+                }
+            }
+            Instruction::Bundle(instrs) => {
+                for inner in instrs {
+                    self.execute_instruction(inner, state, bits, rng);
+                }
+            }
+            Instruction::Wait(cycles) => {
+                let idle = self.model.idle_channel();
+                if !idle.is_none() {
+                    for _ in 0..*cycles {
+                        for q in 0..state.qubit_count() {
+                            idle.apply(state, q, rng);
+                        }
+                    }
+                }
+            }
+            Instruction::Display => {}
+        }
+    }
+
+    fn apply_gate_noisy<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        kind: &cqasm::GateKind,
+        qubits: &[cqasm::Qubit],
+        rng: &mut R,
+    ) {
+        let idx: Vec<usize> = qubits.iter().map(|q| q.index()).collect();
+        state.apply_gate(kind, &idx);
+        let channel = self.model.gate_channel(kind.arity());
+        if !channel.is_none() {
+            for &q in &idx {
+                channel.apply(state, q, rng);
+            }
+        }
+    }
+}
+
+fn set_bit(bits: &mut u64, index: usize, value: bool) {
+    if value {
+        *bits |= 1 << index;
+    } else {
+        *bits &= !(1 << index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn bell() -> Program {
+        Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build()
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        let hist = Simulator::perfect().run_shots(&bell(), 500).unwrap();
+        assert_eq!(hist.count(0b01), 0);
+        assert_eq!(hist.count(0b10), 0);
+        let p00 = hist.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.1, "p00 = {p00}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sim = Simulator::perfect().with_seed(99);
+        let a = sim.run_shots(&bell(), 50).unwrap();
+        let b = sim.run_shots(&bell(), 50).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conditional_gate_uses_measured_bit() {
+        // Teleport-like: measure q0 after H, then flip q1 iff b0 == 1.
+        // Final q1 always equals the measured bit; so b1 after measuring q1
+        // equals b0.
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .instruction(Instruction::Cond(
+                cqasm::Bit(0),
+                cqasm::GateApp::new(GateKind::X, vec![cqasm::Qubit(1)]),
+            ))
+            .measure(1)
+            .build();
+        let hist = Simulator::perfect().run_shots(&p, 300).unwrap();
+        for (bits, _) in hist.iter() {
+            assert_eq!(bits & 1, (bits >> 1) & 1, "bits disagree: {bits:02b}");
+        }
+        // Both branches occur.
+        assert!(hist.count(0b00) > 0 && hist.count(0b11) > 0);
+    }
+
+    #[test]
+    fn prep_z_resets_mid_circuit() {
+        let p = Program::builder(1)
+            .gate(GateKind::X, &[0])
+            .prep_z(0)
+            .measure(0)
+            .build();
+        let hist = Simulator::perfect().run_shots(&p, 100).unwrap();
+        assert_eq!(hist.count(1), 0);
+    }
+
+    #[test]
+    fn readout_error_flips_outcomes() {
+        let p = Program::builder(1).measure(0).build();
+        let model = QubitModel::realistic_depolarizing(0.0, 0.0, 0.2);
+        let hist = Simulator::with_model(model).run_shots(&p, 2000).unwrap();
+        let rate = hist.probability(1);
+        assert!((rate - 0.2).abs() < 0.05, "readout flip rate {rate}");
+    }
+
+    #[test]
+    fn noisy_ghz_loses_parity() {
+        let mut b = Program::builder(4).gate(GateKind::H, &[0]);
+        for q in 0..3 {
+            b = b.gate(GateKind::Cnot, &[q, q + 1]);
+        }
+        let p = b.measure_all().build();
+        let noisy = Simulator::with_model(QubitModel::realistic_depolarizing(0.05, 0.05, 0.0));
+        let hist = noisy.run_shots(&p, 500).unwrap();
+        // With 5% depolarizing on every operand, states other than the GHZ
+        // branches must appear.
+        let ghz_only = hist.count(0b0000) + hist.count(0b1111);
+        assert!(ghz_only < hist.shots(), "noise produced no deviation");
+        // But the GHZ branches still dominate.
+        assert!(ghz_only > hist.shots() / 2);
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let mut p = Program::new(1);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[3]));
+        p.push_subcircuit(s);
+        assert!(matches!(
+            Simulator::perfect().run_shots(&p, 1),
+            Err(ExecuteError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn wait_applies_idle_decay() {
+        let model = QubitModel::Realistic(crate::qubit_model::RealisticParams {
+            channel_1q: crate::error_model::ErrorChannel::None,
+            channel_2q: crate::error_model::ErrorChannel::None,
+            readout_error: 0.0,
+            idle_channel: crate::error_model::ErrorChannel::AmplitudeDamping { gamma: 0.5 },
+        });
+        let p = Program::builder(1)
+            .gate(GateKind::X, &[0])
+            .instruction(Instruction::Wait(3))
+            .measure(0)
+            .build();
+        let hist = Simulator::with_model(model).run_shots(&p, 1000).unwrap();
+        // Survival after 3 cycles of gamma=0.5 damping: 0.125.
+        let survive = hist.probability(1);
+        assert!((survive - 0.125).abs() < 0.05, "survival = {survive}");
+    }
+
+    #[test]
+    fn run_once_returns_state() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .build();
+        let r = Simulator::perfect().run_once(&p).unwrap();
+        assert!((r.state.probability_of(0b00) - 0.5).abs() < 1e-10);
+        assert_eq!(r.bits, 0);
+    }
+}
+
+#[cfg(test)]
+mod error_model_directive_tests {
+    use super::*;
+
+    #[test]
+    fn program_error_model_drives_the_simulator() {
+        let noisy = Program::parse(
+            "qubits 1\nerror_model depolarizing_channel, 0.2\nx q[0]\nmeasure q[0]\n",
+        )
+        .unwrap();
+        let sim = Simulator::for_program(&noisy);
+        assert!(sim.model().is_noisy());
+        let hist = sim.run_shots(&noisy, 2000).unwrap();
+        // Depolarizing at 0.2 flips the X outcome in a visible fraction.
+        let wrong = hist.probability(0);
+        assert!(wrong > 0.05 && wrong < 0.3, "wrong-rate {wrong}");
+    }
+
+    #[test]
+    fn absent_or_unknown_models_mean_perfect() {
+        let clean = Program::parse("qubits 1\nx q[0]\nmeasure q[0]\n").unwrap();
+        assert!(!Simulator::for_program(&clean).model().is_noisy());
+        let odd =
+            Program::parse("qubits 1\nerror_model martian_noise, 0.5\nx q[0]\n").unwrap();
+        assert!(!Simulator::for_program(&odd).model().is_noisy());
+    }
+
+    #[test]
+    fn readout_parameter_is_honoured() {
+        let p = Program::parse(
+            "qubits 1\nerror_model depolarizing_channel, 0.0, 0.25\nmeasure q[0]\n",
+        )
+        .unwrap();
+        let hist = Simulator::for_program(&p).run_shots(&p, 2000).unwrap();
+        let flipped = hist.probability(1);
+        assert!((flipped - 0.25).abs() < 0.04, "readout flip rate {flipped}");
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn bell() -> Program {
+        Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build()
+    }
+
+    #[test]
+    fn parallel_result_is_independent_of_thread_count() {
+        let sim = Simulator::perfect().with_seed(77);
+        let h1 = sim.run_shots_parallel(&bell(), 400, 1).unwrap();
+        let h4 = sim.run_shots_parallel(&bell(), 400, 4).unwrap();
+        let h7 = sim.run_shots_parallel(&bell(), 400, 7).unwrap();
+        assert_eq!(h1, h4);
+        assert_eq!(h4, h7);
+    }
+
+    #[test]
+    fn parallel_statistics_match_physics() {
+        let sim = Simulator::perfect().with_seed(3);
+        let h = sim.run_shots_parallel(&bell(), 2000, 4).unwrap();
+        assert_eq!(h.shots(), 2000);
+        assert_eq!(h.count(0b01) + h.count(0b10), 0);
+        let p00 = h.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 = {p00}");
+    }
+
+    #[test]
+    fn parallel_rejects_invalid_programs() {
+        let mut p = Program::new(1);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[5]));
+        p.push_subcircuit(s);
+        assert!(matches!(
+            Simulator::perfect().run_shots_parallel(&p, 10, 2),
+            Err(ExecuteError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let sim = Simulator::perfect();
+        let h = sim.run_shots_parallel(&bell(), 10, 0).unwrap();
+        assert_eq!(h.shots(), 10);
+    }
+}

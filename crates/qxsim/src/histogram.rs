@@ -1,0 +1,133 @@
+//! Measurement histograms aggregated over shots.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counts of observed classical bit-strings over a number of shots.
+///
+/// Bit `i` of the key is the final value of classical bit `b[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShotHistogram {
+    counts: BTreeMap<u64, u64>,
+    shots: u64,
+}
+
+impl ShotHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed bit-string.
+    pub fn record(&mut self, bits: u64) {
+        *self.counts.entry(bits).or_insert(0) += 1;
+        self.shots += 1;
+    }
+
+    /// Total number of shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Number of times `bits` was observed.
+    pub fn count(&self, bits: u64) -> u64 {
+        self.counts.get(&bits).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of `bits`.
+    pub fn probability(&self, bits: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.count(bits) as f64 / self.shots as f64
+        }
+    }
+
+    /// The most frequently observed bit-string, if any (ties broken by
+    /// smallest value).
+    pub fn most_likely(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(k, _)| *k)
+    }
+
+    /// Iterates over `(bits, count)` pairs in ascending bit-string order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl FromIterator<u64> for ShotHistogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = ShotHistogram::new();
+        for b in iter {
+            h.record(b);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for ShotHistogram {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for b in iter {
+            self.record(b);
+        }
+    }
+}
+
+impl fmt::Display for ShotHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} shots, {} outcomes:", self.shots, self.counts.len())?;
+        for (bits, count) in &self.counts {
+            writeln!(
+                f,
+                "  {bits:>8b}: {count:>8} ({:.3})",
+                *count as f64 / self.shots.max(1) as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let h: ShotHistogram = [0b00u64, 0b11, 0b11, 0b01].into_iter().collect();
+        assert_eq!(h.shots(), 4);
+        assert_eq!(h.count(0b11), 2);
+        assert_eq!(h.count(0b10), 0);
+        assert!((h.probability(0b11) - 0.5).abs() < 1e-12);
+        assert_eq!(h.most_likely(), Some(0b11));
+        assert_eq!(h.distinct(), 3);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = ShotHistogram::new();
+        assert_eq!(h.shots(), 0);
+        assert_eq!(h.probability(0), 0.0);
+        assert_eq!(h.most_likely(), None);
+    }
+
+    #[test]
+    fn ties_break_to_smallest() {
+        let h: ShotHistogram = [3u64, 1, 3, 1].into_iter().collect();
+        assert_eq!(h.most_likely(), Some(1));
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let h: ShotHistogram = [0b1u64].into_iter().collect();
+        let s = h.to_string();
+        assert!(s.contains("1 shots"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Pauli-string observables and Hamiltonians.
+//!
+//! §2.3 of the paper lists "physical system simulation" among the
+//! candidate quantum killer applications. Simulating a physical system
+//! means measuring expectation values of Pauli-string observables
+//! (`<Z0 Z1>`, `<X0 X1>`, ...) against prepared states — the primitive
+//! behind VQE-style hybrid chemistry. This module evaluates them exactly
+//! on the state vector via the standard basis-rotation trick.
+
+use crate::state::StateVector;
+use cqasm::GateKind;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+/// A tensor product of Pauli operators on distinct qubits (identity
+/// elsewhere).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PauliString {
+    /// `(qubit, operator)` pairs; qubits are distinct.
+    ops: Vec<(usize, Pauli)>,
+}
+
+impl PauliString {
+    /// The identity string.
+    pub fn identity() -> Self {
+        PauliString::default()
+    }
+
+    /// Builds a string from `(qubit, op)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit appears twice.
+    pub fn new(ops: Vec<(usize, Pauli)>) -> Self {
+        for (i, (q, _)) in ops.iter().enumerate() {
+            assert!(
+                !ops[i + 1..].iter().any(|(q2, _)| q2 == q),
+                "qubit {q} appears twice"
+            );
+        }
+        PauliString { ops }
+    }
+
+    /// Convenience constructor: `Z` on one qubit.
+    pub fn z(q: usize) -> Self {
+        PauliString::new(vec![(q, Pauli::Z)])
+    }
+
+    /// Convenience constructor: `X` on one qubit.
+    pub fn x(q: usize) -> Self {
+        PauliString::new(vec![(q, Pauli::X)])
+    }
+
+    /// Convenience constructor: `Y` on one qubit.
+    pub fn y(q: usize) -> Self {
+        PauliString::new(vec![(q, Pauli::Y)])
+    }
+
+    /// The operator content.
+    pub fn ops(&self) -> &[(usize, Pauli)] {
+        &self.ops
+    }
+
+    /// Pauli weight.
+    pub fn weight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Exact expectation value `<psi| P |psi>`.
+    ///
+    /// Rotates a copy of the state so that every factor becomes `Z`
+    /// (`X -> H`, `Y -> S† H`), then sums signed Born weights.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        if self.ops.is_empty() {
+            return 1.0;
+        }
+        let mut rotated = state.clone();
+        let mut mask = 0u64;
+        for &(q, p) in &self.ops {
+            match p {
+                Pauli::Z => {}
+                Pauli::X => rotated.apply_gate(&GateKind::H, &[q]),
+                Pauli::Y => {
+                    rotated.apply_gate(&GateKind::Sdag, &[q]);
+                    rotated.apply_gate(&GateKind::H, &[q]);
+                }
+            }
+            mask |= 1 << q;
+        }
+        rotated.expectation_diagonal(|b| {
+            if (b & mask).count_ones().is_multiple_of(2) {
+                1.0
+            } else {
+                -1.0
+            }
+        })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ops.is_empty() {
+            return f.write_str("I");
+        }
+        for (i, (q, p)) in self.ops.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            let c = match p {
+                Pauli::X => 'X',
+                Pauli::Y => 'Y',
+                Pauli::Z => 'Z',
+            };
+            write!(f, "{c}{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A real linear combination of Pauli strings — a Hamiltonian.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PauliSum {
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl PauliSum {
+    /// The zero operator.
+    pub fn new() -> Self {
+        PauliSum::default()
+    }
+
+    /// Adds a term `coefficient * string`.
+    pub fn add(&mut self, coefficient: f64, string: PauliString) -> &mut Self {
+        self.terms.push((coefficient, string));
+        self
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// Exact expectation `<psi| H |psi>` (term-by-term).
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.terms
+            .iter()
+            .map(|(c, p)| c * p.expectation(state))
+            .sum()
+    }
+}
+
+impl FromIterator<(f64, PauliString)> for PauliSum {
+    fn from_iter<T: IntoIterator<Item = (f64, PauliString)>>(iter: T) -> Self {
+        PauliSum {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plus_state() -> StateVector {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&GateKind::H, &[0]);
+        s
+    }
+
+    fn bell() -> StateVector {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&GateKind::H, &[0]);
+        s.apply_gate(&GateKind::Cnot, &[0, 1]);
+        s
+    }
+
+    #[test]
+    fn single_qubit_expectations() {
+        let zero = StateVector::zero_state(1);
+        assert!((PauliString::z(0).expectation(&zero) - 1.0).abs() < 1e-12);
+        assert!(PauliString::x(0).expectation(&zero).abs() < 1e-12);
+        assert!(PauliString::y(0).expectation(&zero).abs() < 1e-12);
+
+        let plus = plus_state();
+        assert!((PauliString::x(0).expectation(&plus) - 1.0).abs() < 1e-12);
+        assert!(PauliString::z(0).expectation(&plus).abs() < 1e-12);
+
+        // |i> = S|+> is the +1 eigenstate of Y.
+        let mut istate = plus_state();
+        istate.apply_gate(&GateKind::S, &[0]);
+        assert!((PauliString::y(0).expectation(&istate) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlators() {
+        let b = bell();
+        let zz = PauliString::new(vec![(0, Pauli::Z), (1, Pauli::Z)]);
+        let xx = PauliString::new(vec![(0, Pauli::X), (1, Pauli::X)]);
+        let yy = PauliString::new(vec![(0, Pauli::Y), (1, Pauli::Y)]);
+        assert!((zz.expectation(&b) - 1.0).abs() < 1e-12);
+        assert!((xx.expectation(&b) - 1.0).abs() < 1e-12);
+        assert!((yy.expectation(&b) + 1.0).abs() < 1e-12);
+        // Single-qubit marginals vanish on a Bell pair.
+        assert!(PauliString::z(0).expectation(&b).abs() < 1e-12);
+        assert!(PauliString::x(1).expectation(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_string_is_one() {
+        assert_eq!(PauliString::identity().expectation(&bell()), 1.0);
+        assert_eq!(PauliString::identity().weight(), 0);
+    }
+
+    #[test]
+    fn pauli_sum_energy() {
+        // H = Z0 + Z1 + 0.5 X0X1 on |00>: 1 + 1 + 0 = 2.
+        let mut h = PauliSum::new();
+        h.add(1.0, PauliString::z(0))
+            .add(1.0, PauliString::z(1))
+            .add(0.5, PauliString::new(vec![(0, Pauli::X), (1, Pauli::X)]));
+        let zero = StateVector::zero_state(2);
+        assert!((h.expectation(&zero) - 2.0).abs() < 1e-12);
+        // On a Bell state: 0 + 0 + 0.5.
+        assert!((h.expectation(&bell()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_matches_agreement_with_simple_rotation() {
+        // <X> after Ry(theta)|0> = sin(theta).
+        for theta in [0.3f64, 1.0, 2.2] {
+            let mut s = StateVector::zero_state(1);
+            s.apply_gate(&GateKind::Ry(theta), &[0]);
+            let x = PauliString::x(0).expectation(&s);
+            assert!((x - theta.sin()).abs() < 1e-10, "theta {theta}: {x}");
+            let z = PauliString::z(0).expectation(&s);
+            assert!((z - theta.cos()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_qubit_rejected() {
+        let _ = PauliString::new(vec![(0, Pauli::X), (0, Pauli::Z)]);
+    }
+
+    #[test]
+    fn display_format() {
+        let p = PauliString::new(vec![(0, Pauli::X), (3, Pauli::Z)]);
+        assert_eq!(p.to_string(), "X0 Z3");
+        assert_eq!(PauliString::identity().to_string(), "I");
+    }
+}

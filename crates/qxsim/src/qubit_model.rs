@@ -1,0 +1,183 @@
+//! The three qubit models of the paper: **perfect**, **realistic** and
+//! **real** (§2.1).
+//!
+//! - *Perfect* qubits never decohere and execute gates exactly — the model
+//!   offered to application developers.
+//! - *Realistic* qubits attach configurable error channels and readout
+//!   errors to every operation — the model used to study the impact of
+//!   error rates and error models on circuits.
+//! - *Real* qubits are experimentally calibrated realistic qubits; for the
+//!   simulator they are a realistic model instantiated from a hardware
+//!   platform's calibration numbers (see `qxsim::QubitModel::real_from_rates`).
+
+use crate::error_model::ErrorChannel;
+
+/// Error parameters of a realistic qubit model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealisticParams {
+    /// Channel applied to the operand of every single-qubit gate.
+    pub channel_1q: ErrorChannel,
+    /// Channel applied to *each* operand of every two-qubit gate.
+    pub channel_2q: ErrorChannel,
+    /// Probability that a measurement outcome is reported flipped.
+    pub readout_error: f64,
+    /// Channel applied per qubit per `wait` cycle (idle decoherence).
+    pub idle_channel: ErrorChannel,
+}
+
+impl RealisticParams {
+    /// A symmetric depolarizing model: probability `p1` per single-qubit
+    /// gate, `p2` per two-qubit gate operand, `pm` readout flip.
+    pub fn depolarizing(p1: f64, p2: f64, pm: f64) -> Self {
+        RealisticParams {
+            channel_1q: ErrorChannel::Depolarizing { p: p1 },
+            channel_2q: ErrorChannel::Depolarizing { p: p2 },
+            readout_error: pm,
+            idle_channel: ErrorChannel::None,
+        }
+    }
+}
+
+/// Which qubits the simulator models.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum QubitModel {
+    /// Perfect qubits: no decoherence, no gate errors, exact readout.
+    #[default]
+    Perfect,
+    /// Realistic qubits with the given error parameters.
+    Realistic(RealisticParams),
+}
+
+impl QubitModel {
+    /// Perfect qubits (no errors at all).
+    pub fn perfect() -> Self {
+        QubitModel::Perfect
+    }
+
+    /// Realistic qubits with a uniform depolarizing model.
+    pub fn realistic_depolarizing(p1: f64, p2: f64, pm: f64) -> Self {
+        QubitModel::Realistic(RealisticParams::depolarizing(p1, p2, pm))
+    }
+
+    /// A "real qubit" model instantiated from hardware calibration numbers
+    /// in the style of the superconducting devices cited in the paper
+    /// (§2.4: error rates ≈ 0.1%, tens of microseconds coherence).
+    ///
+    /// `t1_us` and `gate_ns` convert coherence into an idle amplitude
+    /// damping rate per cycle: `gamma = 1 - exp(-gate_ns / (t1_us * 1000))`.
+    pub fn real_from_rates(p1: f64, p2: f64, pm: f64, t1_us: f64, gate_ns: f64) -> Self {
+        let gamma = 1.0 - (-gate_ns / (t1_us * 1000.0)).exp();
+        QubitModel::Realistic(RealisticParams {
+            channel_1q: ErrorChannel::Depolarizing { p: p1 },
+            channel_2q: ErrorChannel::Depolarizing { p: p2 },
+            readout_error: pm,
+            idle_channel: ErrorChannel::AmplitudeDamping { gamma },
+        })
+    }
+
+    /// Builds a model from a cQASM `error_model` directive, following the
+    /// QX conventions:
+    ///
+    /// - `depolarizing_channel, p` — depolarizing with probability `p` on
+    ///   every gate operand;
+    /// - `bit_flip_channel, p`, `phase_flip_channel, p`,
+    ///   `amplitude_damping, gamma` — the extended models of §2.7;
+    /// - an optional second parameter sets the readout flip probability.
+    ///
+    /// Returns `None` for unknown model names or missing parameters.
+    pub fn from_spec(spec: &cqasm::ErrorModelSpec) -> Option<QubitModel> {
+        let p = *spec.params.first()?;
+        let readout = spec.params.get(1).copied().unwrap_or(0.0);
+        let channel = match spec.name.as_str() {
+            "depolarizing_channel" => ErrorChannel::Depolarizing { p },
+            "bit_flip_channel" => ErrorChannel::BitFlip { p },
+            "phase_flip_channel" => ErrorChannel::PhaseFlip { p },
+            "amplitude_damping" => ErrorChannel::AmplitudeDamping { gamma: p },
+            _ => return None,
+        };
+        Some(QubitModel::Realistic(crate::qubit_model::RealisticParams {
+            channel_1q: channel,
+            channel_2q: channel,
+            readout_error: readout,
+            idle_channel: ErrorChannel::None,
+        }))
+    }
+
+    /// The channel applied after a gate touching `arity` qubits.
+    pub fn gate_channel(&self, arity: usize) -> ErrorChannel {
+        match self {
+            QubitModel::Perfect => ErrorChannel::None,
+            QubitModel::Realistic(p) => {
+                if arity <= 1 {
+                    p.channel_1q
+                } else {
+                    p.channel_2q
+                }
+            }
+        }
+    }
+
+    /// The per-cycle idle channel.
+    pub fn idle_channel(&self) -> ErrorChannel {
+        match self {
+            QubitModel::Perfect => ErrorChannel::None,
+            QubitModel::Realistic(p) => p.idle_channel,
+        }
+    }
+
+    /// The readout flip probability.
+    pub fn readout_error(&self) -> f64 {
+        match self {
+            QubitModel::Perfect => 0.0,
+            QubitModel::Realistic(p) => p.readout_error,
+        }
+    }
+
+    /// Whether this model introduces any noise.
+    pub fn is_noisy(&self) -> bool {
+        !matches!(self, QubitModel::Perfect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_model_is_noise_free() {
+        let m = QubitModel::perfect();
+        assert!(!m.is_noisy());
+        assert!(m.gate_channel(1).is_none());
+        assert!(m.gate_channel(2).is_none());
+        assert_eq!(m.readout_error(), 0.0);
+    }
+
+    #[test]
+    fn realistic_depolarizing_parameters() {
+        let m = QubitModel::realistic_depolarizing(0.001, 0.01, 0.02);
+        assert!(m.is_noisy());
+        assert_eq!(
+            m.gate_channel(1),
+            ErrorChannel::Depolarizing { p: 0.001 }
+        );
+        assert_eq!(m.gate_channel(2), ErrorChannel::Depolarizing { p: 0.01 });
+        assert_eq!(m.readout_error(), 0.02);
+    }
+
+    #[test]
+    fn real_model_derives_idle_damping_from_t1() {
+        let m = QubitModel::real_from_rates(0.001, 0.01, 0.02, 20.0, 20.0);
+        match m.idle_channel() {
+            ErrorChannel::AmplitudeDamping { gamma } => {
+                // 20 ns gate on 20 us T1: gamma ~ 1 - e^{-0.001} ~ 0.001.
+                assert!((gamma - 0.001).abs() < 1e-4, "gamma = {gamma}");
+            }
+            other => panic!("expected amplitude damping, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_is_perfect() {
+        assert_eq!(QubitModel::default(), QubitModel::Perfect);
+    }
+}

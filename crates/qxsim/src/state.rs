@@ -1,0 +1,566 @@
+//! Dense state-vector representation and gate application kernels.
+//!
+//! The state of `n` qubits is a vector of `2^n` complex amplitudes. Basis
+//! index bit `i` is the state of qubit `i` (qubit 0 is the least significant
+//! bit). This is the engine behind the QX simulator of the paper: it scales
+//! to however many qubits fit in host memory (the paper quotes ~35 fully
+//! entangled qubits on a laptop for the C++ engine; the memory wall is
+//! identical here since the representation is the same).
+
+use cqasm::math::{C64, EPSILON, Mat2, Mat4};
+use rand::Rng;
+
+/// A pure quantum state of `n` qubits as a dense amplitude vector.
+///
+/// # Example
+///
+/// ```
+/// use qxsim::StateVector;
+/// use cqasm::GateKind;
+///
+/// let mut psi = StateVector::zero_state(2);
+/// psi.apply_gate(&GateKind::H, &[0]);
+/// psi.apply_gate(&GateKind::Cnot, &[0, 1]);
+/// // Bell state: |00> and |11> each with probability 1/2.
+/// assert!((psi.probability_of(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability_of(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is so large that `2^n` amplitudes cannot be allocated
+    /// as a `Vec` (practically, `n > ~30` on common machines will abort on
+    /// allocation failure).
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n < 64, "qubit count {n} out of supported range");
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Creates a computational basis state `|basis>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis >= 2^n`.
+    pub fn basis_state(n: usize, basis: u64) -> Self {
+        let mut s = StateVector::zero_state(n);
+        assert!((basis as usize) < s.amps.len(), "basis index out of range");
+        s.amps[0] = C64::ZERO;
+        s.amps[basis as usize] = C64::ONE;
+        s
+    }
+
+    /// Creates a state from explicit amplitudes (normalising them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the vector is all-zero.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        let n = amps.len().trailing_zeros() as usize;
+        let mut s = StateVector { n, amps };
+        let norm = s.norm();
+        assert!(norm > EPSILON, "cannot normalise the zero vector");
+        let inv = 1.0 / norm;
+        for a in &mut s.amps {
+            *a = *a * inv;
+        }
+        s
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// Read-only view of the amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Euclidean norm of the amplitude vector (1 for a valid state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Probability of observing the full basis string `basis`.
+    #[inline]
+    pub fn probability_of(&self, basis: u64) -> f64 {
+        self.amps[basis as usize].norm_sqr()
+    }
+
+    /// Probability that qubit `q` measures as 1.
+    pub fn probability_one(&self, q: usize) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Expectation value of Pauli-Z on qubit `q` (`+1` for |0>, `-1` for |1>).
+    pub fn expectation_z(&self, q: usize) -> f64 {
+        1.0 - 2.0 * self.probability_one(q)
+    }
+
+    /// Expectation of an arbitrary diagonal observable: sums
+    /// `|amp(b)|^2 * f(b)` over all basis states `b`.
+    ///
+    /// This is how the QAOA layer evaluates cost Hamiltonians exactly
+    /// instead of by sampling.
+    pub fn expectation_diagonal<F: Fn(u64) -> f64>(&self, f: F) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.norm_sqr() * f(i as u64))
+            .sum()
+    }
+
+    /// `|<self|other>|^2`, the state fidelity between two pure states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n, other.n, "fidelity requires equal qubit counts");
+        let mut ip = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            ip += a.conj() * *b;
+        }
+        ip.norm_sqr()
+    }
+
+    /// Applies a single-qubit unitary to qubit `q`.
+    pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
+        debug_assert!(q < self.n);
+        let stride = 1usize << q;
+        let [[m00, m01], [m10, m11]] = m.0;
+        let mut base = 0usize;
+        while base < self.amps.len() {
+            for off in base..base + stride {
+                let i0 = off;
+                let i1 = off + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m00 * a0 + m01 * a1;
+                self.amps[i1] = m10 * a0 + m11 * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a two-qubit unitary. The matrix is in the basis
+    /// `|q_hi q_lo>` where `q_hi` is the **first** operand (matching
+    /// [`cqasm::GateUnitary::Two`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if operands alias or are out of range.
+    pub fn apply_2q(&mut self, m: &Mat4, q_hi: usize, q_lo: usize) {
+        debug_assert!(q_hi != q_lo && q_hi < self.n && q_lo < self.n);
+        let bh = 1usize << q_hi;
+        let bl = 1usize << q_lo;
+        for i in 0..self.amps.len() {
+            // Visit each 4-element orbit exactly once, from its smallest index.
+            if i & bh != 0 || i & bl != 0 {
+                continue;
+            }
+            let i00 = i;
+            let i01 = i | bl;
+            let i10 = i | bh;
+            let i11 = i | bh | bl;
+            let a = [
+                self.amps[i00],
+                self.amps[i01],
+                self.amps[i10],
+                self.amps[i11],
+            ];
+            for (row, idx) in [(0, i00), (1, i01), (2, i10), (3, i11)] {
+                let mut acc = C64::ZERO;
+                for (col, amp) in a.iter().enumerate() {
+                    acc += m.0[row][col] * *amp;
+                }
+                self.amps[idx] = acc;
+            }
+        }
+    }
+
+    /// Applies a single-qubit unitary to `target` conditioned on every qubit
+    /// in `controls` being `|1>`. Used for Toffoli and the multi-controlled
+    /// oracles of Grover search.
+    pub fn apply_controlled_1q(&mut self, m: &Mat2, controls: &[usize], target: usize) {
+        debug_assert!(!controls.contains(&target));
+        let ctrl_mask: usize = controls.iter().map(|c| 1usize << c).sum();
+        let tbit = 1usize << target;
+        let [[m00, m01], [m10, m11]] = m.0;
+        for i in 0..self.amps.len() {
+            if i & tbit != 0 {
+                continue;
+            }
+            if i & ctrl_mask != ctrl_mask {
+                continue;
+            }
+            let i0 = i;
+            let i1 = i | tbit;
+            let a0 = self.amps[i0];
+            let a1 = self.amps[i1];
+            self.amps[i0] = m00 * a0 + m01 * a1;
+            self.amps[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+
+    /// Multiplies the amplitude of every basis state selected by `pred` by
+    /// `phase`. This is the diagonal-oracle primitive (e.g. Grover's
+    /// phase-flip oracle with `phase = -1`).
+    pub fn apply_phase_if<F: Fn(u64) -> bool>(&mut self, phase: C64, pred: F) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if pred(i as u64) {
+                *a *= phase;
+            }
+        }
+    }
+
+    /// Applies the diagonal unitary `e^{-i f(b)}` basis state by basis
+    /// state. This implements `exp(-i gamma H_C)` for a diagonal cost
+    /// Hamiltonian — the QAOA phase-separation layer.
+    pub fn apply_diagonal_phase<F: Fn(u64) -> f64>(&mut self, f: F) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a *= C64::cis(-f(i as u64));
+        }
+    }
+
+    /// Applies a classical permutation unitary: `|b> -> |f(b)>`.
+    ///
+    /// This is how reversible classical arithmetic (e.g. the modular
+    /// multiplication inside Shor's order finding) is executed without
+    /// synthesising its full gate network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a bijection on the basis set.
+    pub fn apply_permutation<F: Fn(u64) -> u64>(&mut self, f: F) {
+        let len = self.amps.len();
+        let mut new = vec![C64::ZERO; len];
+        let mut hit = vec![false; len];
+        for (b, a) in self.amps.iter().enumerate() {
+            let t = f(b as u64) as usize;
+            assert!(t < len, "permutation target out of range");
+            assert!(!hit[t], "permutation is not a bijection (collision at {t})");
+            hit[t] = true;
+            new[t] = *a;
+        }
+        self.amps = new;
+    }
+
+    /// Applies a gate from the cQASM library to the given operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate arity or indices
+    /// are out of range.
+    pub fn apply_gate(&mut self, kind: &cqasm::GateKind, qubits: &[usize]) {
+        assert_eq!(qubits.len(), kind.arity(), "operand count mismatch");
+        for &q in qubits {
+            assert!(q < self.n, "qubit index {q} out of range");
+        }
+        match kind.unitary() {
+            cqasm::GateUnitary::One(m) => self.apply_1q(&m, qubits[0]),
+            cqasm::GateUnitary::Two(m) => self.apply_2q(&m, qubits[0], qubits[1]),
+            cqasm::GateUnitary::ControlledControlled(m) => {
+                self.apply_controlled_1q(&m, &qubits[..2], qubits[2])
+            }
+        }
+    }
+
+    /// Projectively measures qubit `q` in the Z basis, collapsing the state.
+    /// Returns the outcome bit.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        let p1 = self.probability_one(q);
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        self.collapse(q, outcome);
+        outcome
+    }
+
+    /// Forces qubit `q` into the given classical value, renormalising.
+    /// (Projective collapse without randomness; used by `prep_z` and by
+    /// deterministic replay in tests.)
+    pub fn collapse(&mut self, q: usize, value: bool) {
+        let mask = 1usize << q;
+        let mut kept = 0.0f64;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if ((i & mask) != 0) != value {
+                *a = C64::ZERO;
+            } else {
+                kept += a.norm_sqr();
+            }
+        }
+        if kept > EPSILON {
+            let inv = 1.0 / kept.sqrt();
+            for a in &mut self.amps {
+                *a = *a * inv;
+            }
+        }
+    }
+
+    /// Resets qubit `q` to `|0>`: measures it and applies X if the outcome
+    /// was 1. This is the semantics of `prep_z` on a running register.
+    pub fn reset<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure(q, rng) {
+            let x = match cqasm::GateKind::X.unitary() {
+                cqasm::GateUnitary::One(m) => m,
+                _ => unreachable!(),
+            };
+            self.apply_1q(&x, q);
+        }
+    }
+
+    /// Samples a full measurement of all qubits *without* collapsing the
+    /// state (used for multi-shot histogram estimation on a frozen state).
+    pub fn sample_all<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i as u64;
+            }
+        }
+        (self.amps.len() - 1) as u64
+    }
+
+    /// Measures all qubits, collapsing to a single basis state. Returns the
+    /// observed basis index.
+    pub fn measure_all<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let outcome = self.sample_all(rng);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = if i as u64 == outcome { C64::ONE } else { C64::ZERO };
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqasm::GateKind;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn zero_state_probabilities() {
+        let s = StateVector::zero_state(3);
+        assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(s.qubit_count(), 3);
+    }
+
+    #[test]
+    fn basis_state_construction() {
+        let s = StateVector::basis_state(3, 0b101);
+        assert!((s.probability_of(0b101) - 1.0).abs() < 1e-12);
+        assert!((s.probability_one(0) - 1.0).abs() < 1e-12);
+        assert!(s.probability_one(1) < 1e-12);
+        assert!((s.probability_one(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&GateKind::H, &[0]);
+        assert!((s.probability_of(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut s = StateVector::zero_state(4);
+        s.apply_gate(&GateKind::H, &[0]);
+        for q in 0..3 {
+            s.apply_gate(&GateKind::Cnot, &[q, q + 1]);
+        }
+        assert!((s.probability_of(0b0000) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of(0b1111) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_operand_order() {
+        // control = q1 (value 1), target = q0.
+        let mut s = StateVector::basis_state(2, 0b10);
+        s.apply_gate(&GateKind::Cnot, &[1, 0]);
+        assert!((s.probability_of(0b11) - 1.0).abs() < 1e-12);
+        // control = q0 (value 0): nothing happens.
+        let mut s = StateVector::basis_state(2, 0b10);
+        s.apply_gate(&GateKind::Cnot, &[0, 1]);
+        assert!((s.probability_of(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for c1 in 0..2u64 {
+            for c2 in 0..2u64 {
+                for t in 0..2u64 {
+                    let basis = c1 | (c2 << 1) | (t << 2);
+                    let mut s = StateVector::basis_state(3, basis);
+                    s.apply_gate(&GateKind::Toffoli, &[0, 1, 2]);
+                    let expect_t = if c1 == 1 && c2 == 1 { t ^ 1 } else { t };
+                    let expect = c1 | (c2 << 1) | (expect_t << 2);
+                    assert!(
+                        (s.probability_of(expect) - 1.0).abs() < 1e-12,
+                        "toffoli failed for basis {basis:03b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut s = StateVector::basis_state(2, 0b01);
+        s.apply_gate(&GateKind::Swap, &[0, 1]);
+        assert!((s.probability_of(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gates_preserve_norm() {
+        let mut s = StateVector::zero_state(3);
+        let seq: &[(GateKind, &[usize])] = &[
+            (GateKind::H, &[0]),
+            (GateKind::T, &[0]),
+            (GateKind::Cnot, &[0, 1]),
+            (GateKind::Rz(0.7), &[1]),
+            (GateKind::Ry(1.1), &[2]),
+            (GateKind::Toffoli, &[0, 1, 2]),
+            (GateKind::Swap, &[0, 2]),
+        ];
+        for (g, qs) in seq {
+            s.apply_gate(g, qs);
+            assert!((s.norm() - 1.0).abs() < 1e-10, "norm drifted after {g}");
+        }
+    }
+
+    #[test]
+    fn measure_collapses() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&GateKind::H, &[0]);
+        s.apply_gate(&GateKind::Cnot, &[0, 1]);
+        let mut r = rng();
+        let m0 = s.measure(0, &mut r);
+        // After measuring one half of a Bell pair, the other is determined.
+        let p1 = s.probability_one(1);
+        if m0 {
+            assert!((p1 - 1.0).abs() < 1e-12);
+        } else {
+            assert!(p1 < 1e-12);
+        }
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn measure_all_statistics() {
+        let mut r = rng();
+        let mut ones = 0;
+        for _ in 0..1000 {
+            let mut s = StateVector::zero_state(1);
+            s.apply_gate(&GateKind::H, &[0]);
+            if s.measure_all(&mut r) == 1 {
+                ones += 1;
+            }
+        }
+        assert!((400..600).contains(&ones), "got {ones} ones out of 1000");
+    }
+
+    #[test]
+    fn reset_always_gives_zero() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let mut s = StateVector::zero_state(1);
+            s.apply_gate(&GateKind::H, &[0]);
+            s.reset(0, &mut r);
+            assert!((s.probability_of(0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fidelity_of_identical_and_orthogonal() {
+        let a = StateVector::basis_state(2, 0);
+        let b = StateVector::basis_state(2, 3);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-12);
+        assert!(a.fidelity(&b) < 1e-12);
+    }
+
+    #[test]
+    fn expectation_z_values() {
+        let s = StateVector::basis_state(1, 0);
+        assert!((s.expectation_z(0) - 1.0).abs() < 1e-12);
+        let s = StateVector::basis_state(1, 1);
+        assert!((s.expectation_z(0) + 1.0).abs() < 1e-12);
+        let mut s = StateVector::zero_state(1);
+        s.apply_gate(&GateKind::H, &[0]);
+        assert!(s.expectation_z(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_diagonal_counts_ones() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&GateKind::H, &[0]);
+        s.apply_gate(&GateKind::H, &[1]);
+        let avg_ones = s.expectation_diagonal(|b| b.count_ones() as f64);
+        assert!((avg_ones - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_oracle_flips_marked_state() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_gate(&GateKind::H, &[0]);
+        s.apply_gate(&GateKind::H, &[1]);
+        s.apply_phase_if(C64::real(-1.0), |b| b == 0b11);
+        assert!(s.amplitudes()[3].re < 0.0);
+        assert!(s.amplitudes()[0].re > 0.0);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_1q_matches_cnot() {
+        let x = match GateKind::X.unitary() {
+            cqasm::GateUnitary::One(m) => m,
+            _ => unreachable!(),
+        };
+        for basis in 0..4u64 {
+            let mut a = StateVector::basis_state(2, basis);
+            let mut b = a.clone();
+            a.apply_gate(&GateKind::Cnot, &[0, 1]);
+            b.apply_controlled_1q(&x, &[0], 1);
+            assert!((a.fidelity(&b) - 1.0).abs() < 1e-12, "basis {basis}");
+        }
+    }
+
+    #[test]
+    fn from_amplitudes_normalises() {
+        let s = StateVector::from_amplitudes(vec![C64::real(3.0), C64::real(4.0)]);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+        assert!((s.probability_of(0) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_amplitudes_rejects_bad_length() {
+        let _ = StateVector::from_amplitudes(vec![C64::ONE; 3]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # qca — full-stack quantum accelerator (workspace facade)
+//!
+//! Reproduction of Bertels et al., *"Quantum Computer Architecture:
+//! Towards Full-Stack Quantum Accelerators"* (DATE 2020). This facade
+//! crate re-exports every layer of the stack and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with [`qca_core::FullStack`] for the architecture, or see:
+//!
+//! - [`openql`] — quantum kernels and the compiler;
+//! - [`cqasm`] — the common assembly language;
+//! - [`eqasm`] — the executable ISA and micro-architecture;
+//! - [`qxsim`] — the QX simulator (perfect/realistic/real qubits);
+//! - [`qec`] — error-correction substrate;
+//! - [`annealer`] — QUBO/Ising and annealing hardware models;
+//! - [`qgs`] — the quantum genome-sequencing accelerator;
+//! - [`optim`] — the quantum optimisation accelerator.
+
+pub use annealer;
+pub use cqasm;
+pub use eqasm;
+pub use openql;
+pub use optim;
+pub use qca_core;
+pub use qec;
+pub use qgs;
+pub use qxsim;

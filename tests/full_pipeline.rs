@@ -1,0 +1,152 @@
+//! Integration tests spanning the whole gate-model stack:
+//! OpenQL → compiler → cQASM → {QX, eQASM → micro-architecture → QX}.
+
+use eqasm::{MicroArchitecture, QxDevice, translate};
+use openql::{Compiler, Kernel, Platform, QuantumProgram};
+use qca_core::{ExecutionBackend, FullStack, QubitKind};
+use qxsim::Simulator;
+
+fn ghz(n: usize) -> QuantumProgram {
+    let mut k = Kernel::new("ghz", n);
+    k.h(0);
+    for q in 0..n - 1 {
+        k.cnot(q, q + 1);
+    }
+    k.measure_all();
+    let mut p = QuantumProgram::new("ghz", n);
+    p.add_kernel(k);
+    p
+}
+
+/// Decodes a physical histogram key back to logical bits via the final
+/// mapping.
+fn decode(bits: u64, mapping: &openql::Mapping, n: usize) -> u64 {
+    let mut logical = 0u64;
+    for l in 0..n {
+        if (bits >> mapping.physical(l)) & 1 == 1 {
+            logical |= 1 << l;
+        }
+    }
+    logical
+}
+
+#[test]
+fn simulator_and_microarchitecture_agree_on_ghz_support() {
+    let program = ghz(4);
+    // Path A: QX directly.
+    let sim_run = FullStack::superconducting(2, 2)
+        .with_qubits(QubitKind::Perfect)
+        .with_backend(ExecutionBackend::QxSimulator)
+        .execute(&program, 300)
+        .unwrap();
+    // Path B: eQASM micro-architecture.
+    let arch_run = FullStack::superconducting(2, 2)
+        .with_qubits(QubitKind::Perfect)
+        .execute(&program, 300)
+        .unwrap();
+    for run in [&sim_run, &arch_run] {
+        let mapping = run.final_mapping.as_ref().expect("routed");
+        for (bits, count) in run.histogram.iter() {
+            let logical = decode(bits, mapping, 4);
+            assert!(
+                logical == 0b0000 || logical == 0b1111,
+                "non-GHZ outcome {logical:04b} x{count}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compiled_program_equals_source_program_statistics() {
+    // Compile for the perfect platform and check the output distribution
+    // matches the uncompiled program's.
+    let program = ghz(3).to_cqasm();
+    let compiled = Compiler::new(Platform::perfect(3))
+        .compile_cqasm(&program)
+        .unwrap();
+    let sim = Simulator::perfect().with_seed(11);
+    let h_raw = sim.run_shots(&program, 600).unwrap();
+    let h_compiled = sim.run_shots(&compiled.program, 600).unwrap();
+    for bits in [0b000u64, 0b111] {
+        let a = h_raw.probability(bits);
+        let b = h_compiled.probability(bits);
+        assert!((a - b).abs() < 0.08, "P({bits:03b}): raw {a} vs compiled {b}");
+    }
+    assert_eq!(h_compiled.count(0b010), 0);
+}
+
+#[test]
+fn manual_pipeline_matches_fullstack_wrapper() {
+    // Drive every layer by hand and compare with the FullStack facade.
+    let program = ghz(2);
+    let platform = Platform::superconducting_grid(1, 2);
+    let compiled = Compiler::new(platform).compile(&program).unwrap();
+    let eq = translate(&compiled.schedule).unwrap();
+    let arch = MicroArchitecture::superconducting();
+    let mut ok = 0;
+    for seed in 0..50u64 {
+        let mut device = QxDevice::with_model(2, qxsim::QubitModel::Perfect, seed);
+        let trace = arch.execute(&eq, &mut device).unwrap();
+        let b0 = trace.bit(0);
+        let b1 = trace.bit(1);
+        assert_eq!(b0, b1, "Bell correlation broken");
+        if b0 {
+            ok += 1;
+        }
+    }
+    assert!(ok > 5 && ok < 45, "both branches should occur, got {ok}/50");
+}
+
+#[test]
+fn deep_circuit_through_constrained_topology() {
+    // A Toffoli-containing circuit on a linear topology exercises
+    // decomposition + routing + scheduling together.
+    let mut k = Kernel::new("deep", 3);
+    k.h(0).toffoli(0, 1, 2).cnot(0, 2).h(2).measure_all();
+    let mut p = QuantumProgram::new("deep", 3);
+    p.add_kernel(k);
+    let run = FullStack::semiconducting(3)
+        .with_qubits(QubitKind::Perfect)
+        .execute(&p, 100)
+        .unwrap();
+    assert!(run.compile.output_stats.multi_qubit_gates == 0);
+    assert!(run.histogram.shots() == 100);
+    assert!(run.shot_time_ns.unwrap() > 0);
+}
+
+#[test]
+fn cqasm_text_is_the_exchange_format() {
+    // The compiled program can round-trip through its textual form and
+    // still execute identically — cQASM as the "shared quantum assembly
+    // language" of §2.4.
+    let compiled = Compiler::new(Platform::superconducting_grid(1, 2))
+        .compile(&ghz(2))
+        .unwrap();
+    let text = compiled.program.to_string();
+    let reparsed = cqasm::Program::parse(&text).expect("emitted cQASM parses");
+    assert_eq!(compiled.program, reparsed);
+    let h = Simulator::perfect().run_shots(&reparsed, 100).unwrap();
+    assert_eq!(h.shots(), 100);
+}
+
+#[test]
+fn conditional_feedback_through_microarchitecture() {
+    // Measure-and-feedback: H, measure, conditionally flip the second
+    // qubit — the run-time branch path (FMR/CMP/BR) of the eQASM machine.
+    let mut k = Kernel::new("feedback", 2);
+    k.h(0).measure(0).cond_gate(0, cqasm::GateKind::X, &[1]).measure(1);
+    let mut p = QuantumProgram::new("feedback", 2);
+    p.add_kernel(k);
+    let run = FullStack::superconducting(1, 2)
+        .with_qubits(QubitKind::Perfect)
+        .execute(&p, 200)
+        .unwrap();
+    for (bits, count) in run.histogram.iter() {
+        assert_eq!(
+            bits & 1,
+            (bits >> 1) & 1,
+            "feedback must copy the bit ({bits:02b} x{count})"
+        );
+    }
+    assert!(run.histogram.distinct() == 2, "both branches must occur");
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the genome-sequencing accelerator: artificial
+//! DNA → reads → quantum aligner, validated against the classical
+//! baseline across error regimes.
+
+use qgs::aligner::QuantumAligner;
+use qgs::classical::{best_hamming_search, exact_search};
+use qgs::dna::{MarkovModel, Sequence};
+use qgs::grover::{grover_search, optimal_iterations};
+use qgs::reads::ReadGenerator;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+#[test]
+fn error_free_alignment_is_always_classically_confirmed() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let reference = MarkovModel::uniform(1).generate(48, &mut rng);
+    let aligner = QuantumAligner::new(reference.clone(), 5);
+    let generator = ReadGenerator::new(5, 0.0);
+    for _ in 0..25 {
+        let read = generator.sample(&reference, &mut rng);
+        let q = aligner.align(&read.bases, 0);
+        let c = exact_search(&reference, &read.bases);
+        assert!(
+            c.positions.contains(&q.position),
+            "quantum position {} not among exact hits {:?}",
+            q.position,
+            c.positions
+        );
+        assert!(q.success_probability > 0.85);
+    }
+}
+
+#[test]
+fn noisy_reads_align_with_tolerance_matching_classical_best() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let reference = MarkovModel::uniform(1).generate(40, &mut rng);
+    let aligner = QuantumAligner::new(reference.clone(), 6);
+    let generator = ReadGenerator::new(6, 0.08);
+    let mut aligned = 0;
+    let mut total = 0;
+    for _ in 0..20 {
+        let read = generator.sample(&reference, &mut rng);
+        let c = best_hamming_search(&reference, &read.bases);
+        let q = aligner.align(&read.bases, c.distance);
+        total += 1;
+        if c.positions.contains(&q.position) {
+            aligned += 1;
+        }
+    }
+    // The oracle marks all positions at the best distance; the recalled
+    // index must be one of them in the vast majority of trials.
+    assert!(aligned >= total - 1, "aligned {aligned}/{total}");
+}
+
+#[test]
+fn tolerance_gate_controls_recall() {
+    // A read with exactly one error: strict alignment misses or mismatches,
+    // tolerant alignment recovers the position.
+    let reference = Sequence::parse("ACGTGGCAATTCCGATTGCA").unwrap();
+    let aligner = QuantumAligner::new(reference.clone(), 6);
+    let clean = reference.subsequence(8, 6); // "TTCCGA"
+    let mut corrupted: Vec<qgs::Base> = clean.bases().to_vec();
+    corrupted[0] = qgs::Base::G;
+    let corrupted: Sequence = corrupted.into_iter().collect();
+    let strict = aligner.align(&corrupted, 0);
+    let lax = aligner.align(&corrupted, 1);
+    assert_eq!(strict.matches, 0, "no exact entry should match");
+    assert_eq!(lax.position, 8);
+    assert!(lax.matches >= 1);
+}
+
+#[test]
+fn grover_beats_classical_query_count_at_scale() {
+    // Quantum queries ~ pi/4 sqrt(N); classical expected scan ~ N/2.
+    for n_bits in [6usize, 10, 14] {
+        let n = 1u64 << n_bits;
+        let grover_queries = optimal_iterations(n_bits, 1) as f64;
+        let classical_expected = n as f64 / 2.0;
+        assert!(
+            grover_queries < classical_expected / 2.0,
+            "n=2^{n_bits}: {grover_queries} vs {classical_expected}"
+        );
+    }
+    // And the search actually works at 12 qubits.
+    let r = grover_search(12, |x| x == 1234, optimal_iterations(12, 1));
+    assert!(r.success_probability > 0.95);
+}
+
+#[test]
+fn markov_reference_statistics_survive_the_pipeline() {
+    // The artificial-DNA prescription: generated references must keep the
+    // template's entropy class even after slicing into k-mers.
+    let mut rng = StdRng::seed_from_u64(102);
+    let reference = MarkovModel::uniform(2).generate(64, &mut rng);
+    assert!(reference.base_entropy() > 1.7, "near-maximal entropy source");
+    let aligner = QuantumAligner::new(reference.clone(), 4);
+    assert_eq!(aligner.entry_count(), 61);
+    // Database qubits: index (6 bits for 61 entries) + 8 data bits.
+    assert_eq!(aligner.qubit_count(), 14);
+}

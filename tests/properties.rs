@@ -1,0 +1,189 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary generated inputs.
+
+use annealer::{Qubo, bits_to_spins};
+use cqasm::{GateKind, Instruction, Program};
+use openql::{Compiler, Platform, ScheduleDirection, schedule};
+use proptest::prelude::*;
+use qxsim::StateVector;
+
+const QUBITS: usize = 4;
+
+fn arb_unitary_instr() -> impl Strategy<Value = Instruction> {
+    let one = prop_oneof![
+        Just(GateKind::H),
+        Just(GateKind::X),
+        Just(GateKind::Y),
+        Just(GateKind::Z),
+        Just(GateKind::S),
+        Just(GateKind::Sdag),
+        Just(GateKind::T),
+        Just(GateKind::Tdag),
+        (-8i32..8).prop_map(|k| GateKind::Rz(k as f64 * 0.3)),
+        (-8i32..8).prop_map(|k| GateKind::Rx(k as f64 * 0.3)),
+    ];
+    prop_oneof![
+        4 => (one, 0..QUBITS).prop_map(|(g, q)| Instruction::gate(g, &[q])),
+        2 => (0..QUBITS, 0..QUBITS - 1).prop_map(|(a, off)| {
+            let b = (a + 1 + off) % QUBITS;
+            Instruction::gate(GateKind::Cnot, &[a, b])
+        }),
+        1 => (0..QUBITS, 0..QUBITS - 1).prop_map(|(a, off)| {
+            let b = (a + 1 + off) % QUBITS;
+            Instruction::gate(GateKind::Cz, &[a, b])
+        }),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_unitary_instr(), 1..25).prop_map(|instrs| {
+        let mut b = Program::builder(QUBITS).subcircuit("random");
+        for i in instrs {
+            b = b.instruction(i);
+        }
+        b.build()
+    })
+}
+
+fn run_unitaries(p: &Program) -> StateVector {
+    let mut s = StateVector::zero_state(QUBITS);
+    fn apply(ins: &Instruction, s: &mut StateVector) {
+        match ins {
+            Instruction::Gate(g) => {
+                let idx: Vec<usize> = g.qubits.iter().map(|q| q.index()).collect();
+                s.apply_gate(&g.kind, &idx);
+            }
+            Instruction::Bundle(v) => v.iter().for_each(|i| apply(i, s)),
+            _ => {}
+        }
+    }
+    for ins in p.flat_instructions() {
+        apply(ins, &mut s);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compiling for the perfect platform never changes circuit semantics.
+    #[test]
+    fn compilation_preserves_semantics(p in arb_circuit()) {
+        let out = Compiler::new(Platform::perfect(QUBITS))
+            .compile_cqasm(&p)
+            .expect("compiles");
+        let a = run_unitaries(&p);
+        let b = run_unitaries(&out.program);
+        let f = a.fidelity(&b);
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {f}");
+    }
+
+    /// Scheduling never double-books a qubit within one cycle and
+    /// preserves per-qubit instruction order.
+    #[test]
+    fn schedule_is_conflict_free(p in arb_circuit()) {
+        let plat = Platform::perfect(QUBITS);
+        let s = schedule(&p, &plat, ScheduleDirection::Asap);
+        let mut busy: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+        for item in s.items() {
+            let qs: Vec<usize> = item.instruction.qubits().iter().map(|q| q.index()).collect();
+            let slot = busy.entry(item.start).or_default();
+            for q in qs {
+                prop_assert!(!slot.contains(&q), "qubit {q} double-booked");
+                slot.push(q);
+            }
+        }
+        // ALAP has the same latency.
+        let alap = schedule(&p, &plat, ScheduleDirection::Alap);
+        prop_assert_eq!(s.latency(), alap.latency());
+    }
+
+    /// The simulator conserves probability for any circuit.
+    #[test]
+    fn simulation_preserves_norm(p in arb_circuit()) {
+        let s = run_unitaries(&p);
+        prop_assert!((s.norm() - 1.0).abs() < 1e-8);
+    }
+
+    /// QUBO -> Ising conversion preserves energies on every assignment.
+    #[test]
+    fn qubo_ising_isomorphism(
+        entries in proptest::collection::vec(
+            (0usize..5, 0usize..5, -3i32..=3), 0..12)
+    ) {
+        let mut q = Qubo::new(5);
+        for (i, j, w) in entries {
+            q.add(i, j, w as f64 * 0.5);
+        }
+        let (ising, offset) = q.to_ising();
+        for bits in 0..32u64 {
+            let x: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+            let s = bits_to_spins(&x);
+            let eq = q.energy(&x);
+            let ei = ising.energy(&s) + offset;
+            prop_assert!((eq - ei).abs() < 1e-9, "x={x:?}: {eq} vs {ei}");
+        }
+    }
+
+    /// Routing on a line keeps all two-qubit gates nearest-neighbour and
+    /// preserves semantics modulo the final permutation.
+    #[test]
+    fn routing_invariants(p in arb_circuit()) {
+        let topo = openql::Topology::linear(QUBITS);
+        let res = openql::route(&p, &topo, openql::InitialPlacement::Identity)
+            .expect("routable");
+        for ins in res.program.flat_instructions() {
+            if let Instruction::Gate(g) = ins {
+                if g.qubits.len() == 2 {
+                    prop_assert!(topo.are_adjacent(g.qubits[0].index(), g.qubits[1].index()));
+                }
+            }
+        }
+        // Permutation-adjusted equivalence.
+        let original = run_unitaries(&p);
+        let routed = run_unitaries(&res.program);
+        let mut amps = vec![cqasm::math::C64::ZERO; 1 << QUBITS];
+        for (y, a) in routed.amplitudes().iter().enumerate() {
+            let mut x = 0usize;
+            for l in 0..QUBITS {
+                if (y >> res.final_mapping.physical(l)) & 1 == 1 {
+                    x |= 1 << l;
+                }
+            }
+            amps[x] = *a;
+        }
+        let unrouted = StateVector::from_amplitudes(amps);
+        let f = original.fidelity(&unrouted);
+        prop_assert!((f - 1.0).abs() < 1e-8, "fidelity {f}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The eQASM micro-architecture and the QX simulator implement the
+    /// same semantics: for any measurement-free circuit compiled to the
+    /// superconducting platform, the device state after micro-architecture
+    /// execution matches direct simulation (modulo the routing
+    /// permutation).
+    #[test]
+    fn microarchitecture_matches_simulator(p in arb_circuit()) {
+        use eqasm::{MicroArchitecture, QuantumDevice, QxDevice, translate};
+        let platform = Platform::superconducting_grid(2, 2);
+        let out = Compiler::new(platform).compile_cqasm(&p).expect("compiles");
+        // Path A: simulator on the compiled program.
+        let sim_state = {
+            let r = qxsim::Simulator::perfect().run_once(&out.program).expect("runs");
+            r.state
+        };
+        // Path B: eQASM through the micro-architecture.
+        let eq = translate(&out.schedule).expect("translates");
+        let mut device = QxDevice::perfect(out.program.qubit_count());
+        MicroArchitecture::superconducting()
+            .execute(&eq, &mut device)
+            .expect("executes");
+        let f = sim_state.fidelity(device.state());
+        prop_assert!((f - 1.0).abs() < 1e-8, "paths diverged: fidelity {f}");
+        let _ = device.qubit_count();
+    }
+}

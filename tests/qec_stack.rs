@@ -1,0 +1,137 @@
+//! Integration tests for the QEC substrate against the rest of the stack:
+//! ESM circuits compiled and simulated, tableau vs state-vector
+//! cross-validation, and logical-rate ordering.
+
+use qec::esm::{esm_program, z_syndrome_bits};
+use qec::monte::{NoiseKind, code_logical_error_rate, surface_logical_error_rate};
+use qec::{PauliError, StabilizerCode, Tableau};
+use qxsim::{Simulator, StateVector};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+#[test]
+fn esm_circuit_survives_the_openql_compiler() {
+    // Compile the Steane ESM round for a constrained platform and check
+    // the syndrome of a clean state stays trivial end to end.
+    let code = StabilizerCode::repetition(3);
+    let (esm, layout) = esm_program(&code, 1);
+    let platform = openql::Platform::superconducting_grid(2, 3);
+    let compiled = openql::Compiler::new(platform)
+        .compile_cqasm(&esm)
+        .expect("ESM compiles");
+    let run = Simulator::perfect().run_once(&compiled.program).unwrap();
+    // Decode ancilla bits through the final mapping.
+    let mapping = compiled.final_mapping.expect("routed");
+    let mut logical_bits = 0u64;
+    for l in 0..layout.total() {
+        if (run.bits >> mapping.physical(l)) & 1 == 1 {
+            logical_bits |= 1 << l;
+        }
+    }
+    assert_eq!(
+        z_syndrome_bits(&layout, logical_bits),
+        vec![false, false],
+        "clean state must have trivial syndrome after compilation"
+    );
+}
+
+#[test]
+fn tableau_and_statevector_agree_on_esm_outcomes() {
+    // Run the repetition-3 ESM with an injected X error on both engines.
+    let code = StabilizerCode::repetition(3);
+    for err_q in 0..3usize {
+        // Tableau route.
+        let mut t = Tableau::zero_state(5);
+        t.x_gate(err_q);
+        // Z0Z1 check with ancilla 3, Z1Z2 with ancilla 4.
+        t.cnot(0, 3);
+        t.cnot(1, 3);
+        t.cnot(1, 4);
+        t.cnot(2, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s_tab = [t.measure(3, &mut rng), t.measure(4, &mut rng)];
+
+        // State-vector route via the ESM program.
+        let (esm, layout) = esm_program(&code, 1);
+        let mut program = cqasm::Program::new(layout.total());
+        let mut inject = cqasm::Subcircuit::new("inject");
+        inject.push(cqasm::Instruction::gate(cqasm::GateKind::X, &[err_q]));
+        program.push_subcircuit(inject);
+        for s in esm.subcircuits() {
+            program.push_subcircuit(s.clone());
+        }
+        let run = Simulator::perfect().run_once(&program).unwrap();
+        let s_sv = z_syndrome_bits(&layout, run.bits);
+        assert_eq!(s_sv, s_tab.to_vec(), "engines disagree for X{err_q}");
+    }
+}
+
+#[test]
+fn logical_rates_follow_the_textbook_ordering() {
+    let p = 0.01;
+    let trials = 20_000;
+    let rep3 = code_logical_error_rate(
+        &StabilizerCode::repetition(3),
+        p,
+        NoiseKind::BitFlip,
+        trials,
+        7,
+    );
+    let rep5 = code_logical_error_rate(
+        &StabilizerCode::repetition(5),
+        p,
+        NoiseKind::BitFlip,
+        trials,
+        7,
+    );
+    // Higher distance suppresses more (p^2 vs p^3 regime).
+    assert!(rep5 < rep3, "rep5 {rep5} >= rep3 {rep3}");
+    assert!(rep3 < p, "encoding must beat the bare qubit at p = {p}");
+    // Surface code d=5 below threshold also beats d=3.
+    let s3 = surface_logical_error_rate(3, p, 5_000, 7);
+    let s5 = surface_logical_error_rate(5, p, 5_000, 7);
+    assert!(s5 <= s3, "surface d5 {s5} > d3 {s3}");
+}
+
+#[test]
+fn steane_corrects_what_the_simulator_breaks() {
+    // Inject depolarizing errors on a Pauli frame, decode, and confirm
+    // failure only beyond the code distance.
+    let code = StabilizerCode::steane();
+    let decoder = qec::LookupDecoder::for_code(&code);
+    // All weight-1 errors are corrected (distance 3).
+    for q in 0..7 {
+        for (x, z) in [(true, false), (false, true), (true, true)] {
+            let mut e = PauliError::identity(7);
+            e.x[q] = x;
+            e.z[q] = z;
+            let mut residual = e.clone();
+            residual.compose(&decoder.decode(&code.syndrome(&e)));
+            assert!(!code.is_logical_error(&residual));
+        }
+    }
+}
+
+#[test]
+fn tableau_matches_statevector_on_stabilizer_circuit_probabilities() {
+    // A GHZ-like circuit checked on both engines, qubit by qubit.
+    let n = 5;
+    let mut t = Tableau::zero_state(n);
+    let mut s = StateVector::zero_state(n);
+    t.h(0);
+    s.apply_gate(&cqasm::GateKind::H, &[0]);
+    for q in 0..n - 1 {
+        t.cnot(q, q + 1);
+        s.apply_gate(&cqasm::GateKind::Cnot, &[q, q + 1]);
+    }
+    t.s(2);
+    s.apply_gate(&cqasm::GateKind::S, &[2]);
+    t.h(2);
+    s.apply_gate(&cqasm::GateKind::H, &[2]);
+    for q in 0..n {
+        assert!(
+            (t.probability_one(q) - s.probability_one(q)).abs() < 1e-9,
+            "qubit {q}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Quantum teleportation through the full stack: the canonical protocol
+//! exercising entanglement, mid-circuit measurement and classically
+//! conditioned corrections (the FMR/CMP/BR feedback path of the eQASM
+//! machine) in one program.
+
+use cqasm::GateKind;
+use openql::{Kernel, QuantumProgram};
+use qca_core::{ExecutionBackend, FullStack, QubitKind};
+
+/// Builds teleportation of the state `Ry(theta)|0>` from qubit 0 to
+/// qubit 2, ending with a measurement of qubit 2 only.
+fn teleport_program(theta: f64) -> QuantumProgram {
+    let mut k = Kernel::new("teleport", 3);
+    // Message state on q0.
+    k.ry(0, theta);
+    // Bell pair between q1 (Alice) and q2 (Bob).
+    k.h(1).cnot(1, 2);
+    // Bell measurement of q0, q1.
+    k.cnot(0, 1).h(0);
+    k.measure(0).measure(1);
+    // Bob's corrections conditioned on the two classical bits.
+    k.cond_gate(1, GateKind::X, &[2]);
+    k.cond_gate(0, GateKind::Z, &[2]);
+    // Verify: rotate back and measure; ideal outcome is always 0.
+    k.ry(2, -theta);
+    k.measure(2);
+    let mut p = QuantumProgram::new("teleport", 3);
+    p.add_kernel(k);
+    p
+}
+
+fn success_rate(run: &qca_core::StackRun, bob_bit: usize) -> f64 {
+    let mut ok = 0;
+    for (bits, count) in run.histogram.iter() {
+        if (bits >> bob_bit) & 1 == 0 {
+            ok += count;
+        }
+    }
+    ok as f64 / run.histogram.shots() as f64
+}
+
+#[test]
+fn teleportation_on_the_simulator_backend() {
+    for theta in [0.0f64, 0.7, 1.9, std::f64::consts::PI] {
+        let run = FullStack::perfect(3)
+            .execute(&teleport_program(theta), 300)
+            .unwrap();
+        assert_eq!(
+            success_rate(&run, 2),
+            1.0,
+            "teleportation failed for theta = {theta}"
+        );
+    }
+}
+
+#[test]
+fn all_four_measurement_branches_occur() {
+    let run = FullStack::perfect(3)
+        .execute(&teleport_program(1.2), 600)
+        .unwrap();
+    let mut branches = std::collections::BTreeSet::new();
+    for (bits, _) in run.histogram.iter() {
+        branches.insert(bits & 0b11);
+    }
+    assert_eq!(branches.len(), 4, "Bell measurement must hit all branches");
+}
+
+#[test]
+fn teleportation_through_the_microarchitecture() {
+    // The conditional corrections compile to FMR/CMP/BR on the eQASM
+    // machine; a perfect-qubit run must still succeed every time.
+    let stack = FullStack::superconducting(1, 3)
+        .with_qubits(QubitKind::Perfect)
+        .with_backend(ExecutionBackend::MicroArchitecture);
+    let run = stack.execute(&teleport_program(0.9), 200).unwrap();
+    // Teleportation is placement-sensitive: find Bob's physical bit via
+    // the final mapping.
+    let mapping = run.final_mapping.as_ref().expect("routed");
+    let bob = mapping.physical(2);
+    assert_eq!(
+        success_rate(&run, bob),
+        1.0,
+        "microarchitecture run must teleport perfectly"
+    );
+    // The eQASM stream really contains the feedback instructions.
+    let text = run.eqasm.as_ref().expect("eqasm").to_string();
+    assert!(text.contains("fmr"), "feedback requires FMR");
+    assert!(text.contains("br eq"), "feedback requires a branch");
+}
+
+#[test]
+fn noise_degrades_teleportation_gracefully() {
+    let perfect = FullStack::perfect(3)
+        .execute(&teleport_program(1.0), 400)
+        .unwrap();
+    let noisy = FullStack::perfect(3)
+        .with_qubits(QubitKind::Realistic {
+            p1: 0.02,
+            p2: 0.05,
+            readout: 0.02,
+        })
+        .execute(&teleport_program(1.0), 400)
+        .unwrap();
+    let p_ok = success_rate(&perfect, 2);
+    let n_ok = success_rate(&noisy, 2);
+    assert_eq!(p_ok, 1.0);
+    assert!(n_ok < 1.0, "noise must show up");
+    assert!(n_ok > 0.6, "but the protocol should mostly survive: {n_ok}");
+}
