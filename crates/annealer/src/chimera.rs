@@ -191,9 +191,9 @@ impl Embedding {
         // Every pair of chains has a coupler.
         for i in 0..self.chains.len() {
             for j in i + 1..self.chains.len() {
-                let coupled = self.chains[i].iter().any(|&a| {
-                    self.chains[j].iter().any(|&b| chimera.are_coupled(a, b))
-                });
+                let coupled = self.chains[i]
+                    .iter()
+                    .any(|&a| self.chains[j].iter().any(|&b| chimera.are_coupled(a, b)));
                 if !coupled {
                     return Err(EmbedError::MissingCoupler(i, j));
                 }

@@ -35,10 +35,12 @@ pub mod sa;
 pub mod sampler;
 pub mod sqa;
 
-pub use chimera::{Chimera, EmbedError, Embedding, EmbeddedProblem, clique_embedding, embed_ising, max_clique};
+pub use chimera::{
+    clique_embedding, embed_ising, max_clique, Chimera, EmbedError, EmbeddedProblem, Embedding,
+};
 pub use digital::DigitalAnnealer;
 pub use ising::Ising;
-pub use qubo::{Qubo, bits_to_spins, spins_to_bits};
+pub use qubo::{bits_to_spins, spins_to_bits, Qubo};
 pub use sa::SimulatedAnnealer;
 pub use sampler::{Sample, SampleSet, Sampler};
 pub use sqa::QuantumAnnealer;

@@ -127,9 +127,7 @@ mod tests {
                 }
             }
             let (_, exact) = m.brute_force_minimum();
-            let set = SimulatedAnnealer::new()
-                .with_seed(trial)
-                .sample(&m, 20);
+            let set = SimulatedAnnealer::new().with_seed(trial).sample(&m, 20);
             let found = set.lowest_energy().unwrap();
             assert!(
                 (found - exact).abs() < 1e-9,

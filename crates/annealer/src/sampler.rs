@@ -86,10 +86,8 @@ mod tests {
     fn sample_set_dedup_and_sort() {
         let mut m = Ising::new(2);
         m.add_coupling(0, 1, -1.0);
-        let set = SampleSet::from_reads(
-            &m,
-            vec![vec![1, -1], vec![1, 1], vec![1, 1], vec![-1, -1]],
-        );
+        let set =
+            SampleSet::from_reads(&m, vec![vec![1, -1], vec![1, 1], vec![1, 1], vec![-1, -1]]);
         assert_eq!(set.distinct(), 3);
         assert_eq!(set.total_reads(), 4);
         assert_eq!(set.lowest_energy(), Some(-1.0));

@@ -103,8 +103,7 @@ impl QuantumAnnealer {
                         // by beta_slice; plus inter-slice kinetic term.
                         let d_problem = ising.flip_delta(&replicas[k], i);
                         let s = replicas[k][i] as f64;
-                        let neighbours =
-                            replicas[up][i] as f64 + replicas[down][i] as f64;
+                        let neighbours = replicas[up][i] as f64 + replicas[down][i] as f64;
                         let d_kinetic = 2.0 * j_perp * s * neighbours;
                         let delta = beta_slice * d_problem + beta_slice * d_kinetic;
                         if delta <= 0.0 || rng.gen_bool((-delta).exp().min(1.0)) {
@@ -120,11 +119,8 @@ impl QuantumAnnealer {
                 // Global move: flip one spin across every slice at once
                 // (a "quantum" tunnelling move; costs no kinetic energy).
                 let i = rng.gen_range(0..n);
-                let d_total: f64 = replicas
-                    .iter()
-                    .map(|r| ising.flip_delta(r, i))
-                    .sum::<f64>()
-                    * beta_slice;
+                let d_total: f64 =
+                    replicas.iter().map(|r| ising.flip_delta(r, i)).sum::<f64>() * beta_slice;
                 if d_total <= 0.0 || rng.gen_bool((-d_total).exp().min(1.0)) {
                     for r in replicas.iter_mut() {
                         r[i] = -r[i];

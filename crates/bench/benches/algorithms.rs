@@ -2,13 +2,13 @@
 //! VQE energy evaluation, and QAOA layer application.
 
 use annealer::Ising;
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optim::qaoa::Qaoa;
 use optim::vqe::Vqe;
 use qca_core::shor::order_finding_measurement;
 use qxsim::{Pauli, PauliString, PauliSum};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_shor_order_finding(c: &mut Criterion) {
     let mut group = c.benchmark_group("shor_order_finding");

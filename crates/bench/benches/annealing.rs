@@ -1,8 +1,8 @@
 //! Criterion bench for the annealing substrate: SA and the digital
 //! annealer on dense problems, plus the Chimera embedding cost (E4).
 
-use annealer::{Chimera, DigitalAnnealer, Ising, Sampler, SimulatedAnnealer, clique_embedding};
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use annealer::{clique_embedding, Chimera, DigitalAnnealer, Ising, Sampler, SimulatedAnnealer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -1,7 +1,7 @@
 //! Criterion bench for the OpenQL pass pipeline: decomposition,
 //! optimisation, routing and scheduling on growing circuits.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use openql::{Compiler, Kernel, Platform, QuantumProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

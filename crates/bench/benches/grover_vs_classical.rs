@@ -3,12 +3,12 @@
 //! scans. The crossover in *queries* is quadratic even though the
 //! simulator itself is exponential.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qgs::classical::best_hamming_search;
 use qgs::dna::MarkovModel;
 use qgs::grover::{grover_search, optimal_iterations};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_grover(c: &mut Criterion) {
     let mut group = c.benchmark_group("grover_search");

@@ -1,8 +1,8 @@
 //! Criterion bench for E1's control path: eQASM translation and
 //! cycle-accurate micro-architecture execution throughput.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
-use eqasm::{MicroArchitecture, PulseOnlyDevice, translate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqasm::{translate, MicroArchitecture, PulseOnlyDevice};
 use openql::{Compiler, Kernel, Platform, QuantumProgram};
 
 fn rb_like(length: usize) -> QuantumProgram {

@@ -2,12 +2,12 @@
 //! point that "a very large graph needs to be processed and interpreted
 //! in real-time" makes decoder speed an architecture constraint.
 
-use criterion::{BenchmarkId, Criterion, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qec::decoder::decode_x_errors;
-use qec::monte::{NoiseKind, sample_error};
+use qec::monte::{sample_error, NoiseKind};
 use qec::{LookupDecoder, StabilizerCode, SurfaceCode, Tableau};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_surface_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("surface_decode_p02");

@@ -1,0 +1,122 @@
+//! Criterion benches for the QX gate kernels: specialised orbit-direct
+//! kernels vs the original scan-and-skip reference path, and the
+//! multi-shot sampling fast path vs full per-shot re-simulation.
+
+use cqasm::{GateKind, GateUnitary, Program};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use qxsim::state::reference;
+use qxsim::{Simulator, StateVector};
+
+fn random_state(n: usize) -> StateVector {
+    // A GHZ-like dense state; exact contents don't matter for timing.
+    let mut s = StateVector::zero_state(n);
+    for q in 0..n {
+        s.apply_gate(&GateKind::H, &[q]);
+        s.apply_gate(&GateKind::T, &[q]);
+    }
+    for q in 0..n - 1 {
+        s.apply_gate(&GateKind::Cnot, &[q, q + 1]);
+    }
+    s
+}
+
+fn bench_1q(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply_1q_h");
+    for n in [10usize, 16] {
+        let state = random_state(n);
+        let q = n / 2;
+        let m = match GateKind::H.unitary() {
+            GateUnitary::One(m) => m,
+            _ => unreachable!(),
+        };
+        g.throughput(Throughput::Elements(1 << n));
+        g.bench_with_input(BenchmarkId::new("orbit", n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| s.apply_1q(&m, q),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| reference::apply_1q(&mut s, &m, q),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_2q(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply_2q_cnot");
+    for n in [10usize, 16] {
+        let state = random_state(n);
+        let (hi, lo) = (n - 1, 1);
+        g.throughput(Throughput::Elements(1 << n));
+        g.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| s.apply_gate(&GateKind::Cnot, &[hi, lo]),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| reference::apply_gate(&mut s, &GateKind::Cnot, &[hi, lo]),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("apply_2q_generic");
+    for n in [10usize, 16] {
+        let state = random_state(n);
+        let (hi, lo) = (n - 1, 1);
+        let m = match GateKind::Cr(0.7).unitary() {
+            GateUnitary::Two(m) => m,
+            _ => unreachable!(),
+        };
+        g.throughput(Throughput::Elements(1 << n));
+        g.bench_with_input(BenchmarkId::new("orbit", n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| s.apply_2q(&m, hi, lo),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter_batched(
+                || state.clone(),
+                |mut s| reference::apply_2q(&mut s, &m, hi, lo),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let bell = Program::builder(2)
+        .gate(GateKind::H, &[0])
+        .gate(GateKind::Cnot, &[0, 1])
+        .measure_all()
+        .build();
+    let shots = 2000u64;
+    let mut g = c.benchmark_group("bell_2000_shots");
+    g.throughput(Throughput::Elements(shots));
+    let fast = Simulator::perfect();
+    let slow = Simulator::perfect().with_sampling_fast_path(false);
+    g.bench_function("fast_path", |b| {
+        b.iter(|| fast.run_shots(&bell, shots).unwrap())
+    });
+    g.bench_function("full_resim", |b| {
+        b.iter(|| slow.run_shots(&bell, shots).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_1q, bench_2q, bench_sampling);
+criterion_main!(benches);

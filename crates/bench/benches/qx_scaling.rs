@@ -2,7 +2,7 @@
 //! count (the exponential wall of the QX engine).
 
 use cqasm::GateKind;
-use criterion::{BenchmarkId, Criterion, Throughput, criterion_group, criterion_main};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qxsim::StateVector;
 
 fn ghz(n: usize) -> StateVector {

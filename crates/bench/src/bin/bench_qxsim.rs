@@ -1,0 +1,195 @@
+//! Acceptance benchmark for the fast-path QX engine. Measures gate
+//! throughput of the orbit-direct/specialised kernels against the original
+//! scan-and-skip reference kernels, and multi-shot sampling throughput of
+//! the terminal-sampling fast path against full per-shot re-simulation,
+//! then writes the numbers to `BENCH_qxsim.json`.
+//!
+//! Targets: ≥5x on 16-qubit 2-qubit gate application, ≥10x on noise-free
+//! 2000-shot Bell sampling.
+
+use cqasm::{GateKind, GateUnitary, Program};
+use qca_bench::{header, row};
+use qxsim::state::reference;
+use qxsim::{Simulator, StateVector};
+use std::time::Instant;
+
+/// Median-of-3 timing of `f`, each sample averaging `iters` calls.
+fn time<F: FnMut()>(mut f: F, iters: u32) -> f64 {
+    f(); // warm-up
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        *s = start.elapsed().as_secs_f64() / iters as f64;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[1]
+}
+
+fn iters_for(n: usize) -> u32 {
+    ((1u64 << 22) >> n).clamp(3, 1 << 12) as u32
+}
+
+fn dense_state(n: usize) -> StateVector {
+    let mut s = StateVector::zero_state(n);
+    for q in 0..n {
+        s.apply_gate(&GateKind::H, &[q]);
+        s.apply_gate(&GateKind::T, &[q]);
+    }
+    s
+}
+
+struct KernelRow {
+    n: usize,
+    gate: &'static str,
+    new_gps: f64,
+    ref_gps: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.new_gps / self.ref_gps
+    }
+}
+
+fn main() {
+    let sizes = [10usize, 16, 20];
+    let mut rows: Vec<KernelRow> = Vec::new();
+
+    println!("\n== QX kernel throughput (gates/sec, new vs reference) ==");
+    header(&["n", "gate", "new g/s", "ref g/s", "speedup"]);
+    for &n in &sizes {
+        let iters = iters_for(n);
+        let base = dense_state(n);
+        let q = n / 2;
+        let (hi, lo) = (n - 1, 1);
+
+        let h = match GateKind::H.unitary() {
+            GateUnitary::One(m) => m,
+            _ => unreachable!(),
+        };
+        let cr = match GateKind::Cr(0.7).unitary() {
+            GateUnitary::Two(m) => m,
+            _ => unreachable!(),
+        };
+
+        // 1q: orbit/pair enumeration vs the reference strided kernel.
+        let mut s = base.clone();
+        let t_new = time(|| s.apply_1q(&h, q), iters);
+        let mut s = base.clone();
+        let t_ref = time(|| reference::apply_1q(&mut s, &h, q), iters);
+        rows.push(KernelRow {
+            n,
+            gate: "h",
+            new_gps: 1.0 / t_new,
+            ref_gps: 1.0 / t_ref,
+        });
+
+        // 2q specialised: CNOT permutation kernel vs the scan-and-skip
+        // dense 4x4 path the seed executed for every 2q gate.
+        let mut s = base.clone();
+        let t_new = time(|| s.apply_gate(&GateKind::Cnot, &[hi, lo]), iters);
+        let mut s = base.clone();
+        let t_ref = time(
+            || reference::apply_gate(&mut s, &GateKind::Cnot, &[hi, lo]),
+            iters,
+        );
+        rows.push(KernelRow {
+            n,
+            gate: "cnot",
+            new_gps: 1.0 / t_new,
+            ref_gps: 1.0 / t_ref,
+        });
+
+        // 2q generic: orbit-direct dense 4x4 vs scan-and-skip dense 4x4.
+        let mut s = base.clone();
+        let t_new = time(|| s.apply_2q(&cr, hi, lo), iters);
+        let mut s = base.clone();
+        let t_ref = time(|| reference::apply_2q(&mut s, &cr, hi, lo), iters);
+        rows.push(KernelRow {
+            n,
+            gate: "cr(dense)",
+            new_gps: 1.0 / t_new,
+            ref_gps: 1.0 / t_ref,
+        });
+    }
+    for r in &rows {
+        row(&[
+            r.n.to_string(),
+            r.gate.to_string(),
+            format!("{:.3e}", r.new_gps),
+            format!("{:.3e}", r.ref_gps),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+
+    // Multi-shot sampling: terminal-sampling fast path vs full
+    // re-simulation of every shot (identical histograms by construction;
+    // asserted here as well).
+    let bell = Program::builder(2)
+        .gate(GateKind::H, &[0])
+        .gate(GateKind::Cnot, &[0, 1])
+        .measure_all()
+        .build();
+    let shots = 2000u64;
+    let fast_sim = Simulator::perfect().with_seed(7);
+    let slow_sim = fast_sim.clone().with_sampling_fast_path(false);
+    assert_eq!(
+        fast_sim.run_shots(&bell, shots).unwrap(),
+        slow_sim.run_shots(&bell, shots).unwrap(),
+        "fast path must be bit-identical to re-simulation"
+    );
+    let t_fast = time(|| drop(fast_sim.run_shots(&bell, shots).unwrap()), 20);
+    let t_slow = time(|| drop(slow_sim.run_shots(&bell, shots).unwrap()), 3);
+    let fast_sps = shots as f64 / t_fast;
+    let slow_sps = shots as f64 / t_slow;
+    let sampling_speedup = fast_sps / slow_sps;
+
+    println!("\n== Bell 2000-shot sampling (shots/sec) ==");
+    header(&["path", "shots/s", "speedup"]);
+    row(&[
+        "fast".into(),
+        format!("{fast_sps:.3e}"),
+        format!("{sampling_speedup:.1}x"),
+    ]);
+    row(&["full".into(), format!("{slow_sps:.3e}"), "1.0x".into()]);
+
+    let two_q_16 = rows
+        .iter()
+        .find(|r| r.n == 16 && r.gate == "cnot")
+        .map(|r| r.speedup())
+        .unwrap_or(0.0);
+    println!(
+        "\nAcceptance: 16-qubit 2q speedup {two_q_16:.2}x (target >= 5x), \
+         Bell sampling speedup {sampling_speedup:.1}x (target >= 10x)"
+    );
+
+    let mut json = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"gate\": \"{}\", \"new_gates_per_sec\": {:.1}, \
+             \"ref_gates_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.n,
+            r.gate,
+            r.new_gps,
+            r.ref_gps,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sampling\": {{\"program\": \"bell\", \"shots\": {shots}, \
+         \"fast_shots_per_sec\": {fast_sps:.1}, \"full_shots_per_sec\": {slow_sps:.1}, \
+         \"speedup\": {sampling_speedup:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"targets\": {{\"two_qubit_16q_speedup_min\": 5.0, \"two_qubit_16q_speedup\": {two_q_16:.3}, \
+         \"bell_sampling_speedup_min\": 10.0, \"bell_sampling_speedup\": {sampling_speedup:.3}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_qxsim.json", &json).expect("write BENCH_qxsim.json");
+    println!("\nWrote BENCH_qxsim.json");
+}

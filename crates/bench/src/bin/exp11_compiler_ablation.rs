@@ -165,7 +165,10 @@ fn main() {
     let mut prog = QuantumProgram::new("idle", 2);
     prog.add_kernel(k);
     header(&["schedule", "P(q0 still excited)"]);
-    for (name, dir) in [("asap", ScheduleDirection::Asap), ("alap", ScheduleDirection::Alap)] {
+    for (name, dir) in [
+        ("asap", ScheduleDirection::Asap),
+        ("alap", ScheduleDirection::Alap),
+    ] {
         let run = FullStack::perfect(2)
             .with_qubits(QubitKind::Real {
                 p1: 0.0,

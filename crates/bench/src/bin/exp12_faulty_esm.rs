@@ -3,8 +3,8 @@
 //! Logical error rate vs number of majority-voted ESM rounds.
 
 use qca_bench::{header, row, sci};
-use qec::StabilizerCode;
 use qec::faulty::faulty_logical_error_rate;
+use qec::StabilizerCode;
 
 fn main() {
     let trials = 25_000;
@@ -14,9 +14,19 @@ fn main() {
     for q in [0.0, 0.02, 0.05, 0.10, 0.20] {
         let r: Vec<String> = [1usize, 3, 5, 9]
             .iter()
-            .map(|&rounds| sci(faulty_logical_error_rate(&code, 0.01, q, rounds, trials, 12)))
+            .map(|&rounds| {
+                sci(faulty_logical_error_rate(
+                    &code, 0.01, q, rounds, trials, 12,
+                ))
+            })
             .collect();
-        row(&[sci(q), r[0].clone(), r[1].clone(), r[2].clone(), r[3].clone()]);
+        row(&[
+            sci(q),
+            r[0].clone(),
+            r[1].clone(),
+            r[2].clone(),
+            r[3].clone(),
+        ]);
     }
 
     println!("\n== E12b: Steane [[7,1,3]], p=0.005 ==");
@@ -25,7 +35,11 @@ fn main() {
     for q in [0.0, 0.05, 0.10] {
         let r: Vec<String> = [1usize, 3, 7]
             .iter()
-            .map(|&rounds| sci(faulty_logical_error_rate(&steane, 0.005, q, rounds, 10_000, 13)))
+            .map(|&rounds| {
+                sci(faulty_logical_error_rate(
+                    &steane, 0.005, q, rounds, 10_000, 13,
+                ))
+            })
             .collect();
         row(&[sci(q), r[0].clone(), r[1].clone(), r[2].clone()]);
     }

@@ -4,7 +4,7 @@
 //! annealer — on frustrated instances and on the TSP/Max-Cut workloads.
 
 use annealer::{DigitalAnnealer, Ising, QuantumAnnealer, Sampler, SimulatedAnnealer};
-use optim::{MaxCut, TspInstance, solve_tsp_with_sampler};
+use optim::{solve_tsp_with_sampler, MaxCut, TspInstance};
 use qca_bench::{f, header, row};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

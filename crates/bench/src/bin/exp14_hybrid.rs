@@ -60,7 +60,11 @@ fn main() {
     for layers in [1usize, 2, 3] {
         let vqe = Vqe::new(h2(), 2, layers);
         let r = vqe.minimize(200);
-        row(&[layers.to_string(), format!("{:.6}", r.energy), r.evaluations.to_string()]);
+        row(&[
+            layers.to_string(),
+            format!("{:.6}", r.energy),
+            r.evaluations.to_string(),
+        ]);
     }
     println!(
         "\nShape check: deeper circuits monotonically improve the variational\n\

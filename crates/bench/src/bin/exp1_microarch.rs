@@ -7,10 +7,10 @@
 //! curves per qubit model; the retargeting comparison.
 
 use qca_bench::{f, header, row};
-use qca_core::rb::{CliffordTable, single_qubit_rb, survival_probability, two_qubit_echo};
+use qca_core::rb::{single_qubit_rb, survival_probability, two_qubit_echo, CliffordTable};
 use qca_core::{FullStack, QubitKind};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let table = CliffordTable::single_qubit();
@@ -57,11 +57,7 @@ fn main() {
                 survivals[k] += survival_probability(&run.histogram);
             }
         }
-        row(&[
-            m.to_string(),
-            f(survivals[0] / 4.0),
-            f(survivals[1] / 4.0),
-        ]);
+        row(&[m.to_string(), f(survivals[0] / 4.0), f(survivals[1] / 4.0)]);
     }
 
     println!("\n== E1c: retargeting by configuration (same OpenQL program) ==");

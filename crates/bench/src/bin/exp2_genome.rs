@@ -7,8 +7,8 @@ use qgs::aligner::QuantumAligner;
 use qgs::classical::best_hamming_search;
 use qgs::dna::MarkovModel;
 use qgs::reads::ReadGenerator;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2);

@@ -2,10 +2,10 @@
 //! tour cost 1.42 — solved by every solver in the stack.
 
 use annealer::{DigitalAnnealer, SimulatedAnnealer};
-use optim::{TspInstance, TspQubo, solve_tsp_qaoa, solve_tsp_with_sampler};
+use optim::{solve_tsp_qaoa, solve_tsp_with_sampler, TspInstance, TspQubo};
 use qca_bench::{f, header, row};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let tsp = TspInstance::nl_four_cities();
@@ -15,7 +15,10 @@ fn main() {
     println!("QUBO variables (qubits): {} (paper: 16)", enc.variables());
 
     let (tour, optimal) = tsp.brute_force();
-    println!("exhaustive optimum: {:?} cost {:.2} (paper: 1.42)", tour, optimal);
+    println!(
+        "exhaustive optimum: {:?} cost {:.2} (paper: 1.42)",
+        tour, optimal
+    );
 
     header(&["solver", "cost", "gap", "feasible%", "notes"]);
     // Classical exact.
@@ -39,9 +42,27 @@ fn main() {
     let (_, two) = tsp.two_opt(&nn_tour);
     let mut rng = StdRng::seed_from_u64(3);
     let (_, mc) = tsp.monte_carlo(300, &mut rng);
-    row(&["nearest-nbr".to_owned(), f(nn), f(nn - optimal), "-".to_owned(), String::new()]);
-    row(&["2-opt".to_owned(), f(two), f(two - optimal), "-".to_owned(), String::new()]);
-    row(&["monte-carlo".to_owned(), f(mc), f(mc - optimal), "-".to_owned(), "300 samples".to_owned()]);
+    row(&[
+        "nearest-nbr".to_owned(),
+        f(nn),
+        f(nn - optimal),
+        "-".to_owned(),
+        String::new(),
+    ]);
+    row(&[
+        "2-opt".to_owned(),
+        f(two),
+        f(two - optimal),
+        "-".to_owned(),
+        String::new(),
+    ]);
+    row(&[
+        "monte-carlo".to_owned(),
+        f(mc),
+        f(mc - optimal),
+        "-".to_owned(),
+        "300 samples".to_owned(),
+    ]);
     // Annealing track.
     let sa = solve_tsp_with_sampler(&tsp, &SimulatedAnnealer::new(), 50).expect("feasible");
     row(&[

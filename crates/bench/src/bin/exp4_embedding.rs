@@ -7,11 +7,13 @@
 //! - Classical exact record: 85 900 cities (branch and bound).
 //! - Embedding also degrades solution quality (chain breaks).
 
-use annealer::{Chimera, Ising, SimulatedAnnealer, Sampler, clique_embedding, embed_ising, max_clique};
+use annealer::{
+    clique_embedding, embed_ising, max_clique, Chimera, Ising, Sampler, SimulatedAnnealer,
+};
 use optim::{TspInstance, TspQubo};
 use qca_bench::{f, header, row};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     println!("\n== E4a: platform capacity for N-city TSP (N^2 variables) ==");
@@ -26,7 +28,9 @@ fn main() {
     for n in [3usize, 4, 6, 8, 9, 10, 30, 90, 91] {
         let vars = n * n;
         let emb = clique_embedding(vars, &c16);
-        let chain = emb.as_ref().map_or("-".to_owned(), |e| e.max_chain_len().to_string());
+        let chain = emb
+            .as_ref()
+            .map_or("-".to_owned(), |e| e.max_chain_len().to_string());
         row(&[
             n.to_string(),
             vars.to_string(),
@@ -41,7 +45,14 @@ fn main() {
     );
 
     println!("\n== E4b: embedding overhead and solution quality ==");
-    header(&["logical n", "physical n", "overhead", "native E", "embedded E", "broken"]);
+    header(&[
+        "logical n",
+        "physical n",
+        "overhead",
+        "native E",
+        "embedded E",
+        "broken",
+    ]);
     let mut rng = StdRng::seed_from_u64(4);
     for n in [4usize, 6, 8] {
         use rand::Rng;
@@ -82,8 +93,7 @@ fn main() {
     let enc = TspQubo::encode(&tsp, TspQubo::default_penalty(&tsp));
     let (ising, _off) = enc.qubo.to_ising();
     let chimera = Chimera::new(3); // 9 vars need 4m >= 9 -> m = 3
-    let emb = embed_ising(&ising, &chimera, TspQubo::default_penalty(&tsp))
-        .expect("9 vars fit C3");
+    let emb = embed_ising(&ising, &chimera, TspQubo::default_penalty(&tsp)).expect("9 vars fit C3");
     let sa = SimulatedAnnealer::new().with_seed(9);
     let set = sa.sample(&emb.physical, 80);
     let mut best_cost = f64::INFINITY;

@@ -67,7 +67,10 @@ fn main() {
         ("depolarizing", ErrorChannel::Depolarizing { p: 1e-2 }),
         ("bit-flip", ErrorChannel::BitFlip { p: 1e-2 }),
         ("phase-flip", ErrorChannel::PhaseFlip { p: 1e-2 }),
-        ("amp-damping", ErrorChannel::AmplitudeDamping { gamma: 1e-2 }),
+        (
+            "amp-damping",
+            ErrorChannel::AmplitudeDamping { gamma: 1e-2 },
+        ),
     ];
     for (name, ch) in channels {
         let model = QubitModel::Realistic(RealisticParams {
@@ -79,7 +82,10 @@ fn main() {
         let hist = Simulator::with_model(model)
             .run_shots(&circuit, 4000)
             .unwrap();
-        row(&[name.to_owned(), format!("{:.4}", hist.probability(ideal_top))]);
+        row(&[
+            name.to_owned(),
+            format!("{:.4}", hist.probability(ideal_top)),
+        ]);
     }
 
     println!("\n== E6c: readout error isolated ==");

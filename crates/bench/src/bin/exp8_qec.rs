@@ -4,7 +4,7 @@
 //! fault tolerance.
 
 use qca_bench::{header, row, sci};
-use qec::monte::{NoiseKind, code_logical_error_rate, surface_logical_error_rate};
+use qec::monte::{code_logical_error_rate, surface_logical_error_rate, NoiseKind};
 use qec::{StabilizerCode, SurfaceCode};
 
 fn main() {
@@ -13,10 +13,26 @@ fn main() {
     for (name, data, anc) in [
         ("repetition-3", 3usize, 2usize),
         ("steane-[[7,1,3]]", 7, 6),
-        ("surface d=3", SurfaceCode::new(3).data_qubits(), SurfaceCode::new(3).ancilla_qubits()),
-        ("surface d=5", SurfaceCode::new(5).data_qubits(), SurfaceCode::new(5).ancilla_qubits()),
-        ("surface d=7", SurfaceCode::new(7).data_qubits(), SurfaceCode::new(7).ancilla_qubits()),
-        ("surface d=11", SurfaceCode::new(11).data_qubits(), SurfaceCode::new(11).ancilla_qubits()),
+        (
+            "surface d=3",
+            SurfaceCode::new(3).data_qubits(),
+            SurfaceCode::new(3).ancilla_qubits(),
+        ),
+        (
+            "surface d=5",
+            SurfaceCode::new(5).data_qubits(),
+            SurfaceCode::new(5).ancilla_qubits(),
+        ),
+        (
+            "surface d=7",
+            SurfaceCode::new(7).data_qubits(),
+            SurfaceCode::new(7).ancilla_qubits(),
+        ),
+        (
+            "surface d=11",
+            SurfaceCode::new(11).data_qubits(),
+            SurfaceCode::new(11).ancilla_qubits(),
+        ),
     ] {
         let total = data + anc;
         row(&[
@@ -33,9 +49,27 @@ fn main() {
     header(&["p", "bare", "rep-3 (X)", "rep-5 (X)", "steane (depol)"]);
     let trials = 40_000;
     for p in [1e-3, 3e-3, 1e-2, 3e-2, 1e-1] {
-        let r3 = code_logical_error_rate(&StabilizerCode::repetition(3), p, NoiseKind::BitFlip, trials, 8);
-        let r5 = code_logical_error_rate(&StabilizerCode::repetition(5), p, NoiseKind::BitFlip, trials, 8);
-        let st = code_logical_error_rate(&StabilizerCode::steane(), p, NoiseKind::Depolarizing, trials, 8);
+        let r3 = code_logical_error_rate(
+            &StabilizerCode::repetition(3),
+            p,
+            NoiseKind::BitFlip,
+            trials,
+            8,
+        );
+        let r5 = code_logical_error_rate(
+            &StabilizerCode::repetition(5),
+            p,
+            NoiseKind::BitFlip,
+            trials,
+            8,
+        );
+        let st = code_logical_error_rate(
+            &StabilizerCode::steane(),
+            p,
+            NoiseKind::Depolarizing,
+            trials,
+            8,
+        );
         row(&[sci(p), sci(p), sci(r3), sci(r5), sci(st)]);
     }
 

@@ -3,7 +3,7 @@
 //! study (quadratic kernel speedup vs per-query overhead).
 
 use qca_bench::{f, header, row};
-use qca_core::amdahl::{QuantumKernelCase, heterogeneous_speedup, speedup, speedup_limit};
+use qca_core::amdahl::{heterogeneous_speedup, speedup, speedup_limit, QuantumKernelCase};
 
 fn main() {
     println!("\n== E9a: speedup vs accelerated fraction and factor ==");

@@ -66,4 +66,4 @@ pub use accelerator::{
 };
 pub use qubits::QubitKind;
 pub use stack::{ExecutionBackend, FullStack, StackError, StackRun};
-pub use tomography::{BlochVector, tomography_qubit};
+pub use tomography::{tomography_qubit, BlochVector};

@@ -13,8 +13,8 @@
 //! Under noise, the survival probability (returning to `|0...0>`) decays
 //! with sequence length; the decay rate measures the average gate error.
 
-use cqasm::GateKind;
 use cqasm::math::Mat2;
+use cqasm::GateKind;
 use openql::{Kernel, QuantumProgram};
 use rand::Rng;
 
@@ -40,10 +40,7 @@ impl CliffordTable {
                     };
                     // Appending gate g to the circuit multiplies on the left.
                     let prod = gm.matmul(mat);
-                    if !elements
-                        .iter()
-                        .any(|(m, _)| m.approx_eq_up_to_phase(&prod))
-                    {
+                    if !elements.iter().any(|(m, _)| m.approx_eq_up_to_phase(&prod)) {
                         let mut s = seq.clone();
                         s.push(g);
                         elements.push((prod, s.clone()));
@@ -158,8 +155,8 @@ pub fn survival_probability(hist: &qxsim::ShotHistogram) -> f64 {
 mod tests {
     use super::*;
     use qxsim::{QubitModel, Simulator};
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn clifford_group_has_24_elements() {
@@ -173,10 +170,7 @@ mod tests {
         for i in 0..t.len() {
             let inv = t.inverse_of(t.unitary(i));
             let prod = t.unitary(inv).matmul(t.unitary(i));
-            assert!(
-                prod.approx_eq_up_to_phase(&Mat2::identity()),
-                "element {i}"
-            );
+            assert!(prod.approx_eq_up_to_phase(&Mat2::identity()), "element {i}");
         }
     }
 
@@ -186,9 +180,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(51);
         for length in [1usize, 5, 20] {
             let p = single_qubit_rb(&t, length, &mut rng);
-            let hist = Simulator::perfect()
-                .run_shots(&p.to_cqasm(), 100)
-                .unwrap();
+            let hist = Simulator::perfect().run_shots(&p.to_cqasm(), 100).unwrap();
             assert_eq!(
                 survival_probability(&hist),
                 1.0,
@@ -202,9 +194,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(52);
         for length in [1usize, 4, 10] {
             let p = two_qubit_echo(length, &mut rng);
-            let hist = Simulator::perfect()
-                .run_shots(&p.to_cqasm(), 100)
-                .unwrap();
+            let hist = Simulator::perfect().run_shots(&p.to_cqasm(), 100).unwrap();
             assert_eq!(survival_probability(&hist), 1.0, "length {length}");
         }
     }
@@ -213,8 +203,7 @@ mod tests {
     fn survival_decays_with_length_under_noise() {
         let t = CliffordTable::single_qubit();
         let mut rng = StdRng::seed_from_u64(53);
-        let noisy =
-            Simulator::with_model(QubitModel::realistic_depolarizing(0.02, 0.0, 0.0));
+        let noisy = Simulator::with_model(QubitModel::realistic_depolarizing(0.02, 0.0, 0.0));
         let mut survival = Vec::new();
         for length in [2usize, 16, 64] {
             // Average over several random sequences.

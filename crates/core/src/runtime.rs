@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn expectation_of_parity() {
-        let r = aggregate_expectation(&hist(), |b| if b.count_ones() % 2 == 0 { 1.0 } else { -1.0 });
+        let r = aggregate_expectation(
+            &hist(),
+            |b| if b.count_ones() % 2 == 0 { 1.0 } else { -1.0 },
+        );
         // Both outcomes have even parity.
         assert!((r.expectation - 1.0).abs() < 1e-12);
         assert!(r.standard_error < 1e-12);

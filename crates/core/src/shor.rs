@@ -80,12 +80,7 @@ pub fn convergents(y: u64, t_bits: u32, max_denominator: u64) -> Vec<(u64, u64)>
 ///
 /// Panics if the registers would exceed the simulable range or
 /// `gcd(a, n) != 1`.
-pub fn order_finding_measurement<R: Rng + ?Sized>(
-    a: u64,
-    n: u64,
-    t_bits: u32,
-    rng: &mut R,
-) -> u64 {
+pub fn order_finding_measurement<R: Rng + ?Sized>(a: u64, n: u64, t_bits: u32, rng: &mut R) -> u64 {
     assert!(gcd(a, n) == 1, "a and n must be coprime");
     let m = 64 - (n - 1).leading_zeros(); // work bits
     let total = m + t_bits;
@@ -222,8 +217,8 @@ fn order_factors(a: u64, b: u64) -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn gcd_and_mod_pow() {
@@ -288,9 +283,8 @@ mod tests {
     #[test]
     fn rejects_tiny_n() {
         let mut rng = StdRng::seed_from_u64(20);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            shor_factor(3, 1, &mut rng)
-        }));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| shor_factor(3, 1, &mut rng)));
         assert!(r.is_err());
     }
 }

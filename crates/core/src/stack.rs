@@ -10,9 +10,11 @@
 use crate::qubits::QubitKind;
 use cqasm::Program;
 use eqasm::{
-    EqasmProgram, ExecError, MicroArchitecture, PulseEvent, QxDevice, TranslateError, translate,
+    translate, EqasmProgram, ExecError, MicroArchitecture, PulseEvent, QxDevice, TranslateError,
 };
-use openql::{CompileError, CompileReport, Compiler, CompilerOptions, Mapping, Platform, QuantumProgram};
+use openql::{
+    CompileError, CompileReport, Compiler, CompilerOptions, Mapping, Platform, QuantumProgram,
+};
 use qxsim::{ExecuteError, ShotHistogram, Simulator};
 use std::error::Error as StdError;
 use std::fmt;

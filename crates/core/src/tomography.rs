@@ -90,9 +90,13 @@ mod tests {
 
     #[test]
     fn tomography_of_plus_state() {
-        let b = tomography_qubit(&stack(), &|k| {
-            k.h(0);
-        }, 3000)
+        let b = tomography_qubit(
+            &stack(),
+            &|k| {
+                k.h(0);
+            },
+            3000,
+        )
         .unwrap();
         assert!((b.x - 1.0).abs() < 0.02, "x {}", b.x);
         assert!(b.y.abs() < 0.05);
@@ -101,9 +105,13 @@ mod tests {
 
     #[test]
     fn tomography_of_y_eigenstate() {
-        let b = tomography_qubit(&stack(), &|k| {
-            k.h(0).s(0);
-        }, 3000)
+        let b = tomography_qubit(
+            &stack(),
+            &|k| {
+                k.h(0).s(0);
+            },
+            3000,
+        )
         .unwrap();
         assert!((b.y - 1.0).abs() < 0.02, "y {}", b.y);
         assert!((b.length() - 1.0).abs() < 0.05);
@@ -112,9 +120,13 @@ mod tests {
     #[test]
     fn tomography_of_rotated_state() {
         let theta = 0.8f64;
-        let b = tomography_qubit(&stack(), &|k| {
-            k.ry(0, theta);
-        }, 4000)
+        let b = tomography_qubit(
+            &stack(),
+            &|k| {
+                k.ry(0, theta);
+            },
+            4000,
+        )
         .unwrap();
         assert!((b.x - theta.sin()).abs() < 0.05, "x {}", b.x);
         assert!((b.z - theta.cos()).abs() < 0.05, "z {}", b.z);
@@ -132,13 +144,21 @@ mod tests {
         // Use a rotation preparation: the compiler cannot cancel it
         // against the tomography basis change, so every circuit carries
         // noisy gates.
-        let pure = tomography_qubit(&stack(), &|k| {
-            k.ry(0, 1.1);
-        }, 4000)
+        let pure = tomography_qubit(
+            &stack(),
+            &|k| {
+                k.ry(0, 1.1);
+            },
+            4000,
+        )
         .unwrap();
-        let mixed = tomography_qubit(&noisy, &|k| {
-            k.ry(0, 1.1);
-        }, 4000)
+        let mixed = tomography_qubit(
+            &noisy,
+            &|k| {
+                k.ry(0, 1.1);
+            },
+            4000,
+        )
         .unwrap();
         assert!(
             mixed.length() < pure.length() - 0.02,
@@ -150,9 +170,21 @@ mod tests {
 
     #[test]
     fn fidelity_between_estimates() {
-        let plus = BlochVector { x: 1.0, y: 0.0, z: 0.0 };
-        let minus = BlochVector { x: -1.0, y: 0.0, z: 0.0 };
-        let zero = BlochVector { x: 0.0, y: 0.0, z: 1.0 };
+        let plus = BlochVector {
+            x: 1.0,
+            y: 0.0,
+            z: 0.0,
+        };
+        let minus = BlochVector {
+            x: -1.0,
+            y: 0.0,
+            z: 0.0,
+        };
+        let zero = BlochVector {
+            x: 0.0,
+            y: 0.0,
+            z: 1.0,
+        };
         assert!((plus.fidelity(&plus) - 1.0).abs() < 1e-12);
         assert!(plus.fidelity(&minus).abs() < 1e-12);
         assert!((plus.fidelity(&zero) - 0.5).abs() < 1e-12);

@@ -5,7 +5,7 @@
 //! used by the eQASM backends (`x90`, `y90`, `mx90`, `my90`), parameterised
 //! rotations, and the standard two- and three-qubit entangling gates.
 
-use crate::math::{C64, Mat2, Mat4};
+use crate::math::{Mat2, Mat4, C64};
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2};
 use std::fmt;
 
@@ -72,6 +72,44 @@ pub enum GateUnitary {
     Two(Mat4),
     /// A doubly-controlled single-qubit unitary (applied to the last
     /// operand when both control operands are `|1>`).
+    ControlledControlled(Mat2),
+}
+
+/// Structural classification of a gate's unitary, used by simulators to
+/// dispatch to specialised kernels instead of generic matrix multiplication.
+///
+/// Each variant carries exactly the data the corresponding kernel needs:
+/// a diagonal gate is two complex multipliers, an anti-diagonal gate is a
+/// swap with two multipliers, CNOT/SWAP are pure index permutations, and
+/// CZ / controlled-phase touch only the `|11>` amplitudes. The `General*`
+/// variants fall back to full matrix application and keep the
+/// classification total over [`GateKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelClass {
+    /// The identity: no amplitude is touched.
+    Identity,
+    /// `diag(c0, c1)` on one qubit (Z, S, S†, T, T†, Rz).
+    Diagonal1q(C64, C64),
+    /// Anti-diagonal `[[0, c0], [c1, 0]]` on one qubit: the amplitude pair
+    /// swaps, picking up `c0` on the `|0>` row and `c1` on the `|1>` row
+    /// (X: `c0 = c1 = 1`; Y: `c0 = -i`, `c1 = i`).
+    AntiDiagonal1q(C64, C64),
+    /// Any other single-qubit unitary (H, X90, Rx, Ry, ...).
+    General1q(Mat2),
+    /// Controlled-NOT: swap the two target amplitudes where the control
+    /// bit is set.
+    Cnot,
+    /// Controlled-Z: negate the `|11>` amplitudes.
+    Cz,
+    /// SWAP: exchange the `|01>` and `|10>` amplitudes.
+    Swap,
+    /// Controlled phase: multiply the `|11>` amplitudes by the phase
+    /// (Cr and CRk).
+    ControlledPhase(C64),
+    /// Any other two-qubit unitary (none in the current library; kept so
+    /// the classification stays total if the gate set grows).
+    General2q(Mat4),
+    /// Doubly-controlled single-qubit unitary (Toffoli).
     ControlledControlled(Mat2),
 }
 
@@ -156,7 +194,10 @@ impl GateKind {
     /// Z basis; the optimiser exploits this.
     pub fn is_diagonal(&self) -> bool {
         use GateKind::*;
-        matches!(self, I | Z | S | Sdag | T | Tdag | Rz(_) | Cz | Cr(_) | CRk(_))
+        matches!(
+            self,
+            I | Z | S | Sdag | T | Tdag | Rz(_) | Cz | Cr(_) | CRk(_)
+        )
     }
 
     /// Whether the gate is a member of the Clifford group.
@@ -236,6 +277,40 @@ impl GateKind {
                 [C64::ZERO, C64::ONE],
                 [C64::ONE, C64::ZERO],
             ])),
+        }
+    }
+
+    /// Classifies the gate's unitary for kernel dispatch.
+    ///
+    /// The returned [`KernelClass`] is exactly equivalent to
+    /// [`GateKind::unitary`] — specialised variants are only emitted when
+    /// the structure is exact (no floating-point tolerance is involved), so
+    /// a simulator may apply either form interchangeably.
+    pub fn kernel(&self) -> KernelClass {
+        use GateKind::*;
+        match *self {
+            I => KernelClass::Identity,
+            X => KernelClass::AntiDiagonal1q(C64::ONE, C64::ONE),
+            Y => KernelClass::AntiDiagonal1q(-C64::I, C64::I),
+            Z => KernelClass::Diagonal1q(C64::ONE, -C64::ONE),
+            S => KernelClass::Diagonal1q(C64::ONE, C64::I),
+            Sdag => KernelClass::Diagonal1q(C64::ONE, -C64::I),
+            T => KernelClass::Diagonal1q(C64::ONE, C64::cis(std::f64::consts::FRAC_PI_4)),
+            Tdag => KernelClass::Diagonal1q(C64::ONE, C64::cis(-std::f64::consts::FRAC_PI_4)),
+            Rz(a) => KernelClass::Diagonal1q(C64::cis(-a / 2.0), C64::cis(a / 2.0)),
+            Cnot => KernelClass::Cnot,
+            Cz => KernelClass::Cz,
+            Swap => KernelClass::Swap,
+            Cr(a) => KernelClass::ControlledPhase(C64::cis(a)),
+            CRk(k) => {
+                let a = 2.0 * std::f64::consts::PI / (1u64 << k) as f64;
+                KernelClass::ControlledPhase(C64::cis(a))
+            }
+            _ => match self.unitary() {
+                GateUnitary::One(m) => KernelClass::General1q(m),
+                GateUnitary::Two(m) => KernelClass::General2q(m),
+                GateUnitary::ControlledControlled(m) => KernelClass::ControlledControlled(m),
+            },
         }
     }
 }
@@ -423,6 +498,84 @@ mod tests {
         assert!(GateKind::Rz(0.3).is_diagonal());
         assert!(GateKind::Cz.is_diagonal());
         assert!(!GateKind::Rx(0.3).is_diagonal());
+    }
+
+    #[test]
+    fn kernel_class_agrees_with_unitary() {
+        // Every specialised kernel class, reconstructed as a dense matrix,
+        // must equal the gate's unitary exactly (same constants, not just
+        // approximately).
+        let gates = [
+            GateKind::I,
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdag,
+            GateKind::T,
+            GateKind::Tdag,
+            GateKind::X90,
+            GateKind::Y90,
+            GateKind::Mx90,
+            GateKind::My90,
+            GateKind::Rx(0.37),
+            GateKind::Ry(1.2),
+            GateKind::Rz(-2.5),
+            GateKind::Cnot,
+            GateKind::Cz,
+            GateKind::Swap,
+            GateKind::Cr(0.7),
+            GateKind::CRk(3),
+            GateKind::Toffoli,
+        ];
+        for g in gates {
+            let dense = match g.kernel() {
+                KernelClass::Identity => GateUnitary::One(Mat2::identity()),
+                KernelClass::Diagonal1q(c0, c1) => {
+                    GateUnitary::One(Mat2([[c0, C64::ZERO], [C64::ZERO, c1]]))
+                }
+                KernelClass::AntiDiagonal1q(c0, c1) => {
+                    GateUnitary::One(Mat2([[C64::ZERO, c0], [c1, C64::ZERO]]))
+                }
+                KernelClass::General1q(m) => GateUnitary::One(m),
+                KernelClass::Cnot => GateKind::Cnot.unitary(),
+                KernelClass::Cz => GateKind::Cz.unitary(),
+                KernelClass::Swap => GateKind::Swap.unitary(),
+                KernelClass::ControlledPhase(p) => {
+                    let mut m = Mat4::identity();
+                    m.0[3][3] = p;
+                    GateUnitary::Two(m)
+                }
+                KernelClass::General2q(m) => GateUnitary::Two(m),
+                KernelClass::ControlledControlled(m) => GateUnitary::ControlledControlled(m),
+            };
+            assert_eq!(dense, g.unitary(), "kernel class of {g} disagrees");
+        }
+    }
+
+    #[test]
+    fn kernel_class_specialises_the_common_gates() {
+        assert!(matches!(
+            GateKind::X.kernel(),
+            KernelClass::AntiDiagonal1q(..)
+        ));
+        assert!(matches!(
+            GateKind::Rz(0.3).kernel(),
+            KernelClass::Diagonal1q(..)
+        ));
+        assert!(matches!(GateKind::Cnot.kernel(), KernelClass::Cnot));
+        assert!(matches!(GateKind::Cz.kernel(), KernelClass::Cz));
+        assert!(matches!(GateKind::Swap.kernel(), KernelClass::Swap));
+        assert!(matches!(
+            GateKind::Cr(1.0).kernel(),
+            KernelClass::ControlledPhase(_)
+        ));
+        assert!(matches!(GateKind::H.kernel(), KernelClass::General1q(_)));
+        assert!(matches!(
+            GateKind::Toffoli.kernel(),
+            KernelClass::ControlledControlled(_)
+        ));
     }
 
     #[test]

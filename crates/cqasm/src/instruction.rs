@@ -148,9 +148,7 @@ impl Instruction {
         match self {
             Instruction::PrepZ(q) | Instruction::Measure(q) => vec![*q],
             Instruction::Gate(g) | Instruction::Cond(_, g) => g.qubits.clone(),
-            Instruction::Bundle(instrs) => {
-                instrs.iter().flat_map(|i| i.qubits()).collect()
-            }
+            Instruction::Bundle(instrs) => instrs.iter().flat_map(|i| i.qubits()).collect(),
             Instruction::MeasureAll | Instruction::Wait(_) | Instruction::Display => vec![],
         }
     }

@@ -52,7 +52,7 @@ pub mod stats;
 pub mod writer;
 
 pub use error::Error;
-pub use gate::{GateKind, GateUnitary};
+pub use gate::{GateKind, GateUnitary, KernelClass};
 pub use instruction::{Bit, GateApp, Instruction, Qubit};
 pub use program::{ErrorModelSpec, Program, ProgramBuilder, Subcircuit};
 pub use stats::CircuitStats;

@@ -56,10 +56,9 @@ pub fn parse(src: &str) -> Result<Program, Error> {
             if qubits.is_some() {
                 return Err(Error::parse(lineno, "duplicate qubits directive"));
             }
-            let n: usize = rest
-                .trim()
-                .parse()
-                .map_err(|_| Error::parse(lineno, format!("invalid qubit count `{}`", rest.trim())))?;
+            let n: usize = rest.trim().parse().map_err(|_| {
+                Error::parse(lineno, format!("invalid qubit count `{}`", rest.trim()))
+            })?;
             qubits = Some(n);
             continue;
         }
@@ -92,8 +91,8 @@ pub fn parse(src: &str) -> Result<Program, Error> {
             .push(ins);
     }
 
-    let qubit_count =
-        qubits.ok_or_else(|| Error::parse(src.lines().count().max(1), "missing `qubits` directive"))?;
+    let qubit_count = qubits
+        .ok_or_else(|| Error::parse(src.lines().count().max(1), "missing `qubits` directive"))?;
     let mut program = Program::new(qubit_count);
     if let Some(v) = version {
         program.set_version(v);
@@ -105,10 +104,7 @@ pub fn parse(src: &str) -> Result<Program, Error> {
     Ok(program)
 }
 
-fn parse_error_model(
-    rest: &str,
-    lineno: usize,
-) -> Result<crate::program::ErrorModelSpec, Error> {
+fn parse_error_model(rest: &str, lineno: usize) -> Result<crate::program::ErrorModelSpec, Error> {
     let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
     let name = parts
         .first()
@@ -159,7 +155,10 @@ fn parse_subcircuit_header(rest: &str, lineno: usize) -> Result<(String, u64), E
 fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, Error> {
     if line.starts_with('{') {
         if !line.ends_with('}') {
-            return Err(Error::parse(lineno, "bundle must close with `}` on the same line"));
+            return Err(Error::parse(
+                lineno,
+                "bundle must close with `}` on the same line",
+            ));
         }
         let inner = &line[1..line.len() - 1];
         let parts: Vec<&str> = inner.split('|').map(str::trim).collect();
@@ -205,7 +204,10 @@ fn parse_simple(line: &str, lineno: usize) -> Result<Instruction, Error> {
     if let Some(gate_name) = mnemonic_lc.strip_prefix("c-") {
         let args: Vec<&str> = split_args(rest);
         if args.is_empty() {
-            return Err(Error::parse(lineno, "binary-controlled gate needs a bit operand"));
+            return Err(Error::parse(
+                lineno,
+                "binary-controlled gate needs a bit operand",
+            ));
         }
         let bit = parse_bit_ref(args[0], lineno)?;
         let app = build_gate(gate_name, &args[1..], lineno)?;
@@ -221,7 +223,10 @@ fn expect_no_args(rest: &str, lineno: usize) -> Result<(), Error> {
     if rest.is_empty() {
         Ok(())
     } else {
-        Err(Error::parse(lineno, format!("unexpected operands `{rest}`")))
+        Err(Error::parse(
+            lineno,
+            format!("unexpected operands `{rest}`"),
+        ))
     }
 }
 
@@ -261,9 +266,7 @@ fn build_gate(name: &str, args: &[&str], lineno: usize) -> Result<GateApp, Error
             if args.len() != qubit_args + 1 {
                 return Err(Error::parse(
                     lineno,
-                    format!(
-                        "gate `{name}` expects {qubit_args} qubit operand(s) and a parameter"
-                    ),
+                    format!("gate `{name}` expects {qubit_args} qubit operand(s) and a parameter"),
                 ));
             }
             let param = args[qubit_args];
@@ -405,8 +408,8 @@ mod tests {
 
     #[test]
     fn parses_rotations_and_pi_expressions() {
-        let p = parse("qubits 1\nrx q[0], 1.5\nrz q[0], pi/2\nry q[0], -pi\nrz q[0], 2*pi\n")
-            .unwrap();
+        let p =
+            parse("qubits 1\nrx q[0], 1.5\nrz q[0], pi/2\nry q[0], -pi\nrz q[0], 2*pi\n").unwrap();
         let ins = p.subcircuits()[0].instructions();
         match &ins[1] {
             Instruction::Gate(g) => {

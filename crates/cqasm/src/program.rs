@@ -176,10 +176,9 @@ impl Program {
     /// iteration counts (a subcircuit with `iterations = n` contributes its
     /// body `n` times).
     pub fn flat_instructions(&self) -> impl Iterator<Item = &Instruction> + '_ {
-        self.subcircuits.iter().flat_map(|s| {
-            std::iter::repeat_n(s.instructions(), s.iterations() as usize)
-                .flatten()
-        })
+        self.subcircuits
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.instructions(), s.iterations() as usize).flatten())
     }
 
     /// Checks semantic validity: qubit indices in range, non-empty bundles
@@ -425,12 +424,11 @@ mod tests {
     fn validation_rejects_repeated_operand() {
         let mut p = Program::new(2);
         let mut s = Subcircuit::new("s");
-        s.instructions_mut().push(Instruction::Gate(
-            crate::instruction::GateApp {
+        s.instructions_mut()
+            .push(Instruction::Gate(crate::instruction::GateApp {
                 kind: GateKind::Cnot,
                 qubits: vec![Qubit(1), Qubit(1)],
-            },
-        ));
+            }));
         p.push_subcircuit(s);
         assert!(p.validate().is_err());
     }

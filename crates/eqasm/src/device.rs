@@ -8,8 +8,8 @@
 
 use cqasm::GateKind;
 use qxsim::{QubitModel, StateVector};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Something the micro-architecture can send quantum operations to.
 pub trait QuantumDevice {

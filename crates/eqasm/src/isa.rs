@@ -282,7 +282,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(EqInstruction::Ldi { rd: 1, imm: -3 }.to_string(), "ldi r1, -3");
+        assert_eq!(
+            EqInstruction::Ldi { rd: 1, imm: -3 }.to_string(),
+            "ldi r1, -3"
+        );
         assert_eq!(
             EqInstruction::Smis {
                 sd: 2,

@@ -43,4 +43,4 @@ pub use device::{PulseOnlyDevice, QuantumDevice, QxDevice};
 pub use isa::{Condition, EqInstruction, EqasmProgram, Operand, QOp, QOpcode};
 pub use microarch::{ExecError, ExecutionTrace, MicroArchitecture, PulseEvent};
 pub use microcode::{ChannelKind, CodewordEntry, MicrocodeTable};
-pub use translate::{TranslateError, translate};
+pub use translate::{translate, TranslateError};

@@ -166,7 +166,10 @@ pub fn translate(schedule: &Schedule) -> Result<EqasmProgram, TranslateError> {
             qs.sort_unstable();
             let (reg, fresh) = sregs.get(&qs);
             if fresh {
-                out.push(EqInstruction::Smis { sd: reg, qubits: qs });
+                out.push(EqInstruction::Smis {
+                    sd: reg,
+                    qubits: qs,
+                });
             }
             ops.push(QOp {
                 opcode: QOpcode::PrepZ,
@@ -179,7 +182,10 @@ pub fn translate(schedule: &Schedule) -> Result<EqasmProgram, TranslateError> {
             qs.dedup();
             let (reg, fresh) = sregs.get(&qs);
             if fresh {
-                out.push(EqInstruction::Smis { sd: reg, qubits: qs });
+                out.push(EqInstruction::Smis {
+                    sd: reg,
+                    qubits: qs,
+                });
             }
             ops.push(QOp {
                 opcode: QOpcode::MeasZ,
@@ -261,7 +267,7 @@ fn add_grouped_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use openql::{Platform, ScheduleDirection, schedule};
+    use openql::{schedule, Platform, ScheduleDirection};
 
     fn schedule_of(src: &str, platform: &Platform) -> Schedule {
         let p = cqasm::Program::parse(src).unwrap();
@@ -351,11 +357,11 @@ mod tests {
 
     #[test]
     fn three_qubit_gate_rejected() {
-        let s = schedule_of("qubits 3\ntoffoli q[0], q[1], q[2]\n", &Platform::perfect(3));
-        assert!(matches!(
-            translate(&s),
-            Err(TranslateError::Unsupported(_))
-        ));
+        let s = schedule_of(
+            "qubits 3\ntoffoli q[0], q[1], q[2]\n",
+            &Platform::perfect(3),
+        );
+        assert!(matches!(translate(&s), Err(TranslateError::Unsupported(_))));
     }
 
     #[test]

@@ -8,10 +8,10 @@
 use crate::decompose::decompose;
 use crate::error::CompileError;
 use crate::kernel::QuantumProgram;
-use crate::map::{InitialPlacement, Mapping, route};
-use crate::optimize::{OptimizeReport, optimize};
+use crate::map::{route, InitialPlacement, Mapping};
+use crate::optimize::{optimize, OptimizeReport};
 use crate::platform::Platform;
-use crate::schedule::{Schedule, ScheduleDirection, schedule};
+use crate::schedule::{schedule, Schedule, ScheduleDirection};
 use cqasm::{CircuitStats, Program};
 
 /// Options controlling the pass pipeline.
@@ -238,7 +238,9 @@ mod tests {
     #[test]
     fn superconducting_pipeline_produces_native_nn_gates() {
         let plat = Platform::superconducting_grid(2, 2);
-        let out = Compiler::new(plat.clone()).compile(&ghz_program(4)).unwrap();
+        let out = Compiler::new(plat.clone())
+            .compile(&ghz_program(4))
+            .unwrap();
         assert!(out.report.routed);
         for ins in out.program.flat_instructions() {
             check_native_nn(ins, &plat);
@@ -303,7 +305,10 @@ mod tests {
             .compile(&ghz_program(5))
             .unwrap();
         let r = &out.report;
-        assert!(r.output_stats.gates >= r.input_stats.gates, "CZ-basis decomposition grows gate count");
+        assert!(
+            r.output_stats.gates >= r.input_stats.gates,
+            "CZ-basis decomposition grows gate count"
+        );
         assert!(r.latency_cycles > 0);
         assert_eq!(r.latency_ns, r.latency_cycles * 20);
     }

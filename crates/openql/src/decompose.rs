@@ -126,11 +126,7 @@ fn expand_one(app: &GateApp) -> Option<Vec<GateApp>> {
         My90 => vec![one(Ry(-FRAC_PI_2), q(0))],
         // --- two-qubit gates ---
         // CNOT = (I (x) H) CZ (I (x) H).
-        Cnot => vec![
-            one(H, q(1)),
-            two(Cz, q(0), q(1)),
-            one(H, q(1)),
-        ],
+        Cnot => vec![one(H, q(1)), two(Cz, q(0), q(1)), one(H, q(1))],
         // CZ in terms of CNOT for CNOT-basis targets.
         Cz => vec![one(H, q(1)), two(Cnot, q(0), q(1)), one(H, q(1))],
         Swap => vec![
@@ -369,10 +365,9 @@ mod tests {
             ]))
             .build();
         let d = decompose(&p, TargetGateSet::CzBasis).unwrap();
-        assert!(
-            d.flat_instructions()
-                .all(|i| !matches!(i, Instruction::Bundle(_)))
-        );
+        assert!(d
+            .flat_instructions()
+            .all(|i| !matches!(i, Instruction::Bundle(_))));
         assert_equivalent(&p, &d, 2);
     }
 }

@@ -35,7 +35,10 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Unsupported { gate, target } => {
-                write!(f, "gate `{gate}` has no decomposition into gate set `{target}`")
+                write!(
+                    f,
+                    "gate `{gate}` has no decomposition into gate set `{target}`"
+                )
             }
             CompileError::TooManyQubits { needed, available } => write!(
                 f,

@@ -187,7 +187,8 @@ impl Kernel {
     /// classical bit `bit` is one.
     pub fn cond_gate(&mut self, bit: usize, kind: GateKind, qubits: &[usize]) -> &mut Self {
         let app = GateApp::new(kind, qubits.iter().copied().map(Qubit).collect());
-        self.instructions.push(Instruction::Cond(cqasm::Bit(bit), app));
+        self.instructions
+            .push(Instruction::Cond(cqasm::Bit(bit), app));
         self
     }
 
@@ -209,10 +210,8 @@ impl Kernel {
         for ins in other.instructions.iter().rev() {
             if let Instruction::Gate(g) = ins {
                 let inv = g.kind.dagger();
-                self.instructions.push(Instruction::Gate(GateApp::new(
-                    inv,
-                    g.qubits.clone(),
-                )));
+                self.instructions
+                    .push(Instruction::Gate(GateApp::new(inv, g.qubits.clone())));
             }
         }
         self
@@ -298,11 +297,7 @@ mod tests {
     #[test]
     fn fluent_kernel_building() {
         let mut k = Kernel::new("k", 3);
-        k.h(0)
-            .cnot(0, 1)
-            .toffoli(0, 1, 2)
-            .rz(2, 0.5)
-            .measure(2);
+        k.h(0).cnot(0, 1).toffoli(0, 1, 2).rz(2, 0.5).measure(2);
         assert_eq!(k.instructions().len(), 5);
     }
 

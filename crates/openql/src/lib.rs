@@ -46,9 +46,9 @@ pub use compiler::{CompileOutput, CompileReport, Compiler, CompilerOptions};
 pub use decompose::decompose;
 pub use error::CompileError;
 pub use kernel::{Kernel, QuantumProgram};
-pub use library::{DjOracle, bernstein_vazirani, deutsch_jozsa, ghz, iqft, phase_estimation, qft};
-pub use map::{InitialPlacement, Mapping, RoutingResult, route};
-pub use optimize::{OptimizeReport, optimize};
+pub use library::{bernstein_vazirani, deutsch_jozsa, ghz, iqft, phase_estimation, qft, DjOracle};
+pub use map::{route, InitialPlacement, Mapping, RoutingResult};
+pub use optimize::{optimize, OptimizeReport};
 pub use platform::{GateDurations, Platform, TargetGateSet};
-pub use schedule::{Schedule, ScheduleDirection, TimedInstruction, schedule};
+pub use schedule::{schedule, Schedule, ScheduleDirection, TimedInstruction};
 pub use topology::Topology;

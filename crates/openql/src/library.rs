@@ -168,7 +168,9 @@ mod tests {
     fn run(kernel: Kernel, n: usize, shots: u64) -> qxsim::ShotHistogram {
         let mut p = QuantumProgram::new("t", n);
         p.add_kernel(kernel);
-        Simulator::perfect().run_shots(&p.to_cqasm(), shots).unwrap()
+        Simulator::perfect()
+            .run_shots(&p.to_cqasm(), shots)
+            .unwrap()
     }
 
     #[test]
@@ -255,9 +257,7 @@ mod tests {
         ] {
             let k = deutsch_jozsa(n, oracle);
             let hist = run(k, n + 1, 100);
-            let all_zero = hist
-                .iter()
-                .all(|(bits, _)| bits & ((1 << n) - 1) == 0);
+            let all_zero = hist.iter().all(|(bits, _)| bits & ((1 << n) - 1) == 0);
             assert_eq!(all_zero, constant, "{oracle:?}");
         }
     }
@@ -295,7 +295,7 @@ mod tests {
         let hist = run(k, precision + 1, 400);
         let mask = (1u64 << precision) - 1;
         let expected = (phase * 32.0).round() as u64; // 10
-        // The nearest representable value dominates.
+                                                      // The nearest representable value dominates.
         let mut best = (0u64, 0u64);
         for (bits, count) in hist.iter() {
             let v = bits & mask;

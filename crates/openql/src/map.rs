@@ -237,15 +237,17 @@ fn route_gate(
         _ => {
             // Multi-qubit gates only pass through if every operand pair is
             // mutually adjacent (true on fully-connected topologies).
-            let phys: Vec<usize> = g.qubits.iter().map(|q| mapping.physical(q.index())).collect();
-            let all_adjacent = phys.iter().enumerate().all(|(i, &a)| {
-                phys[i + 1..].iter().all(|&b| topology.are_adjacent(a, b))
-            });
+            let phys: Vec<usize> = g
+                .qubits
+                .iter()
+                .map(|q| mapping.physical(q.index()))
+                .collect();
+            let all_adjacent = phys
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| phys[i + 1..].iter().all(|&b| topology.are_adjacent(a, b)));
             if all_adjacent {
-                Ok(GateApp::new(
-                    g.kind,
-                    phys.into_iter().map(Qubit).collect(),
-                ))
+                Ok(GateApp::new(g.kind, phys.into_iter().map(Qubit).collect()))
             } else {
                 Err(CompileError::Unsupported {
                     gate: g.kind.mnemonic().to_owned(),
@@ -267,7 +269,10 @@ fn greedy_placement(program: &Program, topology: &Topology) -> Mapping {
     for ins in program.flat_instructions() {
         let qs = ins.qubits();
         if qs.len() == 2 {
-            let (a, b) = (qs[0].index().min(qs[1].index()), qs[0].index().max(qs[1].index()));
+            let (a, b) = (
+                qs[0].index().min(qs[1].index()),
+                qs[0].index().max(qs[1].index()),
+            );
             *weights.entry((a, b)).or_insert(0) += 1;
         }
     }
@@ -470,7 +475,12 @@ mod tests {
         let p = Program::builder(3)
             .gate(GateKind::Toffoli, &[0, 1, 2])
             .build();
-        assert!(route(&p, &Topology::fully_connected(3), InitialPlacement::Identity).is_ok());
+        assert!(route(
+            &p,
+            &Topology::fully_connected(3),
+            InitialPlacement::Identity
+        )
+        .is_ok());
         assert!(matches!(
             route(&p, &Topology::linear(3), InitialPlacement::Identity),
             Err(CompileError::Unsupported { .. })

@@ -52,9 +52,7 @@ pub fn optimize(program: &Program) -> (Program, OptimizeReport) {
 fn is_identity_gate(kind: &GateKind) -> bool {
     match kind {
         GateKind::I => true,
-        GateKind::Rx(a) | GateKind::Ry(a) | GateKind::Rz(a) | GateKind::Cr(a) => {
-            a.abs() < 1e-12
-        }
+        GateKind::Rx(a) | GateKind::Ry(a) | GateKind::Rz(a) | GateKind::Cr(a) => a.abs() < 1e-12,
         _ => false,
     }
 }
@@ -117,10 +115,7 @@ fn peephole_pass(instrs: Vec<Instruction>, report: &mut OptimizeReport) -> Vec<I
         // in between touches any of those qubits.
         for i in (0..out.len()).rev() {
             let prev = &out[i];
-            let overlap = prev
-                .qubits()
-                .iter()
-                .any(|q| g.qubits.contains(q))
+            let overlap = prev.qubits().iter().any(|q| g.qubits.contains(q))
                 || matches!(prev, Instruction::MeasureAll);
             if !overlap {
                 continue;
@@ -316,8 +311,8 @@ mod tests {
                 let q = rng.gen_range(0..3);
                 b = b.gate(k, &[q]);
                 if rng.gen_bool(0.3) {
-                    let a = rng.gen_range(0..3);
-                    let c = (a + 1 + rng.gen_range(0..2)) % 3;
+                    let a = rng.gen_range(0..3usize);
+                    let c = (a + 1 + rng.gen_range(0..2usize)) % 3;
                     b = b.gate(GateKind::Cnot, &[a, c]);
                 }
             }

@@ -239,9 +239,18 @@ mod tests {
     #[test]
     fn durations_by_instruction() {
         let p = Platform::superconducting_grid(2, 2);
-        assert_eq!(p.instruction_cycles(&Instruction::gate(GateKind::X90, &[0])), 1);
-        assert_eq!(p.instruction_cycles(&Instruction::gate(GateKind::Cz, &[0, 1])), 2);
-        assert_eq!(p.instruction_cycles(&Instruction::Measure(cqasm::Qubit(0))), 15);
+        assert_eq!(
+            p.instruction_cycles(&Instruction::gate(GateKind::X90, &[0])),
+            1
+        );
+        assert_eq!(
+            p.instruction_cycles(&Instruction::gate(GateKind::Cz, &[0, 1])),
+            2
+        );
+        assert_eq!(
+            p.instruction_cycles(&Instruction::Measure(cqasm::Qubit(0))),
+            15
+        );
         assert_eq!(p.instruction_cycles(&Instruction::Wait(9)), 9);
         let b = Instruction::Bundle(vec![
             Instruction::gate(GateKind::X90, &[0]),

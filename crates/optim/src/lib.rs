@@ -41,6 +41,6 @@ pub use hybrid::{HybridOptimizer, HybridRun};
 pub use maxcut::MaxCut;
 pub use qaoa::{Qaoa, QaoaEvaluation};
 pub use qubo_encode::TspQubo;
-pub use solve::{TspSolution, solve_tsp_qaoa, solve_tsp_with_sampler};
+pub use solve::{solve_tsp_qaoa, solve_tsp_with_sampler, TspSolution};
 pub use tsp::TspInstance;
 pub use vqe::{Vqe, VqeRun};

@@ -143,8 +143,8 @@ mod tests {
     use crate::hybrid::HybridOptimizer;
     use crate::qaoa::Qaoa;
     use annealer::{QuantumAnnealer, SimulatedAnnealer};
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn ring_cut_values() {

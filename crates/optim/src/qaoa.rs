@@ -11,7 +11,7 @@
 //! qubit. Parameters are trained by the hybrid loop in
 //! [`crate::hybrid`].
 
-use annealer::{Ising, spins_to_bits};
+use annealer::{spins_to_bits, Ising};
 use cqasm::GateKind;
 use qxsim::StateVector;
 use rand::Rng;
@@ -78,7 +78,11 @@ impl Qaoa {
     ///
     /// Panics if `params.len() != 2 * layers`.
     pub fn evaluate(&self, params: &[f64]) -> QaoaEvaluation {
-        assert_eq!(params.len(), 2 * self.layers, "need (gamma, beta) per layer");
+        assert_eq!(
+            params.len(),
+            2 * self.layers,
+            "need (gamma, beta) per layer"
+        );
         let n = self.ising.len();
         let mut state = StateVector::zero_state(n);
         for q in 0..n {
@@ -142,8 +146,8 @@ impl Qaoa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn two_spin_ferromagnet() -> Ising {
         let mut m = Ising::new(2);
@@ -193,19 +197,13 @@ mod tests {
             let steps = if layers == 1 { 12 } else { 6 };
             let mut params = vec![0.0; 2 * layers];
             // Coarse exhaustive grid (small dimensions only).
-            fn rec(
-                q: &Qaoa,
-                params: &mut Vec<f64>,
-                idx: usize,
-                steps: usize,
-                best: &mut f64,
-            ) {
+            fn rec(q: &Qaoa, params: &mut Vec<f64>, idx: usize, steps: usize, best: &mut f64) {
                 if idx == params.len() {
                     *best = best.min(q.evaluate(params).expected_energy);
                     return;
                 }
                 for s in 0..steps {
-                    params[idx] = s as f64 * (3.14 / steps as f64);
+                    params[idx] = s as f64 * (std::f64::consts::PI / steps as f64);
                     rec(q, params, idx + 1, steps, best);
                 }
             }
@@ -225,7 +223,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let samples = q.sample(&params, 4000, &mut rng);
         let mean: f64 = samples.iter().map(|(_, e)| e).sum::<f64>() / 4000.0;
-        assert!((mean - exact).abs() < 0.08, "sampled {mean} vs exact {exact}");
+        assert!(
+            (mean - exact).abs() < 0.08,
+            "sampled {mean} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -191,7 +191,10 @@ mod tests {
         // Empty assignment violates everything.
         let empty = vec![false; 16];
         let e_empty = enc.qubo.energy(&empty) + enc.constant_offset();
-        assert!(e_empty > worst_tour, "empty {e_empty} vs worst {worst_tour}");
+        assert!(
+            e_empty > worst_tour,
+            "empty {e_empty} vs worst {worst_tour}"
+        );
         // Duplicate city.
         let mut dup = enc.encode_tour(&[0, 1, 2, 3]);
         dup[3 * 4 + 3] = false; // drop city 3 at t3

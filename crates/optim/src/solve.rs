@@ -9,9 +9,9 @@ use crate::hybrid::HybridOptimizer;
 use crate::qaoa::Qaoa;
 use crate::qubo_encode::TspQubo;
 use crate::tsp::TspInstance;
-use annealer::{Sampler, spins_to_bits};
-use rand::SeedableRng;
+use annealer::{spins_to_bits, Sampler};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// A solved tour with provenance.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,8 +110,8 @@ mod tests {
     #[test]
     fn sa_solves_paper_instance_optimally() {
         let tsp = TspInstance::nl_four_cities();
-        let sol = solve_tsp_with_sampler(&tsp, &SimulatedAnnealer::new(), 40)
-            .expect("feasible sample");
+        let sol =
+            solve_tsp_with_sampler(&tsp, &SimulatedAnnealer::new(), 40).expect("feasible sample");
         assert!((sol.cost - 1.42).abs() < 1e-9, "cost {}", sol.cost);
         assert!(sol.feasible_fraction > 0.0);
         assert_eq!(sol.method, "simulated-annealing");
@@ -120,8 +120,8 @@ mod tests {
     #[test]
     fn digital_annealer_solves_paper_instance() {
         let tsp = TspInstance::nl_four_cities();
-        let sol = solve_tsp_with_sampler(&tsp, &DigitalAnnealer::new(), 20)
-            .expect("feasible sample");
+        let sol =
+            solve_tsp_with_sampler(&tsp, &DigitalAnnealer::new(), 20).expect("feasible sample");
         assert!((sol.cost - 1.42).abs() < 1e-9, "cost {}", sol.cost);
     }
 

@@ -173,7 +173,14 @@ impl TspInstance {
         let mut path = vec![0usize];
         let mut used = vec![false; n];
         used[0] = true;
-        self.bnb_recurse(&mut path, &mut used, 0.0, &mut best, &mut best_tour, &mut nodes);
+        self.bnb_recurse(
+            &mut path,
+            &mut used,
+            0.0,
+            &mut best,
+            &mut best_tour,
+            &mut nodes,
+        );
         (best_tour, best, nodes)
     }
 
@@ -310,8 +317,8 @@ impl fmt::Display for TspInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn nl_four_cities_optimum_is_1_42() {

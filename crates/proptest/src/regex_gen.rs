@@ -1,0 +1,287 @@
+//! A tiny regex-driven string *generator* (not matcher) backing the
+//! string-literal [`Strategy`](crate::Strategy) impls.
+//!
+//! Supported subset — everything the workspace's property tests use:
+//!
+//! - literal characters, and `\x` escapes of metacharacters (`\.`, `\[`, ...);
+//! - `\PC`, generating an arbitrary printable character;
+//! - character classes `[...]` with literal chars and `a-z` ranges;
+//! - groups `( ... | ... )` with alternation;
+//! - quantifiers `?`, `*`, `+` and `{m,n}` / `{n}` on the preceding atom
+//!   (`*`/`+` are capped at 8 repetitions).
+
+use crate::TestRng;
+use rand::Rng;
+
+const STAR_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Printable,
+    Class(Vec<(char, char)>),
+    Group(Vec<Vec<(Node, Quant)>>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const ONCE: Quant = Quant { min: 1, max: 1 };
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset (unbalanced brackets,
+/// dangling quantifiers).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_sequence(&chars, &mut pos, /*in_group=*/ false);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex `{pattern}`: trailing input at {pos}"
+    );
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out);
+    out
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize, in_group: bool) -> Vec<(Node, Quant)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        if in_group && (c == '|' || c == ')') {
+            break;
+        }
+        let node = match c {
+            '(' => {
+                *pos += 1;
+                let mut alts = vec![parse_sequence(chars, pos, true)];
+                while *pos < chars.len() && chars[*pos] == '|' {
+                    *pos += 1;
+                    alts.push(parse_sequence(chars, pos, true));
+                }
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unbalanced group in regex"
+                );
+                *pos += 1;
+                Node::Group(alts)
+            }
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let mut lo = chars[*pos];
+                    if lo == '\\' {
+                        *pos += 1;
+                        lo = chars[*pos];
+                    }
+                    *pos += 1;
+                    if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        let hi = chars[*pos + 1];
+                        *pos += 2;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ']',
+                    "unbalanced class in regex"
+                );
+                *pos += 1;
+                Node::Class(ranges)
+            }
+            '\\' => {
+                *pos += 1;
+                let e = chars[*pos];
+                *pos += 1;
+                if e == 'P' || e == 'p' {
+                    // `\PC` / `\pC`-style unicode category: treat as
+                    // "printable character" (the only use in this repo).
+                    assert!(*pos < chars.len(), "dangling \\P in regex");
+                    *pos += 1; // consume the category letter
+                    Node::Printable
+                } else {
+                    Node::Literal(e)
+                }
+            }
+            _ => {
+                *pos += 1;
+                Node::Literal(c)
+            }
+        };
+        let quant = parse_quant(chars, pos);
+        seq.push((node, quant));
+    }
+    seq
+}
+
+fn parse_quant(chars: &[char], pos: &mut usize) -> Quant {
+    if *pos >= chars.len() {
+        return ONCE;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Quant { min: 0, max: 1 }
+        }
+        '*' => {
+            *pos += 1;
+            Quant {
+                min: 0,
+                max: STAR_CAP,
+            }
+        }
+        '+' => {
+            *pos += 1;
+            Quant {
+                min: 1,
+                max: STAR_CAP,
+            }
+        }
+        '{' => {
+            *pos += 1;
+            let mut digits = String::new();
+            while chars[*pos].is_ascii_digit() {
+                digits.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: u32 = digits.parse().expect("repetition count");
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut digits = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    digits.push(chars[*pos]);
+                    *pos += 1;
+                }
+                digits.parse().expect("repetition bound")
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "unbalanced repetition in regex");
+            *pos += 1;
+            Quant { min, max }
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit_sequence(seq: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+    for (node, quant) in seq {
+        let reps = rng.gen_range(quant.min..=quant.max);
+        for _ in 0..reps {
+            emit_node(node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Printable => {
+            // Mostly printable ASCII; occasionally a non-ASCII codepoint to
+            // exercise multi-byte handling.
+            if rng.gen_bool(0.9) {
+                out.push(rng.gen_range(0x20u32..0x7F) as u8 as char);
+            } else {
+                let options = ['é', 'Ω', '中', '∀', '🙂'];
+                out.push(options[rng.gen_range(0..options.len())]);
+            }
+        }
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            let c = rng.gen_range(lo as u32..=hi as u32);
+            out.push(char::from_u32(c).expect("class range stays in valid chars"));
+        }
+        Node::Group(alts) => {
+            let alt = &alts[rng.gen_range(0..alts.len())];
+            emit_sequence(alt, rng, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::new_test_rng;
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = new_test_rng(1);
+        assert_eq!(generate("qubits 2", &mut rng), "qubits 2");
+    }
+
+    #[test]
+    fn escapes_are_literal() {
+        let mut rng = new_test_rng(1);
+        assert_eq!(generate("\\.sub\\{", &mut rng), ".sub{");
+    }
+
+    #[test]
+    fn classes_and_bounds() {
+        let mut rng = new_test_rng(2);
+        for _ in 0..200 {
+            let s = generate("[0-9]{1,3}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 3, "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_picks_each_arm() {
+        let mut rng = new_test_rng(3);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match generate("(aa|bb)", &mut rng).as_str() {
+                "aa" => seen_a = true,
+                "bb" => seen_b = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn printable_category() {
+        let mut rng = new_test_rng(4);
+        for _ in 0..100 {
+            let s = generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn token_soup_pattern_from_the_test_suite() {
+        let mut rng = new_test_rng(5);
+        for _ in 0..100 {
+            // The exact pattern tests/roundtrip.rs feeds the parser.
+            let _ = generate(
+                "(qubits|version|h|cnot|rx|measure|\\.sub|\\{|error_model)? ?(q\\[[0-9]{1,3}\\]|b\\[[0-9]\\]|[0-9.]{1,6}|,)*",
+                &mut rng,
+            );
+        }
+    }
+
+    #[test]
+    fn optional_literal() {
+        let mut rng = new_test_rng(6);
+        let mut empty = false;
+        let mut full = false;
+        for _ in 0..100 {
+            match generate("x?", &mut rng).as_str() {
+                "" => empty = true,
+                "x" => full = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(empty && full);
+    }
+}

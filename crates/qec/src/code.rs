@@ -36,11 +36,7 @@ impl PauliError {
 
     /// Pauli weight (qubits with any non-identity component).
     pub fn weight(&self) -> usize {
-        self.x
-            .iter()
-            .zip(&self.z)
-            .filter(|(&x, &z)| x || z)
-            .count()
+        self.x.iter().zip(&self.z).filter(|(&x, &z)| x || z).count()
     }
 
     /// Multiplies (XORs) another error into this one.
@@ -295,13 +291,21 @@ mod tests {
             for &q in c.logical_x() {
                 lx.x[q] = true;
             }
-            assert!(c.syndrome(&lx).is_trivial(), "{}: logical X detected", c.name());
+            assert!(
+                c.syndrome(&lx).is_trivial(),
+                "{}: logical X detected",
+                c.name()
+            );
             assert!(c.is_logical_error(&lx));
             let mut lz = PauliError::identity(c.data_qubits());
             for &q in c.logical_z() {
                 lz.z[q] = true;
             }
-            assert!(c.syndrome(&lz).is_trivial(), "{}: logical Z detected", c.name());
+            assert!(
+                c.syndrome(&lz).is_trivial(),
+                "{}: logical Z detected",
+                c.name()
+            );
             assert!(c.is_logical_error(&lz));
         }
     }

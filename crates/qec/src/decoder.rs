@@ -38,7 +38,11 @@ impl LookupDecoder {
             e.z.copy_from_slice(mask);
             code.syndrome(&e).x_checks
         });
-        LookupDecoder { x_table, z_table, n }
+        LookupDecoder {
+            x_table,
+            z_table,
+            n,
+        }
     }
 
     /// Decodes a syndrome into a correction.
@@ -490,6 +494,9 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert_eq!(failures, 0, "{failures}/{total} adjacent pairs failed at d=5");
+        assert_eq!(
+            failures, 0,
+            "{failures}/{total} adjacent pairs failed at d=5"
+        );
     }
 }

@@ -153,6 +153,14 @@ mod tests {
         let (esm, layout) = esm_program(&code, 1);
         let mut program = Program::new(layout.total());
         let mut inject = Subcircuit::new("inject");
+        // Prepare the data register in |+>^7, a +1 eigenstate of every
+        // X stabilizer (|0>^7 is not, and Z acts trivially on it, which
+        // made this test depend on the RNG's projection of the initial
+        // state). On |+>^7 the injected Z deterministically flips exactly
+        // the X checks whose support contains qubit 6.
+        for q in 0..code.data_qubits() {
+            inject.push(Instruction::gate(GateKind::H, &[q]));
+        }
         inject.push(Instruction::gate(GateKind::Z, &[6]));
         program.push_subcircuit(inject);
         for s in esm.subcircuits() {

@@ -10,9 +10,9 @@
 
 use crate::code::{PauliError, StabilizerCode, Syndrome};
 use crate::decoder::LookupDecoder;
-use crate::monte::{NoiseKind, sample_error};
-use rand::Rng;
+use crate::monte::{sample_error, NoiseKind};
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 /// Reads the Z-check syndrome of `error` with per-bit flip probability

@@ -5,7 +5,7 @@
 //! with the physical error rate, and where the pseudo-threshold sits.
 
 use crate::code::{PauliError, StabilizerCode};
-use crate::decoder::{LookupDecoder, decode_x_errors, decode_z_errors};
+use crate::decoder::{decode_x_errors, decode_z_errors, LookupDecoder};
 use crate::surface::SurfaceCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,12 +23,7 @@ pub enum NoiseKind {
 }
 
 /// Samples an error over `n` qubits.
-pub fn sample_error<R: Rng + ?Sized>(
-    n: usize,
-    p: f64,
-    kind: NoiseKind,
-    rng: &mut R,
-) -> PauliError {
+pub fn sample_error<R: Rng + ?Sized>(n: usize, p: f64, kind: NoiseKind, rng: &mut R) -> PauliError {
     let mut e = PauliError::identity(n);
     for q in 0..n {
         match kind {
@@ -140,10 +135,7 @@ mod tests {
         let rate = code_logical_error_rate(&rep, p, NoiseKind::BitFlip, 30_000, 2);
         // Exact: 3p^2(1-p) + p^3 ~ 0.00725.
         let exact = 3.0 * p * p * (1.0 - p) + p * p * p;
-        assert!(
-            (rate - exact).abs() < 0.003,
-            "rate {rate} vs exact {exact}"
-        );
+        assert!((rate - exact).abs() < 0.003, "rate {rate} vs exact {exact}");
     }
 
     #[test]

@@ -73,10 +73,7 @@ impl SurfaceCode {
         }
         // Logical Z: top row (r = 0, all even columns). Logical X: left
         // column (c = 0, all even rows).
-        let logical_z: Vec<usize> = (0..side)
-            .step_by(2)
-            .map(|c| cell_to_data[c])
-            .collect();
+        let logical_z: Vec<usize> = (0..side).step_by(2).map(|c| cell_to_data[c]).collect();
         let logical_x: Vec<usize> = (0..side)
             .step_by(2)
             .map(|r| cell_to_data[r * side])

@@ -175,12 +175,7 @@ impl Tableau {
         // Phase exponent accumulates mod 4; stored r bits are mod-2 signs.
         let mut g_sum: i32 = 2 * (self.r[h] as i32) + 2 * (self.r[i] as i32);
         for j in 0..self.n {
-            g_sum += g(
-                self.x[i][j],
-                self.z[i][j],
-                self.x[h][j],
-                self.z[h][j],
-            );
+            g_sum += g(self.x[i][j], self.z[i][j], self.x[h][j], self.z[h][j]);
         }
         self.r[h] = g_sum.rem_euclid(4) == 2;
         for j in 0..self.n {
@@ -218,8 +213,8 @@ fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(17)

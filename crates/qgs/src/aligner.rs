@@ -114,8 +114,7 @@ impl QuantumAligner {
         let k = self.kmer_len;
         let data_bits = 2 * k;
         let data_mask = (1u64 << data_bits) - 1;
-        let oracle =
-            move |entry: u64| base_hamming(entry & data_mask, query, k) <= max_mismatches;
+        let oracle = move |entry: u64| base_hamming(entry & data_mask, query, k) <= max_mismatches;
         let matches = self
             .memory
             .patterns()
@@ -137,8 +136,8 @@ mod tests {
     use super::*;
     use crate::classical::best_hamming_search;
     use crate::reads::ReadGenerator;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn reference() -> Sequence {
         Sequence::parse("ACGTGGCAATTCCGA").unwrap()
@@ -169,7 +168,11 @@ mod tests {
             let read = reference().subsequence(pos, 4);
             let out = aligner.align(&read, 0);
             assert_eq!(out.position, pos, "read at {pos}");
-            assert!(out.success_probability > 0.9, "p = {}", out.success_probability);
+            assert!(
+                out.success_probability > 0.9,
+                "p = {}",
+                out.success_probability
+            );
         }
     }
 

@@ -12,7 +12,7 @@
 //! accelerator — the same machinery as the TSP stack, pointed at genomics.
 
 use crate::dna::Sequence;
-use annealer::{Qubo, Sampler, spins_to_bits};
+use annealer::{spins_to_bits, Qubo, Sampler};
 
 /// Pairwise suffix–prefix overlap graph over a read set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,13 +184,7 @@ impl OverlapGraph {
 
     /// A penalty dominating any overlap reward.
     pub fn default_penalty(&self) -> f64 {
-        let max_o = self
-            .overlaps
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64;
+        let max_o = self.overlaps.iter().flatten().copied().max().unwrap_or(0) as f64;
         max_o * self.len() as f64 + 1.0
     }
 

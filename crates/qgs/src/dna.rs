@@ -94,7 +94,10 @@ impl Sequence {
     ///
     /// Returns `None` if any character is not a base.
     pub fn parse(s: &str) -> Option<Self> {
-        s.chars().map(Base::from_char).collect::<Option<Vec<_>>>().map(Sequence)
+        s.chars()
+            .map(Base::from_char)
+            .collect::<Option<Vec<_>>>()
+            .map(Sequence)
     }
 
     /// Length in bases.
@@ -149,11 +152,7 @@ impl Sequence {
     /// Panics if the lengths differ.
     pub fn hamming(&self, other: &Sequence) -> usize {
         assert_eq!(self.len(), other.len(), "length mismatch");
-        self.0
-            .iter()
-            .zip(&other.0)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.0.iter().zip(&other.0).filter(|(a, b)| a != b).count()
     }
 
     /// Base frequency histogram `[A, C, G, T]` as fractions.
@@ -275,8 +274,8 @@ impl MarkovModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn parse_display_roundtrip() {

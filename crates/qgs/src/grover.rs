@@ -94,7 +94,10 @@ fn invert_about_mean(state: &mut StateVector) {
 ///
 /// Panics if `n_qubits` is 0 or greater than 3, or `target >= 2^n`.
 pub fn grover_circuit(n_qubits: usize, target: u64) -> Program {
-    assert!((1..=3).contains(&n_qubits), "circuit form supports 1-3 qubits");
+    assert!(
+        (1..=3).contains(&n_qubits),
+        "circuit form supports 1-3 qubits"
+    );
     assert!(target < (1 << n_qubits), "target out of range");
     let mut p = Program::new(n_qubits);
     let mut sub = cqasm::Subcircuit::new("init");

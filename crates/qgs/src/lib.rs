@@ -42,9 +42,9 @@ pub mod qam;
 pub mod reads;
 
 pub use aligner::{AlignmentOutcome, QuantumAligner};
-pub use assembly::{OverlapGraph, fragment, suffix_prefix_overlap};
+pub use assembly::{fragment, suffix_prefix_overlap, OverlapGraph};
 pub use capacity::CapacityModel;
 pub use dna::{Base, MarkovModel, Sequence};
-pub use grover::{GroverResult, grover_circuit, grover_search, optimal_iterations};
+pub use grover::{grover_circuit, grover_search, optimal_iterations, GroverResult};
 pub use qam::{QuantumAssociativeMemory, RecallResult};
 pub use reads::{Read, ReadGenerator};

@@ -105,7 +105,11 @@ impl QuantumAssociativeMemory {
     /// # Panics
     ///
     /// Panics if the memory is empty.
-    pub fn recall<F: Fn(u64) -> bool>(&self, matches: F, iterations: Option<usize>) -> RecallResult {
+    pub fn recall<F: Fn(u64) -> bool>(
+        &self,
+        matches: F,
+        iterations: Option<usize>,
+    ) -> RecallResult {
         let psi0 = self.memory_state();
         let marked: Vec<u64> = self
             .patterns
@@ -138,11 +142,7 @@ impl QuantumAssociativeMemory {
             .amplitudes()
             .iter()
             .enumerate()
-            .max_by(|a, b| {
-                a.1.norm_sqr()
-                    .partial_cmp(&b.1.norm_sqr())
-                    .expect("finite")
-            })
+            .max_by(|a, b| a.1.norm_sqr().partial_cmp(&b.1.norm_sqr()).expect("finite"))
             .map(|(i, _)| i as u64)
             .unwrap_or(0);
         RecallResult {
@@ -180,7 +180,14 @@ mod tests {
 
     fn memory() -> QuantumAssociativeMemory {
         let mut m = QuantumAssociativeMemory::new(6);
-        for p in [0b000011u64, 0b010101, 0b101010, 0b111100, 0b001100, 0b110011] {
+        for p in [
+            0b000011u64,
+            0b010101,
+            0b101010,
+            0b111100,
+            0b001100,
+            0b110011,
+        ] {
             m.store(p);
         }
         m

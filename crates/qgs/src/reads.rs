@@ -99,8 +99,8 @@ impl ReadGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn reference() -> Sequence {
         Sequence::parse("ACGTACGTGGCCAATTACGT").unwrap()

@@ -8,8 +8,8 @@
 //! QEC unit analyses.
 
 use crate::error_model::ErrorChannel;
+use cqasm::math::{Mat2, C64};
 use cqasm::GateKind;
-use cqasm::math::{C64, Mat2};
 
 /// A mixed quantum state of `n` qubits as a dense `2^n x 2^n` density
 /// matrix.
@@ -204,10 +204,7 @@ impl DensityMatrix {
                     [C64::ONE, C64::ZERO],
                     [C64::ZERO, C64::real((1.0 - gamma).sqrt())],
                 ]);
-                let k1 = Mat2([
-                    [C64::ZERO, C64::real(gamma.sqrt())],
-                    [C64::ZERO, C64::ZERO],
-                ]);
+                let k1 = Mat2([[C64::ZERO, C64::real(gamma.sqrt())], [C64::ZERO, C64::ZERO]]);
                 self.apply_kraus(&[k0, k1], q);
             }
         }
@@ -323,8 +320,8 @@ mod tests {
 
     #[test]
     fn trajectory_sampler_matches_exact_channel() {
-        use rand::SeedableRng;
         use rand::rngs::StdRng;
+        use rand::SeedableRng;
         // Exact: H then bit-flip channel p=0.2, measure P(1).
         let mut rho = DensityMatrix::zero_state(1);
         rho.apply_gate(&GateKind::H, &[0]);

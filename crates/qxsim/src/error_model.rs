@@ -9,8 +9,8 @@
 //! so averaging over shots reproduces the channel exactly.
 
 use crate::state::StateVector;
+use cqasm::math::{Mat2, C64};
 use cqasm::GateKind;
-use cqasm::math::{C64, Mat2};
 use rand::Rng;
 
 /// A single-qubit noise channel applied after gate operations.
@@ -124,8 +124,8 @@ pub fn flip_readout<R: Rng + ?Sized>(outcome: bool, p: f64, rng: &mut R) -> bool
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)
@@ -247,7 +247,10 @@ mod tests {
             }
         }
         let rate = flips as f64 / trials as f64;
-        assert!((rate - 0.1).abs() < 0.03, "observed readout flip rate {rate}");
+        assert!(
+            (rate - 0.1).abs() < 0.03,
+            "observed readout flip rate {rate}"
+        );
         assert!(!flip_readout(false, 0.0, &mut r));
     }
 

@@ -5,12 +5,22 @@
 //! micro-architectural layer sends each quantum instruction to QX, which
 //! executes it, measures qubit states on demand and returns results to the
 //! classical side.
+//!
+//! Programs are lowered once into a [`CompiledProgram`] (kernels
+//! classified, operands unpacked, idle sets precomputed as bitmasks) and
+//! the compiled plan is replayed per shot. Multi-shot runs draw each shot's
+//! randomness from its own counter-derived stream, so [`Simulator::run_shots`]
+//! and [`Simulator::run_shots_parallel`] produce identical histograms for
+//! any thread count; noise-free programs ending in a single `measure_all`
+//! additionally take a sampling fast path that evolves the state once and
+//! draws every shot from a cumulative probability table.
 
 use crate::error_model::flip_readout;
 use crate::histogram::ShotHistogram;
+use crate::plan::{CompiledProgram, PlannedGate, PlannedOp};
 use crate::qubit_model::QubitModel;
 use crate::state::StateVector;
-use cqasm::{Instruction, Program};
+use cqasm::Program;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +50,11 @@ pub struct ShotResult {
     pub bits: u64,
 }
 
+/// The multiplier deriving shot `s`'s RNG seed from the simulator seed:
+/// `seed + s * GOLDEN` (wrapping). The odd 64-bit golden-ratio constant
+/// spreads consecutive shot indices across the seed space.
+const SHOT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// The QX simulator: a state-vector executor with a pluggable qubit model.
 ///
 /// # Example
@@ -60,6 +75,7 @@ pub struct ShotResult {
 pub struct Simulator {
     model: QubitModel,
     seed: u64,
+    sampling_fast_path: bool,
 }
 
 impl Default for Simulator {
@@ -74,6 +90,7 @@ impl Simulator {
         Simulator {
             model: QubitModel::Perfect,
             seed: 0xC0FFEE,
+            sampling_fast_path: true,
         }
     }
 
@@ -82,6 +99,7 @@ impl Simulator {
         Simulator {
             model,
             seed: 0xC0FFEE,
+            sampling_fast_path: true,
         }
     }
 
@@ -103,9 +121,30 @@ impl Simulator {
         self
     }
 
+    /// Enables or disables the multi-shot sampling fast path (enabled by
+    /// default). The fast path is bit-for-bit identical to full per-shot
+    /// re-simulation; the switch exists so tests and benchmarks can compare
+    /// the two directly.
+    pub fn with_sampling_fast_path(mut self, enabled: bool) -> Self {
+        self.sampling_fast_path = enabled;
+        self
+    }
+
     /// The active qubit model.
     pub fn model(&self) -> &QubitModel {
         &self.model
+    }
+
+    /// Validates `program` and lowers it into a [`CompiledProgram`] for
+    /// this simulator's qubit model. All `run_*` entry points compile
+    /// internally; call this to amortise compilation across your own
+    /// execution loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] if the program fails validation.
+    pub fn compile(&self, program: &Program) -> Result<CompiledProgram, ExecuteError> {
+        CompiledProgram::compile(program, &self.model)
     }
 
     /// Runs the program once and returns the final state and bits.
@@ -114,35 +153,31 @@ impl Simulator {
     ///
     /// Returns [`ExecuteError::Invalid`] if the program fails validation.
     pub fn run_once(&self, program: &Program) -> Result<ShotResult, ExecuteError> {
+        let plan = self.compile(program)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.run_with_rng(program, &mut rng)
+        Ok(self.run_compiled(&plan, &mut rng))
     }
 
     /// Runs the program `shots` times, collecting the final classical bits
     /// of each shot into a histogram.
     ///
+    /// Each shot draws randomness from its own stream seeded by
+    /// `(simulator seed, shot index)` — the same streams
+    /// [`Simulator::run_shots_parallel`] uses, so the two produce identical
+    /// histograms.
+    ///
     /// # Errors
     ///
     /// Returns [`ExecuteError::Invalid`] if the program fails validation.
     pub fn run_shots(&self, program: &Program, shots: u64) -> Result<ShotHistogram, ExecuteError> {
-        program
-            .validate()
-            .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut hist = ShotHistogram::new();
-        for _ in 0..shots {
-            let r = self.run_validated(program, &mut rng);
-            hist.record(r.bits);
-        }
-        Ok(hist)
+        self.run_shots_impl(program, shots, 1)
     }
 
     /// Runs the program `shots` times across `threads` worker threads.
     ///
-    /// Each shot draws randomness from its own stream seeded by
-    /// `(simulator seed, shot index)`, so the result is deterministic and
-    /// *independent of the thread count* — but it is a different stream
-    /// than the sequential [`Simulator::run_shots`].
+    /// Per-shot seeding makes the result deterministic and independent of
+    /// the thread count; `run_shots_parallel(p, s, 1)` equals
+    /// `run_shots(p, s)`.
     ///
     /// # Errors
     ///
@@ -153,10 +188,28 @@ impl Simulator {
         shots: u64,
         threads: usize,
     ) -> Result<ShotHistogram, ExecuteError> {
-        program
-            .validate()
-            .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
-        let threads = threads.max(1);
+        self.run_shots_impl(program, shots, threads.max(1))
+    }
+
+    fn run_shots_impl(
+        &self,
+        program: &Program,
+        shots: u64,
+        threads: usize,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        let plan = self.compile(program)?;
+        if self.sampling_fast_path && plan.terminal_sampling() {
+            return Ok(self.run_terminal_sampling(&plan, shots, threads));
+        }
+        if threads <= 1 {
+            let mut hist = ShotHistogram::new();
+            for shot in 0..shots {
+                let mut rng = self.shot_rng(shot);
+                hist.record(self.run_compiled(&plan, &mut rng).bits);
+            }
+            return Ok(hist);
+        }
+        let plan = &plan;
         let results: Vec<u64> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
@@ -166,9 +219,8 @@ impl Simulator {
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::with_capacity((hi - lo) as usize);
                     for shot in lo..hi {
-                        let mut rng =
-                            StdRng::seed_from_u64(sim.seed.wrapping_add(shot.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-                        out.push(sim.run_validated(program, &mut rng).bits);
+                        let mut rng = sim.shot_rng(shot);
+                        out.push(sim.run_compiled(plan, &mut rng).bits);
                     }
                     out
                 }));
@@ -181,6 +233,107 @@ impl Simulator {
         Ok(results.into_iter().collect())
     }
 
+    /// The sampling fast path: evolve the (noise-free, terminally measured)
+    /// plan once, then draw every shot from the cumulative probability
+    /// table of the final state.
+    ///
+    /// Bit-exactness with full re-simulation: a full shot would apply the
+    /// same gates with no RNG draws, then consume exactly one `f64` from
+    /// the shot's stream inside `measure_all` (readout is exact, so
+    /// `flip_readout` draws nothing). Here each shot consumes that same
+    /// first `f64`, and the binary search on the cumulative table returns
+    /// the same basis state as the linear accumulation scan.
+    fn run_terminal_sampling(
+        &self,
+        plan: &CompiledProgram,
+        shots: u64,
+        threads: usize,
+    ) -> ShotHistogram {
+        let mut state = StateVector::zero_state(plan.qubit_count());
+        for op in plan.ops() {
+            if let PlannedOp::Gate(g) = op {
+                state.apply_kernel(&g.kernel, &g.qubits);
+            }
+        }
+        let cum = state.cumulative_probabilities();
+        // Outcomes are counted into a dense per-basis-state bucket array and
+        // folded into the histogram once at the end: a map update per shot
+        // costs more than the draw itself for small programs. States too
+        // large for a bucket table record per shot instead.
+        const MAX_BUCKETS: usize = 1 << 20;
+        if cum.len() > MAX_BUCKETS {
+            let sample_range = |lo: u64, hi: u64| -> Vec<u64> {
+                (lo..hi)
+                    .map(|shot| StateVector::sample_from_cumulative(&cum, self.shot_draw(shot)))
+                    .collect()
+            };
+            if threads <= 1 {
+                return sample_range(0, shots).into_iter().collect();
+            }
+            let results: Vec<u64> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = shots * t as u64 / threads as u64;
+                    let hi = shots * (t as u64 + 1) / threads as u64;
+                    handles.push(scope.spawn(move || sample_range(lo, hi)));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sampling worker panicked"))
+                    .collect()
+            });
+            return results.into_iter().collect();
+        }
+        let count_range = |lo: u64, hi: u64| -> Vec<u64> {
+            let mut buckets = vec![0u64; cum.len()];
+            for shot in lo..hi {
+                let r = self.shot_draw(shot);
+                buckets[StateVector::sample_from_cumulative(&cum, r) as usize] += 1;
+            }
+            buckets
+        };
+        let buckets = if threads <= 1 {
+            count_range(0, shots)
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = shots * t as u64 / threads as u64;
+                        let hi = shots * (t as u64 + 1) / threads as u64;
+                        scope.spawn(move || count_range(lo, hi))
+                    })
+                    .collect();
+                let mut total = vec![0u64; cum.len()];
+                for h in handles {
+                    let part = h.join().expect("sampling worker panicked");
+                    for (t, b) in total.iter_mut().zip(part) {
+                        *t += b;
+                    }
+                }
+                total
+            })
+        };
+        let mut hist = ShotHistogram::new();
+        for (bits, &count) in buckets.iter().enumerate() {
+            hist.record_many(bits as u64, count);
+        }
+        hist
+    }
+
+    /// The RNG stream for shot `shot` of a multi-shot run.
+    fn shot_rng(&self, shot: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_add(shot.wrapping_mul(SHOT_SEED_STRIDE)))
+    }
+
+    /// The first `f64` of shot `shot`'s stream, identical to
+    /// `self.shot_rng(shot).gen::<f64>()` but skipping the unused half of
+    /// the generator state. The terminal-sampling fast path consumes
+    /// exactly this one draw per shot (the draw `measure_all` would make).
+    #[inline]
+    fn shot_draw(&self, shot: u64) -> f64 {
+        StdRng::first_f64(self.seed.wrapping_add(shot.wrapping_mul(SHOT_SEED_STRIDE)))
+    }
+
     /// Runs the program once with a caller-provided RNG.
     ///
     /// # Errors
@@ -191,31 +344,53 @@ impl Simulator {
         program: &Program,
         rng: &mut R,
     ) -> Result<ShotResult, ExecuteError> {
-        program
-            .validate()
-            .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
-        Ok(self.run_validated(program, rng))
+        let plan = self.compile(program)?;
+        Ok(self.run_compiled(&plan, rng))
     }
 
-    fn run_validated<R: Rng + ?Sized>(&self, program: &Program, rng: &mut R) -> ShotResult {
-        let n = program.qubit_count();
+    /// Executes a compiled plan once with the given RNG (the full
+    /// interpreter path, used for single runs and noisy/measure-heavy
+    /// programs).
+    pub fn run_compiled<R: Rng + ?Sized>(&self, plan: &CompiledProgram, rng: &mut R) -> ShotResult {
+        let n = plan.qubit_count();
         let mut state = StateVector::zero_state(n);
         let mut bits: u64 = 0;
-        let idle = self.model.idle_channel();
-        for ins in program.flat_instructions() {
-            self.execute_instruction(ins, &mut state, &mut bits, rng);
-            // Schedule-aware idling: while this (top-level) instruction
-            // occupies its operands, every *uninvolved* qubit decoheres
-            // for one step. Explicit `wait` handles its own idling for
-            // all qubits inside execute_instruction.
-            if !idle.is_none() && !matches!(ins, Instruction::Wait(_) | Instruction::Display) {
-                let involved: Vec<usize> = match ins {
-                    Instruction::MeasureAll => (0..n).collect(),
-                    other => other.qubits().iter().map(|q| q.index()).collect(),
-                };
-                for q in 0..n {
-                    if !involved.contains(&q) {
-                        idle.apply(&mut state, q, rng);
+        for op in plan.ops() {
+            match op {
+                PlannedOp::PrepZ(q) => state.reset(*q, rng),
+                PlannedOp::Gate(g) => self.apply_planned_gate(&mut state, g, rng),
+                PlannedOp::Cond(bit, g) => {
+                    if (bits >> bit) & 1 == 1 {
+                        self.apply_planned_gate(&mut state, g, rng);
+                    }
+                }
+                PlannedOp::Measure(q) => {
+                    let outcome = state.measure(*q, rng);
+                    let reported = flip_readout(outcome, self.model.readout_error(), rng);
+                    set_bit(&mut bits, *q, reported);
+                }
+                PlannedOp::MeasureAll => {
+                    let basis = state.measure_all(rng);
+                    for q in 0..n {
+                        let outcome = (basis >> q) & 1 == 1;
+                        let reported = flip_readout(outcome, self.model.readout_error(), rng);
+                        set_bit(&mut bits, q, reported);
+                    }
+                }
+                PlannedOp::Idle(mask) => {
+                    let idle = self.model.idle_channel();
+                    for q in 0..n {
+                        if (mask >> q) & 1 == 1 {
+                            idle.apply(&mut state, q, rng);
+                        }
+                    }
+                }
+                PlannedOp::Wait(cycles) => {
+                    let idle = self.model.idle_channel();
+                    for _ in 0..*cycles {
+                        for q in 0..n {
+                            idle.apply(&mut state, q, rng);
+                        }
                     }
                 }
             }
@@ -223,65 +398,16 @@ impl Simulator {
         ShotResult { state, bits }
     }
 
-    fn execute_instruction<R: Rng + ?Sized>(
-        &self,
-        ins: &Instruction,
-        state: &mut StateVector,
-        bits: &mut u64,
-        rng: &mut R,
-    ) {
-        match ins {
-            Instruction::PrepZ(q) => state.reset(q.index(), rng),
-            Instruction::Gate(g) => self.apply_gate_noisy(state, &g.kind, &g.qubits, rng),
-            Instruction::Cond(bit, g) => {
-                if (*bits >> bit.index()) & 1 == 1 {
-                    self.apply_gate_noisy(state, &g.kind, &g.qubits, rng);
-                }
-            }
-            Instruction::Measure(q) => {
-                let outcome = state.measure(q.index(), rng);
-                let reported = flip_readout(outcome, self.model.readout_error(), rng);
-                set_bit(bits, q.index(), reported);
-            }
-            Instruction::MeasureAll => {
-                let basis = state.measure_all(rng);
-                for q in 0..state.qubit_count() {
-                    let outcome = (basis >> q) & 1 == 1;
-                    let reported = flip_readout(outcome, self.model.readout_error(), rng);
-                    set_bit(bits, q, reported);
-                }
-            }
-            Instruction::Bundle(instrs) => {
-                for inner in instrs {
-                    self.execute_instruction(inner, state, bits, rng);
-                }
-            }
-            Instruction::Wait(cycles) => {
-                let idle = self.model.idle_channel();
-                if !idle.is_none() {
-                    for _ in 0..*cycles {
-                        for q in 0..state.qubit_count() {
-                            idle.apply(state, q, rng);
-                        }
-                    }
-                }
-            }
-            Instruction::Display => {}
-        }
-    }
-
-    fn apply_gate_noisy<R: Rng + ?Sized>(
+    fn apply_planned_gate<R: Rng + ?Sized>(
         &self,
         state: &mut StateVector,
-        kind: &cqasm::GateKind,
-        qubits: &[cqasm::Qubit],
+        g: &PlannedGate,
         rng: &mut R,
     ) {
-        let idx: Vec<usize> = qubits.iter().map(|q| q.index()).collect();
-        state.apply_gate(kind, &idx);
-        let channel = self.model.gate_channel(kind.arity());
+        state.apply_kernel(&g.kernel, &g.qubits);
+        let channel = self.model.gate_channel(g.arity);
         if !channel.is_none() {
-            for &q in &idx {
+            for &q in &g.qubits {
                 channel.apply(state, q, rng);
             }
         }
@@ -299,7 +425,7 @@ fn set_bit(bits: &mut u64, index: usize, value: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cqasm::GateKind;
+    use cqasm::{GateKind, Instruction};
 
     fn bell() -> Program {
         Program::builder(2)
@@ -426,6 +552,18 @@ mod tests {
         assert!((r.state.probability_of(0b00) - 0.5).abs() < 1e-10);
         assert_eq!(r.bits, 0);
     }
+
+    #[test]
+    fn compile_once_run_many() {
+        let sim = Simulator::perfect().with_seed(5);
+        let plan = sim.compile(&bell()).unwrap();
+        let mut hist = ShotHistogram::new();
+        for shot in 0..100 {
+            let mut rng = sim.shot_rng(shot);
+            hist.record(sim.run_compiled(&plan, &mut rng).bits);
+        }
+        assert_eq!(hist, sim.run_shots(&bell(), 100).unwrap());
+    }
 }
 
 #[cfg(test)]
@@ -450,17 +588,15 @@ mod error_model_directive_tests {
     fn absent_or_unknown_models_mean_perfect() {
         let clean = Program::parse("qubits 1\nx q[0]\nmeasure q[0]\n").unwrap();
         assert!(!Simulator::for_program(&clean).model().is_noisy());
-        let odd =
-            Program::parse("qubits 1\nerror_model martian_noise, 0.5\nx q[0]\n").unwrap();
+        let odd = Program::parse("qubits 1\nerror_model martian_noise, 0.5\nx q[0]\n").unwrap();
         assert!(!Simulator::for_program(&odd).model().is_noisy());
     }
 
     #[test]
     fn readout_parameter_is_honoured() {
-        let p = Program::parse(
-            "qubits 1\nerror_model depolarizing_channel, 0.0, 0.25\nmeasure q[0]\n",
-        )
-        .unwrap();
+        let p =
+            Program::parse("qubits 1\nerror_model depolarizing_channel, 0.0, 0.25\nmeasure q[0]\n")
+                .unwrap();
         let hist = Simulator::for_program(&p).run_shots(&p, 2000).unwrap();
         let flipped = hist.probability(1);
         assert!((flipped - 0.25).abs() < 0.04, "readout flip rate {flipped}");
@@ -470,7 +606,7 @@ mod error_model_directive_tests {
 #[cfg(test)]
 mod parallel_tests {
     use super::*;
-    use cqasm::GateKind;
+    use cqasm::{GateKind, Instruction};
 
     fn bell() -> Program {
         Program::builder(2)
@@ -488,6 +624,17 @@ mod parallel_tests {
         let h7 = sim.run_shots_parallel(&bell(), 400, 7).unwrap();
         assert_eq!(h1, h4);
         assert_eq!(h4, h7);
+    }
+
+    #[test]
+    fn sequential_equals_parallel() {
+        // run_shots and run_shots_parallel share per-shot RNG streams, for
+        // noisy (full interpreter) programs too.
+        let noisy = Simulator::with_model(QubitModel::realistic_depolarizing(0.02, 0.05, 0.01))
+            .with_seed(11);
+        let hs = noisy.run_shots(&bell(), 300).unwrap();
+        let hp = noisy.run_shots_parallel(&bell(), 300, 5).unwrap();
+        assert_eq!(hs, hp);
     }
 
     #[test]
@@ -517,5 +664,68 @@ mod parallel_tests {
         let sim = Simulator::perfect();
         let h = sim.run_shots_parallel(&bell(), 10, 0).unwrap();
         assert_eq!(h.shots(), 10);
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn ghz(n: usize) -> Program {
+        let mut b = Program::builder(n).gate(GateKind::H, &[0]);
+        for q in 0..n - 1 {
+            b = b.gate(GateKind::Cnot, &[q, q + 1]);
+        }
+        b.measure_all().build()
+    }
+
+    /// The load-bearing regression test for the sampling fast path: for a
+    /// Bell pair and a 10-qubit GHZ state, drawing shots from the frozen
+    /// final distribution must produce the *identical* histogram (same
+    /// outcome for every shot index) as re-simulating each shot from
+    /// scratch.
+    #[test]
+    fn sampling_fast_path_matches_full_resimulation() {
+        let bell = {
+            Program::builder(2)
+                .gate(GateKind::H, &[0])
+                .gate(GateKind::Cnot, &[0, 1])
+                .measure_all()
+                .build()
+        };
+        for (name, p) in [("bell", bell), ("ghz10", ghz(10))] {
+            let fast = Simulator::perfect().with_seed(123);
+            let slow = fast.clone().with_sampling_fast_path(false);
+            assert!(fast.compile(&p).unwrap().terminal_sampling(), "{name}");
+            let hf = fast.run_shots(&p, 2000).unwrap();
+            let hs = slow.run_shots(&p, 2000).unwrap();
+            assert_eq!(hf, hs, "{name}: fast path diverged from re-simulation");
+        }
+    }
+
+    #[test]
+    fn fast_path_is_thread_count_independent() {
+        let sim = Simulator::perfect().with_seed(9);
+        let p = ghz(6);
+        let h1 = sim.run_shots_parallel(&p, 1000, 1).unwrap();
+        let h3 = sim.run_shots_parallel(&p, 1000, 3).unwrap();
+        assert_eq!(h1, h3);
+    }
+
+    #[test]
+    fn fast_path_not_taken_for_noisy_models() {
+        let sim = Simulator::with_model(QubitModel::realistic_depolarizing(0.01, 0.01, 0.0));
+        let plan = sim.compile(&ghz(3)).unwrap();
+        assert!(!plan.terminal_sampling());
+    }
+
+    #[test]
+    fn ghz_statistics_through_the_fast_path() {
+        let p = ghz(10);
+        let h = Simulator::perfect().run_shots(&p, 2000).unwrap();
+        assert_eq!(h.count(0) + h.count((1 << 10) - 1), 2000);
+        let p0 = h.probability(0);
+        assert!((p0 - 0.5).abs() < 0.05, "p0 = {p0}");
     }
 }

@@ -24,6 +24,15 @@ impl ShotHistogram {
         self.shots += 1;
     }
 
+    /// Records `count` observations of the same bit-string at once.
+    pub fn record_many(&mut self, bits: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(bits).or_insert(0) += count;
+        self.shots += count;
+    }
+
     /// Total number of shots recorded.
     pub fn shots(&self) -> u64 {
         self.shots

@@ -45,6 +45,7 @@ pub mod error_model;
 pub mod executor;
 pub mod histogram;
 pub mod observable;
+pub mod plan;
 pub mod qubit_model;
 pub mod state;
 
@@ -52,5 +53,6 @@ pub use error_model::ErrorChannel;
 pub use executor::{ExecuteError, ShotResult, Simulator};
 pub use histogram::ShotHistogram;
 pub use observable::{Pauli, PauliString, PauliSum};
+pub use plan::{CompiledProgram, PlannedGate, PlannedOp};
 pub use qubit_model::{QubitModel, RealisticParams};
-pub use state::StateVector;
+pub use state::{StateVector, PAR_MIN_QUBITS};

@@ -1,0 +1,308 @@
+//! Compiled shot plans: a validated [`Program`] lowered once into a flat
+//! operation list the executor can replay per shot with zero per-shot
+//! analysis.
+//!
+//! Interpreting a [`Program`] directly costs per shot: re-flattening the
+//! iterated subcircuits, re-deriving every gate's unitary through
+//! [`cqasm::GateKind::unitary`], unpacking operand wrappers, and scanning
+//! `involved.contains(&q)` for every qubit of every instruction to find the
+//! idle set. A [`CompiledProgram`] pays all of that once: gates are
+//! classified into [`KernelClass`] kernels, operands are unpacked to raw
+//! indices, and the idle set of each top-level instruction is a precomputed
+//! bitmask. Multi-thousand-shot runs then touch nothing but the amplitude
+//! vector and the RNG.
+//!
+//! Compilation also detects the *terminal sampling* shape — a noise-free
+//! program whose only non-unitary operation is a final `measure_all` — for
+//! which the executor evolves the state once and draws every shot from a
+//! cumulative probability table (see
+//! [`crate::StateVector::cumulative_probabilities`]).
+
+use crate::executor::ExecuteError;
+use crate::qubit_model::QubitModel;
+use cqasm::{Instruction, KernelClass, Program};
+
+/// A gate lowered for direct kernel dispatch: the classified kernel plus
+/// unpacked operand indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedGate {
+    /// The specialised (or generic) kernel to apply.
+    pub kernel: KernelClass,
+    /// Raw operand indices, in gate order (control first for CNOT).
+    pub qubits: Vec<usize>,
+    /// Operand count, cached for noise-channel selection.
+    pub arity: usize,
+}
+
+/// One operation of a compiled program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannedOp {
+    /// Reset a qubit to `|0>` (projective measure + conditional flip).
+    PrepZ(usize),
+    /// Apply a gate unconditionally.
+    Gate(PlannedGate),
+    /// Apply a gate iff the classical bit is one.
+    Cond(usize, PlannedGate),
+    /// Measure one qubit into its implicit bit.
+    Measure(usize),
+    /// Measure every qubit.
+    MeasureAll,
+    /// Apply the idle channel once to every qubit in the mask (bit `q` set
+    /// means qubit `q` idles). Emitted only when the model has an idle
+    /// channel, for the qubits *not* involved in a top-level instruction.
+    Idle(u64),
+    /// Explicit `wait`: idle every qubit for the given number of cycles.
+    /// Emitted only when the model has an idle channel.
+    Wait(u64),
+}
+
+/// A [`Program`] lowered against a [`QubitModel`], ready for repeated
+/// execution. Built by [`crate::Simulator::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    n: usize,
+    ops: Vec<PlannedOp>,
+    terminal_sampling: bool,
+}
+
+impl CompiledProgram {
+    /// Validates and lowers `program` for execution under `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] if the program fails semantic
+    /// validation.
+    pub fn compile(program: &Program, model: &QubitModel) -> Result<Self, ExecuteError> {
+        program
+            .validate()
+            .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
+        let n = program.qubit_count();
+        let idle_active = !model.idle_channel().is_none();
+        let all_mask: u64 = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut ops = Vec::new();
+        for ins in program.flat_instructions() {
+            lower(ins, &mut ops, idle_active);
+            // Schedule-aware idling, matching the interpreter: while a
+            // top-level instruction occupies its operands, every uninvolved
+            // qubit decoheres for one step. `wait` idles everything itself;
+            // `display` takes no time.
+            if idle_active && !matches!(ins, Instruction::Wait(_) | Instruction::Display) {
+                let involved: u64 = match ins {
+                    Instruction::MeasureAll => all_mask,
+                    other => other
+                        .qubits()
+                        .iter()
+                        .fold(0u64, |m, q| m | (1u64 << q.index())),
+                };
+                let idle_mask = all_mask & !involved;
+                if idle_mask != 0 {
+                    ops.push(PlannedOp::Idle(idle_mask));
+                }
+            }
+        }
+        let noise_free = model.gate_channel(1).is_none()
+            && model.gate_channel(2).is_none()
+            && !idle_active
+            && model.readout_error() == 0.0;
+        let terminal_sampling = noise_free
+            && matches!(ops.last(), Some(PlannedOp::MeasureAll))
+            && ops[..ops.len() - 1]
+                .iter()
+                .all(|op| matches!(op, PlannedOp::Gate(_)));
+        Ok(CompiledProgram {
+            n,
+            ops,
+            terminal_sampling,
+        })
+    }
+
+    /// Number of qubits the plan executes on.
+    pub fn qubit_count(&self) -> usize {
+        self.n
+    }
+
+    /// The lowered operation sequence.
+    pub fn ops(&self) -> &[PlannedOp] {
+        &self.ops
+    }
+
+    /// Whether the plan qualifies for the multi-shot sampling fast path:
+    /// a noise-free unitary prefix followed by a single terminal
+    /// `measure_all`. Such a plan is evolved once and all shots are drawn
+    /// from the final distribution, which is statistically *and*
+    /// bit-for-bit identical to re-simulating every shot.
+    pub fn terminal_sampling(&self) -> bool {
+        self.terminal_sampling
+    }
+}
+
+fn lower(ins: &Instruction, ops: &mut Vec<PlannedOp>, idle_active: bool) {
+    match ins {
+        Instruction::PrepZ(q) => ops.push(PlannedOp::PrepZ(q.index())),
+        Instruction::Gate(g) => ops.push(PlannedOp::Gate(plan_gate(g))),
+        Instruction::Cond(bit, g) => ops.push(PlannedOp::Cond(bit.index(), plan_gate(g))),
+        Instruction::Measure(q) => ops.push(PlannedOp::Measure(q.index())),
+        Instruction::MeasureAll => ops.push(PlannedOp::MeasureAll),
+        Instruction::Bundle(instrs) => {
+            // Members execute sequentially; the bundle idles uninvolved
+            // qubits once, at the top level.
+            for inner in instrs {
+                lower(inner, ops, idle_active);
+            }
+        }
+        Instruction::Wait(cycles) => {
+            if idle_active {
+                ops.push(PlannedOp::Wait(*cycles));
+            }
+        }
+        Instruction::Display => {}
+    }
+}
+
+fn plan_gate(g: &cqasm::GateApp) -> PlannedGate {
+    let qubits: Vec<usize> = g.qubits.iter().map(|q| q.index()).collect();
+    PlannedGate {
+        kernel: g.kind.kernel(),
+        arity: qubits.len(),
+        qubits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn bell() -> Program {
+        Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build()
+    }
+
+    #[test]
+    fn bell_compiles_to_terminal_sampling_plan() {
+        let plan = CompiledProgram::compile(&bell(), &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.qubit_count(), 2);
+        assert_eq!(plan.ops().len(), 3);
+        assert!(plan.terminal_sampling());
+        assert!(matches!(
+            &plan.ops()[0],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::General1q(_),
+                ..
+            })
+        ));
+        assert!(matches!(
+            &plan.ops()[1],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::Cnot,
+                qubits,
+                arity: 2,
+            }) if qubits == &[0, 1]
+        ));
+        assert!(matches!(plan.ops()[2], PlannedOp::MeasureAll));
+    }
+
+    #[test]
+    fn noise_disables_terminal_sampling() {
+        let noisy = QubitModel::realistic_depolarizing(0.01, 0.01, 0.0);
+        let plan = CompiledProgram::compile(&bell(), &noisy).unwrap();
+        assert!(!plan.terminal_sampling());
+    }
+
+    #[test]
+    fn mid_circuit_measurement_disables_terminal_sampling() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::X, &[1])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert!(!plan.terminal_sampling());
+    }
+
+    #[test]
+    fn idle_masks_cover_uninvolved_qubits_only() {
+        let model = QubitModel::Realistic(crate::qubit_model::RealisticParams {
+            channel_1q: crate::error_model::ErrorChannel::None,
+            channel_2q: crate::error_model::ErrorChannel::None,
+            readout_error: 0.0,
+            idle_channel: crate::error_model::ErrorChannel::AmplitudeDamping { gamma: 0.1 },
+        });
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[1])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &model).unwrap();
+        // h q[1] idles qubits 0 and 2; measure_all involves everything.
+        let idles: Vec<u64> = plan
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                PlannedOp::Idle(m) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idles, vec![0b101]);
+        assert!(!plan.terminal_sampling());
+    }
+
+    #[test]
+    fn wait_is_dropped_without_an_idle_channel() {
+        let p = Program::builder(1)
+            .gate(GateKind::X, &[0])
+            .instruction(Instruction::Wait(5))
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert!(plan
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, PlannedOp::Wait(_))));
+        assert!(plan.terminal_sampling());
+    }
+
+    #[test]
+    fn bundles_flatten_and_idle_once() {
+        let model = QubitModel::Realistic(crate::qubit_model::RealisticParams {
+            channel_1q: crate::error_model::ErrorChannel::None,
+            channel_2q: crate::error_model::ErrorChannel::None,
+            readout_error: 0.0,
+            idle_channel: crate::error_model::ErrorChannel::PhaseFlip { p: 0.1 },
+        });
+        let p = Program::builder(4)
+            .instruction(Instruction::Bundle(vec![
+                Instruction::gate(GateKind::X, &[0]),
+                Instruction::gate(GateKind::Y, &[2]),
+            ]))
+            .build();
+        let plan = CompiledProgram::compile(&p, &model).unwrap();
+        assert_eq!(plan.ops().len(), 3); // x, y, one idle
+        assert!(matches!(plan.ops()[2], PlannedOp::Idle(0b1010)));
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected() {
+        let mut p = Program::new(1);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[3]));
+        p.push_subcircuit(s);
+        assert!(matches!(
+            CompiledProgram::compile(&p, &QubitModel::Perfect),
+            Err(ExecuteError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn iterated_subcircuits_unroll() {
+        let mut p = Program::new(1);
+        let mut s = cqasm::Subcircuit::with_iterations("loop", 3);
+        s.push(Instruction::gate(GateKind::X, &[0]));
+        p.push_subcircuit(s);
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.ops().len(), 3);
+    }
+}

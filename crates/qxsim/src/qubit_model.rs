@@ -156,10 +156,7 @@ mod tests {
     fn realistic_depolarizing_parameters() {
         let m = QubitModel::realistic_depolarizing(0.001, 0.01, 0.02);
         assert!(m.is_noisy());
-        assert_eq!(
-            m.gate_channel(1),
-            ErrorChannel::Depolarizing { p: 0.001 }
-        );
+        assert_eq!(m.gate_channel(1), ErrorChannel::Depolarizing { p: 0.001 });
         assert_eq!(m.gate_channel(2), ErrorChannel::Depolarizing { p: 0.01 });
         assert_eq!(m.readout_error(), 0.02);
     }

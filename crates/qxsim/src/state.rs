@@ -6,9 +6,56 @@
 //! to however many qubits fit in host memory (the paper quotes ~35 fully
 //! entangled qubits on a laptop for the C++ engine; the memory wall is
 //! identical here since the representation is the same).
+//!
+//! Gate application enumerates each gate's *orbits* directly: a `k`-qubit
+//! gate partitions the `2^n` basis states into `2^(n-k)` independent orbits
+//! of `2^k` amplitudes, and the kernels iterate over orbit indices and
+//! expand them to basis indices with bit insertion ([`insert_bit`]) instead
+//! of scanning all `2^n` indices and skipping non-orbit entries. Structured
+//! gates (diagonal, anti-diagonal, CNOT/CZ/SWAP, controlled phase) dispatch
+//! to specialised kernels via [`cqasm::KernelClass`]; everything else falls
+//! back to the generic dense matrix kernels. Large registers are chunked
+//! across threads (see [`par`]). The original scan-and-skip kernels are
+//! preserved in [`reference`] as ground truth for property tests and as the
+//! benchmark baseline.
 
-use cqasm::math::{C64, EPSILON, Mat2, Mat4};
+use cqasm::math::{Mat2, Mat4, C64, EPSILON};
+use cqasm::KernelClass;
 use rand::Rng;
+
+/// Minimum register size (in qubits) at which the dense 1q/2q kernels are
+/// split across threads. Below this the per-thread spawn overhead exceeds
+/// the arithmetic saved; at `2^18` amplitudes (4 MiB of state) the split
+/// starts to pay on multi-core hosts.
+pub const PAR_MIN_QUBITS: usize = 18;
+
+/// Number of worker threads the automatic kernel dispatch uses: the host's
+/// available parallelism, probed once. `1` disables threading entirely.
+fn auto_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Expands a compressed index by inserting a `0` bit at `pos`: bits below
+/// `pos` stay, bits at and above shift up by one. Maps orbit index to the
+/// orbit's base state.
+#[inline(always)]
+fn insert_bit(k: usize, pos: usize) -> usize {
+    ((k >> pos) << (pos + 1)) | (k & ((1usize << pos) - 1))
+}
+
+/// Expands a compressed index by inserting `0` bits at the two *sorted*
+/// positions `p0 < p1` (final bit positions in the expanded index).
+#[inline(always)]
+fn insert_two_bits(k: usize, p0: usize, p1: usize) -> usize {
+    debug_assert!(p0 < p1);
+    insert_bit(insert_bit(k, p0), p1)
+}
 
 /// A pure quantum state of `n` qubits as a dense amplitude vector.
 ///
@@ -65,7 +112,10 @@ impl StateVector {
     ///
     /// Panics if the length is not a power of two or the vector is all-zero.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
-        assert!(amps.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            amps.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         let n = amps.len().trailing_zeros() as usize;
         let mut s = StateVector { n, amps };
         let norm = s.norm();
@@ -101,14 +151,20 @@ impl StateVector {
     }
 
     /// Probability that qubit `q` measures as 1.
+    ///
+    /// Walks only the `2^(n-1)` amplitudes with bit `q` set, in strided
+    /// blocks, instead of filtering all `2^n` indices.
     pub fn probability_one(&self, q: usize) -> f64 {
-        let mask = 1usize << q;
-        self.amps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        let stride = 1usize << q;
+        let mut sum = 0.0f64;
+        let mut base = stride;
+        while base < self.amps.len() {
+            for a in &self.amps[base..base + stride] {
+                sum += a.norm_sqr();
+            }
+            base += stride << 1;
+        }
+        sum
     }
 
     /// Expectation value of Pauli-Z on qubit `q` (`+1` for |0>, `-1` for |1>).
@@ -144,21 +200,43 @@ impl StateVector {
     }
 
     /// Applies a single-qubit unitary to qubit `q`.
+    ///
+    /// Registers of [`PAR_MIN_QUBITS`] or more qubits are chunked across
+    /// the host's threads (see [`par`]); the result is bit-identical either
+    /// way since every amplitude pair is updated independently.
     pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
         debug_assert!(q < self.n);
-        let stride = 1usize << q;
+        let threads = auto_threads();
+        if self.n >= PAR_MIN_QUBITS && threads > 1 {
+            par::apply_1q_threaded(self, m, q, threads);
+        } else {
+            let pairs = self.amps.len() >> 1;
+            self.apply_1q_range(m, q, 0, pairs);
+        }
+    }
+
+    /// Applies `m` to the amplitude pairs with pair index in `lo..hi`.
+    /// Pair index `p` expands to the basis pair `(insert_bit(p, q),
+    /// insert_bit(p, q) | 1 << q)`.
+    ///
+    /// Consecutive pair indices within a `2^q`-aligned block map to
+    /// consecutive basis indices, so the range is walked block-by-block
+    /// with a contiguous inner loop (one `insert_bit` per block, not per
+    /// pair) to keep the traversal as cheap as the classic strided form.
+    fn apply_1q_range(&mut self, m: &Mat2, q: usize, lo: usize, hi: usize) {
+        let bit = 1usize << q;
         let [[m00, m01], [m10, m11]] = m.0;
-        let mut base = 0usize;
-        while base < self.amps.len() {
-            for off in base..base + stride {
-                let i0 = off;
-                let i1 = off + stride;
-                let a0 = self.amps[i0];
-                let a1 = self.amps[i1];
-                self.amps[i0] = m00 * a0 + m01 * a1;
-                self.amps[i1] = m10 * a0 + m11 * a1;
+        let mut p = lo;
+        while p < hi {
+            let run = (bit - (p & (bit - 1))).min(hi - p);
+            let i0 = insert_bit(p, q);
+            for j in 0..run {
+                let a0 = self.amps[i0 + j];
+                let a1 = self.amps[i0 + j + bit];
+                self.amps[i0 + j] = m00 * a0 + m01 * a1;
+                self.amps[i0 + j + bit] = m10 * a0 + m11 * a1;
             }
-            base += stride << 1;
+            p += run;
         }
     }
 
@@ -166,59 +244,184 @@ impl StateVector {
     /// `|q_hi q_lo>` where `q_hi` is the **first** operand (matching
     /// [`cqasm::GateUnitary::Two`]).
     ///
+    /// Enumerates the `2^(n-2)` four-element orbits directly (no scan over
+    /// non-orbit indices) and chunks them across threads for large
+    /// registers, like [`StateVector::apply_1q`].
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if operands alias or are out of range.
     pub fn apply_2q(&mut self, m: &Mat4, q_hi: usize, q_lo: usize) {
         debug_assert!(q_hi != q_lo && q_hi < self.n && q_lo < self.n);
+        let threads = auto_threads();
+        if self.n >= PAR_MIN_QUBITS && threads > 1 {
+            par::apply_2q_threaded(self, m, q_hi, q_lo, threads);
+        } else {
+            let orbits = self.amps.len() >> 2;
+            self.apply_2q_range(m, q_hi, q_lo, 0, orbits);
+        }
+    }
+
+    /// Applies `m` to the four-element orbits with orbit index in `lo..hi`.
+    fn apply_2q_range(&mut self, m: &Mat4, q_hi: usize, q_lo: usize, lo: usize, hi: usize) {
         let bh = 1usize << q_hi;
         let bl = 1usize << q_lo;
-        for i in 0..self.amps.len() {
-            // Visit each 4-element orbit exactly once, from its smallest index.
-            if i & bh != 0 || i & bl != 0 {
-                continue;
-            }
-            let i00 = i;
-            let i01 = i | bl;
-            let i10 = i | bh;
-            let i11 = i | bh | bl;
-            let a = [
-                self.amps[i00],
-                self.amps[i01],
-                self.amps[i10],
-                self.amps[i11],
-            ];
-            for (row, idx) in [(0, i00), (1, i01), (2, i10), (3, i11)] {
-                let mut acc = C64::ZERO;
-                for (col, amp) in a.iter().enumerate() {
-                    acc += m.0[row][col] * *amp;
-                }
-                self.amps[idx] = acc;
-            }
+        let (p0, p1) = if q_hi < q_lo {
+            (q_hi, q_lo)
+        } else {
+            (q_lo, q_hi)
+        };
+        let mm = &m.0;
+        for k in lo..hi {
+            let i00 = insert_two_bits(k, p0, p1);
+            let i01 = i00 | bl;
+            let i10 = i00 | bh;
+            let i11 = i00 | bh | bl;
+            let a0 = self.amps[i00];
+            let a1 = self.amps[i01];
+            let a2 = self.amps[i10];
+            let a3 = self.amps[i11];
+            self.amps[i00] = mm[0][0] * a0 + mm[0][1] * a1 + mm[0][2] * a2 + mm[0][3] * a3;
+            self.amps[i01] = mm[1][0] * a0 + mm[1][1] * a1 + mm[1][2] * a2 + mm[1][3] * a3;
+            self.amps[i10] = mm[2][0] * a0 + mm[2][1] * a1 + mm[2][2] * a2 + mm[2][3] * a3;
+            self.amps[i11] = mm[3][0] * a0 + mm[3][1] * a1 + mm[3][2] * a2 + mm[3][3] * a3;
         }
     }
 
     /// Applies a single-qubit unitary to `target` conditioned on every qubit
     /// in `controls` being `|1>`. Used for Toffoli and the multi-controlled
     /// oracles of Grover search.
+    ///
+    /// Enumerates only the `2^(n - controls - 1)` amplitude pairs where all
+    /// control bits are set, by inserting the fixed control/target bits into
+    /// a compressed counter.
     pub fn apply_controlled_1q(&mut self, m: &Mat2, controls: &[usize], target: usize) {
         debug_assert!(!controls.contains(&target));
-        let ctrl_mask: usize = controls.iter().map(|c| 1usize << c).sum();
+        // Fixed bits of the orbit base, sorted by position: each control is
+        // pinned to 1, the target to 0.
+        let mut fixed: Vec<(usize, usize)> = controls.iter().map(|&c| (c, 1)).collect();
+        fixed.push((target, 0));
+        fixed.sort_unstable();
         let tbit = 1usize << target;
+        let pairs = self.amps.len() >> fixed.len();
         let [[m00, m01], [m10, m11]] = m.0;
-        for i in 0..self.amps.len() {
-            if i & tbit != 0 {
-                continue;
+        for k in 0..pairs {
+            let mut i0 = k;
+            for &(pos, val) in &fixed {
+                i0 = ((i0 >> pos) << (pos + 1)) | (val << pos) | (i0 & ((1usize << pos) - 1));
             }
-            if i & ctrl_mask != ctrl_mask {
-                continue;
-            }
-            let i0 = i;
-            let i1 = i | tbit;
+            let i1 = i0 | tbit;
             let a0 = self.amps[i0];
             let a1 = self.amps[i1];
             self.amps[i0] = m00 * a0 + m01 * a1;
             self.amps[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+
+    /// Applies the diagonal unitary `diag(c0, c1)` to qubit `q` (Z, S, T,
+    /// Rz, ...): every amplitude is scaled, none move.
+    pub fn apply_diagonal_1q(&mut self, c0: C64, c1: C64, q: usize) {
+        debug_assert!(q < self.n);
+        let stride = 1usize << q;
+        let mut base = 0usize;
+        while base < self.amps.len() {
+            for a in &mut self.amps[base..base + stride] {
+                *a *= c0;
+            }
+            for a in &mut self.amps[base + stride..base + (stride << 1)] {
+                *a *= c1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies the anti-diagonal unitary `[[0, c0], [c1, 0]]` to qubit `q`:
+    /// each amplitude pair swaps, scaled by `c0` (new `|0>` row) and `c1`
+    /// (new `|1>` row). X is `c0 = c1 = 1`; Y is `c0 = -i`, `c1 = i`.
+    pub fn apply_antidiagonal_1q(&mut self, c0: C64, c1: C64, q: usize) {
+        debug_assert!(q < self.n);
+        let bit = 1usize << q;
+        for p in 0..self.amps.len() >> 1 {
+            let i0 = insert_bit(p, q);
+            let i1 = i0 | bit;
+            let a0 = self.amps[i0];
+            let a1 = self.amps[i1];
+            self.amps[i0] = c0 * a1;
+            self.amps[i1] = c1 * a0;
+        }
+    }
+
+    /// Applies CNOT as a pure index permutation: swaps each amplitude pair
+    /// whose control bit is set.
+    pub fn apply_cnot(&mut self, control: usize, target: usize) {
+        debug_assert!(control != target && control < self.n && target < self.n);
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        let (p0, p1) = if control < target {
+            (control, target)
+        } else {
+            (target, control)
+        };
+        for k in 0..self.amps.len() >> 2 {
+            let i10 = insert_two_bits(k, p0, p1) | cbit;
+            self.amps.swap(i10, i10 | tbit);
+        }
+    }
+
+    /// Applies CZ: negates the amplitudes with both qubit bits set.
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        self.apply_controlled_phase(-C64::ONE, a, b);
+    }
+
+    /// Applies a controlled phase (CZ, `cr`, `crk`): multiplies the
+    /// amplitudes with both qubit bits set by `phase`.
+    pub fn apply_controlled_phase(&mut self, phase: C64, a: usize, b: usize) {
+        debug_assert!(a != b && a < self.n && b < self.n);
+        let both = (1usize << a) | (1usize << b);
+        let (p0, p1) = if a < b { (a, b) } else { (b, a) };
+        for k in 0..self.amps.len() >> 2 {
+            let i11 = insert_two_bits(k, p0, p1) | both;
+            self.amps[i11] *= phase;
+        }
+    }
+
+    /// Applies SWAP as a pure index permutation: exchanges the `|01>` and
+    /// `|10>` amplitudes of each orbit.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        debug_assert!(a != b && a < self.n && b < self.n);
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let (p0, p1) = if a < b { (a, b) } else { (b, a) };
+        for k in 0..self.amps.len() >> 2 {
+            let i00 = insert_two_bits(k, p0, p1);
+            self.amps.swap(i00 | ba, i00 | bb);
+        }
+    }
+
+    /// Applies a pre-classified kernel (see [`cqasm::GateKind::kernel`]) to
+    /// the given operands. This is the dispatch point the compiled shot
+    /// plans use: classification happens once per program, not per shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if operand indices are out of range or the
+    /// operand count does not match the kernel's arity.
+    pub fn apply_kernel(&mut self, kernel: &KernelClass, qubits: &[usize]) {
+        match kernel {
+            KernelClass::Identity => {}
+            KernelClass::Diagonal1q(c0, c1) => self.apply_diagonal_1q(*c0, *c1, qubits[0]),
+            KernelClass::AntiDiagonal1q(c0, c1) => self.apply_antidiagonal_1q(*c0, *c1, qubits[0]),
+            KernelClass::General1q(m) => self.apply_1q(m, qubits[0]),
+            KernelClass::Cnot => self.apply_cnot(qubits[0], qubits[1]),
+            KernelClass::Cz => self.apply_cz(qubits[0], qubits[1]),
+            KernelClass::Swap => self.apply_swap(qubits[0], qubits[1]),
+            KernelClass::ControlledPhase(p) => {
+                self.apply_controlled_phase(*p, qubits[0], qubits[1])
+            }
+            KernelClass::General2q(m) => self.apply_2q(m, qubits[0], qubits[1]),
+            KernelClass::ControlledControlled(m) => {
+                self.apply_controlled_1q(m, &qubits[..2], qubits[2])
+            }
         }
     }
 
@@ -276,13 +479,7 @@ impl StateVector {
         for &q in qubits {
             assert!(q < self.n, "qubit index {q} out of range");
         }
-        match kind.unitary() {
-            cqasm::GateUnitary::One(m) => self.apply_1q(&m, qubits[0]),
-            cqasm::GateUnitary::Two(m) => self.apply_2q(&m, qubits[0], qubits[1]),
-            cqasm::GateUnitary::ControlledControlled(m) => {
-                self.apply_controlled_1q(&m, &qubits[..2], qubits[2])
-            }
-        }
+        self.apply_kernel(&kind.kernel(), qubits);
     }
 
     /// Projectively measures qubit `q` in the Z basis, collapsing the state.
@@ -327,18 +524,35 @@ impl StateVector {
         }
     }
 
+    /// The running sum of basis-state probabilities: entry `i` is
+    /// `sum_{j <= i} |amp(j)|^2` (the last entry is ~1). Build this once on
+    /// a frozen state and draw any number of samples from it with
+    /// [`StateVector::sample_from_cumulative`] in `O(log 2^n)` each — the
+    /// noise-free multi-shot fast path of the executor.
+    pub fn cumulative_probabilities(&self) -> Vec<f64> {
+        let mut cum = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0f64;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cum.push(acc);
+        }
+        cum
+    }
+
+    /// Maps a uniform draw `r` in `[0, 1)` to a basis index by binary search
+    /// on a cumulative table from
+    /// [`StateVector::cumulative_probabilities`]: the first index `i` with
+    /// `r < cum[i]`. Equivalent to (and bit-compatible with) a linear scan
+    /// accumulating left to right.
+    pub fn sample_from_cumulative(cum: &[f64], r: f64) -> u64 {
+        cum.partition_point(|&c| c <= r).min(cum.len() - 1) as u64
+    }
+
     /// Samples a full measurement of all qubits *without* collapsing the
     /// state (used for multi-shot histogram estimation on a frozen state).
     pub fn sample_all<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let r: f64 = rng.gen();
-        let mut acc = 0.0;
-        for (i, a) in self.amps.iter().enumerate() {
-            acc += a.norm_sqr();
-            if r < acc {
-                return i as u64;
-            }
-        }
-        (self.amps.len() - 1) as u64
+        Self::sample_from_cumulative(&self.cumulative_probabilities(), r)
     }
 
     /// Measures all qubits, collapsing to a single basis state. Returns the
@@ -346,9 +560,254 @@ impl StateVector {
     pub fn measure_all<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
         let outcome = self.sample_all(rng);
         for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = if i as u64 == outcome { C64::ONE } else { C64::ZERO };
+            *a = if i as u64 == outcome {
+                C64::ONE
+            } else {
+                C64::ZERO
+            };
         }
         outcome
+    }
+}
+
+/// Chunk-parallel dense kernels over `std::thread::scope`.
+///
+/// Each worker owns a disjoint range of *orbit indices*; since the orbit
+/// index ↔ basis indices mapping is a bijection, no two workers ever touch
+/// the same amplitude, and because every orbit's update is the same
+/// floating-point expression regardless of which thread runs it, the result
+/// is bit-identical to the serial kernels for any thread count.
+///
+/// (The project vendors no `rayon`; scoped threads give the same chunked
+/// fork-join shape with zero dependencies.)
+pub mod par {
+    use super::{insert_bit, insert_two_bits, StateVector};
+    use cqasm::math::{Mat2, Mat4};
+
+    /// A raw amplitude pointer that may cross thread boundaries. Safety is
+    /// argued at each use site: workers write disjoint index sets.
+    struct AmpsPtr(*mut cqasm::math::C64);
+    unsafe impl Send for AmpsPtr {}
+    unsafe impl Sync for AmpsPtr {}
+
+    /// [`StateVector::apply_1q`] with the amplitude pairs split across
+    /// `threads` workers. Exposed so tests can force a thread count on
+    /// registers below the automatic threshold.
+    pub fn apply_1q_threaded(state: &mut StateVector, m: &Mat2, q: usize, threads: usize) {
+        let pairs = state.amps.len() >> 1;
+        let threads = threads.clamp(1, pairs.max(1));
+        if threads <= 1 {
+            state.apply_1q_range(m, q, 0, pairs);
+            return;
+        }
+        let bit = 1usize << q;
+        let [[m00, m01], [m10, m11]] = m.0;
+        let amps = AmpsPtr(state.amps.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = pairs * t / threads;
+                let hi = pairs * (t + 1) / threads;
+                let amps = &amps;
+                scope.spawn(move || {
+                    let base = amps.0;
+                    for p in lo..hi {
+                        let i0 = insert_bit(p, q);
+                        let i1 = i0 | bit;
+                        // SAFETY: `p -> (i0, i1)` is injective with disjoint
+                        // images across pair indices, and the `lo..hi`
+                        // ranges partition `0..pairs`, so no other worker
+                        // reads or writes these two amplitudes.
+                        unsafe {
+                            let a0 = *base.add(i0);
+                            let a1 = *base.add(i1);
+                            *base.add(i0) = m00 * a0 + m01 * a1;
+                            *base.add(i1) = m10 * a0 + m11 * a1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// [`StateVector::apply_2q`] with the four-element orbits split across
+    /// `threads` workers. Exposed so tests can force a thread count on
+    /// registers below the automatic threshold.
+    pub fn apply_2q_threaded(
+        state: &mut StateVector,
+        m: &Mat4,
+        q_hi: usize,
+        q_lo: usize,
+        threads: usize,
+    ) {
+        let orbits = state.amps.len() >> 2;
+        let threads = threads.clamp(1, orbits.max(1));
+        if threads <= 1 {
+            state.apply_2q_range(m, q_hi, q_lo, 0, orbits);
+            return;
+        }
+        let bh = 1usize << q_hi;
+        let bl = 1usize << q_lo;
+        let (p0, p1) = if q_hi < q_lo {
+            (q_hi, q_lo)
+        } else {
+            (q_lo, q_hi)
+        };
+        let mm = m.0;
+        let amps = AmpsPtr(state.amps.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = orbits * t / threads;
+                let hi = orbits * (t + 1) / threads;
+                let amps = &amps;
+                scope.spawn(move || {
+                    let base = amps.0;
+                    for k in lo..hi {
+                        let i00 = insert_two_bits(k, p0, p1);
+                        let i01 = i00 | bl;
+                        let i10 = i00 | bh;
+                        let i11 = i00 | bh | bl;
+                        // SAFETY: orbit index `k` maps to four basis indices
+                        // disjoint from every other orbit's, and the
+                        // `lo..hi` ranges partition `0..orbits`.
+                        unsafe {
+                            let a0 = *base.add(i00);
+                            let a1 = *base.add(i01);
+                            let a2 = *base.add(i10);
+                            let a3 = *base.add(i11);
+                            *base.add(i00) =
+                                mm[0][0] * a0 + mm[0][1] * a1 + mm[0][2] * a2 + mm[0][3] * a3;
+                            *base.add(i01) =
+                                mm[1][0] * a0 + mm[1][1] * a1 + mm[1][2] * a2 + mm[1][3] * a3;
+                            *base.add(i10) =
+                                mm[2][0] * a0 + mm[2][1] * a1 + mm[2][2] * a2 + mm[2][3] * a3;
+                            *base.add(i11) =
+                                mm[3][0] * a0 + mm[3][1] * a1 + mm[3][2] * a2 + mm[3][3] * a3;
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The original scan-and-skip kernels, kept verbatim as executable ground
+/// truth: the property tests check every specialised kernel against these,
+/// and the benchmark suite reports speedups relative to them.
+pub mod reference {
+    use super::StateVector;
+    use cqasm::math::{Mat2, Mat4, C64};
+    use rand::Rng;
+
+    /// Baseline strided single-qubit kernel.
+    pub fn apply_1q(state: &mut StateVector, m: &Mat2, q: usize) {
+        let stride = 1usize << q;
+        let [[m00, m01], [m10, m11]] = m.0;
+        let mut base = 0usize;
+        while base < state.amps.len() {
+            for off in base..base + stride {
+                let i0 = off;
+                let i1 = off + stride;
+                let a0 = state.amps[i0];
+                let a1 = state.amps[i1];
+                state.amps[i0] = m00 * a0 + m01 * a1;
+                state.amps[i1] = m10 * a0 + m11 * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Baseline two-qubit kernel: scans all `2^n` indices, skipping the
+    /// three quarters that are not an orbit base.
+    pub fn apply_2q(state: &mut StateVector, m: &Mat4, q_hi: usize, q_lo: usize) {
+        let bh = 1usize << q_hi;
+        let bl = 1usize << q_lo;
+        for i in 0..state.amps.len() {
+            if i & bh != 0 || i & bl != 0 {
+                continue;
+            }
+            let i00 = i;
+            let i01 = i | bl;
+            let i10 = i | bh;
+            let i11 = i | bh | bl;
+            let a = [
+                state.amps[i00],
+                state.amps[i01],
+                state.amps[i10],
+                state.amps[i11],
+            ];
+            for (row, idx) in [(0, i00), (1, i01), (2, i10), (3, i11)] {
+                let mut acc = C64::ZERO;
+                for (col, amp) in a.iter().enumerate() {
+                    acc += m.0[row][col] * *amp;
+                }
+                state.amps[idx] = acc;
+            }
+        }
+    }
+
+    /// Baseline multi-controlled kernel: scans all `2^n` indices, skipping
+    /// those whose control bits are not all set.
+    pub fn apply_controlled_1q(
+        state: &mut StateVector,
+        m: &Mat2,
+        controls: &[usize],
+        target: usize,
+    ) {
+        let ctrl_mask: usize = controls.iter().map(|c| 1usize << c).sum();
+        let tbit = 1usize << target;
+        let [[m00, m01], [m10, m11]] = m.0;
+        for i in 0..state.amps.len() {
+            if i & tbit != 0 {
+                continue;
+            }
+            if i & ctrl_mask != ctrl_mask {
+                continue;
+            }
+            let i0 = i;
+            let i1 = i | tbit;
+            let a0 = state.amps[i0];
+            let a1 = state.amps[i1];
+            state.amps[i0] = m00 * a0 + m01 * a1;
+            state.amps[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+
+    /// Baseline gate dispatch straight through the dense unitary, with no
+    /// kernel specialisation.
+    pub fn apply_gate(state: &mut StateVector, kind: &cqasm::GateKind, qubits: &[usize]) {
+        assert_eq!(qubits.len(), kind.arity(), "operand count mismatch");
+        match kind.unitary() {
+            cqasm::GateUnitary::One(m) => apply_1q(state, &m, qubits[0]),
+            cqasm::GateUnitary::Two(m) => apply_2q(state, &m, qubits[0], qubits[1]),
+            cqasm::GateUnitary::ControlledControlled(m) => {
+                apply_controlled_1q(state, &m, &qubits[..2], qubits[2])
+            }
+        }
+    }
+
+    /// Baseline marginal probability: filters all `2^n` indices.
+    pub fn probability_one(state: &StateVector, q: usize) -> f64 {
+        let mask = 1usize << q;
+        state
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Baseline sampling: linear scan of the running probability sum.
+    pub fn sample_all<R: Rng + ?Sized>(state: &StateVector, rng: &mut R) -> u64 {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, a) in state.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                return i as u64;
+            }
+        }
+        (state.amps.len() - 1) as u64
     }
 }
 
@@ -356,8 +815,8 @@ impl StateVector {
 mod tests {
     use super::*;
     use cqasm::GateKind;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -562,5 +1021,129 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn from_amplitudes_rejects_bad_length() {
         let _ = StateVector::from_amplitudes(vec![C64::ONE; 3]);
+    }
+
+    /// A dense random state for kernel-equivalence checks.
+    fn random_state(n: usize, seed: u64) -> StateVector {
+        let mut r = StdRng::seed_from_u64(seed);
+        let amps: Vec<C64> = (0..1usize << n)
+            .map(|_| C64::new(r.gen::<f64>() - 0.5, r.gen::<f64>() - 0.5))
+            .collect();
+        StateVector::from_amplitudes(amps)
+    }
+
+    fn assert_states_close(a: &StateVector, b: &StateVector, what: &str) {
+        for (i, (x, y)) in a.amplitudes().iter().zip(b.amplitudes()).enumerate() {
+            assert!(
+                (*x - *y).norm_sqr() < 1e-20,
+                "{what}: amplitude {i} differs: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn orbit_kernels_match_reference_on_random_states() {
+        let n = 6;
+        let gates: &[(GateKind, &[usize])] = &[
+            (GateKind::H, &[3]),
+            (GateKind::X, &[0]),
+            (GateKind::Y, &[5]),
+            (GateKind::Z, &[2]),
+            (GateKind::T, &[4]),
+            (GateKind::Rz(0.81), &[1]),
+            (GateKind::Rx(-1.3), &[2]),
+            (GateKind::Cnot, &[4, 1]),
+            (GateKind::Cnot, &[1, 4]),
+            (GateKind::Cz, &[0, 5]),
+            (GateKind::Swap, &[3, 0]),
+            (GateKind::Cr(0.4), &[5, 2]),
+            (GateKind::CRk(3), &[2, 5]),
+            (GateKind::Toffoli, &[5, 0, 3]),
+        ];
+        for (seed, (g, qs)) in gates.iter().enumerate() {
+            let mut fast = random_state(n, seed as u64);
+            let mut slow = fast.clone();
+            fast.apply_gate(g, qs);
+            reference::apply_gate(&mut slow, g, qs);
+            assert_states_close(&fast, &slow, &format!("{g} on {qs:?}"));
+        }
+    }
+
+    #[test]
+    fn threaded_kernels_are_bit_identical_to_serial() {
+        // Force the threaded path on a small register (the automatic
+        // dispatch would stay serial below PAR_MIN_QUBITS) and require
+        // exact equality: the per-amplitude arithmetic is identical.
+        let h = match GateKind::H.unitary() {
+            cqasm::GateUnitary::One(m) => m,
+            _ => unreachable!(),
+        };
+        let cnot = match GateKind::Cnot.unitary() {
+            cqasm::GateUnitary::Two(m) => m,
+            _ => unreachable!(),
+        };
+        for threads in [2, 3, 8] {
+            let mut a = random_state(7, 99);
+            let mut b = a.clone();
+            a.apply_1q(&h, 4);
+            par::apply_1q_threaded(&mut b, &h, 4, threads);
+            assert_eq!(a, b, "1q, {threads} threads");
+
+            let mut a = random_state(7, 100);
+            let mut b = a.clone();
+            a.apply_2q(&cnot, 6, 2);
+            par::apply_2q_threaded(&mut b, &cnot, 6, 2, threads);
+            assert_eq!(a, b, "2q, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn probability_one_matches_reference() {
+        let s = random_state(6, 17);
+        for q in 0..6 {
+            let fast = s.probability_one(q);
+            let slow = reference::probability_one(&s, q);
+            assert!((fast - slow).abs() < 1e-12, "qubit {q}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn binary_search_sampling_matches_linear_scan() {
+        let mut s = StateVector::zero_state(5);
+        for q in 0..5 {
+            s.apply_gate(&GateKind::H, &[q]);
+            s.apply_gate(&GateKind::T, &[q]);
+        }
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..200 {
+            assert_eq!(s.sample_all(&mut r1), reference::sample_all(&s, &mut r2));
+        }
+    }
+
+    #[test]
+    fn cumulative_table_handles_edge_draws() {
+        let s = StateVector::basis_state(2, 0b10);
+        let cum = s.cumulative_probabilities();
+        assert_eq!(StateVector::sample_from_cumulative(&cum, 0.0), 0b10);
+        // Draws at or beyond the total mass clamp to the last basis state
+        // with any probability (here exactly the last nonzero entry works
+        // out to the final index by the partition rule).
+        assert_eq!(StateVector::sample_from_cumulative(&cum, 0.999999), 0b10);
+    }
+
+    #[test]
+    fn bit_insertion_expands_correctly() {
+        assert_eq!(insert_bit(0b101, 1), 0b1001);
+        assert_eq!(insert_bit(0b101, 0), 0b1010);
+        assert_eq!(insert_two_bits(0b11, 0, 2), 0b1010);
+        // Every expanded index has the inserted bits clear and the mapping
+        // is injective.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..16usize {
+            let i = insert_two_bits(k, 1, 3);
+            assert_eq!(i & 0b1010, 0, "k={k} -> {i:b}");
+            assert!(seen.insert(i));
+        }
     }
 }

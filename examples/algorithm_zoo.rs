@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example algorithm_zoo`
 
-use openql::library::{DjOracle, bernstein_vazirani, deutsch_jozsa, iqft, phase_estimation, qft};
+use openql::library::{bernstein_vazirani, deutsch_jozsa, iqft, phase_estimation, qft, DjOracle};
 use openql::{Kernel, QuantumProgram};
 use qca_core::{FullStack, QubitKind, StackError};
 
@@ -26,7 +26,9 @@ fn main() -> Result<(), StackError> {
         .execute(&program, 300)?;
     println!(
         "  under today's noise the secret still tops the histogram with P = {:.3}",
-        noisy.histogram.probability(noisy.histogram.most_likely().unwrap())
+        noisy
+            .histogram
+            .probability(noisy.histogram.most_likely().unwrap())
     );
 
     // --- Deutsch–Jozsa: constant vs balanced in one query --------------
@@ -36,10 +38,7 @@ fn main() -> Result<(), StackError> {
     ] {
         let program = wrap(deutsch_jozsa(4, oracle), 5);
         let run = FullStack::perfect(5).execute(&program, 100)?;
-        let all_zero = run
-            .histogram
-            .iter()
-            .all(|(bits, _)| bits & 0b1111 == 0);
+        let all_zero = run.histogram.iter().all(|(bits, _)| bits & 0b1111 == 0);
         println!(
             "Deutsch-Jozsa ({label}): data register all-zero = {all_zero} -> classified {}",
             if all_zero { "constant" } else { "balanced" }

@@ -7,10 +7,10 @@
 //! Run with: `cargo run --release --example denovo_assembly`
 
 use annealer::{QuantumAnnealer, SimulatedAnnealer};
-use qgs::assembly::{OverlapGraph, fragment};
+use qgs::assembly::{fragment, OverlapGraph};
 use qgs::dna::MarkovModel;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(4242);
@@ -38,7 +38,11 @@ fn main() {
     println!("\ngreedy merge order {order:?}");
     println!(
         "greedy contig:  {contig}  ({})",
-        if contig == reference { "EXACT" } else { "mismatch" }
+        if contig == reference {
+            "EXACT"
+        } else {
+            "mismatch"
+        }
     );
 
     // Quantum-accelerated: Hamiltonian path QUBO on the annealers.
@@ -48,14 +52,22 @@ fn main() {
     if let Some((order, contig)) = graph.assemble_with(&sa, 60) {
         println!(
             "simulated annealing:     order {order:?} -> {contig} ({})",
-            if contig == reference { "EXACT" } else { "mismatch" }
+            if contig == reference {
+                "EXACT"
+            } else {
+                "mismatch"
+            }
         );
     }
     let sqa = QuantumAnnealer::new().with_seed(2);
     if let Some((order, contig)) = graph.assemble_with(&sqa, 30) {
         println!(
             "quantum annealer (SQA):  order {order:?} -> {contig} ({})",
-            if contig == reference { "EXACT" } else { "mismatch" }
+            if contig == reference {
+                "EXACT"
+            } else {
+                "mismatch"
+            }
         );
     }
 }

@@ -7,8 +7,8 @@ use qgs::aligner::QuantumAligner;
 use qgs::classical::best_hamming_search;
 use qgs::dna::MarkovModel;
 use qgs::reads::ReadGenerator;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2026);
@@ -18,7 +18,10 @@ fn main() {
     let model = MarkovModel::estimate(&template, 2);
     let reference = model.generate(60, &mut rng);
     println!("reference ({} bases): {reference}", reference.len());
-    println!("base entropy: {:.3} bits (max 2.0)\n", reference.base_entropy());
+    println!(
+        "base entropy: {:.3} bits (max 2.0)\n",
+        reference.base_entropy()
+    );
 
     let kmer = 6;
     let aligner = QuantumAligner::new(reference.clone(), kmer);
@@ -37,13 +40,15 @@ fn main() {
     let mut correct = 0;
     let mut total_iterations = 0usize;
     let mut classical_comparisons = 0u64;
-    println!("\n{:<10} {:>6} {:>6} {:>9} {:>8} {:>8}", "read", "true", "found", "P(match)", "iters", "errors");
+    println!(
+        "\n{:<10} {:>6} {:>6} {:>9} {:>8} {:>8}",
+        "read", "true", "found", "P(match)", "iters", "errors"
+    );
     for read in &reads {
         let classical = best_hamming_search(&reference, &read.bases);
         classical_comparisons += classical.comparisons;
         let out = aligner.align(&read.bases, read.errors.max(1));
-        let ok = classical.positions.contains(&out.position)
-            || out.position == read.true_position;
+        let ok = classical.positions.contains(&out.position) || out.position == read.true_position;
         if ok {
             correct += 1;
         }

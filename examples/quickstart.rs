@@ -43,7 +43,10 @@ fn main() -> Result<(), StackError> {
         lab.shot_time_ns.expect("microarch reports timing")
     );
     let pulses = lab.pulses.expect("pulse trace");
-    println!("first shot emitted {} analogue pulses; first five:", pulses.len());
+    println!(
+        "first shot emitted {} analogue pulses; first five:",
+        pulses.len()
+    );
     for p in pulses.iter().take(5) {
         println!(
             "  t={:>5} ns  q{}  {:<6} codeword 0x{:02x}  ({} ns)",

@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example randomized_benchmarking`
 
-use qca_core::rb::{CliffordTable, single_qubit_rb, survival_probability};
+use qca_core::rb::{single_qubit_rb, survival_probability, CliffordTable};
 use qca_core::{FullStack, QubitKind, StackError};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() -> Result<(), StackError> {
     let table = CliffordTable::single_qubit();
@@ -18,7 +18,10 @@ fn main() -> Result<(), StackError> {
     let sequences_per_length = 5;
 
     println!("single-qubit randomised benchmarking through the full stack");
-    println!("{:<8} {:>22} {:>22}", "length", "survival (perfect)", "survival (real)");
+    println!(
+        "{:<8} {:>22} {:>22}",
+        "length", "survival (perfect)", "survival (real)"
+    );
 
     let perfect = FullStack::superconducting(1, 1).with_qubits(QubitKind::Perfect);
     let real = FullStack::superconducting(1, 1).with_qubits(QubitKind::real_transmon());

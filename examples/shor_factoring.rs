@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example shor_factoring`
 
 use qca_core::shor::{find_order, mod_pow, shor_factor};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2026);

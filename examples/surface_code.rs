@@ -22,7 +22,8 @@ fn main() {
     }
     println!(
         "\nsmall codes (the NISQ alternative): repetition-3 = {} qubits, Steane = {} qubits",
-        StabilizerCode::repetition(3).data_qubits() + StabilizerCode::repetition(3).ancilla_qubits(),
+        StabilizerCode::repetition(3).data_qubits()
+            + StabilizerCode::repetition(3).ancilla_qubits(),
         StabilizerCode::steane().data_qubits() + StabilizerCode::steane().ancilla_qubits()
     );
 

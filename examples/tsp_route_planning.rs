@@ -5,9 +5,9 @@
 //! Run with: `cargo run --release --example tsp_route_planning`
 
 use annealer::{DigitalAnnealer, SimulatedAnnealer};
-use optim::{TspInstance, TspQubo, solve_tsp_qaoa, solve_tsp_with_sampler};
-use rand::SeedableRng;
+use optim::{solve_tsp_qaoa, solve_tsp_with_sampler, TspInstance, TspQubo};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let tsp = TspInstance::nl_four_cities();

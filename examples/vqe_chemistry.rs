@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example vqe_chemistry`
 
 use optim::vqe::Vqe;
-use qca_core::{FullStack, tomography_qubit};
+use qca_core::{tomography_qubit, FullStack};
 use qxsim::{Pauli, PauliString, PauliSum, StateVector};
 
 fn h2_hamiltonian() -> PauliSum {
@@ -31,8 +31,10 @@ fn main() {
     let diag: Vec<f64> = (0..4u64)
         .map(|b| h.expectation(&StateVector::basis_state(2, b)))
         .collect();
-    println!("\ndiagonal energies: |00> {:.4}, |01> {:.4}, |10> {:.4}, |11> {:.4}",
-        diag[0], diag[1], diag[2], diag[3]);
+    println!(
+        "\ndiagonal energies: |00> {:.4}, |01> {:.4}, |10> {:.4}, |11> {:.4}",
+        diag[0], diag[1], diag[2], diag[3]
+    );
 
     for layers in [1usize, 2] {
         let vqe = Vqe::new(h.clone(), 2, layers);
@@ -45,20 +47,32 @@ fn main() {
             run.evaluations
         );
         let show = run.history.len().min(6);
-        println!("  convergence head: {:?}",
-            run.history[..show].iter().map(|e| format!("{e:.4}")).collect::<Vec<_>>());
+        println!(
+            "  convergence head: {:?}",
+            run.history[..show]
+                .iter()
+                .map(|e| format!("{e:.4}"))
+                .collect::<Vec<_>>()
+        );
     }
 
     // Tomography sanity check on a simple prepared qubit through the
     // full stack (the verification loop an application developer runs).
     let stack = FullStack::perfect(1);
-    let bloch = tomography_qubit(&stack, &|k| {
-        k.ry(0, 1.0472); // 60 degrees
-    }, 4000)
+    let bloch = tomography_qubit(
+        &stack,
+        &|k| {
+            k.ry(0, std::f64::consts::FRAC_PI_3); // 60 degrees
+        },
+        4000,
+    )
     .expect("tomography runs");
     println!(
         "\ntomography of Ry(60deg)|0>: Bloch = ({:.3}, {:.3}, {:.3}), |r| = {:.3}",
-        bloch.x, bloch.y, bloch.z, bloch.length()
+        bloch.x,
+        bloch.y,
+        bloch.z,
+        bloch.length()
     );
     println!("expected: (sin 60, 0, cos 60) = (0.866, 0, 0.500)");
 }

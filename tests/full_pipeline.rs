@@ -1,7 +1,7 @@
 //! Integration tests spanning the whole gate-model stack:
 //! OpenQL → compiler → cQASM → {QX, eQASM → micro-architecture → QX}.
 
-use eqasm::{MicroArchitecture, QxDevice, translate};
+use eqasm::{translate, MicroArchitecture, QxDevice};
 use openql::{Compiler, Kernel, Platform, QuantumProgram};
 use qca_core::{ExecutionBackend, FullStack, QubitKind};
 use qxsim::Simulator;
@@ -70,7 +70,10 @@ fn compiled_program_equals_source_program_statistics() {
     for bits in [0b000u64, 0b111] {
         let a = h_raw.probability(bits);
         let b = h_compiled.probability(bits);
-        assert!((a - b).abs() < 0.08, "P({bits:03b}): raw {a} vs compiled {b}");
+        assert!(
+            (a - b).abs() < 0.08,
+            "P({bits:03b}): raw {a} vs compiled {b}"
+        );
     }
     assert_eq!(h_compiled.count(0b010), 0);
 }
@@ -134,7 +137,10 @@ fn conditional_feedback_through_microarchitecture() {
     // Measure-and-feedback: H, measure, conditionally flip the second
     // qubit — the run-time branch path (FMR/CMP/BR) of the eQASM machine.
     let mut k = Kernel::new("feedback", 2);
-    k.h(0).measure(0).cond_gate(0, cqasm::GateKind::X, &[1]).measure(1);
+    k.h(0)
+        .measure(0)
+        .cond_gate(0, cqasm::GateKind::X, &[1])
+        .measure(1);
     let mut p = QuantumProgram::new("feedback", 2);
     p.add_kernel(k);
     let run = FullStack::superconducting(1, 2)

@@ -7,8 +7,8 @@ use qgs::classical::{best_hamming_search, exact_search};
 use qgs::dna::{MarkovModel, Sequence};
 use qgs::grover::{grover_search, optimal_iterations};
 use qgs::reads::ReadGenerator;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 #[test]
 fn error_free_alignment_is_always_classically_confirmed() {
@@ -92,7 +92,10 @@ fn markov_reference_statistics_survive_the_pipeline() {
     // template's entropy class even after slicing into k-mers.
     let mut rng = StdRng::seed_from_u64(102);
     let reference = MarkovModel::uniform(2).generate(64, &mut rng);
-    assert!(reference.base_entropy() > 1.7, "near-maximal entropy source");
+    assert!(
+        reference.base_entropy() > 1.7,
+        "near-maximal entropy source"
+    );
     let aligner = QuantumAligner::new(reference.clone(), 4);
     assert_eq!(aligner.entry_count(), 61);
     // Database qubits: index (6 bits for 61 entries) + 8 data bits.

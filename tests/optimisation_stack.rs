@@ -2,9 +2,9 @@
 //! (annealers | QAOA), embedding limits, and the heterogeneous host.
 
 use annealer::{
-    Chimera, DigitalAnnealer, Sampler, SimulatedAnnealer, clique_embedding, embed_ising,
+    clique_embedding, embed_ising, Chimera, DigitalAnnealer, Sampler, SimulatedAnnealer,
 };
-use optim::{TspInstance, TspQubo, solve_tsp_with_sampler};
+use optim::{solve_tsp_with_sampler, TspInstance, TspQubo};
 use qca_core::{HostCpu, KernelPayload, KernelResult, QuantumAnnealerAccelerator};
 
 #[test]
@@ -83,7 +83,10 @@ fn embedded_solve_degrades_gracefully_vs_native() {
 
     let chimera = Chimera::new(2);
     let emb = embed_ising(&logical, &chimera, 3.0).expect("K6 fits C2");
-    assert!(emb.physical.len() > logical.len() * 2, "embedding inflates qubits");
+    assert!(
+        emb.physical.len() > logical.len() * 2,
+        "embedding inflates qubits"
+    );
 
     let sa = SimulatedAnnealer::new().with_seed(5);
     let native = sa.sample(&logical, 20).lowest_energy().unwrap();

@@ -1,9 +1,9 @@
 //! Cross-crate property-based tests: invariants that must hold for
 //! arbitrary generated inputs.
 
-use annealer::{Qubo, bits_to_spins};
+use annealer::{bits_to_spins, Qubo};
 use cqasm::{GateKind, Instruction, Program};
-use openql::{Compiler, Platform, ScheduleDirection, schedule};
+use openql::{schedule, Compiler, Platform, ScheduleDirection};
 use proptest::prelude::*;
 use qxsim::StateVector;
 

@@ -3,11 +3,11 @@
 //! cross-validation, and logical-rate ordering.
 
 use qec::esm::{esm_program, z_syndrome_bits};
-use qec::monte::{NoiseKind, code_logical_error_rate, surface_logical_error_rate};
+use qec::monte::{code_logical_error_rate, surface_logical_error_rate, NoiseKind};
 use qec::{PauliError, StabilizerCode, Tableau};
 use qxsim::{Simulator, StateVector};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 #[test]
 fn esm_circuit_survives_the_openql_compiler() {
