@@ -39,7 +39,7 @@ impl SampleSet {
                 });
             }
         }
-        samples.sort_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite energies"));
+        samples.sort_by(|a, b| a.energy.total_cmp(&b.energy));
         SampleSet { samples }
     }
 

@@ -65,7 +65,7 @@ fn compile_with(
             optimize,
             placement,
             schedule,
-            force_routing: false,
+            ..Default::default()
         },
     )
     .compile(program)

@@ -1,0 +1,490 @@
+//! Seeded fault-injection campaigns across the full stack.
+//!
+//! Robustness of the paper's stack is an architectural property: every
+//! layer (cQASM parser, OpenQL passes, eQASM backend, micro-architecture,
+//! QX executor) must turn malformed input into a *typed error* and
+//! degraded conditions into *degraded-but-valid results* — never into an
+//! abort. This module hunts violations by construction: it generates
+//! random cQASM programs, mutates them (operand corruption, truncation,
+//! bad angles, unknown gates and error models, token garbling, huge
+//! counts) or injects executor faults (shot budgets, mid-run kernel
+//! failure), and drives each case through the whole pipeline under
+//! `catch_unwind`.
+//!
+//! Campaigns are bit-reproducible: every case's behaviour is a pure
+//! function of its seed, so any failure found by
+//! [`run_campaign`] replays exactly via [`run_case`] (the `chaos` bin
+//! target wraps both).
+
+use cqasm::Program;
+use eqasm::{translate, MicroArchitecture, QxDevice};
+use openql::{Compiler, CompilerOptions, Platform};
+use qxsim::{FaultInjection, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Multiplier deriving case `i`'s seed from the campaign seed (the same
+/// golden-ratio stride the executor uses for per-shot streams).
+pub const CASE_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The fault a chaos case injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Control case: no fault. Must end `Ok`.
+    None,
+    /// A qubit operand is replaced with an out-of-range index.
+    CorruptOperand,
+    /// The program text is cut at a random byte.
+    Truncate,
+    /// An angle becomes `nan`, `inf`, garbage or an overflow.
+    BadAngle,
+    /// An unknown gate mnemonic is inserted.
+    UnknownGate,
+    /// The `error_model` directive names an unknown model or bad params.
+    BadErrorModel,
+    /// One random byte is replaced with a random punctuation byte.
+    GarbleToken,
+    /// A random line is duplicated verbatim.
+    DuplicateLine,
+    /// A huge `wait` count or subcircuit iteration count is inserted.
+    HugeCounts,
+    /// Executor fault: the shot budget is cut below the requested shots.
+    ExecutorBudget,
+    /// Executor fault: a mid-run shot fails with a kernel error.
+    ExecutorFailShot,
+}
+
+/// All mutations, in the order the case RNG indexes them.
+pub const ALL_MUTATIONS: [Mutation; 11] = [
+    Mutation::None,
+    Mutation::CorruptOperand,
+    Mutation::Truncate,
+    Mutation::BadAngle,
+    Mutation::UnknownGate,
+    Mutation::BadErrorModel,
+    Mutation::GarbleToken,
+    Mutation::DuplicateLine,
+    Mutation::HugeCounts,
+    Mutation::ExecutorBudget,
+    Mutation::ExecutorFailShot,
+];
+
+/// How one case ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The pipeline completed with a (possibly degraded) histogram.
+    Ok {
+        /// Shots actually recorded (less than requested when a shot
+        /// budget truncated the run).
+        shots: u64,
+    },
+    /// A layer rejected the case with a typed error — the designed
+    /// behaviour for malformed input.
+    TypedError(String),
+    /// A layer panicked. The bug class this harness exists to find.
+    Panic(String),
+}
+
+/// One executed chaos case, sufficient to reproduce it.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Case index within its campaign (0 for direct replays).
+    pub index: u64,
+    /// The case seed; [`run_case`] with this seed replays it exactly.
+    pub seed: u64,
+    /// The injected fault.
+    pub mutation: Mutation,
+    /// The (mutated) cQASM source the pipeline consumed.
+    pub source: String,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+/// Aggregate result of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases that completed with a valid histogram.
+    pub ok: u64,
+    /// Cases rejected with a typed error.
+    pub typed_errors: u64,
+    /// Cases that panicked, with full reproduction info. A robust stack
+    /// keeps this empty.
+    pub panics: Vec<CaseReport>,
+}
+
+impl CampaignReport {
+    /// Whether every case ended in `Ok` or a typed error.
+    pub fn is_clean(&self) -> bool {
+        self.panics.is_empty()
+    }
+}
+
+/// Runs `cases` chaos cases derived from `seed`. Panic-hook output is
+/// suppressed for the duration (caught panics are *data* here, not
+/// crashes worth a backtrace on stderr).
+pub fn run_campaign(seed: u64, cases: u64) -> CampaignReport {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut report = CampaignReport {
+        seed,
+        cases,
+        ok: 0,
+        typed_errors: 0,
+        panics: Vec::new(),
+    };
+    for i in 0..cases {
+        let case_seed = seed.wrapping_add(i.wrapping_mul(CASE_SEED_STRIDE));
+        let mut case = run_case(case_seed);
+        case.index = i;
+        match &case.outcome {
+            Outcome::Ok { .. } => report.ok += 1,
+            Outcome::TypedError(_) => report.typed_errors += 1,
+            Outcome::Panic(_) => report.panics.push(case),
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+/// Runs the single chaos case identified by `seed` (deterministic; the
+/// campaign derives per-case seeds from its own seed, and any failing
+/// case replays bit-for-bit from the seed it reports).
+pub fn run_case(seed: u64) -> CaseReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = generate_program(&mut rng);
+    let mutation = ALL_MUTATIONS[rng.gen_range(0..ALL_MUTATIONS.len())];
+    let source = mutate_source(&base, mutation, &mut rng);
+    let faults = executor_faults(mutation, &mut rng);
+    let backend_choice = rng.gen_range(0..3u8);
+    let shots = rng.gen_range(1..=32u64);
+    let pipeline_seed = rng.gen::<u64>();
+
+    let src = source.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        drive_stack(&src, faults, backend_choice, shots, pipeline_seed)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Outcome::Panic(msg)
+    });
+    CaseReport {
+        index: 0,
+        seed,
+        mutation,
+        source,
+        outcome,
+    }
+}
+
+/// Drives one source text through parse → compile (with differential
+/// verification) → backend execution. Every error is folded into
+/// [`Outcome::TypedError`]; only a panic escapes (to the caller's
+/// `catch_unwind`).
+fn drive_stack(
+    source: &str,
+    faults: FaultInjection,
+    backend_choice: u8,
+    shots: u64,
+    seed: u64,
+) -> Outcome {
+    let program = match Program::parse(source) {
+        Ok(p) => p,
+        Err(e) => return Outcome::TypedError(format!("parse: {e}")),
+    };
+    let n = program.qubit_count().max(1);
+
+    // Pick a platform covering the program; verification is cheap at the
+    // sizes the generator emits, so it is always on: a pass that corrupts
+    // a mutated-but-valid program is exactly what chaos should surface.
+    let platform = match backend_choice {
+        0 => Platform::perfect(n),
+        1 => Platform::superconducting_grid(1, n),
+        _ => Platform::semiconducting_linear(n),
+    };
+    let compiled = match Compiler::with_options(platform, CompilerOptions::default())
+        .with_verification(true)
+        .compile_cqasm(&program)
+    {
+        Ok(out) => out,
+        Err(e) => return Outcome::TypedError(format!("compile: {e}")),
+    };
+
+    if backend_choice == 1 {
+        // eQASM + micro-architecture path, one shot per device.
+        let eq = match translate(&compiled.schedule) {
+            Ok(eq) => eq,
+            Err(e) => return Outcome::TypedError(format!("translate: {e}")),
+        };
+        if let Err(e) = eqasm::verify_translation(&compiled.schedule, &eq) {
+            return Outcome::TypedError(format!("translate-verify: {e}"));
+        }
+        let arch = MicroArchitecture::superconducting();
+        let mut device = QxDevice::perfect(compiled.program.qubit_count());
+        match arch.execute(&eq, &mut device) {
+            Ok(_) => Outcome::Ok { shots: 1 },
+            Err(e) => Outcome::TypedError(format!("execute: {e}")),
+        }
+    } else {
+        let sim = Simulator::for_program(&program)
+            .with_seed(seed)
+            .with_fault_injection(faults);
+        match sim.run_shots(&compiled.program, shots) {
+            Ok(hist) => Outcome::Ok {
+                shots: hist.shots(),
+            },
+            Err(e) => Outcome::TypedError(format!("simulate: {e}")),
+        }
+    }
+}
+
+fn executor_faults(mutation: Mutation, rng: &mut StdRng) -> FaultInjection {
+    match mutation {
+        Mutation::ExecutorBudget => FaultInjection {
+            shot_budget: Some(rng.gen_range(0..8u64)),
+            fail_at_shot: None,
+        },
+        Mutation::ExecutorFailShot => FaultInjection {
+            shot_budget: None,
+            fail_at_shot: Some(rng.gen_range(0..16u64)),
+        },
+        _ => FaultInjection::none(),
+    }
+}
+
+/// Generates a small random (valid) cQASM program as text.
+fn generate_program(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..=5usize);
+    let mut src = String::from("version 1.0\n");
+    src.push_str(&format!("qubits {n}\n"));
+    if rng.gen_bool(0.3) {
+        let p = rng.gen_range(0.0..0.1);
+        src.push_str(&format!("error_model depolarizing_channel, {p:.4}\n"));
+    }
+    if rng.gen_bool(0.4) {
+        let iters = rng.gen_range(1..=3u64);
+        if iters > 1 {
+            src.push_str(&format!(".body({iters})\n"));
+        } else {
+            src.push_str(".body\n");
+        }
+    }
+    let gates = rng.gen_range(3..=12usize);
+    for _ in 0..gates {
+        src.push_str(&random_gate_line(rng, n));
+    }
+    if rng.gen_bool(0.2) {
+        src.push_str(&format!("wait {}\n", rng.gen_range(1..=10u64)));
+    }
+    if rng.gen_bool(0.7) {
+        src.push_str("measure_all\n");
+    }
+    src
+}
+
+fn random_gate_line(rng: &mut StdRng, n: usize) -> String {
+    let q = rng.gen_range(0..n);
+    match rng.gen_range(0..8u8) {
+        0 => format!("h q[{q}]\n"),
+        1 => format!("x q[{q}]\n"),
+        2 => format!("t q[{q}]\n"),
+        3 => format!("s q[{q}]\n"),
+        4 => format!(
+            "rz q[{q}], {:.4}\n",
+            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)
+        ),
+        5 => format!(
+            "rx q[{q}], {:.4}\n",
+            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)
+        ),
+        6 if n >= 2 => {
+            let mut p = rng.gen_range(0..n);
+            if p == q {
+                p = (q + 1) % n;
+            }
+            format!("cnot q[{q}], q[{p}]\n")
+        }
+        _ if n >= 2 => {
+            let mut p = rng.gen_range(0..n);
+            if p == q {
+                p = (q + 1) % n;
+            }
+            format!("cz q[{q}], q[{p}]\n")
+        }
+        _ => format!("y q[{q}]\n"),
+    }
+}
+
+/// Applies a textual mutation to `source`.
+fn mutate_source(source: &str, mutation: Mutation, rng: &mut StdRng) -> String {
+    match mutation {
+        Mutation::None | Mutation::ExecutorBudget | Mutation::ExecutorFailShot => {
+            source.to_string()
+        }
+        Mutation::CorruptOperand => {
+            if let Some(pos) = source.find("q[") {
+                let bad = rng.gen_range(50..5000usize);
+                if let Some(close) = source[pos..].find(']') {
+                    let mut out = String::with_capacity(source.len() + 4);
+                    out.push_str(&source[..pos + 2]);
+                    out.push_str(&bad.to_string());
+                    out.push_str(&source[pos + close..]);
+                    return out;
+                }
+            }
+            source.to_string()
+        }
+        Mutation::Truncate => {
+            let cut = rng.gen_range(0..source.len().max(1));
+            source[..cut].to_string()
+        }
+        Mutation::BadAngle => {
+            let angle = match rng.gen_range(0..4u8) {
+                0 => "nan",
+                1 => "inf",
+                2 => "1e999",
+                _ => "soup",
+            };
+            format!("{source}rz q[0], {angle}\n")
+        }
+        Mutation::UnknownGate => format!("{source}frobnicate q[0]\n"),
+        Mutation::BadErrorModel => {
+            let line = match rng.gen_range(0..3u8) {
+                0 => "error_model martian_noise, 0.5\n",
+                1 => "error_model depolarizing_channel, -3.5\n",
+                _ => "error_model depolarizing_channel, soup\n",
+            };
+            format!("{source}{line}")
+        }
+        Mutation::GarbleToken => {
+            let bytes = source.as_bytes();
+            if bytes.is_empty() {
+                return source.to_string();
+            }
+            let pos = rng.gen_range(0..bytes.len());
+            const JUNK: &[u8] = b"!@#%^&*(){}[],.|;";
+            let mut out = bytes.to_vec();
+            out[pos] = JUNK[rng.gen_range(0..JUNK.len())];
+            String::from_utf8_lossy(&out).into_owned()
+        }
+        Mutation::DuplicateLine => {
+            let lines: Vec<&str> = source.lines().collect();
+            if lines.is_empty() {
+                return source.to_string();
+            }
+            let which = rng.gen_range(0..lines.len());
+            let mut out = String::with_capacity(source.len() * 2);
+            for (i, line) in lines.iter().enumerate() {
+                out.push_str(line);
+                out.push('\n');
+                if i == which {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            out
+        }
+        Mutation::HugeCounts => {
+            if rng.gen_bool(0.5) {
+                format!("{source}wait 999999999999999\n")
+            } else {
+                format!("{source}.tail(18446744073709551615)\nx q[0]\n")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_campaign(7, 40);
+        let b = run_campaign(7, 40);
+        assert_eq!(a.ok, b.ok);
+        assert_eq!(a.typed_errors, b.typed_errors);
+        assert_eq!(a.panics.len(), b.panics.len());
+    }
+
+    #[test]
+    fn campaign_finds_no_panics() {
+        let report = run_campaign(7, 120);
+        assert!(
+            report.is_clean(),
+            "chaos found panics: {:?}",
+            report
+                .panics
+                .iter()
+                .map(|c| (c.seed, c.mutation, &c.outcome))
+                .collect::<Vec<_>>()
+        );
+        // Sanity: both behaviours occur — some cases run, some are
+        // rejected (otherwise the mutations are toothless).
+        assert!(report.ok > 0, "no case ever succeeded");
+        assert!(report.typed_errors > 0, "no mutation was ever rejected");
+    }
+
+    #[test]
+    fn cases_replay_bit_for_bit() {
+        let report = run_campaign(11, 30);
+        // Re-running any case by its seed reproduces source and outcome.
+        for i in 0..report.cases {
+            let seed = 11u64.wrapping_add(i.wrapping_mul(CASE_SEED_STRIDE));
+            let a = run_case(seed);
+            let b = run_case(seed);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.mutation, b.mutation);
+        }
+    }
+
+    #[test]
+    fn control_cases_succeed() {
+        // Hunt a few Mutation::None cases and require Ok outcomes.
+        let mut seen = 0;
+        for seed in 0..400u64 {
+            let case = run_case(seed);
+            if case.mutation == Mutation::None {
+                assert!(
+                    matches!(case.outcome, Outcome::Ok { .. }),
+                    "unmutated program failed (seed {seed}): {:?}\n{}",
+                    case.outcome,
+                    case.source
+                );
+                seen += 1;
+                if seen >= 10 {
+                    break;
+                }
+            }
+        }
+        assert!(seen > 0, "no control cases in range");
+    }
+
+    #[test]
+    fn budget_cases_degrade_not_fail() {
+        let mut seen = 0;
+        for seed in 0..600u64 {
+            let case = run_case(seed);
+            if case.mutation == Mutation::ExecutorBudget {
+                assert!(
+                    !matches!(case.outcome, Outcome::Panic(_)),
+                    "budget case panicked (seed {seed})"
+                );
+                seen += 1;
+                if seen >= 5 {
+                    break;
+                }
+            }
+        }
+        assert!(seen > 0);
+    }
+}

@@ -51,8 +51,13 @@
 //! # }
 //! ```
 
+// Library paths must return typed errors, never abort (CI gates these
+// lints); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod accelerator;
 pub mod amdahl;
+pub mod chaos;
 pub mod qubits;
 pub mod rb;
 pub mod runtime;
@@ -64,6 +69,7 @@ pub use accelerator::{
     Accelerator, AcceleratorKind, HostCpu, KernelPayload, KernelResult, OffloadError,
     QuantumAnnealerAccelerator, QuantumGateAccelerator,
 };
+pub use chaos::{run_campaign, run_case, CampaignReport, CaseReport, Mutation, Outcome};
 pub use qubits::QubitKind;
 pub use stack::{ExecutionBackend, FullStack, StackError, StackRun};
 pub use tomography::{tomography_qubit, BlochVector};

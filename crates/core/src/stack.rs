@@ -33,6 +33,8 @@ pub enum ExecutionBackend {
 /// Errors from any stack layer.
 #[derive(Debug)]
 pub enum StackError {
+    /// cQASM parse or validation failure.
+    Parse(cqasm::Error),
     /// Compiler failure.
     Compile(CompileError),
     /// Backend (cQASM→eQASM) failure.
@@ -46,6 +48,7 @@ pub enum StackError {
 impl fmt::Display for StackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            StackError::Parse(e) => write!(f, "parse: {e}"),
             StackError::Compile(e) => write!(f, "compile: {e}"),
             StackError::Translate(e) => write!(f, "translate: {e}"),
             StackError::Execute(e) => write!(f, "execute: {e}"),
@@ -56,6 +59,11 @@ impl fmt::Display for StackError {
 
 impl StdError for StackError {}
 
+impl From<cqasm::Error> for StackError {
+    fn from(e: cqasm::Error) -> Self {
+        StackError::Parse(e)
+    }
+}
 impl From<CompileError> for StackError {
     fn from(e: CompileError) -> Self {
         StackError::Compile(e)
@@ -195,6 +203,14 @@ impl FullStack {
         self
     }
 
+    /// Enables differential verification of every compiler pass and of
+    /// the cQASM→eQASM translation (see [`openql::verify`] and
+    /// [`eqasm::verify_translation`]); off by default.
+    pub fn with_verification(mut self, enabled: bool) -> Self {
+        self.options.verify = enabled;
+        self
+    }
+
     /// Overrides the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -240,6 +256,9 @@ impl FullStack {
             }
             ExecutionBackend::MicroArchitecture => {
                 let eq = translate(&compiled.schedule)?;
+                if self.options.verify {
+                    eqasm::verify_translation(&compiled.schedule, &eq)?;
+                }
                 let mut histogram = ShotHistogram::new();
                 let mut pulses = None;
                 let mut shot_time = None;
@@ -332,6 +351,18 @@ mod tests {
         let run = stack.execute(&bell(), 50).unwrap();
         assert!(run.eqasm.is_none());
         assert_eq!(run.histogram.shots(), 50);
+    }
+
+    #[test]
+    fn verification_runs_through_both_backends() {
+        let sim = FullStack::perfect(2).with_verification(true);
+        assert_eq!(sim.execute(&bell(), 50).unwrap().histogram.shots(), 50);
+        let arch = FullStack::superconducting(1, 2)
+            .with_qubits(QubitKind::Perfect)
+            .with_verification(true);
+        let run = arch.execute(&bell(), 20).unwrap();
+        assert!(run.compile.passes_verified > 0);
+        assert_eq!(run.histogram.count(0b01) + run.histogram.count(0b10), 0);
     }
 
     #[test]

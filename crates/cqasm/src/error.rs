@@ -6,11 +6,14 @@ use std::fmt;
 /// Errors produced by this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
-    /// The text could not be parsed. Carries the 1-based line number and a
-    /// description of what went wrong.
+    /// The text could not be parsed. Carries the 1-based line and column
+    /// of the offending token and a description of what went wrong.
     Parse {
         /// 1-based line number of the offending line.
         line: usize,
+        /// 1-based column of the offending token (1 when the error applies
+        /// to the whole line).
+        column: usize,
         /// Human-readable description.
         message: String,
     },
@@ -26,6 +29,15 @@ impl Error {
     pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
         Error::Parse {
             line,
+            column: 1,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse_at(line: usize, column: usize, message: impl Into<String>) -> Self {
+        Error::Parse {
+            line,
+            column,
             message: message.into(),
         }
     }
@@ -35,12 +47,24 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// The `(line, column)` diagnostic position for parse errors.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        match self {
+            Error::Parse { line, column, .. } => Some((*line, *column)),
+            Error::Validate { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at line {line}, column {column}: {message}"),
             Error::Validate { message } => write!(f, "invalid program: {message}"),
         }
     }
@@ -55,9 +79,23 @@ mod tests {
     #[test]
     fn display_messages() {
         let e = Error::parse(3, "unknown gate `foo`");
-        assert_eq!(e.to_string(), "parse error at line 3: unknown gate `foo`");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 3, column 1: unknown gate `foo`"
+        );
+        let e = Error::parse_at(3, 7, "unknown gate `foo`");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 3, column 7: unknown gate `foo`"
+        );
         let e = Error::validate("qubit index 9 out of range");
         assert_eq!(e.to_string(), "invalid program: qubit index 9 out of range");
+    }
+
+    #[test]
+    fn position_reporting() {
+        assert_eq!(Error::parse_at(2, 5, "x").position(), Some((2, 5)));
+        assert_eq!(Error::validate("x").position(), None);
     }
 
     #[test]

@@ -113,6 +113,14 @@ pub enum KernelClass {
     ControlledControlled(Mat2),
 }
 
+/// The controlled-phase angle of `CRk(k)`: `2*pi / 2^k`, computed as
+/// `2*pi * 2^-k` so arbitrarily large exponents underflow gracefully to a
+/// zero angle instead of overflowing a shift. Exact for every `k` (scaling
+/// by a power of two is exact in binary floating point).
+fn crk_angle(k: u32) -> f64 {
+    2.0 * std::f64::consts::PI * (-f64::from(k)).exp2()
+}
+
 impl GateKind {
     /// Number of qubit operands the gate takes.
     pub fn arity(&self) -> usize {
@@ -159,7 +167,7 @@ impl GateKind {
         use GateKind::*;
         match self {
             Rx(a) | Ry(a) | Rz(a) | Cr(a) => Some(*a),
-            CRk(k) => Some(2.0 * std::f64::consts::PI / (1u64 << k) as f64),
+            CRk(k) => Some(crk_angle(*k)),
             _ => None,
         }
     }
@@ -183,7 +191,7 @@ impl GateKind {
             Ry(a) => Ry(-a),
             Rz(a) => Rz(-a),
             Cr(a) => Cr(-a),
-            CRk(k) => Cr(-(2.0 * std::f64::consts::PI / (1u64 << k) as f64)),
+            CRk(k) => Cr(-crk_angle(k)),
             g => g, // self-inverse: I, H, X, Y, Z, CNOT, CZ, SWAP, Toffoli
         }
     }
@@ -268,9 +276,8 @@ impl GateKind {
                 GateUnitary::Two(m)
             }
             CRk(k) => {
-                let a = 2.0 * std::f64::consts::PI / (1u64 << k) as f64;
                 let mut m = Mat4::identity();
-                m.0[3][3] = C64::cis(a);
+                m.0[3][3] = C64::cis(crk_angle(k));
                 GateUnitary::Two(m)
             }
             Toffoli => GateUnitary::ControlledControlled(Mat2([
@@ -302,10 +309,7 @@ impl GateKind {
             Cz => KernelClass::Cz,
             Swap => KernelClass::Swap,
             Cr(a) => KernelClass::ControlledPhase(C64::cis(a)),
-            CRk(k) => {
-                let a = 2.0 * std::f64::consts::PI / (1u64 << k) as f64;
-                KernelClass::ControlledPhase(C64::cis(a))
-            }
+            CRk(k) => KernelClass::ControlledPhase(C64::cis(crk_angle(k))),
             _ => match self.unitary() {
                 GateUnitary::One(m) => KernelClass::General1q(m),
                 GateUnitary::Two(m) => KernelClass::General2q(m),
@@ -584,5 +588,26 @@ mod tests {
         let crk = GateKind::CRk(1).angle().expect("crk has angle");
         assert!((crk - PI).abs() < 1e-12);
         assert_eq!(GateKind::H.angle(), None);
+    }
+
+    #[test]
+    fn huge_crk_exponent_underflows_instead_of_overflowing() {
+        // k >= 64 used to overflow a `1u64 << k` shift; now the angle
+        // underflows towards zero and the gate degenerates to (near-)
+        // identity — still unitary, never an abort.
+        for k in [63, 64, 200, u32::MAX] {
+            let a = GateKind::CRk(k).angle().expect("crk has angle");
+            assert!(a.is_finite() && a >= 0.0);
+            match GateKind::CRk(k).unitary() {
+                GateUnitary::Two(m) => assert!(m.is_unitary()),
+                other => panic!("unexpected {other:?}"),
+            }
+            // dagger and kernel also stay total.
+            let _ = GateKind::CRk(k).dagger();
+            let _ = GateKind::CRk(k).kernel();
+        }
+        // Exactness is preserved for small k.
+        let a2 = GateKind::CRk(2).angle().unwrap();
+        assert_eq!(a2, PI / 2.0);
     }
 }

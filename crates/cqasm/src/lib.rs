@@ -42,6 +42,10 @@
 //! # }
 //! ```
 
+// Library paths must return typed errors, never abort (CI gates these
+// lints); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod error;
 pub mod gate;
 pub mod instruction;
@@ -54,5 +58,7 @@ pub mod writer;
 pub use error::Error;
 pub use gate::{GateKind, GateUnitary, KernelClass};
 pub use instruction::{Bit, GateApp, Instruction, Qubit};
-pub use program::{ErrorModelSpec, Program, ProgramBuilder, Subcircuit};
+pub use program::{
+    ErrorModelSpec, Program, ProgramBuilder, Subcircuit, MAX_ITERATIONS, MAX_WAIT_CYCLES,
+};
 pub use stats::CircuitStats;

@@ -20,18 +20,56 @@
 //!   wait 10
 //!   display
 //! ```
+//!
+//! Every parse error carries a 1-based line and column diagnostic; the
+//! column points at the offending token when it can be located, and at
+//! column 1 when the error applies to the whole line.
 
 use crate::error::Error;
 use crate::gate::GateKind;
 use crate::instruction::{Bit, GateApp, Instruction, Qubit};
 use crate::program::{Program, Subcircuit};
 
+/// One source line being parsed: its 1-based number plus the original text,
+/// so errors can report the column of an offending token.
+#[derive(Clone, Copy)]
+struct Line<'a> {
+    number: usize,
+    text: &'a str,
+}
+
+impl Line<'_> {
+    /// A parse error for the whole line (column 1).
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::parse(self.number, message)
+    }
+
+    /// A parse error pointing at `token`, which must be a subslice of the
+    /// line text (falls back to column 1 otherwise).
+    fn err_at(&self, token: &str, message: impl Into<String>) -> Error {
+        Error::parse_at(self.number, self.column_of(token), message)
+    }
+
+    /// 1-based column of `token` inside this line, when `token` is a
+    /// subslice of it.
+    fn column_of(&self, token: &str) -> usize {
+        let lo = self.text.as_ptr() as usize;
+        let hi = lo + self.text.len();
+        let t = token.as_ptr() as usize;
+        if t >= lo && t <= hi {
+            t - lo + 1
+        } else {
+            1
+        }
+    }
+}
+
 /// Parses cQASM text into a [`Program`] (without semantic validation;
 /// [`Program::parse`] runs validation on top of this).
 ///
 /// # Errors
 ///
-/// Returns [`Error::Parse`] with the offending line number.
+/// Returns [`Error::Parse`] with the offending line and column.
 pub fn parse(src: &str) -> Result<Program, Error> {
     let mut version: Option<String> = None;
     let mut qubits: Option<usize> = None;
@@ -39,7 +77,10 @@ pub fn parse(src: &str) -> Result<Program, Error> {
     let mut subcircuits: Vec<Subcircuit> = Vec::new();
 
     for (idx, raw_line) in src.lines().enumerate() {
-        let lineno = idx + 1;
+        let ln = Line {
+            number: idx + 1,
+            text: raw_line,
+        };
         let line = strip_comment(raw_line).trim();
         if line.is_empty() {
             continue;
@@ -47,48 +88,45 @@ pub fn parse(src: &str) -> Result<Program, Error> {
 
         if let Some(rest) = line.strip_prefix("version") {
             if version.is_some() {
-                return Err(Error::parse(lineno, "duplicate version directive"));
+                return Err(ln.err("duplicate version directive"));
             }
             version = Some(rest.trim().to_owned());
             continue;
         }
         if let Some(rest) = line.strip_prefix("qubits") {
             if qubits.is_some() {
-                return Err(Error::parse(lineno, "duplicate qubits directive"));
+                return Err(ln.err("duplicate qubits directive"));
             }
-            let n: usize = rest.trim().parse().map_err(|_| {
-                Error::parse(lineno, format!("invalid qubit count `{}`", rest.trim()))
-            })?;
+            let arg = rest.trim();
+            let n: usize = arg
+                .parse()
+                .map_err(|_| ln.err_at(arg, format!("invalid qubit count `{arg}`")))?;
             qubits = Some(n);
             continue;
         }
         if let Some(rest) = line.strip_prefix("error_model") {
             if error_model.is_some() {
-                return Err(Error::parse(lineno, "duplicate error_model directive"));
+                return Err(ln.err("duplicate error_model directive"));
             }
-            error_model = Some(parse_error_model(rest, lineno)?);
+            error_model = Some(parse_error_model(rest, ln)?);
             continue;
         }
         if let Some(rest) = line.strip_prefix('.') {
-            let (name, iters) = parse_subcircuit_header(rest, lineno)?;
+            let (name, iters) = parse_subcircuit_header(rest, ln)?;
             subcircuits.push(Subcircuit::with_iterations(name, iters));
             continue;
         }
 
         if qubits.is_none() {
-            return Err(Error::parse(
-                lineno,
-                "instruction before `qubits` directive",
-            ));
+            return Err(ln.err("instruction before `qubits` directive"));
         }
         if subcircuits.is_empty() {
             subcircuits.push(Subcircuit::new("default"));
         }
-        let ins = parse_instruction(line, lineno)?;
-        subcircuits
-            .last_mut()
-            .expect("just ensured non-empty")
-            .push(ins);
+        let ins = parse_instruction(line, ln)?;
+        if let Some(current) = subcircuits.last_mut() {
+            current.push(ins);
+        }
     }
 
     let qubit_count = qubits
@@ -104,17 +142,17 @@ pub fn parse(src: &str) -> Result<Program, Error> {
     Ok(program)
 }
 
-fn parse_error_model(rest: &str, lineno: usize) -> Result<crate::program::ErrorModelSpec, Error> {
+fn parse_error_model(rest: &str, ln: Line<'_>) -> Result<crate::program::ErrorModelSpec, Error> {
     let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
     let name = parts
         .first()
         .filter(|s| !s.is_empty())
-        .ok_or_else(|| Error::parse(lineno, "error_model needs a model name"))?;
+        .ok_or_else(|| ln.err("error_model needs a model name"))?;
     let mut params = Vec::new();
     for p in &parts[1..] {
         let v: f64 = p
             .parse()
-            .map_err(|_| Error::parse(lineno, format!("invalid error_model parameter `{p}`")))?;
+            .map_err(|_| ln.err_at(p, format!("invalid error_model parameter `{p}`")))?;
         params.push(v);
     }
     Ok(crate::program::ErrorModelSpec {
@@ -129,52 +167,49 @@ fn strip_comment(line: &str) -> &str {
     &line[..cut.min(cut2)]
 }
 
-fn parse_subcircuit_header(rest: &str, lineno: usize) -> Result<(String, u64), Error> {
+fn parse_subcircuit_header(rest: &str, ln: Line<'_>) -> Result<(String, u64), Error> {
     let rest = rest.trim();
     if let Some(open) = rest.find('(') {
         let name = rest[..open].trim();
         let close = rest
             .find(')')
-            .ok_or_else(|| Error::parse(lineno, "missing `)` in subcircuit header"))?;
-        let iters: u64 = rest[open + 1..close]
-            .trim()
+            .ok_or_else(|| ln.err("missing `)` in subcircuit header"))?;
+        let iter_text = rest[open + 1..close].trim();
+        let iters: u64 = iter_text
             .parse()
-            .map_err(|_| Error::parse(lineno, "invalid iteration count"))?;
+            .map_err(|_| ln.err_at(iter_text, "invalid iteration count"))?;
         if name.is_empty() {
-            return Err(Error::parse(lineno, "empty subcircuit name"));
+            return Err(ln.err("empty subcircuit name"));
         }
         Ok((name.to_owned(), iters))
     } else {
         if rest.is_empty() {
-            return Err(Error::parse(lineno, "empty subcircuit name"));
+            return Err(ln.err("empty subcircuit name"));
         }
         Ok((rest.to_owned(), 1))
     }
 }
 
-fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, Error> {
+fn parse_instruction(line: &str, ln: Line<'_>) -> Result<Instruction, Error> {
     if line.starts_with('{') {
         if !line.ends_with('}') {
-            return Err(Error::parse(
-                lineno,
-                "bundle must close with `}` on the same line",
-            ));
+            return Err(ln.err("bundle must close with `}` on the same line"));
         }
         let inner = &line[1..line.len() - 1];
         let parts: Vec<&str> = inner.split('|').map(str::trim).collect();
         let mut instrs = Vec::with_capacity(parts.len());
         for p in parts {
             if p.is_empty() {
-                return Err(Error::parse(lineno, "empty slot in bundle"));
+                return Err(ln.err("empty slot in bundle"));
             }
-            instrs.push(parse_simple(p, lineno)?);
+            instrs.push(parse_simple(p, ln)?);
         }
         return Ok(Instruction::Bundle(instrs));
     }
-    parse_simple(line, lineno)
+    parse_simple(line, ln)
 }
 
-fn parse_simple(line: &str, lineno: usize) -> Result<Instruction, Error> {
+fn parse_simple(line: &str, ln: Line<'_>) -> Result<Instruction, Error> {
     let (mnemonic, rest) = match line.find(char::is_whitespace) {
         Some(i) => (&line[..i], line[i..].trim()),
         None => (line, ""),
@@ -182,20 +217,20 @@ fn parse_simple(line: &str, lineno: usize) -> Result<Instruction, Error> {
     let mnemonic_lc = mnemonic.to_ascii_lowercase();
 
     match mnemonic_lc.as_str() {
-        "measure_all" => return expect_no_args(rest, lineno).map(|_| Instruction::MeasureAll),
-        "display" => return expect_no_args(rest, lineno).map(|_| Instruction::Display),
+        "measure_all" => return expect_no_args(rest, ln).map(|_| Instruction::MeasureAll),
+        "display" => return expect_no_args(rest, ln).map(|_| Instruction::Display),
         "measure" | "measure_z" => {
-            let q = parse_qubit_ref(rest, lineno)?;
+            let q = parse_qubit_ref(rest, ln)?;
             return Ok(Instruction::Measure(q));
         }
         "prep_z" | "prep" => {
-            let q = parse_qubit_ref(rest, lineno)?;
+            let q = parse_qubit_ref(rest, ln)?;
             return Ok(Instruction::PrepZ(q));
         }
         "wait" => {
             let n: u64 = rest
                 .parse()
-                .map_err(|_| Error::parse(lineno, format!("invalid wait count `{rest}`")))?;
+                .map_err(|_| ln.err_at(rest, format!("invalid wait count `{rest}`")))?;
             return Ok(Instruction::Wait(n));
         }
         _ => {}
@@ -204,29 +239,23 @@ fn parse_simple(line: &str, lineno: usize) -> Result<Instruction, Error> {
     if let Some(gate_name) = mnemonic_lc.strip_prefix("c-") {
         let args: Vec<&str> = split_args(rest);
         if args.is_empty() {
-            return Err(Error::parse(
-                lineno,
-                "binary-controlled gate needs a bit operand",
-            ));
+            return Err(ln.err_at(mnemonic, "binary-controlled gate needs a bit operand"));
         }
-        let bit = parse_bit_ref(args[0], lineno)?;
-        let app = build_gate(gate_name, &args[1..], lineno)?;
+        let bit = parse_bit_ref(args[0], ln)?;
+        let app = build_gate(gate_name, mnemonic, &args[1..], ln)?;
         return Ok(Instruction::Cond(bit, app));
     }
 
     let args: Vec<&str> = split_args(rest);
-    let app = build_gate(&mnemonic_lc, &args, lineno)?;
+    let app = build_gate(&mnemonic_lc, mnemonic, &args, ln)?;
     Ok(Instruction::Gate(app))
 }
 
-fn expect_no_args(rest: &str, lineno: usize) -> Result<(), Error> {
+fn expect_no_args(rest: &str, ln: Line<'_>) -> Result<(), Error> {
     if rest.is_empty() {
         Ok(())
     } else {
-        Err(Error::parse(
-            lineno,
-            format!("unexpected operands `{rest}`"),
-        ))
+        Err(ln.err_at(rest, format!("unexpected operands `{rest}`")))
     }
 }
 
@@ -238,7 +267,9 @@ fn split_args(rest: &str) -> Vec<&str> {
     }
 }
 
-fn build_gate(name: &str, args: &[&str], lineno: usize) -> Result<GateApp, Error> {
+/// Builds a gate application from its lower-cased name (`name`), the
+/// original mnemonic token (`at`, for error columns) and operand tokens.
+fn build_gate(name: &str, at: &str, args: &[&str], ln: Line<'_>) -> Result<GateApp, Error> {
     let (kind, operand_count) = match name {
         "i" | "id" => (GateKind::I, 1),
         "h" => (GateKind::H, 1),
@@ -264,38 +295,43 @@ fn build_gate(name: &str, args: &[&str], lineno: usize) -> Result<GateApp, Error
                 _ => 2,
             };
             if args.len() != qubit_args + 1 {
-                return Err(Error::parse(
-                    lineno,
+                return Err(ln.err_at(
+                    at,
                     format!("gate `{name}` expects {qubit_args} qubit operand(s) and a parameter"),
                 ));
             }
             let param = args[qubit_args];
             let kind = match name {
-                "rx" => GateKind::Rx(parse_angle(param, lineno)?),
-                "ry" => GateKind::Ry(parse_angle(param, lineno)?),
-                "rz" => GateKind::Rz(parse_angle(param, lineno)?),
-                "cr" => GateKind::Cr(parse_angle(param, lineno)?),
+                "rx" => GateKind::Rx(parse_angle(param, ln)?),
+                "ry" => GateKind::Ry(parse_angle(param, ln)?),
+                "rz" => GateKind::Rz(parse_angle(param, ln)?),
+                "cr" => GateKind::Cr(parse_angle(param, ln)?),
                 "crk" => {
-                    let k: u32 = param.parse().map_err(|_| {
-                        Error::parse(lineno, format!("invalid crk exponent `{param}`"))
-                    })?;
+                    let k: u32 = param
+                        .parse()
+                        .map_err(|_| ln.err_at(param, format!("invalid crk exponent `{param}`")))?;
                     GateKind::CRk(k)
                 }
-                _ => unreachable!(),
+                other => {
+                    // The outer match arm restricts `name` to the five
+                    // parameterised mnemonics; report rather than abort if
+                    // that invariant is ever broken.
+                    return Err(ln.err_at(at, format!("unknown parameterised gate `{other}`")));
+                }
             };
             let mut qubits = Vec::with_capacity(qubit_args);
             for a in &args[..qubit_args] {
-                qubits.push(parse_qubit_ref(a, lineno)?);
+                qubits.push(parse_qubit_ref(a, ln)?);
             }
             return Ok(GateApp::new(kind, qubits));
         }
         other => {
-            return Err(Error::parse(lineno, format!("unknown gate `{other}`")));
+            return Err(ln.err_at(at, format!("unknown gate `{other}`")));
         }
     };
     if args.len() != operand_count {
-        return Err(Error::parse(
-            lineno,
+        return Err(ln.err_at(
+            at,
             format!(
                 "gate `{name}` expects {operand_count} operand(s), got {}",
                 args.len()
@@ -304,16 +340,19 @@ fn build_gate(name: &str, args: &[&str], lineno: usize) -> Result<GateApp, Error
     }
     let mut qubits = Vec::with_capacity(operand_count);
     for a in args {
-        qubits.push(parse_qubit_ref(a, lineno)?);
+        qubits.push(parse_qubit_ref(a, ln)?);
     }
     Ok(GateApp::new(kind, qubits))
 }
 
-fn parse_angle(s: &str, lineno: usize) -> Result<f64, Error> {
+fn parse_angle(s: &str, ln: Line<'_>) -> Result<f64, Error> {
     // Accept plain floats plus the common `pi`-expressions emitted by hand
     // written kernels (e.g. `pi/2`, `-pi/4`, `2*pi`).
     let t = s.trim().to_ascii_lowercase();
     if let Ok(v) = t.parse::<f64>() {
+        if !v.is_finite() {
+            return Err(ln.err_at(s, format!("non-finite angle `{s}`")));
+        }
         return Ok(v);
     }
     let (sign, t) = match t.strip_prefix('-') {
@@ -327,36 +366,44 @@ fn parse_angle(s: &str, lineno: usize) -> Result<f64, Error> {
     if let Some(denom) = t.strip_prefix("pi/") {
         let d: f64 = denom
             .parse()
-            .map_err(|_| Error::parse(lineno, format!("invalid angle `{s}`")))?;
-        return Ok(sign * pi / d);
+            .map_err(|_| ln.err_at(s, format!("invalid angle `{s}`")))?;
+        let v = sign * pi / d;
+        if !v.is_finite() {
+            return Err(ln.err_at(s, format!("non-finite angle `{s}`")));
+        }
+        return Ok(v);
     }
     if let Some(num) = t.strip_suffix("*pi") {
         let n: f64 = num
             .parse()
-            .map_err(|_| Error::parse(lineno, format!("invalid angle `{s}`")))?;
-        return Ok(sign * n * pi);
+            .map_err(|_| ln.err_at(s, format!("invalid angle `{s}`")))?;
+        let v = sign * n * pi;
+        if !v.is_finite() {
+            return Err(ln.err_at(s, format!("non-finite angle `{s}`")));
+        }
+        return Ok(v);
     }
-    Err(Error::parse(lineno, format!("invalid angle `{s}`")))
+    Err(ln.err_at(s, format!("invalid angle `{s}`")))
 }
 
-fn parse_qubit_ref(s: &str, lineno: usize) -> Result<Qubit, Error> {
-    parse_indexed(s, 'q', lineno).map(Qubit)
+fn parse_qubit_ref(s: &str, ln: Line<'_>) -> Result<Qubit, Error> {
+    parse_indexed(s, 'q', ln).map(Qubit)
 }
 
-fn parse_bit_ref(s: &str, lineno: usize) -> Result<Bit, Error> {
-    parse_indexed(s, 'b', lineno).map(Bit)
+fn parse_bit_ref(s: &str, ln: Line<'_>) -> Result<Bit, Error> {
+    parse_indexed(s, 'b', ln).map(Bit)
 }
 
-fn parse_indexed(s: &str, reg: char, lineno: usize) -> Result<usize, Error> {
+fn parse_indexed(s: &str, reg: char, ln: Line<'_>) -> Result<usize, Error> {
     let t = s.trim();
     let body = t
         .strip_prefix(reg)
         .and_then(|r| r.trim().strip_prefix('['))
         .and_then(|r| r.strip_suffix(']'))
-        .ok_or_else(|| Error::parse(lineno, format!("expected `{reg}[i]`, got `{t}`")))?;
+        .ok_or_else(|| ln.err_at(t, format!("expected `{reg}[i]`, got `{t}`")))?;
     body.trim()
         .parse()
-        .map_err(|_| Error::parse(lineno, format!("invalid index in `{t}`")))
+        .map_err(|_| ln.err_at(t, format!("invalid index in `{t}`")))
 }
 
 #[cfg(test)]
@@ -450,6 +497,19 @@ mod tests {
     }
 
     #[test]
+    fn errors_carry_columns() {
+        // `frobnicate` starts at column 3 of its line.
+        let e = parse("qubits 1\n  frobnicate q[0]\n").unwrap_err();
+        assert_eq!(e.position(), Some((2, 3)));
+        // Bad operand token position.
+        let e = parse("qubits 2\ncnot q[0], p[1]\n").unwrap_err();
+        assert_eq!(e.position(), Some((2, 12)));
+        // Bad angle token position.
+        let e = parse("qubits 1\nrx q[0], soup\n").unwrap_err();
+        assert_eq!(e.position(), Some((2, 10)));
+    }
+
+    #[test]
     fn error_on_missing_qubits() {
         assert!(parse("x q[0]\n").is_err());
         assert!(parse("").is_err());
@@ -465,6 +525,13 @@ mod tests {
     fn error_on_bad_reference() {
         assert!(parse("qubits 1\nx p[0]\n").is_err());
         assert!(parse("qubits 1\nx q[zero]\n").is_err());
+    }
+
+    #[test]
+    fn error_on_non_finite_angle() {
+        assert!(parse("qubits 1\nrx q[0], inf\n").is_err());
+        assert!(parse("qubits 1\nrx q[0], nan\n").is_err());
+        assert!(parse("qubits 1\nrz q[0], pi/0\n").is_err());
     }
 
     #[test]

@@ -5,6 +5,16 @@ use crate::instruction::{Instruction, Qubit};
 use crate::stats::CircuitStats;
 use std::fmt;
 
+/// Largest `wait` cycle count [`Program::validate`] accepts. Bounds the
+/// work any single instruction can demand from a scheduler or executor, so
+/// a corrupted program cannot stall the stack with a near-infinite idle
+/// loop.
+pub const MAX_WAIT_CYCLES: u64 = 1_000_000;
+
+/// Largest subcircuit iteration count [`Program::validate`] accepts.
+/// Bounds the flattened program size.
+pub const MAX_ITERATIONS: u64 = 1_000_000;
+
 /// A named subcircuit (`.name` or `.name(iterations)` in the text syntax).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Subcircuit {
@@ -189,6 +199,13 @@ impl Program {
     /// Returns [`Error::Validate`] describing the first problem found.
     pub fn validate(&self) -> Result<(), Error> {
         for sub in &self.subcircuits {
+            if sub.iterations() > MAX_ITERATIONS {
+                return Err(Error::validate(format!(
+                    "subcircuit `{}` iterates {} times (maximum {MAX_ITERATIONS})",
+                    sub.name(),
+                    sub.iterations()
+                )));
+            }
             for ins in sub.instructions() {
                 self.validate_instruction(ins, sub.name())?;
             }
@@ -257,6 +274,15 @@ impl Program {
                 }
                 g.qubits.iter().try_for_each(|q| check_qubit(*q))
             }
+            Instruction::Wait(cycles) => {
+                if *cycles > MAX_WAIT_CYCLES {
+                    return Err(Error::validate(format!(
+                        "wait of {cycles} cycles exceeds maximum {MAX_WAIT_CYCLES} \
+                         in subcircuit `{sub}`"
+                    )));
+                }
+                Ok(())
+            }
             other => other.qubits().into_iter().try_for_each(check_qubit),
         }
     }
@@ -306,10 +332,8 @@ impl ProgramBuilder {
         if self.program.subcircuits.is_empty() {
             self.program.push_subcircuit(Subcircuit::new("main"));
         }
-        self.program
-            .subcircuits
-            .last_mut()
-            .expect("just ensured non-empty")
+        let last = self.program.subcircuits.len() - 1;
+        &mut self.program.subcircuits[last]
     }
 
     /// Appends a gate.
@@ -346,17 +370,30 @@ impl ProgramBuilder {
         self
     }
 
+    /// Finishes building, returning a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Validate`] if the constructed program fails
+    /// validation (e.g. an out-of-range qubit index).
+    pub fn try_build(self) -> Result<Program, Error> {
+        self.program.validate()?;
+        Ok(self.program)
+    }
+
     /// Finishes building.
     ///
     /// # Panics
     ///
     /// Panics if the constructed program fails validation; the builder API
-    /// is typed, so this only happens on out-of-range qubit indices.
+    /// is typed, so this only happens on out-of-range qubit indices. Use
+    /// [`ProgramBuilder::try_build`] for a fallible variant.
+    // The panic here is the documented contract of this convenience API;
+    // fallible callers use `try_build`.
+    #[allow(clippy::expect_used)]
     pub fn build(self) -> Program {
-        self.program
-            .validate()
-            .expect("builder produced an invalid program");
-        self.program
+        self.try_build()
+            .expect("builder produced an invalid program")
     }
 }
 
@@ -431,6 +468,40 @@ mod tests {
             }));
         p.push_subcircuit(s);
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn try_build_returns_typed_error() {
+        let b = Program::builder(1).gate(GateKind::H, &[0]);
+        assert!(b.try_build().is_ok());
+        let mut p = Program::new(1);
+        let mut s = Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[7]));
+        p.push_subcircuit(s);
+        let b = ProgramBuilder { program: p };
+        assert!(matches!(b.try_build(), Err(Error::Validate { .. })));
+    }
+
+    #[test]
+    fn validation_caps_wait_and_iterations() {
+        let mut p = Program::new(1);
+        let mut s = Subcircuit::new("s");
+        s.push(Instruction::Wait(MAX_WAIT_CYCLES + 1));
+        p.push_subcircuit(s);
+        let e = p.validate().unwrap_err();
+        assert!(e.to_string().contains("wait"));
+
+        let mut p = Program::new(1);
+        p.push_subcircuit(Subcircuit::with_iterations("loop", MAX_ITERATIONS + 1));
+        let e = p.validate().unwrap_err();
+        assert!(e.to_string().contains("iterates"));
+
+        // At the caps, both are accepted.
+        let mut p = Program::new(1);
+        let mut s = Subcircuit::with_iterations("loop", MAX_ITERATIONS);
+        s.push(Instruction::Wait(MAX_WAIT_CYCLES));
+        p.push_subcircuit(s);
+        assert!(p.validate().is_ok());
     }
 
     #[test]

@@ -246,6 +246,12 @@ impl EqasmProgram {
         &self.instructions
     }
 
+    /// Mutable access to the instruction stream (fault injection and
+    /// program surgery in tests and the chaos harness).
+    pub fn instructions_mut(&mut self) -> &mut [EqInstruction] {
+        &mut self.instructions
+    }
+
     /// Appends an instruction.
     pub fn push(&mut self, instruction: EqInstruction) {
         self.instructions.push(instruction);

@@ -33,6 +33,10 @@
 //! # }
 //! ```
 
+// Library paths must return typed errors, never abort (CI gates these
+// lints); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod device;
 pub mod isa;
 pub mod microarch;
@@ -43,4 +47,4 @@ pub use device::{PulseOnlyDevice, QuantumDevice, QxDevice};
 pub use isa::{Condition, EqInstruction, EqasmProgram, Operand, QOp, QOpcode};
 pub use microarch::{ExecError, ExecutionTrace, MicroArchitecture, PulseEvent};
 pub use microcode::{ChannelKind, CodewordEntry, MicrocodeTable};
-pub use translate::{translate, TranslateError};
+pub use translate::{translate, verify_translation, TranslateError};

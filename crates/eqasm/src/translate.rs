@@ -19,12 +19,18 @@ pub enum TranslateError {
     /// The instruction cannot be expressed in eQASM (e.g. a gate of arity
     /// three reached the backend; decompose first).
     Unsupported(String),
+    /// Differential verification found the eQASM diverging from its
+    /// cQASM source (see [`verify_translation`]).
+    VerificationFailed(String),
 }
 
 impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::Unsupported(m) => write!(f, "cannot translate to eqasm: {m}"),
+            TranslateError::VerificationFailed(m) => {
+                write!(f, "eqasm translation failed differential verification: {m}")
+            }
         }
     }
 }
@@ -239,6 +245,102 @@ pub fn translate(schedule: &Schedule) -> Result<EqasmProgram, TranslateError> {
     Ok(out)
 }
 
+/// Differentially verifies a translation: reconstructs the gate sequence
+/// the eQASM program executes (replaying SMIS/SMIT register definitions
+/// through its bundles) and checks it implements the same unitary as the
+/// scheduled cQASM, up to global phase, on circuits of up to
+/// [`openql::MAX_VERIFY_QUBITS`] qubits.
+///
+/// Returns `Ok(true)` when the check ran and passed and `Ok(false)` when
+/// the program is outside the decidable shape (too large, conditional
+/// branches, mid-circuit state preparation).
+///
+/// # Errors
+///
+/// [`TranslateError::VerificationFailed`] when the eQASM provably
+/// diverges from the schedule.
+pub fn verify_translation(
+    schedule: &Schedule,
+    program: &EqasmProgram,
+) -> Result<bool, TranslateError> {
+    let n = schedule.qubit_count();
+    let Some(reconstructed) = reconstruct(program, n) else {
+        return Ok(false);
+    };
+    let reconstructed = reconstructed
+        .try_build()
+        .map_err(|e| TranslateError::VerificationFailed(format!("bad operands in eqasm: {e}")))?;
+    match openql::verify_pass(&schedule.to_program(), &reconstructed, "translate") {
+        Ok(ran) => Ok(ran),
+        Err(e) => Err(TranslateError::VerificationFailed(e.to_string())),
+    }
+}
+
+/// Replays an eQASM program's mask-register state to recover the cQASM
+/// gate/measure sequence it encodes. `None` when the program uses control
+/// flow the unitary verifier cannot model.
+fn reconstruct(program: &EqasmProgram, n: usize) -> Option<cqasm::ProgramBuilder> {
+    let mut sregs: HashMap<u8, Vec<usize>> = HashMap::new();
+    let mut tregs: HashMap<u8, Vec<(usize, usize)>> = HashMap::new();
+    let mut b = cqasm::Program::builder(n);
+    for ins in program.instructions() {
+        match ins {
+            EqInstruction::Smis { sd, qubits } => {
+                sregs.insert(*sd, qubits.clone());
+            }
+            EqInstruction::Smit { td, pairs } => {
+                tregs.insert(*td, pairs.clone());
+            }
+            EqInstruction::Bundle { ops, .. } => {
+                for op in ops {
+                    b = reconstruct_op(op, &sregs, &tregs, b)?;
+                }
+            }
+            EqInstruction::Ldi { .. }
+            | EqInstruction::Add { .. }
+            | EqInstruction::Sub { .. }
+            | EqInstruction::Qwait { .. }
+            | EqInstruction::Nop
+            | EqInstruction::Stop => {}
+            // Branching (conditional gates) is data-dependent control
+            // flow; the brute-force unitary extractor cannot model it.
+            EqInstruction::Fmr { .. } | EqInstruction::Cmp { .. } | EqInstruction::Br { .. } => {
+                return None;
+            }
+        }
+    }
+    Some(b)
+}
+
+fn reconstruct_op(
+    op: &QOp,
+    sregs: &HashMap<u8, Vec<usize>>,
+    tregs: &HashMap<u8, Vec<(usize, usize)>>,
+    mut b: cqasm::ProgramBuilder,
+) -> Option<cqasm::ProgramBuilder> {
+    match (&op.opcode, &op.operand) {
+        (QOpcode::Gate(kind), Operand::S(reg)) => {
+            for &q in sregs.get(reg)? {
+                b = b.gate(*kind, &[q]);
+            }
+        }
+        (QOpcode::Gate(kind), Operand::T(reg)) => {
+            for &(a, c) in tregs.get(reg)? {
+                b = b.gate(*kind, &[a, c]);
+            }
+        }
+        (QOpcode::MeasZ, Operand::S(reg)) => {
+            for &q in sregs.get(reg)? {
+                b = b.measure(q);
+            }
+        }
+        // prep_z is non-unitary; outside the decidable shape.
+        (QOpcode::PrepZ, _) => return None,
+        _ => return None,
+    }
+    Some(b)
+}
+
 fn add_grouped(groups: &mut Vec<(GateKind, Vec<usize>)>, kind: GateKind, q: usize) {
     for (k, qs) in groups.iter_mut() {
         if *k == kind {
@@ -362,6 +464,51 @@ mod tests {
             &Platform::perfect(3),
         );
         assert!(matches!(translate(&s), Err(TranslateError::Unsupported(_))));
+    }
+
+    #[test]
+    fn translation_verifies_differentially() {
+        for src in [
+            "qubits 2\nx90 q[0]\ncz q[0], q[1]\nmeasure_all\n",
+            "qubits 3\n{ x90 q[0] | x90 q[1] | x90 q[2] }\ncz q[1], q[2]\n",
+            "qubits 1\nx90 q[0]\nwait 5\ny90 q[0]\n",
+            "qubits 2\n{ rz q[0], 0.5 | rz q[1], 0.75 }\n",
+        ] {
+            let s = schedule_of(src, &Platform::superconducting_grid(1, 3));
+            let e = translate(&s).unwrap();
+            assert_eq!(verify_translation(&s, &e), Ok(true), "{src}");
+        }
+    }
+
+    #[test]
+    fn verification_catches_corrupted_eqasm() {
+        let s = schedule_of(
+            "qubits 2\nx90 q[0]\ncz q[0], q[1]\n",
+            &Platform::superconducting_grid(1, 2),
+        );
+        let mut e = translate(&s).unwrap();
+        // Retarget the single-qubit mask: x90 lands on the wrong qubit.
+        for ins in e.instructions_mut() {
+            if let EqInstruction::Smis { qubits, .. } = ins {
+                if qubits == &vec![0] {
+                    *qubits = vec![1];
+                }
+            }
+        }
+        assert!(matches!(
+            verify_translation(&s, &e),
+            Err(TranslateError::VerificationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn conditional_programs_are_skipped_not_failed() {
+        let s = schedule_of(
+            "qubits 2\nmeasure q[0]\nc-x90 b[0], q[1]\n",
+            &Platform::superconducting_grid(1, 2),
+        );
+        let e = translate(&s).unwrap();
+        assert_eq!(verify_translation(&s, &e), Ok(false));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::map::{route, InitialPlacement, Mapping};
 use crate::optimize::{optimize, OptimizeReport};
 use crate::platform::Platform;
 use crate::schedule::{schedule, Schedule, ScheduleDirection};
+use crate::verify::{verify_pass, verify_routed_pass};
 use cqasm::{CircuitStats, Program};
 
 /// Options controlling the pass pipeline.
@@ -26,6 +27,11 @@ pub struct CompilerOptions {
     /// Force routing even on fully-connected topologies (the paper notes
     /// perfect-qubit users may still *choose* to impose NN constraints).
     pub force_routing: bool,
+    /// Differentially verify each pass preserves circuit semantics (see
+    /// [`crate::verify`]). Applies to circuits of up to
+    /// [`crate::verify::MAX_VERIFY_QUBITS`] qubits; larger or
+    /// non-unitary shapes are skipped, never failed.
+    pub verify: bool,
 }
 
 impl Default for CompilerOptions {
@@ -35,6 +41,7 @@ impl Default for CompilerOptions {
             placement: InitialPlacement::GreedyInteraction,
             schedule: ScheduleDirection::Asap,
             force_routing: false,
+            verify: false,
         }
     }
 }
@@ -56,6 +63,9 @@ pub struct CompileReport {
     pub latency_ns: u64,
     /// Whether routing ran.
     pub routed: bool,
+    /// Number of passes that were differentially verified (0 when
+    /// verification is off or every pass was outside the decidable shape).
+    pub passes_verified: usize,
 }
 
 /// Result of compilation.
@@ -121,6 +131,13 @@ impl Compiler {
         &self.options
     }
 
+    /// Enables or disables differential pass verification (see
+    /// [`crate::verify`]); off by default.
+    pub fn with_verification(mut self, enabled: bool) -> Self {
+        self.options.verify = enabled;
+        self
+    }
+
     /// Compiles an OpenQL program.
     ///
     /// # Errors
@@ -145,13 +162,21 @@ impl Compiler {
         }
         let input_stats = input.stats();
         let mut opt_report = OptimizeReport::default();
+        let verify = self.options.verify;
+        let mut passes_verified = 0usize;
 
         // 1. Decompose to the native gate set.
         let mut current = decompose(input, self.platform.gate_set())?;
+        if verify {
+            passes_verified += usize::from(verify_pass(input, &current, "decompose")?);
+        }
 
         // 2. Optimise.
         if self.options.optimize {
             let (p, r) = optimize(&current);
+            if verify {
+                passes_verified += usize::from(verify_pass(&current, &p, "optimize")?);
+            }
             current = p;
             opt_report = merge(opt_report, r);
         }
@@ -165,12 +190,28 @@ impl Compiler {
         let mut swaps_inserted = 0;
         if needs_routing {
             let routed = route(&current, topo, self.options.placement)?;
+            if verify {
+                passes_verified += usize::from(verify_routed_pass(
+                    &current,
+                    &routed.program,
+                    &routed.initial,
+                    &routed.final_mapping,
+                    "map",
+                )?);
+            }
             swaps_inserted = routed.swaps_inserted;
             final_mapping = Some(routed.final_mapping);
             // Router introduces SWAPs; lower them to native gates.
             current = decompose(&routed.program, self.platform.gate_set())?;
+            if verify {
+                passes_verified +=
+                    usize::from(verify_pass(&routed.program, &current, "decompose-swaps")?);
+            }
             if self.options.optimize {
                 let (p, r) = optimize(&current);
+                if verify {
+                    passes_verified += usize::from(verify_pass(&current, &p, "optimize")?);
+                }
                 current = p;
                 opt_report = merge(opt_report, r);
             }
@@ -180,6 +221,9 @@ impl Compiler {
         let sched = schedule(&current, &self.platform, self.options.schedule);
         let emitted = sched.to_program();
         emitted.validate()?;
+        if verify {
+            passes_verified += usize::from(verify_pass(&current, &emitted, "schedule")?);
+        }
 
         let report = CompileReport {
             input_stats,
@@ -187,8 +231,11 @@ impl Compiler {
             swaps_inserted,
             optimizer: opt_report,
             latency_cycles: sched.latency(),
-            latency_ns: sched.latency() * self.platform.cycle_time_ns(),
+            latency_ns: sched
+                .latency()
+                .saturating_mul(self.platform.cycle_time_ns()),
             routed: needs_routing,
+            passes_verified,
         };
         Ok(CompileOutput {
             program: emitted,
@@ -368,6 +415,35 @@ mod tests {
             check_native_nn(ins, &plat);
         }
         assert_eq!(out.report.output_stats.multi_qubit_gates, 0);
+    }
+
+    #[test]
+    fn verification_passes_on_real_pipelines() {
+        // Routed superconducting target and unrouted perfect target, with
+        // verification on: every decidable pass must check out.
+        for (plat, qubits) in [
+            (Platform::superconducting_grid(2, 2), 4),
+            (Platform::perfect(4), 4),
+            (Platform::semiconducting_linear(4), 4),
+        ] {
+            let out = Compiler::new(plat.clone())
+                .with_verification(true)
+                .compile(&ghz_program(qubits))
+                .unwrap_or_else(|e| panic!("{}: {e}", plat.name()));
+            assert!(
+                out.report.passes_verified > 0,
+                "{}: nothing verified",
+                plat.name()
+            );
+        }
+    }
+
+    #[test]
+    fn verification_off_reports_zero_passes() {
+        let out = Compiler::new(Platform::perfect(3))
+            .compile(&ghz_program(3))
+            .unwrap();
+        assert_eq!(out.report.passes_verified, 0);
     }
 
     #[test]

@@ -29,6 +29,17 @@ pub enum CompileError {
     },
     /// The input program failed cQASM validation.
     InvalidProgram(String),
+    /// A compiler pass reached a state that violates its own invariants
+    /// (a compiler bug surfaced as a typed error instead of a panic).
+    Internal(String),
+    /// Differential verification found a pass that changed the circuit's
+    /// semantics (see `openql::verify`).
+    VerificationFailed {
+        /// The pass that failed verification (e.g. `"decompose"`).
+        pass: String,
+        /// What diverged.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -48,6 +59,13 @@ impl fmt::Display for CompileError {
                 write!(f, "no routing path between physical qubits {a} and {b}")
             }
             CompileError::InvalidProgram(m) => write!(f, "invalid input program: {m}"),
+            CompileError::Internal(m) => write!(f, "internal compiler error: {m}"),
+            CompileError::VerificationFailed { pass, detail } => {
+                write!(
+                    f,
+                    "pass `{pass}` failed differential verification: {detail}"
+                )
+            }
         }
     }
 }

@@ -313,11 +313,16 @@ fn greedy_placement(program: &Program, topology: &Topology) -> Mapping {
         }
     }
 
-    // Any untouched logical qubits: first free physical slots.
+    // Any untouched logical qubits: first free physical slots. route()
+    // guarantees n_logical <= n_physical, so a free slot always exists;
+    // fall back to identity rather than aborting if that ever breaks.
     let mut free = (0..n_physical).filter(|&p| !used[p]);
     for slot in l2p.iter_mut() {
         if *slot == usize::MAX {
-            *slot = free.next().expect("enough physical qubits");
+            match free.next() {
+                Some(p) => *slot = p,
+                None => return Mapping::identity(n_physical),
+            }
         }
     }
     // Pad to a full permutation over physical qubits.

@@ -83,11 +83,13 @@ impl Schedule {
                 i += 1;
             }
             if slot.len() == 1 {
-                sub.push(slot.pop().expect("one element"));
+                if let Some(only) = slot.pop() {
+                    sub.push(only);
+                }
             } else {
                 sub.push(Instruction::Bundle(slot));
             }
-            cursor = start + max_dur.max(1);
+            cursor = start.saturating_add(max_dur.max(1));
         }
         p.push_subcircuit(sub);
         p
@@ -116,7 +118,7 @@ pub fn schedule(program: &Program, platform: &Platform, direction: ScheduleDirec
                 .items
                 .into_iter()
                 .map(|t| TimedInstruction {
-                    start: total - (t.start + t.duration),
+                    start: total.saturating_sub(t.start.saturating_add(t.duration)),
                     duration: t.duration,
                     instruction: t.instruction,
                 })
@@ -169,24 +171,24 @@ fn asap(linear: &[Instruction], qubit_count: usize, platform: &Platform) -> Sche
                 // Global barrier: everything issued so far must finish,
                 // then idle for `cycles`.
                 let all_done = qubit_free.iter().copied().max().unwrap_or(0).max(barrier);
-                barrier = all_done + cycles;
+                barrier = all_done.saturating_add(*cycles);
                 latency = latency.max(barrier);
                 continue; // timing-only; not emitted as an item
             }
             Instruction::Measure(q) => {
-                bit_ready[q.index()] = start + duration;
+                bit_ready[q.index()] = start.saturating_add(duration);
             }
             Instruction::MeasureAll => {
                 for b in bit_ready.iter_mut() {
-                    *b = start + duration;
+                    *b = start.saturating_add(duration);
                 }
             }
             _ => {}
         }
         for &q in &qubits {
-            qubit_free[q] = start + duration;
+            qubit_free[q] = start.saturating_add(duration);
         }
-        latency = latency.max(start + duration);
+        latency = latency.max(start.saturating_add(duration));
         items.push(TimedInstruction {
             start,
             duration,

@@ -1,0 +1,316 @@
+//! Differential verification of compiler passes.
+//!
+//! Every OpenQL pass (decompose, optimize, map/route, schedule) claims to
+//! preserve circuit semantics. For circuits of up to [`MAX_VERIFY_QUBITS`]
+//! qubits this module *checks* that claim by brute force: the unitary of
+//! the before- and after-programs is extracted column by column (applying
+//! the gate prefix to every computational basis state) and the two
+//! matrices compared up to a single global phase. Routing additionally
+//! permutes qubits, so the routed comparison threads the input basis
+//! through the initial placement and decodes the output through the final
+//! mapping.
+//!
+//! The checks run when [`crate::Compiler::with_verification`] is enabled
+//! and silently skip shapes they cannot decide (too many qubits,
+//! mid-circuit measurement, conditional gates): verification never
+//! rejects a program it cannot model, it only rejects proven divergence.
+
+use crate::error::CompileError;
+use crate::map::Mapping;
+use cqasm::math::C64;
+use cqasm::{Instruction, Program};
+use qxsim::StateVector;
+
+/// Largest circuit verified exhaustively: 2^8 columns of 2^8 amplitudes
+/// is the point where verification stays cheap next to compilation.
+pub const MAX_VERIFY_QUBITS: usize = 8;
+
+/// Absolute tolerance on amplitude mismatch after phase alignment.
+const TOL: f64 = 1e-6;
+
+/// Whether a program has the shape the verifier can decide: at most
+/// [`MAX_VERIFY_QUBITS`] qubits and a unitary body (gates, bundles,
+/// waits, displays) followed by an optional trailing measurement suffix.
+/// Mid-circuit measurement, `prep_z` and conditional gates are
+/// non-unitary control flow the unitary extractor cannot model.
+pub fn verifiable(program: &Program) -> bool {
+    let n = program.qubit_count();
+    if n == 0 || n > MAX_VERIFY_QUBITS {
+        return false;
+    }
+    let mut measuring = false;
+    for ins in program.flat_instructions() {
+        if !shape_ok(ins, &mut measuring) {
+            return false;
+        }
+    }
+    true
+}
+
+fn shape_ok(ins: &Instruction, measuring: &mut bool) -> bool {
+    match ins {
+        Instruction::Measure(_) | Instruction::MeasureAll => {
+            *measuring = true;
+            true
+        }
+        Instruction::Gate(_) => !*measuring,
+        Instruction::Bundle(instrs) => instrs.iter().all(|i| shape_ok(i, measuring)),
+        Instruction::Wait(_) | Instruction::Display => true,
+        Instruction::PrepZ(_) | Instruction::Cond(_, _) => false,
+    }
+}
+
+/// Applies the unitary (gate) prefix of `program` to `state`.
+fn apply_gates(program: &Program, state: &mut StateVector) {
+    for ins in program.flat_instructions() {
+        apply_ins(ins, state);
+    }
+}
+
+fn apply_ins(ins: &Instruction, state: &mut StateVector) {
+    match ins {
+        Instruction::Gate(g) => {
+            let idx: Vec<usize> = g.qubits.iter().map(|q| q.index()).collect();
+            state.apply_gate(&g.kind, &idx);
+        }
+        Instruction::Bundle(instrs) => {
+            for inner in instrs {
+                apply_ins(inner, state);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The circuit unitary as columns: column `x` is the state the program
+/// maps basis state `|x>` to.
+fn unitary_columns(program: &Program, n: usize) -> Vec<Vec<C64>> {
+    let dim = 1usize << n;
+    (0..dim)
+        .map(|x| {
+            let mut s = StateVector::basis_state(n, x as u64);
+            apply_gates(program, &mut s);
+            s.amplitudes().to_vec()
+        })
+        .collect()
+}
+
+/// Compares two unitaries (as columns) up to one global phase, via the
+/// Frobenius inner product `z = tr(A† B)`: for `B = e^{iθ} A` the product
+/// has `|z| = dim`, and the aligned matrices must then match elementwise.
+fn same_up_to_global_phase(a: &[Vec<C64>], b: &[Vec<C64>], dim: usize) -> Result<(), String> {
+    let mut z = C64::ZERO;
+    for (ca, cb) in a.iter().zip(b) {
+        for (&ea, &eb) in ca.iter().zip(cb) {
+            z += ea.conj() * eb;
+        }
+    }
+    let mag = z.abs();
+    if (mag - dim as f64).abs() > TOL * dim as f64 {
+        return Err(format!(
+            "Frobenius overlap |tr(A†B)| = {mag:.6}, expected {dim} (unitaries differ)"
+        ));
+    }
+    let phase = z * (1.0 / mag);
+    for (x, (ca, cb)) in a.iter().zip(b).enumerate() {
+        for (row, (&ea, &eb)) in ca.iter().zip(cb).enumerate() {
+            let d = (eb - phase * ea).abs();
+            if d > TOL {
+                return Err(format!(
+                    "amplitude ({row}, {x}) differs by {d:.2e} after phase alignment"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies that `after` implements the same unitary as `before` (up to
+/// global phase). Returns `Ok(true)` when the check ran and passed,
+/// `Ok(false)` when either program is outside the verifiable shape.
+///
+/// # Errors
+///
+/// [`CompileError::VerificationFailed`] naming `pass` when the circuits
+/// provably diverge.
+pub fn verify_pass(before: &Program, after: &Program, pass: &str) -> Result<bool, CompileError> {
+    if before.qubit_count() != after.qubit_count() || !verifiable(before) || !verifiable(after) {
+        return Ok(false);
+    }
+    let n = before.qubit_count();
+    let ua = unitary_columns(before, n);
+    let ub = unitary_columns(after, n);
+    same_up_to_global_phase(&ua, &ub, 1 << n).map_err(|detail| {
+        CompileError::VerificationFailed {
+            pass: pass.to_owned(),
+            detail,
+        }
+    })?;
+    Ok(true)
+}
+
+/// Verifies a routed program against its pre-routing original, threading
+/// the basis through the router's qubit permutations: input basis bits
+/// enter at their `initial` physical positions and output amplitudes are
+/// decoded through `final_mapping`. The before-program may address fewer
+/// (logical) qubits than the routed (physical) program; extra physical
+/// qubits must act as identity.
+///
+/// # Errors
+///
+/// [`CompileError::VerificationFailed`] naming `pass` on divergence.
+pub fn verify_routed_pass(
+    before: &Program,
+    after: &Program,
+    initial: &Mapping,
+    final_mapping: &Mapping,
+    pass: &str,
+) -> Result<bool, CompileError> {
+    let n_phys = after.qubit_count();
+    if before.qubit_count() > n_phys
+        || n_phys == 0
+        || n_phys > MAX_VERIFY_QUBITS
+        || initial.len() != n_phys
+        || final_mapping.len() != n_phys
+        || !verifiable(before)
+        || !verifiable(after)
+    {
+        return Ok(false);
+    }
+    let dim = 1usize << n_phys;
+    // Reference: the logical program acting on bit l = logical qubit l,
+    // padded with identity on the extra physical qubits.
+    let ua = unitary_columns(before, n_phys);
+    // Routed: encode basis x through the initial placement, run, decode
+    // through the final mapping.
+    let ub: Vec<Vec<C64>> = (0..dim)
+        .map(|x| {
+            let mut y0 = 0u64;
+            for l in 0..n_phys {
+                if (x >> l) & 1 == 1 {
+                    y0 |= 1 << initial.physical(l);
+                }
+            }
+            let mut s = StateVector::basis_state(n_phys, y0);
+            apply_gates(after, &mut s);
+            let mut decoded = vec![C64::ZERO; dim];
+            for (y, &a) in s.amplitudes().iter().enumerate() {
+                let mut xl = 0usize;
+                for l in 0..n_phys {
+                    if (y >> final_mapping.physical(l)) & 1 == 1 {
+                        xl |= 1 << l;
+                    }
+                }
+                decoded[xl] = a;
+            }
+            decoded
+        })
+        .collect();
+    same_up_to_global_phase(&ua, &ub, dim).map_err(|detail| CompileError::VerificationFailed {
+        pass: pass.to_owned(),
+        detail,
+    })?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{route, InitialPlacement};
+    use crate::topology::Topology;
+    use cqasm::GateKind;
+
+    #[test]
+    fn identical_programs_verify() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build();
+        assert_eq!(verify_pass(&p, &p, "noop"), Ok(true));
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        // S and T² differ from rz-based forms only by global phase; use
+        // Z = S·S versus rz(π) which differ by e^{iπ/2}.
+        let a = Program::builder(1).gate(GateKind::Z, &[0]).build();
+        let b = Program::builder(1)
+            .gate(GateKind::Rz(std::f64::consts::PI), &[0])
+            .build();
+        assert_eq!(verify_pass(&a, &b, "phase"), Ok(true));
+    }
+
+    #[test]
+    fn divergent_programs_fail_with_pass_name() {
+        let a = Program::builder(1).gate(GateKind::X, &[0]).build();
+        let b = Program::builder(1).gate(GateKind::Y, &[0]).build();
+        match verify_pass(&a, &b, "optimize") {
+            Err(CompileError::VerificationFailed { pass, .. }) => assert_eq!(pass, "optimize"),
+            other => panic!("expected VerificationFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x_and_y_differ_even_up_to_phase() {
+        // X = e^{iθ}Y has no solution; the Frobenius check must say so.
+        let a = Program::builder(1).gate(GateKind::X, &[0]).build();
+        let b = Program::builder(1).gate(GateKind::Y, &[0]).build();
+        assert!(verify_pass(&a, &b, "p").is_err());
+    }
+
+    #[test]
+    fn unverifiable_shapes_are_skipped_not_failed() {
+        let measured_mid = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::X, &[1])
+            .build();
+        let same = measured_mid.clone();
+        assert_eq!(verify_pass(&measured_mid, &same, "p"), Ok(false));
+        let big = Program::builder(9).gate(GateKind::H, &[0]).build();
+        assert_eq!(verify_pass(&big, &big, "p"), Ok(false));
+    }
+
+    #[test]
+    fn routed_program_verifies_through_permutations() {
+        let t = Topology::linear(4);
+        let p = Program::builder(4)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 3]) // needs routing on a line
+            .gate(GateKind::Cnot, &[1, 2])
+            .measure_all()
+            .build();
+        for placement in [
+            InitialPlacement::Identity,
+            InitialPlacement::GreedyInteraction,
+        ] {
+            let res = route(&p, &t, placement).unwrap();
+            assert!(res.swaps_inserted > 0 || placement == InitialPlacement::GreedyInteraction);
+            assert_eq!(
+                verify_routed_pass(&p, &res.program, &res.initial, &res.final_mapping, "map"),
+                Ok(true),
+                "{placement:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_verification_detects_wrong_mapping() {
+        let t = Topology::linear(3);
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 2])
+            .build();
+        let res = route(&p, &t, InitialPlacement::Identity).unwrap();
+        // Lying about the final mapping must be caught (the router really
+        // swapped, so pretending it did not changes the decoded unitary).
+        let wrong = Mapping::identity(3);
+        if res.final_mapping != wrong {
+            assert!(
+                verify_routed_pass(&p, &res.program, &res.initial, &wrong, "map").is_err(),
+                "wrong mapping accepted"
+            );
+        }
+    }
+}

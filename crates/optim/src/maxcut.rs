@@ -130,7 +130,10 @@ impl MaxCut {
     pub fn solve_with<S: Sampler + ?Sized>(&self, sampler: &S, reads: u64) -> (Vec<bool>, f64) {
         let (ising, _) = self.to_ising();
         let set = sampler.sample(&ising, reads);
-        let best = set.best().expect("at least one read");
+        let Some(best) = set.best() else {
+            // Zero reads: the empty sampler run degrades to the trivial cut.
+            return (vec![false; self.len()], 0.0);
+        };
         let partition: Vec<bool> = best.spins.iter().map(|&s| s < 0).collect();
         let w = self.cut_weight(&partition);
         (partition, w)

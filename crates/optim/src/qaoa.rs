@@ -135,11 +135,11 @@ impl Qaoa {
         rng: &mut R,
     ) -> (Vec<bool>, f64) {
         let samples = self.sample(params, shots, rng);
-        let best = samples
-            .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("at least one shot");
-        (spins_to_bits(&best.0), best.1)
+        match samples.into_iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
+            Some(best) => (spins_to_bits(&best.0), best.1),
+            // Zero shots: degrade to the all-zero assignment.
+            None => (vec![false; self.qubit_count()], f64::INFINITY),
+        }
     }
 }
 

@@ -203,7 +203,7 @@ impl TspInstance {
             }
             return;
         }
-        let last = *path.last().expect("non-empty path");
+        let Some(&last) = path.last() else { return };
         for next in 1..n {
             if used[next] {
                 continue;
@@ -227,15 +227,13 @@ impl TspInstance {
         let mut used = vec![false; n];
         used[start] = true;
         while tour.len() < n {
-            let last = *tour.last().expect("non-empty");
-            let next = (0..n)
+            let Some(&last) = tour.last() else { break };
+            let Some(next) = (0..n)
                 .filter(|&c| !used[c])
-                .min_by(|&a, &b| {
-                    self.distance(last, a)
-                        .partial_cmp(&self.distance(last, b))
-                        .expect("finite")
-                })
-                .expect("cities remain");
+                .min_by(|&a, &b| self.distance(last, a).total_cmp(&self.distance(last, b)))
+            else {
+                break;
+            };
             used[next] = true;
             tour.push(next);
         }

@@ -189,7 +189,6 @@ fn optimal_matching(
     memo[0] = Some((0, None));
     fn solve(
         mask: usize,
-        k: usize,
         memo: &mut [Option<(usize, Option<MatchOp>)>],
         pair_cost: &dyn Fn(usize, usize) -> usize,
         bcost: &[usize],
@@ -197,15 +196,17 @@ fn optimal_matching(
         if let Some((c, _)) = memo[mask] {
             return c;
         }
-        let i = (0..k).find(|&i| mask & (1 << i) != 0).expect("non-empty");
+        // mask != 0 here: memo[0] is pre-filled, so the lookup above
+        // returns for the empty mask.
+        let i = mask.trailing_zeros() as usize;
         let rest = mask & !(1 << i);
-        let mut best = solve(rest, k, memo, pair_cost, bcost) + bcost[i];
+        let mut best = solve(rest, memo, pair_cost, bcost) + bcost[i];
         let mut best_op = MatchOp::Boundary(i);
         let mut j_iter = rest;
         while j_iter != 0 {
             let j = j_iter.trailing_zeros() as usize;
             j_iter &= j_iter - 1;
-            let c = solve(rest & !(1 << j), k, memo, pair_cost, bcost) + pair_cost(i, j);
+            let c = solve(rest & !(1 << j), memo, pair_cost, bcost) + pair_cost(i, j);
             if c < best {
                 best = c;
                 best_op = MatchOp::Pair(i, j);
@@ -216,12 +217,14 @@ fn optimal_matching(
     }
     let bcosts: Vec<usize> = defects.iter().map(|&d| boundary_cost(d)).collect();
     let pc = |i: usize, j: usize| pair_cost(i, j);
-    solve(full, k, &mut memo, &pc, &bcosts);
+    solve(full, &mut memo, &pc, &bcosts);
     // Reconstruct.
     let mut ops = Vec::new();
     let mut mask = full;
     while mask != 0 {
-        let op = memo[mask].expect("solved").1.expect("non-empty mask");
+        let Some((_, Some(op))) = memo[mask] else {
+            break; // unreachable: solve() memoised every submask of full
+        };
         match op {
             MatchOp::Pair(i, j) => {
                 ops.push(op);

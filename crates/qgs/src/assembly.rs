@@ -125,7 +125,9 @@ impl OverlapGraph {
             merged_pairs += 1;
         }
         // Emit the chain from its head.
-        let head = (0..n).find(|&r| !has_pred[r]).expect("a head exists");
+        let Some(head) = (0..n).find(|&r| !has_pred[r]) else {
+            return Vec::new(); // n == 0: nothing to order
+        };
         let mut order = vec![head];
         let mut cur = head;
         while let Some(nx) = next[cur] {

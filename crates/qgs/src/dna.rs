@@ -37,18 +37,13 @@ impl Base {
         }
     }
 
-    /// Decodes a two-bit code.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bits > 3`.
+    /// Decodes a two-bit code (only the low two bits are read).
     pub fn from_bits(bits: u64) -> Base {
-        match bits {
+        match bits & 0b11 {
             0 => Base::A,
             1 => Base::C,
             2 => Base::G,
-            3 => Base::T,
-            other => panic!("invalid base code {other}"),
+            _ => Base::T,
         }
     }
 

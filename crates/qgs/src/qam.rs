@@ -142,7 +142,7 @@ impl QuantumAssociativeMemory {
             .amplitudes()
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.norm_sqr().partial_cmp(&b.1.norm_sqr()).expect("finite"))
+            .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
             .map(|(i, _)| i as u64)
             .unwrap_or(0);
         RecallResult {

@@ -110,6 +110,9 @@ impl DensityMatrix {
     /// # Panics
     ///
     /// Panics on three-qubit gates (decompose first) or bad operands.
+    // The panic is this low-level API's documented contract; the stack
+    // decomposes Toffoli before density simulation.
+    #[allow(clippy::panic)]
     pub fn apply_gate(&mut self, kind: &GateKind, qubits: &[usize]) {
         match kind.unitary() {
             cqasm::GateUnitary::One(m) => self.apply_1q(&m, qubits[0]),

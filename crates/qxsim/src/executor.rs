@@ -29,17 +29,63 @@ use rand::{Rng, SeedableRng};
 pub enum ExecuteError {
     /// The program failed semantic validation before execution.
     Invalid(String),
+    /// The program addresses more qubits than the state-vector engine can
+    /// allocate (see [`crate::plan::MAX_SIM_QUBITS`]).
+    TooManyQubits {
+        /// Qubits the program needs.
+        needed: usize,
+        /// Qubits the engine supports.
+        max: usize,
+    },
+    /// A configured fault fired (see [`FaultInjection::fail_at_shot`]).
+    InjectedFault {
+        /// The shot index at which the fault fired.
+        shot: u64,
+    },
+    /// A worker thread of a parallel run died.
+    Worker(String),
 }
 
 impl std::fmt::Display for ExecuteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecuteError::Invalid(m) => write!(f, "program invalid: {m}"),
+            ExecuteError::TooManyQubits { needed, max } => write!(
+                f,
+                "program needs {needed} qubits but the simulator supports at most {max}"
+            ),
+            ExecuteError::InjectedFault { shot } => {
+                write!(f, "injected fault fired at shot {shot}")
+            }
+            ExecuteError::Worker(m) => write!(f, "worker thread failed: {m}"),
         }
     }
 }
 
 impl std::error::Error for ExecuteError {}
+
+/// Deterministic executor-level fault injection, for exercising the
+/// stack's failure paths (used by the chaos harness and tests).
+///
+/// Both faults are deterministic functions of the configuration, never of
+/// timing: campaigns replay bit-for-bit from a seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Execute at most this many shots per multi-shot run. A run asked for
+    /// more shots returns a *degraded-but-valid* histogram over the budget
+    /// (models a control computer cutting a run short).
+    pub shot_budget: Option<u64>,
+    /// Fail the whole run with [`ExecuteError::InjectedFault`] when this
+    /// shot index would execute (models a mid-run kernel failure).
+    pub fail_at_shot: Option<u64>,
+}
+
+impl FaultInjection {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultInjection::default()
+    }
+}
 
 /// Outcome of one shot: the final quantum state and the classical register.
 #[derive(Debug, Clone)]
@@ -76,6 +122,7 @@ pub struct Simulator {
     model: QubitModel,
     seed: u64,
     sampling_fast_path: bool,
+    faults: FaultInjection,
 }
 
 impl Default for Simulator {
@@ -91,6 +138,7 @@ impl Simulator {
             model: QubitModel::Perfect,
             seed: 0xC0FFEE,
             sampling_fast_path: true,
+            faults: FaultInjection::none(),
         }
     }
 
@@ -100,6 +148,7 @@ impl Simulator {
             model,
             seed: 0xC0FFEE,
             sampling_fast_path: true,
+            faults: FaultInjection::none(),
         }
     }
 
@@ -118,6 +167,13 @@ impl Simulator {
     /// Replaces the random seed (execution is deterministic per seed).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs an executor-level fault-injection configuration (see
+    /// [`FaultInjection`]). The default injects nothing.
+    pub fn with_fault_injection(mut self, faults: FaultInjection) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -191,6 +247,22 @@ impl Simulator {
         self.run_shots_impl(program, shots, threads.max(1))
     }
 
+    /// Applies the fault-injection configuration to a `shots`-shot run:
+    /// truncates to the shot budget (degraded-but-valid) and errors if the
+    /// configured failing shot would execute.
+    fn effective_shots(&self, shots: u64) -> Result<u64, ExecuteError> {
+        let effective = match self.faults.shot_budget {
+            Some(budget) => shots.min(budget),
+            None => shots,
+        };
+        if let Some(fail_at) = self.faults.fail_at_shot {
+            if fail_at < effective {
+                return Err(ExecuteError::InjectedFault { shot: fail_at });
+            }
+        }
+        Ok(effective)
+    }
+
     fn run_shots_impl(
         &self,
         program: &Program,
@@ -198,8 +270,9 @@ impl Simulator {
         threads: usize,
     ) -> Result<ShotHistogram, ExecuteError> {
         let plan = self.compile(program)?;
+        let shots = self.effective_shots(shots)?;
         if self.sampling_fast_path && plan.terminal_sampling() {
-            return Ok(self.run_terminal_sampling(&plan, shots, threads));
+            return self.run_terminal_sampling(&plan, shots, threads);
         }
         if threads <= 1 {
             let mut hist = ShotHistogram::new();
@@ -225,11 +298,15 @@ impl Simulator {
                     out
                 }));
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("shot worker panicked"))
-                .collect()
-        });
+            let mut all = Vec::with_capacity(shots as usize);
+            for h in handles {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    Err(payload) => return Err(worker_error(payload)),
+                }
+            }
+            Ok(all)
+        })?;
         Ok(results.into_iter().collect())
     }
 
@@ -248,7 +325,7 @@ impl Simulator {
         plan: &CompiledProgram,
         shots: u64,
         threads: usize,
-    ) -> ShotHistogram {
+    ) -> Result<ShotHistogram, ExecuteError> {
         let mut state = StateVector::zero_state(plan.qubit_count());
         for op in plan.ops() {
             if let PlannedOp::Gate(g) = op {
@@ -268,7 +345,7 @@ impl Simulator {
                     .collect()
             };
             if threads <= 1 {
-                return sample_range(0, shots).into_iter().collect();
+                return Ok(sample_range(0, shots).into_iter().collect());
             }
             let results: Vec<u64> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
@@ -277,12 +354,16 @@ impl Simulator {
                     let hi = shots * (t as u64 + 1) / threads as u64;
                     handles.push(scope.spawn(move || sample_range(lo, hi)));
                 }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("sampling worker panicked"))
-                    .collect()
-            });
-            return results.into_iter().collect();
+                let mut all = Vec::with_capacity(shots as usize);
+                for h in handles {
+                    match h.join() {
+                        Ok(part) => all.extend(part),
+                        Err(payload) => return Err(worker_error(payload)),
+                    }
+                }
+                Ok(all)
+            })?;
+            return Ok(results.into_iter().collect());
         }
         let count_range = |lo: u64, hi: u64| -> Vec<u64> {
             let mut buckets = vec![0u64; cum.len()];
@@ -305,19 +386,23 @@ impl Simulator {
                     .collect();
                 let mut total = vec![0u64; cum.len()];
                 for h in handles {
-                    let part = h.join().expect("sampling worker panicked");
-                    for (t, b) in total.iter_mut().zip(part) {
-                        *t += b;
+                    match h.join() {
+                        Ok(part) => {
+                            for (t, b) in total.iter_mut().zip(part) {
+                                *t += b;
+                            }
+                        }
+                        Err(payload) => return Err(worker_error(payload)),
                     }
                 }
-                total
-            })
+                Ok(total)
+            })?
         };
         let mut hist = ShotHistogram::new();
         for (bits, &count) in buckets.iter().enumerate() {
             hist.record_many(bits as u64, count);
         }
-        hist
+        Ok(hist)
     }
 
     /// The RNG stream for shot `shot` of a multi-shot run.
@@ -412,6 +497,18 @@ impl Simulator {
             }
         }
     }
+}
+
+/// Converts a worker thread's panic payload into a typed error so a dead
+/// worker degrades into `Err(ExecuteError::Worker)` instead of aborting
+/// the caller.
+fn worker_error(payload: Box<dyn std::any::Any + Send>) -> ExecuteError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked with non-string payload".to_string());
+    ExecuteError::Worker(msg)
 }
 
 fn set_bit(bits: &mut u64, index: usize, value: bool) {
@@ -727,5 +824,106 @@ mod fast_path_tests {
         assert_eq!(h.count(0) + h.count((1 << 10) - 1), 2000);
         let p0 = h.probability(0);
         assert!((p0 - 0.5).abs() < 0.05, "p0 = {p0}");
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn bell() -> Program {
+        Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build()
+    }
+
+    #[test]
+    fn shot_budget_degrades_but_stays_valid() {
+        let sim = Simulator::perfect()
+            .with_seed(4)
+            .with_fault_injection(FaultInjection {
+                shot_budget: Some(120),
+                fail_at_shot: None,
+            });
+        let hist = sim.run_shots(&bell(), 1000).unwrap();
+        assert_eq!(hist.shots(), 120);
+        // Budget truncation is a prefix of the full run: same per-shot
+        // streams, so it equals an un-faulted 120-shot run exactly.
+        let clean = Simulator::perfect()
+            .with_seed(4)
+            .run_shots(&bell(), 120)
+            .unwrap();
+        assert_eq!(hist, clean);
+    }
+
+    #[test]
+    fn budget_larger_than_request_changes_nothing() {
+        let faulty = Simulator::perfect().with_fault_injection(FaultInjection {
+            shot_budget: Some(10_000),
+            fail_at_shot: None,
+        });
+        let clean = Simulator::perfect();
+        assert_eq!(
+            faulty.run_shots(&bell(), 50).unwrap(),
+            clean.run_shots(&bell(), 50).unwrap()
+        );
+    }
+
+    #[test]
+    fn fail_at_shot_yields_typed_error() {
+        let sim = Simulator::perfect().with_fault_injection(FaultInjection {
+            shot_budget: None,
+            fail_at_shot: Some(7),
+        });
+        assert_eq!(
+            sim.run_shots(&bell(), 100),
+            Err(ExecuteError::InjectedFault { shot: 7 })
+        );
+        // The fault also fires through the parallel path and the slow path.
+        let slow = sim.clone().with_sampling_fast_path(false);
+        assert_eq!(
+            slow.run_shots_parallel(&bell(), 100, 4),
+            Err(ExecuteError::InjectedFault { shot: 7 })
+        );
+    }
+
+    #[test]
+    fn fail_at_shot_beyond_run_is_harmless() {
+        let sim = Simulator::perfect().with_fault_injection(FaultInjection {
+            shot_budget: None,
+            fail_at_shot: Some(500),
+        });
+        assert!(sim.run_shots(&bell(), 100).is_ok());
+    }
+
+    #[test]
+    fn budget_can_mask_the_failing_shot() {
+        // The budget truncates the run before the failing shot would
+        // execute, so the run degrades instead of erroring.
+        let sim = Simulator::perfect().with_fault_injection(FaultInjection {
+            shot_budget: Some(5),
+            fail_at_shot: Some(7),
+        });
+        let hist = sim.run_shots(&bell(), 100).unwrap();
+        assert_eq!(hist.shots(), 5);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let mk = || {
+            Simulator::perfect()
+                .with_seed(21)
+                .with_fault_injection(FaultInjection {
+                    shot_budget: Some(33),
+                    fail_at_shot: None,
+                })
+        };
+        assert_eq!(
+            mk().run_shots(&bell(), 64).unwrap(),
+            mk().run_shots(&bell(), 64).unwrap()
+        );
     }
 }

@@ -40,6 +40,10 @@
 //! # }
 //! ```
 
+// Library paths must return typed errors, never abort (CI gates these
+// lints); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
 pub mod density;
 pub mod error_model;
 pub mod executor;
@@ -50,9 +54,9 @@ pub mod qubit_model;
 pub mod state;
 
 pub use error_model::ErrorChannel;
-pub use executor::{ExecuteError, ShotResult, Simulator};
+pub use executor::{ExecuteError, FaultInjection, ShotResult, Simulator};
 pub use histogram::ShotHistogram;
 pub use observable::{Pauli, PauliString, PauliSum};
-pub use plan::{CompiledProgram, PlannedGate, PlannedOp};
+pub use plan::{CompiledProgram, PlannedGate, PlannedOp, MAX_SIM_QUBITS};
 pub use qubit_model::{QubitModel, RealisticParams};
 pub use state::{StateVector, PAR_MIN_QUBITS};

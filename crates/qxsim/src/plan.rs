@@ -22,6 +22,12 @@ use crate::executor::ExecuteError;
 use crate::qubit_model::QubitModel;
 use cqasm::{Instruction, KernelClass, Program};
 
+/// The largest program the state-vector engine accepts. A 30-qubit state
+/// is 2^30 amplitudes (16 GiB of `Complex64`); beyond that the allocation
+/// itself is the failure, so compilation rejects the program with a typed
+/// [`ExecuteError::TooManyQubits`] instead of aborting inside the kernel.
+pub const MAX_SIM_QUBITS: usize = 30;
+
 /// A gate lowered for direct kernel dispatch: the classified kernel plus
 /// unpacked operand indices.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,12 +77,19 @@ impl CompiledProgram {
     /// # Errors
     ///
     /// Returns [`ExecuteError::Invalid`] if the program fails semantic
-    /// validation.
+    /// validation, or [`ExecuteError::TooManyQubits`] if it addresses more
+    /// than [`MAX_SIM_QUBITS`] qubits.
     pub fn compile(program: &Program, model: &QubitModel) -> Result<Self, ExecuteError> {
         program
             .validate()
             .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
         let n = program.qubit_count();
+        if n > MAX_SIM_QUBITS {
+            return Err(ExecuteError::TooManyQubits {
+                needed: n,
+                max: MAX_SIM_QUBITS,
+            });
+        }
         let idle_active = !model.idle_channel().is_none();
         let all_mask: u64 = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
         let mut ops = Vec::new();
@@ -294,6 +307,39 @@ mod tests {
             CompiledProgram::compile(&p, &QubitModel::Perfect),
             Err(ExecuteError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn oversized_programs_get_a_typed_error() {
+        // Regression: `qubits 70` used to reach the state-vector kernel and
+        // abort on an internal assertion (and would try a 2^70 allocation).
+        let p = Program::new(70);
+        assert_eq!(
+            CompiledProgram::compile(&p, &QubitModel::Perfect),
+            Err(ExecuteError::TooManyQubits {
+                needed: 70,
+                max: MAX_SIM_QUBITS
+            })
+        );
+    }
+
+    #[test]
+    fn empty_and_measure_only_programs_execute() {
+        // Regression: degenerate shapes (no gates at all, or a lone
+        // measure_all) must compile and run, returning all-zero outcomes.
+        let empty = Program::new(2);
+        let plan = CompiledProgram::compile(&empty, &QubitModel::Perfect).unwrap();
+        assert!(plan.ops().is_empty());
+        assert!(!plan.terminal_sampling());
+
+        let measure_only = Program::builder(2).measure_all().build();
+        let plan = CompiledProgram::compile(&measure_only, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.ops().len(), 1);
+        assert!(plan.terminal_sampling());
+        let hist = crate::Simulator::perfect()
+            .run_shots(&measure_only, 50)
+            .unwrap();
+        assert_eq!(hist.count(0), 50);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Seeded chaos campaigns from the command line.
+//!
+//! ```text
+//! chaos --seed 7 --cases 200       # run a campaign; exit 0 iff no panics
+//! chaos --replay 81985529216486895 # re-run one case by its seed, verbosely
+//! ```
+//!
+//! Campaigns are bit-reproducible: a failing case prints its seed, and
+//! `--replay <seed>` reproduces it exactly (same generated program, same
+//! mutation, same outcome).
+
+use qca_core::chaos::{run_campaign, run_case, Outcome};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    replay: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 7,
+        cases: 200,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = take("--seed")?,
+            "--cases" => args.cases = take("--cases")?,
+            "--replay" => args.replay = Some(take("--replay")?),
+            "--help" | "-h" => {
+                return Err("usage: chaos [--seed N] [--cases M] [--replay CASE_SEED]".to_string())
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(seed) = args.replay {
+        let case = run_case(seed);
+        println!("case seed   : {}", case.seed);
+        println!("mutation    : {:?}", case.mutation);
+        println!("--- source ---\n{}--------------", case.source);
+        match &case.outcome {
+            Outcome::Ok { shots } => {
+                println!("outcome     : ok ({shots} shots recorded)");
+                ExitCode::SUCCESS
+            }
+            Outcome::TypedError(e) => {
+                println!("outcome     : typed error: {e}");
+                ExitCode::SUCCESS
+            }
+            Outcome::Panic(msg) => {
+                println!("outcome     : PANIC: {msg}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let report = run_campaign(args.seed, args.cases);
+        println!(
+            "chaos campaign: seed {} cases {} -> {} ok, {} typed errors, {} panics",
+            report.seed,
+            report.cases,
+            report.ok,
+            report.typed_errors,
+            report.panics.len()
+        );
+        for case in &report.panics {
+            println!(
+                "  PANIC case {} (replay with --replay {}): {:?} -> {:?}",
+                case.index, case.seed, case.mutation, case.outcome
+            );
+        }
+        if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Robustness properties of the stack: writer/parser fixpoint, graceful
+//! rejection of mutated programs, and regression tests for the edge-case
+//! programs the executor must handle (empty, measure-only, oversized).
+
+use cqasm::{Error, GateKind, Instruction, Program};
+use openql::{Compiler, Platform};
+use proptest::prelude::*;
+use qxsim::{ExecuteError, Simulator, MAX_SIM_QUBITS};
+
+const QUBITS: usize = 4;
+
+fn arb_instr() -> impl Strategy<Value = Instruction> {
+    let one = prop_oneof![
+        Just(GateKind::H),
+        Just(GateKind::X),
+        Just(GateKind::Y),
+        Just(GateKind::Z),
+        Just(GateKind::S),
+        Just(GateKind::T),
+        (-8i32..8).prop_map(|k| GateKind::Rz(f64::from(k) * 0.25)),
+        (-8i32..8).prop_map(|k| GateKind::Rx(f64::from(k) * 0.25)),
+    ];
+    prop_oneof![
+        4 => (one, 0..QUBITS).prop_map(|(g, q)| Instruction::gate(g, &[q])),
+        2 => (0..QUBITS, 0..QUBITS - 1).prop_map(|(a, off)| {
+            let b = (a + 1 + off) % QUBITS;
+            Instruction::gate(GateKind::Cnot, &[a, b])
+        }),
+        1 => (1u64..6).prop_map(Instruction::Wait),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (proptest::collection::vec(arb_instr(), 1..20), 0usize..2).prop_map(|(instrs, measure)| {
+        let measure = measure == 1;
+        let mut b = Program::builder(QUBITS).subcircuit("random");
+        for i in instrs {
+            b = b.instruction(i);
+        }
+        if measure {
+            b = b.measure_all();
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Writing a program and parsing it back is the identity, and the
+    /// written form is a fixpoint of write∘parse.
+    #[test]
+    fn parse_write_parse_fixpoint(p in arb_program()) {
+        let text = p.to_string();
+        let reparsed = Program::parse(&text)
+            .unwrap_or_else(|e| panic!("writer emitted unparseable text: {e}\n{text}"));
+        let text2 = reparsed.to_string();
+        prop_assert!(text == text2, "write∘parse is not a fixpoint:\n{text}\nvs\n{text2}");
+        let reparsed2 = Program::parse(&text2).expect("fixpoint text parses");
+        prop_assert_eq!(reparsed, reparsed2);
+    }
+
+    /// A chaos-style mutation of valid program text either still parses
+    /// (the mutation was benign) or yields a *typed* error; parse errors
+    /// carry a line/column diagnostic. Never a panic.
+    #[test]
+    fn mutated_text_parses_or_reports_position(
+        p in arb_program(),
+        kind in 0u8..5,
+        at in 0usize..1_000_000,
+        junk in 0usize..17,
+    ) {
+        let text = p.to_string();
+        let mutated = match kind {
+            // Truncation at an arbitrary byte.
+            0 => text[..at % (text.len() + 1)].to_string(),
+            // One byte replaced with punctuation.
+            1 => {
+                let mut bytes = text.clone().into_bytes();
+                let pos = at % bytes.len();
+                bytes[pos] = b"!@#%^&*(){}[],.|;"[junk];
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+            // Out-of-range operand appended.
+            2 => format!("{text}x q[{}]\n", 50 + at % 5000),
+            // Unknown gate appended.
+            3 => format!("{text}frobnicate q[0]\n"),
+            // A random line duplicated.
+            _ => {
+                let lines: Vec<&str> = text.lines().collect();
+                let which = at % lines.len();
+                let mut out = String::new();
+                for (i, line) in lines.iter().enumerate() {
+                    out.push_str(line);
+                    out.push('\n');
+                    if i == which {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+                out
+            }
+        };
+        match Program::parse(&mutated) {
+            Ok(p2) => {
+                // Benign mutation: the survivor must itself round-trip.
+                let again = Program::parse(&p2.to_string()).expect("round-trips");
+                prop_assert_eq!(p2, again);
+            }
+            Err(e @ Error::Parse { .. }) => {
+                let (line, column) = e.position().expect("parse errors carry a position");
+                prop_assert!(line >= 1 && column >= 1, "1-based diagnostic, got {line}:{column}");
+                prop_assert!(
+                    line <= mutated.lines().count().max(1),
+                    "diagnostic line {line} beyond program end"
+                );
+            }
+            Err(Error::Validate { .. }) => {
+                // Semantically invalid (e.g. operand out of range): typed,
+                // no position required.
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_program_executes_cleanly() {
+    let p = Program::new(3);
+    let result = Simulator::perfect().run_shots(&p, 25).expect("runs");
+    assert_eq!(result.shots(), 25);
+    assert_eq!(result.count(0), 25); // |000> every time
+}
+
+#[test]
+fn measure_all_only_program_executes_cleanly() {
+    let p = Program::parse("qubits 2\nmeasure_all\n").expect("parses");
+    let result = Simulator::perfect().run_shots(&p, 40).expect("runs");
+    assert_eq!(result.shots(), 40);
+    assert_eq!(result.count(0), 40);
+}
+
+#[test]
+fn oversized_program_is_rejected_not_aborted() {
+    let p = Program::new(MAX_SIM_QUBITS + 40);
+    match Simulator::perfect().run_shots(&p, 1) {
+        Err(ExecuteError::TooManyQubits { needed, max }) => {
+            assert_eq!(needed, MAX_SIM_QUBITS + 40);
+            assert_eq!(max, MAX_SIM_QUBITS);
+        }
+        other => panic!("expected TooManyQubits, got {other:?}"),
+    }
+}
+
+/// The compiler with differential verification on accepts the example
+/// circuits the repo's demos are built from, on every platform family.
+#[test]
+fn verification_accepts_example_circuits() {
+    use openql::{Kernel, QuantumProgram};
+
+    let mut programs: Vec<QuantumProgram> = Vec::new();
+
+    let mut bell = Kernel::new("bell", 2);
+    bell.h(0).cnot(0, 1).measure_all();
+    let mut p = QuantumProgram::new("bell", 2);
+    p.add_kernel(bell);
+    programs.push(p);
+
+    let mut ghz = Kernel::new("ghz", 4);
+    ghz.h(0);
+    for q in 1..4 {
+        ghz.cnot(0, q);
+    }
+    ghz.measure_all();
+    let mut p = QuantumProgram::new("ghz4", 4);
+    p.add_kernel(ghz);
+    programs.push(p);
+
+    // QFT-flavoured circuit: mixed single-qubit rotations + entanglers.
+    let mut qft = Kernel::new("qftish", 3);
+    qft.h(0)
+        .rz(0, 0.785)
+        .cnot(0, 1)
+        .h(1)
+        .rz(1, 1.571)
+        .cnot(1, 2)
+        .h(2);
+    let mut p = QuantumProgram::new("qftish", 3);
+    p.add_kernel(qft);
+    programs.push(p);
+
+    for program in &programs {
+        let n = program.qubit_count();
+        assert!(n <= openql::MAX_VERIFY_QUBITS);
+        for platform in [
+            Platform::perfect(n),
+            Platform::superconducting_grid(1, n),
+            Platform::semiconducting_linear(n),
+        ] {
+            let out = Compiler::new(platform)
+                .with_verification(true)
+                .compile(program)
+                .unwrap_or_else(|e| panic!("{} failed verified compile: {e}", program.name()));
+            assert!(
+                out.report.passes_verified > 0,
+                "{}: no pass was verified",
+                program.name()
+            );
+        }
+    }
+}
