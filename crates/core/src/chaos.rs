@@ -19,6 +19,7 @@
 use cqasm::Program;
 use eqasm::{translate, MicroArchitecture, QxDevice};
 use openql::{Compiler, CompilerOptions, Platform};
+use qca_telemetry::Telemetry;
 use qxsim::{FaultInjection, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,6 +54,25 @@ pub enum Mutation {
     ExecutorBudget,
     /// Executor fault: a mid-run shot fails with a kernel error.
     ExecutorFailShot,
+}
+
+impl Mutation {
+    /// A stable lower-case name, used as the telemetry histogram label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::CorruptOperand => "corrupt-operand",
+            Mutation::Truncate => "truncate",
+            Mutation::BadAngle => "bad-angle",
+            Mutation::UnknownGate => "unknown-gate",
+            Mutation::BadErrorModel => "bad-error-model",
+            Mutation::GarbleToken => "garble-token",
+            Mutation::DuplicateLine => "duplicate-line",
+            Mutation::HugeCounts => "huge-counts",
+            Mutation::ExecutorBudget => "executor-budget",
+            Mutation::ExecutorFailShot => "executor-fail-shot",
+        }
+    }
 }
 
 /// All mutations, in the order the case RNG indexes them.
@@ -128,6 +148,17 @@ impl CampaignReport {
 /// suppressed for the duration (caught panics are *data* here, not
 /// crashes worth a backtrace on stderr).
 pub fn run_campaign(seed: u64, cases: u64) -> CampaignReport {
+    run_campaign_traced(seed, cases, &qca_telemetry::Telemetry::disabled())
+}
+
+/// [`run_campaign`] under a telemetry context: records the campaign span
+/// (category `chaos`), cases run, the mutation-kind histogram
+/// (`chaos.mutations`), outcomes (`chaos.outcomes`), and typed-error
+/// failures per stack layer (`chaos.typed_errors_by_layer`, keyed by the
+/// layer prefix of the error — `parse`, `compile`, `translate`,
+/// `translate-verify`, `execute`, `simulate`).
+pub fn run_campaign_traced(seed: u64, cases: u64, telemetry: &Telemetry) -> CampaignReport {
+    let _span = telemetry.span("chaos", "campaign");
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let mut report = CampaignReport {
@@ -141,14 +172,35 @@ pub fn run_campaign(seed: u64, cases: u64) -> CampaignReport {
         let case_seed = seed.wrapping_add(i.wrapping_mul(CASE_SEED_STRIDE));
         let mut case = run_case(case_seed);
         case.index = i;
+        telemetry.incr("chaos.cases", 1);
+        telemetry.incr_labeled("chaos.mutations", case.mutation.name(), 1);
         match &case.outcome {
-            Outcome::Ok { .. } => report.ok += 1,
-            Outcome::TypedError(_) => report.typed_errors += 1,
-            Outcome::Panic(_) => report.panics.push(case),
+            Outcome::Ok { .. } => {
+                telemetry.incr_labeled("chaos.outcomes", "ok", 1);
+                report.ok += 1;
+            }
+            Outcome::TypedError(msg) => {
+                telemetry.incr_labeled("chaos.outcomes", "typed-error", 1);
+                telemetry.incr_labeled("chaos.typed_errors_by_layer", error_layer(msg), 1);
+                report.typed_errors += 1;
+            }
+            Outcome::Panic(_) => {
+                telemetry.incr_labeled("chaos.outcomes", "panic", 1);
+                report.panics.push(case);
+            }
         }
     }
     std::panic::set_hook(prev_hook);
     report
+}
+
+/// The stack layer a typed-error message came from: its `layer:` prefix
+/// (every error [`drive_stack`] folds is prefixed with the layer name).
+fn error_layer(message: &str) -> &str {
+    match message.split_once(':') {
+        Some((layer, _)) => layer,
+        None => "unknown",
+    }
 }
 
 /// Runs the single chaos case identified by `seed` (deterministic; the

@@ -65,11 +65,19 @@ pub mod shor;
 pub mod stack;
 pub mod tomography;
 
+/// Stack-wide observability: hierarchical spans, counters/histograms,
+/// and JSON / Chrome-trace exporters (re-export of the bottom-layer
+/// `qca-telemetry` crate, which every stack layer shares).
+pub use qca_telemetry as telemetry;
+
 pub use accelerator::{
     Accelerator, AcceleratorKind, HostCpu, KernelPayload, KernelResult, OffloadError,
     QuantumAnnealerAccelerator, QuantumGateAccelerator,
 };
-pub use chaos::{run_campaign, run_case, CampaignReport, CaseReport, Mutation, Outcome};
+pub use chaos::{
+    run_campaign, run_campaign_traced, run_case, CampaignReport, CaseReport, Mutation, Outcome,
+};
 pub use qubits::QubitKind;
 pub use stack::{ExecutionBackend, FullStack, StackError, StackRun};
+pub use telemetry::Telemetry;
 pub use tomography::{tomography_qubit, BlochVector};

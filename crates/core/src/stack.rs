@@ -10,12 +10,15 @@
 use crate::qubits::QubitKind;
 use cqasm::Program;
 use eqasm::{
-    translate, EqasmProgram, ExecError, MicroArchitecture, PulseEvent, QxDevice, TranslateError,
+    translate_traced, EqasmProgram, ExecError, MicroArchitecture, PulseEvent, QxDevice,
+    TranslateError,
 };
 use openql::{
     CompileError, CompileReport, Compiler, CompilerOptions, Mapping, Platform, QuantumProgram,
 };
+use qca_telemetry::Telemetry;
 use qxsim::{ExecuteError, ShotHistogram, Simulator};
+use std::collections::BTreeMap;
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -103,6 +106,23 @@ pub struct StackRun {
     pub shot_time_ns: Option<u64>,
     /// Final logical→physical mapping, if the program was routed.
     pub final_mapping: Option<Mapping>,
+    /// The telemetry context the run recorded into (disabled — empty —
+    /// unless the stack was built [`FullStack::with_telemetry`]).
+    pub telemetry: Telemetry,
+}
+
+impl StackRun {
+    /// The simulator's kernel-dispatch histogram: executed gate count per
+    /// [`cqasm::KernelClass`] name. Empty when telemetry was disabled or
+    /// the run never reached the QX executor's multi-shot paths.
+    pub fn kernel_dispatch(&self) -> BTreeMap<String, u64> {
+        self.telemetry
+            .snapshot()
+            .labeled
+            .get("qxsim.kernel_dispatch")
+            .cloned()
+            .unwrap_or_default()
+    }
 }
 
 /// A configured full-stack quantum accelerator.
@@ -134,6 +154,7 @@ pub struct FullStack {
     microarch: MicroArchitecture,
     options: CompilerOptions,
     seed: u64,
+    telemetry: Telemetry,
 }
 
 impl FullStack {
@@ -147,6 +168,7 @@ impl FullStack {
             microarch: MicroArchitecture::superconducting(),
             options: CompilerOptions::default(),
             seed: 0x57AC,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -161,6 +183,7 @@ impl FullStack {
             microarch: MicroArchitecture::superconducting(),
             options: CompilerOptions::default(),
             seed: 0x57AC,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -180,6 +203,7 @@ impl FullStack {
             microarch: MicroArchitecture::semiconducting(),
             options: CompilerOptions::default(),
             seed: 0x57AC,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -217,6 +241,22 @@ impl FullStack {
         self
     }
 
+    /// Attaches a telemetry handle: every execution then records spans and
+    /// counters from all layers it crosses (OpenQL passes, eQASM
+    /// translation and micro-architecture, QX execution) into the one
+    /// context, which the resulting [`StackRun::telemetry`] exposes. The
+    /// default is a disabled handle with no recording and no overhead
+    /// beyond a branch per instrumentation point.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// The compile platform.
     pub fn platform(&self) -> &Platform {
         &self.platform
@@ -238,11 +278,26 @@ impl FullStack {
     ///
     /// Any layer may fail; see [`StackError`].
     pub fn execute(&self, program: &QuantumProgram, shots: u64) -> Result<StackRun, StackError> {
-        let compiled =
-            Compiler::with_options(self.platform.clone(), self.options).compile(program)?;
+        self.execute_cqasm(&program.to_cqasm(), shots)
+    }
+
+    /// Executes a raw cQASM program through the full stack (the same
+    /// pipeline as [`FullStack::execute`], entered below the OpenQL
+    /// program API — e.g. for `.qasm` files read from disk).
+    ///
+    /// # Errors
+    ///
+    /// Any layer may fail; see [`StackError`].
+    pub fn execute_cqasm(&self, input: &Program, shots: u64) -> Result<StackRun, StackError> {
+        let _span = self.telemetry.span("stack", "execute");
+        let compiled = Compiler::with_options(self.platform.clone(), self.options)
+            .with_telemetry(self.telemetry.clone())
+            .compile_cqasm(input)?;
         match self.backend {
             ExecutionBackend::QxSimulator => {
-                let sim = Simulator::with_model(self.qubits.to_model()).with_seed(self.seed);
+                let sim = Simulator::with_model(self.qubits.to_model())
+                    .with_seed(self.seed)
+                    .with_telemetry(self.telemetry.clone());
                 let histogram = sim.run_shots(&compiled.program, shots)?;
                 Ok(StackRun {
                     compile: compiled.report,
@@ -252,10 +307,11 @@ impl FullStack {
                     pulses: None,
                     shot_time_ns: None,
                     final_mapping: compiled.final_mapping,
+                    telemetry: self.telemetry.clone(),
                 })
             }
             ExecutionBackend::MicroArchitecture => {
-                let eq = translate(&compiled.schedule)?;
+                let eq = translate_traced(&compiled.schedule, &self.telemetry)?;
                 if self.options.verify {
                     eqasm::verify_translation(&compiled.schedule, &eq)?;
                 }
@@ -263,16 +319,20 @@ impl FullStack {
                 let mut pulses = None;
                 let mut shot_time = None;
                 let n = compiled.program.qubit_count();
+                let shot_loop_span = self.telemetry.span("eqasm", "shot_loop");
                 for shot in 0..shots {
                     let mut device =
                         QxDevice::with_model(n, self.qubits.to_model(), self.seed ^ shot);
-                    let trace = self.microarch.execute(&eq, &mut device)?;
+                    let trace = self
+                        .microarch
+                        .execute_traced(&eq, &mut device, &self.telemetry)?;
                     histogram.record(trace.measurements);
                     if shot == 0 {
                         shot_time = Some(trace.total_time_ns);
                         pulses = Some(trace.pulses);
                     }
                 }
+                drop(shot_loop_span);
                 Ok(StackRun {
                     compile: compiled.report,
                     cqasm: compiled.program,
@@ -281,6 +341,7 @@ impl FullStack {
                     pulses,
                     shot_time_ns: shot_time,
                     final_mapping: compiled.final_mapping,
+                    telemetry: self.telemetry.clone(),
                 })
             }
         }

@@ -113,6 +113,47 @@ pub enum KernelClass {
     ControlledControlled(Mat2),
 }
 
+impl KernelClass {
+    /// Number of structural kernel classes ([`KernelClass::class_index`]
+    /// is dense over `0..COUNT`). Sized for dispatch histograms.
+    pub const COUNT: usize = 10;
+
+    /// A stable dense index identifying this class (parameters ignored),
+    /// in `0..`[`KernelClass::COUNT`].
+    pub fn class_index(&self) -> usize {
+        match self {
+            KernelClass::Identity => 0,
+            KernelClass::Diagonal1q(..) => 1,
+            KernelClass::AntiDiagonal1q(..) => 2,
+            KernelClass::General1q(_) => 3,
+            KernelClass::Cnot => 4,
+            KernelClass::Cz => 5,
+            KernelClass::Swap => 6,
+            KernelClass::ControlledPhase(_) => 7,
+            KernelClass::General2q(_) => 8,
+            KernelClass::ControlledControlled(_) => 9,
+        }
+    }
+
+    /// The class name for a [`KernelClass::class_index`] value (the inverse
+    /// of the index map, for labelling histogram buckets).
+    pub fn class_name(index: usize) -> &'static str {
+        match index {
+            0 => "Identity",
+            1 => "Diagonal1q",
+            2 => "AntiDiagonal1q",
+            3 => "General1q",
+            4 => "Cnot",
+            5 => "Cz",
+            6 => "Swap",
+            7 => "ControlledPhase",
+            8 => "General2q",
+            9 => "ControlledControlled",
+            _ => "Unknown",
+        }
+    }
+}
+
 /// The controlled-phase angle of `CRk(k)`: `2*pi / 2^k`, computed as
 /// `2*pi * 2^-k` so arbitrarily large exponents underflow gracefully to a
 /// zero angle instead of overflowing a shift. Exact for every `k` (scaling

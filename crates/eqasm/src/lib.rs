@@ -47,4 +47,4 @@ pub use device::{PulseOnlyDevice, QuantumDevice, QxDevice};
 pub use isa::{Condition, EqInstruction, EqasmProgram, Operand, QOp, QOpcode};
 pub use microarch::{ExecError, ExecutionTrace, MicroArchitecture, PulseEvent};
 pub use microcode::{ChannelKind, CodewordEntry, MicrocodeTable};
-pub use translate::{translate, verify_translation, TranslateError};
+pub use translate::{translate, translate_traced, verify_translation, TranslateError};

@@ -71,6 +71,31 @@ impl<K: std::hash::Hash + Eq + Clone> TargetRegs<K> {
     }
 }
 
+/// [`translate`] under a telemetry span (category `eqasm`), recording the
+/// emitted instruction and bundle counts.
+///
+/// # Errors
+///
+/// Same as [`translate`].
+pub fn translate_traced(
+    schedule: &Schedule,
+    telemetry: &qca_telemetry::Telemetry,
+) -> Result<EqasmProgram, TranslateError> {
+    let out = {
+        let _span = telemetry.span("eqasm", "translate");
+        translate(schedule)?
+    };
+    if telemetry.is_enabled() {
+        telemetry.incr("eqasm.translations", 1);
+        telemetry.incr(
+            "eqasm.instructions.emitted",
+            out.instructions().len() as u64,
+        );
+        telemetry.incr("eqasm.bundles.emitted", out.bundle_count() as u64);
+    }
+    Ok(out)
+}
+
 /// Translates a schedule into eQASM.
 ///
 /// # Errors

@@ -14,6 +14,7 @@ use crate::platform::Platform;
 use crate::schedule::{schedule, Schedule, ScheduleDirection};
 use crate::verify::{verify_pass, verify_routed_pass};
 use cqasm::{CircuitStats, Program};
+use qca_telemetry::Telemetry;
 
 /// Options controlling the pass pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +47,35 @@ impl Default for CompilerOptions {
     }
 }
 
+/// Circuit delta of one compiler pass: what the circuit looked like going
+/// in and coming out, plus any SWAPs the pass inserted. Collected for every
+/// compilation (the OpenQL paper reports per-pass statistics as a
+/// first-class compiler output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name (`decompose`, `optimize`, `route`, `decompose-swaps`,
+    /// `optimize-post`, `schedule`).
+    pub name: &'static str,
+    /// Circuit statistics before the pass.
+    pub before: CircuitStats,
+    /// Circuit statistics after the pass.
+    pub after: CircuitStats,
+    /// SWAPs this pass inserted (non-zero only for `route`).
+    pub swaps_inserted: usize,
+}
+
+impl PassStat {
+    /// Gate-count change of the pass (positive = grew the circuit).
+    pub fn gate_delta(&self) -> i64 {
+        self.after.gates as i64 - self.before.gates as i64
+    }
+
+    /// Depth change of the pass (positive = deepened the circuit).
+    pub fn depth_delta(&self) -> i64 {
+        self.after.depth as i64 - self.before.depth as i64
+    }
+}
+
 /// What the compiler did, for reporting and for the experiment harness.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompileReport {
@@ -61,11 +91,18 @@ pub struct CompileReport {
     pub latency_cycles: u64,
     /// Total schedule latency in nanoseconds.
     pub latency_ns: u64,
+    /// Schedule latency in cycles under ASAP scheduling (equals
+    /// `latency_cycles` when ASAP is the active direction).
+    pub cycles_asap: u64,
+    /// Schedule latency in cycles under ALAP scheduling.
+    pub cycles_alap: u64,
     /// Whether routing ran.
     pub routed: bool,
     /// Number of passes that were differentially verified (0 when
     /// verification is off or every pass was outside the decidable shape).
     pub passes_verified: usize,
+    /// Per-pass circuit deltas, in pipeline order.
+    pub passes: Vec<PassStat>,
 }
 
 /// Result of compilation.
@@ -105,6 +142,7 @@ pub struct CompileOutput {
 pub struct Compiler {
     platform: Platform,
     options: CompilerOptions,
+    telemetry: Telemetry,
 }
 
 impl Compiler {
@@ -113,12 +151,26 @@ impl Compiler {
         Compiler {
             platform,
             options: CompilerOptions::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Creates a compiler with explicit options.
     pub fn with_options(platform: Platform, options: CompilerOptions) -> Self {
-        Compiler { platform, options }
+        Compiler {
+            platform,
+            options,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: each pass then runs under a span
+    /// (category `openql`) and the compiler records gate/SWAP counters.
+    /// Per-pass circuit deltas are always collected in
+    /// [`CompileReport::passes`], telemetry or not.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The target platform.
@@ -160,20 +212,42 @@ impl Compiler {
                 available: self.platform.qubit_count(),
             });
         }
+        let _compile_span = self.telemetry.span("openql", "compile");
         let input_stats = input.stats();
         let mut opt_report = OptimizeReport::default();
         let verify = self.options.verify;
         let mut passes_verified = 0usize;
+        let mut passes: Vec<PassStat> = Vec::new();
+        // Running "before" stats for the next pass: each pass consumes the
+        // previous pass's "after", so stats are computed once per program.
+        let mut stats_in = input_stats;
+        let mut record = |name: &'static str, after: CircuitStats, swaps: usize| {
+            passes.push(PassStat {
+                name,
+                before: stats_in,
+                after,
+                swaps_inserted: swaps,
+            });
+            stats_in = after;
+        };
 
         // 1. Decompose to the native gate set.
-        let mut current = decompose(input, self.platform.gate_set())?;
+        let mut current = {
+            let _span = self.telemetry.span("openql", "decompose");
+            decompose(input, self.platform.gate_set())?
+        };
+        record("decompose", current.stats(), 0);
         if verify {
             passes_verified += usize::from(verify_pass(input, &current, "decompose")?);
         }
 
         // 2. Optimise.
         if self.options.optimize {
-            let (p, r) = optimize(&current);
+            let (p, r) = {
+                let _span = self.telemetry.span("openql", "optimize");
+                optimize(&current)
+            };
+            record("optimize", p.stats(), 0);
             if verify {
                 passes_verified += usize::from(verify_pass(&current, &p, "optimize")?);
             }
@@ -189,7 +263,11 @@ impl Compiler {
         let mut final_mapping = None;
         let mut swaps_inserted = 0;
         if needs_routing {
-            let routed = route(&current, topo, self.options.placement)?;
+            let routed = {
+                let _span = self.telemetry.span("openql", "route");
+                route(&current, topo, self.options.placement)?
+            };
+            record("route", routed.program.stats(), routed.swaps_inserted);
             if verify {
                 passes_verified += usize::from(verify_routed_pass(
                     &current,
@@ -202,13 +280,21 @@ impl Compiler {
             swaps_inserted = routed.swaps_inserted;
             final_mapping = Some(routed.final_mapping);
             // Router introduces SWAPs; lower them to native gates.
-            current = decompose(&routed.program, self.platform.gate_set())?;
+            current = {
+                let _span = self.telemetry.span("openql", "decompose-swaps");
+                decompose(&routed.program, self.platform.gate_set())?
+            };
+            record("decompose-swaps", current.stats(), 0);
             if verify {
                 passes_verified +=
                     usize::from(verify_pass(&routed.program, &current, "decompose-swaps")?);
             }
             if self.options.optimize {
-                let (p, r) = optimize(&current);
+                let (p, r) = {
+                    let _span = self.telemetry.span("openql", "optimize-post");
+                    optimize(&current)
+                };
+                record("optimize-post", p.stats(), 0);
                 if verify {
                     passes_verified += usize::from(verify_pass(&current, &p, "optimize")?);
                 }
@@ -217,25 +303,55 @@ impl Compiler {
             }
         }
 
-        // 4. Schedule.
-        let sched = schedule(&current, &self.platform, self.options.schedule);
+        // 4. Schedule (and record the latency under both directions — the
+        // ASAP/ALAP spread bounds the slack available to a scheduler).
+        let sched = {
+            let _span = self.telemetry.span("openql", "schedule");
+            schedule(&current, &self.platform, self.options.schedule)
+        };
+        let other_direction = match self.options.schedule {
+            ScheduleDirection::Asap => ScheduleDirection::Alap,
+            ScheduleDirection::Alap => ScheduleDirection::Asap,
+        };
+        let other_latency = schedule(&current, &self.platform, other_direction).latency();
+        let (cycles_asap, cycles_alap) = match self.options.schedule {
+            ScheduleDirection::Asap => (sched.latency(), other_latency),
+            ScheduleDirection::Alap => (other_latency, sched.latency()),
+        };
         let emitted = sched.to_program();
         emitted.validate()?;
+        record("schedule", emitted.stats(), 0);
         if verify {
             passes_verified += usize::from(verify_pass(&current, &emitted, "schedule")?);
         }
 
+        let output_stats = emitted.stats();
+        if self.telemetry.is_enabled() {
+            self.telemetry.incr("openql.compilations", 1);
+            self.telemetry
+                .incr("openql.gates.input", input_stats.gates as u64);
+            self.telemetry
+                .incr("openql.gates.output", output_stats.gates as u64);
+            self.telemetry
+                .incr("openql.swaps_inserted", swaps_inserted as u64);
+            for p in &passes {
+                self.telemetry.incr_labeled("openql.pass_runs", p.name, 1);
+            }
+        }
         let report = CompileReport {
             input_stats,
-            output_stats: emitted.stats(),
+            output_stats,
             swaps_inserted,
             optimizer: opt_report,
             latency_cycles: sched.latency(),
             latency_ns: sched
                 .latency()
                 .saturating_mul(self.platform.cycle_time_ns()),
+            cycles_asap,
+            cycles_alap,
             routed: needs_routing,
             passes_verified,
+            passes,
         };
         Ok(CompileOutput {
             program: emitted,
@@ -358,6 +474,91 @@ mod tests {
         );
         assert!(r.latency_cycles > 0);
         assert_eq!(r.latency_ns, r.latency_cycles * 20);
+    }
+
+    #[test]
+    fn per_pass_stats_cover_the_pipeline() {
+        let out = Compiler::new(Platform::superconducting_grid(2, 2))
+            .compile(&ghz_program(4))
+            .unwrap();
+        let names: Vec<&str> = out.report.passes.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "decompose",
+                "optimize",
+                "route",
+                "decompose-swaps",
+                "optimize-post",
+                "schedule"
+            ]
+        );
+        // Deltas chain: each pass's "before" is the previous "after".
+        for w in out.report.passes.windows(2) {
+            assert_eq!(w[0].after, w[1].before);
+        }
+        assert_eq!(out.report.passes[0].before, out.report.input_stats);
+        assert_eq!(
+            out.report.passes.last().unwrap().after,
+            out.report.output_stats
+        );
+        // The router's SWAPs appear on the route pass, and only there.
+        let route = &out.report.passes[2];
+        assert_eq!(route.swaps_inserted, out.report.swaps_inserted);
+        assert!(out
+            .report
+            .passes
+            .iter()
+            .all(|p| p.name == "route" || p.swaps_inserted == 0));
+    }
+
+    #[test]
+    fn asap_and_alap_cycles_are_both_reported() {
+        let opts = |dir| CompilerOptions {
+            schedule: dir,
+            ..Default::default()
+        };
+        let plat = Platform::superconducting_grid(2, 2);
+        let asap = Compiler::with_options(plat.clone(), opts(ScheduleDirection::Asap))
+            .compile(&ghz_program(4))
+            .unwrap();
+        let alap = Compiler::with_options(plat, opts(ScheduleDirection::Alap))
+            .compile(&ghz_program(4))
+            .unwrap();
+        assert_eq!(asap.report.latency_cycles, asap.report.cycles_asap);
+        assert_eq!(alap.report.latency_cycles, alap.report.cycles_alap);
+        // The two compilers agree on both numbers: the metrics describe the
+        // circuit, not the active direction.
+        assert_eq!(asap.report.cycles_asap, alap.report.cycles_asap);
+        assert_eq!(asap.report.cycles_alap, alap.report.cycles_alap);
+        assert!(asap.report.cycles_asap > 0 && asap.report.cycles_alap > 0);
+    }
+
+    #[test]
+    fn compiler_telemetry_records_pass_spans_and_counters() {
+        let tel = qca_telemetry::Telemetry::enabled();
+        Compiler::new(Platform::superconducting_grid(2, 2))
+            .with_telemetry(tel.clone())
+            .compile(&ghz_program(4))
+            .unwrap();
+        let snap = tel.snapshot();
+        for pass in ["decompose", "optimize", "route", "schedule"] {
+            assert!(
+                snap.spans
+                    .iter()
+                    .any(|s| s.cat == "openql" && s.name == pass),
+                "missing span for pass {pass}"
+            );
+        }
+        // Pass spans nest under the `compile` root span.
+        let root = snap.spans.iter().position(|s| s.name == "compile").unwrap();
+        assert!(snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "decompose")
+            .all(|s| s.parent == Some(root)));
+        assert_eq!(snap.counters.get("openql.compilations"), Some(&1));
+        assert!(snap.labeled.contains_key("openql.pass_runs"));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod schedule;
 pub mod topology;
 pub mod verify;
 
-pub use compiler::{CompileOutput, CompileReport, Compiler, CompilerOptions};
+pub use compiler::{CompileOutput, CompileReport, Compiler, CompilerOptions, PassStat};
 pub use decompose::decompose;
 pub use error::CompileError;
 pub use kernel::{Kernel, QuantumProgram};

@@ -19,10 +19,16 @@ use crate::error_model::flip_readout;
 use crate::histogram::ShotHistogram;
 use crate::plan::{CompiledProgram, PlannedGate, PlannedOp};
 use crate::qubit_model::QubitModel;
-use crate::state::StateVector;
-use cqasm::Program;
+use crate::state::{auto_threads, par_min_qubits, StateVector};
+use cqasm::{KernelClass, Program};
+use qca_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Per-run kernel-dispatch counts, one bucket per [`KernelClass`] (indexed
+/// by [`KernelClass::class_index`]). Accumulated locally per worker and
+/// summed, so the totals are independent of the thread split.
+type KernelCounts = [u64; KernelClass::COUNT];
 
 /// Errors from executing a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,6 +129,7 @@ pub struct Simulator {
     seed: u64,
     sampling_fast_path: bool,
     faults: FaultInjection,
+    telemetry: Telemetry,
 }
 
 impl Default for Simulator {
@@ -139,6 +146,7 @@ impl Simulator {
             seed: 0xC0FFEE,
             sampling_fast_path: true,
             faults: FaultInjection::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -149,6 +157,7 @@ impl Simulator {
             seed: 0xC0FFEE,
             sampling_fast_path: true,
             faults: FaultInjection::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -175,6 +184,23 @@ impl Simulator {
     pub fn with_fault_injection(mut self, faults: FaultInjection) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Attaches a telemetry handle. Multi-shot runs then record spans
+    /// (plan compilation vs. shot execution), the kernel-dispatch
+    /// histogram, sampling fast-path hits/misses, the parallel-sweep
+    /// decision, and fault-injection events. The default is a disabled
+    /// handle: every instrumentation point is a single branch and the hot
+    /// kernel paths are untouched.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless installed via
+    /// [`Simulator::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Enables or disables the multi-shot sampling fast path (enabled by
@@ -255,12 +281,59 @@ impl Simulator {
             Some(budget) => shots.min(budget),
             None => shots,
         };
+        if effective < shots {
+            self.telemetry
+                .incr("qxsim.faults.budget_truncated_shots", shots - effective);
+        }
         if let Some(fail_at) = self.faults.fail_at_shot {
             if fail_at < effective {
+                self.telemetry.incr("qxsim.faults.injected", 1);
                 return Err(ExecuteError::InjectedFault { shot: fail_at });
             }
         }
         Ok(effective)
+    }
+
+    /// Records the threads-vs-serial dispatch decision the state-vector
+    /// kernels will make for this plan (uniform across a run: it depends
+    /// only on the qubit count, the [`par_min_qubits`] threshold and the
+    /// probed host parallelism).
+    fn record_sweep_decision(&self, qubits: usize) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let threshold = par_min_qubits();
+        let kernel_threads = auto_threads();
+        let parallel = qubits >= threshold && kernel_threads > 1;
+        self.telemetry.incr_labeled(
+            "qxsim.parallel_sweep",
+            if parallel { "parallel" } else { "serial" },
+            1,
+        );
+        self.telemetry
+            .record_value("qxsim.parallel_sweep.qubits", qubits as f64);
+        self.telemetry
+            .record_value("qxsim.parallel_sweep.par_min_qubits", threshold as f64);
+        self.telemetry.record_value(
+            "qxsim.parallel_sweep.kernel_threads",
+            if parallel { kernel_threads as f64 } else { 1.0 },
+        );
+    }
+
+    /// Folds a run's kernel-dispatch counts into the telemetry histogram.
+    fn record_kernel_counts(&self, counts: &KernelCounts) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for (index, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                self.telemetry.incr_labeled(
+                    "qxsim.kernel_dispatch",
+                    KernelClass::class_name(index),
+                    count,
+                );
+            }
+        }
     }
 
     fn run_shots_impl(
@@ -269,21 +342,40 @@ impl Simulator {
         shots: u64,
         threads: usize,
     ) -> Result<ShotHistogram, ExecuteError> {
-        let plan = self.compile(program)?;
+        let _run_span = self.telemetry.span("qxsim", "run_shots");
+        let plan = {
+            let _span = self.telemetry.span("qxsim", "plan_compile");
+            self.compile(program)?
+        };
+        self.telemetry.incr("qxsim.runs", 1);
+        self.telemetry.incr("qxsim.shots.requested", shots);
         let shots = self.effective_shots(shots)?;
+        self.telemetry.incr("qxsim.shots.executed", shots);
+        self.record_sweep_decision(plan.qubit_count());
         if self.sampling_fast_path && plan.terminal_sampling() {
+            self.telemetry
+                .incr_labeled("qxsim.sampling_fast_path", "hit", 1);
             return self.run_terminal_sampling(&plan, shots, threads);
         }
+        self.telemetry
+            .incr_labeled("qxsim.sampling_fast_path", "miss", 1);
+        let _span = self.telemetry.span("qxsim", "shot_execution");
+        let counting = self.telemetry.is_enabled();
         if threads <= 1 {
             let mut hist = ShotHistogram::new();
+            let mut counts: KernelCounts = [0; KernelClass::COUNT];
             for shot in 0..shots {
                 let mut rng = self.shot_rng(shot);
-                hist.record(self.run_compiled(&plan, &mut rng).bits);
+                let bits = self
+                    .run_compiled_counted(&plan, &mut rng, counting.then_some(&mut counts))
+                    .bits;
+                hist.record(bits);
             }
+            self.record_kernel_counts(&counts);
             return Ok(hist);
         }
         let plan = &plan;
-        let results: Vec<u64> = std::thread::scope(|scope| {
+        let (results, counts) = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
                 let lo = shots * t as u64 / threads as u64;
@@ -291,22 +383,33 @@ impl Simulator {
                 let sim = self;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::with_capacity((hi - lo) as usize);
+                    let mut counts: KernelCounts = [0; KernelClass::COUNT];
                     for shot in lo..hi {
                         let mut rng = sim.shot_rng(shot);
-                        out.push(sim.run_compiled(plan, &mut rng).bits);
+                        let bits = sim
+                            .run_compiled_counted(plan, &mut rng, counting.then_some(&mut counts))
+                            .bits;
+                        out.push(bits);
                     }
-                    out
+                    (out, counts)
                 }));
             }
             let mut all = Vec::with_capacity(shots as usize);
+            let mut total: KernelCounts = [0; KernelClass::COUNT];
             for h in handles {
                 match h.join() {
-                    Ok(part) => all.extend(part),
+                    Ok((part, counts)) => {
+                        all.extend(part);
+                        for (t, c) in total.iter_mut().zip(counts) {
+                            *t += c;
+                        }
+                    }
                     Err(payload) => return Err(worker_error(payload)),
                 }
             }
-            Ok(all)
+            Ok((all, total))
         })?;
+        self.record_kernel_counts(&counts);
         Ok(results.into_iter().collect())
     }
 
@@ -326,12 +429,19 @@ impl Simulator {
         shots: u64,
         threads: usize,
     ) -> Result<ShotHistogram, ExecuteError> {
+        let _span = self.telemetry.span("qxsim", "sample_shots");
         let mut state = StateVector::zero_state(plan.qubit_count());
+        let mut counts: KernelCounts = [0; KernelClass::COUNT];
+        let counting = self.telemetry.is_enabled();
         for op in plan.ops() {
             if let PlannedOp::Gate(g) = op {
+                if counting {
+                    counts[g.kernel.class_index()] += 1;
+                }
                 state.apply_kernel(&g.kernel, &g.qubits);
             }
         }
+        self.record_kernel_counts(&counts);
         let cum = state.cumulative_probabilities();
         // Outcomes are counted into a dense per-basis-state bucket array and
         // folded into the histogram once at the end: a map update per shot
@@ -437,15 +547,35 @@ impl Simulator {
     /// interpreter path, used for single runs and noisy/measure-heavy
     /// programs).
     pub fn run_compiled<R: Rng + ?Sized>(&self, plan: &CompiledProgram, rng: &mut R) -> ShotResult {
+        self.run_compiled_counted(plan, rng, None)
+    }
+
+    /// [`Simulator::run_compiled`] with optional kernel-dispatch counting.
+    /// `counts` is `None` when telemetry is disabled, so the per-gate cost
+    /// of the instrumentation is a single `Option` branch.
+    fn run_compiled_counted<R: Rng + ?Sized>(
+        &self,
+        plan: &CompiledProgram,
+        rng: &mut R,
+        mut counts: Option<&mut KernelCounts>,
+    ) -> ShotResult {
         let n = plan.qubit_count();
         let mut state = StateVector::zero_state(n);
         let mut bits: u64 = 0;
         for op in plan.ops() {
             match op {
                 PlannedOp::PrepZ(q) => state.reset(*q, rng),
-                PlannedOp::Gate(g) => self.apply_planned_gate(&mut state, g, rng),
+                PlannedOp::Gate(g) => {
+                    if let Some(c) = counts.as_deref_mut() {
+                        c[g.kernel.class_index()] += 1;
+                    }
+                    self.apply_planned_gate(&mut state, g, rng);
+                }
                 PlannedOp::Cond(bit, g) => {
                     if (bits >> bit) & 1 == 1 {
+                        if let Some(c) = counts.as_deref_mut() {
+                            c[g.kernel.class_index()] += 1;
+                        }
                         self.apply_planned_gate(&mut state, g, rng);
                     }
                 }

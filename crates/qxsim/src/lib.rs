@@ -59,4 +59,4 @@ pub use histogram::ShotHistogram;
 pub use observable::{Pauli, PauliString, PauliSum};
 pub use plan::{CompiledProgram, PlannedGate, PlannedOp, MAX_SIM_QUBITS};
 pub use qubit_model::{QubitModel, RealisticParams};
-pub use state::{StateVector, PAR_MIN_QUBITS};
+pub use state::{par_min_qubits, parse_par_min_qubits, StateVector, PAR_MIN_QUBITS};

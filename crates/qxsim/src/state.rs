@@ -23,15 +23,38 @@ use cqasm::math::{Mat2, Mat4, C64, EPSILON};
 use cqasm::KernelClass;
 use rand::Rng;
 
-/// Minimum register size (in qubits) at which the dense 1q/2q kernels are
-/// split across threads. Below this the per-thread spawn overhead exceeds
-/// the arithmetic saved; at `2^18` amplitudes (4 MiB of state) the split
-/// starts to pay on multi-core hosts.
+/// Analytic default for the minimum register size (in qubits) at which the
+/// dense 1q/2q kernels are split across threads. Below this the per-thread
+/// spawn overhead exceeds the arithmetic saved; at `2^18` amplitudes (4 MiB
+/// of state) the split starts to pay on multi-core hosts. The effective
+/// threshold is [`par_min_qubits`], tunable via `QCA_PAR_MIN_QUBITS`.
 pub const PAR_MIN_QUBITS: usize = 18;
+
+/// Parses a `QCA_PAR_MIN_QUBITS` value. Accepts `0..=63`; anything else
+/// (empty, non-numeric, out of range) falls back to the analytic default
+/// [`PAR_MIN_QUBITS`]. Pure, so the env-var plumbing is testable without
+/// mutating the process environment.
+pub fn parse_par_min_qubits(value: Option<&str>) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n < 64)
+        .unwrap_or(PAR_MIN_QUBITS)
+}
+
+/// The effective threads-on threshold: `QCA_PAR_MIN_QUBITS` from the
+/// environment if set to a valid qubit count, else the analytic default
+/// [`PAR_MIN_QUBITS`]. Read once per process (see DESIGN.md "Observability"
+/// for the empirical tuning procedure built on the telemetry counters).
+pub fn par_min_qubits() -> usize {
+    use std::sync::OnceLock;
+    static THRESHOLD: OnceLock<usize> = OnceLock::new();
+    *THRESHOLD
+        .get_or_init(|| parse_par_min_qubits(std::env::var("QCA_PAR_MIN_QUBITS").ok().as_deref()))
+}
 
 /// Number of worker threads the automatic kernel dispatch uses: the host's
 /// available parallelism, probed once. `1` disables threading entirely.
-fn auto_threads() -> usize {
+pub(crate) fn auto_threads() -> usize {
     use std::sync::OnceLock;
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
@@ -201,13 +224,13 @@ impl StateVector {
 
     /// Applies a single-qubit unitary to qubit `q`.
     ///
-    /// Registers of [`PAR_MIN_QUBITS`] or more qubits are chunked across
+    /// Registers of [`par_min_qubits`] or more qubits are chunked across
     /// the host's threads (see [`par`]); the result is bit-identical either
     /// way since every amplitude pair is updated independently.
     pub fn apply_1q(&mut self, m: &Mat2, q: usize) {
         debug_assert!(q < self.n);
         let threads = auto_threads();
-        if self.n >= PAR_MIN_QUBITS && threads > 1 {
+        if self.n >= par_min_qubits() && threads > 1 {
             par::apply_1q_threaded(self, m, q, threads);
         } else {
             let pairs = self.amps.len() >> 1;
@@ -254,7 +277,7 @@ impl StateVector {
     pub fn apply_2q(&mut self, m: &Mat4, q_hi: usize, q_lo: usize) {
         debug_assert!(q_hi != q_lo && q_hi < self.n && q_lo < self.n);
         let threads = auto_threads();
-        if self.n >= PAR_MIN_QUBITS && threads > 1 {
+        if self.n >= par_min_qubits() && threads > 1 {
             par::apply_2q_threaded(self, m, q_hi, q_lo, threads);
         } else {
             let orbits = self.amps.len() >> 2;
@@ -808,6 +831,28 @@ pub mod reference {
             }
         }
         (state.amps.len() - 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod par_min_qubits_tests {
+    use super::*;
+
+    #[test]
+    fn valid_overrides_are_honoured() {
+        assert_eq!(parse_par_min_qubits(Some("12")), 12);
+        assert_eq!(parse_par_min_qubits(Some(" 0 ")), 0);
+        assert_eq!(parse_par_min_qubits(Some("63")), 63);
+    }
+
+    #[test]
+    fn invalid_values_fall_back_to_the_analytic_default() {
+        assert_eq!(parse_par_min_qubits(None), PAR_MIN_QUBITS);
+        assert_eq!(parse_par_min_qubits(Some("")), PAR_MIN_QUBITS);
+        assert_eq!(parse_par_min_qubits(Some("lots")), PAR_MIN_QUBITS);
+        assert_eq!(parse_par_min_qubits(Some("-3")), PAR_MIN_QUBITS);
+        assert_eq!(parse_par_min_qubits(Some("64")), PAR_MIN_QUBITS);
+        assert_eq!(parse_par_min_qubits(Some("18.5")), PAR_MIN_QUBITS);
     }
 }
 

@@ -1,0 +1,415 @@
+//! Exporters: Chrome trace-event JSON, the JSON metrics report, and a
+//! human-readable summary table — plus a schema validator for the Chrome
+//! trace (used by the `qca-trace` bin and CI to fail on drift).
+//!
+//! # Chrome trace format
+//!
+//! The object form understood by Perfetto and `about:tracing`:
+//!
+//! ```json
+//! {
+//!   "traceEvents": [
+//!     {"name": "compile", "cat": "openql", "ph": "X",
+//!      "ts": 12, "dur": 340, "pid": 1, "tid": 1, "args": {"depth": 0}}
+//!   ],
+//!   "displayTimeUnit": "ms"
+//! }
+//! ```
+//!
+//! Every span becomes one `"X"` (complete) event; `ts`/`dur` are
+//! microseconds, the unit the format specifies.
+//!
+//! # Metrics report
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "counters": {"qxsim.shots.executed": 2000},
+//!   "histograms": {"qxsim.kernel_dispatch": {"Cnot": 1000}},
+//!   "values": {"...": {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0}},
+//!   "spans": [{"name": "...", "cat": "...", "start_us": 0, "dur_us": 3,
+//!              "tid": 1, "depth": 0, "parent": null}]
+//! }
+//! ```
+//!
+//! `counters` and `histograms` are the deterministic part: for a fixed
+//! seed they are bit-identical regardless of thread count
+//! ([`counters_json`] exports exactly that subset).
+
+use crate::json::{self, JsonValue};
+use crate::Snapshot;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as JSON (no NaN/Inf — those serialise as `null`,
+/// which the format requires).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The Chrome trace-event JSON for a snapshot (object form with a
+/// `traceEvents` array of `"X"` complete events).
+pub fn chrome_trace(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    for (i, s) in snap.spans.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"depth\": {}}}}}",
+            escape(&s.name),
+            escape(&s.cat),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            s.depth
+        );
+        out.push_str(if i + 1 < snap.spans.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+fn write_counters_body(out: &mut String, snap: &Snapshot, indent: &str) {
+    let _ = write!(out, "{indent}\"counters\": {{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{indent}  \"{}\": {}", escape(k), v);
+    }
+    if !snap.counters.is_empty() {
+        let _ = write!(out, "\n{indent}");
+    }
+    out.push_str("},\n");
+    let _ = write!(out, "{indent}\"histograms\": {{");
+    for (i, (fam, labels)) in snap.labeled.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{indent}  \"{}\": {{", escape(fam));
+        for (j, (label, v)) in labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n{indent}    \"{}\": {}", escape(label), v);
+        }
+        if !labels.is_empty() {
+            let _ = write!(out, "\n{indent}  ");
+        }
+        out.push('}');
+    }
+    if !snap.labeled.is_empty() {
+        let _ = write!(out, "\n{indent}");
+    }
+    out.push('}');
+}
+
+/// Only the deterministic subset of the metrics report: counters and
+/// labelled histograms. For a fixed seed this is bit-identical across
+/// thread counts.
+pub fn counters_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n");
+    write_counters_body(&mut out, snap, "  ");
+    out.push_str("\n}\n");
+    out
+}
+
+/// The full JSON metrics report (see module docs for the schema).
+pub fn metrics_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    write_counters_body(&mut out, snap, "  ");
+    out.push_str(",\n  \"values\": {");
+    for (i, (k, v)) in snap.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+            escape(k),
+            v.count,
+            fmt_f64(v.sum),
+            fmt_f64(v.min),
+            fmt_f64(v.max)
+        );
+    }
+    if !snap.values.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"spans\": [");
+    for (i, s) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let parent = s
+            .parent
+            .map_or_else(|| "null".to_string(), |p| p.to_string());
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"cat\": \"{}\", \"start_us\": {}, \"dur_us\": {}, \"tid\": {}, \"depth\": {}, \"parent\": {}}}",
+            escape(&s.name),
+            escape(&s.cat),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            s.depth,
+            parent
+        );
+    }
+    if !snap.spans.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// A human-readable summary: the span tree (durations in microseconds),
+/// then counters, histograms and value aggregates.
+pub fn summary_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans (us):\n");
+        for s in &snap.spans {
+            let _ = writeln!(
+                out,
+                "  {:>9}  {}{} [{}]",
+                s.dur_us,
+                "  ".repeat(s.depth as usize),
+                s.name,
+                s.cat
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = snap.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (k, v) in &snap.counters {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+    }
+    for (fam, labels) in &snap.labeled {
+        let _ = writeln!(out, "{fam}:");
+        let width = labels.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (label, v) in labels {
+            let _ = writeln!(out, "  {label:<width$}  {v}");
+        }
+    }
+    if !snap.values.is_empty() {
+        out.push_str("values:\n");
+        for (k, v) in &snap.values {
+            let _ = writeln!(
+                out,
+                "  {k}  count={} sum={} min={} max={}",
+                v.count, v.sum, v.min, v.max
+            );
+        }
+    }
+    out
+}
+
+/// What [`validate_chrome_trace`] learned about a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Number of events in `traceEvents`.
+    pub events: usize,
+    /// Distinct `cat` values seen.
+    pub categories: BTreeSet<String>,
+    /// Distinct event names seen.
+    pub names: BTreeSet<String>,
+}
+
+/// Validates Chrome trace-event JSON against the schema this crate emits:
+/// a root object with a non-empty `traceEvents` array whose events carry
+/// string `name`/`cat`/`ph` and numeric `ts`/`pid`/`tid`, with `"X"`
+/// events also carrying a numeric `dur`.
+///
+/// # Errors
+///
+/// A description of the first schema violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let root = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let JsonValue::Object(obj) = &root else {
+        return Err("root is not an object".to_string());
+    };
+    let Some(JsonValue::Array(events)) = obj.get("traceEvents") else {
+        return Err("missing `traceEvents` array".to_string());
+    };
+    if events.is_empty() {
+        return Err("`traceEvents` is empty".to_string());
+    }
+    let mut categories = BTreeSet::new();
+    let mut names = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let JsonValue::Object(e) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            match e.get(key) {
+                Some(JsonValue::String(s)) => Ok(s.clone()),
+                _ => Err(format!("event {i}: missing string `{key}`")),
+            }
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            match e.get(key) {
+                Some(JsonValue::Number(n)) => Ok(*n),
+                _ => Err(format!("event {i}: missing numeric `{key}`")),
+            }
+        };
+        let name = str_field("name")?;
+        let cat = str_field("cat")?;
+        let ph = str_field("ph")?;
+        num_field("ts")?;
+        num_field("pid")?;
+        num_field("tid")?;
+        if ph == "X" {
+            num_field("dur")?;
+        }
+        categories.insert(cat);
+        names.insert(name);
+    }
+    Ok(TraceCheck {
+        events: events.len(),
+        categories,
+        names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> Telemetry {
+        let tel = Telemetry::enabled();
+        {
+            let _a = tel.span("stack", "execute");
+            let _b = tel.span("openql", "compile \"x\"\n");
+        }
+        tel.incr("shots", 100);
+        tel.incr_labeled("dispatch", "Cnot", 4);
+        tel.record_value("latency_ns", 120.0);
+        tel
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_round_trips() {
+        let tel = sample();
+        let text = tel.export_chrome_trace();
+        let check = validate_chrome_trace(&text).unwrap();
+        assert_eq!(check.events, 2);
+        assert!(check.categories.contains("stack"));
+        assert!(check.categories.contains("openql"));
+        // Round-trip: the parsed value re-parses after a parse→find cycle.
+        let v = json::parse(&text).unwrap();
+        let JsonValue::Object(o) = v else { panic!() };
+        assert!(o.contains_key("displayTimeUnit"));
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let tel = sample();
+        let text = tel.export_json();
+        let v = json::parse(&text).unwrap();
+        let JsonValue::Object(o) = &v else { panic!() };
+        assert!(matches!(o.get("version"), Some(JsonValue::Number(n)) if *n == 1.0));
+        let Some(JsonValue::Object(counters)) = o.get("counters") else {
+            panic!("no counters object")
+        };
+        assert!(matches!(counters.get("shots"), Some(JsonValue::Number(n)) if *n == 100.0));
+        let Some(JsonValue::Object(h)) = o.get("histograms") else {
+            panic!("no histograms object")
+        };
+        let Some(JsonValue::Object(dispatch)) = h.get("dispatch") else {
+            panic!("no dispatch family")
+        };
+        assert!(matches!(dispatch.get("Cnot"), Some(JsonValue::Number(n)) if *n == 4.0));
+        let Some(JsonValue::Array(spans)) = o.get("spans") else {
+            panic!("no spans array")
+        };
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn counters_json_is_subset_and_parses() {
+        let tel = sample();
+        let text = tel.counters_json();
+        let v = json::parse(&text).unwrap();
+        let JsonValue::Object(o) = &v else { panic!() };
+        assert!(o.contains_key("counters"));
+        assert!(o.contains_key("histograms"));
+        assert!(!o.contains_key("spans"), "no timing data allowed");
+        assert!(!o.contains_key("values"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_parse() {
+        let tel = Telemetry::enabled();
+        assert!(json::parse(&tel.export_json()).is_ok());
+        assert!(json::parse(&tel.counters_json()).is_ok());
+        // An empty trace is *invalid* per the validator (no events).
+        assert!(validate_chrome_trace(&tel.export_chrome_trace()).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": []}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{\"name\": \"x\"}]}").is_err());
+        assert!(
+            validate_chrome_trace(
+                "{\"traceEvents\": [{\"name\": \"x\", \"cat\": \"c\", \"ph\": \"X\", \"ts\": 0, \"pid\": 1, \"tid\": 1}]}"
+            )
+            .is_err(),
+            "X event without dur must fail"
+        );
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn summary_table_mentions_everything() {
+        let tel = sample();
+        let table = tel.summary_table();
+        assert!(table.contains("spans (us):"));
+        assert!(table.contains("counters:"));
+        assert!(table.contains("dispatch:"));
+        assert!(table.contains("Cnot"));
+        assert!(table.contains("latency_ns"));
+    }
+}

@@ -1,0 +1,525 @@
+//! # qca-telemetry — stack-wide observability without external dependencies
+//!
+//! The paper's stack (OpenQL → cQASM → eQASM → QX) spans five crates;
+//! understanding where a run spends its time and which paths it took
+//! requires one telemetry context threaded through all of them. This crate
+//! provides that context:
+//!
+//! - [`Telemetry`] — a cheaply cloneable handle around a thread-safe
+//!   registry. A *disabled* handle (the default) is a `None` pointer: every
+//!   operation is a single branch and performs **no allocation**, so hot
+//!   kernel paths can be instrumented without regressing.
+//! - **Spans** — hierarchical wall-clock timers ([`Telemetry::span`])
+//!   whose nesting is tracked per thread; they export as Chrome
+//!   trace-event `"X"` (complete) events loadable in Perfetto or
+//!   `about:tracing`.
+//! - **Counters** — monotonic named `u64` counters
+//!   ([`Telemetry::incr`]) and labelled counter families
+//!   ([`Telemetry::incr_labeled`], e.g. the kernel-dispatch histogram).
+//!   Counter totals are order-independent sums, so they are **bit-identical
+//!   for a fixed seed regardless of thread count** — only span timings vary
+//!   between runs.
+//! - **Value statistics** — min/max/sum/count aggregates
+//!   ([`Telemetry::record_value`]) for quantities that are not counts.
+//! - **Exporters** — a JSON metrics report ([`Telemetry::export_json`]),
+//!   Chrome trace-event JSON ([`Telemetry::export_chrome_trace`]), and a
+//!   human-readable summary table ([`Telemetry::summary_table`]). The
+//!   bundled [`json`] parser round-trips both formats so schema drift is
+//!   testable offline.
+//!
+//! # Example
+//!
+//! ```
+//! use qca_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! {
+//!     let _compile = tel.span("openql", "compile");
+//!     {
+//!         let _pass = tel.span("openql", "decompose");
+//!         tel.incr("openql.gates_lowered", 12);
+//!     }
+//! }
+//! tel.incr_labeled("qxsim.kernel_dispatch", "Cnot", 3);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.spans.len(), 2);
+//! assert_eq!(snap.spans[1].parent, Some(0)); // decompose nests in compile
+//! assert!(tel.export_chrome_trace().contains("\"traceEvents\""));
+//! ```
+
+// Library paths must return typed errors, never abort (CI gates these
+// lints); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod export;
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+pub use export::{validate_chrome_trace, TraceCheck};
+
+/// One finished (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"decompose"`).
+    pub name: String,
+    /// Category — the stack layer (`"openql"`, `"eqasm"`, `"qxsim"`,
+    /// `"stack"`, ...). Becomes the Chrome trace `cat` field.
+    pub cat: String,
+    /// Start time in microseconds from the registry epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (`0` until the guard drops).
+    pub dur_us: u64,
+    /// Stable per-registry thread id (1-based, in order of first use).
+    pub tid: u32,
+    /// Index of the enclosing span on the same thread, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth on its thread (0 = top level).
+    pub depth: u32,
+    /// Whether the guard has dropped. Open spans export with their
+    /// duration-so-far.
+    pub closed: bool,
+}
+
+/// Min/max/sum/count aggregate of a recorded value series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStat {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of all values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl ValueStat {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn new(v: f64) -> Self {
+        ValueStat {
+            count: 1,
+            sum: v,
+            min: v,
+            max: v,
+        }
+    }
+}
+
+/// A point-in-time copy of everything a [`Telemetry`] registry holds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// All spans, in start order.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Labelled counter families (histograms over discrete labels),
+    /// sorted by family then label.
+    pub labeled: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Value aggregates, sorted by name.
+    pub values: BTreeMap<String, ValueStat>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    labeled: BTreeMap<String, BTreeMap<String, u64>>,
+    values: BTreeMap<String, ValueStat>,
+    thread_ids: HashMap<std::thread::ThreadId, u32>,
+}
+
+#[derive(Debug)]
+struct Registry {
+    /// Unique id distinguishing registries on the per-thread span stack.
+    id: u64,
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of `(registry id, span index)` for the spans currently open
+    /// on this thread; tracks nesting without any cross-thread state.
+    static SPAN_STACK: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Registry {
+    /// Locks the state, recovering from a poisoned mutex (a panicking
+    /// instrumented thread must not take the whole telemetry down).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn thread_id(state: &mut State) -> u32 {
+        let next = state.thread_ids.len() as u32 + 1;
+        *state
+            .thread_ids
+            .entry(std::thread::current().id())
+            .or_insert(next)
+    }
+}
+
+/// A shared handle to a telemetry registry.
+///
+/// Clones share the same registry (the handle is an `Arc`). The default
+/// handle is **disabled**: every method is a null-pointer check and a
+/// return, with no allocation — cheap enough for per-gate hot paths.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// A recording registry.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Registry {
+                id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// A no-op handle (the default). All operations are free.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span; it closes (and its duration is recorded) when the
+    /// returned guard drops. Nesting is tracked per thread: a span opened
+    /// while another span of the same registry is open on this thread
+    /// records that span as its parent.
+    #[inline]
+    pub fn span(&self, cat: &str, name: &str) -> SpanGuard {
+        let Some(reg) = &self.inner else {
+            return SpanGuard { active: None };
+        };
+        let start_us = reg.now_us();
+        let mut state = reg.lock();
+        let tid = Registry::thread_id(&mut state);
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(rid, _)| *rid == reg.id)
+                .map(|(_, idx)| *idx)
+        });
+        let depth = parent
+            .and_then(|p| state.spans.get(p))
+            .map_or(0, |p| p.depth + 1);
+        let index = state.spans.len();
+        state.spans.push(SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_us,
+            dur_us: 0,
+            tid,
+            parent,
+            depth,
+            closed: false,
+        });
+        drop(state);
+        SPAN_STACK.with(|s| s.borrow_mut().push((reg.id, index)));
+        SpanGuard {
+            active: Some((Arc::clone(reg), index)),
+        }
+    }
+
+    /// Adds `by` to the named monotonic counter.
+    #[inline]
+    pub fn incr(&self, name: &str, by: u64) {
+        let Some(reg) = &self.inner else { return };
+        let mut state = reg.lock();
+        if let Some(c) = state.counters.get_mut(name) {
+            *c += by;
+        } else {
+            state.counters.insert(name.to_string(), by);
+        }
+    }
+
+    /// Adds `by` to label `label` of the counter family `family` — a
+    /// histogram over discrete labels (kernel classes, mutation kinds,
+    /// error variants, ...).
+    #[inline]
+    pub fn incr_labeled(&self, family: &str, label: &str, by: u64) {
+        let Some(reg) = &self.inner else { return };
+        let mut state = reg.lock();
+        let fam = state.labeled.entry(family.to_string()).or_default();
+        if let Some(c) = fam.get_mut(label) {
+            *c += by;
+        } else {
+            fam.insert(label.to_string(), by);
+        }
+    }
+
+    /// Records one observation of a named value series (min/max/sum/count
+    /// aggregate).
+    #[inline]
+    pub fn record_value(&self, name: &str, v: f64) {
+        let Some(reg) = &self.inner else { return };
+        let mut state = reg.lock();
+        if let Some(s) = state.values.get_mut(name) {
+            s.record(v);
+        } else {
+            state.values.insert(name.to_string(), ValueStat::new(v));
+        }
+    }
+
+    /// Copies out everything recorded so far. Open spans appear with their
+    /// duration-so-far and `closed == false`.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(reg) = &self.inner else {
+            return Snapshot::default();
+        };
+        let now = reg.now_us();
+        let state = reg.lock();
+        let mut spans = state.spans.clone();
+        for s in &mut spans {
+            if !s.closed {
+                s.dur_us = now.saturating_sub(s.start_us);
+            }
+        }
+        Snapshot {
+            spans,
+            counters: state.counters.clone(),
+            labeled: state.labeled.clone(),
+            values: state.values.clone(),
+        }
+    }
+
+    /// The full JSON metrics report (counters, labelled histograms, value
+    /// aggregates, spans). See [`export::metrics_json`] for the schema.
+    pub fn export_json(&self) -> String {
+        export::metrics_json(&self.snapshot())
+    }
+
+    /// Only the deterministic part of the report — counters and labelled
+    /// histograms, no timings. For a fixed seed this string is
+    /// bit-identical regardless of thread count.
+    pub fn counters_json(&self) -> String {
+        export::counters_json(&self.snapshot())
+    }
+
+    /// Chrome trace-event JSON (the `{"traceEvents": [...]}` object form),
+    /// loadable in Perfetto or `about:tracing`.
+    pub fn export_chrome_trace(&self) -> String {
+        export::chrome_trace(&self.snapshot())
+    }
+
+    /// A human-readable summary: the span tree with durations, then
+    /// counters, labelled histograms and value aggregates.
+    pub fn summary_table(&self) -> String {
+        export::summary_table(&self.snapshot())
+    }
+}
+
+/// Closes its span on drop. Inert (and allocation-free) when obtained from
+/// a disabled [`Telemetry`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Arc<Registry>, usize)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((reg, index)) = self.active.take() else {
+            return;
+        };
+        let end = reg.now_us();
+        let mut state = reg.lock();
+        if let Some(span) = state.spans.get_mut(index) {
+            span.dur_us = end.saturating_sub(span.start_us);
+            span.closed = true;
+        }
+        drop(state);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(rid, idx)| rid == reg.id && idx == index)
+            {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.incr("x", 5);
+        tel.incr_labeled("fam", "a", 1);
+        tel.record_value("v", 1.0);
+        let _s = tel.span("cat", "name");
+        let snap = tel.snapshot();
+        assert_eq!(snap, Snapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let tel = Telemetry::enabled();
+        tel.incr("a", 1);
+        tel.incr("a", 2);
+        tel.incr("b", 7);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters.get("a"), Some(&3));
+        assert_eq!(snap.counters.get("b"), Some(&7));
+    }
+
+    #[test]
+    fn labeled_families_accumulate_per_label() {
+        let tel = Telemetry::enabled();
+        tel.incr_labeled("dispatch", "Cnot", 2);
+        tel.incr_labeled("dispatch", "Cnot", 3);
+        tel.incr_labeled("dispatch", "Cz", 1);
+        let snap = tel.snapshot();
+        let fam = snap.labeled.get("dispatch").unwrap();
+        assert_eq!(fam.get("Cnot"), Some(&5));
+        assert_eq!(fam.get("Cz"), Some(&1));
+    }
+
+    #[test]
+    fn values_aggregate() {
+        let tel = Telemetry::enabled();
+        tel.record_value("v", 2.0);
+        tel.record_value("v", -1.0);
+        tel.record_value("v", 5.0);
+        let s = tel.snapshot().values.get("v").copied().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 6.0);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("stack", "execute");
+            {
+                let _mid = tel.span("openql", "compile");
+                let _inner = tel.span("openql", "decompose");
+            }
+            let _sibling = tel.span("qxsim", "run_shots");
+        }
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(spans[2].depth, 2);
+        assert_eq!(spans[3].parent, Some(0), "sibling re-parents to root");
+        assert!(spans.iter().all(|s| s.closed));
+        // A parent's window covers its child's.
+        assert!(spans[1].start_us >= spans[0].start_us);
+        assert!(spans[1].start_us + spans[1].dur_us <= spans[0].start_us + spans[0].dur_us);
+    }
+
+    #[test]
+    fn spans_on_different_threads_do_not_nest() {
+        let tel = Telemetry::enabled();
+        let _outer = tel.span("stack", "execute");
+        std::thread::scope(|s| {
+            let t = tel.clone();
+            s.spawn(move || {
+                let _inner = t.span("qxsim", "worker");
+            });
+        });
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, None, "cross-thread spans are roots");
+        assert_ne!(spans[0].tid, spans[1].tid);
+    }
+
+    #[test]
+    fn two_registries_do_not_interfere() {
+        let a = Telemetry::enabled();
+        let b = Telemetry::enabled();
+        let _sa = a.span("x", "a_outer");
+        let _sb = b.span("x", "b_outer");
+        let _sa2 = a.span("x", "a_inner");
+        drop(_sa2);
+        let spans_a = a.snapshot().spans;
+        let spans_b = b.snapshot().spans;
+        assert_eq!(spans_a.len(), 2);
+        assert_eq!(spans_a[1].parent, Some(0));
+        assert_eq!(spans_b.len(), 1);
+        assert_eq!(spans_b[0].parent, None);
+    }
+
+    #[test]
+    fn open_spans_snapshot_with_partial_duration() {
+        let tel = Telemetry::enabled();
+        let _open = tel.span("stack", "running");
+        let snap = tel.snapshot();
+        assert!(!snap.spans[0].closed);
+    }
+
+    #[test]
+    fn counter_sums_are_thread_order_independent() {
+        // Simulates worker threads flushing partial counts: totals must be
+        // identical however the work is split.
+        let totals: Vec<u64> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let tel = Telemetry::enabled();
+                // 1200 increments of 1200/i split across `threads` workers:
+                // every split covers the same index set, so totals match.
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let tel = tel.clone();
+                        s.spawn(move || {
+                            let lo = 1200 * t / threads;
+                            let hi = 1200 * (t + 1) / threads;
+                            for i in lo..hi {
+                                tel.incr("work", 1200 / (i as u64 + 1));
+                                tel.incr_labeled("fam", if i % 2 == 0 { "even" } else { "odd" }, 1);
+                            }
+                        });
+                    }
+                });
+                tel.counters_json();
+                tel.snapshot().counters.get("work").copied().unwrap_or(0)
+            })
+            .collect();
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[1], totals[2]);
+    }
+}

@@ -1,0 +1,8 @@
+# Bell pair: the smallest end-to-end program for qca-trace.
+version 1.0
+qubits 2
+
+.bell
+h q[0]
+cnot q[0], q[1]
+measure_all

@@ -1,0 +1,65 @@
+# One QAOA layer on a 10-qubit ring (MaxCut cost Hamiltonian):
+#   |+>^10, then ZZ(gamma) on every ring edge via cnot-rz-cnot,
+#   then the RX(beta) mixer, then measurement.
+# Used by CI as the qca-trace workload.
+version 1.0
+qubits 10
+
+.prepare
+h q[0]
+h q[1]
+h q[2]
+h q[3]
+h q[4]
+h q[5]
+h q[6]
+h q[7]
+h q[8]
+h q[9]
+
+.cost
+cnot q[0], q[1]
+rz q[1], 0.7854
+cnot q[0], q[1]
+cnot q[1], q[2]
+rz q[2], 0.7854
+cnot q[1], q[2]
+cnot q[2], q[3]
+rz q[3], 0.7854
+cnot q[2], q[3]
+cnot q[3], q[4]
+rz q[4], 0.7854
+cnot q[3], q[4]
+cnot q[4], q[5]
+rz q[5], 0.7854
+cnot q[4], q[5]
+cnot q[5], q[6]
+rz q[6], 0.7854
+cnot q[5], q[6]
+cnot q[6], q[7]
+rz q[7], 0.7854
+cnot q[6], q[7]
+cnot q[7], q[8]
+rz q[8], 0.7854
+cnot q[7], q[8]
+cnot q[8], q[9]
+rz q[9], 0.7854
+cnot q[8], q[9]
+cnot q[9], q[0]
+rz q[0], 0.7854
+cnot q[9], q[0]
+
+.mixer
+rx q[0], 0.3927
+rx q[1], 0.3927
+rx q[2], 0.3927
+rx q[3], 0.3927
+rx q[4], 0.3927
+rx q[5], 0.3927
+rx q[6], 0.3927
+rx q[7], 0.3927
+rx q[8], 0.3927
+rx q[9], 0.3927
+
+.readout
+measure_all

@@ -3,19 +3,24 @@
 //! ```text
 //! chaos --seed 7 --cases 200       # run a campaign; exit 0 iff no panics
 //! chaos --replay 81985529216486895 # re-run one case by its seed, verbosely
+//! chaos --cases 200 --metrics m.json  # also write the JSON metrics report
 //! ```
 //!
 //! Campaigns are bit-reproducible: a failing case prints its seed, and
 //! `--replay <seed>` reproduces it exactly (same generated program, same
-//! mutation, same outcome).
+//! mutation, same outcome). Each campaign runs under a telemetry context
+//! and prints its summary — cases run, the mutation-kind histogram, and
+//! typed-error failures per stack layer — from the recorded counters.
 
-use qca_core::chaos::{run_campaign, run_case, Outcome};
+use qca_core::chaos::{run_campaign_traced, run_case, Outcome};
+use qca_core::Telemetry;
 use std::process::ExitCode;
 
 struct Args {
     seed: u64,
     cases: u64,
     replay: Option<u64>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -23,21 +28,27 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         cases: 200,
         replay: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut take = |name: &str| -> Result<u64, String> {
-            it.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<u64>()
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse = |name: &str, v: String| -> Result<u64, String> {
+            v.parse::<u64>()
                 .map_err(|e| format!("bad value for {name}: {e}"))
         };
         match flag.as_str() {
-            "--seed" => args.seed = take("--seed")?,
-            "--cases" => args.cases = take("--cases")?,
-            "--replay" => args.replay = Some(take("--replay")?),
+            "--seed" => args.seed = parse("--seed", take("--seed")?)?,
+            "--cases" => args.cases = parse("--cases", take("--cases")?)?,
+            "--replay" => args.replay = Some(parse("--replay", take("--replay")?)?),
+            "--metrics" => args.metrics = Some(take("--metrics")?),
             "--help" | "-h" => {
-                return Err("usage: chaos [--seed N] [--cases M] [--replay CASE_SEED]".to_string())
+                return Err(
+                    "usage: chaos [--seed N] [--cases M] [--replay CASE_SEED] [--metrics PATH]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -59,7 +70,7 @@ fn main() -> ExitCode {
         println!("case seed   : {}", case.seed);
         println!("mutation    : {:?}", case.mutation);
         println!("--- source ---\n{}--------------", case.source);
-        match &case.outcome {
+        return match &case.outcome {
             Outcome::Ok { shots } => {
                 println!("outcome     : ok ({shots} shots recorded)");
                 ExitCode::SUCCESS
@@ -72,27 +83,38 @@ fn main() -> ExitCode {
                 println!("outcome     : PANIC: {msg}");
                 ExitCode::FAILURE
             }
-        }
-    } else {
-        let report = run_campaign(args.seed, args.cases);
+        };
+    }
+
+    let telemetry = Telemetry::enabled();
+    let report = run_campaign_traced(args.seed, args.cases, &telemetry);
+    println!(
+        "chaos campaign: seed {} cases {} -> {} ok, {} typed errors, {} panics",
+        report.seed,
+        report.cases,
+        report.ok,
+        report.typed_errors,
+        report.panics.len()
+    );
+    for case in &report.panics {
         println!(
-            "chaos campaign: seed {} cases {} -> {} ok, {} typed errors, {} panics",
-            report.seed,
-            report.cases,
-            report.ok,
-            report.typed_errors,
-            report.panics.len()
+            "  PANIC case {} (replay with --replay {}): {:?} -> {:?}",
+            case.index, case.seed, case.mutation, case.outcome
         );
-        for case in &report.panics {
-            println!(
-                "  PANIC case {} (replay with --replay {}): {:?} -> {:?}",
-                case.index, case.seed, case.mutation, case.outcome
-            );
+    }
+    // The campaign's telemetry summary: mutation-kind histogram, outcomes,
+    // and typed-error failures per stack layer.
+    println!("\n{}", telemetry.summary_table());
+    if let Some(path) = &args.metrics {
+        if let Err(e) = std::fs::write(path, telemetry.export_json()) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
         }
-        if report.is_clean() {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        }
+        println!("metrics written to {path}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,194 @@
+//! End-to-end stack tracing: run a cQASM program through the full stack
+//! and export what every layer did.
+//!
+//! ```text
+//! qca-trace examples/qaoa10.qasm                    # trace.json + summary
+//! qca-trace examples/bell.qasm --shots 5000 --trace bell-trace.json
+//! qca-trace examples/qaoa10.qasm --validate         # fail on schema drift
+//! qca-trace examples/bell.qasm --metrics metrics.json
+//! ```
+//!
+//! The program is executed twice under one telemetry context — once on
+//! the QX simulator backend (compile → simulate, the full shot count) and
+//! once through eQASM and the cycle-accurate micro-architecture (compile
+//! → translate → execute, a few shots) — so the emitted `trace.json`
+//! carries spans from every layer: OpenQL passes (category `openql`),
+//! eQASM translation and pipeline execution (`eqasm`), and QX shot
+//! execution (`qxsim`). Load it in Perfetto or `about:tracing`.
+
+use cqasm::Program;
+use qca_core::telemetry::validate_chrome_trace;
+use qca_core::{ExecutionBackend, FullStack, QubitKind, StackRun, Telemetry};
+use std::process::ExitCode;
+
+/// Shots for the micro-architecture pass: each one steps the whole
+/// cycle-accurate pipeline, so a handful is enough for the trace.
+const ARCH_SHOTS: u64 = 4;
+
+struct Args {
+    program: String,
+    shots: u64,
+    seed: u64,
+    trace: String,
+    metrics: Option<String>,
+    validate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    const USAGE: &str = "usage: qca-trace <program.qasm> [--shots N] [--seed N] \
+                         [--trace PATH] [--metrics PATH] [--validate]";
+    let mut program = None;
+    let mut args = Args {
+        program: String::new(),
+        shots: 1000,
+        seed: 0x57AC,
+        trace: "trace.json".to_string(),
+        metrics: None,
+        validate: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse = |name: &str, v: String| -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--shots" => args.shots = parse("--shots", take("--shots")?)?,
+            "--seed" => args.seed = parse("--seed", take("--seed")?)?,
+            "--trace" => args.trace = take("--trace")?,
+            "--metrics" => args.metrics = Some(take("--metrics")?),
+            "--validate" => args.validate = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path => {
+                if program.replace(path.to_string()).is_some() {
+                    return Err(USAGE.to_string());
+                }
+            }
+        }
+    }
+    args.program = program.ok_or_else(|| USAGE.to_string())?;
+    Ok(args)
+}
+
+fn print_compile_report(run: &StackRun) {
+    println!("compiler passes:");
+    println!(
+        "  {:<16} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "pass", "gates", "Δgate", "depth", "Δdep", "swaps"
+    );
+    for p in &run.compile.passes {
+        println!(
+            "  {:<16} {:>6} {:>+6} {:>6} {:>+6} {:>6}",
+            p.name,
+            p.after.gates,
+            p.gate_delta(),
+            p.after.depth,
+            p.depth_delta(),
+            p.swaps_inserted
+        );
+    }
+    println!(
+        "  schedule: {} cycles ({} ns); asap {} / alap {} cycles; swaps {}",
+        run.compile.latency_cycles,
+        run.compile.latency_ns,
+        run.compile.cycles_asap,
+        run.compile.cycles_alap,
+        run.compile.swaps_inserted
+    );
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let text = std::fs::read_to_string(&args.program)
+        .map_err(|e| format!("cannot read {}: {e}", args.program))?;
+    let program = Program::parse(&text).map_err(|e| format!("{}: {e}", args.program))?;
+    let n = program.qubit_count();
+    if n < 2 {
+        return Err(format!("{}: need at least 2 qubits", args.program));
+    }
+
+    let telemetry = Telemetry::enabled();
+
+    // Pass 1: QX simulator backend (the application-development stack),
+    // full shot count. Produces openql + qxsim spans.
+    let sim_run = FullStack::superconducting(1, n)
+        .with_backend(ExecutionBackend::QxSimulator)
+        .with_qubits(QubitKind::Perfect)
+        .with_seed(args.seed)
+        .with_telemetry(telemetry.clone())
+        .execute_cqasm(&program, args.shots)
+        .map_err(|e| format!("simulator backend: {e}"))?;
+
+    // Pass 2: eQASM micro-architecture backend (the experimental-control
+    // stack), a few shots. Produces eqasm translation + pipeline spans.
+    let arch_run = FullStack::superconducting(1, n)
+        .with_qubits(QubitKind::Perfect)
+        .with_seed(args.seed)
+        .with_telemetry(telemetry.clone())
+        .execute_cqasm(&program, ARCH_SHOTS.min(args.shots))
+        .map_err(|e| format!("micro-architecture backend: {e}"))?;
+
+    let trace_text = telemetry.export_chrome_trace();
+    std::fs::write(&args.trace, &trace_text)
+        .map_err(|e| format!("cannot write {}: {e}", args.trace))?;
+
+    println!(
+        "{}: {} qubits, {} shots (sim) + {} shots (microarch)\n",
+        args.program,
+        n,
+        args.shots,
+        ARCH_SHOTS.min(args.shots)
+    );
+    print_compile_report(&sim_run);
+
+    let dispatch = sim_run.kernel_dispatch();
+    if !dispatch.is_empty() {
+        println!("kernel dispatch (sim backend):");
+        for (class, count) in &dispatch {
+            println!("  {class:<22} {count}");
+        }
+    }
+    if let Some(ns) = arch_run.shot_time_ns {
+        println!("microarch shot time: {ns} ns");
+    }
+    println!("\n{}", telemetry.summary_table());
+    println!("chrome trace written to {}", args.trace);
+
+    if let Some(path) = &args.metrics {
+        std::fs::write(path, telemetry.export_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+
+    if args.validate {
+        let check = validate_chrome_trace(&trace_text)
+            .map_err(|e| format!("trace schema validation failed: {e}"))?;
+        for cat in ["openql", "eqasm", "qxsim", "stack"] {
+            if !check.categories.contains(cat) {
+                return Err(format!(
+                    "trace schema validation failed: no `{cat}` spans (got {:?})",
+                    check.categories
+                ));
+            }
+        }
+        println!(
+            "trace validated: {} events, categories {:?}",
+            check.events, check.categories
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

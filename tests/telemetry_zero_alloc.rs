@@ -1,0 +1,94 @@
+//! Zero-overhead guarantee: a disabled telemetry registry must not
+//! allocate — not for span/counter calls, and not on the simulator's gate
+//! hot path. This lives in its own test binary with a counting global
+//! allocator; everything runs in a single `#[test]` so no concurrent test
+//! thread can perturb the counts.
+
+use cqasm::Program;
+use qca_telemetry::Telemetry;
+use qxsim::Simulator;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counter update
+// is a lock-free atomic and allocates nothing itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_telemetry_is_allocation_free() {
+    // Part 1: the telemetry operations the hot paths invoke must not
+    // allocate when the registry is disabled.
+    let telemetry = Telemetry::disabled();
+    let before = allocations();
+    for i in 0..10_000u64 {
+        let _span = telemetry.span("qxsim", "run_shots");
+        telemetry.incr("qxsim.shots.executed", 1);
+        telemetry.incr_labeled("qxsim.kernel_dispatch", "General1q", 1);
+        telemetry.record_value("qxsim.parallel_sweep.qubits", i as f64);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "disabled telemetry ops must not allocate"
+    );
+
+    // Part 2: the gate hot path. Two identical simulators — one default,
+    // one with an explicitly attached disabled registry — must allocate
+    // exactly the same amount for the same run, i.e. the disabled
+    // registry contributes zero allocations per gate or per shot.
+    let program = Program::parse(concat!(
+        "version 1.0\nqubits 4\n.ghz\nh q[0]\ncnot q[0], q[1]\n",
+        "cnot q[1], q[2]\ncnot q[2], q[3]\nmeasure_all\n"
+    ))
+    .expect("program parses");
+    let baseline = Simulator::perfect()
+        .with_seed(0xA110C)
+        .with_sampling_fast_path(false);
+    let instrumented = baseline.clone().with_telemetry(Telemetry::disabled());
+
+    // Warm-up so lazy one-time allocations (thread-locals, env caches)
+    // don't skew the measured runs.
+    baseline.run_shots(&program, 2).expect("warm-up runs");
+    instrumented.run_shots(&program, 2).expect("warm-up runs");
+
+    let start = allocations();
+    let h1 = baseline.run_shots(&program, 50).expect("baseline runs");
+    let baseline_allocs = allocations() - start;
+
+    let start = allocations();
+    let h2 = instrumented
+        .run_shots(&program, 50)
+        .expect("instrumented runs");
+    let instrumented_allocs = allocations() - start;
+
+    assert_eq!(h1, h2);
+    assert_eq!(
+        instrumented_allocs, baseline_allocs,
+        "a disabled registry must add no allocations to the gate hot path"
+    );
+}
