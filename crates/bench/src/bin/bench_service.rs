@@ -1,0 +1,139 @@
+//! Acceptance benchmark for the serving runtime. Pushes 100 mixed
+//! Bell/GHZ jobs through the service in four configurations — 1 vs N
+//! workers, cold vs warm compiled-plan cache — and reports throughput
+//! (jobs/sec) and per-job latency (p50/p95 of queue wait + execution),
+//! then writes the numbers to `BENCH_service.json`.
+
+use qca_bench::{f, header, row};
+use qca_service::{JobSpec, Service, ServiceConfig};
+use std::time::{Duration, Instant};
+
+const BELL: &str = "qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n";
+const GHZ4: &str =
+    "qubits 4\nh q[0]\ncnot q[0], q[1]\ncnot q[1], q[2]\ncnot q[2], q[3]\nmeasure_all\n";
+const JOBS: usize = 100;
+const SHOTS: u64 = 2000;
+
+/// 100 mixed jobs over two circuit shapes, distinct seeds so nothing
+/// coalesces (the bench measures per-job dispatch, not batching).
+fn mixed_jobs() -> Vec<JobSpec> {
+    (0..JOBS)
+        .map(|i| {
+            let circuit = if i % 2 == 0 { BELL } else { GHZ4 };
+            JobSpec::new(circuit).with_seed(i as u64).with_shots(SHOTS)
+        })
+        .collect()
+}
+
+struct Scenario {
+    workers: usize,
+    cache: &'static str,
+    wall_s: f64,
+    jobs_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    cache_hits: u64,
+}
+
+/// Runs one pass of all jobs; `prewarm` runs each distinct circuit once
+/// first so the measured pass is served entirely from the plan cache.
+fn run_scenario(workers: usize, prewarm: bool) -> Scenario {
+    let service = Service::with_config(ServiceConfig {
+        workers,
+        queue_capacity: JOBS * 2,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    if prewarm {
+        for circuit in [BELL, GHZ4] {
+            let id = handle
+                .submit(JobSpec::new(circuit).with_shots(1))
+                .expect("prewarm submit");
+            handle
+                .wait(id, Duration::from_secs(60))
+                .expect("prewarm wait");
+        }
+    }
+    let hits_before = handle.stats().cache.hits;
+    let jobs = mixed_jobs();
+    let start = Instant::now();
+    let ids: Vec<_> = jobs
+        .into_iter()
+        .map(|spec| handle.submit(spec).expect("submit"))
+        .collect();
+    let mut latencies_us: Vec<u64> = ids
+        .iter()
+        .map(|&id| {
+            let outcome = handle.wait(id, Duration::from_secs(120)).expect("wait");
+            outcome.wait_us + outcome.exec_us
+        })
+        .collect();
+    let wall_s = start.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+    let cache_hits = handle.stats().cache.hits - hits_before;
+    service.shutdown();
+    Scenario {
+        workers,
+        cache: if prewarm { "warm" } else { "cold" },
+        wall_s,
+        jobs_per_sec: JOBS as f64 / wall_s,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        cache_hits,
+    }
+}
+
+fn main() {
+    let pool = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 4);
+    println!("\n== Serving throughput: {JOBS} mixed Bell/GHZ jobs, {SHOTS} shots each ==");
+    header(&[
+        "workers", "cache", "wall s", "jobs/s", "p50 ms", "p95 ms", "hits",
+    ]);
+    let mut scenarios = Vec::new();
+    for workers in [1usize, pool] {
+        for prewarm in [false, true] {
+            let s = run_scenario(workers, prewarm);
+            row(&[
+                s.workers.to_string(),
+                s.cache.to_string(),
+                f(s.wall_s),
+                f(s.jobs_per_sec),
+                f(s.p50_ms),
+                f(s.p95_ms),
+                s.cache_hits.to_string(),
+            ]);
+            scenarios.push(s);
+        }
+    }
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"qca-service serving throughput\",\n");
+    json.push_str(&format!("  \"jobs\": {JOBS},\n"));
+    json.push_str(&format!("  \"shots_per_job\": {SHOTS},\n"));
+    json.push_str("  \"circuits\": [\"bell2\", \"ghz4\"],\n");
+    json.push_str("  \"latency\": \"queue wait + execution, per job\",\n");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"workers\": {}, \"cache\": \"{}\", \"wall_s\": {:.4}, ",
+                "\"jobs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, ",
+                "\"cache_hits\": {}}}{}\n"
+            ),
+            s.workers,
+            s.cache,
+            s.wall_s,
+            s.jobs_per_sec,
+            s.p50_ms,
+            s.p95_ms,
+            s.cache_hits,
+            if i + 1 < scenarios.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("\nWrote BENCH_service.json");
+}

@@ -8,8 +8,60 @@
 //! QEC unit analyses.
 
 use crate::error_model::ErrorChannel;
-use cqasm::math::{Mat2, C64};
-use cqasm::GateKind;
+use cqasm::math::{Mat2, Mat4, C64};
+use cqasm::{GateKind, GateUnitary, KernelClass};
+
+/// Largest register the density engine accepts: the matrix is `4^n`
+/// complex entries, so 13 qubits is ~1 GiB. Callers that cannot panic
+/// (the shot executor, the serving runtime) check against this before
+/// constructing a [`DensityMatrix`].
+pub const MAX_DENSITY_QUBITS: usize = 13;
+
+/// The dense unitary of a planned kernel, for exact density evolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelUnitary {
+    /// No amplitude is touched.
+    Identity,
+    /// A single-qubit unitary.
+    One(Mat2),
+    /// A two-qubit unitary (first operand = high bit).
+    Two(Mat4),
+}
+
+/// Maps a [`KernelClass`] back to its dense unitary so the density engine
+/// can replay a compiled plan exactly. Returns `None` for three-qubit
+/// kernels (Toffoli), which must be decomposed before density simulation.
+pub fn kernel_unitary(kernel: &KernelClass) -> Option<KernelUnitary> {
+    let two = |kind: GateKind| match kind.unitary() {
+        GateUnitary::Two(m) => Some(KernelUnitary::Two(m)),
+        _ => None,
+    };
+    match kernel {
+        KernelClass::Identity => Some(KernelUnitary::Identity),
+        KernelClass::Diagonal1q(c0, c1) => Some(KernelUnitary::One(Mat2([
+            [*c0, C64::ZERO],
+            [C64::ZERO, *c1],
+        ]))),
+        KernelClass::AntiDiagonal1q(c0, c1) => Some(KernelUnitary::One(Mat2([
+            [C64::ZERO, *c0],
+            [*c1, C64::ZERO],
+        ]))),
+        KernelClass::General1q(m) => Some(KernelUnitary::One(*m)),
+        KernelClass::Cnot => two(GateKind::Cnot),
+        KernelClass::Cz => two(GateKind::Cz),
+        KernelClass::Swap => two(GateKind::Swap),
+        KernelClass::ControlledPhase(p) => {
+            let mut m = [[C64::ZERO; 4]; 4];
+            m[0][0] = C64::ONE;
+            m[1][1] = C64::ONE;
+            m[2][2] = C64::ONE;
+            m[3][3] = *p;
+            Some(KernelUnitary::Two(Mat4(m)))
+        }
+        KernelClass::General2q(m) => Some(KernelUnitary::Two(*m)),
+        KernelClass::ControlledControlled(_) => None,
+    }
+}
 
 /// A mixed quantum state of `n` qubits as a dense `2^n x 2^n` density
 /// matrix.
@@ -26,9 +78,13 @@ impl DensityMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `n > 13` (the matrix would exceed ~1 GiB).
+    /// Panics if `n > `[`MAX_DENSITY_QUBITS`] (the matrix would exceed
+    /// ~1 GiB).
     pub fn zero_state(n: usize) -> Self {
-        assert!(n <= 13, "density matrix of {n} qubits is too large");
+        assert!(
+            n <= MAX_DENSITY_QUBITS,
+            "density matrix of {n} qubits is too large"
+        );
         let dim = 1usize << n;
         let mut rho = vec![C64::ZERO; dim * dim];
         rho[0] = C64::ONE;
@@ -70,6 +126,16 @@ impl DensityMatrix {
             }
         }
         acc
+    }
+
+    /// The diagonal of the matrix: the probability of each computational
+    /// basis state. For a valid state these are non-negative and sum to 1
+    /// (up to rounding); sampling terminal measurements draws from this
+    /// distribution.
+    pub fn diagonal_probabilities(&self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|i| self.rho[i * self.dim + i].re)
+            .collect()
     }
 
     /// Probability of measuring qubit `q` as one.

@@ -15,15 +15,17 @@
 //! additionally take a sampling fast path that evolves the state once and
 //! draws every shot from a cumulative probability table.
 
+use crate::density::{kernel_unitary, DensityMatrix, KernelUnitary, MAX_DENSITY_QUBITS};
 use crate::error_model::flip_readout;
 use crate::histogram::ShotHistogram;
-use crate::plan::{CompiledProgram, PlannedGate, PlannedOp};
+use crate::plan::{CompiledProgram, PlannedGate, PlannedOp, TerminalMeasure};
 use crate::qubit_model::QubitModel;
 use crate::state::{auto_threads, par_min_qubits, StateVector};
 use cqasm::{KernelClass, Program};
 use qca_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Per-run kernel-dispatch counts, one bucket per [`KernelClass`] (indexed
 /// by [`KernelClass::class_index`]). Accumulated locally per worker and
@@ -347,15 +349,59 @@ impl Simulator {
             let _span = self.telemetry.span("qxsim", "plan_compile");
             self.compile(program)?
         };
+        self.run_planned_impl(&plan, shots, threads)
+    }
+
+    /// Runs a pre-compiled plan `shots` times across `threads` workers —
+    /// the compile-once/run-many entry point the serving layer uses to
+    /// reuse one [`CompiledProgram`] across requests. Identical semantics
+    /// (fault injection, telemetry, per-shot RNG streams, thread-count
+    /// independence) to [`Simulator::run_shots_parallel`] minus the
+    /// compile step, so cached-plan runs are bit-identical to fresh ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::InjectedFault`] or
+    /// [`ExecuteError::Worker`] under the same conditions as
+    /// [`Simulator::run_shots_parallel`].
+    pub fn run_shots_planned(
+        &self,
+        plan: &CompiledProgram,
+        shots: u64,
+        threads: usize,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        let _run_span = self.telemetry.span("qxsim", "run_shots");
+        self.run_planned_impl(plan, shots, threads.max(1))
+    }
+
+    fn run_planned_impl(
+        &self,
+        plan: &CompiledProgram,
+        shots: u64,
+        threads: usize,
+    ) -> Result<ShotHistogram, ExecuteError> {
         self.telemetry.incr("qxsim.runs", 1);
         self.telemetry.incr("qxsim.shots.requested", shots);
         let shots = self.effective_shots(shots)?;
         self.telemetry.incr("qxsim.shots.executed", shots);
         self.record_sweep_decision(plan.qubit_count());
-        if self.sampling_fast_path && plan.terminal_sampling() {
-            self.telemetry
-                .incr_labeled("qxsim.sampling_fast_path", "hit", 1);
-            return self.run_terminal_sampling(&plan, shots, threads);
+        if self.sampling_fast_path {
+            match plan.sampling_measures() {
+                Some(TerminalMeasure::All) => {
+                    self.telemetry
+                        .incr_labeled("qxsim.sampling_fast_path", "hit", 1);
+                    return self.run_terminal_sampling(plan, shots, threads);
+                }
+                Some(TerminalMeasure::Run(qs)) => {
+                    self.telemetry
+                        .incr_labeled("qxsim.sampling_fast_path", "hit", 1);
+                    self.telemetry
+                        .incr("qxsim.sampling_fast_path.measure_run", 1);
+                    let qs = qs.clone();
+                    return self.run_terminal_measure_run(plan, &qs, shots, threads);
+                }
+                None => {}
+            }
         }
         self.telemetry
             .incr_labeled("qxsim.sampling_fast_path", "miss", 1);
@@ -367,14 +413,13 @@ impl Simulator {
             for shot in 0..shots {
                 let mut rng = self.shot_rng(shot);
                 let bits = self
-                    .run_compiled_counted(&plan, &mut rng, counting.then_some(&mut counts))
+                    .run_compiled_counted(plan, &mut rng, counting.then_some(&mut counts))
                     .bits;
                 hist.record(bits);
             }
             self.record_kernel_counts(&counts);
             return Ok(hist);
         }
-        let plan = &plan;
         let (results, counts) = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..threads {
@@ -430,18 +475,7 @@ impl Simulator {
         threads: usize,
     ) -> Result<ShotHistogram, ExecuteError> {
         let _span = self.telemetry.span("qxsim", "sample_shots");
-        let mut state = StateVector::zero_state(plan.qubit_count());
-        let mut counts: KernelCounts = [0; KernelClass::COUNT];
-        let counting = self.telemetry.is_enabled();
-        for op in plan.ops() {
-            if let PlannedOp::Gate(g) = op {
-                if counting {
-                    counts[g.kernel.class_index()] += 1;
-                }
-                state.apply_kernel(&g.kernel, &g.qubits);
-            }
-        }
-        self.record_kernel_counts(&counts);
+        let state = self.evolve_prefix(plan);
         let cum = state.cumulative_probabilities();
         // Outcomes are counted into a dense per-basis-state bucket array and
         // folded into the histogram once at the end: a map update per shot
@@ -511,6 +545,310 @@ impl Simulator {
         let mut hist = ShotHistogram::new();
         for (bits, &count) in buckets.iter().enumerate() {
             hist.record_many(bits as u64, count);
+        }
+        Ok(hist)
+    }
+
+    /// Applies the unitary gate prefix of a sampling-eligible plan to a
+    /// fresh zero state, folding the kernel-dispatch counts into telemetry
+    /// once.
+    fn evolve_prefix(&self, plan: &CompiledProgram) -> StateVector {
+        let mut state = StateVector::zero_state(plan.qubit_count());
+        let mut counts: KernelCounts = [0; KernelClass::COUNT];
+        let counting = self.telemetry.is_enabled();
+        for op in plan.ops() {
+            if let PlannedOp::Gate(g) = op {
+                if counting {
+                    counts[g.kernel.class_index()] += 1;
+                }
+                state.apply_kernel(&g.kernel, &g.qubits);
+            }
+        }
+        self.record_kernel_counts(&counts);
+        state
+    }
+
+    /// The per-qubit variant of the sampling fast path: evolve the
+    /// noise-free gate prefix once, then replay the terminal `measure` run
+    /// for every shot against the frozen state, memoising the conditional
+    /// one-probabilities per realised outcome prefix (see
+    /// [`MeasureCascade`]).
+    ///
+    /// Bit-exactness with full re-simulation: a full shot applies the same
+    /// gates with no RNG draws, then for each terminal `measure q` computes
+    /// `P(q = 1)` on its collapsed state and consumes exactly one `f64`
+    /// (`gen_bool`; readout is exact for sampling-eligible plans, so
+    /// `flip_readout` draws nothing). The cascade computes the identical
+    /// probability by replaying the same collapse chain on a clone of the
+    /// frozen state — the same floating-point operations in the same order
+    /// — and consumes the same draw from the same per-shot stream.
+    fn run_terminal_measure_run(
+        &self,
+        plan: &CompiledProgram,
+        qs: &[usize],
+        shots: u64,
+        threads: usize,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        let _span = self.telemetry.span("qxsim", "sample_shots");
+        let state = self.evolve_prefix(plan);
+        let state = &state;
+        let sample_range = |lo: u64, hi: u64| -> ShotHistogram {
+            let mut cascade = MeasureCascade::new(state, qs);
+            let mut hist = ShotHistogram::new();
+            for shot in lo..hi {
+                let mut rng = self.shot_rng(shot);
+                hist.record(cascade.sample(&mut rng));
+            }
+            hist
+        };
+        if threads <= 1 {
+            return Ok(sample_range(0, shots));
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = shots * t as u64 / threads as u64;
+                    let hi = shots * (t as u64 + 1) / threads as u64;
+                    let sample_range = &sample_range;
+                    scope.spawn(move || sample_range(lo, hi))
+                })
+                .collect();
+            let mut total = ShotHistogram::new();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => total.merge(&part),
+                    Err(payload) => return Err(worker_error(payload)),
+                }
+            }
+            Ok(total)
+        })
+    }
+
+    /// Executes exactly shots `lo..hi` of a multi-shot run on a
+    /// pre-compiled plan, returning their partial histogram.
+    ///
+    /// Shots draw from the same counter-derived per-shot streams as
+    /// [`Simulator::run_shots`], so merging the partial histograms of any
+    /// disjoint cover of `0..shots` (see [`ShotHistogram::merge`])
+    /// reproduces the single-call histogram bit-for-bit — the sharding
+    /// primitive the serving runtime uses to split one large job across a
+    /// worker pool.
+    ///
+    /// Fault injection is *not* applied here: a sharding coordinator
+    /// truncates or fails the whole run before splitting (as
+    /// [`Simulator::run_shots_planned`] does).
+    pub fn run_shot_range(&self, plan: &CompiledProgram, lo: u64, hi: u64) -> ShotHistogram {
+        let mut hist = ShotHistogram::new();
+        if lo >= hi {
+            return hist;
+        }
+        if self.sampling_fast_path {
+            match plan.sampling_measures() {
+                Some(TerminalMeasure::All) => {
+                    let state = self.evolve_prefix(plan);
+                    let cum = state.cumulative_probabilities();
+                    for shot in lo..hi {
+                        let r = self.shot_draw(shot);
+                        hist.record(StateVector::sample_from_cumulative(&cum, r));
+                    }
+                    return hist;
+                }
+                Some(TerminalMeasure::Run(qs)) => {
+                    let qs = qs.clone();
+                    let state = self.evolve_prefix(plan);
+                    let mut cascade = MeasureCascade::new(&state, &qs);
+                    for shot in lo..hi {
+                        let mut rng = self.shot_rng(shot);
+                        hist.record(cascade.sample(&mut rng));
+                    }
+                    return hist;
+                }
+                None => {}
+            }
+        }
+        let counting = self.telemetry.is_enabled();
+        let mut counts: KernelCounts = [0; KernelClass::COUNT];
+        for shot in lo..hi {
+            let mut rng = self.shot_rng(shot);
+            let bits = self
+                .run_compiled_counted(plan, &mut rng, counting.then_some(&mut counts))
+                .bits;
+            hist.record(bits);
+        }
+        self.record_kernel_counts(&counts);
+        hist
+    }
+
+    /// Runs the program with *exact* channel semantics on the
+    /// density-matrix engine and samples `shots` measurement outcomes from
+    /// the final mixed state. See [`Simulator::run_density_planned`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] if the program fails validation or
+    /// uses operations the density engine does not support, and
+    /// [`ExecuteError::TooManyQubits`] above [`MAX_DENSITY_QUBITS`].
+    pub fn run_shots_density(
+        &self,
+        program: &Program,
+        shots: u64,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        let _run_span = self.telemetry.span("qxsim", "run_shots_density");
+        let plan = {
+            let _span = self.telemetry.span("qxsim", "plan_compile");
+            self.compile(program)?
+        };
+        self.run_density_planned(&plan, shots)
+    }
+
+    /// The density-matrix analogue of [`Simulator::run_shots_planned`]:
+    /// evolves the full density matrix through the plan's unitary/idle
+    /// prefix with *exact* channel semantics (no trajectory sampling), then
+    /// draws every shot from the diagonal of the final mixed state.
+    ///
+    /// Deterministic per seed (same per-shot streams as the state-vector
+    /// engine), but *not* trajectory-compatible: a noisy state-vector run
+    /// samples one Kraus branch per shot while this engine averages the
+    /// channel exactly, so histograms agree in distribution, not per shot.
+    ///
+    /// Supported plans: unitary gates, `skip`/`wait` idling, and a terminal
+    /// measurement (`measure_all` or a trailing `measure` run). Mid-circuit
+    /// measurement, conditionals and `prep_z` would require trajectory
+    /// branching and are rejected as [`ExecuteError::Invalid`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::Invalid`] for unsupported plan shapes and
+    /// [`ExecuteError::TooManyQubits`] above [`MAX_DENSITY_QUBITS`].
+    pub fn run_density_planned(
+        &self,
+        plan: &CompiledProgram,
+        shots: u64,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        let _span = self.telemetry.span("qxsim", "density_shots");
+        let n = plan.qubit_count();
+        if n > MAX_DENSITY_QUBITS {
+            return Err(ExecuteError::TooManyQubits {
+                needed: n,
+                max: MAX_DENSITY_QUBITS,
+            });
+        }
+        let suffix = plan.terminal_measurement().cloned().ok_or_else(|| {
+            ExecuteError::Invalid(
+                "density engine requires a program ending in measurements".to_string(),
+            )
+        })?;
+        let suffix_len = match &suffix {
+            TerminalMeasure::All => 1,
+            TerminalMeasure::Run(qs) => qs.len(),
+        };
+        let prefix = &plan.ops()[..plan.ops().len() - suffix_len];
+        let shots = self.effective_shots(shots)?;
+        self.telemetry.incr("qxsim.density.runs", 1);
+        self.telemetry.incr("qxsim.density.shots", shots);
+        let mut rho = DensityMatrix::zero_state(n);
+        let idle = self.model.idle_channel();
+        for op in prefix {
+            match op {
+                PlannedOp::Gate(g) => {
+                    match kernel_unitary(&g.kernel) {
+                        Some(KernelUnitary::Identity) => {}
+                        Some(KernelUnitary::One(m)) => rho.apply_1q(&m, g.qubits[0]),
+                        Some(KernelUnitary::Two(m)) => rho.apply_2q(&m, g.qubits[0], g.qubits[1]),
+                        None => {
+                            return Err(ExecuteError::Invalid(
+                                "density engine cannot apply three-qubit kernels; decompose first"
+                                    .to_string(),
+                            ))
+                        }
+                    }
+                    let channel = self.model.gate_channel(g.arity);
+                    if !channel.is_none() {
+                        for &q in &g.qubits {
+                            rho.apply_channel(&channel, q);
+                        }
+                    }
+                }
+                PlannedOp::Idle(mask) => {
+                    for q in 0..n {
+                        if (mask >> q) & 1 == 1 {
+                            rho.apply_channel(&idle, q);
+                        }
+                    }
+                }
+                PlannedOp::Wait(cycles) => {
+                    for _ in 0..*cycles {
+                        for q in 0..n {
+                            rho.apply_channel(&idle, q);
+                        }
+                    }
+                }
+                PlannedOp::PrepZ(_)
+                | PlannedOp::Measure(_)
+                | PlannedOp::MeasureAll
+                | PlannedOp::Cond(..) => {
+                    return Err(ExecuteError::Invalid(
+                        "density engine supports only unitary and idle operations before the \
+                         terminal measurement"
+                            .to_string(),
+                    ))
+                }
+            }
+        }
+        let probs = rho.diagonal_probabilities();
+        let readout = self.model.readout_error();
+        let mut hist = ShotHistogram::new();
+        match &suffix {
+            TerminalMeasure::All => {
+                let cum = cumulative(&probs);
+                for shot in 0..shots {
+                    let mut rng = self.shot_rng(shot);
+                    let r: f64 = rng.gen();
+                    let basis = StateVector::sample_from_cumulative(&cum, r);
+                    let mut bits = 0u64;
+                    for q in 0..n {
+                        let outcome = (basis >> q) & 1 == 1;
+                        set_bit(&mut bits, q, flip_readout(outcome, readout, &mut rng));
+                    }
+                    hist.record(bits);
+                }
+            }
+            TerminalMeasure::Run(qs) => {
+                // Marginalise the diagonal onto the measured qubits: pattern
+                // bit `j` is the outcome of `qs[j]`. A run can repeat a
+                // qubit, so its length (not the register size) bounds the
+                // pattern table.
+                if qs.len() > 2 * MAX_DENSITY_QUBITS {
+                    return Err(ExecuteError::Invalid(
+                        "terminal measure run too long for the density engine".to_string(),
+                    ));
+                }
+                let mut joint = vec![0.0f64; 1usize << qs.len()];
+                for (basis, p) in probs.iter().enumerate() {
+                    if *p <= 0.0 {
+                        continue;
+                    }
+                    let mut pattern = 0usize;
+                    for (j, &q) in qs.iter().enumerate() {
+                        if (basis >> q) & 1 == 1 {
+                            pattern |= 1 << j;
+                        }
+                    }
+                    joint[pattern] += p;
+                }
+                let cum = cumulative(&joint);
+                for shot in 0..shots {
+                    let mut rng = self.shot_rng(shot);
+                    let r: f64 = rng.gen();
+                    let pattern = StateVector::sample_from_cumulative(&cum, r);
+                    let mut bits = 0u64;
+                    for (j, &q) in qs.iter().enumerate() {
+                        let outcome = (pattern >> j) & 1 == 1;
+                        set_bit(&mut bits, q, flip_readout(outcome, readout, &mut rng));
+                    }
+                    hist.record(bits);
+                }
+            }
         }
         Ok(hist)
     }
@@ -627,6 +965,79 @@ impl Simulator {
             }
         }
     }
+}
+
+/// Lazily-memoised conditional measurement probabilities for a terminal
+/// per-qubit `measure` run over a frozen pre-measurement state.
+///
+/// Sampling a run of `k` measurements walks a binary outcome tree of depth
+/// `k`; each node's one-probability is computed once — by replaying the
+/// exact collapse chain full re-simulation would perform for that outcome
+/// prefix — and memoised under `(depth, prefix)`. Shots then only pay one
+/// `HashMap` probe and one RNG draw per measured qubit. The run length is
+/// capped at [`crate::plan::MAX_MEASURE_RUN_SAMPLING`] by plan analysis,
+/// bounding the tree.
+struct MeasureCascade<'a> {
+    base: &'a StateVector,
+    qs: &'a [usize],
+    /// `(depth, outcome-prefix bits)` → `P(qs[depth] = 1 | prefix)`.
+    cache: HashMap<(usize, u64), f64>,
+}
+
+impl<'a> MeasureCascade<'a> {
+    fn new(base: &'a StateVector, qs: &'a [usize]) -> Self {
+        MeasureCascade {
+            base,
+            qs,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// `P(qs[depth] = 1)` given the first `depth` outcomes in `prefix`
+    /// (bit `i` of `prefix` = outcome of `qs[i]`), computed exactly as a
+    /// full per-shot simulation would: collapse the measured qubits in
+    /// order on a clone of the frozen state, then read the probability.
+    fn p1(&mut self, depth: usize, prefix: u64) -> f64 {
+        if let Some(&p) = self.cache.get(&(depth, prefix)) {
+            return p;
+        }
+        let mut state = self.base.clone();
+        for (i, &q) in self.qs[..depth].iter().enumerate() {
+            state.collapse(q, (prefix >> i) & 1 == 1);
+        }
+        let p = state.probability_one(self.qs[depth]);
+        self.cache.insert((depth, prefix), p);
+        p
+    }
+
+    /// Draws one shot's classical bits, consuming exactly one `f64` from
+    /// `rng` per measured qubit — the same draws, in the same order, as
+    /// the full interpreter's `measure` handling.
+    fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let mut bits = 0u64;
+        let mut prefix = 0u64;
+        for depth in 0..self.qs.len() {
+            let p1 = self.p1(depth, prefix);
+            let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+            set_bit(&mut bits, self.qs[depth], outcome);
+            if outcome {
+                prefix |= 1 << depth;
+            }
+        }
+        bits
+    }
+}
+
+/// Running cumulative sum of a probability vector, for binary-search
+/// sampling via [`StateVector::sample_from_cumulative`].
+fn cumulative(probs: &[f64]) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in probs {
+        acc += p;
+        cum.push(acc);
+    }
+    cum
 }
 
 /// Converts a worker thread's panic payload into a typed error so a dead
@@ -954,6 +1365,247 @@ mod fast_path_tests {
         assert_eq!(h.count(0) + h.count((1 << 10) - 1), 2000);
         let p0 = h.probability(0);
         assert!((p0 - 0.5).abs() < 0.05, "p0 = {p0}");
+    }
+}
+
+#[cfg(test)]
+mod measure_run_fast_path_tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    /// A Bell pair measured qubit-by-qubit (not `measure_all`): the shape
+    /// the measure-run fast path targets.
+    fn bell_measured() -> Program {
+        Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure(0)
+            .measure(1)
+            .build()
+    }
+
+    /// The load-bearing equivalence test for the satellite: sampling a
+    /// terminal per-qubit measure run must reproduce full per-shot
+    /// re-simulation bit for bit.
+    #[test]
+    fn measure_run_fast_path_matches_full_resimulation() {
+        let ghz_measured = {
+            let mut b = Program::builder(5).gate(GateKind::H, &[0]);
+            for q in 0..4 {
+                b = b.gate(GateKind::Cnot, &[q, q + 1]);
+            }
+            // Measure in scrambled order to exercise non-trivial cascades.
+            b.measure(3)
+                .measure(0)
+                .measure(4)
+                .measure(1)
+                .measure(2)
+                .build()
+        };
+        for (name, p) in [("bell", bell_measured()), ("ghz5", ghz_measured)] {
+            let fast = Simulator::perfect().with_seed(123);
+            let slow = fast.clone().with_sampling_fast_path(false);
+            assert!(fast.compile(&p).unwrap().terminal_sampling(), "{name}");
+            let hf = fast.run_shots(&p, 2000).unwrap();
+            let hs = slow.run_shots(&p, 2000).unwrap();
+            assert_eq!(hf, hs, "{name}: measure-run fast path diverged");
+        }
+    }
+
+    #[test]
+    fn measure_run_fast_path_is_thread_count_independent() {
+        let sim = Simulator::perfect().with_seed(9);
+        let p = bell_measured();
+        let h1 = sim.run_shots_parallel(&p, 1000, 1).unwrap();
+        let h4 = sim.run_shots_parallel(&p, 1000, 4).unwrap();
+        assert_eq!(h1, h4);
+    }
+
+    #[test]
+    fn partial_measure_run_leaves_unmeasured_bits_clear() {
+        // Only q1 is measured; bit 0 must stay 0.
+        let p = Program::builder(2)
+            .gate(GateKind::X, &[1])
+            .measure(1)
+            .build();
+        let hist = Simulator::perfect().run_shots(&p, 50).unwrap();
+        assert_eq!(hist.count(0b10), 50);
+    }
+
+    #[test]
+    fn repeated_qubit_in_run_agrees_with_itself() {
+        let p = Program::builder(1)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .measure(0)
+            .build();
+        let fast = Simulator::perfect().with_seed(7);
+        let slow = fast.clone().with_sampling_fast_path(false);
+        assert_eq!(
+            fast.run_shots(&p, 500).unwrap(),
+            slow.run_shots(&p, 500).unwrap()
+        );
+    }
+}
+
+#[cfg(test)]
+mod plan_reuse_tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn bell() -> Program {
+        Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build()
+    }
+
+    #[test]
+    fn planned_run_equals_fresh_run() {
+        let sim = Simulator::perfect().with_seed(31);
+        let plan = sim.compile(&bell()).unwrap();
+        let planned = sim.run_shots_planned(&plan, 400, 2).unwrap();
+        let fresh = sim.run_shots_parallel(&bell(), 400, 2).unwrap();
+        assert_eq!(planned, fresh);
+    }
+
+    #[test]
+    fn shot_range_shards_merge_to_the_full_run() {
+        // Any disjoint cover of 0..shots merges to the single-call
+        // histogram — fast path, measure-run path and interpreter path.
+        let programs = [
+            bell(),
+            Program::builder(2)
+                .gate(GateKind::H, &[0])
+                .gate(GateKind::Cnot, &[0, 1])
+                .measure(0)
+                .measure(1)
+                .build(),
+        ];
+        let sims = [
+            Simulator::perfect().with_seed(5),
+            Simulator::with_model(QubitModel::realistic_depolarizing(0.02, 0.02, 0.01))
+                .with_seed(5),
+        ];
+        for p in &programs {
+            for sim in &sims {
+                let plan = sim.compile(p).unwrap();
+                let whole = sim.run_shots_planned(&plan, 300, 1).unwrap();
+                let mut merged = ShotHistogram::new();
+                for (lo, hi) in [(120, 300), (0, 77), (77, 120)] {
+                    merged.merge(&sim.run_shot_range(&plan, lo, hi));
+                }
+                assert_eq!(merged, whole);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shot_range_is_empty() {
+        let sim = Simulator::perfect();
+        let plan = sim.compile(&bell()).unwrap();
+        assert_eq!(sim.run_shot_range(&plan, 10, 10).shots(), 0);
+    }
+
+    #[test]
+    fn planned_run_applies_fault_injection() {
+        let sim = Simulator::perfect().with_fault_injection(FaultInjection {
+            shot_budget: None,
+            fail_at_shot: Some(3),
+        });
+        let plan = sim.compile(&bell()).unwrap();
+        assert_eq!(
+            sim.run_shots_planned(&plan, 100, 1),
+            Err(ExecuteError::InjectedFault { shot: 3 })
+        );
+    }
+}
+
+#[cfg(test)]
+mod density_engine_tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    fn bell() -> Program {
+        Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build()
+    }
+
+    #[test]
+    fn density_bell_matches_state_vector_statistics() {
+        let hist = Simulator::perfect()
+            .run_shots_density(&bell(), 2000)
+            .unwrap();
+        assert_eq!(hist.count(0b01) + hist.count(0b10), 0);
+        let p00 = hist.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 = {p00}");
+    }
+
+    #[test]
+    fn density_is_deterministic_per_seed() {
+        let sim = Simulator::perfect().with_seed(17);
+        assert_eq!(
+            sim.run_shots_density(&bell(), 300).unwrap(),
+            sim.run_shots_density(&bell(), 300).unwrap()
+        );
+    }
+
+    #[test]
+    fn density_measure_run_marginalises_correctly() {
+        // |+>|1>: measuring q1 then q0 — q1 always 1, q0 uniform.
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::X, &[1])
+            .measure(1)
+            .measure(0)
+            .build();
+        let hist = Simulator::perfect().run_shots_density(&p, 1000).unwrap();
+        assert_eq!(hist.count(0b00) + hist.count(0b01), 0);
+        let p10 = hist.probability(0b10);
+        assert!((p10 - 0.5).abs() < 0.06, "p10 = {p10}");
+    }
+
+    #[test]
+    fn density_noise_is_exact_not_sampled() {
+        // Depolarizing at p on X|0> leaves P(1) = 1 - 2p/3 exactly; the
+        // density engine must land near it even with heavy noise.
+        let p = Program::builder(1)
+            .gate(GateKind::X, &[0])
+            .measure(0)
+            .build();
+        let sim = Simulator::with_model(QubitModel::realistic_depolarizing(0.3, 0.0, 0.0));
+        let hist = sim.run_shots_density(&p, 4000).unwrap();
+        let p1 = hist.probability(1);
+        assert!((p1 - 0.8).abs() < 0.03, "p1 = {p1}");
+    }
+
+    #[test]
+    fn density_rejects_mid_circuit_measurement() {
+        let p = Program::builder(1)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::X, &[0])
+            .measure(0)
+            .build();
+        assert!(matches!(
+            Simulator::perfect().run_shots_density(&p, 10),
+            Err(ExecuteError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn density_rejects_oversized_registers() {
+        let mut b = Program::builder(MAX_DENSITY_QUBITS + 1);
+        b = b.gate(GateKind::X, &[0]);
+        let p = b.measure_all().build();
+        assert!(matches!(
+            Simulator::perfect().run_shots_density(&p, 10),
+            Err(ExecuteError::TooManyQubits { .. })
+        ));
     }
 }
 

@@ -33,6 +33,15 @@ impl ShotHistogram {
         self.shots += count;
     }
 
+    /// Folds another histogram into this one. Merging is a commutative,
+    /// associative sum per bit-string, so partial histograms produced by
+    /// disjoint shot ranges merge to the same total in any order.
+    pub fn merge(&mut self, other: &ShotHistogram) {
+        for (bits, count) in other.iter() {
+            self.record_many(bits, count);
+        }
+    }
+
     /// Total number of shots recorded.
     pub fn shots(&self) -> u64 {
         self.shots

@@ -53,10 +53,14 @@ pub mod plan;
 pub mod qubit_model;
 pub mod state;
 
+pub use density::{DensityMatrix, MAX_DENSITY_QUBITS};
 pub use error_model::ErrorChannel;
 pub use executor::{ExecuteError, FaultInjection, ShotResult, Simulator};
 pub use histogram::ShotHistogram;
 pub use observable::{Pauli, PauliString, PauliSum};
-pub use plan::{CompiledProgram, PlannedGate, PlannedOp, MAX_SIM_QUBITS};
+pub use plan::{
+    CompiledProgram, PlannedGate, PlannedOp, TerminalMeasure, MAX_MEASURE_RUN_SAMPLING,
+    MAX_SIM_QUBITS,
+};
 pub use qubit_model::{QubitModel, RealisticParams};
 pub use state::{par_min_qubits, parse_par_min_qubits, StateVector, PAR_MIN_QUBITS};

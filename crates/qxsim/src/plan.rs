@@ -12,11 +12,12 @@
 //! bitmask. Multi-thousand-shot runs then touch nothing but the amplitude
 //! vector and the RNG.
 //!
-//! Compilation also detects the *terminal sampling* shape — a noise-free
-//! program whose only non-unitary operation is a final `measure_all` — for
-//! which the executor evolves the state once and draws every shot from a
-//! cumulative probability table (see
-//! [`crate::StateVector::cumulative_probabilities`]).
+//! Compilation also detects the *terminal sampling* shapes — a noise-free
+//! program whose only non-unitary operations are a final `measure_all` or
+//! a final run of per-qubit `measure`s — for which the executor evolves
+//! the state once and draws every shot from the frozen final state (see
+//! [`crate::StateVector::cumulative_probabilities`] and the executor's
+//! conditional-outcome cascade).
 
 use crate::executor::ExecuteError;
 use crate::qubit_model::QubitModel;
@@ -62,13 +63,31 @@ pub enum PlannedOp {
     Wait(u64),
 }
 
+/// The measurement shape that closes a plan, when the plan ends in
+/// measurements with nothing after them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerminalMeasure {
+    /// One final `measure_all`.
+    All,
+    /// A final run of per-qubit `measure` instructions; the qubit indices
+    /// are in program order (a qubit may appear more than once).
+    Run(Vec<usize>),
+}
+
+/// The longest per-qubit terminal measure run the sampling fast path
+/// accepts. The conditional-outcome cascade caches one probability per
+/// realised outcome prefix, so the cache is bounded by `2^(run+1)` entries;
+/// longer runs fall back to full per-shot interpretation.
+pub const MAX_MEASURE_RUN_SAMPLING: usize = 16;
+
 /// A [`Program`] lowered against a [`QubitModel`], ready for repeated
 /// execution. Built by [`crate::Simulator::compile`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledProgram {
     n: usize,
     ops: Vec<PlannedOp>,
-    terminal_sampling: bool,
+    terminal: Option<TerminalMeasure>,
+    sampling: bool,
 }
 
 impl CompiledProgram {
@@ -117,15 +136,25 @@ impl CompiledProgram {
             && model.gate_channel(2).is_none()
             && !idle_active
             && model.readout_error() == 0.0;
-        let terminal_sampling = noise_free
-            && matches!(ops.last(), Some(PlannedOp::MeasureAll))
-            && ops[..ops.len() - 1]
-                .iter()
-                .all(|op| matches!(op, PlannedOp::Gate(_)));
+        let terminal = classify_terminal(&ops);
+        let sampling = noise_free
+            && match &terminal {
+                Some(TerminalMeasure::All) => ops[..ops.len() - 1]
+                    .iter()
+                    .all(|op| matches!(op, PlannedOp::Gate(_))),
+                Some(TerminalMeasure::Run(qs)) => {
+                    qs.len() <= MAX_MEASURE_RUN_SAMPLING
+                        && ops[..ops.len() - qs.len()]
+                            .iter()
+                            .all(|op| matches!(op, PlannedOp::Gate(_)))
+                }
+                None => false,
+            };
         Ok(CompiledProgram {
             n,
             ops,
-            terminal_sampling,
+            terminal,
+            sampling,
         })
     }
 
@@ -140,12 +169,58 @@ impl CompiledProgram {
     }
 
     /// Whether the plan qualifies for the multi-shot sampling fast path:
-    /// a noise-free unitary prefix followed by a single terminal
-    /// `measure_all`. Such a plan is evolved once and all shots are drawn
-    /// from the final distribution, which is statistically *and*
-    /// bit-for-bit identical to re-simulating every shot.
+    /// a noise-free unitary prefix followed either by a single terminal
+    /// `measure_all` or by a terminal run of per-qubit `measure`
+    /// instructions (at most [`MAX_MEASURE_RUN_SAMPLING`] of them). Such a
+    /// plan is evolved once and all shots are drawn from the frozen final
+    /// state, which is statistically *and* bit-for-bit identical to
+    /// re-simulating every shot.
     pub fn terminal_sampling(&self) -> bool {
-        self.terminal_sampling
+        self.sampling
+    }
+
+    /// The terminal measurement the sampling fast path would execute, or
+    /// `None` when the plan does not qualify (see
+    /// [`CompiledProgram::terminal_sampling`]).
+    pub fn sampling_measures(&self) -> Option<&TerminalMeasure> {
+        if self.sampling {
+            self.terminal.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// The measurement shape closing the plan, independent of noise: the
+    /// last operation(s) are a `measure_all` or a run of per-qubit
+    /// `measure`s with nothing after them. Unlike
+    /// [`CompiledProgram::sampling_measures`] this ignores the qubit model,
+    /// so exact-channel executors (the density-matrix engine) can use it on
+    /// noisy plans too.
+    pub fn terminal_measurement(&self) -> Option<&TerminalMeasure> {
+        self.terminal.as_ref()
+    }
+}
+
+/// Classifies the measurement suffix of a lowered op sequence: a final
+/// `measure_all`, or the maximal trailing run of per-qubit `measure`s.
+fn classify_terminal(ops: &[PlannedOp]) -> Option<TerminalMeasure> {
+    match ops.last()? {
+        PlannedOp::MeasureAll => Some(TerminalMeasure::All),
+        PlannedOp::Measure(_) => {
+            let start = ops
+                .iter()
+                .rposition(|op| !matches!(op, PlannedOp::Measure(_)))
+                .map_or(0, |i| i + 1);
+            let qs: Vec<usize> = ops[start..]
+                .iter()
+                .filter_map(|op| match op {
+                    PlannedOp::Measure(q) => Some(*q),
+                    _ => None,
+                })
+                .collect();
+            Some(TerminalMeasure::Run(qs))
+        }
+        _ => None,
     }
 }
 
@@ -340,6 +415,72 @@ mod tests {
             .run_shots(&measure_only, 50)
             .unwrap();
         assert_eq!(hist.count(0), 50);
+    }
+
+    #[test]
+    fn terminal_measure_runs_qualify_for_sampling() {
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure(1)
+            .measure(0)
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert!(plan.terminal_sampling());
+        assert_eq!(
+            plan.sampling_measures(),
+            Some(&TerminalMeasure::Run(vec![1, 0]))
+        );
+        assert_eq!(
+            plan.terminal_measurement(),
+            Some(&TerminalMeasure::Run(vec![1, 0]))
+        );
+    }
+
+    #[test]
+    fn measure_followed_by_gate_is_not_terminal() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::X, &[1])
+            .measure(1)
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        // Only the trailing `measure q[1]` is terminal; the mid-circuit
+        // measure in the prefix disqualifies the fast path.
+        assert!(!plan.terminal_sampling());
+        assert_eq!(plan.sampling_measures(), None);
+        assert_eq!(
+            plan.terminal_measurement(),
+            Some(&TerminalMeasure::Run(vec![1]))
+        );
+    }
+
+    #[test]
+    fn noisy_plans_keep_their_terminal_shape() {
+        let noisy = QubitModel::realistic_depolarizing(0.01, 0.01, 0.0);
+        let plan = CompiledProgram::compile(&bell(), &noisy).unwrap();
+        assert!(!plan.terminal_sampling());
+        assert_eq!(plan.terminal_measurement(), Some(&TerminalMeasure::All));
+    }
+
+    #[test]
+    fn oversized_measure_runs_fall_back() {
+        let n = 20;
+        let mut b = Program::builder(n);
+        for q in 0..n {
+            b = b.gate(GateKind::H, &[q]);
+        }
+        for q in 0..n {
+            b = b.measure(q);
+        }
+        let plan = CompiledProgram::compile(&b.build(), &QubitModel::Perfect).unwrap();
+        assert!(n > MAX_MEASURE_RUN_SAMPLING);
+        assert!(!plan.terminal_sampling(), "cascade cache must stay bounded");
+        assert!(matches!(
+            plan.terminal_measurement(),
+            Some(TerminalMeasure::Run(qs)) if qs.len() == n
+        ));
     }
 
     #[test]

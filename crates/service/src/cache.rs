@@ -1,0 +1,261 @@
+//! The content-addressed compiled-artifact cache.
+//!
+//! Keys are FNV-1a hashes of everything that determines the compiled
+//! artifact: the canonical cQASM text, the platform configuration, the
+//! compiler options and the qubit model (the qxsim plan bakes in the
+//! model's idle structure, so a model change must miss). Values are
+//! `Arc`-shared so a cache hit hands every worker the same compiled plan
+//! with no copying; eviction drops the cache's reference while in-flight
+//! runs keep theirs.
+
+use crate::hash::Fnv64;
+use openql::{CompileReport, CompilerOptions, Mapping, Platform};
+use qca_core::QubitKind;
+use qca_telemetry::Telemetry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Everything compilation produced for one (circuit, platform, options,
+/// model) key — shared read-only between workers and across requests.
+#[derive(Debug)]
+pub struct CompiledArtifact {
+    /// The compiled, scheduled cQASM program.
+    pub cqasm: cqasm::Program,
+    /// The OpenQL pass report.
+    pub report: CompileReport,
+    /// Final logical→physical mapping, when routing ran.
+    pub final_mapping: Option<Mapping>,
+    /// The lowered qxsim execution plan, replayed per shot.
+    pub plan: qxsim::CompiledProgram,
+}
+
+/// Computes the content address of a job's compiled artifact.
+///
+/// `canonical_text` must be the *canonical* form (parse → `Display`), so
+/// formatting differences between submissions of the same circuit still
+/// hit the same entry.
+pub fn artifact_key(
+    canonical_text: &str,
+    platform: &Platform,
+    options: &CompilerOptions,
+    qubits: &QubitKind,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_field(canonical_text);
+    h.write_field(&format!("{platform:?}"));
+    h.write_field(&format!("{options:?}"));
+    h.write_field(&format!("{qubits:?}"));
+    h.finish()
+}
+
+/// Cache hit/miss/eviction counters (monotonic over the cache lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an artifact.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Artifacts evicted to stay within capacity.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+    /// Maximum resident artifacts.
+    pub capacity: usize,
+}
+
+struct CacheState {
+    entries: HashMap<u64, (Arc<CompiledArtifact>, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded LRU cache of compiled artifacts, safe to share between
+/// worker threads.
+pub struct PlanCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` artifacts (minimum 1).
+    pub fn new(capacity: usize, telemetry: Telemetry) -> Self {
+        PlanCache {
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+            telemetry,
+        }
+    }
+
+    /// Looks up an artifact, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<CompiledArtifact>> {
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        let found = state.entries.get_mut(&key).map(|(artifact, stamp)| {
+            *stamp = clock;
+            Arc::clone(artifact)
+        });
+        match found {
+            Some(found) => {
+                state.hits += 1;
+                drop(state);
+                self.telemetry.incr("service.cache.hit", 1);
+                Some(found)
+            }
+            None => {
+                state.misses += 1;
+                drop(state);
+                self.telemetry.incr("service.cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts an artifact, evicting the least-recently-used entry if the
+    /// cache is full. Re-inserting an existing key refreshes it in place
+    /// (the race where two workers compile the same miss concurrently is
+    /// benign: both produce identical artifacts).
+    pub fn insert(&self, key: u64, artifact: Arc<CompiledArtifact>) {
+        let mut evicted = 0u64;
+        {
+            let mut state = self.lock();
+            state.clock += 1;
+            let clock = state.clock;
+            if !state.entries.contains_key(&key) && state.entries.len() >= self.capacity {
+                if let Some(lru) = state
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(k, _)| *k)
+                {
+                    state.entries.remove(&lru);
+                    state.evictions += 1;
+                    evicted = 1;
+                }
+            }
+            state.entries.insert(key, (artifact, clock));
+        }
+        if evicted > 0 {
+            self.telemetry.incr("service.cache.evict", evicted);
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.lock();
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            entries: state.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        // A poisoned lock means a worker panicked mid-update; cache state
+        // is a plain map + counters, always internally consistent, so
+        // recover the guard rather than propagating the panic.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qxsim::Simulator;
+
+    fn artifact(text: &str) -> Arc<CompiledArtifact> {
+        let program = cqasm::Program::parse(text).unwrap();
+        let out = openql::Compiler::new(Platform::perfect(program.qubit_count()))
+            .compile_cqasm(&program)
+            .unwrap();
+        let plan = Simulator::perfect().compile(&out.program).unwrap();
+        Arc::new(CompiledArtifact {
+            cqasm: out.program,
+            report: out.report,
+            final_mapping: out.final_mapping,
+            plan,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let cache = PlanCache::new(2, Telemetry::disabled());
+        assert!(cache.get(1).is_none());
+        cache.insert(1, artifact("qubits 1\nx q[0]\n"));
+        cache.insert(2, artifact("qubits 1\nh q[0]\n"));
+        assert!(cache.get(1).is_some());
+        // Inserting a third entry evicts key 2 (key 1 was touched later).
+        cache.insert(3, artifact("qubits 1\nz q[0]\n"));
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn key_depends_on_every_component() {
+        let platform = Platform::perfect(2);
+        let options = CompilerOptions::default();
+        let qubits = QubitKind::Perfect;
+        let base = artifact_key("qubits 2\nh q[0]\n", &platform, &options, &qubits);
+        assert_ne!(
+            base,
+            artifact_key("qubits 2\nx q[0]\n", &platform, &options, &qubits),
+            "text must change the key"
+        );
+        assert_ne!(
+            base,
+            artifact_key(
+                "qubits 2\nh q[0]\n",
+                &Platform::superconducting_grid(1, 2),
+                &options,
+                &qubits
+            ),
+            "platform must change the key"
+        );
+        let mut alap = options;
+        alap.schedule = openql::ScheduleDirection::Alap;
+        assert_ne!(
+            base,
+            artifact_key("qubits 2\nh q[0]\n", &platform, &alap, &qubits),
+            "options must change the key"
+        );
+        assert_ne!(
+            base,
+            artifact_key(
+                "qubits 2\nh q[0]\n",
+                &platform,
+                &options,
+                &QubitKind::real_transmon()
+            ),
+            "qubit model must change the key"
+        );
+    }
+}

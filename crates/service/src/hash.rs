@@ -1,0 +1,83 @@
+//! Content hashing for compiled-artifact addressing.
+//!
+//! FNV-1a is used deliberately: the key feeds a process-local cache, not a
+//! security boundary, and FNV is tiny, dependency-free and stable across
+//! platforms and runs (unlike `std`'s randomised `DefaultHasher`), so the
+//! same circuit always maps to the same artifact key — including across
+//! service restarts, which keeps logged keys meaningful.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incrementally-built 64-bit FNV-1a hash.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Folds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a string field into the hash, with a separator byte so
+    /// adjacent fields cannot alias (`"ab" + "c"` vs `"a" + "bc"`).
+    pub fn write_field(&mut self, field: &str) {
+        self.write(field.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash of one string (convenience for single-field keys).
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_separation_prevents_aliasing() {
+        let mut a = Fnv64::new();
+        a.write_field("ab");
+        a.write_field("c");
+        let mut b = Fnv64::new();
+        b.write_field("a");
+        b.write_field("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(fnv1a("qubits 2\nh q[0]\n"), fnv1a("qubits 2\nh q[0]\n"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Job types: what callers submit, how jobs progress, what they get back.
+
+use qca_core::QubitKind;
+use qxsim::ShotHistogram;
+use std::fmt;
+use std::sync::Arc;
+
+/// A ticket identifying one submitted job (unique per service instance,
+/// monotonically increasing in submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Which execution engine runs the shots. The dispatcher honours this per
+/// job: both engines consume the same cached compiled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Monte-Carlo trajectory sampling on the state-vector engine (the
+    /// default; scales to [`qxsim::MAX_SIM_QUBITS`] qubits).
+    #[default]
+    StateVector,
+    /// Exact channel evolution on the density-matrix engine (small
+    /// registers, up to [`qxsim::MAX_DENSITY_QUBITS`] qubits).
+    DensityMatrix,
+}
+
+impl Engine {
+    /// The wire name of this engine.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::StateVector => "statevector",
+            Engine::DensityMatrix => "density",
+        }
+    }
+
+    /// Parses a wire name (`"statevector"` / `"density"`).
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "statevector" => Some(Engine::StateVector),
+            "density" => Some(Engine::DensityMatrix),
+            _ => None,
+        }
+    }
+}
+
+/// One unit of work for the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The circuit, as cQASM source text (canonicalised and content-hashed
+    /// at submission).
+    pub circuit: String,
+    /// Number of measurement shots.
+    pub shots: u64,
+    /// RNG seed: results are a deterministic function of
+    /// (circuit, seed, model, engine), independent of worker count.
+    pub seed: u64,
+    /// Scheduling priority: higher runs first (FIFO within a priority).
+    pub priority: u8,
+    /// Per-job deadline in milliseconds from submission. A job still
+    /// queued when its deadline passes fails with
+    /// [`ServiceError::DeadlineExceeded`] instead of running.
+    pub deadline_ms: Option<u64>,
+    /// Which engine executes the shots.
+    pub engine: Engine,
+    /// The qubit model to simulate under.
+    pub qubits: QubitKind,
+}
+
+impl JobSpec {
+    /// A default-configured job for a circuit: 1000 shots, seed 0, normal
+    /// priority, no deadline, state-vector engine, perfect qubits.
+    pub fn new(circuit: impl Into<String>) -> Self {
+        JobSpec {
+            circuit: circuit.into(),
+            shots: 1000,
+            seed: 0,
+            priority: 0,
+            deadline_ms: None,
+            engine: Engine::StateVector,
+            qubits: QubitKind::Perfect,
+        }
+    }
+
+    /// Sets the shot count.
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the priority (higher runs first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline in milliseconds from submission.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Sets the execution engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the qubit model.
+    pub fn with_qubits(mut self, qubits: QubitKind) -> Self {
+        self.qubits = qubits;
+        self
+    }
+}
+
+/// What a finished job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Aggregated measurement histogram over all shots.
+    pub histogram: ShotHistogram,
+    /// Whether the compiled plan came from the artifact cache.
+    pub cache_hit: bool,
+    /// How many coalesced jobs this execution served (1 = just this job).
+    pub batch_size: usize,
+    /// Number of shot shards the sweep was split into.
+    pub shards: usize,
+    /// Time spent queued, in microseconds.
+    pub wait_us: u64,
+    /// Time spent compiling + executing, in microseconds.
+    pub exec_us: u64,
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it (or a batch containing it).
+    Running,
+    /// Finished successfully.
+    Done(Arc<JobOutcome>),
+    /// Failed (compile error, execution error, expired deadline).
+    Failed(ServiceError),
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The wire name of this status.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done(_) | JobStatus::Failed(_) | JobStatus::Cancelled
+        )
+    }
+}
+
+/// Typed service-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The admission queue is full — backpressure; retry later.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The circuit failed to parse.
+    Parse(String),
+    /// Compilation failed.
+    Compile(String),
+    /// Execution failed.
+    Execute(String),
+    /// The job's deadline passed before a worker could start it.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline_ms: u64,
+    },
+    /// No job with that id exists.
+    UnknownJob(u64),
+    /// The job was cancelled before it ran.
+    Cancelled,
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// Waiting for a result timed out (the job may still complete).
+    WaitTimeout,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServiceError::Parse(m) => write!(f, "parse: {m}"),
+            ServiceError::Compile(m) => write!(f, "compile: {m}"),
+            ServiceError::Execute(m) => write!(f, "execute: {m}"),
+            ServiceError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms passed while queued")
+            }
+            ServiceError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            ServiceError::Cancelled => write!(f, "job was cancelled"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::WaitTimeout => write!(f, "timed out waiting for the result"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [Engine::StateVector, Engine::DensityMatrix] {
+            assert_eq!(Engine::parse(e.name()), Some(e));
+        }
+        assert_eq!(Engine::parse("quantum-annealer"), None);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let spec = JobSpec::new("qubits 1\nx q[0]\n")
+            .with_shots(42)
+            .with_seed(7)
+            .with_priority(3)
+            .with_deadline_ms(500)
+            .with_engine(Engine::DensityMatrix)
+            .with_qubits(QubitKind::real_transmon());
+        assert_eq!(spec.shots, 42);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.priority, 3);
+        assert_eq!(spec.deadline_ms, Some(500));
+        assert_eq!(spec.engine, Engine::DensityMatrix);
+    }
+
+    #[test]
+    fn terminal_statuses() {
+        assert!(!JobStatus::Queued.is_terminal());
+        assert!(!JobStatus::Running.is_terminal());
+        assert!(JobStatus::Cancelled.is_terminal());
+        assert!(JobStatus::Failed(ServiceError::WaitTimeout).is_terminal());
+    }
+}

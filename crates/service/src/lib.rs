@@ -1,0 +1,52 @@
+//! qca-service: the accelerator serving runtime.
+//!
+//! Turns the single-shot [`qca_core::FullStack`] pipeline into a served
+//! accelerator in the sense of the paper's full-stack architecture (the
+//! quantum device as a co-processor behind a queue, not a library call):
+//!
+//! - **Content-addressed plan cache** ([`PlanCache`]): compiled artifacts
+//!   keyed by FNV-1a over (canonical cQASM, platform, compiler options,
+//!   qubit model); repeat submissions skip compilation entirely.
+//! - **Job scheduler** ([`Service`]): bounded admission queue with
+//!   priorities, per-job deadlines, cancellation and typed backpressure;
+//!   identical queued jobs coalesce into one execution.
+//! - **Worker pool**: `std::thread` workers dispatch per-job engines
+//!   (state-vector or density-matrix) and split large sweeps into
+//!   shot-range shards whose merged histogram is bit-identical to a
+//!   single-worker run.
+//! - **Front-ends**: the in-process [`ServiceHandle`] and a
+//!   newline-delimited-JSON TCP server ([`TcpServer`], the `qca-serve`
+//!   binary).
+//!
+//! Std-only by design: no async runtime, no serde — the queue is a
+//! `Mutex` + `Condvar`, the wire format reuses `qca_telemetry`'s JSON.
+//!
+//! ```
+//! use qca_service::{JobSpec, Service};
+//! use std::time::Duration;
+//!
+//! let service = Service::start();
+//! let handle = service.handle();
+//! let job = handle
+//!     .submit(JobSpec::new("qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n"))
+//!     .unwrap();
+//! let outcome = handle.wait(job, Duration::from_secs(10)).unwrap();
+//! assert_eq!(outcome.histogram.shots(), 1000);
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+pub mod cache;
+pub mod hash;
+pub mod job;
+pub mod service;
+pub mod tcp;
+pub mod wire;
+
+pub use cache::{artifact_key, CacheStats, CompiledArtifact, PlanCache};
+pub use hash::{fnv1a, Fnv64};
+pub use job::{Engine, JobId, JobOutcome, JobSpec, JobStatus, ServiceError};
+pub use service::{PlatformSpec, Service, ServiceConfig, ServiceHandle, ServiceStats};
+pub use tcp::TcpServer;

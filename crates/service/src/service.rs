@@ -1,0 +1,1085 @@
+//! The serving runtime: admission queue, coalescing scheduler, worker
+//! pool, shot sharding and the in-process client handle.
+//!
+//! # Scheduling model
+//!
+//! Submission parses and content-hashes the circuit, then admits the job
+//! to a bounded priority queue (higher priority first, FIFO within a
+//! priority; a full queue rejects with [`ServiceError::QueueFull`] —
+//! backpressure, not buffering). Worker threads pop entries and:
+//!
+//! 1. **Coalesce** — every still-queued job with the same execution key
+//!    (circuit hash + seed + shots + engine + model) is batched and served
+//!    by this one execution.
+//! 2. **Resolve the plan** — the content-addressed [`PlanCache`] either
+//!    hands back a shared `Arc` (hit: no compile work, no compile span) or
+//!    the worker compiles and inserts (miss).
+//! 3. **Execute** — large state-vector sweeps are split into shot-range
+//!    shards re-enqueued for the whole pool; per-shot counter-derived RNG
+//!    streams make the merged histogram bit-identical to a single-worker
+//!    run (see [`qxsim::Simulator::run_shot_range`]).
+//!
+//! Results are delivered through [`ServiceHandle::wait`]/`poll`; every
+//! stage records telemetry (queue depth, wait vs execute latency, cache
+//! hit rate, batch and shard sizes) into the service's
+//! [`qca_telemetry::Telemetry`] context.
+
+use crate::cache::{artifact_key, CacheStats, CompiledArtifact, PlanCache};
+use crate::hash::Fnv64;
+use crate::job::{Engine, JobId, JobOutcome, JobSpec, JobStatus, ServiceError};
+use openql::{Compiler, CompilerOptions, Platform};
+use qca_telemetry::Telemetry;
+use qxsim::{ShotHistogram, Simulator};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How the service chooses the compile platform for each job.
+#[derive(Debug, Clone)]
+pub enum PlatformSpec {
+    /// A fully-connected perfect platform sized to each circuit (the
+    /// application-development default).
+    PerfectSized,
+    /// One fixed platform shared by every job (circuits must fit it).
+    Fixed(Platform),
+}
+
+impl PlatformSpec {
+    fn platform_for(&self, qubit_count: usize) -> Platform {
+        match self {
+            PlatformSpec::PerfectSized => Platform::perfect(qubit_count),
+            PlatformSpec::Fixed(p) => p.clone(),
+        }
+    }
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (minimum 1).
+    pub workers: usize,
+    /// Admission queue capacity; submissions beyond it are rejected with
+    /// [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Compiled-artifact cache capacity (entries).
+    pub cache_capacity: usize,
+    /// State-vector jobs with at least this many shots are split into
+    /// per-worker shot-range shards.
+    pub shard_min_shots: u64,
+    /// Compile platform selection.
+    pub platform: PlatformSpec,
+    /// Compiler options applied to every job.
+    pub options: CompilerOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity: 64,
+            shard_min_shots: 4096,
+            platform: PlatformSpec::PerfectSized,
+            options: CompilerOptions::default(),
+        }
+    }
+}
+
+/// A snapshot of service-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs rejected by backpressure.
+    pub rejected: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs failed (compile/execute/deadline).
+    pub failed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Jobs that rode along in another job's batch.
+    pub coalesced: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Artifact-cache counters.
+    pub cache: CacheStats,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Totals {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    coalesced: u64,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    program: cqasm::Program,
+    platform: Platform,
+    artifact_key: u64,
+    exec_key: u64,
+    submitted_at: Instant,
+    status: JobStatus,
+}
+
+/// One shot-range shard of a sharded sweep, claimable by any worker.
+struct ShardTask {
+    sim: Simulator,
+    artifact: Arc<CompiledArtifact>,
+    batch: Vec<JobId>,
+    cache_hit: bool,
+    shards: usize,
+    exec_started: Instant,
+    started_at: Instant,
+    merge: Mutex<(ShotHistogram, usize)>,
+}
+
+enum Item {
+    Lead(JobId),
+    Shard {
+        task: Arc<ShardTask>,
+        lo: u64,
+        hi: u64,
+    },
+}
+
+struct QueueEntry {
+    priority: u8,
+    seq: u64,
+    item: Item,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier sequence number.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct SchedState {
+    queue: BinaryHeap<QueueEntry>,
+    jobs: HashMap<u64, JobRecord>,
+    /// Execution key → still-queued job ids, for coalescing.
+    pending: HashMap<u64, Vec<u64>>,
+    next_id: u64,
+    next_seq: u64,
+    queued: usize,
+    running: usize,
+    shutdown: bool,
+    totals: Totals,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    job_done: Condvar,
+    cache: PlanCache,
+    config: ServiceConfig,
+    telemetry: Telemetry,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A cloneable client handle to a running [`Service`]: submit jobs, poll
+/// or wait for results, cancel queued work, read stats.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The serving runtime: owns the worker pool. Dropping the service (or
+/// calling [`Service::shutdown`]) stops admission, drains the queue and
+/// joins the workers.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts a service with default configuration.
+    pub fn start() -> Self {
+        Service::with_config(ServiceConfig::default())
+    }
+
+    /// Starts a service with the given configuration and a disabled
+    /// telemetry context.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        Service::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Starts a service recording per-stage telemetry (queue depth, wait
+    /// vs execute latency, cache hit rate, batch/shard sizes) into the
+    /// given context.
+    pub fn with_telemetry(mut config: ServiceConfig, telemetry: Telemetry) -> Self {
+        config.workers = config.workers.max(1);
+        config.queue_capacity = config.queue_capacity.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                queue: BinaryHeap::new(),
+                jobs: HashMap::new(),
+                pending: HashMap::new(),
+                next_id: 1,
+                next_seq: 0,
+                queued: 0,
+                running: 0,
+                shutdown: false,
+                totals: Totals::default(),
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            cache: PlanCache::new(config.cache_capacity, telemetry.clone()),
+            config,
+            telemetry,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let named = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("qca-service-worker-{i}"))
+                        .spawn(move || worker_loop(&shared))
+                };
+                named.unwrap_or_else(|_| {
+                    // Naming a thread can fail on exotic platforms; an
+                    // anonymous worker is better than a smaller pool.
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&shared))
+                })
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// A client handle (cheap to clone, safe to share across threads).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The service telemetry context.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Stops admission, drains the remaining queue and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl ServiceHandle {
+    /// Submits a job: parses and content-hashes the circuit, admits it to
+    /// the queue and returns its ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Parse`] for invalid cQASM,
+    /// [`ServiceError::QueueFull`] under backpressure,
+    /// [`ServiceError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServiceError> {
+        let shared = &self.shared;
+        let program =
+            cqasm::Program::parse(&spec.circuit).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        // Canonical form: parse → pretty-print, so formatting differences
+        // between submissions hash identically.
+        let canonical = program.to_string();
+        let platform = shared.config.platform.platform_for(program.qubit_count());
+        let akey = artifact_key(&canonical, &platform, &shared.config.options, &spec.qubits);
+        let exec_key = {
+            let mut h = Fnv64::new();
+            h.write(&akey.to_le_bytes());
+            h.write(&spec.seed.to_le_bytes());
+            h.write(&spec.shots.to_le_bytes());
+            h.write_field(spec.engine.name());
+            h.finish()
+        };
+        let mut state = shared.lock();
+        if state.shutdown {
+            shared.telemetry.incr("service.jobs.rejected", 1);
+            return Err(ServiceError::ShuttingDown);
+        }
+        if state.queued >= shared.config.queue_capacity {
+            state.totals.rejected += 1;
+            drop(state);
+            shared.telemetry.incr("service.jobs.rejected", 1);
+            return Err(ServiceError::QueueFull {
+                capacity: shared.config.queue_capacity,
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let priority = spec.priority;
+        state.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                program,
+                platform,
+                artifact_key: akey,
+                exec_key,
+                submitted_at: Instant::now(),
+                status: JobStatus::Queued,
+            },
+        );
+        state.pending.entry(exec_key).or_default().push(id);
+        state.queue.push(QueueEntry {
+            priority,
+            seq,
+            item: Item::Lead(JobId(id)),
+        });
+        state.queued += 1;
+        state.totals.submitted += 1;
+        let depth = state.queued;
+        drop(state);
+        shared.telemetry.incr("service.jobs.submitted", 1);
+        shared
+            .telemetry
+            .record_value("service.queue.depth", depth as f64);
+        shared.work_ready.notify_one();
+        Ok(JobId(id))
+    }
+
+    /// The job's current status.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for a ticket this service never issued.
+    pub fn poll(&self, id: JobId) -> Result<JobStatus, ServiceError> {
+        let state = self.shared.lock();
+        state
+            .jobs
+            .get(&id.0)
+            .map(|r| r.status.clone())
+            .ok_or(ServiceError::UnknownJob(id.0))
+    }
+
+    /// Blocks until the job reaches a terminal state (or `timeout`
+    /// passes) and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// The job's own failure, [`ServiceError::WaitTimeout`] on timeout,
+    /// [`ServiceError::UnknownJob`] for a foreign ticket.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Result<Arc<JobOutcome>, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            match state.jobs.get(&id.0) {
+                None => return Err(ServiceError::UnknownJob(id.0)),
+                Some(record) => match &record.status {
+                    JobStatus::Done(outcome) => return Ok(Arc::clone(outcome)),
+                    JobStatus::Failed(err) => return Err(err.clone()),
+                    JobStatus::Cancelled => return Err(ServiceError::Cancelled),
+                    JobStatus::Queued | JobStatus::Running => {}
+                },
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServiceError::WaitTimeout);
+            }
+            let (guard, _result) = match self.shared.job_done.wait_timeout(state, deadline - now) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let pair = poisoned.into_inner();
+                    (pair.0, pair.1)
+                }
+            };
+            state = guard;
+        }
+    }
+
+    /// Cancels a queued job. Returns `true` if the job was still queued
+    /// (it will never run); `false` if it already started or finished.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for a foreign ticket.
+    pub fn cancel(&self, id: JobId) -> Result<bool, ServiceError> {
+        let mut state = self.shared.lock();
+        let record = state
+            .jobs
+            .get_mut(&id.0)
+            .ok_or(ServiceError::UnknownJob(id.0))?;
+        if record.status != JobStatus::Queued {
+            return Ok(false);
+        }
+        record.status = JobStatus::Cancelled;
+        state.queued -= 1;
+        state.totals.cancelled += 1;
+        drop(state);
+        self.shared.telemetry.incr("service.jobs.cancelled", 1);
+        self.shared.job_done.notify_all();
+        Ok(true)
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let state = self.shared.lock();
+        ServiceStats {
+            submitted: state.totals.submitted,
+            rejected: state.totals.rejected,
+            completed: state.totals.completed,
+            failed: state.totals.failed,
+            cancelled: state.totals.cancelled,
+            coalesced: state.totals.coalesced,
+            queued: state.queued,
+            running: state.running,
+            workers: self.shared.config.workers,
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    /// The service telemetry context.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let entry = {
+            let mut state = shared.lock();
+            loop {
+                if let Some(entry) = state.queue.pop() {
+                    break Some(entry);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = match shared.work_ready.wait(state) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        match entry {
+            None => return,
+            Some(QueueEntry {
+                item: Item::Shard { task, lo, hi },
+                ..
+            }) => run_shard(shared, &task, lo, hi),
+            Some(QueueEntry {
+                item: Item::Lead(id),
+                priority,
+                ..
+            }) => lead_job(shared, id, priority),
+        }
+    }
+}
+
+/// Handles a popped lead entry: coalesce the batch, resolve the plan,
+/// execute (sharded or inline) and deliver outcomes.
+fn lead_job(shared: &Shared, id: JobId, priority: u8) {
+    // Phase 1 (under the lock): validate, enforce the deadline, coalesce.
+    let (batch, spec, program, platform, akey) = {
+        let mut state = shared.lock();
+        let record = match state.jobs.get(&id.0) {
+            Some(r) => r,
+            None => return,
+        };
+        // Cancelled, or already served by an earlier batch.
+        if record.status != JobStatus::Queued {
+            return;
+        }
+        if let Some(deadline_ms) = record.spec.deadline_ms {
+            if record.submitted_at.elapsed() >= Duration::from_millis(deadline_ms) {
+                let err = ServiceError::DeadlineExceeded { deadline_ms };
+                if let Some(r) = state.jobs.get_mut(&id.0) {
+                    r.status = JobStatus::Failed(err);
+                }
+                state.queued -= 1;
+                state.totals.failed += 1;
+                drop(state);
+                shared.telemetry.incr("service.jobs.deadline_expired", 1);
+                shared.job_done.notify_all();
+                return;
+            }
+        }
+        let exec_key = record.exec_key;
+        let spec = record.spec.clone();
+        let program = record.program.clone();
+        let platform = record.platform.clone();
+        let akey = record.artifact_key;
+        // Coalesce every still-queued job with the same execution key
+        // (including this one) into one batch.
+        let ids = state.pending.remove(&exec_key).unwrap_or_default();
+        let mut batch = Vec::with_capacity(ids.len().max(1));
+        for jid in ids {
+            if let Some(r) = state.jobs.get_mut(&jid) {
+                if r.status == JobStatus::Queued {
+                    r.status = JobStatus::Running;
+                    batch.push(JobId(jid));
+                }
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        state.queued -= batch.len();
+        state.running += batch.len();
+        state.totals.coalesced += (batch.len() - 1) as u64;
+        (batch, spec, program, platform, akey)
+    };
+    let started_at = Instant::now();
+    shared
+        .telemetry
+        .record_value("service.batch.jobs", batch.len() as f64);
+    if batch.len() > 1 {
+        shared
+            .telemetry
+            .incr("service.jobs.coalesced", (batch.len() - 1) as u64);
+    }
+    let _exec_span = shared.telemetry.span("service", "execute");
+
+    // Phase 2 (no lock): resolve the compiled artifact.
+    let artifact = shared.cache.get(akey);
+    let cache_hit = artifact.is_some();
+    let artifact = match artifact {
+        Some(found) => Ok(found),
+        None => compile_artifact(shared, &program, &platform, &spec),
+    };
+    let artifact = match artifact {
+        Ok(a) => a,
+        Err(err) => {
+            finish_batch(shared, &batch, Err(err), false, 1, started_at, started_at);
+            return;
+        }
+    };
+
+    // Phase 3: execute. Shard large state-vector sweeps across the pool.
+    let sim = Simulator::with_model(spec.qubits.to_model()).with_seed(spec.seed);
+    let exec_started = Instant::now();
+    let shards = if spec.engine == Engine::StateVector
+        && shared.config.workers > 1
+        && spec.shots >= shared.config.shard_min_shots
+    {
+        shared
+            .config
+            .workers
+            .min(usize::try_from(spec.shots / shared.config.shard_min_shots.max(1)).unwrap_or(1))
+    } else {
+        1
+    }
+    .max(1);
+    if shards > 1 {
+        let task = Arc::new(ShardTask {
+            sim,
+            artifact,
+            batch,
+            cache_hit,
+            shards,
+            exec_started,
+            started_at,
+            merge: Mutex::new((ShotHistogram::new(), shards)),
+        });
+        {
+            let mut state = shared.lock();
+            for t in 1..shards {
+                let lo = spec.shots * t as u64 / shards as u64;
+                let hi = spec.shots * (t as u64 + 1) / shards as u64;
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.queue.push(QueueEntry {
+                    priority,
+                    seq,
+                    item: Item::Shard {
+                        task: Arc::clone(&task),
+                        lo,
+                        hi,
+                    },
+                });
+            }
+        }
+        shared.work_ready.notify_all();
+        shared
+            .telemetry
+            .record_value("service.batch.shards", shards as f64);
+        // This worker takes the first shard itself.
+        run_shard(shared, &task, 0, spec.shots / shards as u64);
+        return;
+    }
+    let result = match spec.engine {
+        Engine::StateVector => sim
+            .run_shots_planned(&artifact.plan, spec.shots, 1)
+            .map_err(|e| ServiceError::Execute(e.to_string())),
+        Engine::DensityMatrix => sim
+            .run_density_planned(&artifact.plan, spec.shots)
+            .map_err(|e| ServiceError::Execute(e.to_string())),
+    };
+    finish_batch(
+        shared,
+        &batch,
+        result,
+        cache_hit,
+        1,
+        started_at,
+        exec_started,
+    );
+}
+
+/// Compiles a cache miss under the service compile span and publishes the
+/// artifact. The span exists *only* on this path: a warm cache emits no
+/// compile span (the acceptance criterion for cached submissions).
+fn compile_artifact(
+    shared: &Shared,
+    program: &cqasm::Program,
+    platform: &Platform,
+    spec: &JobSpec,
+) -> Result<Arc<CompiledArtifact>, ServiceError> {
+    let _span = shared.telemetry.span("service", "compile");
+    let out = Compiler::with_options(platform.clone(), shared.config.options)
+        .with_telemetry(shared.telemetry.clone())
+        .compile_cqasm(program)
+        .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    let plan = Simulator::with_model(spec.qubits.to_model())
+        .compile(&out.program)
+        .map_err(|e| ServiceError::Compile(e.to_string()))?;
+    let artifact = Arc::new(CompiledArtifact {
+        cqasm: out.program,
+        report: out.report,
+        final_mapping: out.final_mapping,
+        plan,
+    });
+    let akey = artifact_key(
+        &program.to_string(),
+        platform,
+        &shared.config.options,
+        &spec.qubits,
+    );
+    shared.cache.insert(akey, Arc::clone(&artifact));
+    Ok(artifact)
+}
+
+/// Executes one shot-range shard and, if it was the last one, finalises
+/// the batch. Merging partial histograms is commutative, so completion
+/// order does not affect the result.
+fn run_shard(shared: &Shared, task: &Arc<ShardTask>, lo: u64, hi: u64) {
+    let part = task.sim.run_shot_range(&task.artifact.plan, lo, hi);
+    let finished = {
+        let mut merge = match task.merge.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        merge.0.merge(&part);
+        merge.1 -= 1;
+        if merge.1 == 0 {
+            Some(std::mem::take(&mut merge.0))
+        } else {
+            None
+        }
+    };
+    if let Some(full) = finished {
+        finish_batch(
+            shared,
+            &task.batch,
+            Ok(full),
+            task.cache_hit,
+            task.shards,
+            task.started_at,
+            task.exec_started,
+        );
+    }
+}
+
+/// Delivers one execution's result to every job in its batch and records
+/// the latency telemetry.
+fn finish_batch(
+    shared: &Shared,
+    batch: &[JobId],
+    result: Result<ShotHistogram, ServiceError>,
+    cache_hit: bool,
+    shards: usize,
+    started_at: Instant,
+    exec_started: Instant,
+) {
+    let exec_us = u64::try_from(exec_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let mut state = shared.lock();
+    state.running -= batch.len();
+    for id in batch {
+        let Some(record) = state.jobs.get_mut(&id.0) else {
+            continue;
+        };
+        let wait_us = u64::try_from(
+            started_at
+                .saturating_duration_since(record.submitted_at)
+                .as_micros(),
+        )
+        .unwrap_or(u64::MAX);
+        shared
+            .telemetry
+            .record_value("service.job.wait_us", wait_us as f64);
+        shared
+            .telemetry
+            .record_value("service.job.exec_us", exec_us as f64);
+        match &result {
+            Ok(histogram) => {
+                record.status = JobStatus::Done(Arc::new(JobOutcome {
+                    histogram: histogram.clone(),
+                    cache_hit,
+                    batch_size: batch.len(),
+                    shards,
+                    wait_us,
+                    exec_us,
+                }));
+                state.totals.completed += 1;
+            }
+            Err(err) => {
+                record.status = JobStatus::Failed(err.clone());
+                state.totals.failed += 1;
+            }
+        }
+    }
+    let (completed, failed) = match &result {
+        Ok(_) => (batch.len() as u64, 0),
+        Err(_) => (0, batch.len() as u64),
+    };
+    drop(state);
+    if completed > 0 {
+        shared.telemetry.incr("service.jobs.completed", completed);
+    }
+    if failed > 0 {
+        shared.telemetry.incr("service.jobs.failed", failed);
+    }
+    shared.job_done.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use qca_core::QubitKind;
+
+    const BELL: &str = "qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n";
+
+    /// A circuit the sampling fast path cannot serve (mid-circuit
+    /// measurement forces per-shot interpretation), used to keep the
+    /// single worker busy while the test arranges the queue behind it.
+    fn slow_circuit() -> String {
+        let mut s = String::from("qubits 12\n");
+        for q in 0..12 {
+            s.push_str(&format!("h q[{q}]\n"));
+        }
+        s.push_str("measure q[0]\n");
+        for q in 0..12 {
+            s.push_str(&format!("h q[{q}]\n"));
+        }
+        s.push_str("measure_all\n");
+        s
+    }
+
+    fn single_worker(queue_capacity: usize) -> Service {
+        Service::with_config(ServiceConfig {
+            workers: 1,
+            queue_capacity,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// Submits a slow job and blocks until the worker has dequeued it,
+    /// so everything submitted next stays queued behind it.
+    fn occupy_worker(handle: &ServiceHandle) -> JobId {
+        let id = handle
+            .submit(JobSpec::new(slow_circuit()).with_shots(400))
+            .unwrap();
+        while handle.stats().running == 0 {
+            std::thread::yield_now();
+        }
+        id
+    }
+
+    fn wait(handle: &ServiceHandle, id: JobId) -> Arc<JobOutcome> {
+        handle.wait(id, Duration::from_secs(60)).unwrap()
+    }
+
+    #[test]
+    fn submit_wait_roundtrip_on_the_bell_state() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let id = handle.submit(JobSpec::new(BELL).with_shots(500)).unwrap();
+        let outcome = wait(&handle, id);
+        assert_eq!(outcome.histogram.shots(), 500);
+        for (bits, _) in outcome.histogram.iter() {
+            assert!(bits == 0b00 || bits == 0b11, "non-Bell outcome {bits:#b}");
+        }
+        assert!(!outcome.cache_hit, "first submission must compile");
+        assert_eq!(outcome.batch_size, 1);
+        let stats = handle.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cache.misses, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeat_submission_hits_the_cache() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let cold = wait(
+            &handle,
+            handle.submit(JobSpec::new(BELL).with_seed(7)).unwrap(),
+        );
+        // Same circuit in different formatting: canonicalisation makes it
+        // the same artifact.
+        let warm = wait(
+            &handle,
+            handle
+                .submit(
+                    JobSpec::new("qubits 2\n h  q[0]\ncnot q[0],q[1]\nmeasure_all\n").with_seed(7),
+                )
+                .unwrap(),
+        );
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(cold.histogram, warm.histogram, "seeded runs must agree");
+        let stats = handle.stats();
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_circuits_are_rejected_at_submission() {
+        let service = single_worker(4);
+        let handle = service.handle();
+        let err = handle.submit(JobSpec::new("qubits 1\nwarp q[0]\n"));
+        assert!(matches!(err, Err(ServiceError::Parse(_))), "{err:?}");
+        assert_eq!(handle.stats().submitted, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let service = single_worker(2);
+        let handle = service.handle();
+        let blocker = occupy_worker(&handle);
+        handle.submit(JobSpec::new(BELL).with_seed(1)).unwrap();
+        handle.submit(JobSpec::new(BELL).with_seed(2)).unwrap();
+        let err = handle.submit(JobSpec::new(BELL).with_seed(3));
+        assert_eq!(err, Err(ServiceError::QueueFull { capacity: 2 }));
+        assert_eq!(handle.stats().rejected, 1);
+        wait(&handle, blocker);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queued_jobs_can_be_cancelled_but_running_jobs_cannot() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let blocker = occupy_worker(&handle);
+        let queued = handle.submit(JobSpec::new(BELL)).unwrap();
+        assert_eq!(handle.cancel(queued), Ok(true));
+        assert_eq!(handle.poll(queued), Ok(JobStatus::Cancelled));
+        assert_eq!(
+            handle.wait(queued, Duration::from_secs(1)),
+            Err(ServiceError::Cancelled)
+        );
+        assert_eq!(handle.cancel(blocker), Ok(false), "already running");
+        wait(&handle, blocker);
+        assert_eq!(handle.stats().cancelled, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_fail_instead_of_running() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let blocker = occupy_worker(&handle);
+        let doomed = handle
+            .submit(JobSpec::new(BELL).with_deadline_ms(1))
+            .unwrap();
+        let err = handle.wait(doomed, Duration::from_secs(60));
+        assert_eq!(err, Err(ServiceError::DeadlineExceeded { deadline_ms: 1 }));
+        wait(&handle, blocker);
+        let stats = handle.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn identical_queued_jobs_coalesce_into_one_execution() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let blocker = occupy_worker(&handle);
+        let spec = JobSpec::new(BELL).with_seed(11).with_shots(200);
+        let ids: Vec<JobId> = (0..3)
+            .map(|_| handle.submit(spec.clone()).unwrap())
+            .collect();
+        wait(&handle, blocker);
+        let outcomes: Vec<Arc<JobOutcome>> = ids.iter().map(|&id| wait(&handle, id)).collect();
+        for outcome in &outcomes {
+            assert_eq!(outcome.batch_size, 3);
+            assert_eq!(outcome.histogram, outcomes[0].histogram);
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.completed, 4);
+        // One compile for the blocker, one for the whole batch.
+        assert_eq!(stats.cache.misses, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn higher_priority_jobs_dequeue_first() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let blocker = occupy_worker(&handle);
+        // Distinct seeds so nothing coalesces; submitted low-to-high.
+        let ids: Vec<JobId> = (0..4u8)
+            .map(|p| {
+                handle
+                    .submit(JobSpec::new(BELL).with_seed(u64::from(p)).with_priority(p))
+                    .unwrap()
+            })
+            .collect();
+        wait(&handle, blocker);
+        let waits: Vec<u64> = ids.iter().map(|&id| wait(&handle, id).wait_us).collect();
+        for pair in waits.windows(2) {
+            assert!(
+                pair[0] > pair[1],
+                "lower priority must wait longer: {waits:?}"
+            );
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn sharded_sweeps_match_the_single_worker_histogram() {
+        let spec = JobSpec::new(BELL).with_seed(3).with_shots(20_000);
+        let serial = Service::with_config(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let reference = wait(
+            &serial.handle(),
+            serial.handle().submit(spec.clone()).unwrap(),
+        );
+        assert_eq!(reference.shards, 1);
+        serial.shutdown();
+        let pooled = Service::with_config(ServiceConfig {
+            workers: 4,
+            shard_min_shots: 1000,
+            ..ServiceConfig::default()
+        });
+        let sharded = wait(&pooled.handle(), pooled.handle().submit(spec).unwrap());
+        assert!(sharded.shards > 1, "expected a sharded sweep");
+        assert_eq!(
+            reference.histogram, sharded.histogram,
+            "sharding must be bit-identical to a single-worker run"
+        );
+        pooled.shutdown();
+    }
+
+    #[test]
+    fn density_engine_jobs_run_unsharded() {
+        let service = Service::with_config(ServiceConfig {
+            workers: 4,
+            shard_min_shots: 100,
+            ..ServiceConfig::default()
+        });
+        let handle = service.handle();
+        let spec = JobSpec::new(BELL)
+            .with_engine(Engine::DensityMatrix)
+            .with_qubits(QubitKind::real_transmon())
+            .with_shots(2000);
+        let outcome = wait(&handle, handle.submit(spec).unwrap());
+        assert_eq!(outcome.shards, 1, "density jobs must never shard");
+        assert_eq!(outcome.histogram.shots(), 2000);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains_the_queue() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let blocker = occupy_worker(&handle);
+        let queued = handle.submit(JobSpec::new(BELL)).unwrap();
+        service.shutdown();
+        assert_eq!(
+            handle.submit(JobSpec::new(BELL)),
+            Err(ServiceError::ShuttingDown)
+        );
+        // Both in-flight and queued jobs finished before shutdown returned.
+        assert!(handle.poll(blocker).unwrap().is_terminal());
+        assert!(handle.poll(queued).unwrap().is_terminal());
+    }
+
+    #[test]
+    fn unknown_tickets_are_typed_errors() {
+        let service = single_worker(4);
+        let handle = service.handle();
+        assert_eq!(handle.poll(JobId(999)), Err(ServiceError::UnknownJob(999)));
+        assert_eq!(
+            handle.cancel(JobId(999)),
+            Err(ServiceError::UnknownJob(999))
+        );
+        assert_eq!(
+            handle.wait(JobId(999), Duration::from_millis(10)),
+            Err(ServiceError::UnknownJob(999))
+        );
+        service.shutdown();
+    }
+}

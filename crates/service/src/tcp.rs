@@ -1,0 +1,115 @@
+//! The TCP front-end: newline-delimited JSON over a loopback socket.
+//!
+//! Each accepted connection gets its own thread running a simple
+//! read-line → [`crate::wire::handle_line`] → write-line loop, so a
+//! client blocked in a long `result` wait never stalls other clients.
+//! The accept loop itself runs on a dedicated thread; [`TcpServer`] hands
+//! back the bound address (bind to port 0 to let the OS pick).
+
+use crate::service::ServiceHandle;
+use crate::wire;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running TCP front-end.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`, or `"127.0.0.1:0"` for an
+    /// OS-assigned port) and starts serving the handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, handle: ServiceHandle) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("qca-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &handle, &accept_stop))
+            .ok();
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_thread,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Connections already being served finish their current line loop
+    /// when the client disconnects.
+    pub fn stop(mut self) {
+        self.signal_stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn signal_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake with a throwaway connection so it
+        // observes the flag without needing a non-blocking listener.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.signal_stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &ServiceHandle, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let handle = handle.clone();
+        // On spawn failure the stream drops and the client sees a closed
+        // connection — it can retry; the accept loop keeps running.
+        let _ = std::thread::Builder::new()
+            .name("qca-serve-conn".to_string())
+            .spawn(move || serve_connection(&stream, &handle));
+    }
+}
+
+/// Serves one connection: one JSON request per line, one JSON response
+/// per line, until the client closes or an I/O error occurs.
+pub fn serve_connection(stream: &TcpStream, handle: &ServiceHandle) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = wire::handle_line(handle, &line);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            return;
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The newline-delimited JSON wire protocol spoken by `qca-serve`.
+//!
+//! One request per line, one response per line. Requests are JSON objects
+//! with a `"verb"` field; responses always carry `"ok"` (boolean) and, on
+//! failure, `"error"` (a stable kind string) plus `"message"`.
+//!
+//! | verb     | request fields                                        | response |
+//! |----------|-------------------------------------------------------|----------|
+//! | `submit` | `circuit` (required), `shots`, `seed`, `priority`, `deadline_ms`, `engine` (`statevector`/`density`), `qubits` (`perfect`/`transmon`) | `{"ok":true,"job":N}` |
+//! | `status` | `job`                                                 | `{"ok":true,"job":N,"status":"queued"...}` |
+//! | `result` | `job`, `timeout_ms` (default 30000)                   | status + `histogram` + cache/batch/latency fields |
+//! | `cancel` | `job`                                                 | `{"ok":true,"cancelled":bool}` |
+//! | `stats`  | —                                                     | service + cache counters |
+//!
+//! Histogram keys are the measured bit pattern (qubit 0 = least
+//! significant bit) rendered in decimal, values are shot counts.
+
+use crate::job::{Engine, JobId, JobSpec, JobStatus, ServiceError};
+use crate::service::{ServiceHandle, ServiceStats};
+use qca_core::QubitKind;
+use qca_telemetry::export::escape;
+use qca_telemetry::json::{self, JsonValue};
+use qxsim::ShotHistogram;
+use std::time::Duration;
+
+/// Default `result` wait when the request does not set `timeout_ms`.
+pub const DEFAULT_RESULT_TIMEOUT_MS: u64 = 30_000;
+
+/// A decoded wire request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job.
+    Submit(JobSpec),
+    /// Query a job's status without blocking.
+    Status(JobId),
+    /// Block (up to the timeout) for a job's outcome.
+    Result {
+        /// The job to wait for.
+        id: JobId,
+        /// Maximum wait in milliseconds.
+        timeout_ms: u64,
+    },
+    /// Cancel a queued job.
+    Cancel(JobId),
+    /// Service counters.
+    Stats,
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key).and_then(JsonValue::as_f64).map(|n| n as u64)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message for malformed JSON, a missing/unknown verb or
+/// missing required fields.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line)?;
+    let verb = v
+        .get("verb")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing \"verb\"".to_string())?;
+    let job_id = || -> Result<JobId, String> {
+        get_u64(&v, "job")
+            .map(JobId)
+            .ok_or_else(|| "missing \"job\"".to_string())
+    };
+    match verb {
+        "submit" => {
+            let circuit = v
+                .get("circuit")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "missing \"circuit\"".to_string())?;
+            let mut spec = JobSpec::new(circuit);
+            if let Some(shots) = get_u64(&v, "shots") {
+                spec.shots = shots;
+            }
+            if let Some(seed) = get_u64(&v, "seed") {
+                spec.seed = seed;
+            }
+            if let Some(priority) = get_u64(&v, "priority") {
+                spec.priority = u8::try_from(priority.min(255)).unwrap_or(u8::MAX);
+            }
+            if let Some(deadline) = get_u64(&v, "deadline_ms") {
+                spec.deadline_ms = Some(deadline);
+            }
+            if let Some(engine) = v.get("engine").and_then(JsonValue::as_str) {
+                spec.engine =
+                    Engine::parse(engine).ok_or_else(|| format!("unknown engine {engine:?}"))?;
+            }
+            if let Some(qubits) = v.get("qubits").and_then(JsonValue::as_str) {
+                spec.qubits = match qubits {
+                    "perfect" => QubitKind::Perfect,
+                    "transmon" => QubitKind::real_transmon(),
+                    other => return Err(format!("unknown qubit model {other:?}")),
+                };
+            }
+            Ok(Request::Submit(spec))
+        }
+        "status" => Ok(Request::Status(job_id()?)),
+        "result" => Ok(Request::Result {
+            id: job_id()?,
+            timeout_ms: get_u64(&v, "timeout_ms").unwrap_or(DEFAULT_RESULT_TIMEOUT_MS),
+        }),
+        "cancel" => Ok(Request::Cancel(job_id()?)),
+        "stats" => Ok(Request::Stats),
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+fn error_kind(err: &ServiceError) -> &'static str {
+    match err {
+        ServiceError::QueueFull { .. } => "queue_full",
+        ServiceError::Parse(_) => "parse",
+        ServiceError::Compile(_) => "compile",
+        ServiceError::Execute(_) => "execute",
+        ServiceError::DeadlineExceeded { .. } => "deadline",
+        ServiceError::UnknownJob(_) => "unknown_job",
+        ServiceError::Cancelled => "cancelled",
+        ServiceError::ShuttingDown => "shutting_down",
+        ServiceError::WaitTimeout => "timeout",
+    }
+}
+
+fn error_response(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
+        escape(kind),
+        escape(message)
+    )
+}
+
+fn histogram_json(hist: &ShotHistogram) -> String {
+    let mut out = String::from("{");
+    for (i, (bits, count)) in hist.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{bits}\":{count}"));
+    }
+    out.push('}');
+    out
+}
+
+fn stats_json(stats: &ServiceStats) -> String {
+    format!(
+        concat!(
+            "{{\"ok\":true,\"submitted\":{},\"completed\":{},\"failed\":{},",
+            "\"cancelled\":{},\"rejected\":{},\"coalesced\":{},\"queued\":{},",
+            "\"running\":{},\"workers\":{},\"cache\":{{\"hits\":{},\"misses\":{},",
+            "\"evictions\":{},\"entries\":{},\"capacity\":{}}}}}"
+        ),
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+        stats.rejected,
+        stats.coalesced,
+        stats.queued,
+        stats.running,
+        stats.workers,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        stats.cache.entries,
+        stats.cache.capacity,
+    )
+}
+
+/// Serves one request line against the service, returning exactly one
+/// JSON response line (without the trailing newline). Never fails: every
+/// problem becomes an `"ok":false` response.
+pub fn handle_line(handle: &ServiceHandle, line: &str) -> String {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => return error_response("bad_request", &msg),
+    };
+    match request {
+        Request::Submit(spec) => match handle.submit(spec) {
+            Ok(id) => format!("{{\"ok\":true,\"job\":{}}}", id.0),
+            Err(err) => error_response(error_kind(&err), &err.to_string()),
+        },
+        Request::Status(id) => match handle.poll(id) {
+            Ok(status) => format!(
+                "{{\"ok\":true,\"job\":{},\"status\":\"{}\"}}",
+                id.0,
+                status.name()
+            ),
+            Err(err) => error_response(error_kind(&err), &err.to_string()),
+        },
+        Request::Result { id, timeout_ms } => {
+            match handle.wait(id, Duration::from_millis(timeout_ms)) {
+                Ok(outcome) => format!(
+                    concat!(
+                        "{{\"ok\":true,\"job\":{},\"status\":\"done\",",
+                        "\"histogram\":{},\"shots\":{},\"cache_hit\":{},",
+                        "\"batch_size\":{},\"shards\":{},\"wait_us\":{},\"exec_us\":{}}}"
+                    ),
+                    id.0,
+                    histogram_json(&outcome.histogram),
+                    outcome.histogram.shots(),
+                    outcome.cache_hit,
+                    outcome.batch_size,
+                    outcome.shards,
+                    outcome.wait_us,
+                    outcome.exec_us,
+                ),
+                Err(err) => error_response(error_kind(&err), &err.to_string()),
+            }
+        }
+        Request::Cancel(id) => match handle.cancel(id) {
+            Ok(cancelled) => format!("{{\"ok\":true,\"cancelled\":{cancelled}}}"),
+            Err(err) => error_response(error_kind(&err), &err.to_string()),
+        },
+        Request::Stats => stats_json(&handle.stats()),
+    }
+}
+
+/// Whether a status means the wire client should keep polling.
+pub fn status_is_pending(status: &JobStatus) -> bool {
+    !status.is_terminal()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_submit() {
+        let line = concat!(
+            "{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nx q[0]\\n\",",
+            "\"shots\":64,\"seed\":9,\"priority\":2,\"deadline_ms\":100,",
+            "\"engine\":\"density\",\"qubits\":\"transmon\"}"
+        );
+        let Request::Submit(spec) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.circuit, "qubits 1\nx q[0]\n");
+        assert_eq!(spec.shots, 64);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.priority, 2);
+        assert_eq!(spec.deadline_ms, Some(100));
+        assert_eq!(spec.engine, Engine::DensityMatrix);
+    }
+
+    #[test]
+    fn submit_defaults_match_jobspec_defaults() {
+        let line = "{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nh q[0]\\n\"}";
+        let Request::Submit(spec) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        let fresh = JobSpec::new("qubits 1\nh q[0]\n");
+        assert_eq!(spec.shots, fresh.shots);
+        assert_eq!(spec.seed, fresh.seed);
+        assert_eq!(spec.engine, fresh.engine);
+        assert_eq!(spec.deadline_ms, None);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"verb\":\"submit\"}").is_err());
+        assert!(parse_request("{\"verb\":\"status\"}").is_err());
+        assert!(parse_request("{\"verb\":\"frobnicate\"}").is_err());
+        assert!(parse_request("{\"circuit\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn histogram_renders_as_decimal_keyed_object() {
+        let mut hist = ShotHistogram::new();
+        hist.record_many(0, 3);
+        hist.record_many(3, 5);
+        assert_eq!(histogram_json(&hist), "{\"0\":3,\"3\":5}");
+        let parsed = json::parse(&histogram_json(&hist)).unwrap();
+        assert_eq!(parsed.get("3").and_then(JsonValue::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn error_responses_are_valid_json() {
+        let resp = error_response("parse", "line 1: \"oops\"\nnewline");
+        let parsed = json::parse(&resp).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(
+            parsed.get("error").and_then(JsonValue::as_str),
+            Some("parse")
+        );
+    }
+}

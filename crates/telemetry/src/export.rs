@@ -194,6 +194,63 @@ pub fn metrics_json(snap: &Snapshot) -> String {
     out
 }
 
+/// The flamegraph collapsed-stack form of the span tree: one line per
+/// distinct call stack, `frame;frame;...;frame weight`, where each frame
+/// is `cat:name` and the weight is the stack's *self* time in microseconds
+/// (own duration minus direct children), summed over all occurrences.
+/// Lines are sorted, so the output is deterministic for a given snapshot
+/// and feeds straight into `flamegraph.pl` / speedscope / inferno.
+///
+/// Frames are sanitised (`;`, whitespace and control characters become
+/// `_`) because the format reserves `;` and the trailing space.
+pub fn collapsed(snap: &Snapshot) -> String {
+    let frame = |i: usize| -> String {
+        let s = &snap.spans[i];
+        format!("{}:{}", s.cat, s.name)
+            .chars()
+            .map(|c| {
+                if c == ';' || c.is_whitespace() || (c as u32) < 0x20 {
+                    '_'
+                } else {
+                    c
+                }
+            })
+            .collect()
+    };
+    // Children's time is attributed to their own lines; a parent keeps
+    // only what it spent outside its direct children.
+    let mut child_time = vec![0u64; snap.spans.len()];
+    for s in &snap.spans {
+        if let Some(p) = s.parent {
+            if p < child_time.len() {
+                child_time[p] += s.dur_us;
+            }
+        }
+    }
+    let mut weights: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (i, s) in snap.spans.iter().enumerate() {
+        let mut stack = vec![frame(i)];
+        let mut cursor = s.parent;
+        let mut hops = 0;
+        while let Some(p) = cursor {
+            if p >= snap.spans.len() || hops > snap.spans.len() {
+                break;
+            }
+            stack.push(frame(p));
+            cursor = snap.spans[p].parent;
+            hops += 1;
+        }
+        stack.reverse();
+        let self_time = s.dur_us.saturating_sub(child_time[i]);
+        *weights.entry(stack.join(";")).or_insert(0) += self_time;
+    }
+    let mut out = String::new();
+    for (stack, weight) in weights {
+        let _ = writeln!(out, "{stack} {weight}");
+    }
+    out
+}
+
 /// A human-readable summary: the span tree (durations in microseconds),
 /// then counters, histograms and value aggregates.
 pub fn summary_table(snap: &Snapshot) -> String {
@@ -400,6 +457,66 @@ mod tests {
             "X event without dur must fail"
         );
         assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn collapsed_round_trips_a_nested_span_tree() {
+        use crate::{Snapshot, SpanRecord};
+        let span =
+            |name: &str, cat: &str, dur: u64, parent: Option<usize>, depth: u32| SpanRecord {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                start_us: 0,
+                dur_us: dur,
+                tid: 1,
+                parent,
+                depth,
+                closed: true,
+            };
+        // serve (100us) -> compile (30us) -> passes (10us); serve -> run (50us)
+        let snap = Snapshot {
+            spans: vec![
+                span("serve", "service", 100, None, 0),
+                span("compile", "openql", 30, Some(0), 1),
+                span("passes", "openql", 10, Some(1), 2),
+                span("run", "qxsim", 50, Some(0), 1),
+            ],
+            counters: Default::default(),
+            labeled: Default::default(),
+            values: Default::default(),
+        };
+        let text = collapsed(&snap);
+        // Parse the collapsed lines back into (stack, weight) pairs.
+        let mut parsed = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').unwrap();
+            let frames: Vec<&str> = stack.split(';').collect();
+            parsed.insert(frames.join(";"), weight.parse::<u64>().unwrap());
+        }
+        // Self times: serve = 100 - (30 + 50); compile = 30 - 10.
+        assert_eq!(parsed["service:serve"], 20);
+        assert_eq!(parsed["service:serve;openql:compile"], 20);
+        assert_eq!(parsed["service:serve;openql:compile;openql:passes"], 10);
+        assert_eq!(parsed["service:serve;qxsim:run"], 50);
+        // The tree's total weight equals the root's duration: collapsed
+        // output partitions exactly the time the spans measured.
+        assert_eq!(parsed.values().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn collapsed_sanitises_reserved_characters() {
+        let tel = Telemetry::enabled();
+        {
+            let _a = tel.span("stack", "execute");
+            let _b = tel.span("openql", "compile \"x;y\"\n");
+        }
+        let text = collapsed(&tel.snapshot());
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').unwrap();
+            assert!(weight.parse::<u64>().is_ok(), "bad weight in {line:?}");
+            assert!(!stack.contains(' '), "unsanitised space in {line:?}");
+        }
+        assert!(text.contains("stack:execute;openql:compile_\"x_y\"_"));
     }
 
     #[test]

@@ -341,6 +341,13 @@ impl Telemetry {
     pub fn summary_table(&self) -> String {
         export::summary_table(&self.snapshot())
     }
+
+    /// The span tree in flamegraph collapsed-stack form (one
+    /// `frame;frame weight` line per distinct stack, weights = self time
+    /// in microseconds). See [`export::collapsed`].
+    pub fn export_collapsed(&self) -> String {
+        export::collapsed(&self.snapshot())
+    }
 }
 
 /// Closes its span on drop. Inert (and allocation-free) when obtained from

@@ -1,0 +1,186 @@
+//! The accelerator serving daemon: a job queue, compiled-plan cache and
+//! worker pool behind a newline-delimited JSON TCP front-end.
+//!
+//! ```text
+//! qca-serve                              # serve on 127.0.0.1:7878
+//! qca-serve --addr 127.0.0.1:9000 --workers 4 --queue 512 --cache 128
+//! qca-serve --smoke                      # self-test: in-process client,
+//!                                        # 3 jobs, assert a cache hit
+//! ```
+//!
+//! One JSON request per line, one JSON response per line; see
+//! `qca_service::wire` for the verbs. `--smoke` exists so CI can exercise
+//! the whole serving path (TCP included, on an OS-assigned port) without
+//! external tooling.
+
+use qca_service::{Service, ServiceConfig, TcpServer};
+use qca_telemetry::Telemetry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 2,
+        queue: 256,
+        cache: 64,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse = |name: &str, v: String| -> Result<usize, String> {
+            v.parse::<usize>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = take("--addr")?,
+            "--workers" => args.workers = parse("--workers", take("--workers")?)?,
+            "--queue" => args.queue = parse("--queue", take("--queue")?)?,
+            "--cache" => args.cache = parse("--cache", take("--cache")?)?,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--smoke]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        cache_capacity: args.cache,
+        ..ServiceConfig::default()
+    };
+    let service = Service::with_telemetry(config, Telemetry::enabled());
+    if args.smoke {
+        return smoke_test(&service);
+    }
+    let server = match TcpServer::bind(&args.addr, service.handle()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qca-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "qca-serve: listening on {} ({} workers, queue {}, cache {})",
+        server.local_addr(),
+        args.workers,
+        args.queue,
+        args.cache
+    );
+    // Serve until killed; the accept loop owns the listener.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Self-test for CI: start the TCP front-end on an OS-assigned port,
+/// submit three jobs over the socket (two identical, so the second must
+/// hit the plan cache), and check every response parses as JSON.
+fn smoke_test(service: &Service) -> ExitCode {
+    let bell = "qubits 2\\nh q[0]\\ncnot q[0], q[1]\\nmeasure_all\\n";
+    let ghz = "qubits 3\\nh q[0]\\ncnot q[0], q[1]\\ncnot q[1], q[2]\\nmeasure_all\\n";
+    let requests = [
+        format!("{{\"verb\":\"submit\",\"circuit\":\"{bell}\",\"shots\":500,\"seed\":1}}"),
+        format!("{{\"verb\":\"submit\",\"circuit\":\"{ghz}\",\"shots\":500,\"seed\":2}}"),
+        // Duplicate of the first circuit: must be served from the cache.
+        format!("{{\"verb\":\"submit\",\"circuit\":\"{bell}\",\"shots\":500,\"seed\":3}}"),
+    ];
+    let server = match TcpServer::bind("127.0.0.1:0", service.handle()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke: cannot bind loopback: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = || -> Result<(), String> {
+        let stream = TcpStream::connect(server.local_addr()).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = stream;
+        let mut ask = |line: &str| -> Result<qca_telemetry::json::JsonValue, String> {
+            writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .map_err(|e| e.to_string())?;
+            let mut response = String::new();
+            reader.read_line(&mut response).map_err(|e| e.to_string())?;
+            qca_telemetry::json::parse(&response)
+                .map_err(|e| format!("invalid JSON response {response:?}: {e}"))
+        };
+        // Submit → result, one job at a time: by the time the duplicate
+        // circuit is submitted, its plan is guaranteed to be cached.
+        for request in &requests {
+            let response = ask(request)?;
+            let job = response
+                .get("job")
+                .and_then(qca_telemetry::json::JsonValue::as_f64)
+                .ok_or_else(|| format!("submit did not return a job id: {response:?}"))?
+                as u64;
+            let response = ask(&format!(
+                "{{\"verb\":\"result\",\"job\":{job},\"timeout_ms\":60000}}"
+            ))?;
+            let shots = response
+                .get("shots")
+                .and_then(qca_telemetry::json::JsonValue::as_f64)
+                .ok_or_else(|| format!("no shots in result: {response:?}"))?;
+            if shots as u64 != 500 {
+                return Err(format!("job {job}: expected 500 shots, got {shots}"));
+            }
+        }
+        let stats = ask("{\"verb\":\"stats\"}")?;
+        let hits = stats
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(qca_telemetry::json::JsonValue::as_f64)
+            .ok_or_else(|| format!("no cache stats: {stats:?}"))?;
+        if hits < 1.0 {
+            return Err(format!(
+                "duplicate submission did not hit the plan cache: {stats:?}"
+            ));
+        }
+        println!("smoke: 3 jobs served over TCP, {hits} cache hit(s)");
+        Ok(())
+    };
+    let result = run();
+    server.stop();
+    match result {
+        Ok(()) => {
+            println!("smoke: ok");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("smoke: FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

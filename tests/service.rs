@@ -1,0 +1,268 @@
+//! Integration tests for the serving runtime: determinism across worker
+//! counts, warm-cache bit-identity (the plan cache must skip compilation
+//! entirely), and the TCP front-end.
+
+use qca_service::{JobSpec, Service, ServiceConfig, TcpServer};
+use qca_telemetry::json::{self, JsonValue};
+use qca_telemetry::Telemetry;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const BELL: &str = "qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n";
+const GHZ4: &str =
+    "qubits 4\nh q[0]\ncnot q[0], q[1]\ncnot q[1], q[2]\ncnot q[2], q[3]\nmeasure_all\n";
+
+fn mixed_jobs() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for seed in 0..4 {
+        jobs.push(JobSpec::new(BELL).with_seed(seed).with_shots(3000));
+        jobs.push(JobSpec::new(GHZ4).with_seed(seed).with_shots(2000));
+    }
+    // Large enough to shard on the multi-worker services.
+    jobs.push(JobSpec::new(BELL).with_seed(99).with_shots(30_000));
+    jobs
+}
+
+fn run_all(service: &Service, jobs: &[JobSpec]) -> Vec<qxsim::ShotHistogram> {
+    let handle = service.handle();
+    let ids: Vec<_> = jobs
+        .iter()
+        .map(|spec| handle.submit(spec.clone()).unwrap())
+        .collect();
+    ids.iter()
+        .map(|&id| {
+            handle
+                .wait(id, Duration::from_secs(120))
+                .unwrap()
+                .histogram
+                .clone()
+        })
+        .collect()
+}
+
+#[test]
+fn histograms_are_bit_identical_across_worker_counts() {
+    let jobs = mixed_jobs();
+    let mut per_pool = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let service = Service::with_config(ServiceConfig {
+            workers,
+            shard_min_shots: 4096,
+            ..ServiceConfig::default()
+        });
+        per_pool.push(run_all(&service, &jobs));
+        service.shutdown();
+    }
+    for pool in &per_pool[1..] {
+        assert_eq!(
+            &per_pool[0], pool,
+            "worker count must not change any histogram"
+        );
+    }
+}
+
+fn compile_span_count(telemetry: &Telemetry) -> usize {
+    telemetry
+        .snapshot()
+        .spans
+        .iter()
+        .filter(|s| s.name == "compile" || s.cat == "openql")
+        .count()
+}
+
+#[test]
+fn warm_cache_skips_compilation_and_reproduces_the_cold_run() {
+    let telemetry = Telemetry::enabled();
+    let service = Service::with_telemetry(
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let handle = service.handle();
+    let spec = JobSpec::new(GHZ4).with_seed(1234).with_shots(5000);
+
+    let cold = handle
+        .wait(
+            handle.submit(spec.clone()).unwrap(),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+    assert!(!cold.cache_hit);
+    let spans_after_cold = compile_span_count(&telemetry);
+    assert!(spans_after_cold > 0, "the cold run must compile");
+    let hits_after_cold = handle.stats().cache.hits;
+
+    let warm = handle
+        .wait(handle.submit(spec).unwrap(), Duration::from_secs(60))
+        .unwrap();
+    assert!(
+        warm.cache_hit,
+        "second submission must be served from cache"
+    );
+    assert_eq!(
+        handle.stats().cache.hits,
+        hits_after_cold + 1,
+        "the cache-hit counter must increment"
+    );
+    assert_eq!(
+        compile_span_count(&telemetry),
+        spans_after_cold,
+        "a warm run must emit no compile span at all"
+    );
+    assert_eq!(
+        telemetry.snapshot().counters.get("service.cache.hit"),
+        Some(&1),
+        "telemetry must record the cache hit"
+    );
+    assert_eq!(
+        cold.histogram, warm.histogram,
+        "same seed ⇒ cached and fresh-compiled runs are bit-identical"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn a_fresh_service_reproduces_a_warm_service_bit_for_bit() {
+    let spec = JobSpec::new(BELL).with_seed(77).with_shots(4000);
+    // Warm service: compile once, then serve the measured run from cache.
+    let warm_service = Service::with_config(ServiceConfig::default());
+    let handle = warm_service.handle();
+    handle
+        .wait(
+            handle.submit(spec.clone()).unwrap(),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+    let warm = handle
+        .wait(
+            handle.submit(spec.clone()).unwrap(),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+    assert!(warm.cache_hit);
+    warm_service.shutdown();
+    // Cold service: fresh compile of the same job.
+    let cold_service = Service::with_config(ServiceConfig::default());
+    let cold_handle = cold_service.handle();
+    let cold = cold_handle
+        .wait(cold_handle.submit(spec).unwrap(), Duration::from_secs(60))
+        .unwrap();
+    assert!(!cold.cache_hit);
+    assert_eq!(cold.histogram, warm.histogram);
+    cold_service.shutdown();
+}
+
+struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        WireClient {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> JsonValue {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        json::parse(&response).unwrap()
+    }
+}
+
+fn wire_histogram(result: &JsonValue) -> BTreeMap<String, u64> {
+    match result.get("histogram") {
+        Some(JsonValue::Object(map)) => map
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().unwrap() as u64))
+            .collect(),
+        other => panic!("no histogram in {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_front_end_round_trips_jobs_and_exposes_cache_stats() {
+    let telemetry = Telemetry::enabled();
+    let service = Service::with_telemetry(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+    let mut client = WireClient::connect(server.local_addr());
+
+    let bell_wire = "qubits 2\\nh q[0]\\ncnot q[0], q[1]\\nmeasure_all\\n";
+    let submit =
+        format!("{{\"verb\":\"submit\",\"circuit\":\"{bell_wire}\",\"shots\":2000,\"seed\":5}}");
+
+    // Cold run over the wire.
+    let response = client.ask(&submit);
+    assert_eq!(
+        response.get("ok"),
+        Some(&JsonValue::Bool(true)),
+        "{response:?}"
+    );
+    let job = response.get("job").and_then(JsonValue::as_f64).unwrap() as u64;
+    let cold = client.ask(&format!(
+        "{{\"verb\":\"result\",\"job\":{job},\"timeout_ms\":60000}}"
+    ));
+    assert_eq!(cold.get("cache_hit"), Some(&JsonValue::Bool(false)));
+    assert_eq!(cold.get("shots").and_then(JsonValue::as_f64), Some(2000.0));
+    let spans_after_cold = compile_span_count(&telemetry);
+
+    // Warm run: identical submission must cache-hit, emit no compile span
+    // and return a bit-identical histogram.
+    let response = client.ask(&submit);
+    let warm_job = response.get("job").and_then(JsonValue::as_f64).unwrap() as u64;
+    let warm = client.ask(&format!(
+        "{{\"verb\":\"result\",\"job\":{warm_job},\"timeout_ms\":60000}}"
+    ));
+    assert_eq!(warm.get("cache_hit"), Some(&JsonValue::Bool(true)));
+    assert_eq!(compile_span_count(&telemetry), spans_after_cold);
+    assert_eq!(wire_histogram(&cold), wire_histogram(&warm));
+
+    // Status of a finished job, stats, and typed errors over the wire.
+    let status = client.ask(&format!("{{\"verb\":\"status\",\"job\":{job}}}"));
+    assert_eq!(
+        status.get("status").and_then(JsonValue::as_str),
+        Some("done")
+    );
+    let stats = client.ask("{\"verb\":\"stats\"}");
+    assert!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            >= 1.0
+    );
+    let missing = client.ask("{\"verb\":\"status\",\"job\":424242}");
+    assert_eq!(missing.get("ok"), Some(&JsonValue::Bool(false)));
+    assert_eq!(
+        missing.get("error").and_then(JsonValue::as_str),
+        Some("unknown_job")
+    );
+    let garbage = client.ask("{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nwarp q[0]\\n\"}");
+    assert_eq!(garbage.get("ok"), Some(&JsonValue::Bool(false)));
+    assert_eq!(
+        garbage.get("error").and_then(JsonValue::as_str),
+        Some("parse")
+    );
+
+    server.stop();
+    service.shutdown();
+}
