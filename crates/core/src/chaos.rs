@@ -333,6 +333,25 @@ fn generate_program(rng: &mut StdRng) -> String {
     for _ in 0..gates {
         src.push_str(&random_gate_line(rng, n));
     }
+    // Measurement-interleaved and conditional shapes: a mid-circuit
+    // measurement feeding binary-controlled gates, optionally followed by
+    // more unitary work. Conditional gates stay single-qubit — the eQASM
+    // backend's conditional pattern supports nothing wider.
+    if rng.gen_bool(0.35) {
+        let mq = rng.gen_range(0..n);
+        src.push_str(&format!("measure q[{mq}]\n"));
+        for _ in 0..rng.gen_range(1..=2usize) {
+            let mut t = rng.gen_range(0..n);
+            if t == mq {
+                t = (mq + 1) % n;
+            }
+            let g = ["x", "y", "z", "h", "s"][rng.gen_range(0..5usize)];
+            src.push_str(&format!("c-{g} b[{mq}], q[{t}]\n"));
+        }
+        for _ in 0..rng.gen_range(0..=2usize) {
+            src.push_str(&random_gate_line(rng, n));
+        }
+    }
     if rng.gen_bool(0.2) {
         src.push_str(&format!("wait {}\n", rng.gen_range(1..=10u64)));
     }

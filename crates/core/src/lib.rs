@@ -58,6 +58,7 @@
 pub mod accelerator;
 pub mod amdahl;
 pub mod chaos;
+pub mod conform;
 pub mod qubits;
 pub mod rb;
 pub mod runtime;
@@ -77,6 +78,7 @@ pub use accelerator::{
 pub use chaos::{
     run_campaign, run_campaign_traced, run_case, CampaignReport, CaseReport, Mutation, Outcome,
 };
+pub use conform::{generate_case, reference_histogram, CaseShape, ConformCase};
 pub use qubits::QubitKind;
 pub use stack::{ExecutionBackend, FullStack, StackError, StackRun};
 pub use telemetry::Telemetry;

@@ -1,7 +1,7 @@
 //! Programs and subcircuits: the top-level cQASM containers.
 
 use crate::error::Error;
-use crate::instruction::{Instruction, Qubit};
+use crate::instruction::{Bit, GateApp, Instruction, Qubit};
 use crate::stats::CircuitStats;
 use std::fmt;
 
@@ -349,6 +349,13 @@ impl ProgramBuilder {
     /// Appends an arbitrary instruction.
     pub fn instruction(mut self, ins: Instruction) -> Self {
         self.current().push(ins);
+        self
+    }
+
+    /// Appends a gate conditioned on classical bit `bit` being one.
+    pub fn cond(mut self, bit: usize, kind: crate::GateKind, qubits: &[usize]) -> Self {
+        let app = GateApp::new(kind, qubits.iter().map(|&q| Qubit(q)).collect());
+        self.current().push(Instruction::Cond(Bit(bit), app));
         self
     }
 

@@ -276,9 +276,15 @@ pub fn translate(schedule: &Schedule) -> Result<EqasmProgram, TranslateError> {
 /// scheduled cQASM, up to global phase, on circuits of up to
 /// [`openql::MAX_VERIFY_QUBITS`] qubits.
 ///
+/// Conditional execution is reconstructed too: the translator's
+/// `fmr; cmp; br eq, 1; bundle` pattern round-trips to a cQASM
+/// binary-controlled gate, and the per-branch verifier checks every
+/// assignment of measurement outcomes.
+///
 /// Returns `Ok(true)` when the check ran and passed and `Ok(false)` when
-/// the program is outside the decidable shape (too large, conditional
-/// branches, mid-circuit state preparation).
+/// the program is outside the decidable shape (too large, mid-circuit
+/// state preparation, control flow not matching the translator's
+/// conditional pattern).
 ///
 /// # Errors
 ///
@@ -302,14 +308,21 @@ pub fn verify_translation(
 }
 
 /// Replays an eQASM program's mask-register state to recover the cQASM
-/// gate/measure sequence it encodes. `None` when the program uses control
-/// flow the unitary verifier cannot model.
+/// gate/measure sequence it encodes, including the translator's
+/// conditional pattern (`fmr rd, q; cmp rd, zero; br eq, 1; bundle`),
+/// which round-trips to `c-<gate> b[q], ...`. `None` when the program
+/// uses control flow outside that pattern.
 fn reconstruct(program: &EqasmProgram, n: usize) -> Option<cqasm::ProgramBuilder> {
     let mut sregs: HashMap<u8, Vec<usize>> = HashMap::new();
     let mut tregs: HashMap<u8, Vec<(usize, usize)>> = HashMap::new();
+    // Registers currently holding the constant zero, so the cmp against
+    // the measurement register can be recognised in either operand order.
+    let mut zero_regs: Vec<u8> = Vec::new();
     let mut b = cqasm::Program::builder(n);
-    for ins in program.instructions() {
-        match ins {
+    let instrs = program.instructions();
+    let mut i = 0usize;
+    while i < instrs.len() {
+        match &instrs[i] {
             EqInstruction::Smis { sd, qubits } => {
                 sregs.insert(*sd, qubits.clone());
             }
@@ -321,18 +334,69 @@ fn reconstruct(program: &EqasmProgram, n: usize) -> Option<cqasm::ProgramBuilder
                     b = reconstruct_op(op, &sregs, &tregs, b)?;
                 }
             }
-            EqInstruction::Ldi { .. }
-            | EqInstruction::Add { .. }
-            | EqInstruction::Sub { .. }
-            | EqInstruction::Qwait { .. }
-            | EqInstruction::Nop
-            | EqInstruction::Stop => {}
-            // Branching (conditional gates) is data-dependent control
-            // flow; the brute-force unitary extractor cannot model it.
-            EqInstruction::Fmr { .. } | EqInstruction::Cmp { .. } | EqInstruction::Br { .. } => {
-                return None;
+            EqInstruction::Ldi { rd, imm } => {
+                zero_regs.retain(|r| r != rd);
+                if *imm == 0 {
+                    zero_regs.push(*rd);
+                }
             }
+            EqInstruction::Add { rd, .. } | EqInstruction::Sub { rd, .. } => {
+                // Conservative: an arithmetic result is not a known zero.
+                zero_regs.retain(|r| r != rd);
+            }
+            EqInstruction::Qwait { .. } | EqInstruction::Nop | EqInstruction::Stop => {}
+            EqInstruction::Fmr { rd, qubit } => {
+                // Expect the conditional pattern emitted by `translate`:
+                //   fmr rd, q ; cmp rd, zero ; [smis/smit ...] ; br eq, 1 ;
+                //   bundle { <gates> }
+                // `br eq, 1` skips the bundle when the bit equals zero, so
+                // the bundle's gates execute iff bit q is one.
+                let bit = *qubit;
+                let meas_reg = *rd;
+                zero_regs.retain(|r| r != &meas_reg);
+                let mut j = i + 1;
+                let EqInstruction::Cmp { rs, rt } = instrs.get(j)? else {
+                    return None;
+                };
+                let against_zero = (*rs == meas_reg && zero_regs.contains(rt))
+                    || (*rt == meas_reg && zero_regs.contains(rs));
+                if !against_zero {
+                    return None;
+                }
+                j += 1;
+                while let Some(EqInstruction::Smis { sd, qubits }) = instrs.get(j) {
+                    sregs.insert(*sd, qubits.clone());
+                    j += 1;
+                }
+                let EqInstruction::Br {
+                    cond: Condition::Eq,
+                    offset: 1,
+                } = instrs.get(j)?
+                else {
+                    return None;
+                };
+                j += 1;
+                let EqInstruction::Bundle { ops, .. } = instrs.get(j)? else {
+                    return None;
+                };
+                for op in ops {
+                    match (&op.opcode, &op.operand) {
+                        (QOpcode::Gate(kind), Operand::S(reg)) => {
+                            for &q in sregs.get(reg)? {
+                                b = b.cond(bit, *kind, &[q]);
+                            }
+                        }
+                        _ => return None,
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+            // A compare or branch outside the conditional pattern is
+            // control flow the verifier cannot model.
+            EqInstruction::Cmp { .. } | EqInstruction::Br { .. } => return None,
         }
+        i += 1;
     }
     Some(b)
 }
@@ -527,12 +591,51 @@ mod tests {
     }
 
     #[test]
-    fn conditional_programs_are_skipped_not_failed() {
+    fn conditional_programs_verify_per_branch() {
+        let s = schedule_of(
+            "qubits 2\nmeasure q[0]\nc-x90 b[0], q[1]\nmeasure_all\n",
+            &Platform::superconducting_grid(1, 2),
+        );
+        let e = translate(&s).unwrap();
+        assert_eq!(verify_translation(&s, &e), Ok(true));
+    }
+
+    #[test]
+    fn verification_catches_corrupted_conditional_branch() {
         let s = schedule_of(
             "qubits 2\nmeasure q[0]\nc-x90 b[0], q[1]\n",
             &Platform::superconducting_grid(1, 2),
         );
-        let e = translate(&s).unwrap();
+        let mut e = translate(&s).unwrap();
+        // Retarget the conditional's mask: the fired branch rotates the
+        // (already measured) qubit 0 instead of qubit 1.
+        for ins in e.instructions_mut() {
+            if let EqInstruction::Smis { qubits, .. } = ins {
+                if qubits == &vec![1] {
+                    *qubits = vec![0];
+                }
+            }
+        }
+        assert!(matches!(
+            verify_translation(&s, &e),
+            Err(TranslateError::VerificationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn unrecognised_control_flow_is_skipped_not_failed() {
+        let s = schedule_of(
+            "qubits 2\nmeasure q[0]\nc-x90 b[0], q[1]\n",
+            &Platform::superconducting_grid(1, 2),
+        );
+        let mut e = translate(&s).unwrap();
+        // A branch distance the translator never emits is outside the
+        // reconstructable pattern and must be skipped, not failed.
+        for ins in e.instructions_mut() {
+            if let EqInstruction::Br { offset, .. } = ins {
+                *offset = 2;
+            }
+        }
         assert_eq!(verify_translation(&s, &e), Ok(false));
     }
 

@@ -57,4 +57,4 @@ pub use optimize::{optimize, OptimizeReport};
 pub use platform::{GateDurations, Platform, TargetGateSet};
 pub use schedule::{schedule, Schedule, ScheduleDirection, TimedInstruction};
 pub use topology::Topology;
-pub use verify::{verify_pass, verify_routed_pass, MAX_VERIFY_QUBITS};
+pub use verify::{verify_pass, verify_routed_pass, MAX_BRANCH_BITS, MAX_VERIFY_QUBITS};

@@ -149,6 +149,10 @@ fn asap(linear: &[Instruction], qubit_count: usize, platform: &Platform) -> Sche
     let n = qubit_count;
     let mut qubit_free = vec![0u64; n];
     let mut bit_ready = vec![0u64; n];
+    // Anti-dependency (write-after-read): a measurement overwrites its
+    // qubit's bit, so it must not be hoisted past a conditional gate that
+    // still reads that bit. Tracks, per bit, when the last reader is done.
+    let mut bit_read_busy = vec![0u64; n];
     let mut barrier = 0u64; // earliest start after the last global wait
     let mut items = Vec::with_capacity(linear.len());
     let mut latency = 0u64;
@@ -176,14 +180,20 @@ fn asap(linear: &[Instruction], qubit_count: usize, platform: &Platform) -> Sche
                 continue; // timing-only; not emitted as an item
             }
             Instruction::Measure(q) => {
+                start = start.max(bit_read_busy[q.index()]);
                 bit_ready[q.index()] = start.saturating_add(duration);
             }
             Instruction::MeasureAll => {
+                start = start.max(bit_read_busy.iter().copied().max().unwrap_or(0));
                 for b in bit_ready.iter_mut() {
                     *b = start.saturating_add(duration);
                 }
             }
             _ => {}
+        }
+        if let Instruction::Cond(bit, _) = ins {
+            let b = &mut bit_read_busy[bit.index()];
+            *b = (*b).max(start.saturating_add(duration));
         }
         for &q in &qubits {
             qubit_free[q] = start.saturating_add(duration);
@@ -339,6 +349,43 @@ mod tests {
             .unwrap();
         // H dur 1, measure dur 4 -> bit ready at 5.
         assert_eq!(cond.start, 5);
+    }
+
+    #[test]
+    fn remeasure_is_not_hoisted_past_conditional_reader() {
+        // The second `measure q[0]` overwrites bit 0 while the conditional
+        // still has to read the *first* outcome. Gates on qubit 1 push the
+        // conditional later than qubit 0 becomes free, so without the
+        // write-after-read edge the re-measure would be sorted before the
+        // conditional and change the program's semantics.
+        let p = Program::builder(2)
+            .measure(0)
+            .gate(GateKind::X, &[1])
+            .gate(GateKind::X, &[1])
+            .gate(GateKind::X, &[1])
+            .gate(GateKind::X, &[1])
+            .gate(GateKind::X, &[1])
+            .cond(0, GateKind::X, &[1])
+            .measure(0)
+            .build();
+        let s = schedule(&p, &platform(), ScheduleDirection::Asap);
+        let pos = |pred: &dyn Fn(&Instruction) -> bool| {
+            s.items().iter().position(|t| pred(&t.instruction)).unwrap()
+        };
+        let cond_at = pos(&|i| matches!(i, Instruction::Cond(_, _)));
+        let last_measure_at = s
+            .items()
+            .iter()
+            .rposition(|t| matches!(t.instruction, Instruction::Measure(_)))
+            .unwrap();
+        assert!(
+            cond_at < last_measure_at,
+            "re-measure hoisted past its conditional reader: {:?}",
+            s.items()
+        );
+        let cond = &s.items()[cond_at];
+        let rem = &s.items()[last_measure_at];
+        assert!(rem.start >= cond.start.saturating_add(cond.duration));
     }
 
     #[test]

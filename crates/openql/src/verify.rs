@@ -10,20 +10,40 @@
 //! through the initial placement and decodes the output through the final
 //! mapping.
 //!
+//! Programs containing mid-circuit measurement and conditional gates
+//! (`Cond`) are *not* unitary, but they are still checkable: the classical
+//! record partitions the evolution into branches. The program is sliced at
+//! its measurement events, every assignment of measurement outcomes is
+//! enumerated, and for each assignment the branch operator — gate
+//! unitaries interleaved with (unnormalised) outcome projectors, with each
+//! conditional gate applied exactly when its recorded bit is one — is
+//! compared column by column. Branches are distinguished by their recorded
+//! classical outcomes, so each branch may carry its own phase.
+//!
 //! The checks run when [`crate::Compiler::with_verification`] is enabled
-//! and silently skip shapes they cannot decide (too many qubits,
-//! mid-circuit measurement, conditional gates): verification never
-//! rejects a program it cannot model, it only rejects proven divergence.
+//! and silently skip shapes they cannot decide (too many qubits, `prep_z`,
+//! measurement skeletons that disagree): verification never rejects a
+//! program it cannot model, it only rejects proven divergence.
 
 use crate::error::CompileError;
 use crate::map::Mapping;
 use cqasm::math::C64;
-use cqasm::{Instruction, Program};
+use cqasm::{GateKind, GateUnitary, Instruction, Program};
 use qxsim::StateVector;
 
 /// Largest circuit verified exhaustively: 2^8 columns of 2^8 amplitudes
 /// is the point where verification stays cheap next to compilation.
 pub const MAX_VERIFY_QUBITS: usize = 8;
+
+/// Largest number of recorded measurement outcomes the branch verifier
+/// enumerates (2^bits branches).
+pub const MAX_BRANCH_BITS: usize = 8;
+
+/// Caps total branch-verification work: `branches * dim * dim` (columns
+/// times amplitudes per branch) must stay below this, so a wide circuit
+/// cannot combine with a long measurement record into a multi-second
+/// check.
+const MAX_BRANCH_WORK: usize = 1 << 20;
 
 /// Absolute tolerance on amplitude mismatch after phase alignment.
 const TOL: f64 = 1e-6;
@@ -125,17 +145,277 @@ fn same_up_to_global_phase(a: &[Vec<C64>], b: &[Vec<C64>], dim: usize) -> Result
     Ok(())
 }
 
-/// Verifies that `after` implements the same unitary as `before` (up to
-/// global phase). Returns `Ok(true)` when the check ran and passed,
-/// `Ok(false)` when either program is outside the verifiable shape.
+/// One event of a branch-verifiable program: a plain gate, a
+/// bit-conditioned gate, or a measurement event (a maximal consecutive run
+/// of `measure`/`measure_all`, with the measured qubits sorted and
+/// deduplicated — re-measuring a qubit in the same run is idempotent).
+enum Ev {
+    Gate(GateKind, Vec<usize>),
+    Cond(usize, GateKind, Vec<usize>),
+    Meas(Vec<usize>),
+}
+
+/// Slices `program` into branch events, or `None` when it contains an
+/// instruction the branch verifier cannot model (`prep_z`).
+fn branch_events(program: &Program) -> Option<Vec<Ev>> {
+    let mut evs = Vec::new();
+    let n = program.qubit_count();
+    for ins in program.flat_instructions() {
+        if !collect_ev(ins, n, &mut evs) {
+            return None;
+        }
+    }
+    Some(evs)
+}
+
+fn collect_ev(ins: &Instruction, n: usize, evs: &mut Vec<Ev>) -> bool {
+    match ins {
+        Instruction::Gate(g) => {
+            let idx = g.qubits.iter().map(|q| q.index()).collect();
+            evs.push(Ev::Gate(g.kind, idx));
+            true
+        }
+        Instruction::Cond(bit, g) => {
+            let idx = g.qubits.iter().map(|q| q.index()).collect();
+            evs.push(Ev::Cond(bit.index(), g.kind, idx));
+            true
+        }
+        Instruction::Measure(q) => {
+            push_meas(evs, &[q.index()]);
+            true
+        }
+        Instruction::MeasureAll => {
+            push_meas(evs, &(0..n).collect::<Vec<_>>());
+            true
+        }
+        Instruction::Bundle(instrs) => instrs.iter().all(|i| collect_ev(i, n, evs)),
+        Instruction::Wait(_) | Instruction::Display => true,
+        Instruction::PrepZ(_) => false,
+    }
+}
+
+fn push_meas(evs: &mut Vec<Ev>, qs: &[usize]) {
+    if let Some(Ev::Meas(run)) = evs.last_mut() {
+        run.extend_from_slice(qs);
+        run.sort_unstable();
+        run.dedup();
+    } else {
+        let mut run = qs.to_vec();
+        run.sort_unstable();
+        run.dedup();
+        evs.push(Ev::Meas(run));
+    }
+}
+
+/// The measurement skeleton: the ordered list of measurement events. Two
+/// programs are branch-comparable only when their skeletons agree, which
+/// gives every (event, qubit) pair the same outcome slot on both sides.
+fn skeleton(evs: &[Ev]) -> Vec<&[usize]> {
+    evs.iter()
+        .filter_map(|ev| match ev {
+            Ev::Meas(qs) => Some(qs.as_slice()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Applies a gate's dense unitary to raw amplitudes. Deliberately
+/// independent of the simulator's specialised kernels: the verifier is its
+/// own oracle.
+fn apply_unitary(amps: &mut [C64], kind: &GateKind, qs: &[usize]) {
+    match kind.unitary() {
+        GateUnitary::One(m) => {
+            let mask = 1usize << qs[0];
+            for i in 0..amps.len() {
+                if i & mask == 0 {
+                    let a0 = amps[i];
+                    let a1 = amps[i | mask];
+                    amps[i] = m.0[0][0] * a0 + m.0[0][1] * a1;
+                    amps[i | mask] = m.0[1][0] * a0 + m.0[1][1] * a1;
+                }
+            }
+        }
+        GateUnitary::Two(m) => {
+            // First operand is the most significant basis bit.
+            let hi = 1usize << qs[0];
+            let lo = 1usize << qs[1];
+            for i in 0..amps.len() {
+                if i & hi == 0 && i & lo == 0 {
+                    let idx = [i, i | lo, i | hi, i | hi | lo];
+                    let v = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+                    for (r, &j) in idx.iter().enumerate() {
+                        amps[j] = m.0[r][0] * v[0]
+                            + m.0[r][1] * v[1]
+                            + m.0[r][2] * v[2]
+                            + m.0[r][3] * v[3];
+                    }
+                }
+            }
+        }
+        GateUnitary::ControlledControlled(m) => {
+            let ctrl = (1usize << qs[0]) | (1usize << qs[1]);
+            let tgt = 1usize << qs[2];
+            for i in 0..amps.len() {
+                if i & ctrl == ctrl && i & tgt == 0 {
+                    let a0 = amps[i];
+                    let a1 = amps[i | tgt];
+                    amps[i] = m.0[0][0] * a0 + m.0[0][1] * a1;
+                    amps[i | tgt] = m.0[1][0] * a0 + m.0[1][1] * a1;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the columns of one branch operator: for each basis input, run
+/// the events with the measurement outcomes fixed by `outcomes` (bit `s`
+/// of `outcomes` is the outcome of slot `s`). Projectors zero the
+/// non-matching amplitudes *without* renormalising, so a column's norm is
+/// the amplitude of that classical record — dead branches come out as
+/// zero columns on both sides and compare equal.
+fn branch_columns(evs: &[Ev], n: usize, outcomes: u64) -> Vec<Vec<C64>> {
+    let dim = 1usize << n;
+    (0..dim)
+        .map(|x| {
+            let mut amps = vec![C64::ZERO; dim];
+            amps[x] = C64::ONE;
+            let mut bits = vec![false; n];
+            let mut slot = 0u32;
+            for ev in evs {
+                match ev {
+                    Ev::Gate(kind, qs) => apply_unitary(&mut amps, kind, qs),
+                    Ev::Cond(bit, kind, qs) => {
+                        if bits[*bit] {
+                            apply_unitary(&mut amps, kind, qs);
+                        }
+                    }
+                    Ev::Meas(qs) => {
+                        for &q in qs {
+                            let one = (outcomes >> slot) & 1 == 1;
+                            slot += 1;
+                            let mask = 1usize << q;
+                            for (i, a) in amps.iter_mut().enumerate() {
+                                if (i & mask != 0) != one {
+                                    *a = C64::ZERO;
+                                }
+                            }
+                            bits[q] = one;
+                        }
+                    }
+                }
+            }
+            amps
+        })
+        .collect()
+}
+
+/// Compares two branch operators (as columns) up to one phase, tolerating
+/// the unnormalised norms: `A` and `B` agree when `‖A‖ = ‖B‖`, the
+/// Frobenius overlap saturates `|tr(A†B)| = ‖A‖·‖B‖`, and the
+/// phase-aligned entries match. Two (near-)zero operators are a dead
+/// branch and agree trivially.
+fn same_branch_up_to_phase(a: &[Vec<C64>], b: &[Vec<C64>], dim: usize) -> Result<(), String> {
+    let norm = |m: &[Vec<C64>]| -> f64 {
+        m.iter()
+            .flat_map(|c| c.iter())
+            .map(|e| e.abs() * e.abs())
+            .sum::<f64>()
+            .sqrt()
+    };
+    let na = norm(a);
+    let nb = norm(b);
+    if na < TOL && nb < TOL {
+        return Ok(());
+    }
+    if (na - nb).abs() > TOL * dim as f64 {
+        return Err(format!("branch operator norms differ: {na:.6} vs {nb:.6}"));
+    }
+    let mut z = C64::ZERO;
+    for (ca, cb) in a.iter().zip(b) {
+        for (&ea, &eb) in ca.iter().zip(cb) {
+            z += ea.conj() * eb;
+        }
+    }
+    let mag = z.abs();
+    if (mag - na * nb).abs() > TOL * dim as f64 {
+        return Err(format!(
+            "Frobenius overlap |tr(A†B)| = {mag:.6}, expected {:.6} (branch operators differ)",
+            na * nb
+        ));
+    }
+    let phase = if mag > TOL { z * (1.0 / mag) } else { C64::ONE };
+    for (x, (ca, cb)) in a.iter().zip(b).enumerate() {
+        for (row, (&ea, &eb)) in ca.iter().zip(cb).enumerate() {
+            let d = (eb - phase * ea).abs();
+            if d > TOL {
+                return Err(format!(
+                    "amplitude ({row}, {x}) differs by {d:.2e} after phase alignment"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Branch verification for non-unitary programs: slice both programs at
+/// their measurement events, require equal skeletons, and compare the
+/// branch operator for every assignment of measurement outcomes.
+fn verify_branches(before: &Program, after: &Program, pass: &str) -> Result<bool, CompileError> {
+    let n = before.qubit_count();
+    if n == 0 || n > MAX_VERIFY_QUBITS {
+        return Ok(false);
+    }
+    let (Some(ea), Some(eb)) = (branch_events(before), branch_events(after)) else {
+        return Ok(false);
+    };
+    if skeleton(&ea) != skeleton(&eb) {
+        return Ok(false);
+    }
+    let bits: usize = skeleton(&ea).iter().map(|qs| qs.len()).sum();
+    let dim = 1usize << n;
+    if bits > MAX_BRANCH_BITS || (1usize << bits).saturating_mul(dim * dim) > MAX_BRANCH_WORK {
+        return Ok(false);
+    }
+    for outcomes in 0..(1u64 << bits) {
+        let ca = branch_columns(&ea, n, outcomes);
+        let cb = branch_columns(&eb, n, outcomes);
+        same_branch_up_to_phase(&ca, &cb, dim).map_err(|detail| {
+            CompileError::VerificationFailed {
+                pass: pass.to_owned(),
+                detail: format!("outcome record {outcomes:0bits$b}: {detail}"),
+            }
+        })?;
+    }
+    Ok(true)
+}
+
+/// Verifies that `after` implements the same semantics as `before`.
+/// Unitary-shaped programs are compared as whole unitaries up to one
+/// global phase; programs with mid-circuit measurement or conditional
+/// gates are compared branch by branch over every assignment of
+/// measurement outcomes (each branch up to its own phase — branches are
+/// distinguished by their recorded classical outcomes, so the relative
+/// phase between them is unobservable). Returns `Ok(true)` when a check
+/// ran and passed, `Ok(false)` when the programs are outside both
+/// verifiable shapes.
 ///
 /// # Errors
 ///
 /// [`CompileError::VerificationFailed`] naming `pass` when the circuits
 /// provably diverge.
 pub fn verify_pass(before: &Program, after: &Program, pass: &str) -> Result<bool, CompileError> {
-    if before.qubit_count() != after.qubit_count() || !verifiable(before) || !verifiable(after) {
+    if before.qubit_count() != after.qubit_count() {
         return Ok(false);
+    }
+    if !verifiable(before) || !verifiable(after) {
+        return verify_branches(before, after, pass);
+    }
+    // The unitary fast path ignores the trailing measurement suffix, so
+    // it must not equate programs that measure different qubits: require
+    // the measurement skeletons to agree before comparing the unitaries.
+    match (branch_events(before), branch_events(after)) {
+        (Some(ea), Some(eb)) if skeleton(&ea) != skeleton(&eb) => return Ok(false),
+        _ => {}
     }
     let n = before.qubit_count();
     let ua = unitary_columns(before, n);
@@ -261,15 +541,148 @@ mod tests {
 
     #[test]
     fn unverifiable_shapes_are_skipped_not_failed() {
+        let big = Program::builder(9).gate(GateKind::H, &[0]).build();
+        assert_eq!(verify_pass(&big, &big, "p"), Ok(false));
+        let prepped = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .prep_z(0)
+            .build();
+        assert_eq!(verify_pass(&prepped, &prepped, "p"), Ok(false));
+    }
+
+    #[test]
+    fn mid_circuit_measurement_verifies_per_branch() {
         let measured_mid = Program::builder(2)
             .gate(GateKind::H, &[0])
             .measure(0)
             .gate(GateKind::X, &[1])
             .build();
-        let same = measured_mid.clone();
-        assert_eq!(verify_pass(&measured_mid, &same, "p"), Ok(false));
-        let big = Program::builder(9).gate(GateKind::H, &[0]).build();
-        assert_eq!(verify_pass(&big, &big, "p"), Ok(false));
+        assert_eq!(verify_pass(&measured_mid, &measured_mid, "p"), Ok(true));
+        // Commuting a disjoint gate across the measurement is sound and
+        // keeps the skeleton, so it must verify (schedulers do this).
+        let hoisted = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::X, &[1])
+            .measure(0)
+            .build();
+        assert_eq!(verify_pass(&measured_mid, &hoisted, "p"), Ok(true));
+    }
+
+    #[test]
+    fn gate_change_after_measurement_is_caught() {
+        let a = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::X, &[1])
+            .build();
+        let b = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::Y, &[1])
+            .build();
+        assert!(verify_pass(&a, &b, "opt").is_err());
+    }
+
+    #[test]
+    fn conditional_programs_verify_per_branch() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .cond(0, GateKind::X, &[1])
+            .measure_all()
+            .build();
+        assert_eq!(verify_pass(&p, &p, "p"), Ok(true));
+    }
+
+    #[test]
+    fn conditional_branch_phase_is_per_branch() {
+        // Z and rz(π) differ by a phase; conditioning them on a bit makes
+        // that phase branch-local, which is still unobservable.
+        let a = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .cond(0, GateKind::Z, &[1])
+            .build();
+        let b = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .cond(0, GateKind::Rz(std::f64::consts::PI), &[1])
+            .build();
+        assert_eq!(verify_pass(&a, &b, "p"), Ok(true));
+    }
+
+    #[test]
+    fn miscompiled_conditional_branch_is_caught() {
+        // The fired branch applies X in `good` but Z in `bad`: only the
+        // record with bit 0 = 1 diverges, and it must be caught.
+        let good = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .cond(0, GateKind::X, &[1])
+            .measure_all()
+            .build();
+        let bad = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .cond(0, GateKind::Z, &[1])
+            .measure_all()
+            .build();
+        match verify_pass(&good, &bad, "schedule") {
+            Err(CompileError::VerificationFailed { pass, detail }) => {
+                assert_eq!(pass, "schedule");
+                assert!(detail.contains("outcome record"), "{detail}");
+            }
+            other => panic!("expected VerificationFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_reading_wrong_bit_is_caught() {
+        let good = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .measure(1)
+            .cond(0, GateKind::X, &[2])
+            .build();
+        let bad = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .measure(1)
+            .cond(1, GateKind::X, &[2])
+            .build();
+        assert!(verify_pass(&good, &bad, "p").is_err());
+    }
+
+    #[test]
+    fn skeleton_mismatch_is_skipped_not_failed() {
+        let a = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .build();
+        let b = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(1)
+            .build();
+        assert_eq!(verify_pass(&a, &b, "p"), Ok(false));
+    }
+
+    #[test]
+    fn adjacent_measures_form_one_event() {
+        // A scheduler may bundle adjacent measures or reorder them within
+        // a cycle; a maximal consecutive run is one event, so the order
+        // inside the run does not matter.
+        let a = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .measure(1)
+            .build();
+        let b = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(1)
+            .measure(0)
+            .build();
+        assert_eq!(verify_pass(&a, &b, "p"), Ok(true));
     }
 
     #[test]

@@ -106,8 +106,10 @@ pub struct ShotResult {
 
 /// The multiplier deriving shot `s`'s RNG seed from the simulator seed:
 /// `seed + s * GOLDEN` (wrapping). The odd 64-bit golden-ratio constant
-/// spreads consecutive shot indices across the seed space.
-const SHOT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+/// spreads consecutive shot indices across the seed space. Public so
+/// independent oracles (the conformance harness) can replay the exact
+/// per-shot RNG streams.
+pub const SHOT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// The QX simulator: a state-vector executor with a pluggable qubit model.
 ///
@@ -1371,6 +1373,7 @@ mod fast_path_tests {
 #[cfg(test)]
 mod measure_run_fast_path_tests {
     use super::*;
+    use crate::plan::{TerminalMeasure, MAX_MEASURE_RUN_SAMPLING};
     use cqasm::GateKind;
 
     /// A Bell pair measured qubit-by-qubit (not `measure_all`): the shape
@@ -1445,6 +1448,39 @@ mod measure_run_fast_path_tests {
             fast.run_shots(&p, 500).unwrap(),
             slow.run_shots(&p, 500).unwrap()
         );
+    }
+
+    /// The `MAX_MEASURE_RUN_SAMPLING = 16` boundary: a 15- and 16-qubit
+    /// run still samples, a 17-qubit run falls back to the interpreter,
+    /// and both paths agree bit for bit on either side of the edge.
+    #[test]
+    fn measure_run_sampling_boundary_at_16() {
+        for n in [15usize, 16, 17] {
+            let mut b = Program::builder(n)
+                .gate(GateKind::H, &[0])
+                .gate(GateKind::Cnot, &[0, 1]);
+            for q in 0..n {
+                b = b.measure(q);
+            }
+            let p = b.build();
+            let fast = Simulator::perfect().with_seed(0xBEEF + n as u64);
+            let slow = fast.clone().with_sampling_fast_path(false);
+            let plan = fast.compile(&p).unwrap();
+            assert_eq!(
+                plan.terminal_sampling(),
+                n <= MAX_MEASURE_RUN_SAMPLING,
+                "n = {n}: fast-path eligibility at the boundary"
+            );
+            assert!(matches!(
+                plan.terminal_measurement(),
+                Some(TerminalMeasure::Run(qs)) if qs.len() == n
+            ));
+            // Few shots: the 17-qubit states are 2^17 amplitudes each and
+            // the interpreter re-simulates every shot.
+            let hf = fast.run_shots(&p, 8).unwrap();
+            let hs = slow.run_shots(&p, 8).unwrap();
+            assert_eq!(hf, hs, "n = {n}: paths diverged at the boundary");
+        }
     }
 }
 

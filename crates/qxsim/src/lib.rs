@@ -55,7 +55,7 @@ pub mod state;
 
 pub use density::{DensityMatrix, MAX_DENSITY_QUBITS};
 pub use error_model::ErrorChannel;
-pub use executor::{ExecuteError, FaultInjection, ShotResult, Simulator};
+pub use executor::{ExecuteError, FaultInjection, ShotResult, Simulator, SHOT_SEED_STRIDE};
 pub use histogram::ShotHistogram;
 pub use observable::{Pauli, PauliString, PauliSum};
 pub use plan::{

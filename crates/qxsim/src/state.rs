@@ -150,6 +150,24 @@ impl StateVector {
         s
     }
 
+    /// Wraps explicit amplitudes *without* normalising. For callers that
+    /// have already produced a normalised (or deliberately unnormalised)
+    /// vector — e.g. differential oracles replaying the executor's exact
+    /// collapse arithmetic — where [`StateVector::from_amplitudes`]'s
+    /// renormalisation would perturb the bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_raw(amps: Vec<C64>) -> Self {
+        assert!(
+            amps.len().is_power_of_two(),
+            "length must be a power of two"
+        );
+        let n = amps.len().trailing_zeros() as usize;
+        StateVector { n, amps }
+    }
+
     /// Number of qubits.
     #[inline]
     pub fn qubit_count(&self) -> usize {

@@ -110,6 +110,47 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
+/// Encodes a request as one wire line — the inverse of [`parse_request`]:
+/// `parse_request(&encode_request(&r)) == Ok(r)` for every request the
+/// wire can represent.
+///
+/// Two representability caveats, both inherited from the JSON wire
+/// format: the `qubits` field can only name the `perfect` and `transmon`
+/// models (any other [`QubitKind`] is omitted and decodes to the
+/// default, perfect qubits), and integers above 2^53 lose precision in
+/// JSON numbers.
+pub fn encode_request(request: &Request) -> String {
+    match request {
+        Request::Submit(spec) => {
+            let mut out = format!(
+                "{{\"verb\":\"submit\",\"circuit\":\"{}\",\"shots\":{},\"seed\":{},\"priority\":{},\"engine\":\"{}\"",
+                escape(&spec.circuit),
+                spec.shots,
+                spec.seed,
+                spec.priority,
+                spec.engine.name(),
+            );
+            if let Some(deadline) = spec.deadline_ms {
+                out.push_str(&format!(",\"deadline_ms\":{deadline}"));
+            }
+            match spec.qubits {
+                QubitKind::Perfect => out.push_str(",\"qubits\":\"perfect\""),
+                k if k == QubitKind::real_transmon() => out.push_str(",\"qubits\":\"transmon\""),
+                _ => {}
+            }
+            out.push('}');
+            out
+        }
+        Request::Status(id) => format!("{{\"verb\":\"status\",\"job\":{}}}", id.0),
+        Request::Result { id, timeout_ms } => format!(
+            "{{\"verb\":\"result\",\"job\":{},\"timeout_ms\":{timeout_ms}}}",
+            id.0
+        ),
+        Request::Cancel(id) => format!("{{\"verb\":\"cancel\",\"job\":{}}}", id.0),
+        Request::Stats => "{\"verb\":\"stats\"}".to_string(),
+    }
+}
+
 fn error_kind(err: &ServiceError) -> &'static str {
     match err {
         ServiceError::QueueFull { .. } => "queue_full",
@@ -265,6 +306,45 @@ mod tests {
         assert!(parse_request("{\"verb\":\"status\"}").is_err());
         assert!(parse_request("{\"verb\":\"frobnicate\"}").is_err());
         assert!(parse_request("{\"circuit\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn encode_then_parse_is_identity_on_every_verb() {
+        let mut spec = JobSpec::new("qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n");
+        spec.shots = 1234;
+        spec.seed = 42;
+        spec.priority = 3;
+        spec.deadline_ms = Some(500);
+        spec.engine = Engine::DensityMatrix;
+        spec.qubits = QubitKind::real_transmon();
+        for req in [
+            Request::Submit(spec),
+            Request::Status(JobId(7)),
+            Request::Result {
+                id: JobId(9),
+                timeout_ms: 100,
+            },
+            Request::Cancel(JobId(3)),
+            Request::Stats,
+        ] {
+            let line = encode_request(&req);
+            assert_eq!(
+                parse_request(&line),
+                Ok(req),
+                "round-trip failed for {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_circuit_newlines_survive_the_wire() {
+        let req = Request::Submit(JobSpec::new("qubits 1\nx q[0]\nmeasure_all\n"));
+        let line = encode_request(&req);
+        assert!(!line.contains('\n'), "wire lines must be single lines");
+        let Request::Submit(spec) = parse_request(&line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.circuit, "qubits 1\nx q[0]\nmeasure_all\n");
     }
 
     #[test]

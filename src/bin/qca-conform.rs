@@ -1,0 +1,123 @@
+//! Seeded differential conformance campaigns from the command line.
+//!
+//! ```text
+//! qca-conform --seed 7 --cases 200       # run a campaign; exit 0 iff all engines agree
+//! qca-conform --replay 81985529216486895 # re-run one case by its seed, verbosely
+//! qca-conform --cases 200 --fail-file failing-seeds.txt
+//! ```
+//!
+//! Each case is a randomly generated cQASM program (including mid-circuit
+//! measurement and binary-controlled gates) executed through every
+//! state-vector engine in the stack — the independent reference oracle,
+//! the interpreter, the compiled plan, and sharded shot ranges — which
+//! must produce bit-identical histograms, plus a statistical check of the
+//! density-matrix engine where it applies. Campaigns are bit-reproducible:
+//! a failing case prints its seed, `--replay <seed>` reproduces it
+//! exactly, and `--fail-file` writes the failing seeds one per line (for
+//! CI artifact upload).
+
+use qca_core::conform::{run_campaign, run_case};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    replay: Option<u64>,
+    fail_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 7,
+        cases: 200,
+        replay: None,
+        fail_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse = |name: &str, v: String| -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = parse("--seed", take("--seed")?)?,
+            "--cases" => args.cases = parse("--cases", take("--cases")?)?,
+            "--replay" => args.replay = Some(parse("--replay", take("--replay")?)?),
+            "--fail-file" => args.fail_file = Some(take("--fail-file")?),
+            "--help" | "-h" => return Err(
+                "usage: qca-conform [--seed N] [--cases M] [--replay CASE_SEED] [--fail-file PATH]"
+                    .to_string(),
+            ),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(seed) = args.replay {
+        let case = run_case(seed);
+        println!("case seed   : {}", case.seed);
+        println!("shape       : {:?}", case.shape);
+        println!("shots       : {}", case.shots);
+        println!("--- source ---\n{}--------------", case.source);
+        return match &case.detail {
+            None => {
+                println!("outcome     : ok (all engines bit-identical)");
+                ExitCode::SUCCESS
+            }
+            Some(detail) => {
+                println!("outcome     : DIVERGED: {detail}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = run_campaign(args.seed, args.cases);
+    println!(
+        "conformance campaign: seed {} cases {} -> {} passed, {} diverged",
+        args.seed,
+        report.cases,
+        report.passed,
+        report.failures.len()
+    );
+    for case in &report.failures {
+        println!(
+            "  DIVERGED case seed {} ({:?}, replay with --replay {}): {}",
+            case.seed,
+            case.shape,
+            case.seed,
+            case.detail.as_deref().unwrap_or("<no detail>")
+        );
+    }
+    if let Some(path) = &args.fail_file {
+        let body: String = report
+            .failures
+            .iter()
+            .map(|c| format!("{}\n", c.seed))
+            .collect();
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write failing seeds to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !report.failures.is_empty() {
+            println!("failing seeds written to {path}");
+        }
+    }
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the `qca-serve` wire protocol: encoding any
+//! representable request and parsing it back is the identity, and no
+//! input line — however malformed — makes the parser panic (the TCP
+//! front-end feeds it raw network bytes).
+
+use proptest::prelude::*;
+use qca_core::QubitKind;
+use qca_service::wire::{encode_request, parse_request, Request};
+use qca_service::{Engine, JobId, JobSpec};
+
+/// Circuits with every character class the JSON escaper has to handle:
+/// newlines, quotes, backslashes, control characters, non-ASCII.
+fn arb_circuit() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("qubits 2\n".to_string()),
+            Just("h q[0]\n".to_string()),
+            Just("cnot q[0], q[1]\n".to_string()),
+            Just("measure_all\n".to_string()),
+            Just("# \"quoted\" comment\n".to_string()),
+            Just("# back\\slash\n".to_string()),
+            Just("# tab\there\n".to_string()),
+            Just("# unicode: ψ⟩ ⊗ φ⟩\n".to_string()),
+        ],
+        1..8,
+    )
+    .prop_map(|lines| lines.concat())
+}
+
+fn arb_submit() -> impl Strategy<Value = Request> {
+    (
+        (
+            arb_circuit(),
+            // JSON numbers are f64: only integers up to 2^53 survive the
+            // wire exactly, which is the documented representable range.
+            0u64..(1 << 53),
+            0u64..(1 << 53),
+        ),
+        (
+            0u64..=255,
+            prop_oneof![Just(None), (1u64..100_000).prop_map(Some)],
+            prop_oneof![Just(Engine::StateVector), Just(Engine::DensityMatrix)],
+            prop_oneof![Just(QubitKind::Perfect), Just(QubitKind::real_transmon())],
+        ),
+    )
+        .prop_map(
+            |((circuit, shots, seed), (priority, deadline_ms, engine, qubits))| {
+                let mut spec = JobSpec::new(circuit);
+                spec.shots = shots;
+                spec.seed = seed;
+                spec.priority = priority as u8;
+                spec.deadline_ms = deadline_ms;
+                spec.engine = engine;
+                spec.qubits = qubits;
+                Request::Submit(spec)
+            },
+        )
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        4 => arb_submit(),
+        1 => (0u64..(1 << 53)).prop_map(|id| Request::Status(JobId(id))),
+        1 => (0u64..(1 << 53), 1u64..600_000).prop_map(|(id, timeout_ms)| Request::Result {
+            id: JobId(id),
+            timeout_ms,
+        }),
+        1 => (0u64..(1 << 53)).prop_map(|id| Request::Cancel(JobId(id))),
+        1 => Just(Request::Stats),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse_request ∘ encode_request` is the identity on every
+    /// representable request, and the encoding is a single line.
+    #[test]
+    fn encode_parse_roundtrip(req in arb_request()) {
+        let line = encode_request(&req);
+        prop_assert!(!line.contains('\n'), "wire lines must be single lines: {line:?}");
+        let back = parse_request(&line);
+        prop_assert!(back == Ok(req), "round-trip failed for line {line}");
+    }
+
+    /// Arbitrary bytes (lossily decoded, as the TCP reader does) must
+    /// yield a typed error or a request — never a panic.
+    #[test]
+    fn random_bytes_never_panic_the_parser(bytes in proptest::collection::vec(0u8..=255, 0..200)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_request(&line);
+    }
+
+    /// Truncating a valid encoding at any point must not panic either —
+    /// partial lines happen when a peer disconnects mid-write.
+    #[test]
+    fn truncated_encodings_never_panic(req in arb_request(), frac in 0usize..100) {
+        let line = encode_request(&req);
+        let cut = line.len() * frac / 100;
+        // Find a char boundary at or below the cut.
+        let mut cut = cut.min(line.len());
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = parse_request(&line[..cut]);
+    }
+}
+
+/// Malformed-but-almost-valid lines yield errors, not panics and not
+/// bogus requests.
+#[test]
+fn near_miss_lines_yield_typed_errors() {
+    for line in [
+        "",
+        "{}",
+        "[]",
+        "null",
+        "42",
+        "\"submit\"",
+        "{\"verb\":42}",
+        "{\"verb\":\"submit\"}",
+        "{\"verb\":\"submit\",\"circuit\":7}",
+        "{\"verb\":\"result\"}",
+        "{\"verb\":\"result\",\"job\":\"seven\"}",
+        "{\"verb\":\"submit\",\"circuit\":\"x\",\"engine\":\"warp\"}",
+        "{\"verb\":\"submit\",\"circuit\":\"x\",\"qubits\":\"cat-state\"}",
+        "{\"verb\":\"stats\"",
+        "{\"verb\":\"stats\"}trailing",
+    ] {
+        assert!(
+            parse_request(line).is_err(),
+            "expected a typed error for {line:?}"
+        );
+    }
+}
