@@ -11,6 +11,8 @@ use cqasm::{GateKind, GateUnitary, Program};
 use qca_bench::{header, row};
 use qxsim::state::reference;
 use qxsim::{Simulator, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// Median-of-3 timing of `f`, each sample averaging `iters` calls.
@@ -51,6 +53,101 @@ struct KernelRow {
 impl KernelRow {
     fn speedup(&self) -> f64 {
         self.new_gps / self.ref_gps
+    }
+}
+
+/// The textbook QFT on `n` qubits: H on each line followed by the ladder
+/// of controlled-phase rotations. Heavy on CRk chains, so the fusion pass
+/// collapses the ladders into strided diagonal sweeps.
+fn qft(n: usize) -> Program {
+    let mut b = Program::builder(n);
+    for i in 0..n {
+        b = b.gate(GateKind::H, &[i]);
+        for j in i + 1..n {
+            b = b.gate(GateKind::CRk((j - i + 1) as u32), &[j, i]);
+        }
+    }
+    b.build()
+}
+
+/// A QAOA-style sweep on an `n`-qubit ring: `layers` alternations of a
+/// diagonal cost layer (ring ZZ phases + local Rz) and an Rx mixer.
+fn qaoa_sweep(n: usize, layers: usize) -> Program {
+    let mut b = Program::builder(n);
+    for q in 0..n {
+        b = b.gate(GateKind::H, &[q]);
+    }
+    for layer in 0..layers {
+        let gamma = 0.37 + 0.11 * layer as f64;
+        let beta = 0.23 + 0.07 * layer as f64;
+        for q in 0..n {
+            b = b.gate(GateKind::Cr(gamma), &[q, (q + 1) % n]);
+            b = b.gate(GateKind::Rz(-gamma / 2.0), &[q]);
+        }
+        for q in 0..n {
+            b = b.gate(GateKind::Rx(2.0 * beta), &[q]);
+        }
+    }
+    b.build()
+}
+
+struct FusionRow {
+    circuit: &'static str,
+    n: usize,
+    gates_before: u64,
+    gates_after: u64,
+    fused_s: f64,
+    unfused_s: f64,
+}
+
+impl FusionRow {
+    fn speedup(&self) -> f64 {
+        self.unfused_s / self.fused_s
+    }
+}
+
+/// Times one full evolution of `program` through the fused and unfused
+/// compiled plans, checking the two final states agree.
+fn fusion_row(circuit: &'static str, program: &Program, iters: u32) -> FusionRow {
+    let fused_sim = Simulator::perfect();
+    let unfused_sim = Simulator::perfect().with_fusion(false);
+    let fused_plan = fused_sim.compile(program).expect("fused plan compiles");
+    let unfused_plan = unfused_sim.compile(program).expect("unfused plan compiles");
+    let stats = fused_plan.fusion_stats();
+
+    let fused_state = fused_sim
+        .run_compiled(&fused_plan, &mut StdRng::seed_from_u64(1))
+        .state;
+    let unfused_state = unfused_sim
+        .run_compiled(&unfused_plan, &mut StdRng::seed_from_u64(1))
+        .state;
+    for (a, b) in fused_state
+        .amplitudes()
+        .iter()
+        .zip(unfused_state.amplitudes())
+    {
+        assert!(
+            (*a - *b).norm_sqr() < 1e-18,
+            "fused and unfused states must agree on {circuit}"
+        );
+    }
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let t_fused = time(
+        || drop(fused_sim.run_compiled(&fused_plan, &mut rng)),
+        iters,
+    );
+    let t_unfused = time(
+        || drop(unfused_sim.run_compiled(&unfused_plan, &mut rng)),
+        iters,
+    );
+    FusionRow {
+        circuit,
+        n: program.qubit_count(),
+        gates_before: stats.gates_before,
+        gates_after: stats.gates_after,
+        fused_s: t_fused,
+        unfused_s: t_unfused,
     }
 }
 
@@ -156,14 +253,39 @@ fn main() {
     ]);
     row(&["full".into(), format!("{slow_sps:.3e}"), "1.0x".into()]);
 
+    // Compiled-plan fusion: full-circuit evolution through the fused plan
+    // (1q runs composed, diagonal chains batched, small clusters blocked)
+    // against the same plan with fusion disabled.
+    let fusion_rows = vec![
+        fusion_row("qft-20", &qft(20), 3),
+        fusion_row("qaoa-sweep-20", &qaoa_sweep(20, 4), 3),
+    ];
+    println!("\n== Compiled-plan fusion (full-circuit evolution) ==");
+    header(&["circuit", "n", "gates", "fused s", "unfused s", "speedup"]);
+    for r in &fusion_rows {
+        row(&[
+            r.circuit.to_string(),
+            r.n.to_string(),
+            format!("{}->{}", r.gates_before, r.gates_after),
+            format!("{:.3}", r.fused_s),
+            format!("{:.3}", r.unfused_s),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+
     let two_q_16 = rows
         .iter()
         .find(|r| r.n == 16 && r.gate == "cnot")
         .map(|r| r.speedup())
         .unwrap_or(0.0);
+    let min_fusion = fusion_rows
+        .iter()
+        .map(|r| r.speedup())
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\nAcceptance: 16-qubit 2q speedup {two_q_16:.2}x (target >= 5x), \
-         Bell sampling speedup {sampling_speedup:.1}x (target >= 10x)"
+         Bell sampling speedup {sampling_speedup:.1}x (target >= 10x), \
+         fusion speedup {min_fusion:.2}x (target >= 2x)"
     );
 
     let mut json = String::from("{\n  \"kernels\": [\n");
@@ -185,9 +307,26 @@ fn main() {
          \"fast_shots_per_sec\": {fast_sps:.1}, \"full_shots_per_sec\": {slow_sps:.1}, \
          \"speedup\": {sampling_speedup:.3}}},\n"
     ));
+    json.push_str("  \"fusion\": [\n");
+    for (i, r) in fusion_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"n\": {}, \"gates_before\": {}, \"gates_after\": {}, \
+             \"fused_sec\": {:.4}, \"unfused_sec\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.circuit,
+            r.n,
+            r.gates_before,
+            r.gates_after,
+            r.fused_s,
+            r.unfused_s,
+            r.speedup(),
+            if i + 1 == fusion_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"targets\": {{\"two_qubit_16q_speedup_min\": 5.0, \"two_qubit_16q_speedup\": {two_q_16:.3}, \
-         \"bell_sampling_speedup_min\": 10.0, \"bell_sampling_speedup\": {sampling_speedup:.3}}}\n"
+         \"bell_sampling_speedup_min\": 10.0, \"bell_sampling_speedup\": {sampling_speedup:.3}, \
+         \"fusion_speedup_min\": 2.0, \"fusion_speedup\": {min_fusion:.3}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_qxsim.json", &json).expect("write BENCH_qxsim.json");

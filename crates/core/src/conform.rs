@@ -15,13 +15,16 @@
 //!   executor's exact per-shot RNG streams;
 //! - **interpreter** — [`qxsim::Simulator`] with the sampling fast path
 //!   disabled (full per-shot re-simulation of the compiled plan);
-//! - **compiled plan** — the default simulator, taking the terminal
-//!   sampling fast paths whenever the plan qualifies;
+//! - **compiled plan** — the default simulator (gate fusion on), taking
+//!   the terminal sampling fast paths whenever the plan qualifies;
+//! - **unfused plan** — the same simulator with the fusion stage
+//!   disabled, so fused and unfused compilation are pinned to the oracle
+//!   independently;
 //! - **sharded** — the same plan split into shot ranges via
 //!   [`qxsim::Simulator::run_shot_range`] (the service's shard primitive)
 //!   and merged out of order.
 //!
-//! All four must produce *identical* histograms: per-shot RNG streams are
+//! All five must produce *identical* histograms: per-shot RNG streams are
 //! seeded independently of the execution strategy, and every kernel
 //! specialisation is exact (no floating-point tolerance anywhere). Each
 //! case is then compiled through the OpenQL pipeline with differential
@@ -111,6 +114,36 @@ pub fn generate_case(seed: u64) -> ConformCase {
     }
     if rng.gen_bool(0.15) {
         src.push_str(&format!("wait {}\n", rng.gen_range(1..=5u64)));
+    }
+    // Fusion-stress tails: a same-qubit 1q run and/or a diagonal chain,
+    // the shapes the plan fuser collapses hardest. The measurement and
+    // conditional sections below then land exactly on fusion boundaries
+    // (measure and `c-` break a fusion run), so the corpus keeps probing
+    // both the fused kernels and the places fusion must stop.
+    if rng.gen_bool(0.5) {
+        let q = rng.gen_range(0..n);
+        for _ in 0..rng.gen_range(2..=6usize) {
+            let g = ["h", "x", "s", "t", "z"][rng.gen_range(0..5usize)];
+            src.push_str(&format!("{g} q[{q}]\n"));
+        }
+    }
+    if rng.gen_bool(0.5) {
+        for _ in 0..rng.gen_range(2..=6usize) {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..4u8) {
+                0 => src.push_str(&format!("t q[{q}]\n")),
+                1 => src.push_str(&format!(
+                    "rz q[{q}], {:.4}\n",
+                    rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)
+                )),
+                2 => src.push_str(&format!("cz q[{q}], q[{}]\n", (q + 1) % n)),
+                _ => src.push_str(&format!(
+                    "crk q[{q}], q[{}], {}\n",
+                    (q + 1) % n,
+                    rng.gen_range(2..=4u32)
+                )),
+            }
+        }
     }
     match shape {
         CaseShape::Unitary => {}
@@ -341,8 +374,9 @@ fn check_case(case: &ConformCase) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs `program` through oracle, interpreter, compiled plan, and sharded
-/// ranges; all four histograms must be identical.
+/// Runs `program` through oracle, interpreter, fused compiled plan,
+/// unfused compiled plan, and sharded ranges; all five histograms must be
+/// identical.
 fn check_engines(stage: &str, program: &Program, shots: u64, seed: u64) -> Result<(), String> {
     let oracle = reference_histogram(program, shots, seed);
 
@@ -358,6 +392,20 @@ fn check_engines(stage: &str, program: &Program, shots: u64, seed: u64) -> Resul
         .run_shots(program, shots)
         .map_err(|e| format!("{stage}/plan: {e}"))?;
     diff_histograms(&format!("{stage}/compiled plan vs oracle"), &oracle, &fast)?;
+
+    // The fused plan above is the default; this engine pins the *unfused*
+    // plan too, so a fusion bug cannot hide behind an identical bug in
+    // the unfused path (and vice versa).
+    let unfused = Simulator::perfect()
+        .with_seed(seed)
+        .with_fusion(false)
+        .run_shots(program, shots)
+        .map_err(|e| format!("{stage}/unfused plan: {e}"))?;
+    diff_histograms(
+        &format!("{stage}/unfused plan vs oracle"),
+        &oracle,
+        &unfused,
+    )?;
 
     let sim = Simulator::perfect().with_seed(seed);
     let plan = sim

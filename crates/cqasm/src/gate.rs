@@ -111,12 +111,103 @@ pub enum KernelClass {
     General2q(Mat4),
     /// Doubly-controlled single-qubit unitary (Toffoli).
     ControlledControlled(Mat2),
+    /// A run of adjacent single-qubit gates on one qubit, collapsed by
+    /// plan-level fusion into a single dense 2x2 applied in one sweep.
+    /// Never produced by [`GateKind::kernel`].
+    Fused1q(Mat2),
+    /// A batch of consecutive diagonal / controlled-phase gates collapsed
+    /// by plan-level fusion into one strided diagonal sweep over the union
+    /// of their supports. Never produced by [`GateKind::kernel`].
+    FusedDiag(FusedDiagonal),
+    /// A cluster of gates sharing a small support, collapsed by plan-level
+    /// fusion into one dense `2^k x 2^k` block applied per orbit. Never
+    /// produced by [`GateKind::kernel`].
+    FusedBlock(BlockUnitary),
+    /// A layer of independent single-qubit unitaries on distinct qubits
+    /// (factor `j` acts on the `j`-th operand), applied factored in one
+    /// memory pass: same arithmetic as the separate gates, one sweep
+    /// instead of one per gate. Never produced by [`GateKind::kernel`].
+    Fused1qLayer(Vec<Mat2>),
+}
+
+/// The diagonal entries of a fused diagonal operator over `k` support
+/// qubits. Entry `p` multiplies every amplitude whose support bits spell
+/// the pattern `p`, where bit `j` of `p` is the state of the `j`-th
+/// operand qubit (LSB-first, unlike [`Mat4`] which puts the first operand
+/// in the most significant bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedDiagonal {
+    /// `2^k` diagonal entries, indexed by support-bit pattern.
+    pub entries: Vec<C64>,
+}
+
+impl FusedDiagonal {
+    /// Number of support qubits (`entries.len() == 2^k`).
+    pub fn support(&self) -> usize {
+        self.entries.len().trailing_zeros() as usize
+    }
+}
+
+/// A dense fused unitary over `k` support qubits, stored row-major with
+/// dimension `2^k`. Like [`FusedDiagonal`] the index convention is
+/// LSB-first: bit `j` of a row/column index is the state of the `j`-th
+/// operand qubit (the opposite of [`Mat4`]'s first-operand-is-high-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockUnitary {
+    /// Number of support qubits.
+    pub k: usize,
+    /// `2^k * 2^k` row-major entries.
+    pub m: Vec<C64>,
+}
+
+impl BlockUnitary {
+    /// The `2^k x 2^k` identity block.
+    pub fn identity(k: usize) -> Self {
+        let dim = 1usize << k;
+        let mut m = vec![C64::ZERO; dim * dim];
+        for r in 0..dim {
+            m[r * dim + r] = C64::ONE;
+        }
+        BlockUnitary { k, m }
+    }
+
+    /// Matrix dimension `2^k`.
+    pub fn dim(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// Dense product `self * rhs` (apply `rhs` first, then `self`).
+    pub fn matmul(&self, rhs: &BlockUnitary) -> BlockUnitary {
+        assert_eq!(self.k, rhs.k, "block dimension mismatch");
+        let dim = self.dim();
+        let mut m = vec![C64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                let mut acc = C64::ZERO;
+                for j in 0..dim {
+                    acc += self.m[r * dim + j] * rhs.m[j * dim + c];
+                }
+                m[r * dim + c] = acc;
+            }
+        }
+        BlockUnitary { k: self.k, m }
+    }
+
+    /// Whether every entry is exactly the identity's (no tolerance): the
+    /// fusion pass drops such blocks (e.g. `cnot; cnot`) entirely.
+    pub fn is_exact_identity(&self) -> bool {
+        let dim = self.dim();
+        self.m.iter().enumerate().all(|(i, v)| {
+            let (r, c) = (i / dim, i % dim);
+            *v == if r == c { C64::ONE } else { C64::ZERO }
+        })
+    }
 }
 
 impl KernelClass {
     /// Number of structural kernel classes ([`KernelClass::class_index`]
     /// is dense over `0..COUNT`). Sized for dispatch histograms.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 14;
 
     /// A stable dense index identifying this class (parameters ignored),
     /// in `0..`[`KernelClass::COUNT`].
@@ -132,6 +223,10 @@ impl KernelClass {
             KernelClass::ControlledPhase(_) => 7,
             KernelClass::General2q(_) => 8,
             KernelClass::ControlledControlled(_) => 9,
+            KernelClass::Fused1q(_) => 10,
+            KernelClass::FusedDiag(_) => 11,
+            KernelClass::FusedBlock(_) => 12,
+            KernelClass::Fused1qLayer(_) => 13,
         }
     }
 
@@ -149,6 +244,10 @@ impl KernelClass {
             7 => "ControlledPhase",
             8 => "General2q",
             9 => "ControlledControlled",
+            10 => "Fused1q",
+            11 => "FusedDiag",
+            12 => "FusedBlock",
+            13 => "Fused1qLayer",
             _ => "Unknown",
         }
     }
@@ -594,6 +693,12 @@ mod tests {
                 }
                 KernelClass::General2q(m) => GateUnitary::Two(m),
                 KernelClass::ControlledControlled(m) => GateUnitary::ControlledControlled(m),
+                KernelClass::Fused1q(_)
+                | KernelClass::FusedDiag(_)
+                | KernelClass::FusedBlock(_)
+                | KernelClass::Fused1qLayer(_) => {
+                    unreachable!("fused kernels only come from plan-level fusion, not GateKind")
+                }
             };
             assert_eq!(dense, g.unitary(), "kernel class of {g} disagrees");
         }

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod writer;
 
 pub use error::Error;
-pub use gate::{GateKind, GateUnitary, KernelClass};
+pub use gate::{BlockUnitary, FusedDiagonal, GateKind, GateUnitary, KernelClass};
 pub use instruction::{Bit, GateApp, Instruction, Qubit};
 pub use program::{
     ErrorModelSpec, Program, ProgramBuilder, Subcircuit, MAX_ITERATIONS, MAX_WAIT_CYCLES,

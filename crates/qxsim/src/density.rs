@@ -9,7 +9,7 @@
 
 use crate::error_model::ErrorChannel;
 use cqasm::math::{Mat2, Mat4, C64};
-use cqasm::{GateKind, GateUnitary, KernelClass};
+use cqasm::{BlockUnitary, FusedDiagonal, GateKind, GateUnitary, KernelClass};
 
 /// Largest register the density engine accepts: the matrix is `4^n`
 /// complex entries, so 13 qubits is ~1 GiB. Callers that cannot panic
@@ -26,11 +26,27 @@ pub enum KernelUnitary {
     One(Mat2),
     /// A two-qubit unitary (first operand = high bit).
     Two(Mat4),
+    /// A fused diagonal over 3+ support qubits (LSB-first index
+    /// convention), applied via [`DensityMatrix::apply_fused_diag`].
+    Diag(FusedDiagonal),
+    /// A fused dense block (LSB-first index convention; see
+    /// [`BlockUnitary`]), applied via [`DensityMatrix::apply_block`].
+    Block(BlockUnitary),
+}
+
+/// Swaps the two bits of a 2-bit index. Fused kernels store patterns
+/// LSB-first (bit `j` is the state of operand `j`) while [`Mat4`] indexes
+/// with the *first* operand as the high bit, so converting a fused 2-qubit
+/// table to a [`Mat4`] bit-reverses every row/column index.
+fn rev2(i: usize) -> usize {
+    ((i & 1) << 1) | (i >> 1)
 }
 
 /// Maps a [`KernelClass`] back to its dense unitary so the density engine
-/// can replay a compiled plan exactly. Returns `None` for three-qubit
-/// kernels (Toffoli), which must be decomposed before density simulation.
+/// can replay a compiled plan exactly. 1q/2q fused kernels convert to
+/// their [`Mat2`]/[`Mat4`] forms; 3-qubit fused blocks pass through as
+/// [`KernelUnitary::Block`]. Returns `None` only for Toffoli, which must
+/// be decomposed before density simulation.
 pub fn kernel_unitary(kernel: &KernelClass) -> Option<KernelUnitary> {
     let two = |kind: GateKind| match kind.unitary() {
         GateUnitary::Two(m) => Some(KernelUnitary::Two(m)),
@@ -60,6 +76,55 @@ pub fn kernel_unitary(kernel: &KernelClass) -> Option<KernelUnitary> {
         }
         KernelClass::General2q(m) => Some(KernelUnitary::Two(*m)),
         KernelClass::ControlledControlled(_) => None,
+        KernelClass::Fused1q(m) => Some(KernelUnitary::One(*m)),
+        KernelClass::FusedDiag(d) => match d.support() {
+            1 => Some(KernelUnitary::One(Mat2([
+                [d.entries[0], C64::ZERO],
+                [C64::ZERO, d.entries[1]],
+            ]))),
+            2 => {
+                let mut m = [[C64::ZERO; 4]; 4];
+                for (i, row) in m.iter_mut().enumerate() {
+                    row[i] = d.entries[rev2(i)];
+                }
+                Some(KernelUnitary::Two(Mat4(m)))
+            }
+            _ => Some(KernelUnitary::Diag(d.clone())),
+        },
+        KernelClass::FusedBlock(b) => match b.k {
+            1 => Some(KernelUnitary::One(Mat2([
+                [b.m[0], b.m[1]],
+                [b.m[2], b.m[3]],
+            ]))),
+            2 => {
+                let mut m = [[C64::ZERO; 4]; 4];
+                for (r, row) in m.iter_mut().enumerate() {
+                    for (c, cell) in row.iter_mut().enumerate() {
+                        *cell = b.m[rev2(r) * 4 + rev2(c)];
+                    }
+                }
+                Some(KernelUnitary::Two(Mat4(m)))
+            }
+            _ => Some(KernelUnitary::Block(b.clone())),
+        },
+        KernelClass::Fused1qLayer(mats) => {
+            // Expand the tensor product LSB-first (bit `j` of a row/column
+            // index = the state of operand `j`), then route through the
+            // same 1q/2q/block forms as a fused block.
+            let k = mats.len();
+            let dim = 1usize << k;
+            let mut m = vec![C64::ZERO; dim * dim];
+            for r in 0..dim {
+                for c in 0..dim {
+                    let mut acc = C64::ONE;
+                    for (j, f) in mats.iter().enumerate() {
+                        acc *= f.0[(r >> j) & 1][(c >> j) & 1];
+                    }
+                    m[r * dim + c] = acc;
+                }
+            }
+            kernel_unitary(&KernelClass::FusedBlock(BlockUnitary { k, m }))
+        }
     }
 }
 
@@ -231,6 +296,86 @@ impl DensityMatrix {
         }
     }
 
+    /// Applies a fused diagonal (LSB-first: bit `j` of a table index is the
+    /// state of `qubits[j]`): `rho[r][c] <- d[pat(r)] rho[r][c] conj(d[pat(c)])`.
+    pub fn apply_fused_diag(&mut self, diag: &FusedDiagonal, qubits: &[usize]) {
+        assert_eq!(diag.support(), qubits.len(), "diagonal support mismatch");
+        let pat = |i: usize| -> usize {
+            let mut p = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                p |= ((i >> q) & 1) << j;
+            }
+            p
+        };
+        let row_entries: Vec<C64> = (0..self.dim).map(|i| diag.entries[pat(i)]).collect();
+        for (r, &dr) in row_entries.iter().enumerate() {
+            for (c, &dc) in row_entries.iter().enumerate() {
+                self.rho[r * self.dim + c] *= dr * dc.conj();
+            }
+        }
+    }
+
+    /// Applies a fused dense block over `block.k` operand qubits:
+    /// `rho <- U rho U†`. Index convention is the fused LSB-first one: bit
+    /// `j` of a block row/column index is the state of `qubits[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match `block.k`.
+    pub fn apply_block(&mut self, block: &BlockUnitary, qubits: &[usize]) {
+        assert_eq!(block.k, qubits.len(), "block arity mismatch");
+        let bdim = block.dim();
+        let offsets: Vec<usize> = (0..bdim)
+            .map(|local| {
+                let mut o = 0usize;
+                for (j, &q) in qubits.iter().enumerate() {
+                    if (local >> j) & 1 == 1 {
+                        o |= 1 << q;
+                    }
+                }
+                o
+            })
+            .collect();
+        let all: usize = offsets[bdim - 1];
+        let mut vals = vec![C64::ZERO; bdim];
+        // Left multiply on rows.
+        for c in 0..self.dim {
+            for base in 0..self.dim {
+                if base & all != 0 {
+                    continue;
+                }
+                for (j, &o) in offsets.iter().enumerate() {
+                    vals[j] = self.rho[(base | o) * self.dim + c];
+                }
+                for (row, &o) in offsets.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (col, v) in vals.iter().enumerate() {
+                        acc += block.m[row * bdim + col] * *v;
+                    }
+                    self.rho[(base | o) * self.dim + c] = acc;
+                }
+            }
+        }
+        // Right multiply by dagger on columns.
+        for r in 0..self.dim {
+            for base in 0..self.dim {
+                if base & all != 0 {
+                    continue;
+                }
+                for (j, &o) in offsets.iter().enumerate() {
+                    vals[j] = self.rho[r * self.dim + (base | o)];
+                }
+                for (col, &o) in offsets.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (k, v) in vals.iter().enumerate() {
+                        acc += *v * block.m[col * bdim + k].conj();
+                    }
+                    self.rho[r * self.dim + (base | o)] = acc;
+                }
+            }
+        }
+    }
+
     /// Applies a set of Kraus operators on qubit `q`:
     /// `rho <- sum_k K_k rho K_k†`.
     pub fn apply_kraus(&mut self, kraus: &[Mat2], q: usize) {
@@ -358,6 +503,87 @@ mod tests {
         }
         assert!((rho.fidelity_pure(&psi) - 1.0).abs() < 1e-10);
         assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    /// `rho[r][c]` of both matrices agree to `tol` everywhere.
+    fn assert_close(a: &DensityMatrix, b: &DensityMatrix, tol: f64) {
+        assert_eq!(a.dim, b.dim);
+        for (i, (x, y)) in a.rho.iter().zip(&b.rho).enumerate() {
+            assert!(
+                (*x - *y).norm_sqr().sqrt() < tol,
+                "entry {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    /// An LSB-first dense block built by pushing every basis column through
+    /// the state-vector engine.
+    fn block_of_gates(k: usize, gates: &[(GateKind, Vec<usize>)]) -> BlockUnitary {
+        let dim = 1usize << k;
+        let mut m = vec![C64::ZERO; dim * dim];
+        for col in 0..dim {
+            let mut psi = StateVector::basis_state(k, col as u64);
+            for (g, qs) in gates {
+                psi.apply_gate(g, qs);
+            }
+            for row in 0..dim {
+                m[row * dim + col] = psi.amplitudes()[row];
+            }
+        }
+        BlockUnitary { k, m }
+    }
+
+    #[test]
+    fn apply_block_matches_gatewise_evolution() {
+        let gates = [
+            (GateKind::H, vec![0]),
+            (GateKind::Cnot, vec![0, 1]),
+            (GateKind::Cnot, vec![1, 2]),
+            (GateKind::T, vec![2]),
+        ];
+        let block = block_of_gates(3, &gates);
+        // Start from a non-trivial state so every entry is exercised.
+        let mut fused = DensityMatrix::zero_state(3);
+        for q in 0..3 {
+            fused.apply_gate(&GateKind::Ry(0.3 + q as f64), &[q]);
+        }
+        let mut gatewise = fused.clone();
+        fused.apply_block(&block, &[0, 1, 2]);
+        for (g, qs) in &gates {
+            gatewise.apply_gate(g, qs);
+        }
+        assert_close(&fused, &gatewise, 1e-12);
+    }
+
+    #[test]
+    fn apply_fused_diag_matches_gatewise_evolution() {
+        // diag(T on q0) * diag(S on q2) over support [0, 2]: entry[pat]
+        // multiplies the T phase for bit 0 and the S phase for bit 1.
+        let t = GateKind::T.unitary();
+        let s = GateKind::S.unitary();
+        let (tp, sp) = match (t, s) {
+            (GateUnitary::One(t), GateUnitary::One(s)) => (t.0[1][1], s.0[1][1]),
+            _ => unreachable!(),
+        };
+        let mut entries = vec![C64::ONE; 4];
+        for (pat, e) in entries.iter_mut().enumerate() {
+            if pat & 1 == 1 {
+                *e *= tp;
+            }
+            if pat & 2 == 2 {
+                *e *= sp;
+            }
+        }
+        let diag = FusedDiagonal { entries };
+        let mut fused = DensityMatrix::zero_state(3);
+        for q in 0..3 {
+            fused.apply_gate(&GateKind::H, &[q]);
+        }
+        let mut gatewise = fused.clone();
+        fused.apply_fused_diag(&diag, &[0, 2]);
+        gatewise.apply_gate(&GateKind::T, &[0]);
+        gatewise.apply_gate(&GateKind::S, &[2]);
+        assert_close(&fused, &gatewise, 1e-12);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 use crate::density::{kernel_unitary, DensityMatrix, KernelUnitary, MAX_DENSITY_QUBITS};
 use crate::error_model::flip_readout;
 use crate::histogram::ShotHistogram;
-use crate::plan::{CompiledProgram, PlannedGate, PlannedOp, TerminalMeasure};
+use crate::plan::{
+    CompiledProgram, FusionStats, PlanOptions, PlannedGate, PlannedOp, TerminalMeasure,
+};
 use crate::qubit_model::QubitModel;
 use crate::state::{auto_threads, par_min_qubits, StateVector};
 use cqasm::{KernelClass, Program};
@@ -26,11 +28,19 @@ use qca_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Per-run kernel-dispatch counts, one bucket per [`KernelClass`] (indexed
 /// by [`KernelClass::class_index`]). Accumulated locally per worker and
 /// summed, so the totals are independent of the thread split.
 type KernelCounts = [u64; KernelClass::COUNT];
+
+/// When telemetry is enabled, every `N`-th dispatch of each kernel class
+/// (starting with its first) is wall-clock timed and recorded under the
+/// `qxsim.kernel_ns.<class>` value series. Sampling keeps the `Instant`
+/// reads off the overwhelming majority of gate applications while still
+/// yielding per-class latency distributions.
+const KERNEL_TIMING_SAMPLE_EVERY: u64 = 64;
 
 /// Errors from executing a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +142,7 @@ pub struct Simulator {
     model: QubitModel,
     seed: u64,
     sampling_fast_path: bool,
+    plan_options: PlanOptions,
     faults: FaultInjection,
     telemetry: Telemetry,
 }
@@ -149,6 +160,7 @@ impl Simulator {
             model: QubitModel::Perfect,
             seed: 0xC0FFEE,
             sampling_fast_path: true,
+            plan_options: PlanOptions::default(),
             faults: FaultInjection::none(),
             telemetry: Telemetry::disabled(),
         }
@@ -160,6 +172,7 @@ impl Simulator {
             model,
             seed: 0xC0FFEE,
             sampling_fast_path: true,
+            plan_options: PlanOptions::default(),
             faults: FaultInjection::none(),
             telemetry: Telemetry::disabled(),
         }
@@ -216,6 +229,20 @@ impl Simulator {
         self
     }
 
+    /// Enables or disables the plan-compilation fusion stage (enabled by
+    /// default). Fused plans apply exactly-composed kernels and agree with
+    /// unfused plans up to floating-point association; the switch exists so
+    /// differential tests and benchmarks can compare the two directly.
+    pub fn with_fusion(mut self, enabled: bool) -> Self {
+        self.plan_options.fusion = enabled;
+        self
+    }
+
+    /// The plan-compilation options [`Simulator::compile`] uses.
+    pub fn plan_options(&self) -> PlanOptions {
+        self.plan_options
+    }
+
     /// The active qubit model.
     pub fn model(&self) -> &QubitModel {
         &self.model
@@ -230,7 +257,9 @@ impl Simulator {
     ///
     /// Returns [`ExecuteError::Invalid`] if the program fails validation.
     pub fn compile(&self, program: &Program) -> Result<CompiledProgram, ExecuteError> {
-        CompiledProgram::compile(program, &self.model)
+        let plan = CompiledProgram::compile_with(program, &self.model, self.plan_options)?;
+        self.record_fusion_stats(&plan.fusion_stats());
+        Ok(plan)
     }
 
     /// Runs the program once and returns the final state and bits.
@@ -338,6 +367,29 @@ impl Simulator {
                 );
             }
         }
+    }
+
+    /// Folds one compilation's fusion decisions into telemetry: gate counts
+    /// entering/leaving the fusion stage plus a histogram of what fused.
+    fn record_fusion_stats(&self, stats: &FusionStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .incr("qxsim.fusion.gates_before", stats.gates_before);
+        self.telemetry
+            .incr("qxsim.fusion.gates_after", stats.gates_after);
+        self.telemetry
+            .incr_labeled("qxsim.fusion", "fused_1q_runs", stats.fused_1q_runs);
+        self.telemetry.incr_labeled(
+            "qxsim.fusion",
+            "fused_diag_batches",
+            stats.fused_diag_batches,
+        );
+        self.telemetry
+            .incr_labeled("qxsim.fusion", "fused_blocks", stats.fused_blocks);
+        self.telemetry
+            .incr_labeled("qxsim.fusion", "fused_1q_layers", stats.fused_1q_layers);
     }
 
     fn run_shots_impl(
@@ -561,7 +613,18 @@ impl Simulator {
         for op in plan.ops() {
             if let PlannedOp::Gate(g) = op {
                 if counting {
-                    counts[g.kernel.class_index()] += 1;
+                    let idx = g.kernel.class_index();
+                    counts[idx] += 1;
+                    if counts[idx] % KERNEL_TIMING_SAMPLE_EVERY == 1 {
+                        let start = Instant::now();
+                        state.apply_kernel(&g.kernel, &g.qubits);
+                        self.telemetry.record_value_labeled(
+                            "qxsim.kernel_ns",
+                            KernelClass::class_name(idx),
+                            start.elapsed().as_nanos() as f64,
+                        );
+                        continue;
+                    }
                 }
                 state.apply_kernel(&g.kernel, &g.qubits);
             }
@@ -757,6 +820,8 @@ impl Simulator {
                         Some(KernelUnitary::Identity) => {}
                         Some(KernelUnitary::One(m)) => rho.apply_1q(&m, g.qubits[0]),
                         Some(KernelUnitary::Two(m)) => rho.apply_2q(&m, g.qubits[0], g.qubits[1]),
+                        Some(KernelUnitary::Diag(d)) => rho.apply_fused_diag(&d, &g.qubits),
+                        Some(KernelUnitary::Block(b)) => rho.apply_block(&b, &g.qubits),
                         None => {
                             return Err(ExecuteError::Invalid(
                                 "density engine cannot apply three-qubit kernels; decompose first"
@@ -906,17 +971,11 @@ impl Simulator {
             match op {
                 PlannedOp::PrepZ(q) => state.reset(*q, rng),
                 PlannedOp::Gate(g) => {
-                    if let Some(c) = counts.as_deref_mut() {
-                        c[g.kernel.class_index()] += 1;
-                    }
-                    self.apply_planned_gate(&mut state, g, rng);
+                    self.dispatch_gate(&mut state, g, rng, counts.as_deref_mut());
                 }
                 PlannedOp::Cond(bit, g) => {
                     if (bits >> bit) & 1 == 1 {
-                        if let Some(c) = counts.as_deref_mut() {
-                            c[g.kernel.class_index()] += 1;
-                        }
-                        self.apply_planned_gate(&mut state, g, rng);
+                        self.dispatch_gate(&mut state, g, rng, counts.as_deref_mut());
                     }
                 }
                 PlannedOp::Measure(q) => {
@@ -953,6 +1012,34 @@ impl Simulator {
         ShotResult { state, bits }
     }
 
+    /// Applies one planned gate, counting its dispatch and — on every
+    /// [`KERNEL_TIMING_SAMPLE_EVERY`]-th dispatch of its class — timing the
+    /// application into the per-class latency series. `counts` is `None`
+    /// when telemetry is disabled, making both instrumentation points free.
+    fn dispatch_gate<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        g: &PlannedGate,
+        rng: &mut R,
+        counts: Option<&mut KernelCounts>,
+    ) {
+        if let Some(c) = counts {
+            let idx = g.kernel.class_index();
+            c[idx] += 1;
+            if c[idx] % KERNEL_TIMING_SAMPLE_EVERY == 1 {
+                let start = Instant::now();
+                self.apply_planned_gate(state, g, rng);
+                self.telemetry.record_value_labeled(
+                    "qxsim.kernel_ns",
+                    KernelClass::class_name(idx),
+                    start.elapsed().as_nanos() as f64,
+                );
+                return;
+            }
+        }
+        self.apply_planned_gate(state, g, rng);
+    }
+
     fn apply_planned_gate<R: Rng + ?Sized>(
         &self,
         state: &mut StateVector,
@@ -977,14 +1064,23 @@ impl Simulator {
 /// exact collapse chain full re-simulation would perform for that outcome
 /// prefix — and memoised under `(depth, prefix)`. Shots then only pay one
 /// `HashMap` probe and one RNG draw per measured qubit. The run length is
-/// capped at [`crate::plan::MAX_MEASURE_RUN_SAMPLING`] by plan analysis,
-/// bounding the tree.
+/// capped at [`crate::plan::MAX_MEASURE_RUN_SAMPLING`] = 64 by plan
+/// analysis (prefixes pack into a `u64`); since the outcome tree of a long
+/// run can far exceed memory, the memo table is pruned on demand — cleared
+/// when it reaches [`MAX_CASCADE_ENTRIES`] — trading recomputation for a
+/// hard memory bound. Pruning is pure cache management: every probability
+/// is recomputed by the identical collapse replay, so results are
+/// unaffected.
 struct MeasureCascade<'a> {
     base: &'a StateVector,
     qs: &'a [usize],
     /// `(depth, outcome-prefix bits)` → `P(qs[depth] = 1 | prefix)`.
     cache: HashMap<(usize, u64), f64>,
 }
+
+/// Memo-table bound for [`MeasureCascade`]: at `2^16` entries (~1.5 MiB)
+/// the cache is cleared and rebuilt from the shots that follow.
+const MAX_CASCADE_ENTRIES: usize = 1 << 16;
 
 impl<'a> MeasureCascade<'a> {
     fn new(base: &'a StateVector, qs: &'a [usize]) -> Self {
@@ -1008,6 +1104,9 @@ impl<'a> MeasureCascade<'a> {
             state.collapse(q, (prefix >> i) & 1 == 1);
         }
         let p = state.probability_one(self.qs[depth]);
+        if self.cache.len() >= MAX_CASCADE_ENTRIES {
+            self.cache.clear();
+        }
         self.cache.insert((depth, prefix), p);
         p
     }
@@ -1450,37 +1549,185 @@ mod measure_run_fast_path_tests {
         );
     }
 
-    /// The `MAX_MEASURE_RUN_SAMPLING = 16` boundary: a 15- and 16-qubit
-    /// run still samples, a 17-qubit run falls back to the interpreter,
-    /// and both paths agree bit for bit on either side of the edge.
+    /// The `MAX_MEASURE_RUN_SAMPLING = 64` boundary: the cap is on run
+    /// *length* (outcome prefixes pack into a `u64`), not register width,
+    /// so a repeated-measure run probes it cheaply. 63- and 64-long runs
+    /// still sample, a 65-long run falls back to the interpreter, and both
+    /// paths agree bit for bit on either side of the edge.
     #[test]
-    fn measure_run_sampling_boundary_at_16() {
-        for n in [15usize, 16, 17] {
-            let mut b = Program::builder(n)
+    fn measure_run_sampling_boundary_at_64() {
+        for len in [63usize, 64, 65] {
+            let mut b = Program::builder(2)
                 .gate(GateKind::H, &[0])
                 .gate(GateKind::Cnot, &[0, 1]);
-            for q in 0..n {
-                b = b.measure(q);
+            for i in 0..len {
+                b = b.measure(i % 2);
             }
             let p = b.build();
-            let fast = Simulator::perfect().with_seed(0xBEEF + n as u64);
+            let fast = Simulator::perfect().with_seed(0xBEEF + len as u64);
             let slow = fast.clone().with_sampling_fast_path(false);
             let plan = fast.compile(&p).unwrap();
             assert_eq!(
                 plan.terminal_sampling(),
-                n <= MAX_MEASURE_RUN_SAMPLING,
-                "n = {n}: fast-path eligibility at the boundary"
+                len <= MAX_MEASURE_RUN_SAMPLING,
+                "len = {len}: fast-path eligibility at the boundary"
             );
             assert!(matches!(
                 plan.terminal_measurement(),
-                Some(TerminalMeasure::Run(qs)) if qs.len() == n
+                Some(TerminalMeasure::Run(qs)) if qs.len() == len
             ));
-            // Few shots: the 17-qubit states are 2^17 amplitudes each and
-            // the interpreter re-simulates every shot.
             let hf = fast.run_shots(&p, 8).unwrap();
             let hs = slow.run_shots(&p, 8).unwrap();
-            assert_eq!(hf, hs, "n = {n}: paths diverged at the boundary");
+            assert_eq!(hf, hs, "len = {len}: paths diverged at the boundary");
         }
+    }
+
+    /// The lifted ceiling in action: a 20-qubit register measured qubit by
+    /// qubit used to fall back to per-shot interpretation (old cap: 16);
+    /// it now samples, and still matches the interpreter bit for bit.
+    #[test]
+    fn wide_measure_runs_take_the_fast_path() {
+        let n = 20;
+        let mut b = Program::builder(n).gate(GateKind::H, &[0]);
+        for q in 0..n - 1 {
+            b = b.gate(GateKind::Cnot, &[q, q + 1]);
+        }
+        for q in 0..n {
+            b = b.measure(q);
+        }
+        let p = b.build();
+        let fast = Simulator::perfect().with_seed(42);
+        let slow = fast.clone().with_sampling_fast_path(false);
+        assert!(fast.compile(&p).unwrap().terminal_sampling());
+        // Few shots: the slow side re-simulates a 2^20 state per shot.
+        let hf = fast.run_shots(&p, 6).unwrap();
+        let hs = slow.run_shots(&p, 6).unwrap();
+        assert_eq!(hf, hs);
+    }
+}
+
+#[cfg(test)]
+mod fusion_execution_tests {
+    use super::*;
+    use cqasm::GateKind;
+
+    /// A program exercising every fusion shape *and* every fusion barrier:
+    /// 1q runs, a diagonal chain, a Toffoli cluster, a mid-circuit
+    /// measurement and a conditional.
+    fn stress(n: usize) -> Program {
+        let mut b = Program::builder(n);
+        for q in 0..n {
+            b = b.gate(GateKind::H, &[q]);
+        }
+        b = b
+            .gate(GateKind::T, &[0])
+            .gate(GateKind::S, &[0])
+            .gate(GateKind::Cz, &[0, 1])
+            .gate(GateKind::CRk(2), &[1, 2])
+            .gate(GateKind::Rz(0.3), &[1])
+            .gate(GateKind::Toffoli, &[0, 1, 2])
+            .gate(GateKind::Cnot, &[1, 2])
+            .measure(0)
+            .cond(0, GateKind::X, &[1])
+            .gate(GateKind::H, &[2])
+            .gate(GateKind::H, &[1]);
+        b.measure_all().build()
+    }
+
+    /// Fused and unfused plans of the same program produce the same
+    /// histogram under the same seed, through both the interpreter and the
+    /// (non-)fast paths. Fusion is exact kernel composition, so the seeded
+    /// outcome streams coincide.
+    #[test]
+    fn fused_and_unfused_plans_agree() {
+        let p = stress(4);
+        for fast_path in [true, false] {
+            let fused = Simulator::perfect()
+                .with_seed(99)
+                .with_sampling_fast_path(fast_path);
+            let unfused = fused.clone().with_fusion(false);
+            let plan_f = fused.compile(&p).unwrap();
+            let plan_u = unfused.compile(&p).unwrap();
+            assert!(plan_f.fusion_stats().gates_after < plan_f.fusion_stats().gates_before);
+            assert_eq!(plan_u.fusion_stats(), Default::default());
+            let hf = fused.run_shots_planned(&plan_f, 500, 2).unwrap();
+            let hu = unfused.run_shots_planned(&plan_u, 500, 2).unwrap();
+            assert_eq!(hf, hu, "fast_path = {fast_path}");
+        }
+    }
+
+    /// Fused plans run under realistic noise only when fusion was already
+    /// suppressed at compile time — the channel-per-gate semantics must
+    /// not change. The noisy histogram therefore matches a simulator with
+    /// fusion explicitly off, shot for shot.
+    #[test]
+    fn noisy_runs_are_unchanged_by_the_fusion_flag() {
+        let p = stress(3);
+        let noisy = Simulator::with_model(QubitModel::realistic_depolarizing(0.02, 0.03, 0.01))
+            .with_seed(7);
+        let plan = noisy.compile(&p).unwrap();
+        assert_eq!(plan.fusion_stats(), Default::default());
+        let h_on = noisy.run_shots(&p, 300).unwrap();
+        let h_off = noisy.clone().with_fusion(false).run_shots(&p, 300).unwrap();
+        assert_eq!(h_on, h_off);
+    }
+
+    /// The density engine replays fused plans through `kernel_unitary`:
+    /// 1q/2q fused kernels convert exactly, so density statistics match
+    /// the state-vector engine on a fused diagonal-heavy program.
+    #[test]
+    fn density_engine_accepts_fused_two_qubit_kernels() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::H, &[1])
+            .gate(GateKind::T, &[0])
+            .gate(GateKind::Cz, &[0, 1])
+            .gate(GateKind::CRk(2), &[0, 1])
+            .gate(GateKind::H, &[1])
+            .measure_all()
+            .build();
+        let sim = Simulator::perfect().with_seed(5);
+        let plan = sim.compile(&p).unwrap();
+        assert!(plan.fusion_stats().fused_diag_batches >= 1);
+        let hd = sim.run_density_planned(&plan, 2000).unwrap();
+        let hs = sim.run_shots(&p, 2000).unwrap();
+        for bits in 0..4u64 {
+            assert!(
+                (hd.probability(bits) - hs.probability(bits)).abs() < 0.05,
+                "bits = {bits:02b}"
+            );
+        }
+    }
+
+    /// Kernel timing is sampled into `qxsim.kernel_ns.<class>` series when
+    /// telemetry is attached.
+    #[test]
+    fn kernel_timing_series_are_recorded() {
+        let tel = Telemetry::enabled();
+        let sim = Simulator::perfect()
+            .with_telemetry(tel.clone())
+            .with_sampling_fast_path(false);
+        let p = stress(3);
+        sim.run_shots(&p, 50).unwrap();
+        let snap = tel.snapshot();
+        assert!(
+            snap.values
+                .keys()
+                .any(|k| k.starts_with("qxsim.kernel_ns.")),
+            "no kernel timing series in {:?}",
+            snap.values.keys().collect::<Vec<_>>()
+        );
+    }
+
+    /// Compilation folds fusion decisions into telemetry counters.
+    #[test]
+    fn fusion_stats_reach_telemetry() {
+        let tel = Telemetry::enabled();
+        let sim = Simulator::perfect().with_telemetry(tel.clone());
+        sim.compile(&stress(3)).unwrap();
+        let snap = tel.snapshot();
+        assert!(snap.counters.get("qxsim.fusion.gates_before").copied() > Some(0));
+        assert!(snap.counters.contains_key("qxsim.fusion.gates_after"));
     }
 }
 

@@ -59,8 +59,10 @@ pub use executor::{ExecuteError, FaultInjection, ShotResult, Simulator, SHOT_SEE
 pub use histogram::ShotHistogram;
 pub use observable::{Pauli, PauliString, PauliSum};
 pub use plan::{
-    CompiledProgram, PlannedGate, PlannedOp, TerminalMeasure, MAX_MEASURE_RUN_SAMPLING,
-    MAX_SIM_QUBITS,
+    CompiledProgram, FusionStats, PlanOptions, PlannedGate, PlannedOp, TerminalMeasure,
+    MAX_FUSED_BLOCK_QUBITS, MAX_FUSED_DIAG_QUBITS, MAX_MEASURE_RUN_SAMPLING, MAX_SIM_QUBITS,
 };
 pub use qubit_model::{QubitModel, RealisticParams};
-pub use state::{par_min_qubits, parse_par_min_qubits, StateVector, PAR_MIN_QUBITS};
+pub use state::{
+    par_min_qubits, parse_par_min_qubits, StateVector, MAX_1Q_LAYER_QUBITS, PAR_MIN_QUBITS,
+};

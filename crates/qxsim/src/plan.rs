@@ -21,7 +21,9 @@
 
 use crate::executor::ExecuteError;
 use crate::qubit_model::QubitModel;
-use cqasm::{Instruction, KernelClass, Program};
+use crate::state::StateVector;
+use cqasm::math::{Mat2, C64};
+use cqasm::{BlockUnitary, FusedDiagonal, Instruction, KernelClass, Program};
 
 /// The largest program the state-vector engine accepts. A 30-qubit state
 /// is 2^30 amplitudes (16 GiB of `Complex64`); beyond that the allocation
@@ -75,10 +77,64 @@ pub enum TerminalMeasure {
 }
 
 /// The longest per-qubit terminal measure run the sampling fast path
-/// accepts. The conditional-outcome cascade caches one probability per
-/// realised outcome prefix, so the cache is bounded by `2^(run+1)` entries;
-/// longer runs fall back to full per-shot interpretation.
-pub const MAX_MEASURE_RUN_SAMPLING: usize = 16;
+/// accepts: the realised outcome prefix is packed into a `u64`, so runs up
+/// to 64 measures qualify. The conditional-outcome cascade memoises one
+/// probability per realised prefix and prunes its cache on demand (see the
+/// executor's `MeasureCascade`), so long runs no longer risk unbounded
+/// memory; programs measuring a qubit more than 64 times fall back to full
+/// per-shot interpretation.
+pub const MAX_MEASURE_RUN_SAMPLING: usize = 64;
+
+/// The widest support (in qubits) a fused diagonal batch may span: the
+/// entry table is `2^support` complex numbers, so 12 caps it at 64 KiB —
+/// comfortably cache-resident. Wider diagonal chains are split greedily.
+pub const MAX_FUSED_DIAG_QUBITS: usize = 12;
+
+/// The widest support a fused dense block may span (`8x8` matrices); gate
+/// clusters on more qubits stay unfused.
+pub const MAX_FUSED_BLOCK_QUBITS: usize = 3;
+
+/// Below this register size the state fits in cache and per-kernel
+/// dispatch overhead dominates, so block clustering fuses eagerly. At or
+/// above it each kernel is a bandwidth/arithmetic-bound sweep over the
+/// amplitudes, and a dense block must beat the [`kernel_cost`] estimate of
+/// the gates it replaces.
+pub const BLOCK_EAGER_MAX_QUBITS: usize = 14;
+
+/// Knobs controlling plan compilation. The default enables gate fusion;
+/// benchmarks and differential tests disable it to compare against the
+/// unfused plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Whether the fusion stage runs (it is also suppressed automatically
+    /// whenever the model attaches error channels to gates).
+    pub fusion: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { fusion: true }
+    }
+}
+
+/// What the fusion stage did to a plan, for telemetry and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusionStats {
+    /// Gates entering the fusion stage (0 when fusion did not run).
+    pub gates_before: u64,
+    /// Gates remaining after fusion.
+    pub gates_after: u64,
+    /// Runs of adjacent same-qubit 1q gates collapsed into one 2x2.
+    pub fused_1q_runs: u64,
+    /// Batches of consecutive diagonal gates collapsed into one table.
+    pub fused_diag_batches: u64,
+    /// Clusters collapsed into dense blocks (including blocks that composed
+    /// to the exact identity and were dropped outright).
+    pub fused_blocks: u64,
+    /// Layers of independent 1q gates on distinct qubits folded into one
+    /// factored sweep.
+    pub fused_1q_layers: u64,
+}
 
 /// A [`Program`] lowered against a [`QubitModel`], ready for repeated
 /// execution. Built by [`crate::Simulator::compile`].
@@ -88,10 +144,12 @@ pub struct CompiledProgram {
     ops: Vec<PlannedOp>,
     terminal: Option<TerminalMeasure>,
     sampling: bool,
+    stats: FusionStats,
 }
 
 impl CompiledProgram {
-    /// Validates and lowers `program` for execution under `model`.
+    /// Validates and lowers `program` for execution under `model` with the
+    /// default [`PlanOptions`] (fusion on).
     ///
     /// # Errors
     ///
@@ -99,6 +157,19 @@ impl CompiledProgram {
     /// validation, or [`ExecuteError::TooManyQubits`] if it addresses more
     /// than [`MAX_SIM_QUBITS`] qubits.
     pub fn compile(program: &Program, model: &QubitModel) -> Result<Self, ExecuteError> {
+        Self::compile_with(program, model, PlanOptions::default())
+    }
+
+    /// [`CompiledProgram::compile`] with explicit [`PlanOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledProgram::compile`].
+    pub fn compile_with(
+        program: &Program,
+        model: &QubitModel,
+        options: PlanOptions,
+    ) -> Result<Self, ExecuteError> {
         program
             .validate()
             .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
@@ -132,6 +203,14 @@ impl CompiledProgram {
                 }
             }
         }
+        // Fusion composes gates into single kernels, which is only exact
+        // when no error channel (and its RNG draws) attaches to individual
+        // gates. Idle channels are fine: `Idle`/`Wait` ops break fusion
+        // segments, so idling happens at exactly the same points either way.
+        let mut stats = FusionStats::default();
+        if options.fusion && model.gate_channel(1).is_none() && model.gate_channel(2).is_none() {
+            ops = fuse_ops(n, ops, &mut stats);
+        }
         let noise_free = model.gate_channel(1).is_none()
             && model.gate_channel(2).is_none()
             && !idle_active
@@ -155,12 +234,19 @@ impl CompiledProgram {
             ops,
             terminal,
             sampling,
+            stats,
         })
     }
 
     /// Number of qubits the plan executes on.
     pub fn qubit_count(&self) -> usize {
         self.n
+    }
+
+    /// What the fusion stage did (all zeros when fusion was disabled or
+    /// suppressed by per-gate noise channels).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.stats
     }
 
     /// The lowered operation sequence.
@@ -256,6 +342,480 @@ fn plan_gate(g: &cqasm::GateApp) -> PlannedGate {
     }
 }
 
+// --- Gate fusion --------------------------------------------------------
+//
+// Fusion rewrites maximal runs of consecutive `Gate` ops (a *segment*;
+// anything else — `Measure`, `Cond`, `PrepZ`, `Idle`, `Wait` — breaks the
+// segment) through three passes:
+//
+//  1. adjacent 1q gates on the same qubit compose into one 2x2;
+//  2. consecutive diagonal gates batch into one strided diagonal table;
+//  3. clusters of gates sharing <= MAX_FUSED_BLOCK_QUBITS qubits compose
+//     into one dense block applied per orbit.
+//
+// Every rewrite is exact matrix composition over the same constants the
+// unfused kernels would use — no tolerance, no approximation — so a fused
+// plan is semantically identical to the original (amplitudes may differ in
+// the last ulp because `(M2 M1) v` associates differently than
+// `M2 (M1 v)`; the conformance campaign pins the observable histograms).
+
+/// Runs the fusion passes over a lowered op list.
+fn fuse_ops(n: usize, ops: Vec<PlannedOp>, stats: &mut FusionStats) -> Vec<PlannedOp> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut segment: Vec<PlannedGate> = Vec::new();
+    for op in ops {
+        match op {
+            PlannedOp::Gate(g) => segment.push(g),
+            other => {
+                flush_segment(n, &mut segment, &mut out, stats);
+                out.push(other);
+            }
+        }
+    }
+    flush_segment(n, &mut segment, &mut out, stats);
+    out
+}
+
+fn flush_segment(
+    n: usize,
+    segment: &mut Vec<PlannedGate>,
+    out: &mut Vec<PlannedOp>,
+    stats: &mut FusionStats,
+) {
+    if segment.is_empty() {
+        return;
+    }
+    stats.gates_before += segment.len() as u64;
+    let run = collapse_1q_runs(std::mem::take(segment), stats);
+    let run = batch_diagonals(n, run, stats);
+    let run = cluster_blocks(n, run, stats);
+    let run = layer_1q_runs(run, stats);
+    stats.gates_after += run.len() as u64;
+    out.extend(run.into_iter().map(PlannedOp::Gate));
+}
+
+/// The dense 2x2 of a single-qubit kernel, if the kernel is single-qubit.
+fn kernel_mat2(kernel: &KernelClass) -> Option<Mat2> {
+    match kernel {
+        KernelClass::Identity => Some(Mat2::identity()),
+        KernelClass::Diagonal1q(c0, c1) => Some(Mat2([[*c0, C64::ZERO], [C64::ZERO, *c1]])),
+        KernelClass::AntiDiagonal1q(c0, c1) => Some(Mat2([[C64::ZERO, *c0], [*c1, C64::ZERO]])),
+        KernelClass::General1q(m) | KernelClass::Fused1q(m) => Some(*m),
+        _ => None,
+    }
+}
+
+/// Classifies a composed 2x2 back into the cheapest exact kernel: diagonal
+/// and anti-diagonal structure is detected by exact-zero entries (matrix
+/// products of structured gates produce exact zeros, not small residues).
+fn classify_mat2(m: Mat2) -> KernelClass {
+    let [[m00, m01], [m10, m11]] = m.0;
+    if m01 == C64::ZERO && m10 == C64::ZERO {
+        KernelClass::Diagonal1q(m00, m11)
+    } else if m00 == C64::ZERO && m11 == C64::ZERO {
+        KernelClass::AntiDiagonal1q(m01, m10)
+    } else {
+        KernelClass::Fused1q(m)
+    }
+}
+
+/// Pass 1: collapse each run of directly adjacent 1q gates on the same
+/// qubit into one composed 2x2 (interleaved runs on *different* qubits are
+/// left to pass 3, which handles them without reordering).
+fn collapse_1q_runs(gates: Vec<PlannedGate>, stats: &mut FusionStats) -> Vec<PlannedGate> {
+    struct Run {
+        q: usize,
+        m: Mat2,
+        count: usize,
+        first: PlannedGate,
+    }
+    let mut out = Vec::with_capacity(gates.len());
+    let mut run: Option<Run> = None;
+    let flush = |run: &mut Option<Run>, out: &mut Vec<PlannedGate>, stats: &mut FusionStats| {
+        if let Some(r) = run.take() {
+            if r.count == 1 {
+                out.push(r.first);
+            } else {
+                stats.fused_1q_runs += 1;
+                out.push(PlannedGate {
+                    kernel: classify_mat2(r.m),
+                    qubits: vec![r.q],
+                    arity: 1,
+                });
+            }
+        }
+    };
+    for g in gates {
+        match kernel_mat2(&g.kernel) {
+            Some(m2) => {
+                let q = g.qubits[0];
+                match &mut run {
+                    Some(r) if r.q == q => {
+                        r.m = m2.matmul(&r.m);
+                        r.count += 1;
+                    }
+                    _ => {
+                        flush(&mut run, &mut out, stats);
+                        run = Some(Run {
+                            q,
+                            m: m2,
+                            count: 1,
+                            first: g,
+                        });
+                    }
+                }
+            }
+            None => {
+                flush(&mut run, &mut out, stats);
+                out.push(g);
+            }
+        }
+    }
+    flush(&mut run, &mut out, stats);
+    out
+}
+
+/// Whether a kernel is diagonal in the computational basis (batchable by
+/// pass 2).
+fn is_diag_kernel(kernel: &KernelClass) -> bool {
+    matches!(
+        kernel,
+        KernelClass::Identity
+            | KernelClass::Diagonal1q(..)
+            | KernelClass::Cz
+            | KernelClass::ControlledPhase(_)
+            | KernelClass::FusedDiag(_)
+    )
+}
+
+/// Multiplies `entries` (indexed by support-bit pattern) by gate `g`'s
+/// diagonal action, where `pos[j]` is the support position of `g.qubits[j]`.
+fn fold_diag_gate(entries: &mut [C64], g: &PlannedGate, pos: &[usize]) {
+    match &g.kernel {
+        KernelClass::Identity => {}
+        KernelClass::Diagonal1q(c0, c1) => {
+            let j = pos[0];
+            for (p, e) in entries.iter_mut().enumerate() {
+                *e *= if (p >> j) & 1 == 1 { *c1 } else { *c0 };
+            }
+        }
+        KernelClass::Cz => {
+            let mask = (1usize << pos[0]) | (1usize << pos[1]);
+            for (p, e) in entries.iter_mut().enumerate() {
+                if p & mask == mask {
+                    *e = -*e;
+                }
+            }
+        }
+        KernelClass::ControlledPhase(ph) => {
+            let mask = (1usize << pos[0]) | (1usize << pos[1]);
+            for (p, e) in entries.iter_mut().enumerate() {
+                if p & mask == mask {
+                    *e *= *ph;
+                }
+            }
+        }
+        KernelClass::FusedDiag(d) => {
+            for (p, e) in entries.iter_mut().enumerate() {
+                let mut sub = 0usize;
+                for (j, &jp) in pos.iter().enumerate() {
+                    sub |= ((p >> jp) & 1) << j;
+                }
+                *e *= d.entries[sub];
+            }
+        }
+        other => unreachable!("non-diagonal kernel {other:?} in diagonal batch"),
+    }
+}
+
+/// Pass 2: batch maximal runs of consecutive diagonal gates into one
+/// [`KernelClass::FusedDiag`] table over the sorted union support. Splits
+/// greedily when the union would exceed [`MAX_FUSED_DIAG_QUBITS`].
+fn batch_diagonals(n: usize, gates: Vec<PlannedGate>, stats: &mut FusionStats) -> Vec<PlannedGate> {
+    let mut out = Vec::with_capacity(gates.len());
+    let mut group: Vec<PlannedGate> = Vec::new();
+    let mut support: Vec<usize> = Vec::new();
+    let flush = |group: &mut Vec<PlannedGate>,
+                 support: &mut Vec<usize>,
+                 out: &mut Vec<PlannedGate>,
+                 stats: &mut FusionStats| {
+        match group.len() {
+            0 => {}
+            1 => out.extend(group.pop()),
+            _ => {
+                stats.fused_diag_batches += 1;
+                let k = support.len();
+                let mut entries = vec![C64::ONE; 1usize << k];
+                for g in group.drain(..) {
+                    // `support` is sorted and contains every operand by
+                    // construction, so the partition point is its index.
+                    let pos: Vec<usize> = g
+                        .qubits
+                        .iter()
+                        .map(|q| support.partition_point(|s| s < q))
+                        .collect();
+                    fold_diag_gate(&mut entries, &g, &pos);
+                }
+                out.push(PlannedGate {
+                    kernel: KernelClass::FusedDiag(FusedDiagonal { entries }),
+                    qubits: std::mem::take(support),
+                    arity: k,
+                });
+            }
+        }
+        support.clear();
+    };
+    for g in gates {
+        if is_diag_kernel(&g.kernel) {
+            let mut union = support.clone();
+            for &q in &g.qubits {
+                if !union.contains(&q) {
+                    union.push(q);
+                }
+            }
+            if union.len() <= MAX_FUSED_DIAG_QUBITS.min(n) {
+                union.sort_unstable();
+                support = union;
+                group.push(g);
+            } else {
+                flush(&mut group, &mut support, &mut out, stats);
+                let mut s: Vec<usize> = g.qubits.clone();
+                s.sort_unstable();
+                s.dedup();
+                support = s;
+                group.push(g);
+            }
+        } else {
+            flush(&mut group, &mut support, &mut out, stats);
+            out.push(g);
+        }
+    }
+    flush(&mut group, &mut support, &mut out, stats);
+    out
+}
+
+/// Expands a kernel acting on `local` (positions within a `k`-qubit block)
+/// to a dense `2^k x 2^k` LSB-first matrix, by applying the kernel to each
+/// basis column on a scratch `k`-qubit state.
+fn expand_kernel(kernel: &KernelClass, local: &[usize], k: usize) -> BlockUnitary {
+    let dim = 1usize << k;
+    let mut m = vec![C64::ZERO; dim * dim];
+    for c in 0..dim {
+        let mut psi = StateVector::basis_state(k, c as u64);
+        psi.apply_kernel(kernel, local);
+        for (r, a) in psi.amplitudes().iter().enumerate() {
+            m[r * dim + c] = *a;
+        }
+    }
+    BlockUnitary { k, m }
+}
+
+/// Rough cost of applying one planned kernel to a large state, in tenths
+/// of a cheap streaming pass roughly split as "sweep the amplitudes" plus
+/// "complex multiplies per amplitude". Only relative magnitudes matter;
+/// the scale is anchored so the cheapest kernels (scale or permute a
+/// subset of amplitudes) cost 4 and a dense 1q pair-rotation costs 5.
+fn kernel_cost(g: &PlannedGate) -> u32 {
+    match &g.kernel {
+        KernelClass::Identity => 0,
+        KernelClass::Diagonal1q(..)
+        | KernelClass::AntiDiagonal1q(..)
+        | KernelClass::Cnot
+        | KernelClass::Cz
+        | KernelClass::Swap
+        | KernelClass::ControlledPhase(_)
+        | KernelClass::ControlledControlled(_)
+        | KernelClass::FusedDiag(_) => 4,
+        KernelClass::General1q(_) | KernelClass::Fused1q(_) => 5,
+        KernelClass::General2q(_) => 11,
+        KernelClass::FusedBlock(b) => block_cost(b.k),
+        // One pass plus one in-register pair rotation per factor.
+        KernelClass::Fused1qLayer(mats) => 3 + 2 * mats.len() as u32,
+    }
+}
+
+/// Cost of one dense `2^k` block sweep on the same scale as
+/// [`kernel_cost`]: one pass plus `2^k` complex multiplies per amplitude.
+fn block_cost(k: usize) -> u32 {
+    3 + 2 * (1u32 << k)
+}
+
+/// Pass 3: greedily cluster consecutive gates whose union support stays
+/// within [`MAX_FUSED_BLOCK_QUBITS`] qubits and compose each cluster into
+/// one dense [`KernelClass::FusedBlock`]. Whether a cluster pays off
+/// depends on the register size:
+///
+/// - Below [`BLOCK_EAGER_MAX_QUBITS`] the whole state sits in cache and
+///   per-kernel dispatch dominates, so any cluster of >= 2 gates (>= 3
+///   for an 8x8 block) is densified.
+/// - At or above it the sweep is bandwidth/arithmetic-bound, so a dense
+///   `2^k` block must absorb more estimated work ([`kernel_cost`]) than
+///   it costs to apply — otherwise e.g. an Rx mixer layer would be
+///   densified into 8x8 blocks that are slower than three cheap 1q
+///   passes.
+///
+/// Clusters composing to the exact identity (e.g. `cnot; cnot`) are
+/// dropped outright.
+fn cluster_blocks(n: usize, gates: Vec<PlannedGate>, stats: &mut FusionStats) -> Vec<PlannedGate> {
+    let mut out = Vec::with_capacity(gates.len());
+    let mut cluster: Vec<PlannedGate> = Vec::new();
+    let mut support: Vec<usize> = Vec::new();
+    let flush = |cluster: &mut Vec<PlannedGate>,
+                 support: &mut Vec<usize>,
+                 out: &mut Vec<PlannedGate>,
+                 stats: &mut FusionStats| {
+        let k = support.len();
+        let worthwhile = k >= 2
+            && if n < BLOCK_EAGER_MAX_QUBITS {
+                cluster.len() >= if k >= 3 { 3 } else { 2 }
+            } else {
+                cluster.iter().map(kernel_cost).sum::<u32>() > block_cost(k)
+            };
+        if !worthwhile {
+            out.append(cluster);
+        } else {
+            let mut block = BlockUnitary::identity(k);
+            for g in cluster.drain(..) {
+                // `support` is sorted and contains every operand by
+                // construction, so the partition point is its index.
+                let local: Vec<usize> = g
+                    .qubits
+                    .iter()
+                    .map(|q| support.partition_point(|s| s < q))
+                    .collect();
+                block = expand_kernel(&g.kernel, &local, k).matmul(&block);
+            }
+            stats.fused_blocks += 1;
+            if !block.is_exact_identity() {
+                out.push(PlannedGate {
+                    kernel: KernelClass::FusedBlock(block),
+                    qubits: std::mem::take(support),
+                    arity: k,
+                });
+            }
+        }
+        support.clear();
+    };
+    for g in gates {
+        let mut gs: Vec<usize> = g.qubits.clone();
+        gs.sort_unstable();
+        gs.dedup();
+        if gs.len() > MAX_FUSED_BLOCK_QUBITS {
+            flush(&mut cluster, &mut support, &mut out, stats);
+            out.push(g);
+            continue;
+        }
+        let mut union = support.clone();
+        for &q in &gs {
+            if !union.contains(&q) {
+                union.push(q);
+            }
+        }
+        if union.len() <= MAX_FUSED_BLOCK_QUBITS {
+            union.sort_unstable();
+            support = union;
+            cluster.push(g);
+        } else {
+            flush(&mut cluster, &mut support, &mut out, stats);
+            support = gs;
+            cluster.push(g);
+        }
+    }
+    flush(&mut cluster, &mut support, &mut out, stats);
+    out
+}
+
+/// The dense 2x2 of a kernel eligible to join a fused 1q layer.
+fn layer_factor(kernel: &KernelClass) -> Option<Mat2> {
+    match kernel {
+        KernelClass::General1q(m) | KernelClass::Fused1q(m) => Some(*m),
+        KernelClass::Diagonal1q(c0, c1) => Some(Mat2([[*c0, C64::ZERO], [C64::ZERO, *c1]])),
+        KernelClass::AntiDiagonal1q(c0, c1) => Some(Mat2([[C64::ZERO, *c0], [*c1, C64::ZERO]])),
+        _ => None,
+    }
+}
+
+/// Pass 4: group runs of consecutive single-qubit gates on pairwise
+/// distinct qubits into factored [`KernelClass::Fused1qLayer`] sweeps of
+/// up to [`crate::state::MAX_1Q_LAYER_QUBITS`] qubits: the factored orbit
+/// pass does the same arithmetic as the separate gates but streams the
+/// state once per sweep instead of once per gate (a 20-qubit Rx mixer
+/// layer or Hadamard wall becomes 5 sweeps instead of 20 passes). Runs
+/// after the cluster pass so denser fusions get first pick; single
+/// leftovers stay as their original kernels.
+fn layer_1q_runs(gates: Vec<PlannedGate>, stats: &mut FusionStats) -> Vec<PlannedGate> {
+    let mut out: Vec<PlannedGate> = Vec::with_capacity(gates.len());
+    let mut layer: Vec<PlannedGate> = Vec::new();
+    let flush =
+        |layer: &mut Vec<PlannedGate>, out: &mut Vec<PlannedGate>, stats: &mut FusionStats| {
+            if layer.len() < 2 {
+                out.append(layer);
+                return;
+            }
+            // Snake partition: sort the run by qubit and pair low qubits
+            // (cache-line/page local strides) with high qubits (huge strides)
+            // in each sweep, so a fused orbit gathers a few contiguous
+            // clusters instead of 2^k isolated cache lines. The members act
+            // on pairwise distinct qubits, so they commute exactly and any
+            // grouping composes the same unitary.
+            layer.sort_by_key(|g| g.qubits[0]);
+            let width = crate::state::MAX_1Q_LAYER_QUBITS;
+            let groups = layer.len().div_ceil(width);
+            let base = layer.len() / groups;
+            let extra = layer.len() % groups;
+            let mut lo = 0usize;
+            let mut hi = layer.len();
+            for i in 0..groups {
+                let size = base + usize::from(i < extra);
+                let take_lo = size.div_ceil(2);
+                let take_hi = size - take_lo;
+                let mut group: Vec<PlannedGate> = Vec::with_capacity(size);
+                group.extend_from_slice(&layer[lo..lo + take_lo]);
+                group.extend_from_slice(&layer[hi - take_hi..hi]);
+                lo += take_lo;
+                hi -= take_hi;
+                if group.len() == 1 {
+                    out.append(&mut group);
+                    continue;
+                }
+                let mats: Vec<Mat2> = group
+                    .iter()
+                    .filter_map(|g| layer_factor(&g.kernel))
+                    .collect();
+                if mats.len() < group.len() {
+                    // Unreachable by construction (eligibility is checked
+                    // before a gate joins the run); degrade to the
+                    // original kernels rather than panic in library code.
+                    out.append(&mut group);
+                    continue;
+                }
+                let qubits: Vec<usize> = group.iter().map(|g| g.qubits[0]).collect();
+                let arity = qubits.len();
+                stats.fused_1q_layers += 1;
+                out.push(PlannedGate {
+                    kernel: KernelClass::Fused1qLayer(mats),
+                    qubits,
+                    arity,
+                });
+            }
+            layer.clear();
+        };
+    for g in gates {
+        let eligible = g.qubits.len() == 1 && layer_factor(&g.kernel).is_some();
+        if !eligible {
+            flush(&mut layer, &mut out, stats);
+            out.push(g);
+            continue;
+        }
+        if layer.iter().any(|l| l.qubits[0] == g.qubits[0]) {
+            flush(&mut layer, &mut out, stats);
+        }
+        layer.push(g);
+    }
+    flush(&mut layer, &mut out, stats);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,9 +829,14 @@ mod tests {
             .build()
     }
 
+    /// Compiles with fusion disabled (the pre-fusion plan shape).
+    fn compile_unfused(p: &Program, model: &QubitModel) -> CompiledProgram {
+        CompiledProgram::compile_with(p, model, PlanOptions { fusion: false }).unwrap()
+    }
+
     #[test]
     fn bell_compiles_to_terminal_sampling_plan() {
-        let plan = CompiledProgram::compile(&bell(), &QubitModel::Perfect).unwrap();
+        let plan = compile_unfused(&bell(), &QubitModel::Perfect);
         assert_eq!(plan.qubit_count(), 2);
         assert_eq!(plan.ops().len(), 3);
         assert!(plan.terminal_sampling());
@@ -291,6 +856,27 @@ mod tests {
             }) if qubits == &[0, 1]
         ));
         assert!(matches!(plan.ops()[2], PlannedOp::MeasureAll));
+    }
+
+    #[test]
+    fn bell_fuses_into_one_block() {
+        // With fusion on (the default), h + cnot share two qubits and
+        // collapse into one dense 4x4 block.
+        let plan = CompiledProgram::compile(&bell(), &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.ops().len(), 2);
+        assert!(plan.terminal_sampling());
+        assert!(matches!(
+            &plan.ops()[0],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::FusedBlock(b),
+                qubits,
+                arity: 2,
+            }) if qubits == &[0, 1] && b.k == 2
+        ));
+        let stats = plan.fusion_stats();
+        assert_eq!(stats.gates_before, 2);
+        assert_eq!(stats.gates_after, 1);
+        assert_eq!(stats.fused_blocks, 1);
     }
 
     #[test]
@@ -367,9 +953,14 @@ mod tests {
                 Instruction::gate(GateKind::Y, &[2]),
             ]))
             .build();
-        let plan = CompiledProgram::compile(&p, &model).unwrap();
+        let plan = compile_unfused(&p, &model);
         assert_eq!(plan.ops().len(), 3); // x, y, one idle
         assert!(matches!(plan.ops()[2], PlannedOp::Idle(0b1010)));
+        // With fusion on, x and y share <= 3 qubits and fuse into one
+        // block, but the idle op still lands after them at the same point.
+        let fused = CompiledProgram::compile(&p, &model).unwrap();
+        assert_eq!(fused.ops().len(), 2);
+        assert!(matches!(fused.ops()[1], PlannedOp::Idle(0b1010)));
     }
 
     #[test]
@@ -465,7 +1056,10 @@ mod tests {
     }
 
     #[test]
-    fn oversized_measure_runs_fall_back() {
+    fn wide_measure_runs_now_qualify_for_sampling() {
+        // Regression for the old MAX_MEASURE_RUN_SAMPLING = 16 ceiling: a
+        // 20-qubit terminal measure run samples instead of falling back to
+        // per-shot interpretation (the cascade prunes its cache on demand).
         let n = 20;
         let mut b = Program::builder(n);
         for q in 0..n {
@@ -475,11 +1069,26 @@ mod tests {
             b = b.measure(q);
         }
         let plan = CompiledProgram::compile(&b.build(), &QubitModel::Perfect).unwrap();
-        assert!(n > MAX_MEASURE_RUN_SAMPLING);
-        assert!(!plan.terminal_sampling(), "cascade cache must stay bounded");
+        assert!(plan.terminal_sampling());
         assert!(matches!(
             plan.terminal_measurement(),
             Some(TerminalMeasure::Run(qs)) if qs.len() == n
+        ));
+    }
+
+    #[test]
+    fn oversized_measure_runs_fall_back() {
+        // The prefix of realised outcomes packs into a u64, so runs longer
+        // than 64 measures (a qubit measured repeatedly) cannot sample.
+        let mut b = Program::builder(2).gate(GateKind::H, &[0]);
+        for _ in 0..(MAX_MEASURE_RUN_SAMPLING + 1) {
+            b = b.measure(0);
+        }
+        let plan = CompiledProgram::compile(&b.build(), &QubitModel::Perfect).unwrap();
+        assert!(!plan.terminal_sampling(), "prefix must fit in 64 bits");
+        assert!(matches!(
+            plan.terminal_measurement(),
+            Some(TerminalMeasure::Run(qs)) if qs.len() == MAX_MEASURE_RUN_SAMPLING + 1
         ));
     }
 
@@ -489,7 +1098,196 @@ mod tests {
         let mut s = cqasm::Subcircuit::with_iterations("loop", 3);
         s.push(Instruction::gate(GateKind::X, &[0]));
         p.push_subcircuit(s);
+        let plan = compile_unfused(&p, &QubitModel::Perfect);
+        assert_eq!(plan.ops().len(), 3);
+    }
+
+    #[test]
+    fn adjacent_1q_runs_collapse_to_one_kernel() {
+        let p = Program::builder(1)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::T, &[0])
+            .gate(GateKind::H, &[0])
+            .measure_all()
+            .build();
         let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.ops().len(), 2);
+        assert!(matches!(
+            &plan.ops()[0],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::Fused1q(_),
+                qubits,
+                arity: 1,
+            }) if qubits == &[0]
+        ));
+        assert_eq!(plan.fusion_stats().fused_1q_runs, 1);
+    }
+
+    #[test]
+    fn composed_1q_runs_reclassify_to_structured_kernels() {
+        // s; t on the same qubit compose into a *diagonal* 2x2, so the
+        // fused kernel keeps the cheap diagonal sweep.
+        let p = Program::builder(1)
+            .gate(GateKind::S, &[0])
+            .gate(GateKind::T, &[0])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert!(matches!(
+            &plan.ops()[0],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::Diagonal1q(..),
+                ..
+            })
+        ));
+        // x; x composes to the exact identity matrix -> Diagonal1q(1, 1)
+        // never reaches the anti-diagonal swap path.
+        let p = Program::builder(1)
+            .gate(GateKind::X, &[0])
+            .gate(GateKind::X, &[0])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert!(matches!(
+            &plan.ops()[0],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::Diagonal1q(c0, c1),
+                ..
+            }) if *c0 == C64::ONE && *c1 == C64::ONE
+        ));
+    }
+
+    #[test]
+    fn diagonal_chains_batch_into_one_table() {
+        // A QFT-style tail: controlled phases + rz, all diagonal, on 4
+        // qubits -> one FusedDiag over the union support.
+        let p = Program::builder(4)
+            .gate(GateKind::T, &[0])
+            .gate(GateKind::CRk(2), &[1, 0])
+            .gate(GateKind::CRk(3), &[2, 0])
+            .gate(GateKind::Cz, &[3, 0])
+            .gate(GateKind::Rz(0.7), &[2])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.ops().len(), 2, "ops: {:?}", plan.ops());
+        assert!(matches!(
+            &plan.ops()[0],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::FusedDiag(d),
+                qubits,
+                arity: 4,
+            }) if qubits == &[0, 1, 2, 3] && d.entries.len() == 16
+        ));
+        assert_eq!(plan.fusion_stats().fused_diag_batches, 1);
+    }
+
+    #[test]
+    fn wide_diagonal_chains_split_greedily() {
+        // 14 qubits of diagonal support cannot fit one table
+        // (MAX_FUSED_DIAG_QUBITS = 12); the batch splits but stays fused.
+        let n = 14;
+        let mut b = Program::builder(n);
+        for q in 0..n {
+            b = b.gate(GateKind::Rz(0.1 * q as f64), &[q]);
+        }
+        for q in 0..n - 1 {
+            b = b.gate(GateKind::Cz, &[q, q + 1]);
+        }
+        let plan = CompiledProgram::compile(&b.build(), &QubitModel::Perfect).unwrap();
+        let stats = plan.fusion_stats();
+        assert!(stats.fused_diag_batches >= 2, "stats: {stats:?}");
+        assert!(stats.gates_after < stats.gates_before);
+        for op in plan.ops() {
+            if let PlannedOp::Gate(g) = op {
+                if let KernelClass::FusedDiag(d) = &g.kernel {
+                    assert!(d.entries.len() <= 1 << MAX_FUSED_DIAG_QUBITS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_inverse_pairs_drop_to_nothing() {
+        let p = Program::builder(2)
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        // cnot; cnot composes to the exact identity and disappears.
+        assert_eq!(plan.ops().len(), 1);
+        assert!(matches!(plan.ops()[0], PlannedOp::MeasureAll));
+        assert!(plan.terminal_sampling());
+    }
+
+    #[test]
+    fn measurement_and_cond_break_fusion_runs() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::H, &[0])
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        // The two H gates sit on opposite sides of the measure: no fusion.
+        assert_eq!(plan.fusion_stats().gates_after, 2);
+
+        let p = Program::builder(2)
+            .gate(GateKind::X, &[0])
+            .measure(0)
+            .cond(0, GateKind::X, &[1])
+            .gate(GateKind::X, &[1])
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        // The conditional gate neither fuses nor lets its neighbours fuse
+        // across it.
+        assert!(plan
+            .ops()
+            .iter()
+            .any(|op| matches!(op, PlannedOp::Cond(..))));
+        assert_eq!(plan.fusion_stats().fused_blocks, 0);
+    }
+
+    #[test]
+    fn per_gate_noise_suppresses_fusion() {
+        let noisy = QubitModel::realistic_depolarizing(0.01, 0.01, 0.0);
+        let plan = CompiledProgram::compile(&bell(), &noisy).unwrap();
+        assert_eq!(plan.fusion_stats(), FusionStats::default());
+        assert_eq!(plan.ops().len(), 3);
+    }
+
+    #[test]
+    fn toffoli_clusters_fuse_into_blocks() {
+        // Toffoli + cnot + t on 3 shared qubits -> one 8x8 block.
+        let p = Program::builder(3)
+            .gate(GateKind::Toffoli, &[0, 1, 2])
+            .gate(GateKind::Cnot, &[0, 2])
+            .gate(GateKind::T, &[1])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.ops().len(), 2);
+        assert!(matches!(
+            &plan.ops()[0],
+            PlannedOp::Gate(PlannedGate {
+                kernel: KernelClass::FusedBlock(b),
+                qubits,
+                arity: 3,
+            }) if qubits == &[0, 1, 2] && b.k == 3
+        ));
+    }
+
+    #[test]
+    fn lone_2q_pairs_of_3q_support_stay_unfused() {
+        // Two gates spanning 3 qubits: a dense 8x8 would not beat two
+        // specialised kernels, so they stay as-is.
+        let p = Program::builder(3)
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Cnot, &[1, 2])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.fusion_stats().fused_blocks, 0);
         assert_eq!(plan.ops().len(), 3);
     }
 }

@@ -20,7 +20,7 @@
 //! benchmark baseline.
 
 use cqasm::math::{Mat2, Mat4, C64, EPSILON};
-use cqasm::KernelClass;
+use cqasm::{BlockUnitary, FusedDiagonal, KernelClass};
 use rand::Rng;
 
 /// Analytic default for the minimum register size (in qubits) at which the
@@ -343,12 +343,32 @@ impl StateVector {
         let mut fixed: Vec<(usize, usize)> = controls.iter().map(|&c| (c, 1)).collect();
         fixed.push((target, 0));
         fixed.sort_unstable();
-        let tbit = 1usize << target;
         let pairs = self.amps.len() >> fixed.len();
+        let threads = auto_threads();
+        if self.n >= par_min_qubits() && threads > 1 {
+            par::apply_controlled_1q_threaded(self, m, controls, target, threads);
+        } else {
+            self.apply_controlled_1q_range(m, &fixed, target, 0, pairs);
+        }
+    }
+
+    /// Applies `m` to the fixed-bit orbit pairs with pair index in `lo..hi`:
+    /// pair index `k` expands to the basis pair by inserting every
+    /// `(position, value)` of `fixed` (controls pinned to 1, target to 0),
+    /// then setting the target bit for the second element.
+    fn apply_controlled_1q_range(
+        &mut self,
+        m: &Mat2,
+        fixed: &[(usize, usize)],
+        target: usize,
+        lo: usize,
+        hi: usize,
+    ) {
+        let tbit = 1usize << target;
         let [[m00, m01], [m10, m11]] = m.0;
-        for k in 0..pairs {
+        for k in lo..hi {
             let mut i0 = k;
-            for &(pos, val) in &fixed {
+            for &(pos, val) in fixed {
                 i0 = ((i0 >> pos) << (pos + 1)) | (val << pos) | (i0 & ((1usize << pos) - 1));
             }
             let i1 = i0 | tbit;
@@ -356,6 +376,186 @@ impl StateVector {
             let a1 = self.amps[i1];
             self.amps[i0] = m00 * a0 + m01 * a1;
             self.amps[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+
+    /// Applies a fused diagonal operator over the given support qubits:
+    /// each amplitude is scaled by the table entry its support bits select
+    /// (one sweep over all `2^n` amplitudes, no matter how many gates were
+    /// fused into the table).
+    ///
+    /// Registers at or above [`par_min_qubits`] are chunked across threads;
+    /// the result is bit-identical since every amplitude is independent.
+    pub fn apply_fused_diag(&mut self, diag: &FusedDiagonal, qubits: &[usize]) {
+        debug_assert_eq!(diag.entries.len(), 1usize << qubits.len());
+        let threads = auto_threads();
+        if self.n >= par_min_qubits() && threads > 1 {
+            par::apply_fused_diag_threaded(self, diag, qubits, threads);
+        } else {
+            let len = self.amps.len();
+            self.apply_fused_diag_range(&diag.entries, qubits, 0, len);
+        }
+    }
+
+    /// Scales the amplitudes with basis index in `lo..hi` by their fused
+    /// diagonal entry.
+    ///
+    /// The pattern gather (bit `j` of the table index = the state of
+    /// `qubits[j]`) is split at bit `m`: contributions from basis bits
+    /// below `m` are tabulated once, contributions from the bits at or
+    /// above `m` only change every `2^m` indices, so the hot loop is one
+    /// table load, an OR and a complex multiply per amplitude.
+    fn apply_fused_diag_range(&mut self, entries: &[C64], qubits: &[usize], lo: usize, hi: usize) {
+        const LOW_BITS_MAX: usize = 11;
+        let m = self.n.min(LOW_BITS_MAX);
+        let low_len = 1usize << m;
+        // Support is capped at MAX_FUSED_DIAG_QUBITS = 12, so patterns fit u16.
+        let mut low_table = vec![0u16; low_len];
+        for (low_bits, slot) in low_table.iter_mut().enumerate() {
+            let mut pat = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                if q < m {
+                    pat |= ((low_bits >> q) & 1) << j;
+                }
+            }
+            *slot = pat as u16;
+        }
+        let mut i = lo;
+        while i < hi {
+            let mut high_pat = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                if q >= m {
+                    high_pat |= ((i >> q) & 1) << j;
+                }
+            }
+            let run_end = hi.min((i | (low_len - 1)) + 1);
+            for idx in i..run_end {
+                let pat = high_pat | low_table[idx & (low_len - 1)] as usize;
+                self.amps[idx] *= entries[pat];
+            }
+            i = run_end;
+        }
+    }
+
+    /// Applies a fused dense block over `k <= 3` support qubits in one
+    /// cache-blocked orbit pass: each of the `2^(n-k)` orbits gathers its
+    /// `2^k` amplitudes, multiplies by the block matrix, and scatters back.
+    /// The block's index convention is LSB-first over `qubits` (bit `j` of
+    /// a row/column index = the state of `qubits[j]`).
+    ///
+    /// Registers at or above [`par_min_qubits`] are chunked across threads
+    /// by orbit range; the result is bit-identical to the serial pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.k != qubits.len()` or `block.k > 3`.
+    pub fn apply_block(&mut self, block: &BlockUnitary, qubits: &[usize]) {
+        assert_eq!(block.k, qubits.len(), "block operand count mismatch");
+        assert!(block.k <= 3, "fused blocks are limited to 3 qubits");
+        let orbits = self.amps.len() >> block.k;
+        let threads = auto_threads();
+        if self.n >= par_min_qubits() && threads > 1 {
+            par::apply_block_threaded(self, block, qubits, threads);
+        } else {
+            self.apply_block_range(block, qubits, 0, orbits);
+        }
+    }
+
+    /// Applies the block to the orbits with orbit index in `lo..hi`,
+    /// monomorphised over the block width so the matvec unrolls.
+    fn apply_block_range(&mut self, block: &BlockUnitary, qubits: &[usize], lo: usize, hi: usize) {
+        match block.k {
+            1 => self.block_orbits::<1, 2>(block, qubits, lo, hi),
+            2 => self.block_orbits::<2, 4>(block, qubits, lo, hi),
+            _ => self.block_orbits::<3, 8>(block, qubits, lo, hi),
+        }
+    }
+
+    /// The dense `DIM x DIM` orbit pass (`DIM = 2^K`): gather, matvec,
+    /// scatter.
+    fn block_orbits<const K: usize, const DIM: usize>(
+        &mut self,
+        block: &BlockUnitary,
+        qubits: &[usize],
+        lo: usize,
+        hi: usize,
+    ) {
+        debug_assert_eq!(block.k, K);
+        debug_assert_eq!(1usize << K, DIM);
+        let mut sorted = [0usize; K];
+        sorted.copy_from_slice(qubits);
+        sorted.sort_unstable();
+        // offsets[l]: the basis offset of local index l from the orbit base
+        // (the OR of operand bit j for every set bit j of l).
+        let mut offsets = [0usize; DIM];
+        for (l, off) in offsets.iter_mut().enumerate() {
+            for (j, &q) in qubits.iter().enumerate() {
+                if (l >> j) & 1 == 1 {
+                    *off |= 1usize << q;
+                }
+            }
+        }
+        let mut m = [C64::ZERO; 64];
+        m[..DIM * DIM].copy_from_slice(&block.m);
+        let mut a = [C64::ZERO; DIM];
+        let amps = self.amps.as_mut_slice();
+        for k in lo..hi {
+            let mut base = k;
+            for &p in &sorted {
+                base = insert_bit(base, p);
+            }
+            debug_assert!(base | offsets[DIM - 1] < amps.len());
+            // SAFETY: `base` has zeros in every support-bit position and
+            // `base | offsets[DIM - 1]` (all support bits set) is the
+            // largest index of the orbit, below `amps.len()` for any
+            // in-range orbit index.
+            unsafe {
+                for (l, slot) in a.iter_mut().enumerate() {
+                    *slot = *amps.get_unchecked(base | offsets[l]);
+                }
+                for r in 0..DIM {
+                    let mut acc = C64::ZERO;
+                    for (c, amp) in a.iter().enumerate() {
+                        acc += m[r * DIM + c] * *amp;
+                    }
+                    *amps.get_unchecked_mut(base | offsets[r]) = acc;
+                }
+            }
+        }
+    }
+
+    /// Applies a layer of independent single-qubit unitaries — factor `j`
+    /// acts on `qubits[j]` — in one factored orbit pass: each `2^k` orbit
+    /// is loaded once, each factor rotates its amplitude pairs in
+    /// registers, and the orbit is stored once. Same arithmetic as
+    /// applying the gates separately, but one memory sweep instead of one
+    /// per gate.
+    ///
+    /// Registers at or above [`par_min_qubits`] are chunked across threads
+    /// by orbit range; the result is bit-identical to the serial pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats.len() != qubits.len()` or the layer spans more than
+    /// 3 qubits.
+    pub fn apply_1q_layer(&mut self, mats: &[Mat2], qubits: &[usize]) {
+        assert_eq!(mats.len(), qubits.len(), "layer factor count mismatch");
+        assert!(
+            !qubits.is_empty() && qubits.len() <= MAX_1Q_LAYER_QUBITS,
+            "fused 1q layers are limited to {MAX_1Q_LAYER_QUBITS} qubits"
+        );
+        let orbits = self.amps.len() >> qubits.len();
+        let threads = auto_threads();
+        if self.n >= par_min_qubits() && threads > 1 {
+            par::apply_1q_layer_threaded(self, mats, qubits, threads);
+        } else {
+            let (sorted, offsets) = layer_tables(qubits);
+            // SAFETY: `&mut self` gives exclusive access to the full
+            // amplitude storage, and `0..orbits` covers exactly the
+            // in-bounds orbits.
+            unsafe {
+                layer_pass_raw(self.amps.as_mut_ptr(), mats, &sorted, &offsets, 0, orbits);
+            }
         }
     }
 
@@ -463,6 +663,10 @@ impl StateVector {
             KernelClass::ControlledControlled(m) => {
                 self.apply_controlled_1q(m, &qubits[..2], qubits[2])
             }
+            KernelClass::Fused1q(m) => self.apply_1q(m, qubits[0]),
+            KernelClass::FusedDiag(d) => self.apply_fused_diag(d, qubits),
+            KernelClass::FusedBlock(b) => self.apply_block(b, qubits),
+            KernelClass::Fused1qLayer(mats) => self.apply_1q_layer(mats, qubits),
         }
     }
 
@@ -611,6 +815,117 @@ impl StateVector {
     }
 }
 
+/// The widest fused 1q layer the factored orbit pass accepts. Measured
+/// sweet spot: wider layers cut memory passes but each extra factor
+/// doubles the gather footprint per orbit, and past `2^4` amplitudes the
+/// strided gather (page-sized strides for high qubits) costs more than
+/// the passes it saves. The kernel itself handles widths up to 8 (see
+/// [`layer_pass_raw`]) so this cap can be retuned without code changes.
+pub const MAX_1Q_LAYER_QUBITS: usize = 4;
+
+/// Precomputes the sorted support and the orbit-local offset table for a
+/// 1q layer: `offsets[l]` is the basis offset of local index `l` from the
+/// orbit base (the OR of operand bit `j` for every set bit `j` of `l`).
+fn layer_tables(qubits: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut sorted: Vec<usize> = qubits.to_vec();
+    sorted.sort_unstable();
+    let dim = 1usize << qubits.len();
+    let mut offsets = vec![0usize; dim];
+    for (l, off) in offsets.iter_mut().enumerate() {
+        for (j, &q) in qubits.iter().enumerate() {
+            if (l >> j) & 1 == 1 {
+                *off |= 1usize << q;
+            }
+        }
+    }
+    (sorted, offsets)
+}
+
+/// The factored 1q-layer orbit pass over raw amplitude storage: each orbit
+/// in `lo..hi` is gathered into an L1-resident buffer, every factor
+/// rotates its amplitude pairs in the buffer (branchless strided walk),
+/// and the orbit is scattered back — the same arithmetic as applying the
+/// gates separately, in one memory sweep.
+///
+/// # Safety
+///
+/// `amps` must point to storage containing every basis index `base |
+/// offsets[l]` reachable from an orbit index in `lo..hi`, and the caller
+/// must have exclusive access to those indices (disjoint orbit ranges on
+/// disjoint workers are fine).
+unsafe fn layer_pass_raw(
+    amps: *mut C64,
+    mats: &[Mat2],
+    sorted: &[usize],
+    offsets: &[usize],
+    lo: usize,
+    hi: usize,
+) {
+    // Monomorphize per width so the factor loop unrolls into fixed-stride
+    // passes the compiler can vectorize.
+    match mats.len() {
+        1 => layer_orbits::<1, 2>(amps, mats, sorted, offsets, lo, hi),
+        2 => layer_orbits::<2, 4>(amps, mats, sorted, offsets, lo, hi),
+        3 => layer_orbits::<3, 8>(amps, mats, sorted, offsets, lo, hi),
+        4 => layer_orbits::<4, 16>(amps, mats, sorted, offsets, lo, hi),
+        5 => layer_orbits::<5, 32>(amps, mats, sorted, offsets, lo, hi),
+        6 => layer_orbits::<6, 64>(amps, mats, sorted, offsets, lo, hi),
+        7 => layer_orbits::<7, 128>(amps, mats, sorted, offsets, lo, hi),
+        8 => layer_orbits::<8, 256>(amps, mats, sorted, offsets, lo, hi),
+        k => unreachable!("fused 1q layer width {k} exceeds {MAX_1Q_LAYER_QUBITS}"),
+    }
+}
+
+/// The width-`K` instantiation of the layer pass (`DIM` must be `2^K`).
+///
+/// # Safety
+///
+/// Same contract as [`layer_pass_raw`], plus `mats`/`sorted` must hold
+/// exactly `K` entries and `offsets` exactly `DIM`.
+unsafe fn layer_orbits<const K: usize, const DIM: usize>(
+    amps: *mut C64,
+    mats: &[Mat2],
+    sorted: &[usize],
+    offsets: &[usize],
+    lo: usize,
+    hi: usize,
+) {
+    let mut m = [[[C64::ZERO; 2]; 2]; K];
+    for (slot, mat) in m.iter_mut().zip(mats) {
+        *slot = mat.0;
+    }
+    let mut sp = [0usize; K];
+    sp.copy_from_slice(&sorted[..K]);
+    let mut off = [0usize; DIM];
+    off.copy_from_slice(&offsets[..DIM]);
+    let mut buf = [C64::ZERO; DIM];
+    for orbit in lo..hi {
+        let mut base = orbit;
+        for &p in sp.iter() {
+            base = insert_bit(base, p);
+        }
+        for l in 0..DIM {
+            *buf.get_unchecked_mut(l) = *amps.add(base | *off.get_unchecked(l));
+        }
+        for (j, [[m00, m01], [m10, m11]]) in m.into_iter().enumerate() {
+            let bit = 1usize << j;
+            let mut b = 0usize;
+            while b < DIM {
+                for l in b..b + bit {
+                    let x = *buf.get_unchecked(l);
+                    let y = *buf.get_unchecked(l | bit);
+                    *buf.get_unchecked_mut(l) = m00 * x + m01 * y;
+                    *buf.get_unchecked_mut(l | bit) = m10 * x + m11 * y;
+                }
+                b += bit << 1;
+            }
+        }
+        for l in 0..DIM {
+            *amps.add(base | *off.get_unchecked(l)) = *buf.get_unchecked(l);
+        }
+    }
+}
+
 /// Chunk-parallel dense kernels over `std::thread::scope`.
 ///
 /// Each worker owns a disjoint range of *orbit indices*; since the orbit
@@ -623,7 +938,8 @@ impl StateVector {
 /// fork-join shape with zero dependencies.)
 pub mod par {
     use super::{insert_bit, insert_two_bits, StateVector};
-    use cqasm::math::{Mat2, Mat4};
+    use cqasm::math::{Mat2, Mat4, C64};
+    use cqasm::{BlockUnitary, FusedDiagonal};
 
     /// A raw amplitude pointer that may cross thread boundaries. Safety is
     /// argued at each use site: workers write disjoint index sets.
@@ -724,6 +1040,225 @@ pub mod par {
                             *base.add(i11) =
                                 mm[3][0] * a0 + mm[3][1] * a1 + mm[3][2] * a2 + mm[3][3] * a3;
                         }
+                    }
+                });
+            }
+        });
+    }
+
+    /// [`StateVector::apply_controlled_1q`] with the fixed-bit orbit pairs
+    /// split across `threads` workers. Exposed so tests can force a thread
+    /// count on registers below the automatic threshold.
+    pub fn apply_controlled_1q_threaded(
+        state: &mut StateVector,
+        m: &Mat2,
+        controls: &[usize],
+        target: usize,
+        threads: usize,
+    ) {
+        let mut fixed: Vec<(usize, usize)> = controls.iter().map(|&c| (c, 1)).collect();
+        fixed.push((target, 0));
+        fixed.sort_unstable();
+        let pairs = state.amps.len() >> fixed.len();
+        let threads = threads.clamp(1, pairs.max(1));
+        if threads <= 1 {
+            state.apply_controlled_1q_range(m, &fixed, target, 0, pairs);
+            return;
+        }
+        let tbit = 1usize << target;
+        let [[m00, m01], [m10, m11]] = m.0;
+        let fixed = &fixed;
+        let amps = AmpsPtr(state.amps.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = pairs * t / threads;
+                let hi = pairs * (t + 1) / threads;
+                let amps = &amps;
+                scope.spawn(move || {
+                    let base = amps.0;
+                    for k in lo..hi {
+                        let mut i0 = k;
+                        for &(pos, val) in fixed {
+                            i0 = ((i0 >> pos) << (pos + 1))
+                                | (val << pos)
+                                | (i0 & ((1usize << pos) - 1));
+                        }
+                        let i1 = i0 | tbit;
+                        // SAFETY: the fixed-bit expansion is injective with
+                        // disjoint `(i0, i1)` images across pair indices,
+                        // and `lo..hi` ranges partition `0..pairs`.
+                        unsafe {
+                            let a0 = *base.add(i0);
+                            let a1 = *base.add(i1);
+                            *base.add(i0) = m00 * a0 + m01 * a1;
+                            *base.add(i1) = m10 * a0 + m11 * a1;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// [`StateVector::apply_fused_diag`] with the amplitude range split
+    /// across `threads` workers. Exposed so tests can force a thread count
+    /// on registers below the automatic threshold.
+    pub fn apply_fused_diag_threaded(
+        state: &mut StateVector,
+        diag: &FusedDiagonal,
+        qubits: &[usize],
+        threads: usize,
+    ) {
+        let len = state.amps.len();
+        let threads = threads.clamp(1, len.max(1));
+        if threads <= 1 {
+            state.apply_fused_diag_range(&diag.entries, qubits, 0, len);
+            return;
+        }
+        let entries = &diag.entries;
+        // Same low-bits pattern table as the serial pass (see
+        // `apply_fused_diag_range`), built once and shared by the workers.
+        const LOW_BITS_MAX: usize = 11;
+        let split = state.n.min(LOW_BITS_MAX);
+        let low_len = 1usize << split;
+        let mut low_table = vec![0u16; low_len];
+        for (low_bits, slot) in low_table.iter_mut().enumerate() {
+            let mut pat = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                if q < split {
+                    pat |= ((low_bits >> q) & 1) << j;
+                }
+            }
+            *slot = pat as u16;
+        }
+        let low_table = &low_table;
+        let amps = AmpsPtr(state.amps.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = len * t / threads;
+                let hi = len * (t + 1) / threads;
+                let amps = &amps;
+                scope.spawn(move || {
+                    let base = amps.0;
+                    let mut i = lo;
+                    while i < hi {
+                        let mut high_pat = 0usize;
+                        for (j, &q) in qubits.iter().enumerate() {
+                            if q >= split {
+                                high_pat |= ((i >> q) & 1) << j;
+                            }
+                        }
+                        let run_end = hi.min((i | (low_len - 1)) + 1);
+                        for idx in i..run_end {
+                            let pat = high_pat | low_table[idx & (low_len - 1)] as usize;
+                            // SAFETY: each worker touches only its own
+                            // `lo..hi` amplitude range; the ranges
+                            // partition `0..len`.
+                            unsafe {
+                                *base.add(idx) *= entries[pat];
+                            }
+                        }
+                        i = run_end;
+                    }
+                });
+            }
+        });
+    }
+
+    /// [`StateVector::apply_block`] with the `2^k`-element orbits split
+    /// across `threads` workers. Exposed so tests can force a thread count
+    /// on registers below the automatic threshold.
+    pub fn apply_block_threaded(
+        state: &mut StateVector,
+        block: &BlockUnitary,
+        qubits: &[usize],
+        threads: usize,
+    ) {
+        let orbits = state.amps.len() >> block.k;
+        let threads = threads.clamp(1, orbits.max(1));
+        if threads <= 1 {
+            state.apply_block_range(block, qubits, 0, orbits);
+            return;
+        }
+        let dim = block.dim();
+        let mut sorted: Vec<usize> = qubits.to_vec();
+        sorted.sort_unstable();
+        let mut offsets = [0usize; 8];
+        for (l, off) in offsets.iter_mut().enumerate().take(dim) {
+            for (j, &q) in qubits.iter().enumerate() {
+                if (l >> j) & 1 == 1 {
+                    *off |= 1usize << q;
+                }
+            }
+        }
+        let sorted = &sorted;
+        let m = &block.m;
+        let amps = AmpsPtr(state.amps.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = orbits * t / threads;
+                let hi = orbits * (t + 1) / threads;
+                let amps = &amps;
+                scope.spawn(move || {
+                    let base_ptr = amps.0;
+                    let mut a = [C64::ZERO; 8];
+                    for k in lo..hi {
+                        let mut base = k;
+                        for &p in sorted {
+                            base = insert_bit(base, p);
+                        }
+                        // SAFETY: orbit index `k` maps to `2^k` basis
+                        // indices disjoint from every other orbit's, and
+                        // the `lo..hi` ranges partition `0..orbits`.
+                        unsafe {
+                            for (l, slot) in a.iter_mut().enumerate().take(dim) {
+                                *slot = *base_ptr.add(base | offsets[l]);
+                            }
+                            for r in 0..dim {
+                                let mut acc = C64::ZERO;
+                                for (c, amp) in a.iter().enumerate().take(dim) {
+                                    acc += m[r * dim + c] * *amp;
+                                }
+                                *base_ptr.add(base | offsets[r]) = acc;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// [`StateVector::apply_1q_layer`] with the `2^k`-element orbits split
+    /// across `threads` workers. Exposed so tests can force a thread count
+    /// on registers below the automatic threshold.
+    pub fn apply_1q_layer_threaded(
+        state: &mut StateVector,
+        mats: &[Mat2],
+        qubits: &[usize],
+        threads: usize,
+    ) {
+        let orbits = state.amps.len() >> qubits.len();
+        let threads = threads.clamp(1, orbits.max(1));
+        let (sorted, offsets) = super::layer_tables(qubits);
+        if threads <= 1 {
+            // SAFETY: exclusive `&mut` access, full in-bounds orbit range.
+            unsafe {
+                super::layer_pass_raw(state.amps.as_mut_ptr(), mats, &sorted, &offsets, 0, orbits);
+            }
+            return;
+        }
+        let sorted = &sorted;
+        let offsets = &offsets;
+        let amps = AmpsPtr(state.amps.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = orbits * t / threads;
+                let hi = orbits * (t + 1) / threads;
+                let amps = &amps;
+                scope.spawn(move || {
+                    // SAFETY: orbit indices map to disjoint basis-index
+                    // sets; the orbit ranges partition `0..orbits`.
+                    unsafe {
+                        super::layer_pass_raw(amps.0, mats, sorted, offsets, lo, hi);
                     }
                 });
             }
@@ -1157,6 +1692,116 @@ mod tests {
             a.apply_2q(&cnot, 6, 2);
             par::apply_2q_threaded(&mut b, &cnot, 6, 2, threads);
             assert_eq!(a, b, "2q, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn fused_diag_matches_sequential_diagonal_gates() {
+        // t q2; rz q0; cz q0,q2; crk q2,q0 fused into one diagonal table
+        // must match the sequential gates exactly in structure (entrywise
+        // products commute with the sweep order).
+        let mut seq = random_state(5, 7);
+        let mut fused = seq.clone();
+        seq.apply_gate(&GateKind::T, &[2]);
+        seq.apply_gate(&GateKind::Rz(0.43), &[0]);
+        seq.apply_gate(&GateKind::Cz, &[0, 2]);
+        seq.apply_gate(&GateKind::CRk(2), &[2, 0]);
+
+        // Build the table by hand over support [0, 2] (bit 0 = q0).
+        let (t0, t1) = match GateKind::T.kernel() {
+            KernelClass::Diagonal1q(a, b) => (a, b),
+            other => panic!("unexpected {other:?}"),
+        };
+        let (r0, r1) = match GateKind::Rz(0.43).kernel() {
+            KernelClass::Diagonal1q(a, b) => (a, b),
+            other => panic!("unexpected {other:?}"),
+        };
+        let crk = match GateKind::CRk(2).kernel() {
+            KernelClass::ControlledPhase(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut entries = vec![C64::ONE; 4];
+        for (p, e) in entries.iter_mut().enumerate() {
+            *e *= if p >> 1 & 1 == 1 { t1 } else { t0 };
+            *e *= if p & 1 == 1 { r1 } else { r0 };
+            if p == 3 {
+                *e *= -C64::ONE * crk;
+            }
+        }
+        fused.apply_fused_diag(&FusedDiagonal { entries }, &[0, 2]);
+        assert_states_close(&seq, &fused, "fused diagonal");
+    }
+
+    #[test]
+    fn fused_block_applies_lsb_first_convention() {
+        // A block that is CNOT with control = local bit 0 = qubits[0].
+        let mut m = vec![C64::ZERO; 16];
+        // |c t> with c = bit 0: 00->00, 01(c=1)->11, 10->10, 11->01.
+        m[0] = C64::ONE; // col 0 -> row 0
+        m[3 * 4 + 1] = C64::ONE; // col 1 -> row 3
+        m[2 * 4 + 2] = C64::ONE; // col 2 -> row 2
+        m[4 + 3] = C64::ONE; // col 3 -> row 1
+        let block = BlockUnitary { k: 2, m };
+        for basis in 0..8u64 {
+            let mut a = StateVector::basis_state(3, basis);
+            let mut b = a.clone();
+            a.apply_gate(&GateKind::Cnot, &[2, 1]);
+            b.apply_block(&block, &[2, 1]);
+            assert_states_close(&a, &b, &format!("block cnot, basis {basis}"));
+        }
+    }
+
+    #[test]
+    fn threaded_fused_kernels_are_bit_identical_to_serial() {
+        let tof = match GateKind::Toffoli.kernel() {
+            KernelClass::ControlledControlled(m) => m,
+            other => panic!("unexpected {other:?}"),
+        };
+        let diag = FusedDiagonal {
+            entries: vec![
+                C64::ONE,
+                C64::I,
+                C64::cis(0.3),
+                -C64::ONE,
+                C64::cis(-1.1),
+                C64::ONE,
+                C64::I,
+                C64::cis(2.0),
+            ],
+        };
+        let block = {
+            // Any unitary works for the identity-of-arithmetic check; build
+            // one from columns of gate applications on basis states.
+            let mut m = vec![C64::ZERO; 64];
+            for c in 0..8 {
+                let mut col = StateVector::basis_state(3, c as u64);
+                col.apply_gate(&GateKind::H, &[0]);
+                col.apply_gate(&GateKind::Cnot, &[0, 1]);
+                col.apply_gate(&GateKind::T, &[2]);
+                for (r, a) in col.amplitudes().iter().enumerate() {
+                    m[r * 8 + c] = *a;
+                }
+            }
+            BlockUnitary { k: 3, m }
+        };
+        for threads in [2, 3, 8] {
+            let mut a = random_state(7, 101);
+            let mut b = a.clone();
+            a.apply_controlled_1q(&tof, &[1, 5], 3);
+            par::apply_controlled_1q_threaded(&mut b, &tof, &[1, 5], 3, threads);
+            assert_eq!(a, b, "controlled 1q, {threads} threads");
+
+            let mut a = random_state(7, 102);
+            let mut b = a.clone();
+            a.apply_fused_diag(&diag, &[2, 4, 6]);
+            par::apply_fused_diag_threaded(&mut b, &diag, &[2, 4, 6], threads);
+            assert_eq!(a, b, "fused diag, {threads} threads");
+
+            let mut a = random_state(7, 103);
+            let mut b = a.clone();
+            a.apply_block(&block, &[5, 0, 3]);
+            par::apply_block_threaded(&mut b, &block, &[5, 0, 3], threads);
+            assert_eq!(a, b, "fused block, {threads} threads");
         }
     }
 

@@ -295,6 +295,19 @@ impl Telemetry {
         }
     }
 
+    /// Records one observation of the `label` series of the value family
+    /// `family` — per-label timing/size distributions (per-kernel-class
+    /// nanoseconds, per-pass microseconds, ...). Stored in the value map
+    /// under `family.label`; the disabled handle pays a single branch and
+    /// never allocates the joined name.
+    #[inline]
+    pub fn record_value_labeled(&self, family: &str, label: &str, v: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.record_value(&format!("{family}.{label}"), v);
+    }
+
     /// Copies out everything recorded so far. Open spans appear with their
     /// duration-so-far and `closed == false`.
     pub fn snapshot(&self) -> Snapshot {

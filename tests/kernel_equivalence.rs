@@ -1,13 +1,15 @@
 //! Property tests: every specialised gate kernel in `qxsim` must produce
 //! the same amplitudes as the generic dense-matrix path
 //! (`qxsim::state::reference`), for every gate in the cQASM library, on
-//! random states and random operand assignments.
+//! random states and random operand assignments — and the plan fuser must
+//! preserve those amplitudes when it collapses runs, chains and clusters
+//! into fused kernels.
 
 use cqasm::math::C64;
-use cqasm::GateKind;
+use cqasm::{GateKind, Program};
 use proptest::prelude::*;
 use qxsim::state::{par, reference};
-use qxsim::StateVector;
+use qxsim::{Simulator, StateVector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,6 +49,54 @@ fn arb_gate() -> BoxedStrategy<GateKind> {
         Just(GateKind::Toffoli),
     ]
     .boxed()
+}
+
+/// Any single-qubit gate (the fusion pass 1 alphabet).
+fn arb_1q_gate() -> BoxedStrategy<GateKind> {
+    prop_oneof![
+        Just(GateKind::I),
+        Just(GateKind::H),
+        Just(GateKind::X),
+        Just(GateKind::Y),
+        Just(GateKind::Z),
+        Just(GateKind::S),
+        Just(GateKind::Sdag),
+        Just(GateKind::T),
+        Just(GateKind::Tdag),
+        (-3.2f64..3.2).prop_map(GateKind::Rx),
+        (-3.2f64..3.2).prop_map(GateKind::Ry),
+        (-3.2f64..3.2).prop_map(GateKind::Rz),
+    ]
+    .boxed()
+}
+
+/// Any diagonal-kernel gate (the fusion pass 2 alphabet: phases and
+/// controlled phases, the QFT/QAOA tail shapes).
+fn arb_diag_gate() -> BoxedStrategy<GateKind> {
+    prop_oneof![
+        Just(GateKind::Z),
+        Just(GateKind::S),
+        Just(GateKind::Sdag),
+        Just(GateKind::T),
+        Just(GateKind::Tdag),
+        (-3.2f64..3.2).prop_map(GateKind::Rz),
+        Just(GateKind::Cz),
+        (-3.2f64..3.2).prop_map(GateKind::Cr),
+        (1u32..8).prop_map(GateKind::CRk),
+    ]
+    .boxed()
+}
+
+/// Evolves a gates-only program on the independent reference kernels.
+fn reference_evolution(p: &Program) -> StateVector {
+    let mut s = StateVector::zero_state(p.qubit_count());
+    for ins in p.flat_instructions() {
+        if let cqasm::Instruction::Gate(g) = ins {
+            let idx: Vec<usize> = g.qubits.iter().map(|q| q.index()).collect();
+            reference::apply_gate(&mut s, &g.kind, &idx);
+        }
+    }
+    s
 }
 
 /// Distinct operand indices on `n` qubits from three free draws; covers
@@ -162,6 +212,78 @@ proptest! {
             reference::apply_gate(&mut slow, gate, ops);
         }
         assert_amplitudes_match(&fast, &slow, "controlled-1q circuit")?;
+    }
+
+    /// Fusion pass 1 (adjacent same-qubit 1q runs → one composed 2x2):
+    /// the fused plan's final state matches the gate-by-gate reference
+    /// oracle, and the unfused plan does too.
+    #[test]
+    fn fused_1q_runs_match_reference(
+        n in 2usize..5,
+        gates in proptest::collection::vec(arb_1q_gate(), 2..10),
+        q in 0usize..5,
+    ) {
+        let q = q % n;
+        let mut b = Program::builder(n);
+        for g in &gates {
+            b = b.gate(*g, &[q]);
+        }
+        let p = b.build();
+        let fused_sim = Simulator::perfect();
+        let stats = fused_sim.compile(&p).unwrap().fusion_stats();
+        prop_assert!(stats.fused_1q_runs >= 1, "run of {} gates must fuse", gates.len());
+        let slow = reference_evolution(&p);
+        let fused = fused_sim.run_once(&p).unwrap().state;
+        let unfused = Simulator::perfect().with_fusion(false).run_once(&p).unwrap().state;
+        assert_amplitudes_match(&fused, &slow, "fused 1q run")?;
+        assert_amplitudes_match(&unfused, &slow, "unfused 1q run")?;
+    }
+
+    /// Fusion pass 2 (consecutive diagonal gates → one strided table):
+    /// a superposed prefix followed by a random diagonal chain evolves
+    /// identically through the fused plan and the reference oracle.
+    #[test]
+    fn fused_diagonal_chains_match_reference(
+        n in 2usize..6,
+        chain in proptest::collection::vec((arb_diag_gate(), 0usize..64, 0usize..64), 2..12),
+    ) {
+        let mut b = Program::builder(n);
+        for q in 0..n {
+            b = b.gate(GateKind::H, &[q]);
+        }
+        for (g, r0, r1) in &chain {
+            let q0 = r0 % n;
+            let q1 = (q0 + 1 + r1 % (n - 1)) % n;
+            let ops: Vec<usize> = if g.arity() == 1 { vec![q0] } else { vec![q0, q1] };
+            b = b.gate(*g, &ops);
+        }
+        let p = b.build();
+        let stats = Simulator::perfect().compile(&p).unwrap().fusion_stats();
+        prop_assert!(stats.gates_after < stats.gates_before, "diagonal chain must shrink the plan");
+        let slow = reference_evolution(&p);
+        let fused = Simulator::perfect().run_once(&p).unwrap().state;
+        assert_amplitudes_match(&fused, &slow, "fused diagonal chain")?;
+    }
+
+    /// Fusion pass 3 (small-support clusters → dense blocks) and all
+    /// passes composed: arbitrary random circuits evolve identically
+    /// through the fused plan, the unfused plan and the reference oracle.
+    #[test]
+    fn fused_plans_match_reference_on_random_circuits(
+        n in 3usize..6,
+        moves in proptest::collection::vec((arb_gate(), 0usize..64, 0usize..64, 0usize..64), 2..14),
+    ) {
+        let mut b = Program::builder(n);
+        for (gate, r0, r1, r2) in &moves {
+            let qs = operands(n, *r0, *r1, *r2);
+            b = b.gate(*gate, &qs[..gate.arity()]);
+        }
+        let p = b.build();
+        let slow = reference_evolution(&p);
+        let fused = Simulator::perfect().run_once(&p).unwrap().state;
+        let unfused = Simulator::perfect().with_fusion(false).run_once(&p).unwrap().state;
+        assert_amplitudes_match(&fused, &slow, "fused random circuit")?;
+        assert_amplitudes_match(&unfused, &slow, "unfused random circuit")?;
     }
 
     /// The strided marginal and the binary-search sampler agree with the
