@@ -48,6 +48,101 @@ impl Engine {
     }
 }
 
+/// Per-job retry policy for *transient* failures (injected faults,
+/// worker loss). Compile errors, parse errors and expired deadlines are
+/// never retried: re-running cannot fix them.
+///
+/// Backoff is a pure function of `(backoff_base_ms, jitter_seed,
+/// attempt)` — never of timing or thread identity — so retried runs stay
+/// bit-reproducible under a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total execution attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2, in milliseconds; doubles per further
+    /// attempt (capped at [`MAX_BACKOFF_MS`]). 0 retries immediately.
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic jitter mixed into each backoff.
+    pub jitter_seed: u64,
+}
+
+/// The ceiling on any single computed backoff delay.
+pub const MAX_BACKOFF_MS: u64 = 5_000;
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries (the default): the first failure is terminal.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Up to `max_attempts` total attempts with the given base backoff
+    /// and a jitter seed of 0.
+    pub fn with_attempts(max_attempts: u32, backoff_base_ms: u64) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff_base_ms,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The deterministic delay before retrying after `failed_attempt`
+    /// (1-based: the attempt that just failed). Exponential in the
+    /// attempt number plus seeded jitter in `[0, backoff_base_ms)`,
+    /// capped at [`MAX_BACKOFF_MS`].
+    pub fn backoff_ms(&self, failed_attempt: u32) -> u64 {
+        if self.backoff_base_ms == 0 {
+            return 0;
+        }
+        let exp = failed_attempt.saturating_sub(1).min(16);
+        let base = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << exp)
+            .min(MAX_BACKOFF_MS);
+        // SplitMix64 over (jitter_seed, attempt): stable across runs,
+        // threads and retry interleavings.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(failed_attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = z % self.backoff_base_ms.max(1);
+        base.saturating_add(jitter).min(MAX_BACKOFF_MS)
+    }
+}
+
+/// Deterministic fault hooks on a job, for the chaos harness and tests.
+/// Both fire on the first N execution *attempts* of the job, so a job
+/// with a [`RetryPolicy`] allowing more attempts than the configured
+/// fault count eventually succeeds — exercising the retry path end to
+/// end. The default injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobFaults {
+    /// The first N execution attempts panic the executing worker mid-job
+    /// (models a crashing kernel; exercises supervision + respawn).
+    pub panic_attempts: u32,
+    /// The first N execution attempts fail with a transient injected
+    /// fault (models a mid-run device failure; exercises retry).
+    pub fail_attempts: u32,
+}
+
+impl JobFaults {
+    /// No injected faults (the default).
+    pub fn none() -> Self {
+        JobFaults::default()
+    }
+}
+
 /// One unit of work for the service.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -69,6 +164,10 @@ pub struct JobSpec {
     pub engine: Engine,
     /// The qubit model to simulate under.
     pub qubits: QubitKind,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection (chaos harness and tests only).
+    pub faults: JobFaults,
 }
 
 impl JobSpec {
@@ -83,6 +182,8 @@ impl JobSpec {
             deadline_ms: None,
             engine: Engine::StateVector,
             qubits: QubitKind::Perfect,
+            retry: RetryPolicy::none(),
+            faults: JobFaults::none(),
         }
     }
 
@@ -121,6 +222,18 @@ impl JobSpec {
         self.qubits = qubits;
         self
     }
+
+    /// Sets the retry policy for transient failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets deterministic fault injection (chaos harness and tests only).
+    pub fn with_faults(mut self, faults: JobFaults) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// What a finished job produced.
@@ -138,6 +251,9 @@ pub struct JobOutcome {
     pub wait_us: u64,
     /// Time spent compiling + executing, in microseconds.
     pub exec_us: u64,
+    /// Execution attempts this job took (1 = succeeded first try; more
+    /// means transient failures were retried).
+    pub attempts: u32,
 }
 
 /// Where a job is in its lifecycle.
@@ -203,6 +319,13 @@ pub enum ServiceError {
     ShuttingDown,
     /// Waiting for a result timed out (the job may still complete).
     WaitTimeout,
+    /// The worker executing the job panicked (a transient failure: the
+    /// pool respawns the worker and, with a [`RetryPolicy`], the job is
+    /// retried).
+    WorkerPanic {
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -221,6 +344,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Cancelled => write!(f, "job was cancelled"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::WaitTimeout => write!(f, "timed out waiting for the result"),
+            ServiceError::WorkerPanic { message } => {
+                write!(f, "worker panicked while executing the job: {message}")
+            }
         }
     }
 }
@@ -253,6 +379,33 @@ mod tests {
         assert_eq!(spec.priority, 3);
         assert_eq!(spec.deadline_ms, Some(500));
         assert_eq!(spec.engine, Engine::DensityMatrix);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_monotone_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            backoff_base_ms: 10,
+            jitter_seed: 42,
+        };
+        for attempt in 1..8 {
+            assert_eq!(
+                policy.backoff_ms(attempt),
+                policy.backoff_ms(attempt),
+                "backoff must be a pure function of (policy, attempt)"
+            );
+            assert!(policy.backoff_ms(attempt) <= MAX_BACKOFF_MS);
+        }
+        // The exponential base grows until the cap.
+        assert!(policy.backoff_ms(4) > policy.backoff_ms(1));
+        // Different jitter seeds decorrelate the delays.
+        let other = RetryPolicy {
+            jitter_seed: 43,
+            ..policy
+        };
+        assert!((1..8).any(|a| policy.backoff_ms(a) != other.backoff_ms(a)));
+        // A zero base retries immediately.
+        assert_eq!(RetryPolicy::none().backoff_ms(1), 0);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod cache;
+pub mod chaos;
 pub mod hash;
 pub mod job;
 pub mod service;
@@ -47,6 +48,8 @@ pub mod wire;
 
 pub use cache::{artifact_key, CacheStats, CompiledArtifact, PlanCache};
 pub use hash::{fnv1a, Fnv64};
-pub use job::{Engine, JobId, JobOutcome, JobSpec, JobStatus, ServiceError};
+pub use job::{
+    Engine, JobFaults, JobId, JobOutcome, JobSpec, JobStatus, RetryPolicy, ServiceError,
+};
 pub use service::{PlatformSpec, Service, ServiceConfig, ServiceHandle, ServiceStats};
-pub use tcp::TcpServer;
+pub use tcp::{TcpConfig, TcpServer, MAX_REQUEST_BYTES};

@@ -29,8 +29,9 @@ use crate::hash::Fnv64;
 use crate::job::{Engine, JobId, JobOutcome, JobSpec, JobStatus, ServiceError};
 use openql::{Compiler, CompilerOptions, Platform};
 use qca_telemetry::Telemetry;
-use qxsim::{ShotHistogram, Simulator};
+use qxsim::{ExecuteError, ShotHistogram, Simulator};
 use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -70,6 +71,13 @@ pub struct ServiceConfig {
     pub platform: PlatformSpec,
     /// Compiler options applied to every job.
     pub options: CompilerOptions,
+    /// Supervision budget: how many crashed workers the service will
+    /// respawn over its lifetime. A panicking job is always converted
+    /// into a typed failure; this budget only bounds pool healing, so a
+    /// pathological workload cannot respawn-loop forever. If the budget
+    /// runs out and the last worker dies, the service fails every queued
+    /// job (instead of stranding waiters) and stops admission.
+    pub max_respawns: u64,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +89,7 @@ impl Default for ServiceConfig {
             shard_min_shots: 4096,
             platform: PlatformSpec::PerfectSized,
             options: CompilerOptions::default(),
+            max_respawns: 8,
         }
     }
 }
@@ -104,8 +113,20 @@ pub struct ServiceStats {
     pub queued: usize,
     /// Jobs currently executing.
     pub running: usize,
-    /// Worker threads.
+    /// Worker threads (configured pool size).
     pub workers: usize,
+    /// Worker threads currently alive (dips below `workers` while a
+    /// crashed worker is being respawned, or permanently once the
+    /// supervision budget is spent).
+    pub workers_live: usize,
+    /// Worker panics caught and converted into typed job failures.
+    pub panics: u64,
+    /// Crashed workers respawned by supervision.
+    pub respawns: u64,
+    /// Transient-failure retries scheduled (per job, per retry).
+    pub retries_scheduled: u64,
+    /// Jobs whose transient failures outlived their retry budget.
+    pub retries_exhausted: u64,
     /// Artifact-cache counters.
     pub cache: CacheStats,
 }
@@ -118,6 +139,10 @@ struct Totals {
     failed: u64,
     cancelled: u64,
     coalesced: u64,
+    panics: u64,
+    respawns: u64,
+    retries_scheduled: u64,
+    retries_exhausted: u64,
 }
 
 struct JobRecord {
@@ -128,18 +153,37 @@ struct JobRecord {
     exec_key: u64,
     submitted_at: Instant,
     status: JobStatus,
+    /// Execution attempts started so far (incremented when a batch
+    /// containing this job is claimed by a worker).
+    attempts: u32,
+}
+
+/// A failure plus whether retrying could help (injected faults and
+/// worker loss are transient; compile errors and deadlines are not).
+#[derive(Debug, Clone)]
+struct Failure {
+    error: ServiceError,
+    transient: bool,
 }
 
 /// One shot-range shard of a sharded sweep, claimable by any worker.
 struct ShardTask {
     sim: Simulator,
     artifact: Arc<CompiledArtifact>,
-    batch: Vec<JobId>,
+    /// (job id, attempt the job was claimed at) for every batch member.
+    batch: Vec<(u64, u32)>,
     cache_hit: bool,
     shards: usize,
     exec_started: Instant,
     started_at: Instant,
-    merge: Mutex<(ShotHistogram, usize)>,
+    merge: Mutex<ShardMerge>,
+}
+
+struct ShardMerge {
+    histogram: ShotHistogram,
+    remaining: usize,
+    /// First failure observed by any shard; poisons the whole sweep.
+    failure: Option<Failure>,
 }
 
 enum Item {
@@ -155,6 +199,12 @@ struct QueueEntry {
     priority: u8,
     seq: u64,
     item: Item,
+}
+
+/// A retry waiting out its backoff before re-entering the ready queue.
+struct DelayedEntry {
+    ready_at: Instant,
+    entry: QueueEntry,
 }
 
 impl PartialEq for QueueEntry {
@@ -179,6 +229,8 @@ impl Ord for QueueEntry {
 
 struct SchedState {
     queue: BinaryHeap<QueueEntry>,
+    /// Retries sleeping out their backoff (small; scanned linearly).
+    delayed: Vec<DelayedEntry>,
     jobs: HashMap<u64, JobRecord>,
     /// Execution key → still-queued job ids, for coalescing.
     pending: HashMap<u64, Vec<u64>>,
@@ -186,6 +238,10 @@ struct SchedState {
     next_seq: u64,
     queued: usize,
     running: usize,
+    /// Worker threads currently alive (spawn-accounted, exit-decremented).
+    live_workers: usize,
+    /// Remaining supervision budget for respawning crashed workers.
+    respawns_left: u64,
     shutdown: bool,
     totals: Totals,
 }
@@ -197,11 +253,20 @@ struct Shared {
     cache: PlanCache,
     config: ServiceConfig,
     telemetry: Telemetry,
+    /// Join handles for every live worker thread, including respawns.
+    worker_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, SchedState> {
         match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn handles(&self) -> MutexGuard<'_, Vec<std::thread::JoinHandle<()>>> {
+        match self.worker_handles.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         }
@@ -225,16 +290,16 @@ impl std::fmt::Debug for ServiceHandle {
 
 /// The serving runtime: owns the worker pool. Dropping the service (or
 /// calling [`Service::shutdown`]) stops admission, drains the queue and
-/// joins the workers.
+/// joins the workers; [`Service::shutdown_now`] fails queued jobs with a
+/// typed error instead of draining.
 pub struct Service {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Service {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.shared.config.workers)
             .finish()
     }
 }
@@ -257,15 +322,19 @@ impl Service {
     pub fn with_telemetry(mut config: ServiceConfig, telemetry: Telemetry) -> Self {
         config.workers = config.workers.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
+        let max_respawns = config.max_respawns;
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
                 queue: BinaryHeap::new(),
+                delayed: Vec::new(),
                 jobs: HashMap::new(),
                 pending: HashMap::new(),
                 next_id: 1,
                 next_seq: 0,
                 queued: 0,
                 running: 0,
+                live_workers: 0,
+                respawns_left: max_respawns,
                 shutdown: false,
                 totals: Totals::default(),
             }),
@@ -274,24 +343,12 @@ impl Service {
             cache: PlanCache::new(config.cache_capacity, telemetry.clone()),
             config,
             telemetry,
+            worker_handles: Mutex::new(Vec::new()),
         });
-        let workers = (0..shared.config.workers)
-            .map(|i| {
-                let named = {
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("qca-service-worker-{i}"))
-                        .spawn(move || worker_loop(&shared))
-                };
-                named.unwrap_or_else(|_| {
-                    // Naming a thread can fail on exotic platforms; an
-                    // anonymous worker is better than a smaller pool.
-                    let shared = Arc::clone(&shared);
-                    std::thread::spawn(move || worker_loop(&shared))
-                })
-            })
-            .collect();
-        Service { shared, workers }
+        for i in 0..shared.config.workers {
+            spawn_worker(&shared, &format!("qca-service-worker-{i}"));
+        }
+        Service { shared }
     }
 
     /// A client handle (cheap to clone, safe to share across threads).
@@ -307,7 +364,18 @@ impl Service {
     }
 
     /// Stops admission, drains the remaining queue and joins the workers.
+    /// Every already-admitted job still runs to a terminal state.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Stops admission and fails every still-queued job (including
+    /// retries sleeping out a backoff) with
+    /// [`ServiceError::ShuttingDown`], then joins the workers. In-flight
+    /// executions — including all shards of a sweep already started —
+    /// finish normally, so every waiter reaches a terminal state.
+    pub fn shutdown_now(mut self) {
+        fail_queued_jobs(&self.shared, &ServiceError::ShuttingDown);
         self.stop_and_join();
     }
 
@@ -317,9 +385,24 @@ impl Service {
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // Join until the pool is empty; a respawned worker registers its
+        // handle before its predecessor exits, so looping to exhaustion
+        // collects replacements too.
+        loop {
+            let handle = self.shared.handles().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => {
+                    if self.shared.lock().live_workers == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
         }
+        self.shared.job_done.notify_all();
     }
 }
 
@@ -353,6 +436,13 @@ impl ServiceHandle {
             h.write(&spec.seed.to_le_bytes());
             h.write(&spec.shots.to_le_bytes());
             h.write_field(spec.engine.name());
+            // Retry policy and fault injection change execution behaviour,
+            // so jobs differing in them must never coalesce.
+            h.write(&spec.retry.max_attempts.to_le_bytes());
+            h.write(&spec.retry.backoff_base_ms.to_le_bytes());
+            h.write(&spec.retry.jitter_seed.to_le_bytes());
+            h.write(&spec.faults.panic_attempts.to_le_bytes());
+            h.write(&spec.faults.fail_attempts.to_le_bytes());
             h.finish()
         };
         let mut state = shared.lock();
@@ -383,6 +473,7 @@ impl ServiceHandle {
                 exec_key,
                 submitted_at: Instant::now(),
                 status: JobStatus::Queued,
+                attempts: 0,
             },
         );
         state.pending.entry(exec_key).or_default().push(id);
@@ -489,6 +580,11 @@ impl ServiceHandle {
             queued: state.queued,
             running: state.running,
             workers: self.shared.config.workers,
+            workers_live: state.live_workers,
+            panics: state.totals.panics,
+            respawns: state.totals.respawns,
+            retries_scheduled: state.totals.retries_scheduled,
+            retries_exhausted: state.totals.retries_exhausted,
             cache: self.shared.cache.stats(),
         }
     }
@@ -499,118 +595,423 @@ impl ServiceHandle {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// Why a worker loop returned.
+enum WorkerExit {
+    /// The service is shutting down and the queue is drained.
+    Shutdown,
+    /// A job panicked under this worker. The job itself was settled (a
+    /// typed failure or a scheduled retry), but the thread's state is
+    /// suspect — supervision retires it and respawns a replacement.
+    Panicked,
+}
+
+/// Whether one queue entry was processed cleanly or unwound.
+enum StepOutcome {
+    Done,
+    Panicked,
+}
+
+/// Spawns one supervised worker thread and registers its handle. The
+/// live-worker count is incremented here (not in the thread) so
+/// supervision never observes a transient empty pool during a respawn.
+fn spawn_worker(shared: &Arc<Shared>, name: &str) {
+    let spawned = {
+        let worker = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || worker_entry(&worker))
+            .or_else(|_| {
+                // Naming a thread can fail on exotic platforms; an
+                // anonymous worker is better than a smaller pool.
+                let worker = Arc::clone(shared);
+                std::thread::Builder::new().spawn(move || worker_entry(&worker))
+            })
+    };
+    if let Ok(handle) = spawned {
+        shared.lock().live_workers += 1;
+        shared.handles().push(handle);
+    }
+}
+
+/// One worker thread's lifetime: run the loop; if a job panics, settle
+/// it, retire this thread and respawn a replacement (budget permitting).
+fn worker_entry(shared: &Arc<Shared>) {
     loop {
-        let entry = {
-            let mut state = shared.lock();
-            loop {
-                if let Some(entry) = state.queue.pop() {
-                    break Some(entry);
-                }
-                if state.shutdown {
-                    break None;
-                }
-                state = match shared.work_ready.wait(state) {
-                    Ok(guard) => guard,
-                    Err(poisoned) => poisoned.into_inner(),
+        match worker_loop(shared) {
+            WorkerExit::Shutdown => break,
+            WorkerExit::Panicked => {
+                // The panic itself was already counted at the catch site
+                // (before the job settled); here we only account for the
+                // worker's retirement and replacement.
+                let respawn = {
+                    let mut state = shared.lock();
+                    if !state.shutdown && state.respawns_left > 0 {
+                        state.respawns_left -= 1;
+                        state.totals.respawns += 1;
+                        true
+                    } else {
+                        false
+                    }
                 };
+                if respawn {
+                    shared.telemetry.incr("service.workers.respawns", 1);
+                    // A panic may have left thread state inconsistent:
+                    // hand the slot to a fresh thread. spawn_worker
+                    // increments live_workers only on success, so a
+                    // failed spawn falls through to pool-death handling
+                    // below via the next loop iteration... instead keep
+                    // serving on this thread if the spawn failed.
+                    let before = shared.lock().live_workers;
+                    spawn_worker(shared, "qca-service-worker-respawn");
+                    if shared.lock().live_workers > before {
+                        break;
+                    }
+                    continue;
+                }
+                // Budget spent (or shutting down): this worker dies for
+                // good. If it was the last one, fail everything queued so
+                // no waiter is stranded forever.
+                pool_collapse_if_last(shared);
+                break;
             }
+        }
+    }
+    shared.lock().live_workers -= 1;
+}
+
+/// If the exiting worker is the last live one, stop admission and fail
+/// every queued job and orphaned shard: with no workers left they would
+/// otherwise strand their waiters forever.
+fn pool_collapse_if_last(shared: &Shared) {
+    let last = shared.lock().live_workers == 1;
+    if last {
+        fail_queued_jobs(
+            shared,
+            &ServiceError::WorkerPanic {
+                message: "worker pool exhausted its supervision budget".to_string(),
+            },
+        );
+    }
+}
+
+/// Stops admission and fails every still-queued job (and undispatched
+/// shard range) with `error`. In-flight work is untouched. Used by
+/// [`Service::shutdown_now`] and pool-collapse handling.
+fn fail_queued_jobs(shared: &Shared, error: &ServiceError) {
+    let orphaned_shards = {
+        let mut state = shared.lock();
+        state.shutdown = true;
+        let mut entries: Vec<QueueEntry> = state.queue.drain().collect();
+        entries.extend(state.delayed.drain(..).map(|d| d.entry));
+        state.pending.clear();
+        let mut orphans = Vec::new();
+        let state = &mut *state;
+        for entry in entries {
+            match entry.item {
+                Item::Shard { task, lo, hi } => orphans.push((task, lo, hi)),
+                Item::Lead(id) => {
+                    if let Some(record) = state.jobs.get_mut(&id.0) {
+                        if record.status == JobStatus::Queued {
+                            record.status = JobStatus::Failed(error.clone());
+                            state.queued -= 1;
+                            state.totals.failed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        orphans
+    };
+    shared.job_done.notify_all();
+    // Orphaned shard ranges will never run: contribute a failure for each
+    // so the sweep's merge count still reaches zero and the batch settles.
+    for (task, _lo, _hi) in orphaned_shards {
+        shard_done(
+            shared,
+            &task,
+            Err(Failure {
+                error: error.clone(),
+                transient: false,
+            }),
+        );
+    }
+}
+
+fn worker_loop(shared: &Shared) -> WorkerExit {
+    loop {
+        let Some(entry) = next_entry(shared) else {
+            return WorkerExit::Shutdown;
         };
-        match entry {
-            None => return,
-            Some(QueueEntry {
-                item: Item::Shard { task, lo, hi },
-                ..
-            }) => run_shard(shared, &task, lo, hi),
-            Some(QueueEntry {
-                item: Item::Lead(id),
-                priority,
-                ..
-            }) => lead_job(shared, id, priority),
+        let step = match entry.item {
+            Item::Shard { task, lo, hi } => shard_step(shared, &task, lo, hi),
+            Item::Lead(id) => lead_step(shared, id),
+        };
+        if matches!(step, StepOutcome::Panicked) {
+            return WorkerExit::Panicked;
         }
     }
 }
 
-/// Handles a popped lead entry: coalesce the batch, resolve the plan,
-/// execute (sharded or inline) and deliver outcomes.
-fn lead_job(shared: &Shared, id: JobId, priority: u8) {
-    // Phase 1 (under the lock): validate, enforce the deadline, coalesce.
-    let (batch, spec, program, platform, akey) = {
-        let mut state = shared.lock();
-        let record = match state.jobs.get(&id.0) {
-            Some(r) => r,
-            None => return,
+/// Pops the next runnable entry: promotes retries whose backoff elapsed,
+/// then waits (bounded by the earliest pending backoff) for work.
+/// Returns `None` when the service is shut down and fully drained.
+fn next_entry(shared: &Shared) -> Option<QueueEntry> {
+    let mut state = shared.lock();
+    loop {
+        let now = Instant::now();
+        let mut next_ready: Option<Instant> = None;
+        let mut i = 0;
+        while i < state.delayed.len() {
+            // Under shutdown, backoffs are cut short so the drain finishes.
+            if state.shutdown || state.delayed[i].ready_at <= now {
+                let due = state.delayed.swap_remove(i);
+                state.queue.push(due.entry);
+            } else {
+                let at = state.delayed[i].ready_at;
+                next_ready = Some(next_ready.map_or(at, |cur| cur.min(at)));
+                i += 1;
+            }
+        }
+        if let Some(entry) = state.queue.pop() {
+            return Some(entry);
+        }
+        if state.shutdown {
+            return None;
+        }
+        state = match next_ready {
+            Some(at) => {
+                let wait = at.saturating_duration_since(now);
+                match shared.work_ready.wait_timeout(state, wait) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                }
+            }
+            None => match shared.work_ready.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            },
         };
-        // Cancelled, or already served by an earlier batch.
-        if record.status != JobStatus::Queued {
-            return;
-        }
-        if let Some(deadline_ms) = record.spec.deadline_ms {
-            if record.submitted_at.elapsed() >= Duration::from_millis(deadline_ms) {
-                let err = ServiceError::DeadlineExceeded { deadline_ms };
-                if let Some(r) = state.jobs.get_mut(&id.0) {
-                    r.status = JobStatus::Failed(err);
-                }
-                state.queued -= 1;
-                state.totals.failed += 1;
-                drop(state);
-                shared.telemetry.incr("service.jobs.deadline_expired", 1);
-                shared.job_done.notify_all();
-                return;
-            }
-        }
-        let exec_key = record.exec_key;
-        let spec = record.spec.clone();
-        let program = record.program.clone();
-        let platform = record.platform.clone();
-        let akey = record.artifact_key;
-        // Coalesce every still-queued job with the same execution key
-        // (including this one) into one batch.
-        let ids = state.pending.remove(&exec_key).unwrap_or_default();
-        let mut batch = Vec::with_capacity(ids.len().max(1));
-        for jid in ids {
-            if let Some(r) = state.jobs.get_mut(&jid) {
-                if r.status == JobStatus::Queued {
-                    r.status = JobStatus::Running;
-                    batch.push(JobId(jid));
-                }
-            }
-        }
-        if batch.is_empty() {
-            return;
-        }
-        state.queued -= batch.len();
-        state.running += batch.len();
-        state.totals.coalesced += (batch.len() - 1) as u64;
-        (batch, spec, program, platform, akey)
+    }
+}
+
+/// A claimed batch: everything the execution phases need, captured under
+/// the lock so the panic-isolation boundary can settle the batch even if
+/// execution unwinds.
+struct Claim {
+    /// (job id, attempt the job was claimed at) for every batch member.
+    batch: Vec<(u64, u32)>,
+    spec: JobSpec,
+    program: cqasm::Program,
+    platform: Platform,
+    akey: u64,
+    /// The lead job's attempt number (drives fault injection).
+    attempt: u32,
+    priority: u8,
+    started_at: Instant,
+}
+
+/// How `run_claim` left the batch.
+enum RunOutcome {
+    /// Settled (delivered, failed or requeued for retry).
+    Finished,
+    /// Converted into a sharded sweep; the caller runs the first range.
+    Sharded {
+        task: Arc<ShardTask>,
+        lo: u64,
+        hi: u64,
+    },
+}
+
+/// Handles a popped lead entry with panic isolation: claim the batch,
+/// then run it under `catch_unwind` so a panicking job becomes a typed
+/// failure (or a retry) for every waiter instead of a stranded batch.
+fn lead_step(shared: &Shared, id: JobId) -> StepOutcome {
+    let Some(claim) = claim_batch(shared, id) else {
+        return StepOutcome::Done;
     };
-    let started_at = Instant::now();
     shared
         .telemetry
-        .record_value("service.batch.jobs", batch.len() as f64);
-    if batch.len() > 1 {
+        .record_value("service.batch.jobs", claim.batch.len() as f64);
+    if claim.batch.len() > 1 {
         shared
             .telemetry
-            .incr("service.jobs.coalesced", (batch.len() - 1) as u64);
+            .incr("service.jobs.coalesced", (claim.batch.len() - 1) as u64);
     }
-    let _exec_span = shared.telemetry.span("service", "execute");
+    match catch_unwind(AssertUnwindSafe(|| run_claim(shared, &claim))) {
+        Ok(RunOutcome::Finished) => StepOutcome::Done,
+        Ok(RunOutcome::Sharded { task, lo, hi }) => shard_step(shared, &task, lo, hi),
+        Err(payload) => {
+            count_panic(shared);
+            settle_batch(
+                shared,
+                &claim.batch,
+                Err(Failure {
+                    error: ServiceError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    },
+                    transient: true,
+                }),
+                ExecMeta {
+                    cache_hit: false,
+                    shards: 1,
+                    started_at: claim.started_at,
+                    exec_started: claim.started_at,
+                },
+            );
+            StepOutcome::Panicked
+        }
+    }
+}
 
-    // Phase 2 (no lock): resolve the compiled artifact.
-    let artifact = shared.cache.get(akey);
+/// Counts a caught job panic. Runs at the catch site, *before* the batch
+/// settles, so an observer that saw the job's terminal state also sees
+/// the panic in `stats`.
+fn count_panic(shared: &Shared) {
+    shared.telemetry.incr("service.workers.panics", 1);
+    shared.lock().totals.panics += 1;
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Phase 1 (under the lock): validate, enforce the deadline, coalesce,
+/// and bump each claimed job's attempt counter.
+fn claim_batch(shared: &Shared, id: JobId) -> Option<Claim> {
+    let mut state = shared.lock();
+    let record = state.jobs.get(&id.0)?;
+    // Cancelled, already served by an earlier batch, or already failed.
+    if record.status != JobStatus::Queued {
+        return None;
+    }
+    if let Some(deadline_ms) = record.spec.deadline_ms {
+        if record.submitted_at.elapsed() >= Duration::from_millis(deadline_ms) {
+            let err = ServiceError::DeadlineExceeded { deadline_ms };
+            if let Some(r) = state.jobs.get_mut(&id.0) {
+                r.status = JobStatus::Failed(err);
+            }
+            state.queued -= 1;
+            state.totals.failed += 1;
+            drop(state);
+            shared.telemetry.incr("service.jobs.deadline_expired", 1);
+            shared.job_done.notify_all();
+            return None;
+        }
+    }
+    let exec_key = record.exec_key;
+    let spec = record.spec.clone();
+    let program = record.program.clone();
+    let platform = record.platform.clone();
+    let akey = record.artifact_key;
+    // Coalesce every still-queued job with the same execution key
+    // (including this one) into one batch.
+    let ids = state.pending.remove(&exec_key).unwrap_or_default();
+    let mut batch = Vec::with_capacity(ids.len().max(1));
+    let mut attempt = 1;
+    for jid in ids {
+        if let Some(r) = state.jobs.get_mut(&jid) {
+            if r.status == JobStatus::Queued {
+                r.status = JobStatus::Running;
+                r.attempts += 1;
+                if jid == id.0 {
+                    attempt = r.attempts;
+                }
+                batch.push((jid, r.attempts));
+            }
+        }
+    }
+    if batch.is_empty() {
+        return None;
+    }
+    state.queued -= batch.len();
+    state.running += batch.len();
+    state.totals.coalesced += (batch.len() - 1) as u64;
+    let priority = spec.priority;
+    drop(state);
+    Some(Claim {
+        batch,
+        spec,
+        program,
+        platform,
+        akey,
+        attempt,
+        priority,
+        started_at: Instant::now(),
+    })
+}
+
+/// Phases 2–3 (no lock): inject configured faults, resolve the compiled
+/// artifact, execute (sharded or inline) and settle the batch. Runs
+/// inside `lead_step`'s `catch_unwind`, so a panic anywhere in here —
+/// injected or real — is converted into a typed failure.
+fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
+    let _exec_span = shared.telemetry.span("service", "execute");
+    let spec = &claim.spec;
+    // Deterministic fault hooks (chaos harness and tests).
+    if claim.attempt <= spec.faults.fail_attempts {
+        settle_batch(
+            shared,
+            &claim.batch,
+            Err(Failure {
+                error: ServiceError::Execute(format!(
+                    "injected transient fault (attempt {})",
+                    claim.attempt
+                )),
+                transient: true,
+            }),
+            ExecMeta {
+                cache_hit: false,
+                shards: 1,
+                started_at: claim.started_at,
+                exec_started: claim.started_at,
+            },
+        );
+        return RunOutcome::Finished;
+    }
+    if claim.attempt <= spec.faults.panic_attempts {
+        // Unwinds into lead_step's catch_unwind exactly like a real
+        // kernel panic would (panic_any: this is fault injection, not an
+        // abort path — clippy::panic stays deny for everything else).
+        #[allow(clippy::panic)]
+        std::panic::panic_any(format!("injected worker panic (attempt {})", claim.attempt));
+    }
+
+    // Resolve the compiled artifact.
+    let artifact = shared.cache.get(claim.akey);
     let cache_hit = artifact.is_some();
     let artifact = match artifact {
         Some(found) => Ok(found),
-        None => compile_artifact(shared, &program, &platform, &spec),
+        None => compile_artifact(shared, &claim.program, &claim.platform, spec),
     };
     let artifact = match artifact {
         Ok(a) => a,
         Err(err) => {
-            finish_batch(shared, &batch, Err(err), false, 1, started_at, started_at);
-            return;
+            settle_batch(
+                shared,
+                &claim.batch,
+                Err(Failure {
+                    error: err,
+                    transient: false,
+                }),
+                ExecMeta {
+                    cache_hit: false,
+                    shards: 1,
+                    started_at: claim.started_at,
+                    exec_started: claim.started_at,
+                },
+            );
+            return RunOutcome::Finished;
         }
     };
 
-    // Phase 3: execute. Shard large state-vector sweeps across the pool.
+    // Execute. Shard large state-vector sweeps across the pool.
     let sim = Simulator::with_model(spec.qubits.to_model()).with_seed(spec.seed);
     let exec_started = Instant::now();
     let shards = if spec.engine == Engine::StateVector
@@ -629,12 +1030,16 @@ fn lead_job(shared: &Shared, id: JobId, priority: u8) {
         let task = Arc::new(ShardTask {
             sim,
             artifact,
-            batch,
+            batch: claim.batch.clone(),
             cache_hit,
             shards,
             exec_started,
-            started_at,
-            merge: Mutex::new((ShotHistogram::new(), shards)),
+            started_at: claim.started_at,
+            merge: Mutex::new(ShardMerge {
+                histogram: ShotHistogram::new(),
+                remaining: shards,
+                failure: None,
+            }),
         });
         {
             let mut state = shared.lock();
@@ -644,7 +1049,7 @@ fn lead_job(shared: &Shared, id: JobId, priority: u8) {
                 let seq = state.next_seq;
                 state.next_seq += 1;
                 state.queue.push(QueueEntry {
-                    priority,
+                    priority: claim.priority,
                     seq,
                     item: Item::Shard {
                         task: Arc::clone(&task),
@@ -658,27 +1063,45 @@ fn lead_job(shared: &Shared, id: JobId, priority: u8) {
         shared
             .telemetry
             .record_value("service.batch.shards", shards as f64);
-        // This worker takes the first shard itself.
-        run_shard(shared, &task, 0, spec.shots / shards as u64);
-        return;
+        // This worker takes the first shard itself (via shard_step, which
+        // has its own panic boundary — a panic mid-shard must be recorded
+        // in the merge so sibling shards can still settle the batch).
+        return RunOutcome::Sharded {
+            task,
+            lo: 0,
+            hi: spec.shots / shards as u64,
+        };
     }
     let result = match spec.engine {
-        Engine::StateVector => sim
-            .run_shots_planned(&artifact.plan, spec.shots, 1)
-            .map_err(|e| ServiceError::Execute(e.to_string())),
-        Engine::DensityMatrix => sim
-            .run_density_planned(&artifact.plan, spec.shots)
-            .map_err(|e| ServiceError::Execute(e.to_string())),
-    };
-    finish_batch(
+        Engine::StateVector => sim.run_shots_planned(&artifact.plan, spec.shots, 1),
+        Engine::DensityMatrix => sim.run_density_planned(&artifact.plan, spec.shots),
+    }
+    .map_err(|e| execute_failure(&e));
+    settle_batch(
         shared,
-        &batch,
+        &claim.batch,
         result,
-        cache_hit,
-        1,
-        started_at,
-        exec_started,
+        ExecMeta {
+            cache_hit,
+            shards: 1,
+            started_at: claim.started_at,
+            exec_started,
+        },
     );
+    RunOutcome::Finished
+}
+
+/// Maps an engine error to a service failure, classifying transience:
+/// injected faults and worker loss can succeed on retry; anything else
+/// (validation, capacity) is deterministic and retrying cannot help.
+fn execute_failure(e: &ExecuteError) -> Failure {
+    Failure {
+        error: ServiceError::Execute(e.to_string()),
+        transient: matches!(
+            e,
+            ExecuteError::InjectedFault { .. } | ExecuteError::Worker(_)
+        ),
+    }
 }
 
 /// Compiles a cache miss under the service compile span and publishes the
@@ -714,95 +1137,204 @@ fn compile_artifact(
     Ok(artifact)
 }
 
-/// Executes one shot-range shard and, if it was the last one, finalises
-/// the batch. Merging partial histograms is commutative, so completion
-/// order does not affect the result.
-fn run_shard(shared: &Shared, task: &Arc<ShardTask>, lo: u64, hi: u64) {
-    let part = task.sim.run_shot_range(&task.artifact.plan, lo, hi);
-    let finished = {
+/// Executes one shot-range shard under its own panic boundary and
+/// contributes the partial histogram (or a failure) to the merge.
+/// Merging is commutative, so completion order does not affect the
+/// result; a panic in one shard fails the batch but the last-arriving
+/// shard still settles it — no waiter is stranded.
+fn shard_step(shared: &Shared, task: &Arc<ShardTask>, lo: u64, hi: u64) -> StepOutcome {
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        task.sim.run_shot_range(&task.artifact.plan, lo, hi)
+    }));
+    match run {
+        Ok(part) => {
+            shard_done(shared, task, Ok(part));
+            StepOutcome::Done
+        }
+        Err(payload) => {
+            count_panic(shared);
+            shard_done(
+                shared,
+                task,
+                Err(Failure {
+                    error: ServiceError::WorkerPanic {
+                        message: panic_message(payload.as_ref()),
+                    },
+                    transient: true,
+                }),
+            );
+            StepOutcome::Panicked
+        }
+    }
+}
+
+/// Records one shard's contribution; the contribution that brings the
+/// outstanding count to zero settles the whole batch (with the first
+/// recorded failure, if any shard failed).
+fn shard_done(
+    shared: &Shared,
+    task: &Arc<ShardTask>,
+    contribution: Result<ShotHistogram, Failure>,
+) {
+    let settled = {
         let mut merge = match task.merge.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        merge.0.merge(&part);
-        merge.1 -= 1;
-        if merge.1 == 0 {
-            Some(std::mem::take(&mut merge.0))
+        match contribution {
+            Ok(part) => merge.histogram.merge(&part),
+            Err(failure) => {
+                if merge.failure.is_none() {
+                    merge.failure = Some(failure);
+                }
+            }
+        }
+        merge.remaining -= 1;
+        if merge.remaining == 0 {
+            Some(match merge.failure.take() {
+                Some(failure) => Err(failure),
+                None => Ok(std::mem::take(&mut merge.histogram)),
+            })
         } else {
             None
         }
     };
-    if let Some(full) = finished {
-        finish_batch(
+    if let Some(result) = settled {
+        settle_batch(
             shared,
             &task.batch,
-            Ok(full),
-            task.cache_hit,
-            task.shards,
-            task.started_at,
-            task.exec_started,
+            result,
+            ExecMeta {
+                cache_hit: task.cache_hit,
+                shards: task.shards,
+                started_at: task.started_at,
+                exec_started: task.exec_started,
+            },
         );
     }
 }
 
-/// Delivers one execution's result to every job in its batch and records
-/// the latency telemetry.
-fn finish_batch(
-    shared: &Shared,
-    batch: &[JobId],
-    result: Result<ShotHistogram, ServiceError>,
+/// Timing/provenance for one settled execution.
+struct ExecMeta {
     cache_hit: bool,
     shards: usize,
     started_at: Instant,
     exec_started: Instant,
+}
+
+/// Delivers one execution's result to every job in its batch: success
+/// and permanent failures become terminal states; transient failures
+/// with retry budget left are requeued with deterministic backoff.
+///
+/// Settlement is idempotent per (job, attempt): a job whose attempt
+/// counter moved on (already retried and reclaimed) or that is no
+/// longer `Running` (cancelled) is skipped, so a late-arriving shard of
+/// a superseded attempt cannot clobber newer state.
+fn settle_batch(
+    shared: &Shared,
+    batch: &[(u64, u32)],
+    result: Result<ShotHistogram, Failure>,
+    meta: ExecMeta,
 ) {
-    let exec_us = u64::try_from(exec_started.elapsed().as_micros()).unwrap_or(u64::MAX);
-    let mut state = shared.lock();
-    state.running -= batch.len();
-    for id in batch {
-        let Some(record) = state.jobs.get_mut(&id.0) else {
-            continue;
-        };
-        let wait_us = u64::try_from(
-            started_at
-                .saturating_duration_since(record.submitted_at)
-                .as_micros(),
-        )
-        .unwrap_or(u64::MAX);
-        shared
-            .telemetry
-            .record_value("service.job.wait_us", wait_us as f64);
-        shared
-            .telemetry
-            .record_value("service.job.exec_us", exec_us as f64);
-        match &result {
-            Ok(histogram) => {
-                record.status = JobStatus::Done(Arc::new(JobOutcome {
-                    histogram: histogram.clone(),
-                    cache_hit,
-                    batch_size: batch.len(),
-                    shards,
-                    wait_us,
-                    exec_us,
-                }));
-                state.totals.completed += 1;
+    let exec_us = u64::try_from(meta.exec_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut retried = 0u64;
+    let mut exhausted = 0u64;
+    {
+        let mut guard = shared.lock();
+        let state = &mut *guard;
+        for &(id, attempt) in batch {
+            let Some(record) = state.jobs.get_mut(&id) else {
+                continue;
+            };
+            if record.status != JobStatus::Running || record.attempts != attempt {
+                continue;
             }
-            Err(err) => {
-                record.status = JobStatus::Failed(err.clone());
-                state.totals.failed += 1;
+            state.running -= 1;
+            let wait_us = u64::try_from(
+                meta.started_at
+                    .saturating_duration_since(record.submitted_at)
+                    .as_micros(),
+            )
+            .unwrap_or(u64::MAX);
+            shared
+                .telemetry
+                .record_value("service.job.wait_us", wait_us as f64);
+            shared
+                .telemetry
+                .record_value("service.job.exec_us", exec_us as f64);
+            match &result {
+                Ok(histogram) => {
+                    record.status = JobStatus::Done(Arc::new(JobOutcome {
+                        histogram: histogram.clone(),
+                        cache_hit: meta.cache_hit,
+                        batch_size: batch.len(),
+                        shards: meta.shards,
+                        wait_us,
+                        exec_us,
+                        attempts: record.attempts,
+                    }));
+                    state.totals.completed += 1;
+                    completed += 1;
+                }
+                Err(failure) => {
+                    let retryable = failure.transient
+                        && !state.shutdown
+                        && record.attempts < record.spec.retry.max_attempts;
+                    if retryable {
+                        // Requeue for another attempt after a seeded
+                        // backoff. The job keeps its id and spec, so the
+                        // retried run replays identical RNG streams.
+                        record.status = JobStatus::Queued;
+                        let delay_ms = record.spec.retry.backoff_ms(record.attempts);
+                        let priority = record.spec.priority;
+                        state.queued += 1;
+                        state.totals.retries_scheduled += 1;
+                        retried += 1;
+                        state.pending.entry(record.exec_key).or_default().push(id);
+                        let seq = state.next_seq;
+                        state.next_seq += 1;
+                        let entry = QueueEntry {
+                            priority,
+                            seq,
+                            item: Item::Lead(JobId(id)),
+                        };
+                        if delay_ms == 0 {
+                            state.queue.push(entry);
+                        } else {
+                            state.delayed.push(DelayedEntry {
+                                ready_at: Instant::now() + Duration::from_millis(delay_ms),
+                                entry,
+                            });
+                        }
+                    } else {
+                        record.status = JobStatus::Failed(failure.error.clone());
+                        state.totals.failed += 1;
+                        failed += 1;
+                        if failure.transient && record.spec.retry.max_attempts > 1 {
+                            state.totals.retries_exhausted += 1;
+                            exhausted += 1;
+                        }
+                    }
+                }
             }
         }
     }
-    let (completed, failed) = match &result {
-        Ok(_) => (batch.len() as u64, 0),
-        Err(_) => (0, batch.len() as u64),
-    };
-    drop(state);
     if completed > 0 {
         shared.telemetry.incr("service.jobs.completed", completed);
     }
     if failed > 0 {
         shared.telemetry.incr("service.jobs.failed", failed);
+    }
+    if retried > 0 {
+        shared.telemetry.incr("service.retries.scheduled", retried);
+        shared.work_ready.notify_all();
+    }
+    if exhausted > 0 {
+        shared
+            .telemetry
+            .incr("service.retries.exhausted", exhausted);
     }
     shared.job_done.notify_all();
 }

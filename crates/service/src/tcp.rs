@@ -5,42 +5,118 @@
 //! client blocked in a long `result` wait never stalls other clients.
 //! The accept loop itself runs on a dedicated thread; [`TcpServer`] hands
 //! back the bound address (bind to port 0 to let the OS pick).
+//!
+//! # Hardening
+//!
+//! The front-end defends itself against misbehaving clients:
+//!
+//! - **Bounded frames**: a request line longer than
+//!   [`TcpConfig::max_request_bytes`] is answered with a typed
+//!   `frame_too_large` error and the connection is closed — the server
+//!   never buffers an unbounded line (`service.tcp.oversized`).
+//! - **Read/write timeouts**: a client that stalls mid-line (slow loris)
+//!   or stops draining responses is disconnected after
+//!   [`TcpConfig::read_timeout`] / [`TcpConfig::write_timeout`]
+//!   (`service.tcp.timeouts`).
+//! - **Connection cap**: beyond [`TcpConfig::max_connections`] concurrent
+//!   clients, new connections receive an immediate `overloaded` response
+//!   and are dropped instead of spawning a thread (`service.tcp.shed`).
+//! - **Graceful stop**: [`TcpServer::stop`] stops accepting, then waits
+//!   up to [`TcpConfig::drain_timeout`] for in-flight connections to
+//!   finish their current line.
 
 use crate::service::ServiceHandle;
 use crate::wire;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Limits applied to every client connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Longest accepted request line in bytes (excluding the newline).
+    /// Longer frames get a `frame_too_large` error and a disconnect.
+    pub max_request_bytes: usize,
+    /// How long a connection may sit idle (or stall mid-line) before it
+    /// is dropped. `None` disables the read timeout.
+    pub read_timeout: Option<Duration>,
+    /// How long a response write may block before the client is dropped.
+    /// `None` disables the write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Concurrent-connection cap; connections beyond it are shed with an
+    /// `overloaded` response instead of a serving thread.
+    pub max_connections: usize,
+    /// How long [`TcpServer::stop`] waits for in-flight connections to
+    /// drain before returning anyway.
+    pub drain_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            max_request_bytes: MAX_REQUEST_BYTES,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 64,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Default request-frame bound: far above any realistic circuit in this
+/// stack, far below anything that could pressure memory.
+pub const MAX_REQUEST_BYTES: usize = 256 * 1024;
 
 /// A running TCP front-end.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<AtomicUsize>,
+    drain_timeout: Duration,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl TcpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`, or `"127.0.0.1:0"` for an
-    /// OS-assigned port) and starts serving the handle.
+    /// OS-assigned port) and starts serving the handle with the default
+    /// [`TcpConfig`] limits.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates bind and accept-thread spawn failures — a server whose
+    /// accept loop never started must not report success.
     pub fn bind(addr: &str, handle: ServiceHandle) -> std::io::Result<TcpServer> {
+        Self::bind_with(addr, handle, TcpConfig::default())
+    }
+
+    /// [`TcpServer::bind`] with explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and accept-thread spawn failures.
+    pub fn bind_with(
+        addr: &str,
+        handle: ServiceHandle,
+        config: TcpConfig,
+    ) -> std::io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(AtomicUsize::new(0));
         let accept_stop = Arc::clone(&stop);
+        let accept_conns = Arc::clone(&conns);
         let accept_thread = std::thread::Builder::new()
             .name("qca-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &handle, &accept_stop))
-            .ok();
+            .spawn(move || accept_loop(&listener, &handle, &accept_stop, &accept_conns, config))?;
         Ok(TcpServer {
             addr,
             stop,
-            accept_thread,
+            conns,
+            drain_timeout: config.drain_timeout,
+            accept_thread: Some(accept_thread),
         })
     }
 
@@ -49,62 +125,153 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting new connections and joins the accept thread.
-    /// Connections already being served finish their current line loop
-    /// when the client disconnects.
+    /// Stops accepting new connections, joins the accept thread and
+    /// waits (up to the configured drain timeout) for in-flight
+    /// connections to finish their current line loop.
     pub fn stop(mut self) {
-        self.signal_stop();
+        self.shut_down();
+    }
+
+    /// Signals the accept loop, joins it, then drains connections.
+    /// Idempotent: `stop()` followed by `Drop` (or a second call) is a
+    /// no-op, and a dead listener only costs a failed poke.
+    fn shut_down(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Poke the accept loop awake with a throwaway connection so
+            // it observes the flag without a non-blocking listener. The
+            // listener may already be gone — that also unblocks accept.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-    }
-
-    fn signal_stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Poke the accept loop awake with a throwaway connection so it
-        // observes the flag without needing a non-blocking listener.
-        let _ = TcpStream::connect(self.addr);
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 }
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
-        self.signal_stop();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
+        self.shut_down();
     }
 }
 
-fn accept_loop(listener: &TcpListener, handle: &ServiceHandle, stop: &AtomicBool) {
+/// Decrements the live-connection count when a serving thread exits,
+/// however it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    handle: &ServiceHandle,
+    stop: &AtomicBool,
+    conns: &Arc<AtomicUsize>,
+    config: TcpConfig,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        // Load shedding: answer and drop instead of spawning a thread.
+        if conns.load(Ordering::SeqCst) >= config.max_connections.max(1) {
+            handle.telemetry().incr("service.tcp.shed", 1);
+            shed_connection(&stream);
+            continue;
+        }
+        conns.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(Arc::clone(conns));
         let handle = handle.clone();
-        // On spawn failure the stream drops and the client sees a closed
-        // connection — it can retry; the accept loop keeps running.
+        // On spawn failure the guard and stream drop: the count is
+        // restored and the client sees a closed connection — it can
+        // retry; the accept loop keeps running.
         let _ = std::thread::Builder::new()
             .name("qca-serve-conn".to_string())
-            .spawn(move || serve_connection(&stream, &handle));
+            .spawn(move || {
+                let _guard = guard;
+                serve_connection_with(&stream, &handle, config);
+            });
     }
 }
 
-/// Serves one connection: one JSON request per line, one JSON response
-/// per line, until the client closes or an I/O error occurs.
+/// Tells a shed client why it was dropped (best effort, bounded wait).
+fn shed_connection(stream: &TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut writer = BufWriter::new(stream);
+    let response = wire::error_response("overloaded", "connection limit reached, retry later");
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Serves one connection with the default limits. Kept for embedders
+/// that accept their own sockets.
 pub fn serve_connection(stream: &TcpStream, handle: &ServiceHandle) {
+    serve_connection_with(stream, handle, TcpConfig::default());
+}
+
+/// Serves one connection: one JSON request per line, one JSON response
+/// per line, until the client closes, sends an oversized frame, stalls
+/// past a timeout, or an I/O error occurs.
+pub fn serve_connection_with(stream: &TcpStream, handle: &ServiceHandle, config: TcpConfig) {
+    if stream.set_read_timeout(config.read_timeout).is_err()
+        || stream.set_write_timeout(config.write_timeout).is_err()
+    {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
+    let max = config.max_request_bytes;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        // Read at most one byte past the limit: if no newline arrived by
+        // then the frame is oversized and the client is cut off before it
+        // can make the server buffer arbitrarily much.
+        let read = (&mut reader)
+            .take(max as u64 + 1)
+            .read_until(b'\n', &mut buf);
+        match read {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e) => {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    handle.telemetry().incr("service.tcp.timeouts", 1);
+                }
+                return;
+            }
+        }
+        if buf.last() != Some(&b'\n') && buf.len() > max {
+            handle.telemetry().incr("service.tcp.oversized", 1);
+            let response = wire::error_response(
+                "frame_too_large",
+                &format!("request line exceeds {max} bytes"),
+            );
+            let _ = writer.write_all(response.as_bytes());
+            let _ = writer.write_all(b"\n");
+            let _ = writer.flush();
+            return;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
             continue;
         }
-        let response = wire::handle_line(handle, &line);
+        let response = wire::handle_line(handle, line);
         if writer.write_all(response.as_bytes()).is_err()
             || writer.write_all(b"\n").is_err()
             || writer.flush().is_err()

@@ -15,7 +15,7 @@
 //! Histogram keys are the measured bit pattern (qubit 0 = least
 //! significant bit) rendered in decimal, values are shot counts.
 
-use crate::job::{Engine, JobId, JobSpec, JobStatus, ServiceError};
+use crate::job::{Engine, JobFaults, JobId, JobSpec, JobStatus, RetryPolicy, ServiceError};
 use crate::service::{ServiceHandle, ServiceStats};
 use qca_core::QubitKind;
 use qca_telemetry::export::escape;
@@ -97,6 +97,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     other => return Err(format!("unknown qubit model {other:?}")),
                 };
             }
+            if let Some(attempts) = get_u64(&v, "retry_max_attempts") {
+                spec.retry.max_attempts = u32::try_from(attempts).unwrap_or(u32::MAX).max(1);
+            }
+            if let Some(backoff) = get_u64(&v, "retry_backoff_ms") {
+                spec.retry.backoff_base_ms = backoff;
+            }
+            if let Some(jitter) = get_u64(&v, "retry_jitter_seed") {
+                spec.retry.jitter_seed = jitter;
+            }
+            if let Some(panics) = get_u64(&v, "fault_panic_attempts") {
+                spec.faults.panic_attempts = u32::try_from(panics).unwrap_or(u32::MAX);
+            }
+            if let Some(fails) = get_u64(&v, "fault_fail_attempts") {
+                spec.faults.fail_attempts = u32::try_from(fails).unwrap_or(u32::MAX);
+            }
             Ok(Request::Submit(spec))
         }
         "status" => Ok(Request::Status(job_id()?)),
@@ -138,6 +153,18 @@ pub fn encode_request(request: &Request) -> String {
                 k if k == QubitKind::real_transmon() => out.push_str(",\"qubits\":\"transmon\""),
                 _ => {}
             }
+            if spec.retry != RetryPolicy::none() {
+                out.push_str(&format!(
+                    ",\"retry_max_attempts\":{},\"retry_backoff_ms\":{},\"retry_jitter_seed\":{}",
+                    spec.retry.max_attempts, spec.retry.backoff_base_ms, spec.retry.jitter_seed
+                ));
+            }
+            if spec.faults != JobFaults::none() {
+                out.push_str(&format!(
+                    ",\"fault_panic_attempts\":{},\"fault_fail_attempts\":{}",
+                    spec.faults.panic_attempts, spec.faults.fail_attempts
+                ));
+            }
             out.push('}');
             out
         }
@@ -162,10 +189,11 @@ fn error_kind(err: &ServiceError) -> &'static str {
         ServiceError::Cancelled => "cancelled",
         ServiceError::ShuttingDown => "shutting_down",
         ServiceError::WaitTimeout => "timeout",
+        ServiceError::WorkerPanic { .. } => "worker_panic",
     }
 }
 
-fn error_response(kind: &str, message: &str) -> String {
+pub(crate) fn error_response(kind: &str, message: &str) -> String {
     format!(
         "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"}}",
         escape(kind),
@@ -190,7 +218,9 @@ fn stats_json(stats: &ServiceStats) -> String {
         concat!(
             "{{\"ok\":true,\"submitted\":{},\"completed\":{},\"failed\":{},",
             "\"cancelled\":{},\"rejected\":{},\"coalesced\":{},\"queued\":{},",
-            "\"running\":{},\"workers\":{},\"cache\":{{\"hits\":{},\"misses\":{},",
+            "\"running\":{},\"workers\":{},\"workers_live\":{},\"panics\":{},",
+            "\"respawns\":{},\"retries_scheduled\":{},\"retries_exhausted\":{},",
+            "\"cache\":{{\"hits\":{},\"misses\":{},",
             "\"evictions\":{},\"entries\":{},\"capacity\":{}}}}}"
         ),
         stats.submitted,
@@ -202,6 +232,11 @@ fn stats_json(stats: &ServiceStats) -> String {
         stats.queued,
         stats.running,
         stats.workers,
+        stats.workers_live,
+        stats.panics,
+        stats.respawns,
+        stats.retries_scheduled,
+        stats.retries_exhausted,
         stats.cache.hits,
         stats.cache.misses,
         stats.cache.evictions,
@@ -237,7 +272,8 @@ pub fn handle_line(handle: &ServiceHandle, line: &str) -> String {
                     concat!(
                         "{{\"ok\":true,\"job\":{},\"status\":\"done\",",
                         "\"histogram\":{},\"shots\":{},\"cache_hit\":{},",
-                        "\"batch_size\":{},\"shards\":{},\"wait_us\":{},\"exec_us\":{}}}"
+                        "\"batch_size\":{},\"shards\":{},\"wait_us\":{},\"exec_us\":{},",
+                        "\"attempts\":{}}}"
                     ),
                     id.0,
                     histogram_json(&outcome.histogram),
@@ -247,6 +283,7 @@ pub fn handle_line(handle: &ServiceHandle, line: &str) -> String {
                     outcome.shards,
                     outcome.wait_us,
                     outcome.exec_us,
+                    outcome.attempts,
                 ),
                 Err(err) => error_response(error_kind(&err), &err.to_string()),
             }

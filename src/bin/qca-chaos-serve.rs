@@ -1,0 +1,123 @@
+//! Seeded service-layer chaos campaigns from the command line.
+//!
+//! ```text
+//! qca-chaos-serve --seed 7 --cases 200   # run a campaign; exit 0 iff every invariant held
+//! qca-chaos-serve --replay 1234567890    # re-run one case by its seed, verbosely
+//! qca-chaos-serve --cases 200 --fail-file failing-seeds.txt
+//! ```
+//!
+//! Each case spins up a live in-process `qca-service` (and, for the wire
+//! scenarios, a real TCP front-end on a loopback port) and injects one
+//! fault: a worker panic, transient execution faults, retry exhaustion,
+//! a mid-`wait` cancellation, an abrupt `shutdown_now`, an oversized or
+//! malformed frame, or a client that vanishes mid-conversation. The case
+//! passes only if every job reaches a terminal state, the worker pool
+//! heals to its configured size, successful histograms stay bit-identical
+//! to a fault-free run, and the front-end keeps serving other clients.
+//! Campaigns are bit-reproducible: a failing case prints its seed,
+//! `--replay <seed>` reproduces it exactly, and `--fail-file` writes the
+//! failing seeds one per line (for CI artifact upload).
+
+use qca_service::chaos::{run_campaign, run_case};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    replay: Option<u64>,
+    fail_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 7,
+        cases: 200,
+        replay: None,
+        fail_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse = |name: &str, v: String| -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|e| format!("bad value for {name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = parse("--seed", take("--seed")?)?,
+            "--cases" => args.cases = parse("--cases", take("--cases")?)?,
+            "--replay" => args.replay = Some(parse("--replay", take("--replay")?)?),
+            "--fail-file" => args.fail_file = Some(take("--fail-file")?),
+            "--help" | "-h" => return Err(
+                "usage: qca-chaos-serve [--seed N] [--cases M] [--replay CASE_SEED] [--fail-file PATH]"
+                    .to_string(),
+            ),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(seed) = args.replay {
+        let case = run_case(seed);
+        println!("case seed   : {}", case.seed);
+        println!("scenario    : {:?}", case.scenario);
+        return match &case.failure {
+            None => {
+                println!("outcome     : ok (all serving invariants held)");
+                ExitCode::SUCCESS
+            }
+            Some(detail) => {
+                println!("outcome     : FAILED: {detail}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = run_campaign(args.seed, args.cases);
+    println!(
+        "service chaos campaign: seed {} cases {} -> {} passed, {} failed",
+        args.seed,
+        report.cases,
+        report.passed,
+        report.failures.len()
+    );
+    for case in &report.failures {
+        println!(
+            "  FAILED case seed {} ({:?}, replay with --replay {}): {}",
+            case.seed,
+            case.scenario,
+            case.seed,
+            case.failure.as_deref().unwrap_or("<no detail>")
+        );
+    }
+    if let Some(path) = &args.fail_file {
+        let body: String = report
+            .failures
+            .iter()
+            .map(|c| format!("{}\n", c.seed))
+            .collect();
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cannot write failing seeds to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !report.failures.is_empty() {
+            println!("failing seeds written to {path}");
+        }
+    }
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -4,16 +4,21 @@
 //! ```text
 //! qca-serve                              # serve on 127.0.0.1:7878
 //! qca-serve --addr 127.0.0.1:9000 --workers 4 --queue 512 --cache 128
+//! qca-serve --max-frame 65536 --max-conns 32
 //! qca-serve --smoke                      # self-test: in-process client,
-//!                                        # 3 jobs, assert a cache hit
+//!                                        # 3 jobs + abuse probes
 //! ```
 //!
 //! One JSON request per line, one JSON response per line; see
-//! `qca_service::wire` for the verbs. `--smoke` exists so CI can exercise
-//! the whole serving path (TCP included, on an OS-assigned port) without
-//! external tooling.
+//! `qca_service::wire` for the verbs. The front-end is hardened: frames
+//! over `--max-frame` bytes draw a `frame_too_large` error, stalled
+//! clients are disconnected, and connections beyond `--max-conns` are
+//! shed with an `overloaded` response. `--smoke` exists so CI can
+//! exercise the whole serving path (TCP included, on an OS-assigned
+//! port) without external tooling — including an oversized frame, a
+//! malformed request and an abrupt client disconnect.
 
-use qca_service::{Service, ServiceConfig, TcpServer};
+use qca_service::{Service, ServiceConfig, TcpConfig, TcpServer};
 use qca_telemetry::Telemetry;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -25,15 +30,20 @@ struct Args {
     workers: usize,
     queue: usize,
     cache: usize,
+    max_frame: usize,
+    max_conns: usize,
     smoke: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = TcpConfig::default();
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
         workers: 2,
         queue: 256,
         cache: 64,
+        max_frame: defaults.max_request_bytes,
+        max_conns: defaults.max_connections,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -50,10 +60,12 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = parse("--workers", take("--workers")?)?,
             "--queue" => args.queue = parse("--queue", take("--queue")?)?,
             "--cache" => args.cache = parse("--cache", take("--cache")?)?,
+            "--max-frame" => args.max_frame = parse("--max-frame", take("--max-frame")?)?,
+            "--max-conns" => args.max_conns = parse("--max-conns", take("--max-conns")?)?,
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--smoke]"
+                    "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--max-frame BYTES] [--max-conns N] [--smoke]"
                         .to_string(),
                 )
             }
@@ -77,11 +89,16 @@ fn main() -> ExitCode {
         cache_capacity: args.cache,
         ..ServiceConfig::default()
     };
+    let tcp_config = TcpConfig {
+        max_request_bytes: args.max_frame.max(1),
+        max_connections: args.max_conns.max(1),
+        ..TcpConfig::default()
+    };
     let service = Service::with_telemetry(config, Telemetry::enabled());
     if args.smoke {
-        return smoke_test(&service);
+        return smoke_test(&service, tcp_config);
     }
-    let server = match TcpServer::bind(&args.addr, service.handle()) {
+    let server = match TcpServer::bind_with(&args.addr, service.handle(), tcp_config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("qca-serve: cannot bind {}: {e}", args.addr);
@@ -89,11 +106,13 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "qca-serve: listening on {} ({} workers, queue {}, cache {})",
+        "qca-serve: listening on {} ({} workers, queue {}, cache {}, max frame {} B, max conns {})",
         server.local_addr(),
         args.workers,
         args.queue,
-        args.cache
+        args.cache,
+        tcp_config.max_request_bytes,
+        tcp_config.max_connections
     );
     // Serve until killed; the accept loop owns the listener.
     loop {
@@ -103,8 +122,10 @@ fn main() -> ExitCode {
 
 /// Self-test for CI: start the TCP front-end on an OS-assigned port,
 /// submit three jobs over the socket (two identical, so the second must
-/// hit the plan cache), and check every response parses as JSON.
-fn smoke_test(service: &Service) -> ExitCode {
+/// hit the plan cache), check every response parses as JSON, then abuse
+/// the front-end — an oversized frame, malformed JSON and an abrupt
+/// disconnect — and verify the daemon keeps serving afterwards.
+fn smoke_test(service: &Service, tcp_config: TcpConfig) -> ExitCode {
     let bell = "qubits 2\\nh q[0]\\ncnot q[0], q[1]\\nmeasure_all\\n";
     let ghz = "qubits 3\\nh q[0]\\ncnot q[0], q[1]\\ncnot q[1], q[2]\\nmeasure_all\\n";
     let requests = [
@@ -113,7 +134,7 @@ fn smoke_test(service: &Service) -> ExitCode {
         // Duplicate of the first circuit: must be served from the cache.
         format!("{{\"verb\":\"submit\",\"circuit\":\"{bell}\",\"shots\":500,\"seed\":3}}"),
     ];
-    let server = match TcpServer::bind("127.0.0.1:0", service.handle()) {
+    let server = match TcpServer::bind_with("127.0.0.1:0", service.handle(), tcp_config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("smoke: cannot bind loopback: {e}");
@@ -171,7 +192,7 @@ fn smoke_test(service: &Service) -> ExitCode {
         println!("smoke: 3 jobs served over TCP, {hits} cache hit(s)");
         Ok(())
     };
-    let result = run();
+    let result = run().and_then(|()| abuse_probes(server.local_addr(), tcp_config));
     server.stop();
     match result {
         Ok(()) => {
@@ -183,4 +204,73 @@ fn smoke_test(service: &Service) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Throws hostile input at the front-end: an oversized frame must draw a
+/// typed `frame_too_large` error, malformed JSON a `bad_request`, and an
+/// abrupt mid-line disconnect must not stop the daemon from serving the
+/// next connection.
+fn abuse_probes(addr: std::net::SocketAddr, tcp_config: TcpConfig) -> Result<(), String> {
+    let connect = || -> Result<(BufReader<TcpStream>, TcpStream), String> {
+        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok((reader, stream))
+    };
+    let ask = |reader: &mut BufReader<TcpStream>,
+               writer: &mut TcpStream,
+               line: &str|
+     -> Result<String, String> {
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| e.to_string())?;
+        let mut response = String::new();
+        reader.read_line(&mut response).map_err(|e| e.to_string())?;
+        Ok(response)
+    };
+
+    // Probe 1: a frame one kilobyte over the limit.
+    let (mut reader, mut writer) = connect()?;
+    let oversized = "x".repeat(tcp_config.max_request_bytes + 1024);
+    let response = ask(&mut reader, &mut writer, &oversized)?;
+    if !response.contains("frame_too_large") {
+        return Err(format!(
+            "oversized frame not rejected: {:?}",
+            response.trim()
+        ));
+    }
+    println!("smoke: oversized frame rejected with frame_too_large");
+
+    // Probe 2: malformed JSON, then a valid request on the same socket.
+    let (mut reader, mut writer) = connect()?;
+    let response = ask(&mut reader, &mut writer, "this is not json")?;
+    if !response.contains("bad_request") {
+        return Err(format!("malformed frame accepted: {:?}", response.trim()));
+    }
+    let response = ask(&mut reader, &mut writer, "{\"verb\":\"stats\"}")?;
+    if !response.contains("\"ok\":true") {
+        return Err(format!(
+            "connection unusable after bad frame: {:?}",
+            response.trim()
+        ));
+    }
+    println!("smoke: malformed JSON drew bad_request; connection still usable");
+
+    // Probe 3: vanish mid-line, then confirm the daemon still serves.
+    let (_reader, mut writer) = connect()?;
+    let _ = writer.write_all(b"{\"verb\":\"stat");
+    drop(writer);
+    let (mut reader, mut writer) = connect()?;
+    let response = ask(&mut reader, &mut writer, "{\"verb\":\"stats\"}")?;
+    if !response.contains("\"ok\":true") {
+        return Err(format!(
+            "daemon unhealthy after abrupt disconnect: {:?}",
+            response.trim()
+        ));
+    }
+    println!("smoke: daemon survived an abrupt mid-line disconnect");
+    Ok(())
 }

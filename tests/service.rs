@@ -1,8 +1,11 @@
 //! Integration tests for the serving runtime: determinism across worker
 //! counts, warm-cache bit-identity (the plan cache must skip compilation
-//! entirely), and the TCP front-end.
+//! entirely), the TCP front-end, and fault tolerance — worker
+//! supervision, seeded retry, shutdown draining and front-end hardening.
 
-use qca_service::{JobSpec, Service, ServiceConfig, TcpServer};
+use qca_service::{
+    JobFaults, JobSpec, RetryPolicy, Service, ServiceConfig, ServiceError, TcpConfig, TcpServer,
+};
 use qca_telemetry::json::{self, JsonValue};
 use qca_telemetry::Telemetry;
 use std::collections::BTreeMap;
@@ -263,6 +266,316 @@ fn tcp_front_end_round_trips_jobs_and_exposes_cache_stats() {
         Some("parse")
     );
 
+    server.stop();
+    service.shutdown();
+}
+
+/// Satellite: supervision liveness. A worker killed mid-job (injected
+/// panic, no retry budget) must surface as a typed `WorkerPanic` — not a
+/// `WaitTimeout` — the pool must respawn to its configured size, and an
+/// identical resubmission must then succeed with a histogram
+/// bit-identical to a clean service's run.
+#[test]
+fn a_worker_panic_is_a_typed_failure_and_the_pool_heals() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    let spec = JobSpec::new(BELL).with_seed(4242).with_shots(1500);
+
+    let doomed = handle
+        .submit(spec.clone().with_faults(JobFaults {
+            panic_attempts: u32::MAX,
+            fail_attempts: 0,
+        }))
+        .unwrap();
+    match handle.wait(doomed, Duration::from_secs(30)) {
+        Err(ServiceError::WorkerPanic { message }) => {
+            assert!(
+                message.contains("injected worker panic"),
+                "panic payload must survive into the typed error: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+
+    // The pool must heal back to its configured size, with the panic and
+    // the respawn accounted. (The replacement worker is spawned before
+    // the dying one retires, so `workers_live` may never visibly dip —
+    // poll on the counters too.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = handle.stats();
+        if stats.workers_live == stats.workers && stats.panics >= 1 && stats.respawns >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pool never healed: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The same job without faults must now run to a bit-identical result.
+    let healed = handle
+        .wait(
+            handle.submit(spec.clone()).unwrap(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+    let clean_service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let clean_handle = clean_service.handle();
+    let clean = clean_handle
+        .wait(clean_handle.submit(spec).unwrap(), Duration::from_secs(30))
+        .unwrap();
+    assert_eq!(
+        healed.histogram, clean.histogram,
+        "a healed pool must not perturb results"
+    );
+    clean_service.shutdown();
+    service.shutdown();
+}
+
+/// Transient faults burn attempts; the job then succeeds with the exact
+/// histogram a fault-free run produces (retries replay the same per-shot
+/// RNG streams) and reports its attempt count.
+#[test]
+fn retried_jobs_reproduce_the_fault_free_histogram_bit_for_bit() {
+    let spec = JobSpec::new(GHZ4).with_seed(90210).with_shots(2500);
+    let clean_service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let clean_handle = clean_service.handle();
+    let clean = clean_handle
+        .wait(
+            clean_handle.submit(spec.clone()).unwrap(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+    assert_eq!(clean.attempts, 1);
+    clean_service.shutdown();
+
+    let service = Service::with_config(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    let faulty = spec
+        .with_faults(JobFaults {
+            panic_attempts: 0,
+            fail_attempts: 2,
+        })
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 1,
+            jitter_seed: 99,
+        });
+    let outcome = handle
+        .wait(handle.submit(faulty).unwrap(), Duration::from_secs(30))
+        .unwrap();
+    assert_eq!(outcome.attempts, 3, "two faults + one success");
+    assert_eq!(
+        outcome.histogram, clean.histogram,
+        "retries must be bit-invisible in the result"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.retries_scheduled, 2);
+    assert_eq!(stats.retries_exhausted, 0);
+    service.shutdown();
+}
+
+/// More faults than attempts: the failure is typed, terminal and counted
+/// as an exhausted retry — never a hang.
+#[test]
+fn exhausted_retries_fail_with_a_typed_error() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    let spec = JobSpec::new(BELL)
+        .with_shots(500)
+        .with_faults(JobFaults {
+            panic_attempts: 0,
+            fail_attempts: u32::MAX,
+        })
+        .with_retry(RetryPolicy::with_attempts(3, 0));
+    match handle.wait(handle.submit(spec).unwrap(), Duration::from_secs(30)) {
+        Err(ServiceError::Execute(msg)) => {
+            assert!(msg.contains("injected transient fault"), "{msg}");
+        }
+        other => panic!("expected an execute failure, got {other:?}"),
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.retries_scheduled, 2);
+    assert_eq!(stats.retries_exhausted, 1);
+    service.shutdown();
+}
+
+/// Compile errors are permanent: no retry budget may be spent on them.
+#[test]
+fn compile_failures_are_never_retried() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    // Parses fine but exceeds the simulator's qubit capacity at plan
+    // compile time.
+    let spec = JobSpec::new("qubits 31\nh q[0]\nmeasure_all\n")
+        .with_shots(10)
+        .with_retry(RetryPolicy::with_attempts(4, 0));
+    match handle.wait(handle.submit(spec).unwrap(), Duration::from_secs(30)) {
+        Err(ServiceError::Compile(_)) => {}
+        other => panic!("expected a compile failure, got {other:?}"),
+    }
+    assert_eq!(
+        handle.stats().retries_scheduled,
+        0,
+        "deterministic failures must not burn retries"
+    );
+    service.shutdown();
+}
+
+/// `shutdown_now` must leave no waiter stranded: queued jobs fail with
+/// the typed `ShuttingDown`, in-flight jobs settle normally.
+#[test]
+fn shutdown_now_fails_queued_jobs_with_a_typed_error() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    // Pin the single worker with a slow job, then queue distinct jobs
+    // behind it (distinct seeds, so they cannot coalesce).
+    let mut ids = vec![handle
+        .submit(JobSpec::new(GHZ4).with_seed(1).with_shots(4000))
+        .unwrap()];
+    for seed in 2..6 {
+        ids.push(
+            handle
+                .submit(JobSpec::new(BELL).with_seed(seed).with_shots(2000))
+                .unwrap(),
+        );
+    }
+    service.shutdown_now();
+    let mut shut_down = 0;
+    for id in ids {
+        match handle.wait(id, Duration::from_secs(10)) {
+            Ok(_) => {}
+            Err(ServiceError::ShuttingDown) => shut_down += 1,
+            other => panic!("job must be terminal after shutdown_now, got {other:?}"),
+        }
+    }
+    assert!(
+        shut_down >= 1,
+        "at least one queued job must observe ShuttingDown"
+    );
+}
+
+/// An oversized request frame draws a typed error and a disconnect —
+/// while a concurrent well-behaved connection keeps working.
+#[test]
+fn oversized_frames_are_rejected_without_affecting_other_clients() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let config = TcpConfig {
+        max_request_bytes: 1024,
+        ..TcpConfig::default()
+    };
+    let server = TcpServer::bind_with("127.0.0.1:0", service.handle(), config).unwrap();
+    let mut good = WireClient::connect(server.local_addr());
+
+    let mut abuser = TcpStream::connect(server.local_addr()).unwrap();
+    abuser
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    abuser.write_all("x".repeat(5000).as_bytes()).unwrap();
+    abuser.write_all(b"\n").unwrap();
+    let mut response = String::new();
+    BufReader::new(abuser.try_clone().unwrap())
+        .read_line(&mut response)
+        .unwrap();
+    let parsed = json::parse(&response).unwrap();
+    assert_eq!(
+        parsed.get("error").and_then(JsonValue::as_str),
+        Some("frame_too_large")
+    );
+
+    // The well-behaved connection is unaffected.
+    let stats = good.ask("{\"verb\":\"stats\"}");
+    assert_eq!(stats.get("ok"), Some(&JsonValue::Bool(true)));
+    server.stop();
+    service.shutdown();
+}
+
+/// A stalling (slow-loris) client is disconnected once the read timeout
+/// elapses instead of pinning a connection thread forever.
+#[test]
+fn stalled_clients_are_disconnected_by_the_read_timeout() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let config = TcpConfig {
+        read_timeout: Some(Duration::from_millis(150)),
+        ..TcpConfig::default()
+    };
+    let server = TcpServer::bind_with("127.0.0.1:0", service.handle(), config).unwrap();
+    let mut loris = TcpStream::connect(server.local_addr()).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Half a request, then silence: the server must hang up on us.
+    loris.write_all(b"{\"verb\":\"sta").unwrap();
+    let mut buf = String::new();
+    let n = BufReader::new(loris.try_clone().unwrap())
+        .read_line(&mut buf)
+        .unwrap();
+    assert_eq!(n, 0, "server must close a stalled connection, got {buf:?}");
+    server.stop();
+    service.shutdown();
+}
+
+/// Connections beyond the cap are shed with an immediate `overloaded`
+/// response instead of a serving thread.
+#[test]
+fn connections_beyond_the_cap_are_shed_with_overloaded() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let config = TcpConfig {
+        max_connections: 1,
+        ..TcpConfig::default()
+    };
+    let server = TcpServer::bind_with("127.0.0.1:0", service.handle(), config).unwrap();
+    // First client occupies the only slot (and proves it works).
+    let mut first = WireClient::connect(server.local_addr());
+    let stats = first.ask("{\"verb\":\"stats\"}");
+    assert_eq!(stats.get("ok"), Some(&JsonValue::Bool(true)));
+    // Second client must be shed.
+    let shed = TcpStream::connect(server.local_addr()).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    BufReader::new(shed.try_clone().unwrap())
+        .read_line(&mut response)
+        .unwrap();
+    let parsed = json::parse(&response).unwrap();
+    assert_eq!(
+        parsed.get("error").and_then(JsonValue::as_str),
+        Some("overloaded"),
+        "{response:?}"
+    );
+    drop(first);
     server.stop();
     service.shutdown();
 }

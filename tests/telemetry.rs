@@ -248,3 +248,186 @@ fn stack_run_exposes_pass_metrics_and_kernel_dispatch() {
     assert!(!dispatch.is_empty(), "kernel dispatch histogram is exposed");
     assert!(dispatch.values().all(|&v| v > 0));
 }
+
+/// Satellite (PR 7): the fault-tolerance counters are deterministic —
+/// running the same seeded fault scenario twice produces the exact same
+/// `service.retries.*` / `service.workers.*` counter values, and the
+/// hardened front-end counters appear under their documented names.
+#[test]
+fn service_fault_counters_are_deterministic() {
+    use qca_service::{JobFaults, JobSpec, RetryPolicy, Service, ServiceConfig};
+    use std::time::Duration;
+
+    let run_scenario = || -> (String, qxsim::ShotHistogram) {
+        let telemetry = Telemetry::enabled();
+        let service = Service::with_telemetry(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            telemetry.clone(),
+        );
+        let handle = service.handle();
+        // One job that panics once then succeeds, one that burns two
+        // transient faults, one that exhausts its budget.
+        let healed = handle
+            .submit(
+                JobSpec::new("qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n")
+                    .with_seed(7)
+                    .with_shots(400)
+                    .with_faults(JobFaults {
+                        panic_attempts: 1,
+                        fail_attempts: 0,
+                    })
+                    .with_retry(RetryPolicy::with_attempts(3, 0)),
+            )
+            .expect("submit");
+        let retried = handle
+            .submit(
+                JobSpec::new("qubits 2\nh q[0]\nmeasure_all\n")
+                    .with_seed(8)
+                    .with_shots(300)
+                    .with_faults(JobFaults {
+                        panic_attempts: 0,
+                        fail_attempts: 2,
+                    })
+                    .with_retry(RetryPolicy::with_attempts(3, 0)),
+            )
+            .expect("submit");
+        let doomed = handle
+            .submit(
+                JobSpec::new("qubits 1\nx q[0]\nmeasure_all\n")
+                    .with_seed(9)
+                    .with_shots(200)
+                    .with_faults(JobFaults {
+                        panic_attempts: 0,
+                        fail_attempts: 99,
+                    })
+                    .with_retry(RetryPolicy::with_attempts(2, 0)),
+            )
+            .expect("submit");
+
+        let healed_outcome = handle
+            .wait(healed, Duration::from_secs(30))
+            .expect("healed job succeeds");
+        assert_eq!(healed_outcome.attempts, 2);
+        let retried_outcome = handle
+            .wait(retried, Duration::from_secs(30))
+            .expect("retried job succeeds");
+        assert_eq!(retried_outcome.attempts, 3);
+        assert!(handle.wait(doomed, Duration::from_secs(30)).is_err());
+        // Let supervision finish before shutting down: a shutdown that
+        // races the dying worker suppresses its respawn (by design), and
+        // this test pins the exact healed-pool counter values.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while handle.stats().respawns < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool never respawned: {:?}",
+                handle.stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        service.shutdown();
+
+        let counters = telemetry.counters_json();
+        (counters, healed_outcome.histogram.clone())
+    };
+
+    let (counters_a, histogram_a) = run_scenario();
+    let (counters_b, histogram_b) = run_scenario();
+
+    let parsed = json::parse(&counters_a).expect("counters export is JSON");
+    let count = |name: &str| -> f64 {
+        parsed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(qca_core::telemetry::json::JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("missing counter {name} in {counters_a}"))
+    };
+    // healed: 1 panic retry; retried: 2 fault retries; doomed: 1 retry
+    // then exhaustion.
+    assert_eq!(count("service.retries.scheduled"), 4.0);
+    assert_eq!(count("service.retries.exhausted"), 1.0);
+    assert_eq!(count("service.workers.panics"), 1.0);
+    assert_eq!(count("service.workers.respawns"), 1.0);
+
+    assert_eq!(
+        counters_a, counters_b,
+        "seeded fault scenarios must produce identical counters"
+    );
+    assert_eq!(
+        histogram_a, histogram_b,
+        "seeded fault scenarios must produce identical histograms"
+    );
+}
+
+/// The hardened TCP front-end counts shed connections, oversized frames
+/// and read timeouts under stable names.
+#[test]
+fn tcp_hardening_counters_use_documented_names() {
+    use qca_service::{Service, ServiceConfig, TcpConfig, TcpServer};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let telemetry = Telemetry::enabled();
+    let service = Service::with_telemetry(
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let server = TcpServer::bind_with(
+        "127.0.0.1:0",
+        service.handle(),
+        TcpConfig {
+            max_request_bytes: 512,
+            read_timeout: Some(Duration::from_millis(100)),
+            ..TcpConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // Oversized frame.
+    let mut abuser = TcpStream::connect(server.local_addr()).expect("connect");
+    abuser
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    abuser
+        .write_all("y".repeat(2048).as_bytes())
+        .and_then(|()| abuser.write_all(b"\n"))
+        .expect("write");
+    let mut response = String::new();
+    BufReader::new(abuser.try_clone().expect("clone"))
+        .read_line(&mut response)
+        .expect("read");
+    assert!(response.contains("frame_too_large"), "{response:?}");
+
+    // Stalled client: wait for the server's read timeout to cut us off.
+    let mut loris = TcpStream::connect(server.local_addr()).expect("connect");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    loris.write_all(b"{\"verb\":").expect("write");
+    let mut buf = String::new();
+    let n = BufReader::new(loris.try_clone().expect("clone"))
+        .read_line(&mut buf)
+        .expect("read");
+    assert_eq!(n, 0, "stalled connection must be closed");
+
+    server.stop();
+    service.shutdown();
+
+    let counters = telemetry.counters_json();
+    let parsed = json::parse(&counters).expect("counters export is JSON");
+    let count = |name: &str| {
+        parsed
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(qca_core::telemetry::json::JsonValue::as_f64)
+    };
+    assert_eq!(count("service.tcp.oversized"), Some(1.0), "{counters}");
+    assert_eq!(count("service.tcp.timeouts"), Some(1.0), "{counters}");
+}

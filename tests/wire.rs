@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use qca_core::QubitKind;
 use qca_service::wire::{encode_request, parse_request, Request};
-use qca_service::{Engine, JobId, JobSpec};
+use qca_service::{Engine, JobFaults, JobId, JobSpec, RetryPolicy};
 
 /// Circuits with every character class the JSON escaper has to handle:
 /// newlines, quotes, backslashes, control characters, non-ASCII.
@@ -42,9 +42,10 @@ fn arb_submit() -> impl Strategy<Value = Request> {
             prop_oneof![Just(Engine::StateVector), Just(Engine::DensityMatrix)],
             prop_oneof![Just(QubitKind::Perfect), Just(QubitKind::real_transmon())],
         ),
+        (arb_retry(), arb_faults()),
     )
         .prop_map(
-            |((circuit, shots, seed), (priority, deadline_ms, engine, qubits))| {
+            |((circuit, shots, seed), (priority, deadline_ms, engine, qubits), (retry, faults))| {
                 let mut spec = JobSpec::new(circuit);
                 spec.shots = shots;
                 spec.seed = seed;
@@ -52,9 +53,36 @@ fn arb_submit() -> impl Strategy<Value = Request> {
                 spec.deadline_ms = deadline_ms;
                 spec.engine = engine;
                 spec.qubits = qubits;
+                spec.retry = retry;
+                spec.faults = faults;
                 Request::Submit(spec)
             },
         )
+}
+
+/// Retry policies the wire can represent: the default (omitted from the
+/// encoding) or any policy with at least one attempt.
+fn arb_retry() -> impl Strategy<Value = RetryPolicy> {
+    prop_oneof![
+        Just(RetryPolicy::none()),
+        (1u32..16, 0u64..10_000, 0u64..(1 << 53)).prop_map(|(max_attempts, backoff, jitter)| {
+            RetryPolicy {
+                max_attempts,
+                backoff_base_ms: backoff,
+                jitter_seed: jitter,
+            }
+        }),
+    ]
+}
+
+fn arb_faults() -> impl Strategy<Value = JobFaults> {
+    prop_oneof![
+        Just(JobFaults::none()),
+        (0u32..8, 0u32..8).prop_map(|(panic_attempts, fail_attempts)| JobFaults {
+            panic_attempts,
+            fail_attempts,
+        }),
+    ]
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
