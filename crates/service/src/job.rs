@@ -292,6 +292,38 @@ impl JobStatus {
     }
 }
 
+/// When one job passed each lifecycle stage — admit → claim → compile →
+/// execute → settle — as microsecond offsets from the service epoch
+/// (except `compile_us`, which is the compile *duration*). Stages the
+/// job has not reached read `None`; retries overwrite the claim/execute
+/// stamps with the latest attempt's. Returned by
+/// `ServiceHandle::lifecycle` and the `trace` wire verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobLifecycle {
+    /// The job's ticket.
+    pub job: JobId,
+    /// Whether this job emits Chrome-trace spans (deterministic 1-in-N
+    /// sampling by content hash).
+    pub sampled: bool,
+    /// Current status wire name (`queued`/`running`/`done`/...).
+    pub status: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Execution attempts started so far.
+    pub attempts: u32,
+    /// When the job was admitted.
+    pub admit_us: u64,
+    /// When the latest attempt was claimed by a worker.
+    pub claim_us: Option<u64>,
+    /// Compile duration of the attempt that served this job (`None` on
+    /// a plan-cache hit).
+    pub compile_us: Option<u64>,
+    /// When the latest attempt began executing.
+    pub exec_start_us: Option<u64>,
+    /// When the job last settled.
+    pub settle_us: Option<u64>,
+}
+
 /// Typed service-level errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {

@@ -49,7 +49,10 @@ pub mod wire;
 pub use cache::{artifact_key, CacheStats, CompiledArtifact, PlanCache};
 pub use hash::{fnv1a, Fnv64};
 pub use job::{
-    Engine, JobFaults, JobId, JobOutcome, JobSpec, JobStatus, RetryPolicy, ServiceError,
+    Engine, JobFaults, JobId, JobLifecycle, JobOutcome, JobSpec, JobStatus, RetryPolicy,
+    ServiceError,
 };
-pub use service::{PlatformSpec, Service, ServiceConfig, ServiceHandle, ServiceStats};
+pub use service::{
+    LatencySummary, PlatformSpec, Service, ServiceConfig, ServiceHandle, ServiceStats, TcpStats,
+};
 pub use tcp::{TcpConfig, TcpServer, MAX_REQUEST_BYTES};

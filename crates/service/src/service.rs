@@ -26,12 +26,13 @@
 
 use crate::cache::{artifact_key, CacheStats, CompiledArtifact, PlanCache};
 use crate::hash::Fnv64;
-use crate::job::{Engine, JobId, JobOutcome, JobSpec, JobStatus, ServiceError};
+use crate::job::{Engine, JobId, JobLifecycle, JobOutcome, JobSpec, JobStatus, ServiceError};
 use openql::{Compiler, CompilerOptions, Platform};
-use qca_telemetry::Telemetry;
+use qca_telemetry::{LogHistogram, Telemetry};
 use qxsim::{ExecuteError, ShotHistogram, Simulator};
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -78,6 +79,12 @@ pub struct ServiceConfig {
     /// runs out and the last worker dies, the service fails every queued
     /// job (instead of stranding waiters) and stops admission.
     pub max_respawns: u64,
+    /// Chrome-trace span sampling: one job in `trace_sample_n` (chosen
+    /// deterministically by content hash, `exec_key % n == 0`) emits
+    /// per-stage lifecycle spans. `0` disables span emission entirely;
+    /// `1` traces every job. Content-based sampling means the *same*
+    /// jobs are traced on every run of a seeded workload.
+    pub trace_sample_n: u64,
 }
 
 impl Default for ServiceConfig {
@@ -90,8 +97,42 @@ impl Default for ServiceConfig {
             platform: PlatformSpec::PerfectSized,
             options: CompilerOptions::default(),
             max_respawns: 8,
+            trace_sample_n: 8,
         }
     }
+}
+
+/// Latency percentiles over everything the service has settled so far,
+/// estimated from its internal [`LogHistogram`]s (~6% relative error).
+/// All values are microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median admission-to-claim wait.
+    pub queue_wait_p50_us: u64,
+    /// 99th-percentile admission-to-claim wait.
+    pub queue_wait_p99_us: u64,
+    /// Median execution time (per attempt).
+    pub execute_p50_us: u64,
+    /// 99th-percentile execution time (per attempt).
+    pub execute_p99_us: u64,
+    /// Median end-to-end latency (admission to terminal state).
+    pub e2e_p50_us: u64,
+    /// 99th-percentile end-to-end latency.
+    pub e2e_p99_us: u64,
+    /// Jobs contributing to the end-to-end distribution.
+    pub jobs_measured: u64,
+}
+
+/// TCP front-end counters (see `qca_service::tcp`), surfaced on
+/// [`ServiceStats`] so they are queryable over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Connections shed at the accept loop (over `max_connections`).
+    pub shed: u64,
+    /// Frames rejected for exceeding `max_request_bytes`.
+    pub oversized: u64,
+    /// Connections dropped for stalling past a read/write timeout.
+    pub timeouts: u64,
 }
 
 /// A snapshot of service-level counters.
@@ -129,6 +170,11 @@ pub struct ServiceStats {
     pub retries_exhausted: u64,
     /// Artifact-cache counters.
     pub cache: CacheStats,
+    /// Latency percentiles over settled jobs.
+    pub latency: LatencySummary,
+    /// TCP front-end counters (zero unless a `TcpServer` fronts this
+    /// service).
+    pub tcp: TcpStats,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -156,6 +202,18 @@ struct JobRecord {
     /// Execution attempts started so far (incremented when a batch
     /// containing this job is claimed by a worker).
     attempts: u32,
+    /// Whether this job emits lifecycle trace spans (deterministic 1-in-N
+    /// by content hash; see [`ServiceConfig::trace_sample_n`]).
+    sampled: bool,
+    /// When the latest attempt was claimed by a worker.
+    claimed_at: Option<Instant>,
+    /// Compile time of the attempt that served this job (`None` on a
+    /// plan-cache hit — no compile happened).
+    compile_us: Option<u64>,
+    /// When the latest attempt began executing.
+    exec_started_at: Option<Instant>,
+    /// When the job last settled (terminal state or retry scheduling).
+    settled_at: Option<Instant>,
 }
 
 /// A failure plus whether retrying could help (injected faults and
@@ -173,6 +231,7 @@ struct ShardTask {
     /// (job id, attempt the job was claimed at) for every batch member.
     batch: Vec<(u64, u32)>,
     cache_hit: bool,
+    compile_us: Option<u64>,
     shards: usize,
     exec_started: Instant,
     started_at: Instant,
@@ -244,6 +303,14 @@ struct SchedState {
     respawns_left: u64,
     shutdown: bool,
     totals: Totals,
+    /// Admission-to-claim wait per attempt.
+    lat_queue_wait: LogHistogram,
+    /// Compile time per cache miss.
+    lat_compile: LogHistogram,
+    /// Execution time per attempt.
+    lat_execute: LogHistogram,
+    /// Admission-to-terminal-state latency per job.
+    lat_e2e: LogHistogram,
 }
 
 struct Shared {
@@ -253,6 +320,15 @@ struct Shared {
     cache: PlanCache,
     config: ServiceConfig,
     telemetry: Telemetry,
+    /// When the service started; job lifecycle records report offsets
+    /// from this epoch.
+    epoch: Instant,
+    /// TCP front-end counters, bumped by `note_tcp_*` from the accept
+    /// loop and connection handlers (atomics: the TCP path must not
+    /// contend on the scheduler lock).
+    tcp_shed: AtomicU64,
+    tcp_oversized: AtomicU64,
+    tcp_timeouts: AtomicU64,
     /// Join handles for every live worker thread, including respawns.
     worker_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -337,12 +413,20 @@ impl Service {
                 respawns_left: max_respawns,
                 shutdown: false,
                 totals: Totals::default(),
+                lat_queue_wait: LogHistogram::new(),
+                lat_compile: LogHistogram::new(),
+                lat_execute: LogHistogram::new(),
+                lat_e2e: LogHistogram::new(),
             }),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
             cache: PlanCache::new(config.cache_capacity, telemetry.clone()),
             config,
             telemetry,
+            epoch: Instant::now(),
+            tcp_shed: AtomicU64::new(0),
+            tcp_oversized: AtomicU64::new(0),
+            tcp_timeouts: AtomicU64::new(0),
             worker_handles: Mutex::new(Vec::new()),
         });
         for i in 0..shared.config.workers {
@@ -463,6 +547,10 @@ impl ServiceHandle {
         let seq = state.next_seq;
         state.next_seq += 1;
         let priority = spec.priority;
+        // Deterministic 1-in-N trace sampling by content hash: the same
+        // jobs of a seeded workload are traced on every run.
+        let sample_n = shared.config.trace_sample_n;
+        let sampled = sample_n > 0 && exec_key % sample_n == 0;
         state.jobs.insert(
             id,
             JobRecord {
@@ -474,6 +562,11 @@ impl ServiceHandle {
                 submitted_at: Instant::now(),
                 status: JobStatus::Queued,
                 attempts: 0,
+                sampled,
+                claimed_at: None,
+                compile_us: None,
+                exec_started_at: None,
+                settled_at: None,
             },
         );
         state.pending.entry(exec_key).or_default().push(id);
@@ -559,10 +652,27 @@ impl ServiceHandle {
             return Ok(false);
         }
         record.status = JobStatus::Cancelled;
+        let now = Instant::now();
+        record.settled_at = Some(now);
+        let e2e_us = u64::try_from(
+            now.saturating_duration_since(record.submitted_at)
+                .as_micros(),
+        )
+        .unwrap_or(u64::MAX);
+        let priority = record.spec.priority;
+        state.lat_e2e.record(e2e_us);
         state.queued -= 1;
         state.totals.cancelled += 1;
         drop(state);
         self.shared.telemetry.incr("service.jobs.cancelled", 1);
+        if self.shared.telemetry.is_enabled() {
+            let prio = priority.to_string();
+            self.shared.telemetry.record_hist_labeled(
+                "service.latency.e2e_us",
+                &[("priority", &prio), ("outcome", "cancelled")],
+                e2e_us,
+            );
+        }
         self.shared.job_done.notify_all();
         Ok(true)
     }
@@ -586,7 +696,72 @@ impl ServiceHandle {
             retries_scheduled: state.totals.retries_scheduled,
             retries_exhausted: state.totals.retries_exhausted,
             cache: self.shared.cache.stats(),
+            latency: LatencySummary {
+                queue_wait_p50_us: state.lat_queue_wait.quantile(0.50),
+                queue_wait_p99_us: state.lat_queue_wait.quantile(0.99),
+                execute_p50_us: state.lat_execute.quantile(0.50),
+                execute_p99_us: state.lat_execute.quantile(0.99),
+                e2e_p50_us: state.lat_e2e.quantile(0.50),
+                e2e_p99_us: state.lat_e2e.quantile(0.99),
+                jobs_measured: state.lat_e2e.count(),
+            },
+            tcp: TcpStats {
+                shed: self.shared.tcp_shed.load(Ordering::Relaxed),
+                oversized: self.shared.tcp_oversized.load(Ordering::Relaxed),
+                timeouts: self.shared.tcp_timeouts.load(Ordering::Relaxed),
+            },
         }
+    }
+
+    /// The job's lifecycle record: when it passed each stage (admit →
+    /// claim → compile → execute → settle), as microsecond offsets from
+    /// the service epoch, plus whether it was trace-sampled. Available
+    /// for every known job at any stage — not-yet-reached stages read
+    /// `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for a ticket this service never issued.
+    pub fn lifecycle(&self, id: JobId) -> Result<JobLifecycle, ServiceError> {
+        let epoch = self.shared.epoch;
+        let offset = |at: Instant| -> u64 {
+            u64::try_from(at.saturating_duration_since(epoch).as_micros()).unwrap_or(u64::MAX)
+        };
+        let state = self.shared.lock();
+        let record = state
+            .jobs
+            .get(&id.0)
+            .ok_or(ServiceError::UnknownJob(id.0))?;
+        Ok(JobLifecycle {
+            job: id,
+            sampled: record.sampled,
+            status: record.status.name().to_string(),
+            priority: record.spec.priority,
+            attempts: record.attempts,
+            admit_us: offset(record.submitted_at),
+            claim_us: record.claimed_at.map(offset),
+            compile_us: record.compile_us,
+            exec_start_us: record.exec_started_at.map(offset),
+            settle_us: record.settled_at.map(offset),
+        })
+    }
+
+    /// Counts a connection shed by the TCP accept loop.
+    pub fn note_tcp_shed(&self) {
+        self.shared.tcp_shed.fetch_add(1, Ordering::Relaxed);
+        self.shared.telemetry.incr("service.tcp.shed", 1);
+    }
+
+    /// Counts a frame rejected for exceeding the size limit.
+    pub fn note_tcp_oversized(&self) {
+        self.shared.tcp_oversized.fetch_add(1, Ordering::Relaxed);
+        self.shared.telemetry.incr("service.tcp.oversized", 1);
+    }
+
+    /// Counts a connection dropped for stalling past a timeout.
+    pub fn note_tcp_timeout(&self) {
+        self.shared.tcp_timeouts.fetch_add(1, Ordering::Relaxed);
+        self.shared.telemetry.incr("service.tcp.timeouts", 1);
     }
 
     /// The service telemetry context.
@@ -853,6 +1028,7 @@ fn lead_step(shared: &Shared, id: JobId) -> StepOutcome {
                 }),
                 ExecMeta {
                     cache_hit: false,
+                    compile_us: None,
                     shards: 1,
                     started_at: claim.started_at,
                     exec_started: claim.started_at,
@@ -915,11 +1091,13 @@ fn claim_batch(shared: &Shared, id: JobId) -> Option<Claim> {
     let ids = state.pending.remove(&exec_key).unwrap_or_default();
     let mut batch = Vec::with_capacity(ids.len().max(1));
     let mut attempt = 1;
+    let claim_now = Instant::now();
     for jid in ids {
         if let Some(r) = state.jobs.get_mut(&jid) {
             if r.status == JobStatus::Queued {
                 r.status = JobStatus::Running;
                 r.attempts += 1;
+                r.claimed_at = Some(claim_now);
                 if jid == id.0 {
                     attempt = r.attempts;
                 }
@@ -934,7 +1112,17 @@ fn claim_batch(shared: &Shared, id: JobId) -> Option<Claim> {
     state.running += batch.len();
     state.totals.coalesced += (batch.len() - 1) as u64;
     let priority = spec.priority;
+    let depth = state.queued;
+    let inflight = state.running;
     drop(state);
+    // Sampled gauges: one observation per claim, so the min/max/mean of
+    // queue depth and inflight jobs track load without a poller thread.
+    shared
+        .telemetry
+        .record_value("service.queue.depth", depth as f64);
+    shared
+        .telemetry
+        .record_value("service.jobs.inflight", inflight as f64);
     Some(Claim {
         batch,
         spec,
@@ -943,7 +1131,7 @@ fn claim_batch(shared: &Shared, id: JobId) -> Option<Claim> {
         akey,
         attempt,
         priority,
-        started_at: Instant::now(),
+        started_at: claim_now,
     })
 }
 
@@ -968,6 +1156,7 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
             }),
             ExecMeta {
                 cache_hit: false,
+                compile_us: None,
                 shards: 1,
                 started_at: claim.started_at,
                 exec_started: claim.started_at,
@@ -986,9 +1175,16 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
     // Resolve the compiled artifact.
     let artifact = shared.cache.get(claim.akey);
     let cache_hit = artifact.is_some();
+    let mut compile_us = None;
     let artifact = match artifact {
         Some(found) => Ok(found),
-        None => compile_artifact(shared, &claim.program, &claim.platform, spec),
+        None => {
+            let compile_started = Instant::now();
+            let compiled = compile_artifact(shared, &claim.program, &claim.platform, spec);
+            compile_us =
+                Some(u64::try_from(compile_started.elapsed().as_micros()).unwrap_or(u64::MAX));
+            compiled
+        }
     };
     let artifact = match artifact {
         Ok(a) => a,
@@ -1002,6 +1198,7 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
                 }),
                 ExecMeta {
                     cache_hit: false,
+                    compile_us: None,
                     shards: 1,
                     started_at: claim.started_at,
                     exec_started: claim.started_at,
@@ -1032,6 +1229,7 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
             artifact,
             batch: claim.batch.clone(),
             cache_hit,
+            compile_us,
             shards,
             exec_started,
             started_at: claim.started_at,
@@ -1083,6 +1281,7 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
         result,
         ExecMeta {
             cache_hit,
+            compile_us,
             shards: 1,
             started_at: claim.started_at,
             exec_started,
@@ -1206,6 +1405,7 @@ fn shard_done(
             result,
             ExecMeta {
                 cache_hit: task.cache_hit,
+                compile_us: task.compile_us,
                 shards: task.shards,
                 started_at: task.started_at,
                 exec_started: task.exec_started,
@@ -1217,6 +1417,9 @@ fn shard_done(
 /// Timing/provenance for one settled execution.
 struct ExecMeta {
     cache_hit: bool,
+    /// Compile time, `None` on a cache hit (or when settlement happens
+    /// before the compile stage — faults, panics, compile errors).
+    compile_us: Option<u64>,
     shards: usize,
     started_at: Instant,
     exec_started: Instant,
@@ -1236,11 +1439,29 @@ fn settle_batch(
     result: Result<ShotHistogram, Failure>,
     meta: ExecMeta,
 ) {
-    let exec_us = u64::try_from(meta.exec_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let settle_now = Instant::now();
+    let exec_us = u64::try_from(
+        settle_now
+            .saturating_duration_since(meta.exec_started)
+            .as_micros(),
+    )
+    .unwrap_or(u64::MAX);
     let mut completed = 0u64;
     let mut failed = 0u64;
     let mut retried = 0u64;
     let mut exhausted = 0u64;
+    /// Per-job data carried out of the lock for telemetry emission.
+    struct Settled {
+        id: u64,
+        priority: u8,
+        outcome: &'static str,
+        terminal: bool,
+        wait_us: u64,
+        e2e_us: u64,
+        sampled: bool,
+        submitted_at: Instant,
+    }
+    let mut settled: Vec<Settled> = Vec::new();
     {
         let mut guard = shared.lock();
         let state = &mut *guard;
@@ -1258,6 +1479,26 @@ fn settle_batch(
                     .as_micros(),
             )
             .unwrap_or(u64::MAX);
+            let e2e_us = u64::try_from(
+                settle_now
+                    .saturating_duration_since(record.submitted_at)
+                    .as_micros(),
+            )
+            .unwrap_or(u64::MAX);
+            // Lifecycle stamps for `ServiceHandle::lifecycle` / `trace`.
+            if meta.compile_us.is_some() {
+                record.compile_us = meta.compile_us;
+            }
+            record.exec_started_at = Some(meta.exec_started);
+            record.settled_at = Some(settle_now);
+            let priority = record.spec.priority;
+            let sampled = record.sampled;
+            let submitted_at = record.submitted_at;
+            state.lat_queue_wait.record(wait_us);
+            state.lat_execute.record(exec_us);
+            if let Some(c) = meta.compile_us {
+                state.lat_compile.record(c);
+            }
             shared
                 .telemetry
                 .record_value("service.job.wait_us", wait_us as f64);
@@ -1277,6 +1518,17 @@ fn settle_batch(
                     }));
                     state.totals.completed += 1;
                     completed += 1;
+                    state.lat_e2e.record(e2e_us);
+                    settled.push(Settled {
+                        id,
+                        priority,
+                        outcome: "ok",
+                        terminal: true,
+                        wait_us,
+                        e2e_us,
+                        sampled,
+                        submitted_at,
+                    });
                 }
                 Err(failure) => {
                     let retryable = failure.transient
@@ -1308,6 +1560,16 @@ fn settle_batch(
                                 entry,
                             });
                         }
+                        settled.push(Settled {
+                            id,
+                            priority,
+                            outcome: "retried",
+                            terminal: false,
+                            wait_us,
+                            e2e_us,
+                            sampled,
+                            submitted_at,
+                        });
                     } else {
                         record.status = JobStatus::Failed(failure.error.clone());
                         state.totals.failed += 1;
@@ -1316,8 +1578,80 @@ fn settle_batch(
                             state.totals.retries_exhausted += 1;
                             exhausted += 1;
                         }
+                        state.lat_e2e.record(e2e_us);
+                        settled.push(Settled {
+                            id,
+                            priority,
+                            outcome: "failed",
+                            terminal: true,
+                            wait_us,
+                            e2e_us,
+                            sampled,
+                            submitted_at,
+                        });
                     }
                 }
+            }
+        }
+    }
+    // Latency histograms and sampled trace spans, outside the scheduler
+    // lock. The disabled-telemetry path pays one branch and allocates
+    // nothing (label strings are only built when enabled).
+    if shared.telemetry.is_enabled() {
+        for s in &settled {
+            let prio = s.priority.to_string();
+            let labels = [("priority", prio.as_str()), ("outcome", s.outcome)];
+            shared.telemetry.record_hist_labeled(
+                "service.latency.queue_wait_us",
+                &labels,
+                s.wait_us,
+            );
+            shared
+                .telemetry
+                .record_hist_labeled("service.latency.execute_us", &labels, exec_us);
+            if let Some(c) = meta.compile_us {
+                shared
+                    .telemetry
+                    .record_hist_labeled("service.latency.compile_us", &labels, c);
+            }
+            if s.terminal {
+                shared
+                    .telemetry
+                    .record_hist_labeled("service.latency.e2e_us", &labels, s.e2e_us);
+            }
+            if s.sampled && s.terminal {
+                let id = s.id;
+                let cat = "service.job";
+                shared.telemetry.record_span_at(
+                    cat,
+                    &format!("job-{id}.queue_wait"),
+                    s.submitted_at,
+                    meta.started_at,
+                );
+                if let Some(c) = meta.compile_us {
+                    if let Some(compile_started) =
+                        meta.exec_started.checked_sub(Duration::from_micros(c))
+                    {
+                        shared.telemetry.record_span_at(
+                            cat,
+                            &format!("job-{id}.compile"),
+                            compile_started,
+                            meta.exec_started,
+                        );
+                    }
+                }
+                shared.telemetry.record_span_at(
+                    cat,
+                    &format!("job-{id}.execute"),
+                    meta.exec_started,
+                    settle_now,
+                );
+                shared.telemetry.record_span_at(
+                    cat,
+                    &format!("job-{id}.e2e"),
+                    s.submitted_at,
+                    settle_now,
+                );
             }
         }
     }

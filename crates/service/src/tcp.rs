@@ -182,7 +182,7 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         // Load shedding: answer and drop instead of spawning a thread.
         if conns.load(Ordering::SeqCst) >= config.max_connections.max(1) {
-            handle.telemetry().incr("service.tcp.shed", 1);
+            handle.note_tcp_shed();
             shed_connection(&stream);
             continue;
         }
@@ -227,6 +227,9 @@ pub fn serve_connection_with(stream: &TcpStream, handle: &ServiceHandle, config:
     {
         return;
     }
+    // Request/response lines are tiny; without TCP_NODELAY, Nagle plus
+    // delayed ACKs pins every round trip at ~40ms.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -250,13 +253,13 @@ pub fn serve_connection_with(stream: &TcpStream, handle: &ServiceHandle, config:
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) {
-                    handle.telemetry().incr("service.tcp.timeouts", 1);
+                    handle.note_tcp_timeout();
                 }
                 return;
             }
         }
         if buf.last() != Some(&b'\n') && buf.len() > max {
-            handle.telemetry().incr("service.tcp.oversized", 1);
+            handle.note_tcp_oversized();
             let response = wire::error_response(
                 "frame_too_large",
                 &format!("request line exceeds {max} bytes"),

@@ -10,12 +10,16 @@
 //! | `status` | `job`                                                 | `{"ok":true,"job":N,"status":"queued"...}` |
 //! | `result` | `job`, `timeout_ms` (default 30000)                   | status + `histogram` + cache/batch/latency fields |
 //! | `cancel` | `job`                                                 | `{"ok":true,"cancelled":bool}` |
-//! | `stats`  | —                                                     | service + cache counters |
+//! | `stats`  | —                                                     | service + cache + tcp counters, latency percentiles |
+//! | `metrics`| `format` (`json` default, or `prometheus`)            | the full telemetry snapshot: embedded JSON report or Prometheus text in `"metrics"` |
+//! | `trace`  | `job`                                                 | the job's lifecycle record (admit/claim/compile/execute/settle stamps + `sampled`) |
 //!
 //! Histogram keys are the measured bit pattern (qubit 0 = least
 //! significant bit) rendered in decimal, values are shot counts.
 
-use crate::job::{Engine, JobFaults, JobId, JobSpec, JobStatus, RetryPolicy, ServiceError};
+use crate::job::{
+    Engine, JobFaults, JobId, JobLifecycle, JobSpec, JobStatus, RetryPolicy, ServiceError,
+};
 use crate::service::{ServiceHandle, ServiceStats};
 use qca_core::QubitKind;
 use qca_telemetry::export::escape;
@@ -44,6 +48,30 @@ pub enum Request {
     Cancel(JobId),
     /// Service counters.
     Stats,
+    /// The full telemetry snapshot in the requested format.
+    Metrics(MetricsFormat),
+    /// A job's lifecycle record.
+    Trace(JobId),
+}
+
+/// Which exposition the `metrics` verb returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The JSON metrics report, embedded as an object in the response.
+    #[default]
+    Json,
+    /// Prometheus text exposition, embedded as an escaped string.
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// The wire name of this format.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricsFormat::Json => "json",
+            MetricsFormat::Prometheus => "prometheus",
+        }
+    }
 }
 
 fn get_u64(v: &JsonValue, key: &str) -> Option<u64> {
@@ -121,6 +149,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }),
         "cancel" => Ok(Request::Cancel(job_id()?)),
         "stats" => Ok(Request::Stats),
+        "metrics" => {
+            let format = match v.get("format").and_then(JsonValue::as_str) {
+                None | Some("json") => MetricsFormat::Json,
+                Some("prometheus") => MetricsFormat::Prometheus,
+                Some(other) => return Err(format!("unknown metrics format {other:?}")),
+            };
+            Ok(Request::Metrics(format))
+        }
+        "trace" => Ok(Request::Trace(job_id()?)),
         other => Err(format!("unknown verb {other:?}")),
     }
 }
@@ -175,6 +212,10 @@ pub fn encode_request(request: &Request) -> String {
         ),
         Request::Cancel(id) => format!("{{\"verb\":\"cancel\",\"job\":{}}}", id.0),
         Request::Stats => "{\"verb\":\"stats\"}".to_string(),
+        Request::Metrics(format) => {
+            format!("{{\"verb\":\"metrics\",\"format\":\"{}\"}}", format.name())
+        }
+        Request::Trace(id) => format!("{{\"verb\":\"trace\",\"job\":{}}}", id.0),
     }
 }
 
@@ -221,7 +262,11 @@ fn stats_json(stats: &ServiceStats) -> String {
             "\"running\":{},\"workers\":{},\"workers_live\":{},\"panics\":{},",
             "\"respawns\":{},\"retries_scheduled\":{},\"retries_exhausted\":{},",
             "\"cache\":{{\"hits\":{},\"misses\":{},",
-            "\"evictions\":{},\"entries\":{},\"capacity\":{}}}}}"
+            "\"evictions\":{},\"entries\":{},\"capacity\":{}}},",
+            "\"tcp\":{{\"shed\":{},\"oversized\":{},\"timeouts\":{}}},",
+            "\"latency\":{{\"queue_wait_p50_us\":{},\"queue_wait_p99_us\":{},",
+            "\"execute_p50_us\":{},\"execute_p99_us\":{},",
+            "\"e2e_p50_us\":{},\"e2e_p99_us\":{},\"jobs_measured\":{}}}}}"
         ),
         stats.submitted,
         stats.completed,
@@ -242,7 +287,62 @@ fn stats_json(stats: &ServiceStats) -> String {
         stats.cache.evictions,
         stats.cache.entries,
         stats.cache.capacity,
+        stats.tcp.shed,
+        stats.tcp.oversized,
+        stats.tcp.timeouts,
+        stats.latency.queue_wait_p50_us,
+        stats.latency.queue_wait_p99_us,
+        stats.latency.execute_p50_us,
+        stats.latency.execute_p99_us,
+        stats.latency.e2e_p50_us,
+        stats.latency.e2e_p99_us,
+        stats.latency.jobs_measured,
     )
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn trace_json(lc: &JobLifecycle) -> String {
+    format!(
+        concat!(
+            "{{\"ok\":true,\"job\":{},\"sampled\":{},\"status\":\"{}\",",
+            "\"priority\":{},\"attempts\":{},\"admit_us\":{},\"claim_us\":{},",
+            "\"compile_us\":{},\"exec_start_us\":{},\"settle_us\":{}}}"
+        ),
+        lc.job.0,
+        lc.sampled,
+        escape(&lc.status),
+        lc.priority,
+        lc.attempts,
+        lc.admit_us,
+        opt_u64(lc.claim_us),
+        opt_u64(lc.compile_us),
+        opt_u64(lc.exec_start_us),
+        opt_u64(lc.settle_us),
+    )
+}
+
+fn metrics_response(handle: &ServiceHandle, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Json => {
+            // Re-parse the pretty report and embed it compactly so the
+            // response stays one line.
+            let report = handle.telemetry().export_json();
+            match json::parse(&report) {
+                Ok(v) => format!(
+                    "{{\"ok\":true,\"format\":\"json\",\"metrics\":{}}}",
+                    v.to_compact()
+                ),
+                Err(e) => error_response("internal", &format!("metrics report invalid: {e}")),
+            }
+        }
+        MetricsFormat::Prometheus => format!(
+            "{{\"ok\":true,\"format\":\"prometheus\",\"metrics\":\"{}\"}}",
+            escape(&handle.telemetry().export_prometheus())
+        ),
+    }
 }
 
 /// Serves one request line against the service, returning exactly one
@@ -293,6 +393,11 @@ pub fn handle_line(handle: &ServiceHandle, line: &str) -> String {
             Err(err) => error_response(error_kind(&err), &err.to_string()),
         },
         Request::Stats => stats_json(&handle.stats()),
+        Request::Metrics(format) => metrics_response(handle, format),
+        Request::Trace(id) => match handle.lifecycle(id) {
+            Ok(lc) => trace_json(&lc),
+            Err(err) => error_response(error_kind(&err), &err.to_string()),
+        },
     }
 }
 
@@ -343,6 +448,16 @@ mod tests {
         assert!(parse_request("{\"verb\":\"status\"}").is_err());
         assert!(parse_request("{\"verb\":\"frobnicate\"}").is_err());
         assert!(parse_request("{\"circuit\":\"x\"}").is_err());
+        assert!(parse_request("{\"verb\":\"trace\"}").is_err());
+        assert!(parse_request("{\"verb\":\"metrics\",\"format\":\"xml\"}").is_err());
+    }
+
+    #[test]
+    fn metrics_defaults_to_json_format() {
+        assert_eq!(
+            parse_request("{\"verb\":\"metrics\"}"),
+            Ok(Request::Metrics(MetricsFormat::Json))
+        );
     }
 
     #[test]
@@ -363,6 +478,9 @@ mod tests {
             },
             Request::Cancel(JobId(3)),
             Request::Stats,
+            Request::Metrics(MetricsFormat::Json),
+            Request::Metrics(MetricsFormat::Prometheus),
+            Request::Trace(JobId(11)),
         ] {
             let line = encode_request(&req);
             assert_eq!(

@@ -27,6 +27,9 @@
 //!   "counters": {"qxsim.shots.executed": 2000},
 //!   "histograms": {"qxsim.kernel_dispatch": {"Cnot": 1000}},
 //!   "values": {"...": {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0}},
+//!   "hists": {"service.latency.e2e_us{priority=\"0\"}":
+//!             {"count": 9, "sum": 1200, "min": 80, "max": 400,
+//!              "p50": 130, "p90": 380, "p99": 400, "p999": 400}},
 //!   "spans": [{"name": "...", "cat": "...", "start_us": 0, "dur_us": 3,
 //!              "tid": 1, "depth": 0, "parent": null}]
 //! }
@@ -34,12 +37,18 @@
 //!
 //! `counters` and `histograms` are the deterministic part: for a fixed
 //! seed they are bit-identical regardless of thread count
-//! ([`counters_json`] exports exactly that subset).
+//! ([`counters_json`] exports exactly that subset). `hists` are
+//! [`LogHistogram`](crate::LogHistogram) latency distributions — timing
+//! data, so they are excluded from [`counters_json`] like spans.
 
 use crate::json::{self, JsonValue};
 use crate::Snapshot;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+
+// The Prometheus text-exposition exporter lives beside the JSON ones;
+// re-exported here so `qca_telemetry::export::prometheus` works.
+pub use crate::prometheus;
 
 /// Escapes a string for embedding in JSON (quotes, backslashes, control
 /// characters).
@@ -167,6 +176,37 @@ pub fn metrics_json(snap: &Snapshot) -> String {
     if !snap.values.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("},\n  \"hists\": {");
+    let mut first_entry = true;
+    for (fam, sets) in &snap.hists {
+        for (set, h) in sets {
+            if !first_entry {
+                out.push(',');
+            }
+            first_entry = false;
+            let key = if set.is_empty() {
+                fam.clone()
+            } else {
+                format!("{fam}{{{set}}}")
+            };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}",
+                escape(&key),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            );
+            for (suffix, q) in crate::hist::REPORTED_QUANTILES {
+                let _ = write!(out, ", \"{}\": {}", suffix, h.quantile(q));
+            }
+            out.push('}');
+        }
+    }
+    if !first_entry {
+        out.push_str("\n  ");
+    }
     out.push_str("},\n  \"spans\": [");
     for (i, s) in snap.spans.iter().enumerate() {
         if i > 0 {
@@ -290,6 +330,28 @@ pub fn summary_table(snap: &Snapshot) -> String {
                 "  {k}  count={} sum={} min={} max={}",
                 v.count, v.sum, v.min, v.max
             );
+        }
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("latency histograms:\n");
+        for (fam, sets) in &snap.hists {
+            for (set, h) in sets {
+                let label = if set.is_empty() {
+                    fam.clone()
+                } else {
+                    format!("{fam}{{{set}}}")
+                };
+                let _ = writeln!(
+                    out,
+                    "  {label}  count={} p50={} p90={} p99={} p999={} max={}",
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                    h.quantile(0.999),
+                    h.max()
+                );
+            }
         }
     }
     out
@@ -420,6 +482,7 @@ mod tests {
     #[test]
     fn counters_json_is_subset_and_parses() {
         let tel = sample();
+        tel.record_hist("service.latency.e2e_us", 120);
         let text = tel.counters_json();
         let v = json::parse(&text).unwrap();
         let JsonValue::Object(o) = &v else { panic!() };
@@ -427,6 +490,32 @@ mod tests {
         assert!(o.contains_key("histograms"));
         assert!(!o.contains_key("spans"), "no timing data allowed");
         assert!(!o.contains_key("values"));
+        assert!(!o.contains_key("hists"), "latency hists are timing data");
+        assert!(!text.contains("latency"), "no hist leakage into {text}");
+    }
+
+    #[test]
+    fn metrics_json_reports_hist_quantiles() {
+        let tel = sample();
+        for v in [100u64, 200, 400, 800, 1600] {
+            tel.record_hist_labeled(
+                "service.latency.e2e_us",
+                &[("priority", "0"), ("outcome", "ok")],
+                v,
+            );
+        }
+        let text = tel.export_json();
+        let v = json::parse(&text).unwrap();
+        let hist = v
+            .get("hists")
+            .and_then(|h| h.get("service.latency.e2e_us{priority=\"0\",outcome=\"ok\"}"))
+            .cloned()
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(JsonValue::as_f64), Some(5.0));
+        let p50 = hist.get("p50").and_then(JsonValue::as_f64).unwrap();
+        let p999 = hist.get("p999").and_then(JsonValue::as_f64).unwrap();
+        assert!((400.0..=430.0).contains(&p50), "p50 = {p50}");
+        assert_eq!(p999, 1600.0, "max-clamped upper quantile");
     }
 
     #[test]
@@ -484,6 +573,7 @@ mod tests {
             counters: Default::default(),
             labeled: Default::default(),
             values: Default::default(),
+            hists: Default::default(),
         };
         let text = collapsed(&snap);
         // Parse the collapsed lines back into (stack, weight) pairs.

@@ -1,0 +1,393 @@
+//! [`LogHistogram`] — a fixed-footprint latency histogram in the HDR
+//! style: base-2 logarithmic buckets subdivided into linear sub-buckets,
+//! so every recorded `u64` lands in one of [`BUCKET_COUNT`] buckets with
+//! a bounded relative error of `1/16` (6.25%).
+//!
+//! Properties the serving layer depends on:
+//!
+//! - **O(1) record** — one leading-zeros instruction and one array
+//!   increment, no allocation after construction, no floating point.
+//! - **Deterministic commutative merge** — bucket counts are plain sums,
+//!   so any partition of the same value multiset across workers merges to
+//!   bit-identical bucket counts regardless of thread count or order
+//!   (the same invariant the shot-histogram merge relies on).
+//! - **Quantile estimation** — [`LogHistogram::quantile`] walks the
+//!   cumulative counts and reports the bucket's inclusive upper bound
+//!   clamped to the observed `[min, max]`, which makes it exact for
+//!   single-sample and extreme quantiles and monotone in `q` always.
+//!
+//! The value domain is unsigned integers (the stack records microseconds
+//! and nanoseconds); `u64::MAX` saturates into the last bucket.
+
+/// Number of low bits spent on linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+
+/// Linear sub-buckets per base-2 bucket (`2^SUB_BITS`).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: values `0..16` get one bucket each, then every
+/// power-of-two range `[2^m, 2^(m+1))` for `m` in `4..=63` is split into
+/// 16 linear sub-buckets.
+pub const BUCKET_COUNT: usize = SUB_COUNT as usize + (64 - SUB_BITS as usize) * SUB_COUNT as usize;
+
+/// The quantiles the exporters report, as (label, q) pairs.
+pub const REPORTED_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
+
+/// A base-2 log-bucketed histogram with linear sub-buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKET_COUNT]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// The bucket index for a value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let group = (msb - SUB_BITS) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB_COUNT - 1)) as usize;
+        SUB_COUNT as usize + group * SUB_COUNT as usize + sub
+    }
+}
+
+/// The smallest value that lands in bucket `i`.
+#[inline]
+fn bucket_lo(i: usize) -> u64 {
+    if i < SUB_COUNT as usize {
+        i as u64
+    } else {
+        let group = (i - SUB_COUNT as usize) / SUB_COUNT as usize;
+        let sub = ((i - SUB_COUNT as usize) % SUB_COUNT as usize) as u64;
+        (SUB_COUNT + sub) << group
+    }
+}
+
+/// The width of bucket `i` (1 for the exact low buckets, `2^group`
+/// above; the last bucket's nominal top saturates at `u64::MAX`).
+#[inline]
+fn bucket_width(i: usize) -> u64 {
+    if i < SUB_COUNT as usize {
+        1
+    } else {
+        1u64 << ((i - SUB_COUNT as usize) / SUB_COUNT as usize)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram. Allocates its fixed bucket array once; every
+    /// later operation is allocation-free.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0u64; BUCKET_COUNT]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value. O(1), allocation-free, saturating on the
+    /// running sum.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Records `n` occurrences of a value.
+    #[inline]
+    pub fn record_many(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Adds `other`'s buckets into this histogram. Commutative and
+    /// associative: any merge order over any partition of the same
+    /// recordings yields bit-identical bucket counts.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts (fixed length [`BUCKET_COUNT`]).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts[..]
+    }
+
+    /// The non-empty buckets as `(lo, hi_inclusive, count)` triples in
+    /// ascending value order — the sparse form the exporters iterate.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(i, &c)| {
+            if c == 0 {
+                None
+            } else {
+                let lo = bucket_lo(i);
+                let hi = lo.saturating_add(bucket_width(i) - 1);
+                Some((lo, hi, c))
+            }
+        })
+    }
+
+    /// The estimated value at quantile `q` (clamped to `[0, 1]`): the
+    /// inclusive upper bound of the bucket holding the rank-`ceil(q *
+    /// count)` value, clamped to the observed `[min, max]`. Returns 0 for
+    /// an empty histogram. Monotone non-decreasing in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank in 1..=count; q = 0 maps to the first recorded value.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let hi = bucket_lo(i).saturating_add(bucket_width(i) - 1);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(1234);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1234);
+        assert_eq!(h.min(), 1234);
+        assert_eq!(h.max(), 1234);
+        for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 1234, "clamp to [min,max] makes q={q} exact");
+        }
+    }
+
+    #[test]
+    fn low_values_are_exact_buckets() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 16);
+        for (i, (lo, hi, c)) in buckets.iter().enumerate() {
+            assert_eq!((*lo, *hi, *c), (i as u64, i as u64, 1));
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_split_correctly() {
+        // 15 is the last exact bucket; 16 starts the first sub-bucketed
+        // group; 31/32 straddle a group boundary.
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_ne!(bucket_index(16), bucket_index(15));
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 32, "width-2 bucket at [32, 34)");
+        // Every value lies inside its own bucket's [lo, hi] window.
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            1023,
+            1024,
+            1025,
+            u32::MAX as u64,
+            1 << 62,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let lo = bucket_lo(i);
+            let hi = lo.saturating_add(bucket_width(i) - 1);
+            assert!(lo <= v && v <= hi, "{v} outside bucket {i} [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn max_value_saturates_into_the_last_bucket() {
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        let (_, hi, c) = h.nonzero_buckets().last().unwrap();
+        assert_eq!(c, 2);
+        assert_eq!(hi, u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_sixteenth() {
+        let mut h = LogHistogram::new();
+        for v in [100u64, 1000, 10_000, 1_000_000, 123_456_789] {
+            let mut single = LogHistogram::new();
+            single.record(v);
+            h.record(v);
+            // Without the min/max clamp the bucket top is within 1/16.
+            let i = bucket_index(v);
+            let hi = bucket_lo(i) + bucket_width(i) - 1;
+            assert!(
+                hi >= v && hi - v <= v / 16 + 1,
+                "bucket top too far from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_within_range() {
+        let mut h = LogHistogram::new();
+        let mut z = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..5000 {
+            z = z.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(z >> 40); // ~24-bit values
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= last, "quantile must be monotone in q");
+            assert!(q >= h.min() && q <= h.max());
+            last = q;
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_combined_recording() {
+        let values_a = [3u64, 17, 17, 900, 65_000];
+        let values_b = [0u64, 5, 17, 1 << 40, u64::MAX];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut combined = LogHistogram::new();
+        for &v in &values_a {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &values_b {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab, combined, "merge must equal recording everything");
+        // Merging an empty histogram changes nothing.
+        let mut with_empty = combined.clone();
+        with_empty.merge(&LogHistogram::new());
+        assert_eq!(with_empty, combined);
+    }
+
+    #[test]
+    fn record_many_matches_repeated_record() {
+        let mut many = LogHistogram::new();
+        many.record_many(42, 7);
+        many.record_many(42, 0);
+        let mut repeated = LogHistogram::new();
+        for _ in 0..7 {
+            repeated.record(42);
+        }
+        assert_eq!(many, repeated);
+    }
+}

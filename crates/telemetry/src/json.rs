@@ -7,6 +7,7 @@
 //! below 2^53 in practice; the exporters are the only producers).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +42,63 @@ impl JsonValue {
         match self {
             JsonValue::String(s) => Some(s),
             _ => None,
+        }
+    }
+
+    /// Serialises back to compact (single-line) JSON — used to embed a
+    /// parsed document inside another JSON message, e.g. the `metrics`
+    /// wire response. `parse(v.to_compact()) == v` for every value this
+    /// crate's exporters emit (numbers re-format via `f64`; integers are
+    /// printed without a fractional part).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => {
+                out.push('"');
+                out.push_str(&crate::export::escape(s));
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&crate::export::escape(k));
+                    out.push_str("\":");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -299,5 +357,25 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("{}").unwrap(), JsonValue::Object(BTreeMap::new()));
         assert_eq!(parse("[]").unwrap(), JsonValue::Array(Vec::new()));
+    }
+
+    #[test]
+    fn to_compact_round_trips() {
+        let cases = [
+            "null",
+            "true",
+            "{}",
+            "[]",
+            "{\"a\":[1,2.5,{\"b\":null}],\"c\":\"d\\ne\",\"n\":-150}",
+        ];
+        for text in cases {
+            let v = parse(text).unwrap();
+            let compact = v.to_compact();
+            assert!(!compact.contains('\n'), "not single-line: {compact:?}");
+            assert_eq!(parse(&compact).unwrap(), v, "round-trip of {text}");
+        }
+        // Integers print without a fractional part so u64-shaped counters
+        // survive the f64 round-trip textually.
+        assert_eq!(parse("{\"k\": 42}").unwrap().to_compact(), "{\"k\":42}");
     }
 }

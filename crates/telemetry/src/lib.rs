@@ -52,7 +52,9 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod export;
+pub mod hist;
 pub mod json;
+pub mod prometheus;
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -61,6 +63,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 pub use export::{validate_chrome_trace, TraceCheck};
+pub use hist::LogHistogram;
 
 /// One finished (or still-open) span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +135,9 @@ pub struct Snapshot {
     pub labeled: BTreeMap<String, BTreeMap<String, u64>>,
     /// Value aggregates, sorted by name.
     pub values: BTreeMap<String, ValueStat>,
+    /// Latency histograms: family → label set (the canonical
+    /// `key="value",...` string, `""` when unlabeled) → histogram.
+    pub hists: BTreeMap<String, BTreeMap<String, LogHistogram>>,
 }
 
 #[derive(Debug, Default)]
@@ -140,6 +146,7 @@ struct State {
     counters: BTreeMap<String, u64>,
     labeled: BTreeMap<String, BTreeMap<String, u64>>,
     values: BTreeMap<String, ValueStat>,
+    hists: BTreeMap<String, BTreeMap<String, LogHistogram>>,
     thread_ids: HashMap<std::thread::ThreadId, u32>,
 }
 
@@ -308,6 +315,69 @@ impl Telemetry {
         self.record_value(&format!("{family}.{label}"), v);
     }
 
+    /// Records one observation into the named [`LogHistogram`] —
+    /// log-bucketed with ~6% relative precision, merged deterministically
+    /// across threads, exported with p50/p90/p99/p99.9. Histograms hold
+    /// timing-shaped data and are therefore **excluded** from
+    /// [`Telemetry::counters_json`], like spans.
+    #[inline]
+    pub fn record_hist(&self, name: &str, v: u64) {
+        let Some(reg) = &self.inner else { return };
+        let mut state = reg.lock();
+        state
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .entry(String::new())
+            .or_insert_with(LogHistogram::new)
+            .record(v);
+    }
+
+    /// Records one observation into the labelled series of a histogram
+    /// family (e.g. `service.latency.e2e_us{priority="0",outcome="ok"}`).
+    /// The label set is canonicalised to the Prometheus
+    /// `key="value",...` form. The disabled handle pays a single branch
+    /// and never builds the label string.
+    #[inline]
+    pub fn record_hist_labeled(&self, family: &str, labels: &[(&str, &str)], v: u64) {
+        let Some(reg) = &self.inner else { return };
+        let set = prometheus::label_string(labels);
+        let mut state = reg.lock();
+        state
+            .hists
+            .entry(family.to_string())
+            .or_default()
+            .entry(set)
+            .or_insert_with(LogHistogram::new)
+            .record(v);
+    }
+
+    /// Records an already-finished span from explicit wall-clock
+    /// endpoints — for events whose lifetime does not follow lexical
+    /// scope (a job's queue wait, a retry window). The span is closed,
+    /// top-level (no parent), and attributed to the calling thread.
+    /// Instants before the registry epoch clamp to it.
+    #[inline]
+    pub fn record_span_at(&self, cat: &str, name: &str, start: Instant, end: Instant) {
+        let Some(reg) = &self.inner else { return };
+        let start_us = u64::try_from(start.saturating_duration_since(reg.epoch).as_micros())
+            .unwrap_or(u64::MAX);
+        let end_us =
+            u64::try_from(end.saturating_duration_since(reg.epoch).as_micros()).unwrap_or(u64::MAX);
+        let mut state = reg.lock();
+        let tid = Registry::thread_id(&mut state);
+        state.spans.push(SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            tid,
+            parent: None,
+            depth: 0,
+            closed: true,
+        });
+    }
+
     /// Copies out everything recorded so far. Open spans appear with their
     /// duration-so-far and `closed == false`.
     pub fn snapshot(&self) -> Snapshot {
@@ -327,6 +397,7 @@ impl Telemetry {
             counters: state.counters.clone(),
             labeled: state.labeled.clone(),
             values: state.values.clone(),
+            hists: state.hists.clone(),
         }
     }
 
@@ -360,6 +431,13 @@ impl Telemetry {
     /// in microseconds). See [`export::collapsed`].
     pub fn export_collapsed(&self) -> String {
         export::collapsed(&self.snapshot())
+    }
+
+    /// The Prometheus text exposition of everything recorded so far.
+    /// See [`prometheus::render`] for the schema and
+    /// [`prometheus::validate`] for its checker.
+    pub fn export_prometheus(&self) -> String {
+        prometheus::render(&self.snapshot())
     }
 }
 
@@ -405,9 +483,70 @@ mod tests {
         tel.incr("x", 5);
         tel.incr_labeled("fam", "a", 1);
         tel.record_value("v", 1.0);
+        tel.record_hist("h", 10);
+        tel.record_hist_labeled("h", &[("k", "v")], 10);
+        let now = Instant::now();
+        tel.record_span_at("cat", "late", now, now);
         let _s = tel.span("cat", "name");
         let snap = tel.snapshot();
         assert_eq!(snap, Snapshot::default());
+    }
+
+    #[test]
+    fn hists_record_merge_deterministically_across_threads() {
+        // The same seeded observations split over 1/2/4 workers must
+        // produce bit-identical bucket counts — the merge is commutative.
+        let snapshots: Vec<Snapshot> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let tel = Telemetry::enabled();
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let tel = tel.clone();
+                        s.spawn(move || {
+                            let lo = 800 * t / threads;
+                            let hi = 800 * (t + 1) / threads;
+                            for i in lo..hi {
+                                // Seeded value spread across many buckets.
+                                let v = ((i as u64).wrapping_mul(2654435761) >> 7) % 100_000;
+                                tel.record_hist("lat", v);
+                                tel.record_hist_labeled(
+                                    "lat.by_prio",
+                                    &[("priority", if i % 2 == 0 { "0" } else { "1" })],
+                                    v,
+                                );
+                            }
+                        });
+                    }
+                });
+                tel.snapshot()
+            })
+            .collect();
+        assert_eq!(snapshots[0].hists, snapshots[1].hists);
+        assert_eq!(snapshots[1].hists, snapshots[2].hists);
+        let h = &snapshots[0].hists["lat"][""];
+        assert_eq!(h.count(), 800);
+    }
+
+    #[test]
+    fn record_span_at_clamps_and_closes() {
+        let tel = Telemetry::enabled();
+        let start = Instant::now();
+        let end = start + std::time::Duration::from_millis(2);
+        tel.record_span_at("service.job", "job-1.queue_wait", start, end);
+        let spans = tel.snapshot().spans;
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].closed);
+        assert_eq!(spans[0].parent, None);
+        assert!(spans[0].dur_us >= 1_000, "dur {} us", spans[0].dur_us);
+        // An instant before the registry epoch clamps to zero rather than
+        // wrapping.
+        let early = start.checked_sub(std::time::Duration::from_secs(3600));
+        if let Some(early) = early {
+            tel.record_span_at("service.job", "pre-epoch", early, start);
+            let spans = tel.snapshot().spans;
+            assert_eq!(spans[1].start_us, 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,562 @@
+//! Prometheus text-exposition exporter and schema validator.
+//!
+//! [`render`] turns a [`Snapshot`] into the Prometheus text format
+//! (version 0.0.4, the `text/plain` scrape format): counters stay
+//! counters, labelled counter families become one series per label,
+//! value aggregates become `_count`/`_sum`/`_min`/`_max` gauges, and
+//! every [`LogHistogram`](crate::LogHistogram) becomes a native
+//! Prometheus histogram (`_bucket{le=...}` cumulative series plus
+//! `_sum`/`_count`) with companion `_p50`/`_p90`/`_p99`/`_p999` gauges so
+//! percentiles are scrapeable without server-side `histogram_quantile`.
+//!
+//! Metric names are sanitised to `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots become
+//! underscores, the convention Prometheus itself documents), label
+//! values are escaped per the exposition spec. [`validate`] re-parses an
+//! exposition and checks exactly the invariants this exporter promises —
+//! CI runs it against live `qca-serve` output so schema drift fails the
+//! build instead of a dashboard.
+
+use crate::hist::REPORTED_QUANTILES;
+use crate::Snapshot;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Sanitises a metric name for the exposition format: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed
+/// with `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `(key, value)` label pairs as the canonical
+/// `key="value",key2="value2"` form used both as the stored label-set
+/// key and on the wire. Empty input renders as the empty string.
+pub fn label_string(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
+    }
+    out
+}
+
+/// Joins a stored label-set string with an extra label (for `le`).
+fn join_labels(set: &str, extra: &str) -> String {
+    if set.is_empty() {
+        extra.to_string()
+    } else if extra.is_empty() {
+        set.to_string()
+    } else {
+        format!("{set},{extra}")
+    }
+}
+
+fn sample(out: &mut String, name: &str, labels: &str, value: impl std::fmt::Display) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+/// Formats an `f64` sample value (NaN/Inf use the spec spellings).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// The Prometheus text exposition for a snapshot. Spans are timing data
+/// with no scrape-friendly shape and are not exported here (use the
+/// Chrome trace for those).
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        sample(&mut out, &n, "", value);
+    }
+    for (family, labels) in &snap.labeled {
+        let n = sanitize_name(family);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        for (label, value) in labels {
+            let set = label_string(&[("label", label)]);
+            sample(&mut out, &n, &set, value);
+        }
+    }
+    for (name, stat) in &snap.values {
+        let n = sanitize_name(name);
+        for (suffix, value) in [
+            ("count", stat.count as f64),
+            ("sum", stat.sum),
+            ("min", stat.min),
+            ("max", stat.max),
+        ] {
+            let _ = writeln!(out, "# TYPE {n}_{suffix} gauge");
+            sample(&mut out, &format!("{n}_{suffix}"), "", fmt_value(value));
+        }
+    }
+    for (family, sets) in &snap.hists {
+        let n = sanitize_name(family);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (set, hist) in sets {
+            let mut cumulative = 0u64;
+            for (_lo, hi, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                let le = join_labels(set, &format!("le=\"{hi}\""));
+                sample(&mut out, &format!("{n}_bucket"), &le, cumulative);
+            }
+            let inf = join_labels(set, "le=\"+Inf\"");
+            sample(&mut out, &format!("{n}_bucket"), &inf, hist.count());
+            sample(&mut out, &format!("{n}_sum"), set, hist.sum());
+            sample(&mut out, &format!("{n}_count"), set, hist.count());
+        }
+        for (suffix, q) in REPORTED_QUANTILES {
+            let _ = writeln!(out, "# TYPE {n}_{suffix} gauge");
+            for (set, hist) in sets {
+                sample(&mut out, &format!("{n}_{suffix}"), set, hist.quantile(q));
+            }
+        }
+    }
+    out
+}
+
+/// What [`validate`] learned about an exposition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PromCheck {
+    /// Total sample lines.
+    pub samples: usize,
+    /// Distinct metric names seen on sample lines.
+    pub metrics: BTreeSet<String>,
+    /// Metric names declared `# TYPE ... histogram`.
+    pub histograms: BTreeSet<String>,
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Validates a Prometheus text exposition against the schema [`render`]
+/// emits: well-formed names, labels and values on every sample line; at
+/// most one `# TYPE` per metric, appearing before that metric's
+/// samples; and for every declared histogram, per-label-set `_bucket`
+/// series with non-decreasing cumulative counts ending in an `+Inf`
+/// bucket that equals the `_count` series.
+///
+/// # Errors
+///
+/// A message naming the first violated rule and its line number.
+pub fn validate(text: &str) -> Result<PromCheck, String> {
+    let mut check = PromCheck::default();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_samples: BTreeSet<String> = BTreeSet::new();
+    // histogram base name -> label set (minus le) -> bucket (le, count) list
+    #[allow(clippy::type_complexity)]
+    let mut buckets: BTreeMap<String, BTreeMap<String, Vec<(f64, f64)>>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut sums: BTreeSet<(String, String)> = BTreeSet::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a kind"))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                if seen_samples.contains(name) {
+                    return Err(format!("line {lineno}: TYPE for {name} after its samples"));
+                }
+                if kind == "histogram" {
+                    check.histograms.insert(name.to_string());
+                }
+            }
+            // HELP and free comments are fine.
+            continue;
+        }
+        let s = parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        check.samples += 1;
+        check.metrics.insert(s.name.clone());
+        seen_samples.insert(s.name.clone());
+        // Histogram bookkeeping: strip the series suffix to find the base.
+        for (base, kind) in [
+            (s.name.strip_suffix("_bucket"), "bucket"),
+            (s.name.strip_suffix("_count"), "count"),
+            (s.name.strip_suffix("_sum"), "sum"),
+        ] {
+            let Some(base) = base else { continue };
+            if types.get(base).map(String::as_str) != Some("histogram") {
+                continue;
+            }
+            let (le, rest_labels): (Option<f64>, Vec<(String, String)>) = {
+                let mut le = None;
+                let mut rest = Vec::new();
+                for (k, v) in &s.labels {
+                    if k == "le" && kind == "bucket" {
+                        le = Some(parse_le(v).map_err(|e| format!("line {lineno}: {e}"))?);
+                    } else {
+                        rest.push((k.clone(), v.clone()));
+                    }
+                }
+                (le, rest)
+            };
+            let set_key = rest_labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect::<Vec<_>>()
+                .join(",");
+            match kind {
+                "bucket" => {
+                    let le =
+                        le.ok_or_else(|| format!("line {lineno}: histogram bucket without `le`"))?;
+                    buckets
+                        .entry(base.to_string())
+                        .or_default()
+                        .entry(set_key)
+                        .or_default()
+                        .push((le, s.value));
+                }
+                "count" => {
+                    counts
+                        .entry(base.to_string())
+                        .or_default()
+                        .insert(set_key, s.value);
+                }
+                _ => {
+                    sums.insert((base.to_string(), set_key));
+                }
+            }
+            break;
+        }
+    }
+
+    for (base, sets) in &buckets {
+        for (set, series) in sets {
+            let mut last_le = f64::NEG_INFINITY;
+            let mut last_count = -1.0f64;
+            for &(le, count) in series {
+                if le <= last_le {
+                    return Err(format!(
+                        "histogram {base}{{{set}}}: `le` bounds not strictly increasing"
+                    ));
+                }
+                if count < last_count {
+                    return Err(format!(
+                        "histogram {base}{{{set}}}: cumulative bucket counts decrease"
+                    ));
+                }
+                last_le = le;
+                last_count = count;
+            }
+            let Some(&(last, inf_count)) = series.last() else {
+                continue;
+            };
+            if last.is_finite() {
+                return Err(format!(
+                    "histogram {base}{{{set}}}: missing le=\"+Inf\" bucket"
+                ));
+            }
+            let total = counts.get(base).and_then(|m| m.get(set)).copied();
+            if total != Some(inf_count) {
+                return Err(format!(
+                    "histogram {base}{{{set}}}: _count ({total:?}) != +Inf bucket ({inf_count})"
+                ));
+            }
+            if !sums.contains(&(base.clone(), set.clone())) {
+                return Err(format!("histogram {base}{{{set}}}: missing _sum series"));
+            }
+        }
+    }
+    // A declared histogram with samples must have bucket series.
+    for base in &check.histograms {
+        let has_samples = check
+            .metrics
+            .iter()
+            .any(|m| m.strip_suffix("_count").or(m.strip_suffix("_sum")) == Some(base.as_str()));
+        if has_samples && !buckets.contains_key(base) {
+            return Err(format!("histogram {base}: no _bucket series"));
+        }
+    }
+    Ok(check)
+}
+
+fn parse_le(v: &str) -> Result<f64, String> {
+    match v {
+        "+Inf" => Ok(f64::INFINITY),
+        _ => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad `le` value {v:?}")),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|&b| b == b'{' || b == b' ' || b == b'\t')
+        .ok_or("sample line has no value")?;
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let mut pos = name_end;
+    if bytes.get(pos) == Some(&b'{') {
+        pos += 1;
+        loop {
+            // Allow an empty or trailing-comma-free label list.
+            if bytes.get(pos) == Some(&b'}') {
+                pos += 1;
+                break;
+            }
+            let key_end = line[pos..]
+                .find('=')
+                .map(|i| pos + i)
+                .ok_or("label without `=`")?;
+            let key = line[pos..key_end].trim();
+            if !valid_name(key) {
+                return Err(format!("invalid label name {key:?}"));
+            }
+            pos = key_end + 1;
+            if bytes.get(pos) != Some(&b'"') {
+                return Err("label value is not quoted".to_string());
+            }
+            pos += 1;
+            let mut value = String::new();
+            loop {
+                match bytes.get(pos) {
+                    None => return Err("unterminated label value".to_string()),
+                    Some(b'"') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(pos + 1) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            _ => return Err("bad escape in label value".to_string()),
+                        }
+                        pos += 2;
+                    }
+                    Some(_) => {
+                        let c = line[pos..]
+                            .chars()
+                            .next()
+                            .ok_or("unterminated label value")?;
+                        value.push(c);
+                        pos += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((key.to_string(), value));
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err("expected `,` or `}` after a label".to_string()),
+            }
+        }
+    }
+    let rest = line[pos..].trim();
+    if rest.is_empty() {
+        return Err("sample line has no value".to_string());
+    }
+    // The exposition format allows `value [timestamp]`.
+    let mut parts = rest.split_whitespace();
+    let value_text = parts.next().ok_or("sample line has no value")?;
+    let value = parse_le(value_text).map_err(|_| format!("bad sample value {value_text:?}"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing data after sample value".to_string());
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample_snapshot() -> Snapshot {
+        let tel = Telemetry::enabled();
+        tel.incr("service.jobs.submitted", 42);
+        tel.incr_labeled("qxsim.kernel_dispatch", "Cnot", 7);
+        tel.record_value("service.queue.depth", 3.0);
+        for v in [50u64, 120, 700, 700, 15_000] {
+            tel.record_hist("service.latency.e2e_us", v);
+            tel.record_hist_labeled(
+                "service.latency.queue_wait_us",
+                &[("priority", "0"), ("outcome", "ok")],
+                v,
+            );
+        }
+        tel.snapshot()
+    }
+
+    #[test]
+    fn render_validates_against_its_own_schema() {
+        let text = render(&sample_snapshot());
+        let check = validate(&text).unwrap();
+        assert!(check.samples > 10, "expected a rich exposition:\n{text}");
+        assert!(check.metrics.contains("service_jobs_submitted"));
+        assert!(check.metrics.contains("service_latency_e2e_us_bucket"));
+        assert!(check.metrics.contains("service_latency_e2e_us_p50"));
+        assert!(check.metrics.contains("service_latency_e2e_us_p999"));
+        assert!(check.histograms.contains("service_latency_e2e_us"));
+        assert!(check.histograms.contains("service_latency_queue_wait_us"));
+        assert!(text
+            .contains("service_latency_queue_wait_us_bucket{priority=\"0\",outcome=\"ok\",le=\""));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_an_empty_valid_exposition() {
+        let text = render(&Snapshot::default());
+        assert!(text.is_empty());
+        let check = validate(&text).unwrap();
+        assert_eq!(check.samples, 0);
+    }
+
+    #[test]
+    fn name_sanitisation() {
+        assert_eq!(sanitize_name("service.latency.e2e"), "service_latency_e2e");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+        assert!(valid_name(&sanitize_name("service.latency.e2e")));
+    }
+
+    #[test]
+    fn label_values_escape_and_parse_back() {
+        let set = label_string(&[("outcome", "a\"b\\c\nd")]);
+        let line = format!("m{{{set}}} 1");
+        let s = parse_sample(&line).unwrap();
+        assert_eq!(
+            s.labels,
+            vec![("outcome".to_string(), "a\"b\\c\nd".to_string())]
+        );
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        // Invalid metric name.
+        assert!(validate("2bad 1").is_err());
+        // Missing value.
+        assert!(validate("metric_name").is_err());
+        // Unquoted label value.
+        assert!(validate("m{a=3} 1").is_err());
+        // Duplicate TYPE.
+        assert!(validate("# TYPE m counter\n# TYPE m counter\nm 1").is_err());
+        // TYPE after samples.
+        assert!(validate("m 1\n# TYPE m counter").is_err());
+        // Histogram without +Inf.
+        assert!(validate("# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 1\nh_count 1").is_err());
+        // Histogram whose count disagrees with the +Inf bucket.
+        assert!(validate(
+            "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 5\nh_count 2"
+        )
+        .is_err());
+        // Decreasing cumulative counts.
+        assert!(validate(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2"
+        )
+        .is_err());
+        // Histogram with _count but no buckets at all.
+        assert!(validate("# TYPE h histogram\nh_count 2\nh_sum 1").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_timestamps_and_comments() {
+        let text = "# HELP m helpful\n# TYPE m counter\nm 3 1700000000\n# a free comment\n";
+        let check = validate(text).unwrap();
+        assert_eq!(check.samples, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let snap = sample_snapshot();
+        let text = render(&snap);
+        // The +Inf bucket equals the count for the unlabeled e2e series.
+        let hist = &snap.hists["service.latency.e2e_us"][""];
+        let inf_line = format!(
+            "service_latency_e2e_us_bucket{{le=\"+Inf\"}} {}",
+            hist.count()
+        );
+        assert!(text.contains(&inf_line), "missing {inf_line:?} in:\n{text}");
+        let count_line = format!("service_latency_e2e_us_count {}", hist.count());
+        assert!(text.contains(&count_line));
+    }
+}

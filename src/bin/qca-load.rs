@@ -1,0 +1,468 @@
+//! Open-loop load generator for the serving stack: drives `qca-serve`
+//! (or a self-hosted in-process service, still over real TCP) at a fixed
+//! arrival rate for a wall-clock duration over a seeded circuit mix, and
+//! writes throughput, drop/shed rate and latency percentiles to
+//! `BENCH_load.json`.
+//!
+//! ```text
+//! qca-load                                   # self-host, 50 jobs/s for 5s
+//! qca-load --rate 200 --duration 2s --seed 7 --out BENCH_load.json
+//! qca-load --addr 127.0.0.1:7878             # drive an external qca-serve
+//! ```
+//!
+//! **Open-loop** means submissions happen at their scheduled arrival
+//! times regardless of how fast the service completes them — the
+//! generator does not wait for job N before submitting job N+1, so
+//! saturation shows up as rising queue-wait percentiles and eventually
+//! `queue_full` rejections instead of a silently throttled client. This
+//! is the measurement baseline scheduler changes are judged against
+//! (ROADMAP: sustained-load harness).
+//!
+//! After the run the generator fetches the server's Prometheus metrics
+//! exposition and validates it with `qca_telemetry::prometheus::validate`,
+//! so CI catches schema drift on a live daemon.
+
+use qca_service::{Service, ServiceConfig, TcpConfig, TcpServer};
+use qca_telemetry::hist::LogHistogram;
+use qca_telemetry::json::{self, JsonValue};
+use qca_telemetry::Telemetry;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    /// External server to drive; `None` self-hosts one.
+    addr: Option<String>,
+    rate: f64,
+    duration: Duration,
+    seed: u64,
+    shots: u64,
+    out: String,
+    timeout_ms: u64,
+    workers: usize,
+    queue: usize,
+    collectors: usize,
+}
+
+fn parse_duration(v: &str) -> Result<Duration, String> {
+    let (num, unit) = match v.strip_suffix("ms") {
+        Some(n) => (n, 1.0e-3),
+        None => match v.strip_suffix('s') {
+            Some(n) => (n, 1.0),
+            None => (v, 1.0),
+        },
+    };
+    num.parse::<f64>()
+        .map_err(|e| format!("bad duration {v:?}: {e}"))
+        .map(|n| Duration::from_secs_f64(n * unit))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        rate: 50.0,
+        duration: Duration::from_secs(5),
+        seed: 1,
+        shots: 256,
+        out: "BENCH_load.json".to_string(),
+        timeout_ms: 30_000,
+        workers: 2,
+        queue: 256,
+        collectors: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(take("--addr")?),
+            "--rate" => {
+                args.rate = take("--rate")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --rate: {e}"))?;
+                if args.rate.is_nan() || args.rate <= 0.0 {
+                    return Err("--rate must be positive".to_string());
+                }
+            }
+            "--duration" => args.duration = parse_duration(&take("--duration")?)?,
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--shots" => {
+                args.shots = take("--shots")?
+                    .parse()
+                    .map_err(|e| format!("bad --shots: {e}"))?;
+            }
+            "--out" => args.out = take("--out")?,
+            "--timeout-ms" => {
+                args.timeout_ms = take("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--queue" => {
+                args.queue = take("--queue")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?;
+            }
+            "--collectors" => {
+                args.collectors = take("--collectors")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --collectors: {e}"))?
+                    .max(1);
+            }
+            "--help" | "-h" => {
+                return Err(concat!(
+                    "usage: qca-load [--addr HOST:PORT] [--rate JOBS_PER_S] [--duration 5s]\n",
+                    "                [--seed N] [--shots N] [--out FILE] [--timeout-ms N]\n",
+                    "                [--workers N] [--queue N] [--collectors N]\n",
+                    "without --addr, a service is self-hosted on a loopback port"
+                )
+                .to_string())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// SplitMix64: the seeded generator behind the circuit mix.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seeded circuit mix: a few distinct shapes × a few seeds each, so
+/// the run exercises compile misses, plan-cache hits and coalescing in a
+/// reproducible proportion.
+fn circuit_mix(seed: u64, draws: usize) -> Vec<(String, u64)> {
+    let bell = "qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n".to_string();
+    let ghz3 = "qubits 3\nh q[0]\ncnot q[0], q[1]\ncnot q[1], q[2]\nmeasure_all\n".to_string();
+    let ghz5 = {
+        let mut s = String::from("qubits 5\nh q[0]\n");
+        for q in 0..4 {
+            s.push_str(&format!("cnot q[{q}], q[{}]\n", q + 1));
+        }
+        s.push_str("measure_all\n");
+        s
+    };
+    let rotations = {
+        let mut s = String::from("qubits 4\n");
+        for q in 0..4 {
+            s.push_str(&format!("rx q[{q}], 0.7853981633974483\n"));
+            s.push_str(&format!("rz q[{q}], 1.5707963267948966\n"));
+        }
+        s.push_str("cnot q[0], q[2]\ncnot q[1], q[3]\nmeasure_all\n");
+        s
+    };
+    let shapes = [bell, ghz3, ghz5, rotations];
+    let mut rng = seed;
+    (0..draws)
+        .map(|_| {
+            let r = splitmix64(&mut rng);
+            let shape = &shapes[(r % shapes.len() as u64) as usize];
+            // 4 seeds per shape: repeats coalesce/cache-hit, fresh ones
+            // keep the compile path warm.
+            let job_seed = (r >> 8) % 4 + 1;
+            (shape.clone(), job_seed)
+        })
+        .collect()
+}
+
+/// One newline-delimited JSON client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str, timeout_ms: u64) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(timeout_ms.max(1000) * 2)))
+            .map_err(|e| e.to_string())?;
+        // Small request lines: disable Nagle so round trips aren't
+        // serialized behind delayed ACKs.
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn ask(&mut self, line: &str) -> Result<JsonValue, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read: {e}"))?;
+        if response.is_empty() {
+            return Err("server closed the connection".to_string());
+        }
+        json::parse(&response).map_err(|e| format!("invalid response {response:?}: {e}"))
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    failed: u64,
+    /// Client-observed submit→result latency.
+    e2e: LogHistogram,
+    /// Server-reported admission→claim wait.
+    wait: LogHistogram,
+    /// Server-reported execution time.
+    exec: LogHistogram,
+}
+
+fn percentiles_json(h: &LogHistogram) -> String {
+    format!(
+        "{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
+        h.count(),
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(0.999),
+        h.max()
+    )
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    // Self-host unless an external address was given. The self-hosted
+    // service is still driven over real TCP so the measurement includes
+    // the wire path.
+    let hosted = if args.addr.is_none() {
+        let config = ServiceConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            ..ServiceConfig::default()
+        };
+        let service = Service::with_telemetry(config, Telemetry::enabled());
+        let server = TcpServer::bind_with("127.0.0.1:0", service.handle(), TcpConfig::default())
+            .map_err(|e| format!("cannot bind loopback: {e}"))?;
+        Some((service, server))
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &hosted) {
+        (Some(a), _) => a.clone(),
+        (None, Some((_, server))) => server.local_addr().to_string(),
+        (None, None) => unreachable!("self-host branch always sets hosted"),
+    };
+    println!(
+        "qca-load: driving {addr} at {} jobs/s for {:?} (seed {})",
+        args.rate, args.duration, args.seed
+    );
+
+    let total_jobs = (args.rate * args.duration.as_secs_f64()).ceil() as usize;
+    let mix = circuit_mix(args.seed, total_jobs);
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let (tx, rx) = mpsc::channel::<(u64, Instant)>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    // Collector threads: each owns a TCP connection and blocks on
+    // `result` for whichever job comes off the channel next.
+    let mut collectors = Vec::new();
+    for _ in 0..args.collectors {
+        let rx = Arc::clone(&rx);
+        let tally = Arc::clone(&tally);
+        let addr = addr.clone();
+        let timeout_ms = args.timeout_ms;
+        collectors.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut client = Client::connect(&addr, timeout_ms)?;
+            loop {
+                let job = {
+                    let guard = rx.lock().map_err(|_| "collector channel poisoned")?;
+                    guard.recv()
+                };
+                let Ok((id, submitted_at)) = job else {
+                    return Ok(()); // channel closed: submitter is done
+                };
+                let response = client.ask(&format!(
+                    "{{\"verb\":\"result\",\"job\":{id},\"timeout_ms\":{timeout_ms}}}"
+                ))?;
+                let e2e_us = u64::try_from(submitted_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let ok = response.get("ok") == Some(&JsonValue::Bool(true));
+                let mut t = tally.lock().map_err(|_| "tally poisoned")?;
+                if ok {
+                    t.completed += 1;
+                    t.e2e.record(e2e_us);
+                    if let Some(w) = response.get("wait_us").and_then(JsonValue::as_f64) {
+                        t.wait.record(w as u64);
+                    }
+                    if let Some(x) = response.get("exec_us").and_then(JsonValue::as_f64) {
+                        t.exec.record(x as u64);
+                    }
+                } else {
+                    t.failed += 1;
+                }
+            }
+        }));
+    }
+
+    // Open-loop submitter: job i is due at start + i/rate, submitted at
+    // its due time whether or not earlier jobs finished.
+    let mut submitter = Client::connect(&addr, args.timeout_ms)?;
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / args.rate);
+    for (i, (circuit, job_seed)) in mix.iter().enumerate() {
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let escaped = circuit.replace('\n', "\\n");
+        let response = submitter.ask(&format!(
+            "{{\"verb\":\"submit\",\"circuit\":\"{escaped}\",\"shots\":{},\"seed\":{job_seed}}}",
+            args.shots
+        ))?;
+        let submitted_at = Instant::now();
+        let mut t = tally.lock().map_err(|_| "tally poisoned")?;
+        t.submitted += 1;
+        match response.get("job").and_then(JsonValue::as_f64) {
+            Some(id) => {
+                t.accepted += 1;
+                drop(t);
+                let _ = tx.send((id as u64, submitted_at));
+            }
+            None => {
+                t.rejected += 1;
+            }
+        }
+    }
+    drop(tx); // collectors drain the channel and exit
+    for c in collectors {
+        match c.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("collector: {e}")),
+            Err(_) => return Err("collector panicked".to_string()),
+        }
+    }
+    let elapsed = start.elapsed();
+
+    // Post-run: server stats + a validated Prometheus exposition.
+    let stats = submitter.ask("{\"verb\":\"stats\"}")?;
+    let prom = submitter.ask("{\"verb\":\"metrics\",\"format\":\"prometheus\"}")?;
+    let text = prom
+        .get("metrics")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("no prometheus text in metrics response: {prom:?}"))?;
+    let check = qca_telemetry::prometheus::validate(text)
+        .map_err(|e| format!("prometheus exposition invalid: {e}"))?;
+    println!(
+        "qca-load: prometheus exposition valid ({} samples, {} histograms)",
+        check.samples,
+        check.histograms.len()
+    );
+
+    let t = tally.lock().map_err(|_| "tally poisoned")?;
+    if t.completed == 0 {
+        return Err("no job completed — nothing to report".to_string());
+    }
+    let achieved = t.completed as f64 / elapsed.as_secs_f64();
+    let drop_rate = if t.submitted > 0 {
+        (t.rejected + t.failed) as f64 / t.submitted as f64
+    } else {
+        0.0
+    };
+    let server_queue_p99 = stats
+        .get("latency")
+        .and_then(|l| l.get("queue_wait_p99_us"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"qca-load\",\n",
+            "  \"seed\": {},\n",
+            "  \"target_rate_per_s\": {},\n",
+            "  \"duration_s\": {:.3},\n",
+            "  \"shots_per_job\": {},\n",
+            "  \"submitted\": {},\n",
+            "  \"accepted\": {},\n",
+            "  \"rejected\": {},\n",
+            "  \"completed\": {},\n",
+            "  \"failed\": {},\n",
+            "  \"achieved_rate_per_s\": {:.2},\n",
+            "  \"drop_rate\": {:.4},\n",
+            "  \"latency_e2e\": {},\n",
+            "  \"latency_queue_wait\": {},\n",
+            "  \"latency_execute\": {},\n",
+            "  \"server_queue_wait_p99_us\": {},\n",
+            "  \"prometheus_samples\": {}\n",
+            "}}\n"
+        ),
+        args.seed,
+        args.rate,
+        elapsed.as_secs_f64(),
+        args.shots,
+        t.submitted,
+        t.accepted,
+        t.rejected,
+        t.completed,
+        t.failed,
+        achieved,
+        drop_rate,
+        percentiles_json(&t.e2e),
+        percentiles_json(&t.wait),
+        percentiles_json(&t.exec),
+        server_queue_p99,
+        check.samples,
+    );
+    json::parse(&report).map_err(|e| format!("internal: report is not valid JSON: {e}"))?;
+    std::fs::write(&args.out, &report).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!(
+        "qca-load: {} submitted, {} completed ({achieved:.1} jobs/s sustained), drop rate {drop_rate:.4}",
+        t.submitted, t.completed
+    );
+    println!(
+        "qca-load: e2e p50 {} us, p99 {} us -> {}",
+        t.e2e.quantile(0.50),
+        t.e2e.quantile(0.99),
+        args.out
+    );
+    drop(t);
+
+    if let Some((service, server)) = hosted {
+        server.stop();
+        service.shutdown();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("qca-load: FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

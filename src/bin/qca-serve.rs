@@ -5,6 +5,7 @@
 //! qca-serve                              # serve on 127.0.0.1:7878
 //! qca-serve --addr 127.0.0.1:9000 --workers 4 --queue 512 --cache 128
 //! qca-serve --max-frame 65536 --max-conns 32
+//! qca-serve --trace-sample 1            # emit lifecycle spans for every job
 //! qca-serve --smoke                      # self-test: in-process client,
 //!                                        # 3 jobs + abuse probes
 //! ```
@@ -32,6 +33,7 @@ struct Args {
     cache: usize,
     max_frame: usize,
     max_conns: usize,
+    trace_sample: u64,
     smoke: bool,
 }
 
@@ -44,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         cache: 64,
         max_frame: defaults.max_request_bytes,
         max_conns: defaults.max_connections,
+        trace_sample: ServiceConfig::default().trace_sample_n,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -62,10 +65,15 @@ fn parse_args() -> Result<Args, String> {
             "--cache" => args.cache = parse("--cache", take("--cache")?)?,
             "--max-frame" => args.max_frame = parse("--max-frame", take("--max-frame")?)?,
             "--max-conns" => args.max_conns = parse("--max-conns", take("--max-conns")?)?,
+            "--trace-sample" => {
+                args.trace_sample = take("--trace-sample")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad value for --trace-sample: {e}"))?;
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--max-frame BYTES] [--max-conns N] [--smoke]"
+                    "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--max-frame BYTES] [--max-conns N] [--trace-sample N] [--smoke]"
                         .to_string(),
                 )
             }
@@ -87,6 +95,7 @@ fn main() -> ExitCode {
         workers: args.workers,
         queue_capacity: args.queue,
         cache_capacity: args.cache,
+        trace_sample_n: args.trace_sample,
         ..ServiceConfig::default()
     };
     let tcp_config = TcpConfig {
@@ -189,7 +198,59 @@ fn smoke_test(service: &Service, tcp_config: TcpConfig) -> ExitCode {
                 "duplicate submission did not hit the plan cache: {stats:?}"
             ));
         }
+        let measured = stats
+            .get("latency")
+            .and_then(|l| l.get("jobs_measured"))
+            .and_then(qca_telemetry::json::JsonValue::as_f64)
+            .ok_or_else(|| format!("no latency summary in stats: {stats:?}"))?;
+        if measured < 3.0 {
+            return Err(format!("latency summary missed jobs: {stats:?}"));
+        }
         println!("smoke: 3 jobs served over TCP, {hits} cache hit(s)");
+
+        // The metrics verb: JSON snapshot with latency hists, then the
+        // Prometheus exposition checked with the schema validator.
+        let metrics = ask("{\"verb\":\"metrics\"}")?;
+        metrics
+            .get("metrics")
+            .and_then(|m| m.get("hists"))
+            .ok_or_else(|| format!("metrics response has no hists: {metrics:?}"))?;
+        let prom = ask("{\"verb\":\"metrics\",\"format\":\"prometheus\"}")?;
+        let text = prom
+            .get("metrics")
+            .and_then(qca_telemetry::json::JsonValue::as_str)
+            .ok_or_else(|| format!("no prometheus text: {prom:?}"))?;
+        let check = qca_telemetry::prometheus::validate(text)
+            .map_err(|e| format!("prometheus exposition invalid: {e}"))?;
+        if !check
+            .histograms
+            .iter()
+            .any(|h| h.starts_with("service_latency_"))
+        {
+            return Err(format!(
+                "no service_latency_* histograms in exposition ({} samples)",
+                check.samples
+            ));
+        }
+        println!(
+            "smoke: metrics ok ({} prometheus samples, {} histograms)",
+            check.samples,
+            check.histograms.len()
+        );
+
+        // The trace verb: lifecycle stamps must be ordered.
+        let trace = ask("{\"verb\":\"trace\",\"job\":1}")?;
+        let stamp = |key: &str| -> Result<f64, String> {
+            trace
+                .get(key)
+                .and_then(qca_telemetry::json::JsonValue::as_f64)
+                .ok_or_else(|| format!("trace missing {key}: {trace:?}"))
+        };
+        let (admit, claim, settle) = (stamp("admit_us")?, stamp("claim_us")?, stamp("settle_us")?);
+        if !(admit <= claim && claim <= settle) {
+            return Err(format!("trace stamps out of order: {trace:?}"));
+        }
+        println!("smoke: trace ok (admit {admit} <= claim {claim} <= settle {settle})");
         Ok(())
     };
     let result = run().and_then(|()| abuse_probes(server.local_addr(), tcp_config));

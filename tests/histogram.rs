@@ -1,0 +1,142 @@
+//! Property tests for [`qca_telemetry::LogHistogram`]: the log-bucketed
+//! latency histogram behind `service.latency.*` and the load harness.
+//! The deterministic-merge guarantee (splitting a stream across workers
+//! and merging gives the identical histogram) is what makes percentile
+//! reports reproducible across worker counts.
+
+use proptest::prelude::*;
+use qca_telemetry::LogHistogram;
+
+/// Latency-like values spanning every bucket regime: the linear span,
+/// the log span, and the saturating top bucket.
+fn arb_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..1_000,           // linear + early log buckets
+        4 => 1_000u64..10_000_000,  // mid log buckets (us-scale latencies)
+        1 => 0u64..=u64::MAX,       // arbitrary, incl. saturating max
+    ]
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(arb_value(), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recording conserves counts and sums (saturating), and min/max
+    /// bound every recorded value.
+    #[test]
+    fn count_and_sum_are_conserved(values in arb_values()) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(h.sum(), expected_sum);
+        let bucket_total: u64 = h.bucket_counts().iter().sum();
+        // Every value lands in exactly one bucket.
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        if let (Some(&lo), Some(&hi)) = (values.iter().min(), values.iter().max()) {
+            prop_assert_eq!(h.min(), lo);
+            prop_assert_eq!(h.max(), hi);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by [min, max].
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in proptest::collection::vec(arb_value(), 1..300)) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut last = h.quantile(0.0);
+        for &q in &qs {
+            let value = h.quantile(q);
+            prop_assert!(value >= last, "quantile must be monotone in q");
+            prop_assert!(value >= h.min() && value <= h.max(),
+                "q={q}: {value} outside [{}, {}]", h.min(), h.max());
+            last = value;
+        }
+    }
+
+    /// Splitting a value stream across any number of histograms and
+    /// merging reproduces the single-histogram result exactly — the
+    /// worker-sharding invariant.
+    #[test]
+    fn merge_equals_single_histogram(values in arb_values(), parts in 1usize..5) {
+        let mut combined = LogHistogram::new();
+        for &v in &values {
+            combined.record(v);
+        }
+        let mut shards = vec![LogHistogram::new(); parts];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % parts].record(v);
+        }
+        let mut merged = LogHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(&merged, &combined);
+        // Merge order must not matter (commutativity).
+        let mut reversed = LogHistogram::new();
+        for shard in shards.iter().rev() {
+            reversed.merge(shard);
+        }
+        prop_assert_eq!(&reversed, &combined);
+    }
+
+    /// A single recorded value is reported back (as bucket upper bound
+    /// clamped to [min, max] — i.e. exactly) at every quantile.
+    #[test]
+    fn single_value_dominates_every_quantile(v in 0u64..=u64::MAX) {
+        let mut h = LogHistogram::new();
+        h.record(v);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(h.quantile(q), v);
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_is_inert() {
+    let h = LogHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.quantile(1.0), 0);
+    assert!(h.nonzero_buckets().next().is_none());
+}
+
+#[test]
+fn bucket_boundaries_stay_in_their_bucket() {
+    // Powers of two sit exactly on log-bucket boundaries; each must land
+    // in a bucket whose [lo, hi] range contains it.
+    let mut h = LogHistogram::new();
+    let probes: Vec<u64> = (0..=63).map(|s| 1u64 << s).collect();
+    for &p in &probes {
+        h.record(p);
+    }
+    for (lo, hi, count) in h.nonzero_buckets() {
+        assert!(count > 0);
+        assert!(
+            probes.iter().any(|&p| p >= lo && p <= hi),
+            "bucket [{lo}, {hi}] claims a probe but contains none"
+        );
+    }
+    assert_eq!(h.count(), probes.len() as u64);
+}
+
+#[test]
+fn saturating_values_land_in_the_top_bucket() {
+    let mut h = LogHistogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX - 1);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.max(), u64::MAX);
+    // Sum saturates instead of wrapping.
+    assert_eq!(h.sum(), u64::MAX);
+    assert_eq!(h.quantile(0.999), u64::MAX);
+}

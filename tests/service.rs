@@ -509,9 +509,20 @@ fn oversized_frames_are_rejected_without_affecting_other_clients() {
         Some("frame_too_large")
     );
 
-    // The well-behaved connection is unaffected.
+    // The well-behaved connection is unaffected, and the incident is
+    // visible both in-process and over the wire (PR-7 counters were
+    // previously telemetry-only).
     let stats = good.ask("{\"verb\":\"stats\"}");
     assert_eq!(stats.get("ok"), Some(&JsonValue::Bool(true)));
+    assert_eq!(
+        stats
+            .get("tcp")
+            .and_then(|t| t.get("oversized"))
+            .and_then(JsonValue::as_f64),
+        Some(1.0),
+        "oversized frames must be queryable via stats: {stats:?}"
+    );
+    assert_eq!(service.handle().stats().tcp.oversized, 1);
     server.stop();
     service.shutdown();
 }
@@ -576,6 +587,184 @@ fn connections_beyond_the_cap_are_shed_with_overloaded() {
         "{response:?}"
     );
     drop(first);
+    server.stop();
+    service.shutdown();
+}
+
+/// Observability: every settled job carries an ordered lifecycle record
+/// (admit ≤ claim ≤ exec start ≤ settle) and the aggregate latency
+/// summary on [`ServiceStats`] reflects the settled population.
+#[test]
+fn lifecycle_records_are_ordered_and_feed_latency_summaries() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    let ids: Vec<_> = (0..4)
+        .map(|seed| {
+            handle
+                .submit(JobSpec::new(BELL).with_seed(seed).with_shots(1500))
+                .unwrap()
+        })
+        .collect();
+    for &id in &ids {
+        handle.wait(id, Duration::from_secs(60)).unwrap();
+    }
+
+    for &id in &ids {
+        let lc = handle.lifecycle(id).unwrap();
+        assert_eq!(lc.status, "done");
+        let claim = lc.claim_us.expect("settled job has a claim stamp");
+        let exec = lc.exec_start_us.expect("settled job has an exec stamp");
+        let settle = lc.settle_us.expect("settled job has a settle stamp");
+        assert!(
+            lc.admit_us <= claim && claim <= exec && exec <= settle,
+            "stage stamps must be ordered: admit {} claim {claim} exec {exec} settle {settle}",
+            lc.admit_us
+        );
+    }
+    // The four distinct seeds share one circuit: the first execution
+    // compiles, later ones may cache-hit, so at least one record carries
+    // a compile duration.
+    assert!(
+        ids.iter()
+            .any(|&id| handle.lifecycle(id).unwrap().compile_us.is_some()),
+        "at least one job must record its compile time"
+    );
+
+    let stats = handle.stats();
+    assert_eq!(stats.latency.jobs_measured, ids.len() as u64);
+    assert!(
+        stats.latency.e2e_p50_us <= stats.latency.e2e_p99_us,
+        "p50 must not exceed p99"
+    );
+    assert!(
+        stats.latency.e2e_p50_us >= stats.latency.queue_wait_p50_us,
+        "e2e includes the queue wait"
+    );
+    assert_eq!(
+        handle.lifecycle(qca_service::JobId(424242)).unwrap_err(),
+        ServiceError::UnknownJob(424242)
+    );
+    service.shutdown();
+}
+
+/// Observability: `trace_sample_n = 1` traces every job with per-stage
+/// `service.job` spans; `trace_sample_n = 0` suppresses both the spans
+/// and the sampled flag. Sampling keys off the content hash, so the
+/// decision is reproducible run to run.
+#[test]
+fn trace_sampling_is_deterministic_and_emits_job_spans() {
+    let job_spans = |telemetry: &Telemetry| -> Vec<String> {
+        telemetry
+            .snapshot()
+            .spans
+            .iter()
+            .filter(|s| s.cat == "service.job")
+            .map(|s| s.name.clone())
+            .collect()
+    };
+    let run_with_sampling = |n: u64| -> (bool, Vec<String>) {
+        let telemetry = Telemetry::enabled();
+        let service = Service::with_telemetry(
+            ServiceConfig {
+                workers: 1,
+                trace_sample_n: n,
+                ..ServiceConfig::default()
+            },
+            telemetry.clone(),
+        );
+        let handle = service.handle();
+        let id = handle
+            .submit(JobSpec::new(GHZ4).with_seed(7).with_shots(1000))
+            .unwrap();
+        handle.wait(id, Duration::from_secs(60)).unwrap();
+        let sampled = handle.lifecycle(id).unwrap().sampled;
+        let spans = job_spans(&telemetry);
+        service.shutdown();
+        (sampled, spans)
+    };
+
+    let (sampled, spans) = run_with_sampling(1);
+    assert!(sampled, "trace_sample_n=1 must sample every job");
+    for stage in ["queue_wait", "execute", "e2e"] {
+        assert!(
+            spans.iter().any(|name| name.ends_with(stage)),
+            "missing {stage} span in {spans:?}"
+        );
+    }
+
+    let (sampled, spans) = run_with_sampling(0);
+    assert!(!sampled, "trace_sample_n=0 must disable sampling");
+    assert!(spans.is_empty(), "no job spans expected, got {spans:?}");
+}
+
+/// Observability over the wire: `metrics` returns an embedded JSON
+/// report (and a Prometheus exposition that passes the validator), and
+/// `trace` exposes the lifecycle record of a job.
+#[test]
+fn metrics_and_trace_verbs_round_trip_over_tcp() {
+    let service = Service::with_telemetry(
+        ServiceConfig {
+            workers: 1,
+            trace_sample_n: 1,
+            ..ServiceConfig::default()
+        },
+        Telemetry::enabled(),
+    );
+    let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+    let mut client = WireClient::connect(server.local_addr());
+
+    let bell_wire = "qubits 2\\nh q[0]\\ncnot q[0], q[1]\\nmeasure_all\\n";
+    let submit =
+        format!("{{\"verb\":\"submit\",\"circuit\":\"{bell_wire}\",\"shots\":1000,\"seed\":3}}");
+    let response = client.ask(&submit);
+    let job = response.get("job").and_then(JsonValue::as_f64).unwrap() as u64;
+    client.ask(&format!(
+        "{{\"verb\":\"result\",\"job\":{job},\"timeout_ms\":60000}}"
+    ));
+
+    // JSON form embeds the full metrics report as an object.
+    let metrics = client.ask("{\"verb\":\"metrics\"}");
+    assert_eq!(metrics.get("ok"), Some(&JsonValue::Bool(true)));
+    assert_eq!(
+        metrics.get("format").and_then(JsonValue::as_str),
+        Some("json")
+    );
+    let report = metrics.get("metrics").expect("embedded report");
+    assert!(
+        report.get("hists").is_some(),
+        "metrics report must include the histogram section: {report:?}"
+    );
+
+    // Prometheus form passes the schema validator and exposes the
+    // service latency histograms.
+    let metrics = client.ask("{\"verb\":\"metrics\",\"format\":\"prometheus\"}");
+    let text = metrics
+        .get("metrics")
+        .and_then(JsonValue::as_str)
+        .expect("prometheus text");
+    let check = qca_telemetry::prometheus::validate(text).expect("valid exposition");
+    assert!(
+        check
+            .histograms
+            .iter()
+            .any(|name| name.starts_with("service_latency_")),
+        "expected a service latency histogram in {:?}",
+        check.histograms
+    );
+
+    // `trace` returns the job's lifecycle stamps.
+    let trace = client.ask(&format!("{{\"verb\":\"trace\",\"job\":{job}}}"));
+    assert_eq!(trace.get("ok"), Some(&JsonValue::Bool(true)));
+    assert_eq!(trace.get("sampled"), Some(&JsonValue::Bool(true)));
+    let admit = trace.get("admit_us").and_then(JsonValue::as_f64).unwrap();
+    let settle = trace.get("settle_us").and_then(JsonValue::as_f64).unwrap();
+    assert!(admit <= settle, "trace stamps must be ordered: {trace:?}");
+    let missing = client.ask("{\"verb\":\"trace\",\"job\":424242}");
+    assert_eq!(missing.get("ok"), Some(&JsonValue::Bool(false)));
+
     server.stop();
     service.shutdown();
 }

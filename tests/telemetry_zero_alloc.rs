@@ -50,6 +50,12 @@ fn disabled_telemetry_is_allocation_free() {
         telemetry.incr("qxsim.shots.executed", 1);
         telemetry.incr_labeled("qxsim.kernel_dispatch", "General1q", 1);
         telemetry.record_value("qxsim.parallel_sweep.qubits", i as f64);
+        telemetry.record_hist("service.latency.e2e_us", i);
+        telemetry.record_hist_labeled(
+            "service.latency.queue_wait_us",
+            &[("priority", "5"), ("outcome", "ok")],
+            i,
+        );
     }
     assert_eq!(
         allocations() - before,

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use qca_core::QubitKind;
-use qca_service::wire::{encode_request, parse_request, Request};
+use qca_service::wire::{encode_request, parse_request, MetricsFormat, Request};
 use qca_service::{Engine, JobFaults, JobId, JobSpec, RetryPolicy};
 
 /// Circuits with every character class the JSON escaper has to handle:
@@ -95,6 +95,9 @@ fn arb_request() -> impl Strategy<Value = Request> {
         }),
         1 => (0u64..(1 << 53)).prop_map(|id| Request::Cancel(JobId(id))),
         1 => Just(Request::Stats),
+        1 => prop_oneof![Just(MetricsFormat::Json), Just(MetricsFormat::Prometheus)]
+            .prop_map(Request::Metrics),
+        1 => (0u64..(1 << 53)).prop_map(|id| Request::Trace(JobId(id))),
     ]
 }
 
@@ -154,6 +157,8 @@ fn near_miss_lines_yield_typed_errors() {
         "{\"verb\":\"submit\",\"circuit\":\"x\",\"qubits\":\"cat-state\"}",
         "{\"verb\":\"stats\"",
         "{\"verb\":\"stats\"}trailing",
+        "{\"verb\":\"trace\"}",
+        "{\"verb\":\"metrics\",\"format\":\"xml\"}",
     ] {
         assert!(
             parse_request(line).is_err(),
