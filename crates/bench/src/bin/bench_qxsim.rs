@@ -10,7 +10,7 @@
 use cqasm::{GateKind, GateUnitary, Program};
 use qca_bench::{header, row};
 use qxsim::state::reference;
-use qxsim::{Simulator, StateVector};
+use qxsim::{EngineSelect, Simulator, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -68,6 +68,39 @@ fn qft(n: usize) -> Program {
         }
     }
     b.build()
+}
+
+/// A GHZ chain: H then a CNOT ladder, closed by `measure_all`.
+fn ghz(n: usize) -> Program {
+    let mut b = Program::builder(n).gate(GateKind::H, &[0]);
+    for q in 0..n - 1 {
+        b = b.gate(GateKind::Cnot, &[q, q + 1]);
+    }
+    b.measure_all().build()
+}
+
+/// The wide GHZ the service acceptance test runs: 1000 qubits, with the
+/// first 32 measured (the register ceiling caps `measure_all`).
+fn ghz_wide(n: usize, measures: usize) -> Program {
+    let mut b = Program::builder(n).gate(GateKind::H, &[0]);
+    for q in 0..n - 1 {
+        b = b.gate(GateKind::Cnot, &[q, q + 1]);
+    }
+    for q in 0..measures {
+        b = b.measure(q);
+    }
+    b.build()
+}
+
+/// One row of the stabilizer-engine section.
+struct StabRow {
+    workload: &'static str,
+    n: usize,
+    shots: u64,
+    engine: &'static str,
+    shots_per_sec: f64,
+    /// Speedup over the state-vector engine, when it can run the case.
+    sv_speedup: Option<f64>,
 }
 
 /// A QAOA-style sweep on an `n`-qubit ring: `layers` alternations of a
@@ -231,7 +264,12 @@ fn main() {
         .measure_all()
         .build();
     let shots = 2000u64;
-    let fast_sim = Simulator::perfect().with_seed(7);
+    // Pin to the state-vector engine: Bell is Clifford-terminal, so Auto
+    // would route to the Pauli-frame sampler and this row stops measuring
+    // the terminal-sampling fast path it documents.
+    let fast_sim = Simulator::perfect()
+        .with_seed(7)
+        .with_engine_select(EngineSelect::StateVector);
     let slow_sim = fast_sim.clone().with_sampling_fast_path(false);
     assert_eq!(
         fast_sim.run_shots(&bell, shots).unwrap(),
@@ -273,6 +311,112 @@ fn main() {
         ]);
     }
 
+    // Stabilizer engines: the Clifford fast paths the dispatcher selects
+    // by circuit class. GHZ-20 runs on the Pauli-frame sampler, the
+    // tableau executor and the state-vector engine (all exact), pinning
+    // the dispatch win where every engine can run; GHZ-1000 and the d=5
+    // surface ESM round sit far beyond the state-vector qubit ceiling.
+    let mut stab_rows: Vec<StabRow> = Vec::new();
+    let shots = 2000u64;
+
+    let ghz20 = ghz(20);
+    let frame_sim = Simulator::perfect()
+        .with_seed(7)
+        .with_engine_select(EngineSelect::PauliFrame);
+    let tab_sim = Simulator::perfect()
+        .with_seed(7)
+        .with_engine_select(EngineSelect::Tableau);
+    let sv_sim = Simulator::perfect()
+        .with_seed(7)
+        .with_engine_select(EngineSelect::StateVector);
+    let frame_hist = frame_sim.run_shots(&ghz20, shots).unwrap();
+    assert_eq!(
+        frame_hist,
+        sv_sim.run_shots(&ghz20, shots).unwrap(),
+        "stabilizer engines must be bit-identical to the state vector"
+    );
+    assert_eq!(frame_hist, tab_sim.run_shots(&ghz20, shots).unwrap());
+    let t_frame = time(|| drop(frame_sim.run_shots(&ghz20, shots).unwrap()), 20);
+    let t_tab = time(|| drop(tab_sim.run_shots(&ghz20, shots).unwrap()), 5);
+    let t_sv = time(|| drop(sv_sim.run_shots(&ghz20, shots).unwrap()), 3);
+    stab_rows.push(StabRow {
+        workload: "ghz-20",
+        n: 20,
+        shots,
+        engine: "pauli_frame",
+        shots_per_sec: shots as f64 / t_frame,
+        sv_speedup: Some(t_sv / t_frame),
+    });
+    stab_rows.push(StabRow {
+        workload: "ghz-20",
+        n: 20,
+        shots,
+        engine: "tableau",
+        shots_per_sec: shots as f64 / t_tab,
+        sv_speedup: Some(t_sv / t_tab),
+    });
+
+    let ghz1000 = ghz_wide(1000, 32);
+    let auto_sim = Simulator::perfect().with_seed(5);
+    let t_wide = time(|| drop(auto_sim.run_shots(&ghz1000, shots).unwrap()), 3);
+    stab_rows.push(StabRow {
+        workload: "ghz-1000",
+        n: 1000,
+        shots,
+        engine: "pauli_frame",
+        shots_per_sec: shots as f64 / t_wide,
+        sv_speedup: None,
+    });
+
+    let code = qec::SurfaceCode::new(5).to_stabilizer_code();
+    let (esm, _) = qec::esm::esm_program_ancilla_first(&code, 1);
+    let esm_shots = 256u64;
+    let t_esm = time(|| drop(auto_sim.run_shots(&esm, esm_shots).unwrap()), 3);
+    stab_rows.push(StabRow {
+        workload: "surface-d5-esm-round",
+        n: esm.qubit_count(),
+        shots: esm_shots,
+        engine: "tableau",
+        shots_per_sec: esm_shots as f64 / t_esm,
+        sv_speedup: None,
+    });
+
+    // The QEC Monte-Carlo workload: circuit-level ESM trials on the
+    // stabilizer tableau (error injection, syndrome extraction, decode).
+    let trials = 2000u64;
+    let t_monte = time(
+        || {
+            let _ = qec::monte::surface_circuit_error_rate(5, 0.01, trials, 21);
+        },
+        3,
+    );
+    stab_rows.push(StabRow {
+        workload: "qec-monte-d5",
+        n: 42,
+        shots: trials,
+        engine: "tableau",
+        shots_per_sec: trials as f64 / t_monte,
+        sv_speedup: None,
+    });
+
+    println!("\n== Stabilizer engines (Clifford dispatch) ==");
+    header(&["workload", "n", "shots", "engine", "shots/s", "vs sv"]);
+    for r in &stab_rows {
+        row(&[
+            r.workload.to_string(),
+            r.n.to_string(),
+            r.shots.to_string(),
+            r.engine.to_string(),
+            format!("{:.3e}", r.shots_per_sec),
+            r.sv_speedup.map_or("n/a".into(), |s| format!("{s:.1}x")),
+        ]);
+    }
+
+    let stab_speedup = stab_rows
+        .iter()
+        .filter_map(|r| r.sv_speedup)
+        .fold(0.0f64, f64::max);
+
     let two_q_16 = rows
         .iter()
         .find(|r| r.n == 16 && r.gate == "cnot")
@@ -285,7 +429,8 @@ fn main() {
     println!(
         "\nAcceptance: 16-qubit 2q speedup {two_q_16:.2}x (target >= 5x), \
          Bell sampling speedup {sampling_speedup:.1}x (target >= 10x), \
-         fusion speedup {min_fusion:.2}x (target >= 2x)"
+         fusion speedup {min_fusion:.2}x (target >= 2x), \
+         stabilizer vs state-vector {stab_speedup:.0}x (target >= 50x)"
     );
 
     let mut json = String::from("{\n  \"kernels\": [\n");
@@ -323,10 +468,26 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"stabilizer\": [\n");
+    for (i, r) in stab_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"shots\": {}, \"engine\": \"{}\", \
+             \"shots_per_sec\": {:.1}, \"sv_speedup\": {}}}{}\n",
+            r.workload,
+            r.n,
+            r.shots,
+            r.engine,
+            r.shots_per_sec,
+            r.sv_speedup.map_or("null".into(), |s| format!("{s:.3}")),
+            if i + 1 == stab_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"targets\": {{\"two_qubit_16q_speedup_min\": 5.0, \"two_qubit_16q_speedup\": {two_q_16:.3}, \
          \"bell_sampling_speedup_min\": 10.0, \"bell_sampling_speedup\": {sampling_speedup:.3}, \
-         \"fusion_speedup_min\": 2.0, \"fusion_speedup\": {min_fusion:.3}}}\n"
+         \"fusion_speedup_min\": 2.0, \"fusion_speedup\": {min_fusion:.3}, \
+         \"stabilizer_speedup_min\": 50.0, \"stabilizer_speedup\": {stab_speedup:.3}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write("BENCH_qxsim.json", &json).expect("write BENCH_qxsim.json");

@@ -22,10 +22,16 @@
 //!   independently;
 //! - **sharded** — the same plan split into shot ranges via
 //!   [`qxsim::Simulator::run_shot_range`] (the service's shard primitive)
-//!   and merged out of order.
+//!   and merged out of order;
+//! - **tableau** — the CHP stabilizer executor, forced via
+//!   [`qxsim::EngineSelect::Tableau`], on every Clifford-class case;
+//! - **Pauli frames** — the bit-packed frame sampler, forced via
+//!   [`qxsim::EngineSelect::PauliFrame`], on every feedback-free
+//!   (`CliffordTerminal`) case — plus auto-dispatched contiguous
+//!   worker-style splits at 1, 2 and 4 workers, merged out of order.
 //!
-//! All five must produce *identical* histograms: per-shot RNG streams are
-//! seeded independently of the execution strategy, and every kernel
+//! All engines must produce *identical* histograms: per-shot RNG streams
+//! are seeded independently of the execution strategy, and every kernel
 //! specialisation is exact (no floating-point tolerance anywhere). Each
 //! case is then compiled through the OpenQL pipeline with differential
 //! pass verification enabled — exercising the per-branch `Cond` verifier
@@ -42,7 +48,7 @@ use crate::chaos::CASE_SEED_STRIDE;
 use cqasm::{Instruction, Program};
 use openql::{Compiler, CompilerOptions, Platform};
 use qxsim::state::reference;
-use qxsim::{ShotHistogram, Simulator, StateVector, SHOT_SEED_STRIDE};
+use qxsim::{CircuitClass, EngineSelect, ShotHistogram, Simulator, StateVector, SHOT_SEED_STRIDE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,6 +74,15 @@ pub enum CaseShape {
     MidMeasure,
     /// Mid-circuit measurement feeding binary-controlled gates.
     Conditional,
+    /// Mid-circuit `prep_z` resets between general gate work.
+    PrepZ,
+    /// A Clifford-only circuit: gates drawn from the Clifford generators
+    /// with measures interleaved — sometimes feedback-free (Pauli-frame
+    /// eligible), sometimes with conditioned corrections (tableau only).
+    Clifford,
+    /// Error-syndrome-measurement rounds of a small stabilizer code
+    /// (repetition or Steane), with Pauli errors injected on data qubits.
+    EsmRound,
 }
 
 impl CaseShape {
@@ -75,6 +90,12 @@ impl CaseShape {
     /// unitary prefix and a terminal measurement).
     fn density_eligible(self) -> bool {
         matches!(self, CaseShape::TerminalAll | CaseShape::TerminalRun)
+    }
+
+    /// Whether the shape is Clifford-class by construction (always lowers
+    /// to stabilizer ops), for `--clifford-only` campaigns.
+    pub fn clifford_family(self) -> bool {
+        matches!(self, CaseShape::Clifford | CaseShape::EsmRound)
     }
 }
 
@@ -96,21 +117,40 @@ pub struct ConformCase {
 /// yields the same case.
 pub fn generate_case(seed: u64) -> ConformCase {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n = rng.gen_range(2..=5usize);
-    let shape = match rng.gen_range(0..8u8) {
+    let shape = match rng.gen_range(0..12u8) {
         0 => CaseShape::Unitary,
         1 | 2 => CaseShape::TerminalAll,
-        3 | 4 => CaseShape::TerminalRun,
-        5 => CaseShape::MidMeasure,
-        _ => CaseShape::Conditional,
+        3 => CaseShape::TerminalRun,
+        4 => CaseShape::MidMeasure,
+        5 | 6 => CaseShape::Conditional,
+        7 => CaseShape::PrepZ,
+        8..=10 => CaseShape::Clifford,
+        _ => CaseShape::EsmRound,
     };
+    let (source, shots) = match shape {
+        CaseShape::Clifford => clifford_source(&mut rng),
+        CaseShape::EsmRound => esm_source(&mut rng),
+        _ => general_source(&mut rng, shape),
+    };
+    ConformCase {
+        seed,
+        shape,
+        source,
+        shots,
+    }
+}
+
+/// The general generator: full gate set (Clifford and non-Clifford),
+/// fusion-stress tails, and the requested measurement structure.
+fn general_source(rng: &mut StdRng, shape: CaseShape) -> (String, u64) {
+    let n = rng.gen_range(2..=5usize);
     let mut src = format!("version 1.0\nqubits {n}\n");
     if rng.gen_bool(0.3) {
         let iters = rng.gen_range(2..=3u64);
         src.push_str(&format!(".body({iters})\n"));
     }
     for _ in 0..rng.gen_range(3..=10usize) {
-        src.push_str(&gate_line(&mut rng, n));
+        src.push_str(&gate_line(rng, n));
     }
     if rng.gen_bool(0.15) {
         src.push_str(&format!("wait {}\n", rng.gen_range(1..=5u64)));
@@ -162,7 +202,7 @@ pub fn generate_case(seed: u64) -> ConformCase {
         CaseShape::MidMeasure => {
             src.push_str(&format!("measure q[{}]\n", rng.gen_range(0..n)));
             for _ in 0..rng.gen_range(1..=4usize) {
-                src.push_str(&gate_line(&mut rng, n));
+                src.push_str(&gate_line(rng, n));
             }
             src.push_str("measure_all\n");
         }
@@ -178,18 +218,123 @@ pub fn generate_case(seed: u64) -> ConformCase {
                 src.push_str(&format!("c-{g} b[{mq}], q[{t}]\n"));
             }
             for _ in 0..rng.gen_range(0..=2usize) {
-                src.push_str(&gate_line(&mut rng, n));
+                src.push_str(&gate_line(rng, n));
+            }
+            src.push_str("measure_all\n");
+        }
+        CaseShape::PrepZ => {
+            // Mid-circuit resets between general gate work; the oracle's
+            // `reset` path draws exactly one gen_bool per prep, like
+            // every engine.
+            src.push_str(&format!("prep_z q[{}]\n", rng.gen_range(0..n)));
+            for _ in 0..rng.gen_range(1..=4usize) {
+                src.push_str(&gate_line(rng, n));
+            }
+            if rng.gen_bool(0.5) {
+                src.push_str(&format!("prep_z q[{}]\n", rng.gen_range(0..n)));
+            }
+            src.push_str("measure_all\n");
+        }
+        CaseShape::Clifford | CaseShape::EsmRound => unreachable!("dedicated generators"),
+    }
+    (src, rng.gen_range(32..=128u64))
+}
+
+/// One random Clifford-generator gate line.
+fn clifford_line(rng: &mut StdRng, n: usize) -> String {
+    let q = rng.gen_range(0..n);
+    let two = |rng: &mut StdRng| {
+        let mut p = rng.gen_range(0..n);
+        if p == q {
+            p = (q + 1) % n;
+        }
+        p
+    };
+    match rng.gen_range(0..13u8) {
+        0 => format!("h q[{q}]\n"),
+        1 => format!("x q[{q}]\n"),
+        2 => format!("y q[{q}]\n"),
+        3 => format!("z q[{q}]\n"),
+        4 => format!("s q[{q}]\n"),
+        5 => format!("sdag q[{q}]\n"),
+        6 => format!("x90 q[{q}]\n"),
+        7 => format!("y90 q[{q}]\n"),
+        8 => format!("mx90 q[{q}]\n"),
+        9 => format!("my90 q[{q}]\n"),
+        10 => format!("cnot q[{q}], q[{}]\n", two(rng)),
+        11 => format!("cz q[{q}], q[{}]\n", two(rng)),
+        _ => format!("swap q[{q}], q[{}]\n", two(rng)),
+    }
+}
+
+/// The Clifford-only generator: every case lowers to stabilizer ops, so
+/// the tableau executor always engages; feedback-free variants engage the
+/// Pauli-frame sampler too.
+fn clifford_source(rng: &mut StdRng) -> (String, u64) {
+    let n = rng.gen_range(2..=6usize);
+    let mut src = format!("version 1.0\nqubits {n}\n");
+    for _ in 0..rng.gen_range(4..=12usize) {
+        src.push_str(&clifford_line(rng, n));
+    }
+    match rng.gen_range(0..4u8) {
+        // Feedback-free measures interleaved with trailing Clifford work
+        // (the scheduler-hoisted shape) — CliffordTerminal, frame-eligible.
+        0 | 1 => {
+            for _ in 0..rng.gen_range(1..=n) {
+                src.push_str(&format!("measure q[{}]\n", rng.gen_range(0..n)));
+                for _ in 0..rng.gen_range(0..=2usize) {
+                    src.push_str(&clifford_line(rng, n));
+                }
+            }
+        }
+        // Pure terminal measure_all — frame-eligible, All mode.
+        2 => src.push_str("measure_all\n"),
+        // Measurement feedback: a conditioned Pauli correction — Clifford
+        // class, tableau only.
+        _ => {
+            let mq = rng.gen_range(0..n);
+            src.push_str(&format!("measure q[{mq}]\n"));
+            let g = ["x", "z", "s", "h"][rng.gen_range(0..4usize)];
+            src.push_str(&format!("c-{g} b[{mq}], q[{}]\n", (mq + 1) % n));
+            for _ in 0..rng.gen_range(0..=3usize) {
+                src.push_str(&clifford_line(rng, n));
             }
             src.push_str("measure_all\n");
         }
     }
-    let shots = rng.gen_range(32..=128u64);
-    ConformCase {
-        seed,
-        shape,
-        source: src,
-        shots,
+    (src, rng.gen_range(64..=192u64))
+}
+
+/// The ESM generator: syndrome-measurement rounds of a small stabilizer
+/// code with Pauli errors injected on data qubits. Always Clifford class
+/// (prep_z + feedback-free measures), so the tableau executor engages;
+/// the codes stay small enough for the dense oracle.
+fn esm_source(rng: &mut StdRng) -> (String, u64) {
+    let code = match rng.gen_range(0..4u8) {
+        0 => qec::StabilizerCode::repetition(3),
+        1 | 2 => qec::StabilizerCode::repetition(5),
+        _ => qec::StabilizerCode::steane(),
+    };
+    let rounds = rng.gen_range(1..=2u64);
+    let (program, layout) = qec::esm::esm_program_ancilla_first(&code, rounds);
+    let src = program.to_string();
+    // Inject X/Z data errors after the header so the syndromes vary.
+    let mut errors = String::new();
+    for i in 0..code.data_qubits() {
+        if rng.gen_bool(0.25) {
+            let g = if rng.gen_bool(0.5) { "x" } else { "z" };
+            errors.push_str(&format!("{g} q[{}]\n", layout.data_qubit(i)));
+        }
     }
+    let header_end = src
+        .find('\n')
+        .and_then(|v| src[v + 1..].find('\n').map(|w| v + 1 + w + 1))
+        .unwrap_or(src.len());
+    let mut out = String::with_capacity(src.len() + errors.len());
+    out.push_str(&src[..header_end]);
+    out.push_str(&errors);
+    out.push_str(&src[header_end..]);
+    (out, rng.gen_range(32..=96u64))
 }
 
 /// One random gate line over the full gate set (including Toffoli, so the
@@ -294,6 +439,25 @@ fn set_bit(bits: &mut u64, index: usize, value: bool) {
     }
 }
 
+/// Which optional engines a case exercised (the state-vector engines and
+/// shard merge always run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCoverage {
+    /// The CHP tableau executor ran (Clifford-class plan).
+    pub tableau: bool,
+    /// The Pauli-frame sampler ran (`CliffordTerminal` plan).
+    pub frame: bool,
+}
+
+impl EngineCoverage {
+    fn union(self, other: EngineCoverage) -> EngineCoverage {
+        EngineCoverage {
+            tableau: self.tableau || other.tableau,
+            frame: self.frame || other.frame,
+        }
+    }
+}
+
 /// The report for one case: `detail` is `None` on pass, otherwise a
 /// human-readable description of the first divergence.
 #[derive(Debug, Clone)]
@@ -306,6 +470,8 @@ pub struct CaseReport {
     pub source: String,
     /// Shots per engine.
     pub shots: u64,
+    /// Which stabilizer engines the case exercised.
+    pub coverage: EngineCoverage,
     /// `None` = pass; `Some` = first divergence found.
     pub detail: Option<String>,
 }
@@ -320,12 +486,16 @@ impl CaseReport {
 /// Runs one conformance case end to end.
 pub fn run_case(seed: u64) -> CaseReport {
     let case = generate_case(seed);
-    let detail = check_case(&case).err();
+    let (coverage, detail) = match check_case(&case) {
+        Ok(cov) => (cov, None),
+        Err(e) => (EngineCoverage::default(), Some(e)),
+    };
     CaseReport {
         seed: case.seed,
         shape: case.shape,
         source: case.source,
         shots: case.shots,
+        coverage,
         detail,
     }
 }
@@ -350,10 +520,10 @@ fn diff_histograms(what: &str, expect: &ShotHistogram, got: &ShotHistogram) -> R
     Err(format!("{what}: histograms differ in shot totals"))
 }
 
-fn check_case(case: &ConformCase) -> Result<(), String> {
+fn check_case(case: &ConformCase) -> Result<EngineCoverage, String> {
     let program = Program::parse(&case.source)
         .map_err(|e| format!("generated source failed to parse: {e}"))?;
-    check_engines("raw", &program, case.shots, case.seed)?;
+    let raw = check_engines("raw", &program, case.shots, case.seed)?;
 
     // Compile through the same pipeline the service uses (perfect sized
     // platform, default options) with differential pass verification on —
@@ -366,18 +536,24 @@ fn check_case(case: &ConformCase) -> Result<(), String> {
     let out = compiler
         .compile_cqasm(&program)
         .map_err(|e| format!("compile (with verification): {e}"))?;
-    check_engines("compiled", &out.program, case.shots, case.seed)?;
+    let compiled = check_engines("compiled", &out.program, case.shots, case.seed)?;
 
     if case.shape.density_eligible() {
         check_density(&program, case.seed)?;
     }
-    Ok(())
+    Ok(raw.union(compiled))
 }
 
 /// Runs `program` through oracle, interpreter, fused compiled plan,
-/// unfused compiled plan, and sharded ranges; all five histograms must be
-/// identical.
-fn check_engines(stage: &str, program: &Program, shots: u64, seed: u64) -> Result<(), String> {
+/// unfused compiled plan, and sharded ranges — plus, on Clifford-class
+/// plans, the tableau executor, the Pauli-frame sampler and
+/// worker-geometry shard splits. Every histogram must be identical.
+fn check_engines(
+    stage: &str,
+    program: &Program,
+    shots: u64,
+    seed: u64,
+) -> Result<EngineCoverage, String> {
     let oracle = reference_histogram(program, shots, seed);
 
     let interp = Simulator::perfect()
@@ -421,7 +597,53 @@ fn check_engines(stage: &str, program: &Program, shots: u64, seed: u64) -> Resul
         }
     }
     diff_histograms(&format!("{stage}/sharded vs oracle"), &oracle, &sharded)?;
-    Ok(())
+
+    // Stabilizer engines, where the plan class admits them. Forced
+    // selection pins each engine to the oracle on its own; the auto
+    // worker splits then pin the dispatched engine under the service's
+    // shard geometry at 1, 2 and 4 workers.
+    let mut coverage = EngineCoverage::default();
+    if plan.circuit_class() != CircuitClass::General {
+        let tab = Simulator::perfect()
+            .with_seed(seed)
+            .with_engine_select(EngineSelect::Tableau)
+            .run_shots(program, shots)
+            .map_err(|e| format!("{stage}/tableau: {e}"))?;
+        diff_histograms(&format!("{stage}/tableau vs oracle"), &oracle, &tab)?;
+        coverage.tableau = true;
+
+        if plan.circuit_class() == CircuitClass::CliffordTerminal {
+            let frames = Simulator::perfect()
+                .with_seed(seed)
+                .with_engine_select(EngineSelect::PauliFrame)
+                .run_shots(program, shots)
+                .map_err(|e| format!("{stage}/pauli-frame: {e}"))?;
+            diff_histograms(&format!("{stage}/pauli-frame vs oracle"), &oracle, &frames)?;
+            coverage.frame = true;
+        }
+
+        for workers in [1u64, 2, 4] {
+            let per = shots / workers;
+            let mut merged = ShotHistogram::new();
+            for w in (0..workers).rev() {
+                let lo = w * per;
+                let hi = if w == workers - 1 {
+                    shots
+                } else {
+                    (w + 1) * per
+                };
+                if lo < hi {
+                    merged.merge(&sim.run_shot_range(&plan, lo, hi));
+                }
+            }
+            diff_histograms(
+                &format!("{stage}/stabilizer {workers}-worker split vs oracle"),
+                &oracle,
+                &merged,
+            )?;
+        }
+    }
+    Ok(coverage)
 }
 
 /// Checks the density-matrix engine's statistics against the oracle's
@@ -491,6 +713,10 @@ pub struct CampaignReport {
     pub cases: u64,
     /// Cases where every engine agreed.
     pub passed: u64,
+    /// Cases that exercised the CHP tableau executor.
+    pub tableau_cases: u64,
+    /// Cases that exercised the Pauli-frame sampler.
+    pub frame_cases: u64,
     /// The failing cases, in run order.
     pub failures: Vec<CaseReport>,
 }
@@ -499,14 +725,40 @@ pub struct CampaignReport {
 /// `seed + i * CASE_SEED_STRIDE`, the same derivation the chaos campaign
 /// uses). Bit-reproducible.
 pub fn run_campaign(seed: u64, cases: u64) -> CampaignReport {
+    run_campaign_filtered(seed, cases, false)
+}
+
+/// Like [`run_campaign`], optionally restricted to the Clifford-family
+/// shapes ([`CaseShape::clifford_family`]). The restriction works by
+/// rejection over the same seed derivation, so a failing case's seed
+/// replays identically with `run_case` / `qca-conform --replay`.
+pub fn run_campaign_filtered(seed: u64, cases: u64, clifford_only: bool) -> CampaignReport {
     let mut report = CampaignReport {
-        cases,
+        cases: 0,
         passed: 0,
+        tableau_cases: 0,
+        frame_cases: 0,
         failures: Vec::new(),
     };
-    for i in 0..cases {
+    // The Clifford family is ~1/3 of the shape weight; a generous scan
+    // bound keeps the loop finite without ever truncating a realistic
+    // campaign.
+    let scan_limit = cases.saturating_mul(20);
+    let mut i = 0u64;
+    while report.cases < cases && i < scan_limit {
         let case_seed = seed.wrapping_add(i.wrapping_mul(CASE_SEED_STRIDE));
+        i += 1;
+        if clifford_only && !generate_case(case_seed).shape.clifford_family() {
+            continue;
+        }
         let r = run_case(case_seed);
+        report.cases += 1;
+        if r.coverage.tableau {
+            report.tableau_cases += 1;
+        }
+        if r.coverage.frame {
+            report.frame_cases += 1;
+        }
         if r.passed() {
             report.passed += 1;
         } else {
@@ -531,17 +783,20 @@ mod tests {
 
     #[test]
     fn all_shapes_are_generated() {
-        let mut seen = [false; 5];
-        for seed in 0..64u64 {
+        let mut seen = [false; 8];
+        for seed in 0..160u64 {
             seen[match generate_case(seed).shape {
                 CaseShape::Unitary => 0,
                 CaseShape::TerminalAll => 1,
                 CaseShape::TerminalRun => 2,
                 CaseShape::MidMeasure => 3,
                 CaseShape::Conditional => 4,
+                CaseShape::PrepZ => 5,
+                CaseShape::Clifford => 6,
+                CaseShape::EsmRound => 7,
             }] = true;
         }
-        assert_eq!(seen, [true; 5], "64 seeds must cover every shape");
+        assert_eq!(seen, [true; 8], "160 seeds must cover every shape");
     }
 
     #[test]
@@ -557,6 +812,25 @@ mod tests {
                 .map(|f| (f.seed, f.detail.clone()))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn clifford_campaign_exercises_both_stabilizer_engines() {
+        let report = run_campaign_filtered(3, 12, true);
+        assert_eq!(report.cases, 12);
+        assert!(
+            report.failures.is_empty(),
+            "failing seeds: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (f.seed, f.detail.clone()))
+                .collect::<Vec<_>>()
+        );
+        // Every Clifford-family case runs the tableau executor; the
+        // feedback-free subset runs the frame sampler too.
+        assert_eq!(report.tableau_cases, 12);
+        assert!(report.frame_cases > 0, "no frame-eligible case in 12");
     }
 
     #[test]

@@ -124,7 +124,18 @@ impl Topology {
     }
 
     /// BFS hop distance between two qubits, or `None` if disconnected.
+    ///
+    /// Adjacent qubits short-circuit to 1 without a BFS: on dense
+    /// (all-to-all) platforms the mapper probes distances for every
+    /// candidate placement, and the O(V+E) BFS per probe made wide
+    /// circuits quadratically slow to map.
     pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        if self.are_adjacent(a, b) {
+            return Some(1);
+        }
         self.shortest_path(a, b).map(|p| p.len() - 1)
     }
 
@@ -132,6 +143,9 @@ impl Topology {
     pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
         if a == b {
             return Some(vec![a]);
+        }
+        if self.are_adjacent(a, b) {
+            return Some(vec![a, b]);
         }
         let mut prev = vec![usize::MAX; self.qubit_count];
         let mut queue = VecDeque::new();

@@ -12,12 +12,19 @@ use cqasm::{GateKind, Instruction, Program, Qubit, Subcircuit};
 /// Layout of an ESM program: which program qubits are data vs ancilla.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EsmLayout {
-    /// Number of data qubits (indices `0..data`).
+    /// Number of data qubits.
     pub data: usize,
-    /// Ancillas for Z-type checks (indices `data..data+z_count`).
+    /// Number of ancillas for Z-type checks.
     pub z_ancillas: usize,
-    /// Ancillas for X-type checks (after the Z ancillas).
+    /// Number of ancillas for X-type checks.
     pub x_ancillas: usize,
+    /// When `false` (the classic layout) data qubits occupy indices
+    /// `0..data` with ancillas after them; when `true` the ancillas come
+    /// first. Ancilla-first keeps every measured qubit below 64 for large
+    /// codes (e.g. the d=5 surface code's 40 ancillas over 41 data qubits),
+    /// so syndromes still fit the u64 measurement register and the program
+    /// stays eligible for the stabilizer fast path.
+    pub ancilla_first: bool,
 }
 
 impl EsmLayout {
@@ -26,14 +33,31 @@ impl EsmLayout {
         self.data + self.z_ancillas + self.x_ancillas
     }
 
+    /// Program qubit of the `i`-th data qubit.
+    pub fn data_qubit(&self, i: usize) -> usize {
+        if self.ancilla_first {
+            self.z_ancillas + self.x_ancillas + i
+        } else {
+            i
+        }
+    }
+
     /// Program qubit of the `i`-th Z-check ancilla.
     pub fn z_ancilla(&self, i: usize) -> usize {
-        self.data + i
+        if self.ancilla_first {
+            i
+        } else {
+            self.data + i
+        }
     }
 
     /// Program qubit of the `i`-th X-check ancilla.
     pub fn x_ancilla(&self, i: usize) -> usize {
-        self.data + self.z_ancillas + i
+        if self.ancilla_first {
+            self.z_ancillas + i
+        } else {
+            self.data + self.z_ancillas + i
+        }
     }
 }
 
@@ -45,10 +69,29 @@ impl EsmLayout {
 /// paper notes measurements "need to be repeated multiple times") are
 /// emitted as an iterated subcircuit.
 pub fn esm_program(code: &StabilizerCode, rounds: u64) -> (Program, EsmLayout) {
+    esm_program_with_layout(code, rounds, false)
+}
+
+/// Like [`esm_program`] but with the ancillas at program qubits `0..a`
+/// and the data register after them.
+///
+/// All measured qubits then sit below the measurement-register width for
+/// any code with fewer than 64 ancillas, which keeps large codes (e.g. the
+/// 81-qubit d=5 surface code) servable through the stabilizer engine.
+pub fn esm_program_ancilla_first(code: &StabilizerCode, rounds: u64) -> (Program, EsmLayout) {
+    esm_program_with_layout(code, rounds, true)
+}
+
+fn esm_program_with_layout(
+    code: &StabilizerCode,
+    rounds: u64,
+    ancilla_first: bool,
+) -> (Program, EsmLayout) {
     let layout = EsmLayout {
         data: code.data_qubits(),
         z_ancillas: code.z_stabilizers().len(),
         x_ancillas: code.x_stabilizers().len(),
+        ancilla_first,
     };
     let mut program = Program::new(layout.total());
     let mut sub = Subcircuit::with_iterations("esm_round", rounds);
@@ -56,7 +99,10 @@ pub fn esm_program(code: &StabilizerCode, rounds: u64) -> (Program, EsmLayout) {
         let anc = layout.z_ancilla(i);
         sub.push(Instruction::PrepZ(Qubit(anc)));
         for &dq in support {
-            sub.push(Instruction::gate(GateKind::Cnot, &[dq, anc]));
+            sub.push(Instruction::gate(
+                GateKind::Cnot,
+                &[layout.data_qubit(dq), anc],
+            ));
         }
         sub.push(Instruction::Measure(Qubit(anc)));
     }
@@ -65,7 +111,10 @@ pub fn esm_program(code: &StabilizerCode, rounds: u64) -> (Program, EsmLayout) {
         sub.push(Instruction::PrepZ(Qubit(anc)));
         sub.push(Instruction::gate(GateKind::H, &[anc]));
         for &dq in support {
-            sub.push(Instruction::gate(GateKind::Cnot, &[anc, dq]));
+            sub.push(Instruction::gate(
+                GateKind::Cnot,
+                &[anc, layout.data_qubit(dq)],
+            ));
         }
         sub.push(Instruction::gate(GateKind::H, &[anc]));
         sub.push(Instruction::Measure(Qubit(anc)));
@@ -136,6 +185,48 @@ mod tests {
             let measured = measured_syndrome(&code, &[q]);
             assert_eq!(measured, model, "qubit {q}");
         }
+    }
+
+    #[test]
+    fn ancilla_first_layout_reproduces_syndromes() {
+        let code = StabilizerCode::repetition(3);
+        let (esm, layout) = esm_program_ancilla_first(&code, 1);
+        assert_eq!(layout.z_ancilla(0), 0);
+        assert_eq!(layout.data_qubit(0), 2);
+        for (flipped, expect) in [
+            (None, vec![false, false]),
+            (Some(0), vec![true, false]),
+            (Some(1), vec![true, true]),
+            (Some(2), vec![false, true]),
+        ] {
+            let mut program = Program::new(layout.total());
+            let mut inject = Subcircuit::new("inject");
+            if let Some(q) = flipped {
+                inject.push(Instruction::gate(GateKind::X, &[layout.data_qubit(q)]));
+            }
+            program.push_subcircuit(inject);
+            for s in esm.subcircuits() {
+                program.push_subcircuit(s.clone());
+            }
+            let r = Simulator::perfect().run_once(&program).unwrap();
+            assert_eq!(z_syndrome_bits(&layout, r.bits), expect, "{flipped:?}");
+        }
+    }
+
+    #[test]
+    fn surface_code_esm_ancillas_fit_the_register() {
+        let code = crate::SurfaceCode::new(5).to_stabilizer_code();
+        let (p, layout) = esm_program_ancilla_first(&code, 1);
+        assert_eq!(layout.total(), 81);
+        assert_eq!(layout.z_ancillas + layout.x_ancillas, 40);
+        // Every measured qubit must fit the u64 measurement register.
+        for i in 0..layout.z_ancillas {
+            assert!(layout.z_ancilla(i) < 64);
+        }
+        for i in 0..layout.x_ancillas {
+            assert!(layout.x_ancilla(i) < 64);
+        }
+        p.validate().expect("surface esm program valid");
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub use code::{PauliError, StabilizerCode, Syndrome};
 pub use decoder::LookupDecoder;
 pub use monte::NoiseKind;
 pub use surface::SurfaceCode;
-pub use tableau::Tableau;
+pub use tableau::{LayoutTracker, MeasureRecord, Tableau};

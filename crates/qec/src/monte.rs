@@ -7,6 +7,7 @@
 use crate::code::{PauliError, StabilizerCode};
 use crate::decoder::{decode_x_errors, decode_z_errors, LookupDecoder};
 use crate::surface::SurfaceCode;
+use crate::tableau::Tableau;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -90,6 +91,68 @@ pub fn surface_logical_error_rate(d: usize, p: f64, trials: u64, seed: u64) -> f
         let mut residual = e.clone();
         residual.compose(&corr);
         debug_assert!(code.x_error_defects(&residual).is_empty());
+        if residual.x_parity(code.logical_z()) {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+/// Executes one ancilla-based ESM round for the X component of `error`
+/// on a stabilizer tableau — reset, CNOT fan-in, ancilla measurement per
+/// Z-check, exactly the served `esm_program` circuit — and returns the
+/// fired defect positions. The reused ancilla draws one coin per check
+/// (always deterministic here), mirroring the serving engines' draw
+/// contract.
+fn circuit_defects<R: Rng + ?Sized>(
+    code: &SurfaceCode,
+    error: &PauliError,
+    rng: &mut R,
+) -> Vec<(usize, usize)> {
+    let n = code.data_qubits();
+    let anc = n;
+    let mut t = Tableau::zero_state(n + 1);
+    let mut x_mask = error.x.clone();
+    x_mask.push(false);
+    let z_mask = vec![false; n + 1];
+    t.apply_pauli_masks(&x_mask, &z_mask);
+    let mut defects = Vec::new();
+    for (pos, support) in code.z_checks_with_pos() {
+        for &dq in support {
+            t.cnot(dq, anc);
+        }
+        let outcome = rng.gen_bool(t.probability_one(anc));
+        let realised = t.measure_given(anc, outcome);
+        if realised {
+            defects.push(*pos);
+            // prep_z for the next check: flip the measured |1> back down.
+            t.x_gate(anc);
+        }
+    }
+    defects
+}
+
+/// Circuit-level logical X-failure rate of the surface code: each trial
+/// injects independent X flips on the data register, *executes* a full
+/// ESM round on the stabilizer tableau (the same circuit shape the
+/// serving stack runs per ESM-round shot), decodes the measured defects
+/// with the matching decoder and checks the residual against the logical
+/// operator.
+///
+/// With perfect gates the measured syndrome equals the algebraic one, so
+/// this converges to [`surface_logical_error_rate`]; the point is the
+/// workload: its trials/sec is the tableau cost the service pays per
+/// ESM-round shot, which the `BENCH_qxsim.json` stabilizer row tracks.
+pub fn surface_circuit_error_rate(d: usize, p: f64, trials: u64, seed: u64) -> f64 {
+    let code = SurfaceCode::new(d);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u64;
+    for _ in 0..trials {
+        let e = sample_error(code.data_qubits(), p, NoiseKind::BitFlip, &mut rng);
+        let defects = circuit_defects(&code, &e, &mut rng);
+        let corr = decode_x_errors(&code, &defects);
+        let mut residual = e.clone();
+        residual.compose(&corr);
         if residual.x_parity(code.logical_z()) {
             failures += 1;
         }
@@ -184,6 +247,29 @@ mod tests {
         let rz = surface_logical_phase_error_rate(3, p, 4_000, 7);
         // Dual lattices: rates should be within a small factor.
         assert!((rx - rz).abs() < 0.05, "x {rx} vs z {rz}");
+    }
+
+    #[test]
+    fn circuit_esm_round_measures_the_algebraic_syndrome() {
+        let code = SurfaceCode::new(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let e = sample_error(code.data_qubits(), 0.15, NoiseKind::BitFlip, &mut rng);
+            let measured = circuit_defects(&code, &e, &mut rng);
+            assert_eq!(measured, code.x_error_defects(&e));
+        }
+    }
+
+    #[test]
+    fn circuit_level_rate_matches_code_capacity() {
+        assert_eq!(surface_circuit_error_rate(3, 0.0, 100, 1), 0.0);
+        let p = 0.04;
+        let circuit = surface_circuit_error_rate(3, p, 3_000, 10);
+        let algebraic = surface_logical_error_rate(3, p, 3_000, 11);
+        assert!(
+            (circuit - algebraic).abs() < 0.02,
+            "circuit {circuit} vs algebraic {algebraic}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! This is the standard planar code with `n = d^2 + (d-1)^2` data qubits
 //! and `2d(d-1)` ancillas.
 
-use crate::code::PauliError;
+use crate::code::{PauliError, StabilizerCode};
 
 /// A distance-`d` planar surface code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +128,29 @@ impl SurfaceCode {
     /// Logical X support.
     pub fn logical_x(&self) -> &[usize] {
         &self.logical_x
+    }
+
+    /// The code as a generic [`StabilizerCode`], so the ESM circuit
+    /// builder and the Monte Carlo harness can run surface-code rounds.
+    pub fn to_stabilizer_code(&self) -> StabilizerCode {
+        StabilizerCode::new(
+            format!("surface-{}", self.d),
+            self.data_qubits(),
+            1,
+            self.d,
+            self.z_checks().map(|s| s.to_vec()).collect(),
+            self.x_checks().map(|s| s.to_vec()).collect(),
+            self.logical_x.clone(),
+            self.logical_z.clone(),
+        )
+    }
+
+    /// Z-checks with their grid positions: `(position, support)` pairs in
+    /// the same order as [`SurfaceCode::z_checks`]. The position is the
+    /// defect coordinate the matching decoder consumes, so a measured
+    /// ancilla syndrome can be mapped back onto the grid.
+    pub fn z_checks_with_pos(&self) -> impl Iterator<Item = (&(usize, usize), &[usize])> {
+        self.z_checks.iter().map(|(p, s)| (p, s.as_slice()))
     }
 
     /// Syndrome of the X component of an error: fired Z-checks, as

@@ -106,33 +106,207 @@ impl Tableau {
         }
     }
 
+    /// SWAP of `a` and `b` (three CNOTs).
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cnot(a, b);
+        self.cnot(b, a);
+        self.cnot(a, b);
+    }
+
+    /// `Rx(pi/2)` up to global phase: conjugation sends `Z -> -Y`,
+    /// `Y -> Z`, `X -> X`, which is exactly `H S H`.
+    pub fn x90(&mut self, q: usize) {
+        self.h(q);
+        self.s(q);
+        self.h(q);
+    }
+
+    /// `Rx(-pi/2)` up to global phase (`H S^dag H`): `Z -> Y`, `Y -> -Z`.
+    pub fn mx90(&mut self, q: usize) {
+        self.h(q);
+        self.sdag(q);
+        self.h(q);
+    }
+
+    /// `Ry(pi/2)` up to global phase (`Z` then `H`): `X -> -Z`, `Z -> X`,
+    /// `Y -> Y`.
+    pub fn y90(&mut self, q: usize) {
+        self.z_gate(q);
+        self.h(q);
+    }
+
+    /// `Ry(-pi/2)` up to global phase (`H` then `Z`): `X -> Z`, `Z -> -X`,
+    /// `Y -> Y`.
+    pub fn my90(&mut self, q: usize) {
+        self.h(q);
+        self.z_gate(q);
+    }
+
     /// Measures qubit `q` in the Z basis, collapsing the state.
     pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
-        let n = self.n;
-        // Random outcome iff some stabilizer anticommutes with Z_q.
-        let p = (n..2 * n).find(|&i| self.x[i][q]);
-        match p {
+        match self.anticommuting_stabilizer(q) {
             Some(p) => {
                 let outcome = rng.gen_bool(0.5);
+                self.collapse_random(q, p, outcome);
+                outcome
+            }
+            None => self.deterministic_outcome(q),
+        }
+    }
+
+    /// Measures qubit `q`, resolving a random outcome to `random_outcome`
+    /// instead of drawing it from an RNG. Returns the realised outcome:
+    /// `random_outcome` when the measurement is random, the deterministic
+    /// value (ignoring `random_outcome`) otherwise.
+    ///
+    /// This is the forced-collapse primitive the stabilizer *engines* build
+    /// on: they draw the outcome themselves (`gen_bool(p)` with `p` in
+    /// `{0, 1/2, 1}`) so their RNG consumption matches the state-vector
+    /// engine draw for draw.
+    pub fn measure_given(&mut self, q: usize, random_outcome: bool) -> bool {
+        match self.anticommuting_stabilizer(q) {
+            Some(p) => {
+                self.collapse_random(q, p, random_outcome);
+                random_outcome
+            }
+            None => self.deterministic_outcome(q),
+        }
+    }
+
+    /// The first stabilizer row anticommuting with `Z_q`, if any — the
+    /// measurement of `q` is random exactly when one exists.
+    fn anticommuting_stabilizer(&self, q: usize) -> Option<usize> {
+        (self.n..2 * self.n).find(|&i| self.x[i][q])
+    }
+
+    /// The Aaronson–Gottesman random-outcome collapse: stabilizer row `p`
+    /// anticommutes with `Z_q`; every other anticommuting row absorbs it,
+    /// the destabilizer `p - n` becomes the old row `p`, and row `p`
+    /// becomes `(+/-) Z_q` with sign `outcome`.
+    fn collapse_random(&mut self, q: usize, p: usize, outcome: bool) {
+        let n = self.n;
+        for i in 0..2 * n {
+            if i != p && self.x[i][q] {
+                self.rowsum(i, p);
+            }
+        }
+        self.x[p - n] = self.x[p].clone();
+        self.z[p - n] = self.z[p].clone();
+        self.r[p - n] = self.r[p];
+        for j in 0..n {
+            self.x[p][j] = false;
+            self.z[p][j] = false;
+        }
+        self.z[p][q] = true;
+        self.r[p] = outcome;
+    }
+
+    /// Symbolically measures the qubits `qs` in order, returning one
+    /// [`MeasureRecord`] per position.
+    ///
+    /// Exploits two structural facts of Gottesman–Knill measurement:
+    /// *which* positions come out random is independent of the realised
+    /// outcomes (the x/z halves of the tableau evolve outcome-independently
+    /// — only sign bits differ between outcome branches), and every
+    /// deterministic outcome is an XOR-affine function of the earlier
+    /// random outcomes (the `rowsum` phase is linear in the sign bits mod
+    /// 2). One symbolic pass therefore captures the full outcome tree: the
+    /// Pauli-frame sampler replays it per shot with pure bit operations.
+    ///
+    /// The tableau is consumed: afterwards it holds the collapse under the
+    /// all-zeros variable assignment. Returns `None` when the sequence
+    /// needs more than 64 random outcome variables (dependence masks are
+    /// `u64`-packed).
+    pub fn measure_layout(&mut self, qs: &[usize]) -> Option<Vec<MeasureRecord>> {
+        let mut tracker = self.begin_layout();
+        let mut records = Vec::with_capacity(qs.len());
+        for &q in qs {
+            records.push(self.measure_symbolic(q, &mut tracker)?);
+        }
+        Some(records)
+    }
+
+    /// Starts an incremental symbolic-measurement pass (see
+    /// [`Tableau::measure_symbolic`]).
+    pub fn begin_layout(&self) -> LayoutTracker {
+        LayoutTracker {
+            deps: vec![0u64; 2 * self.n + 1],
+            vars: 0,
+        }
+    }
+
+    /// One step of a symbolic-measurement pass: measures `q`, resolving a
+    /// random outcome to a fresh symbolic variable instead of a concrete
+    /// bit. Returns `None` once the pass needs more than 64 variables
+    /// (dependence masks are `u64`-packed).
+    ///
+    /// Clifford gates may be applied to the tableau *between* steps of a
+    /// pass and the tracker stays valid: a gate's sign update for row `i`
+    /// is a function of that row's x/z bits only, and the x/z halves are
+    /// identical in every outcome branch (only signs differ, by the
+    /// tracked XOR-affine functions), so gates flip the same signs in
+    /// every branch and the dependence masks ride along unchanged.
+    pub fn measure_symbolic(
+        &mut self,
+        q: usize,
+        tracker: &mut LayoutTracker,
+    ) -> Option<MeasureRecord> {
+        let n = self.n;
+        let deps = &mut tracker.deps;
+        match self.anticommuting_stabilizer(q) {
+            Some(p) => {
+                if tracker.vars >= 64 {
+                    return None;
+                }
+                // collapse_random under the base (all-zeros) assignment,
+                // with the dependence masks mirroring every sign update:
+                // rowsum sets r_h' = r_h ^ r_i ^ c with c a function of
+                // the x/z parts only, so deps combine by XOR.
                 for i in 0..2 * n {
                     if i != p && self.x[i][q] {
                         self.rowsum(i, p);
+                        deps[i] ^= deps[p];
                     }
                 }
-                // Destabilizer p-n becomes the old stabilizer row p.
                 self.x[p - n] = self.x[p].clone();
                 self.z[p - n] = self.z[p].clone();
                 self.r[p - n] = self.r[p];
-                // New stabilizer: (+/-) Z_q.
+                deps[p - n] = deps[p];
                 for j in 0..n {
                     self.x[p][j] = false;
                     self.z[p][j] = false;
                 }
                 self.z[p][q] = true;
-                self.r[p] = outcome;
-                outcome
+                self.r[p] = false; // base assignment: the variable is 0
+                deps[p] = 1u64 << tracker.vars;
+                let record = MeasureRecord {
+                    random: true,
+                    base: false,
+                    deps: 1u64 << tracker.vars,
+                };
+                tracker.vars += 1;
+                Some(record)
             }
-            None => self.deterministic_outcome(q),
+            None => {
+                let scratch = 2 * n;
+                for j in 0..n {
+                    self.x[scratch][j] = false;
+                    self.z[scratch][j] = false;
+                }
+                self.r[scratch] = false;
+                deps[scratch] = 0;
+                for i in 0..n {
+                    if self.x[i][q] {
+                        self.rowsum(scratch, i + n);
+                        deps[scratch] ^= deps[i + n];
+                    }
+                }
+                Some(MeasureRecord {
+                    random: false,
+                    base: self.r[scratch],
+                    deps: deps[scratch],
+                })
+            }
         }
     }
 
@@ -196,6 +370,49 @@ impl Tableau {
                 self.z_gate(q);
             }
         }
+    }
+}
+
+/// State of an incremental symbolic-measurement pass (see
+/// [`Tableau::measure_symbolic`]): the per-row variable-dependence masks
+/// and the number of outcome variables allocated so far.
+#[derive(Debug, Clone)]
+pub struct LayoutTracker {
+    /// `deps[i]`: XOR mask over outcome variables carried by row `i`'s sign.
+    deps: Vec<u64>,
+    vars: u32,
+}
+
+impl LayoutTracker {
+    /// Number of random-outcome variables allocated so far.
+    pub fn vars(&self) -> u32 {
+        self.vars
+    }
+}
+
+/// One position of a symbolic measurement layout (see
+/// [`Tableau::measure_layout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureRecord {
+    /// Whether the measurement is random (introduces a fresh outcome
+    /// variable) or deterministic given the earlier random outcomes.
+    pub random: bool,
+    /// The outcome under the all-zeros variable assignment. Always `false`
+    /// for a random position.
+    pub base: bool,
+    /// Mask over random-outcome variables: the realised outcome is
+    /// `base ^ parity(deps & vars)`, where bit `v` of `vars` is the `v`-th
+    /// random outcome of the sequence. A random position with variable `v`
+    /// has `deps == 1 << v`.
+    pub deps: u64,
+}
+
+impl MeasureRecord {
+    /// The realised outcome under the variable assignment `vars` (bit `v`
+    /// = `v`-th random outcome).
+    #[inline]
+    pub fn outcome(&self, vars: u64) -> bool {
+        self.base ^ ((self.deps & vars).count_ones() & 1 == 1)
     }
 }
 
@@ -388,6 +605,287 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// An RNG that counts draws and panics when `allowed` is exceeded:
+    /// pins "deterministic measurement consumes no randomness".
+    struct BudgetRng {
+        inner: StdRng,
+        draws: u64,
+        allowed: u64,
+    }
+
+    impl rand::RngCore for BudgetRng {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            assert!(
+                self.draws <= self.allowed,
+                "RNG drawn {} times, only {} allowed",
+                self.draws,
+                self.allowed
+            );
+            self.inner.next_u64()
+        }
+    }
+
+    /// A scripted Clifford circuit applied to both representations.
+    #[derive(Debug, Clone)]
+    enum Step {
+        H(usize),
+        S(usize),
+        Sdag(usize),
+        X(usize),
+        Y(usize),
+        Z(usize),
+        X90(usize),
+        Mx90(usize),
+        Y90(usize),
+        My90(usize),
+        Cnot(usize, usize),
+        Cz(usize, usize),
+        Swap(usize, usize),
+    }
+
+    fn apply_step(t: &mut Tableau, s: &Step) {
+        match *s {
+            Step::H(q) => t.h(q),
+            Step::S(q) => t.s(q),
+            Step::Sdag(q) => t.sdag(q),
+            Step::X(q) => t.x_gate(q),
+            Step::Y(q) => t.y_gate(q),
+            Step::Z(q) => t.z_gate(q),
+            Step::X90(q) => t.x90(q),
+            Step::Mx90(q) => t.mx90(q),
+            Step::Y90(q) => t.y90(q),
+            Step::My90(q) => t.my90(q),
+            Step::Cnot(a, b) => t.cnot(a, b),
+            Step::Cz(a, b) => t.cz(a, b),
+            Step::Swap(a, b) => t.swap(a, b),
+        }
+    }
+
+    fn apply_step_sv(s: &mut qxsim::StateVector, step: &Step) {
+        use cqasm::GateKind;
+        match *step {
+            Step::H(q) => s.apply_gate(&GateKind::H, &[q]),
+            Step::S(q) => s.apply_gate(&GateKind::S, &[q]),
+            Step::Sdag(q) => s.apply_gate(&GateKind::Sdag, &[q]),
+            Step::X(q) => s.apply_gate(&GateKind::X, &[q]),
+            Step::Y(q) => s.apply_gate(&GateKind::Y, &[q]),
+            Step::Z(q) => s.apply_gate(&GateKind::Z, &[q]),
+            Step::X90(q) => s.apply_gate(&GateKind::X90, &[q]),
+            Step::Mx90(q) => s.apply_gate(&GateKind::Mx90, &[q]),
+            Step::Y90(q) => s.apply_gate(&GateKind::Y90, &[q]),
+            Step::My90(q) => s.apply_gate(&GateKind::My90, &[q]),
+            Step::Cnot(a, b) => s.apply_gate(&GateKind::Cnot, &[a, b]),
+            Step::Cz(a, b) => s.apply_gate(&GateKind::Cz, &[a, b]),
+            Step::Swap(a, b) => s.apply_gate(&GateKind::Swap, &[a, b]),
+        }
+    }
+
+    /// A random Clifford circuit over `n` qubits, decoded from a seed so
+    /// proptest can shrink it.
+    fn circuit_from_seed(seed: u64, n: usize, len: usize) -> Vec<Step> {
+        use rand::Rng;
+        let mut r = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| {
+                let q = r.gen_range(0..n);
+                let p = (q + 1 + r.gen_range(0..n - 1)) % n;
+                match r.gen_range(0..13u8) {
+                    0 => Step::H(q),
+                    1 => Step::S(q),
+                    2 => Step::Sdag(q),
+                    3 => Step::X(q),
+                    4 => Step::Y(q),
+                    5 => Step::Z(q),
+                    6 => Step::X90(q),
+                    7 => Step::Mx90(q),
+                    8 => Step::Y90(q),
+                    9 => Step::My90(q),
+                    10 => Step::Cnot(q, p),
+                    11 => Step::Cz(q, p),
+                    _ => Step::Swap(q, p),
+                }
+            })
+            .collect()
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `deterministic_outcome` agrees with `measure` whenever
+        /// `!is_random`, and a deterministic `measure` draws nothing from
+        /// the RNG.
+        #[test]
+        fn deterministic_measure_consumes_no_randomness(
+            seed in 0u64..1_000_000,
+            n in 2usize..=10,
+        ) {
+            let steps = circuit_from_seed(seed, n, 30);
+            let mut t = Tableau::zero_state(n);
+            for s in &steps {
+                apply_step(&mut t, s);
+            }
+            for q in 0..n {
+                if t.is_random(q) {
+                    continue;
+                }
+                let expected = t.deterministic_outcome(q);
+                let mut budget = BudgetRng {
+                    inner: StdRng::seed_from_u64(seed),
+                    draws: 0,
+                    allowed: 0, // deterministic: zero draws permitted
+                };
+                let got = t.clone().measure(q, &mut budget);
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        /// `apply_pauli_masks` sign bookkeeping matches the state-vector
+        /// engine: after a random Clifford circuit plus a random X/Z error
+        /// pattern, every conditional one-probability along a full collapse
+        /// cascade agrees (deterministic outcomes are where sign errors
+        /// show up).
+        #[test]
+        fn pauli_masks_match_statevector(
+            seed in 0u64..1_000_000,
+            n in 2usize..=10,
+        ) {
+            use rand::Rng;
+            let steps = circuit_from_seed(seed, n, 25);
+            let mut t = Tableau::zero_state(n);
+            let mut s = qxsim::StateVector::zero_state(n);
+            for step in &steps {
+                apply_step(&mut t, step);
+                apply_step_sv(&mut s, step);
+            }
+            let mut r = StdRng::seed_from_u64(seed ^ 0xA5A5);
+            let x_mask: Vec<bool> = (0..n).map(|_| r.gen_bool(0.5)).collect();
+            let z_mask: Vec<bool> = (0..n).map(|_| r.gen_bool(0.5)).collect();
+            t.apply_pauli_masks(&x_mask, &z_mask);
+            for q in 0..n {
+                if x_mask[q] {
+                    apply_step_sv(&mut s, &Step::X(q));
+                }
+                if z_mask[q] {
+                    apply_step_sv(&mut s, &Step::Z(q));
+                }
+            }
+            for q in 0..n {
+                let p_tab = t.probability_one(q);
+                let p_sv = s.probability_one(q);
+                prop_assert!(
+                    (p_tab - p_sv).abs() < 1e-9,
+                    "qubit {}: tableau {} vs statevector {}", q, p_tab, p_sv
+                );
+                // Collapse both onto the same branch (false stays feasible:
+                // P(0) >= 0.5 whenever the outcome is not forced to 1).
+                let outcome = p_tab == 1.0;
+                t.measure_given(q, outcome);
+                s.collapse(q, outcome);
+            }
+        }
+
+        /// `measure_layout` reproduces concrete forced-outcome measurement
+        /// for every sampled variable assignment: same randomness pattern,
+        /// same deterministic outcomes.
+        #[test]
+        fn measure_layout_matches_concrete_measurement(
+            seed in 0u64..1_000_000,
+            n in 2usize..=8,
+        ) {
+            use rand::Rng;
+            let steps = circuit_from_seed(seed, n, 25);
+            let mut base = Tableau::zero_state(n);
+            for s in &steps {
+                apply_step(&mut base, s);
+            }
+            let mut r = StdRng::seed_from_u64(seed ^ 0x5A5A);
+            let qs: Vec<usize> = (0..r.gen_range(1..=2 * n)).map(|_| r.gen_range(0..n)).collect();
+            let records = base
+                .clone()
+                .measure_layout(&qs)
+                .expect("<= 64 random vars by construction");
+            prop_assert_eq!(records.len(), qs.len());
+            for _ in 0..4 {
+                let vars: u64 = r.gen();
+                let mut t = base.clone();
+                let mut var = 0u32;
+                for (rec, &q) in records.iter().zip(&qs) {
+                    prop_assert_eq!(rec.random, t.is_random(q));
+                    let forced = (vars >> var) & 1 == 1;
+                    if rec.random {
+                        var += 1;
+                    }
+                    let actual = t.measure_given(q, forced);
+                    prop_assert_eq!(rec.outcome(vars), actual);
+                }
+            }
+        }
+
+        /// The derived gates (swap and the four axis rotations) match the
+        /// state-vector unitaries on random states, via the same collapse
+        /// cascade as the Pauli-mask check.
+        #[test]
+        fn derived_gates_match_statevector(
+            seed in 0u64..1_000_000,
+            n in 2usize..=6,
+        ) {
+            let steps = circuit_from_seed(seed, n, 30);
+            let mut t = Tableau::zero_state(n);
+            let mut s = qxsim::StateVector::zero_state(n);
+            for step in &steps {
+                apply_step(&mut t, step);
+                apply_step_sv(&mut s, step);
+            }
+            for q in 0..n {
+                let p_tab = t.probability_one(q);
+                let p_sv = s.probability_one(q);
+                prop_assert!(
+                    (p_tab - p_sv).abs() < 1e-9,
+                    "qubit {}: tableau {} vs statevector {}", q, p_tab, p_sv
+                );
+                let outcome = p_tab == 1.0;
+                t.measure_given(q, outcome);
+                s.collapse(q, outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn measure_given_forces_random_outcomes() {
+        for forced in [false, true] {
+            let mut t = Tableau::zero_state(2);
+            t.h(0);
+            t.cnot(0, 1);
+            assert!(t.is_random(0));
+            assert_eq!(t.measure_given(0, forced), forced);
+            // The pair is collapsed: qubit 1 now deterministically agrees.
+            assert!(!t.is_random(1));
+            assert_eq!(t.measure_given(1, !forced), forced);
+        }
+    }
+
+    #[test]
+    fn ghz_layout_has_one_variable_and_parity_deps() {
+        // GHZ-4: first measurement random, the rest deterministic copies.
+        let n = 4;
+        let mut t = Tableau::zero_state(n);
+        t.h(0);
+        for q in 0..n - 1 {
+            t.cnot(q, q + 1);
+        }
+        let recs = t.measure_layout(&[0, 1, 2, 3]).unwrap();
+        assert!(recs[0].random);
+        assert_eq!(recs[0].deps, 1);
+        for rec in &recs[1..] {
+            assert!(!rec.random);
+            assert!(!rec.base);
+            assert_eq!(rec.deps, 1, "each later outcome copies variable 0");
+        }
+        assert!(recs[1].outcome(1));
+        assert!(!recs[1].outcome(0));
     }
 
     #[test]

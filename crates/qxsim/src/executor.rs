@@ -19,9 +19,11 @@ use crate::density::{kernel_unitary, DensityMatrix, KernelUnitary, MAX_DENSITY_Q
 use crate::error_model::flip_readout;
 use crate::histogram::ShotHistogram;
 use crate::plan::{
-    CompiledProgram, FusionStats, PlanOptions, PlannedGate, PlannedOp, TerminalMeasure,
+    CircuitClass, CompiledProgram, FusionStats, PlanOptions, PlannedGate, PlannedOp, StabOp,
+    TerminalMeasure, MAX_SIM_QUBITS,
 };
 use crate::qubit_model::QubitModel;
+use crate::stabilizer::{self, EngineSelect, FrameSampler};
 use crate::state::{auto_threads, par_min_qubits, StateVector};
 use cqasm::{KernelClass, Program};
 use qca_telemetry::Telemetry;
@@ -62,6 +64,14 @@ pub enum ExecuteError {
     },
     /// A worker thread of a parallel run died.
     Worker(String),
+    /// A forced engine (see [`crate::Simulator::with_engine_select`])
+    /// cannot execute the plan's circuit class.
+    EngineMismatch {
+        /// The engine that was forced (its stable name).
+        engine: String,
+        /// Why the plan is outside the engine's class.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ExecuteError {
@@ -76,6 +86,12 @@ impl std::fmt::Display for ExecuteError {
                 write!(f, "injected fault fired at shot {shot}")
             }
             ExecuteError::Worker(m) => write!(f, "worker thread failed: {m}"),
+            ExecuteError::EngineMismatch { engine, detail } => {
+                write!(
+                    f,
+                    "engine mismatch: {engine} cannot run this plan: {detail}"
+                )
+            }
         }
     }
 }
@@ -145,6 +161,7 @@ pub struct Simulator {
     plan_options: PlanOptions,
     faults: FaultInjection,
     telemetry: Telemetry,
+    engine_select: EngineSelect,
 }
 
 impl Default for Simulator {
@@ -163,6 +180,7 @@ impl Simulator {
             plan_options: PlanOptions::default(),
             faults: FaultInjection::none(),
             telemetry: Telemetry::disabled(),
+            engine_select: EngineSelect::Auto,
         }
     }
 
@@ -175,6 +193,7 @@ impl Simulator {
             plan_options: PlanOptions::default(),
             faults: FaultInjection::none(),
             telemetry: Telemetry::disabled(),
+            engine_select: EngineSelect::Auto,
         }
     }
 
@@ -229,6 +248,22 @@ impl Simulator {
         self
     }
 
+    /// Selects the simulation engine (see [`EngineSelect`]). The default,
+    /// [`EngineSelect::Auto`], routes each compiled plan to the cheapest
+    /// engine that is provably exact for its
+    /// [`CircuitClass`](crate::plan::CircuitClass); forcing an engine onto
+    /// a plan outside its class yields a typed
+    /// [`ExecuteError::EngineMismatch`].
+    pub fn with_engine_select(mut self, engine: EngineSelect) -> Self {
+        self.engine_select = engine;
+        self
+    }
+
+    /// The configured engine selection policy.
+    pub fn engine_select(&self) -> EngineSelect {
+        self.engine_select
+    }
+
     /// Enables or disables the plan-compilation fusion stage (enabled by
     /// default). Fused plans apply exactly-composed kernels and agree with
     /// unfused plans up to floating-point association; the switch exists so
@@ -269,8 +304,22 @@ impl Simulator {
     /// Returns [`ExecuteError::Invalid`] if the program fails validation.
     pub fn run_once(&self, program: &Program) -> Result<ShotResult, ExecuteError> {
         let plan = self.compile(program)?;
+        Self::check_state_capacity(&plan)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         Ok(self.run_compiled(&plan, &mut rng))
+    }
+
+    /// Single-shot entry points return a [`ShotResult`] holding a full
+    /// [`StateVector`], so they are capped at [`MAX_SIM_QUBITS`] even for
+    /// Clifford plans the multi-shot engines could execute.
+    fn check_state_capacity(plan: &CompiledProgram) -> Result<(), ExecuteError> {
+        if plan.qubit_count() > MAX_SIM_QUBITS {
+            return Err(ExecuteError::TooManyQubits {
+                needed: plan.qubit_count(),
+                max: MAX_SIM_QUBITS,
+            });
+        }
+        Ok(())
     }
 
     /// Runs the program `shots` times, collecting the final classical bits
@@ -438,6 +487,18 @@ impl Simulator {
         self.telemetry.incr("qxsim.shots.requested", shots);
         let shots = self.effective_shots(shots)?;
         self.telemetry.incr("qxsim.shots.executed", shots);
+        let engine = self.resolve_engine(plan)?;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .incr_labeled("qxsim.engine", engine.name(), 1);
+            self.telemetry
+                .incr_labeled("qxsim.engine.class", plan.circuit_class().name(), 1);
+        }
+        match engine {
+            EngineSelect::Tableau => return self.run_tableau_planned(plan, shots, threads),
+            EngineSelect::PauliFrame => return self.run_frames_planned(plan, shots, threads),
+            _ => {}
+        }
         self.record_sweep_decision(plan.qubit_count());
         if self.sampling_fast_path {
             match plan.sampling_measures() {
@@ -510,6 +571,191 @@ impl Simulator {
         })?;
         self.record_kernel_counts(&counts);
         Ok(results.into_iter().collect())
+    }
+
+    /// The engine [`EngineSelect::Auto`] picks for a plan: the cheapest
+    /// one that is provably exact for its circuit class.
+    fn auto_engine(plan: &CompiledProgram) -> EngineSelect {
+        match plan.circuit_class() {
+            CircuitClass::CliffordTerminal => EngineSelect::PauliFrame,
+            CircuitClass::Clifford => EngineSelect::Tableau,
+            CircuitClass::General => EngineSelect::StateVector,
+        }
+    }
+
+    /// Resolves the configured engine selection against a plan's circuit
+    /// class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::EngineMismatch`] when a forced engine
+    /// cannot execute the plan: the state-vector engine past
+    /// [`MAX_SIM_QUBITS`] qubits, the tableau executor on a `General`
+    /// plan, or the Pauli-frame sampler on anything but a
+    /// `CliffordTerminal` plan.
+    fn resolve_engine(&self, plan: &CompiledProgram) -> Result<EngineSelect, ExecuteError> {
+        let class = plan.circuit_class();
+        match self.engine_select {
+            EngineSelect::Auto => Ok(Self::auto_engine(plan)),
+            EngineSelect::StateVector => {
+                if plan.qubit_count() > MAX_SIM_QUBITS {
+                    return Err(ExecuteError::EngineMismatch {
+                        engine: "state_vector".to_string(),
+                        detail: format!(
+                            "plan needs {} qubits but the state-vector engine supports at most {}",
+                            plan.qubit_count(),
+                            MAX_SIM_QUBITS
+                        ),
+                    });
+                }
+                Ok(EngineSelect::StateVector)
+            }
+            EngineSelect::Tableau => {
+                if plan.stab_ops().is_none() {
+                    return Err(ExecuteError::EngineMismatch {
+                        engine: "tableau".to_string(),
+                        detail: format!(
+                            "plan class is {}; the tableau engine requires a Clifford plan",
+                            class.name()
+                        ),
+                    });
+                }
+                Ok(EngineSelect::Tableau)
+            }
+            EngineSelect::PauliFrame => {
+                if class != CircuitClass::CliffordTerminal {
+                    return Err(ExecuteError::EngineMismatch {
+                        engine: "pauli_frame".to_string(),
+                        detail: format!(
+                            "plan class is {}; the Pauli-frame sampler requires a \
+                             terminally-measured Clifford plan",
+                            class.name()
+                        ),
+                    });
+                }
+                Ok(EngineSelect::PauliFrame)
+            }
+        }
+    }
+
+    /// The concrete engine this simulator's [`EngineSelect`] resolves to
+    /// for a plan — what a sweep of it would actually run on. Lets
+    /// dispatchers (the service) pre-flight forced selections and label
+    /// telemetry before committing a sharded sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecuteError::EngineMismatch`] when a forced engine
+    /// cannot execute the plan (see [`Simulator::with_engine_select`]).
+    pub fn plan_engine(&self, plan: &CompiledProgram) -> Result<EngineSelect, ExecuteError> {
+        self.resolve_engine(plan)
+    }
+
+    /// Runs a Clifford plan on the per-shot CHP tableau executor.
+    fn run_tableau_planned(
+        &self,
+        plan: &CompiledProgram,
+        shots: u64,
+        threads: usize,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        let Some(ops) = plan.stab_ops() else {
+            return Err(ExecuteError::EngineMismatch {
+                engine: "tableau".to_string(),
+                detail: "plan has no stabilizer lowering".to_string(),
+            });
+        };
+        let _span = self.telemetry.span("qxsim", "stab_tableau");
+        self.telemetry.incr("qxsim.stab.tableau_shots", shots);
+        let n = plan.qubit_count();
+        if threads <= 1 {
+            return Ok(self.tableau_range(ops, n, 0, shots));
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = shots * t as u64 / threads as u64;
+                    let hi = shots * (t as u64 + 1) / threads as u64;
+                    scope.spawn(move || self.tableau_range(ops, n, lo, hi))
+                })
+                .collect();
+            let mut total = ShotHistogram::new();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => total.merge(&part),
+                    Err(payload) => return Err(worker_error(payload)),
+                }
+            }
+            Ok(total)
+        })
+    }
+
+    /// Executes tableau shots `lo..hi`, sampling a wall-clock timing every
+    /// [`KERNEL_TIMING_SAMPLE_EVERY`] shots when telemetry is enabled.
+    fn tableau_range(&self, ops: &[StabOp], n: usize, lo: u64, hi: u64) -> ShotHistogram {
+        let mut hist = ShotHistogram::new();
+        let timing = self.telemetry.is_enabled();
+        for shot in lo..hi {
+            let mut rng = self.shot_rng(shot);
+            if timing && (shot - lo).is_multiple_of(KERNEL_TIMING_SAMPLE_EVERY) {
+                let start = Instant::now();
+                let bits = stabilizer::tableau_shot(ops, n, &mut rng);
+                self.telemetry.record_value_labeled(
+                    "qxsim.stab.shot_ns",
+                    "tableau",
+                    start.elapsed().as_nanos() as f64,
+                );
+                hist.record(bits);
+            } else {
+                hist.record(stabilizer::tableau_shot(ops, n, &mut rng));
+            }
+        }
+        hist
+    }
+
+    /// Runs a `CliffordTerminal` plan on the bit-packed Pauli-frame
+    /// sampler. Falls back to the tableau executor (bit-identical) when
+    /// the terminal run needs more than 64 random variables.
+    fn run_frames_planned(
+        &self,
+        plan: &CompiledProgram,
+        shots: u64,
+        threads: usize,
+    ) -> Result<ShotHistogram, ExecuteError> {
+        let Some(ops) = plan.stab_ops() else {
+            return Err(ExecuteError::EngineMismatch {
+                engine: "pauli_frame".to_string(),
+                detail: "plan has no stabilizer lowering".to_string(),
+            });
+        };
+        let Some(sampler) = FrameSampler::build(ops, plan.qubit_count()) else {
+            self.telemetry.incr("qxsim.stab.frame_fallback", 1);
+            return self.run_tableau_planned(plan, shots, threads);
+        };
+        let _span = self.telemetry.span("qxsim", "stab_frames");
+        self.telemetry.incr("qxsim.stab.frame_shots", shots);
+        self.telemetry
+            .incr("qxsim.stab.frame_words", FrameSampler::words(shots));
+        let sampler = &sampler;
+        if threads <= 1 {
+            return Ok(sampler.sample_range(self.seed, SHOT_SEED_STRIDE, 0, shots));
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = shots * t as u64 / threads as u64;
+                    let hi = shots * (t as u64 + 1) / threads as u64;
+                    scope.spawn(move || sampler.sample_range(self.seed, SHOT_SEED_STRIDE, lo, hi))
+                })
+                .collect();
+            let mut total = ShotHistogram::new();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => total.merge(&part),
+                    Err(payload) => return Err(worker_error(payload)),
+                }
+            }
+            Ok(total)
+        })
     }
 
     /// The sampling fast path: evolve the (noise-free, terminally measured)
@@ -706,6 +952,30 @@ impl Simulator {
         let mut hist = ShotHistogram::new();
         if lo >= hi {
             return hist;
+        }
+        // A forced engine that mismatches the plan falls back to automatic
+        // selection here: this entry point has no error channel, and the
+        // coordinator (which does) has already vetted the engine choice.
+        let engine = self
+            .resolve_engine(plan)
+            .unwrap_or_else(|_| Self::auto_engine(plan));
+        match engine {
+            EngineSelect::Tableau => {
+                if let Some(ops) = plan.stab_ops() {
+                    return self.tableau_range(ops, plan.qubit_count(), lo, hi);
+                }
+            }
+            EngineSelect::PauliFrame => {
+                if let Some(ops) = plan.stab_ops() {
+                    match FrameSampler::build(ops, plan.qubit_count()) {
+                        Some(sampler) => {
+                            return sampler.sample_range(self.seed, SHOT_SEED_STRIDE, lo, hi)
+                        }
+                        None => return self.tableau_range(ops, plan.qubit_count(), lo, hi),
+                    }
+                }
+            }
+            _ => {}
         }
         if self.sampling_fast_path {
             match plan.sampling_measures() {
@@ -945,6 +1215,7 @@ impl Simulator {
         rng: &mut R,
     ) -> Result<ShotResult, ExecuteError> {
         let plan = self.compile(program)?;
+        Self::check_state_capacity(&plan)?;
         Ok(self.run_compiled(&plan, rng))
     }
 
@@ -1990,5 +2261,256 @@ mod fault_injection_tests {
             mk().run_shots(&bell(), 64).unwrap(),
             mk().run_shots(&bell(), 64).unwrap()
         );
+    }
+}
+
+#[cfg(test)]
+mod stabilizer_engine_tests {
+    use super::*;
+    use crate::plan::MAX_STAB_QUBITS;
+    use cqasm::GateKind;
+
+    /// A Clifford circuit with mid-circuit measurement and a conditioned
+    /// Pauli correction: quantum teleportation of |+i> across a Bell pair.
+    fn clifford_mid_measure() -> Program {
+        Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::S, &[0])
+            .gate(GateKind::H, &[1])
+            .gate(GateKind::Cnot, &[1, 2])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .measure(1)
+            .cond(1, GateKind::X, &[2])
+            .cond(0, GateKind::Z, &[2])
+            .gate(GateKind::Sdag, &[2])
+            .gate(GateKind::H, &[2])
+            .measure(2)
+            .build()
+    }
+
+    fn ghz(n: usize) -> Program {
+        let mut b = Program::builder(n).gate(GateKind::H, &[0]);
+        for q in 0..n - 1 {
+            b = b.gate(GateKind::Cnot, &[q, q + 1]);
+        }
+        b.measure_all().build()
+    }
+
+    fn sim(engine: EngineSelect) -> Simulator {
+        Simulator::perfect()
+            .with_seed(99)
+            .with_engine_select(engine)
+    }
+
+    #[test]
+    fn tableau_matches_statevector_on_mid_measure_clifford() {
+        let p = clifford_mid_measure();
+        let sv = sim(EngineSelect::StateVector).run_shots(&p, 400).unwrap();
+        let tab = sim(EngineSelect::Tableau).run_shots(&p, 400).unwrap();
+        let auto = sim(EngineSelect::Auto).run_shots(&p, 400).unwrap();
+        assert_eq!(sv, tab);
+        assert_eq!(sv, auto);
+        // Teleportation is deterministic on the payload: bit 2 is always 0.
+        for (bits, _) in sv.iter() {
+            assert_eq!((bits >> 2) & 1, 0, "payload survived teleportation");
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_on_terminal_measure_all() {
+        let p = ghz(5);
+        let sv_sampled = sim(EngineSelect::StateVector).run_shots(&p, 300).unwrap();
+        let sv_full = sim(EngineSelect::StateVector)
+            .with_sampling_fast_path(false)
+            .run_shots(&p, 300)
+            .unwrap();
+        let tab = sim(EngineSelect::Tableau).run_shots(&p, 300).unwrap();
+        let frames = sim(EngineSelect::PauliFrame).run_shots(&p, 300).unwrap();
+        let auto = sim(EngineSelect::Auto).run_shots(&p, 300).unwrap();
+        assert_eq!(sv_sampled, sv_full);
+        assert_eq!(sv_sampled, tab);
+        assert_eq!(sv_sampled, frames);
+        assert_eq!(sv_sampled, auto);
+        assert_eq!(tab.count(0) + tab.count(0b11111), 300);
+    }
+
+    #[test]
+    fn all_engines_agree_on_terminal_measure_runs() {
+        let mut b = Program::builder(4)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .gate(GateKind::Y90, &[2])
+            .gate(GateKind::Cz, &[2, 3]);
+        for q in [0usize, 1, 2, 0] {
+            b = b.measure(q);
+        }
+        let p = b.build();
+        let sv = sim(EngineSelect::StateVector).run_shots(&p, 300).unwrap();
+        let tab = sim(EngineSelect::Tableau).run_shots(&p, 300).unwrap();
+        let frames = sim(EngineSelect::PauliFrame).run_shots(&p, 300).unwrap();
+        assert_eq!(sv, tab);
+        assert_eq!(sv, frames);
+    }
+
+    #[test]
+    fn all_engines_agree_on_interleaved_measures() {
+        // Scheduler-hoisted shape: measures interleaved with later gates
+        // on other qubits, including a re-measure of an earlier qubit.
+        let p = Program::builder(4)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure(1)
+            .gate(GateKind::Y90, &[2])
+            .measure(0)
+            .gate(GateKind::Cz, &[2, 3])
+            .gate(GateKind::H, &[0])
+            .measure(2)
+            .measure(0)
+            .build();
+        assert_eq!(
+            sim(EngineSelect::Auto).compile(&p).unwrap().circuit_class(),
+            CircuitClass::CliffordTerminal
+        );
+        let sv = sim(EngineSelect::StateVector).run_shots(&p, 300).unwrap();
+        let tab = sim(EngineSelect::Tableau).run_shots(&p, 300).unwrap();
+        let frames = sim(EngineSelect::PauliFrame).run_shots(&p, 300).unwrap();
+        assert_eq!(sv, tab);
+        assert_eq!(sv, frames);
+    }
+
+    #[test]
+    fn stab_engines_shard_bit_identically() {
+        let p = clifford_mid_measure();
+        let whole = sim(EngineSelect::Auto).run_shots(&p, 240).unwrap();
+        let threaded = sim(EngineSelect::Auto)
+            .run_shots_parallel(&p, 240, 4)
+            .unwrap();
+        assert_eq!(whole, threaded);
+        // Out-of-order shard merge via run_shot_range.
+        let s = sim(EngineSelect::Auto);
+        let plan = s.compile(&p).unwrap();
+        let mut merged = s.run_shot_range(&plan, 160, 240);
+        merged.merge(&s.run_shot_range(&plan, 0, 80));
+        merged.merge(&s.run_shot_range(&plan, 80, 160));
+        assert_eq!(whole, merged);
+
+        let g = ghz(6);
+        let whole = sim(EngineSelect::PauliFrame).run_shots(&g, 500).unwrap();
+        let plan = sim(EngineSelect::PauliFrame).compile(&g).unwrap();
+        let s = sim(EngineSelect::PauliFrame);
+        // Shard boundaries that are not 64-aligned must not matter.
+        let mut merged = s.run_shot_range(&plan, 130, 500);
+        merged.merge(&s.run_shot_range(&plan, 0, 33));
+        merged.merge(&s.run_shot_range(&plan, 33, 130));
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn forced_engine_mismatch_is_a_typed_error() {
+        let t_gate = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::T, &[0])
+            .measure_all()
+            .build();
+        match sim(EngineSelect::Tableau).run_shots(&t_gate, 16) {
+            Err(ExecuteError::EngineMismatch { engine, .. }) => assert_eq!(engine, "tableau"),
+            other => panic!("expected engine mismatch, got {other:?}"),
+        }
+        match sim(EngineSelect::PauliFrame).run_shots(&clifford_mid_measure(), 16) {
+            Err(ExecuteError::EngineMismatch { engine, .. }) => assert_eq!(engine, "pauli_frame"),
+            other => panic!("expected engine mismatch, got {other:?}"),
+        }
+        match sim(EngineSelect::StateVector).run_shots(&ghz_run(40, 8), 16) {
+            Err(ExecuteError::EngineMismatch { engine, .. }) => assert_eq!(engine, "state_vector"),
+            other => panic!("expected engine mismatch, got {other:?}"),
+        }
+    }
+
+    /// GHZ over `n` qubits closed by a terminal measure run on the first
+    /// `k` qubits (keeps measured indices inside the u64 register).
+    fn ghz_run(n: usize, k: usize) -> Program {
+        let mut b = Program::builder(n).gate(GateKind::H, &[0]);
+        for q in 0..n - 1 {
+            b = b.gate(GateKind::Cnot, &[q, q + 1]);
+        }
+        for q in 0..k {
+            b = b.measure(q);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn thousand_qubit_ghz_executes_past_the_statevector_ceiling() {
+        let p = ghz_run(1000, 32);
+        let plan = sim(EngineSelect::Auto).compile(&p).unwrap();
+        assert_eq!(plan.circuit_class(), CircuitClass::CliffordTerminal);
+        assert!(plan.qubit_count() > MAX_SIM_QUBITS);
+        assert!(plan.qubit_count() <= MAX_STAB_QUBITS);
+        let hist = sim(EngineSelect::Auto)
+            .run_shots_parallel(&p, 500, 4)
+            .unwrap();
+        // Perfect GHZ correlations: the first 32 qubits agree in every shot.
+        let ones = (1u64 << 32) - 1;
+        assert_eq!(hist.count(0) + hist.count(ones), 500);
+        assert!(hist.count(0) > 0 && hist.count(ones) > 0);
+        // Bit-identical across worker counts.
+        let single = sim(EngineSelect::Auto).run_shots(&p, 500).unwrap();
+        assert_eq!(hist, single);
+        // The tableau engine agrees with the frame sampler.
+        let tab = sim(EngineSelect::Tableau).run_shots(&p, 500).unwrap();
+        assert_eq!(hist, tab);
+    }
+
+    #[test]
+    fn prep_z_resets_agree_across_engines() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .prep_z(0)
+            .measure(0)
+            .measure(1)
+            .build();
+        let sv = sim(EngineSelect::StateVector).run_shots(&p, 300).unwrap();
+        let tab = sim(EngineSelect::Tableau).run_shots(&p, 300).unwrap();
+        assert_eq!(sv, tab);
+        // prep_z forces bit 0 low; bit 1 keeps the Bell marginal.
+        for (bits, _) in sv.iter() {
+            assert_eq!(bits & 1, 0);
+        }
+    }
+
+    #[test]
+    fn engine_telemetry_counts_runs() {
+        let t = qca_telemetry::Telemetry::enabled();
+        let s = Simulator::perfect().with_seed(5).with_telemetry(t.clone());
+        s.run_shots(&ghz(4), 64).unwrap();
+        s.run_shots(&clifford_mid_measure(), 64).unwrap();
+        let snap = t.snapshot();
+        let labeled = |family: &str, label: &str| -> u64 {
+            snap.labeled
+                .get(family)
+                .and_then(|m| m.get(label))
+                .copied()
+                .unwrap_or(0)
+        };
+        assert_eq!(labeled("qxsim.engine", "pauli_frame"), 1);
+        assert_eq!(labeled("qxsim.engine", "tableau"), 1);
+        assert_eq!(labeled("qxsim.engine.class", "clifford_terminal"), 1);
+        assert_eq!(labeled("qxsim.engine.class", "clifford"), 1);
+        assert_eq!(snap.counters.get("qxsim.stab.frame_shots"), Some(&64));
+        assert_eq!(snap.counters.get("qxsim.stab.tableau_shots"), Some(&64));
+    }
+
+    #[test]
+    fn run_once_still_caps_at_statevector_width() {
+        let p = ghz_run(40, 4);
+        match Simulator::perfect().run_once(&p) {
+            Err(ExecuteError::TooManyQubits { needed: 40, max }) => {
+                assert_eq!(max, MAX_SIM_QUBITS)
+            }
+            other => panic!("expected TooManyQubits, got {other:?}"),
+        }
     }
 }

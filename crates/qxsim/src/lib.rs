@@ -51,6 +51,7 @@ pub mod histogram;
 pub mod observable;
 pub mod plan;
 pub mod qubit_model;
+pub mod stabilizer;
 pub mod state;
 
 pub use density::{DensityMatrix, MAX_DENSITY_QUBITS};
@@ -59,10 +60,12 @@ pub use executor::{ExecuteError, FaultInjection, ShotResult, Simulator, SHOT_SEE
 pub use histogram::ShotHistogram;
 pub use observable::{Pauli, PauliString, PauliSum};
 pub use plan::{
-    CompiledProgram, FusionStats, PlanOptions, PlannedGate, PlannedOp, TerminalMeasure,
-    MAX_FUSED_BLOCK_QUBITS, MAX_FUSED_DIAG_QUBITS, MAX_MEASURE_RUN_SAMPLING, MAX_SIM_QUBITS,
+    CircuitClass, CliffordGate, CompiledProgram, FusionStats, PlanOptions, PlannedGate, PlannedOp,
+    StabOp, TerminalMeasure, MAX_FUSED_BLOCK_QUBITS, MAX_FUSED_DIAG_QUBITS,
+    MAX_MEASURE_RUN_SAMPLING, MAX_SIM_QUBITS, MAX_STAB_QUBITS,
 };
 pub use qubit_model::{QubitModel, RealisticParams};
+pub use stabilizer::EngineSelect;
 pub use state::{
     par_min_qubits, parse_par_min_qubits, StateVector, MAX_1Q_LAYER_QUBITS, PAR_MIN_QUBITS,
 };

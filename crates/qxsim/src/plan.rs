@@ -31,6 +31,12 @@ use cqasm::{BlockUnitary, FusedDiagonal, Instruction, KernelClass, Program};
 /// [`ExecuteError::TooManyQubits`] instead of aborting inside the kernel.
 pub const MAX_SIM_QUBITS: usize = 30;
 
+/// The largest program the stabilizer engines accept. Tableau state is
+/// `O(n^2)` bits (a 2048-qubit tableau is ~1 MiB), so the ceiling is set
+/// by per-shot `O(n^2)` measurement cost rather than memory; 2048 keeps
+/// worst-case shots well under a millisecond-scale budget.
+pub const MAX_STAB_QUBITS: usize = 2048;
+
 /// A gate lowered for direct kernel dispatch: the classified kernel plus
 /// unpacked operand indices.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +69,88 @@ pub enum PlannedOp {
     /// Explicit `wait`: idle every qubit for the given number of cycles.
     /// Emitted only when the model has an idle channel.
     Wait(u64),
+}
+
+/// Which simulation class a compiled plan belongs to, from most to least
+/// specialised. The dispatcher routes each plan to the cheapest engine
+/// that is provably exact for its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitClass {
+    /// Noise-free, feedback-free Clifford circuit: a unitary Clifford
+    /// prefix closed by one `measure_all` (on at most 64 qubits), or
+    /// Clifford gates and per-qubit `measure`s in any interleaving — no
+    /// conditionals, no resets, so outcomes never feed back into the
+    /// circuit. Eligible for the bit-packed Pauli-frame sampler (one
+    /// symbolic reference tableau run, then word-parallel shots).
+    CliffordTerminal,
+    /// Noise-free circuit built entirely from Clifford gates, `prep_z`,
+    /// measurements and classically-conditioned Clifford corrections, in
+    /// any order. Eligible for the per-shot CHP tableau executor.
+    Clifford,
+    /// Everything else: non-Clifford gates, noise channels, or
+    /// measurements that do not fit the 64-bit measurement register.
+    /// Served by the state-vector (or density-matrix) engine.
+    General,
+}
+
+impl CircuitClass {
+    /// Stable lowercase name for telemetry labels and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CircuitClass::CliffordTerminal => "clifford_terminal",
+            CircuitClass::Clifford => "clifford",
+            CircuitClass::General => "general",
+        }
+    }
+}
+
+/// A Clifford gate lowered for tableau dispatch: the generator plus raw
+/// operand indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliffordGate {
+    /// Hadamard.
+    H(usize),
+    /// Phase gate `diag(1, i)`.
+    S(usize),
+    /// Inverse phase gate.
+    Sdag(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// `Rx(pi/2)` up to global phase.
+    X90(usize),
+    /// `Ry(pi/2)` up to global phase.
+    Y90(usize),
+    /// `Rx(-pi/2)` up to global phase.
+    Mx90(usize),
+    /// `Ry(-pi/2)` up to global phase.
+    My90(usize),
+    /// Controlled-X (control, target).
+    Cnot(usize, usize),
+    /// Controlled-Z.
+    Cz(usize, usize),
+    /// Qubit exchange.
+    Swap(usize, usize),
+}
+
+/// One operation of the stabilizer lowering of a plan. Parallel to
+/// [`PlannedOp`] but restricted to what the tableau engines execute;
+/// built pre-fusion (fused kernels have no Clifford identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StabOp {
+    /// Reset a qubit to `|0>`.
+    PrepZ(usize),
+    /// Apply a Clifford gate.
+    Gate(CliffordGate),
+    /// Apply a Clifford gate iff the classical bit is one.
+    Cond(usize, CliffordGate),
+    /// Measure one qubit into its implicit bit (`q < 64`).
+    Measure(usize),
+    /// Measure every qubit (`n <= 64`).
+    MeasureAll,
 }
 
 /// The measurement shape that closes a plan, when the plan ends in
@@ -145,6 +233,8 @@ pub struct CompiledProgram {
     terminal: Option<TerminalMeasure>,
     sampling: bool,
     stats: FusionStats,
+    class: CircuitClass,
+    stab_ops: Option<Vec<StabOp>>,
 }
 
 impl CompiledProgram {
@@ -174,13 +264,35 @@ impl CompiledProgram {
             .validate()
             .map_err(|e| ExecuteError::Invalid(e.to_string()))?;
         let n = program.qubit_count();
-        if n > MAX_SIM_QUBITS {
+        let idle_active = !model.idle_channel().is_none();
+        let noise_free = model.gate_channel(1).is_none()
+            && model.gate_channel(2).is_none()
+            && !idle_active
+            && model.readout_error() == 0.0;
+        // Classify before enforcing the state-vector qubit ceiling: a
+        // Clifford plan is servable by the tableau engines far past it.
+        let stab_ops = if noise_free {
+            build_stab_ops(program, n)
+        } else {
+            None
+        };
+        let class = match &stab_ops {
+            Some(sops) if stab_terminal_shape(sops) => CircuitClass::CliffordTerminal,
+            Some(_) => CircuitClass::Clifford,
+            None => CircuitClass::General,
+        };
+        if class == CircuitClass::General && n > MAX_SIM_QUBITS {
             return Err(ExecuteError::TooManyQubits {
                 needed: n,
                 max: MAX_SIM_QUBITS,
             });
         }
-        let idle_active = !model.idle_channel().is_none();
+        if n > MAX_STAB_QUBITS {
+            return Err(ExecuteError::TooManyQubits {
+                needed: n,
+                max: MAX_STAB_QUBITS,
+            });
+        }
         let all_mask: u64 = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
         let mut ops = Vec::new();
         for ins in program.flat_instructions() {
@@ -211,10 +323,6 @@ impl CompiledProgram {
         if options.fusion && model.gate_channel(1).is_none() && model.gate_channel(2).is_none() {
             ops = fuse_ops(n, ops, &mut stats);
         }
-        let noise_free = model.gate_channel(1).is_none()
-            && model.gate_channel(2).is_none()
-            && !idle_active
-            && model.readout_error() == 0.0;
         let terminal = classify_terminal(&ops);
         let sampling = noise_free
             && match &terminal {
@@ -235,7 +343,20 @@ impl CompiledProgram {
             terminal,
             sampling,
             stats,
+            class,
+            stab_ops,
         })
+    }
+
+    /// Which simulation class the plan belongs to (see [`CircuitClass`]).
+    pub fn circuit_class(&self) -> CircuitClass {
+        self.class
+    }
+
+    /// The stabilizer lowering of the plan, present exactly when
+    /// [`CompiledProgram::circuit_class`] is not [`CircuitClass::General`].
+    pub fn stab_ops(&self) -> Option<&[StabOp]> {
+        self.stab_ops.as_deref()
     }
 
     /// Number of qubits the plan executes on.
@@ -307,6 +428,113 @@ fn classify_terminal(ops: &[PlannedOp]) -> Option<TerminalMeasure> {
             Some(TerminalMeasure::Run(qs))
         }
         _ => None,
+    }
+}
+
+/// Lowers `program` into stabilizer ops, or `None` when any instruction
+/// falls outside the executable Clifford fragment: a non-Clifford gate, a
+/// measured or condition bit at index 64 or above (the measurement
+/// register is a `u64`), or a `measure_all` past 64 qubits. The
+/// [`MAX_STAB_QUBITS`] width cap is enforced by the compiler, not here,
+/// so oversized Clifford programs still classify as Clifford and get an
+/// error naming the stabilizer ceiling.
+fn build_stab_ops(program: &Program, n: usize) -> Option<Vec<StabOp>> {
+    let mut ops = Vec::new();
+    for ins in program.flat_instructions() {
+        if !lower_stab(ins, n, &mut ops) {
+            return None;
+        }
+    }
+    Some(ops)
+}
+
+fn lower_stab(ins: &Instruction, n: usize, ops: &mut Vec<StabOp>) -> bool {
+    match ins {
+        Instruction::PrepZ(q) => ops.push(StabOp::PrepZ(q.index())),
+        Instruction::Gate(g) => match clifford_gate(g) {
+            Ok(Some(cg)) => ops.push(StabOp::Gate(cg)),
+            Ok(None) => {} // identity
+            Err(()) => return false,
+        },
+        Instruction::Cond(bit, g) => {
+            if bit.index() >= 64 {
+                return false;
+            }
+            match clifford_gate(g) {
+                Ok(Some(cg)) => ops.push(StabOp::Cond(bit.index(), cg)),
+                Ok(None) => {}
+                Err(()) => return false,
+            }
+        }
+        Instruction::Measure(q) => {
+            if q.index() >= 64 {
+                return false;
+            }
+            ops.push(StabOp::Measure(q.index()));
+        }
+        Instruction::MeasureAll => {
+            if n > 64 {
+                return false;
+            }
+            ops.push(StabOp::MeasureAll);
+        }
+        Instruction::Bundle(instrs) => {
+            for inner in instrs {
+                if !lower_stab(inner, n, ops) {
+                    return false;
+                }
+            }
+        }
+        // Only meaningful under an idle channel, which already forces the
+        // plan out of the stabilizer classes; a no-op on noise-free state.
+        Instruction::Wait(_) => {}
+        Instruction::Display => {}
+    }
+    true
+}
+
+/// Maps a gate application to its Clifford generator: `Ok(None)` for the
+/// identity, `Err(())` when the gate is outside the Clifford group.
+fn clifford_gate(g: &cqasm::GateApp) -> Result<Option<CliffordGate>, ()> {
+    use cqasm::GateKind::*;
+    let q = |i: usize| g.qubits[i].index();
+    Ok(Some(match g.kind {
+        I => return Ok(None),
+        H => CliffordGate::H(q(0)),
+        S => CliffordGate::S(q(0)),
+        Sdag => CliffordGate::Sdag(q(0)),
+        X => CliffordGate::X(q(0)),
+        Y => CliffordGate::Y(q(0)),
+        Z => CliffordGate::Z(q(0)),
+        X90 => CliffordGate::X90(q(0)),
+        Y90 => CliffordGate::Y90(q(0)),
+        Mx90 => CliffordGate::Mx90(q(0)),
+        My90 => CliffordGate::My90(q(0)),
+        Cnot => CliffordGate::Cnot(q(0), q(1)),
+        Cz => CliffordGate::Cz(q(0), q(1)),
+        Swap => CliffordGate::Swap(q(0), q(1)),
+        _ => return Err(()),
+    }))
+}
+
+/// Whether a stabilizer lowering has the feedback-free shape the
+/// Pauli-frame sampler handles: either a unitary Clifford prefix closed by
+/// one `measure_all`, or gates and per-qubit `measure`s interleaved freely
+/// (at least one measure) with no conditionals or resets. Measures may
+/// land mid-sequence — the scheduler hoists each `measure` next to its
+/// qubit's last gate — but with no feedback the outcomes are still
+/// expressible as one symbolic layout over the whole program.
+fn stab_terminal_shape(ops: &[StabOp]) -> bool {
+    match ops.last() {
+        Some(StabOp::MeasureAll) => ops[..ops.len() - 1]
+            .iter()
+            .all(|op| matches!(op, StabOp::Gate(_))),
+        Some(_) => {
+            ops.iter()
+                .all(|op| matches!(op, StabOp::Gate(_) | StabOp::Measure(_)))
+                && ops.iter().any(|op| matches!(op, StabOp::Measure(_)))
+        }
+        None => false,
     }
 }
 
@@ -979,12 +1207,29 @@ mod tests {
     fn oversized_programs_get_a_typed_error() {
         // Regression: `qubits 70` used to reach the state-vector kernel and
         // abort on an internal assertion (and would try a 2^70 allocation).
-        let p = Program::new(70);
+        // A non-Clifford gate pins the plan to the state-vector engine.
+        let mut p = Program::new(70);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::T, &[0]));
+        p.push_subcircuit(s);
         assert_eq!(
             CompiledProgram::compile(&p, &QubitModel::Perfect),
             Err(ExecuteError::TooManyQubits {
                 needed: 70,
                 max: MAX_SIM_QUBITS
+            })
+        );
+        // A pure-Clifford program is accepted far past the state-vector
+        // ceiling, up to the stabilizer engines' own cap.
+        let clifford = Program::new(70);
+        let plan = CompiledProgram::compile(&clifford, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.circuit_class(), CircuitClass::Clifford);
+        let huge = Program::new(MAX_STAB_QUBITS + 1);
+        assert_eq!(
+            CompiledProgram::compile(&huge, &QubitModel::Perfect),
+            Err(ExecuteError::TooManyQubits {
+                needed: MAX_STAB_QUBITS + 1,
+                max: MAX_STAB_QUBITS
             })
         );
     }
@@ -1289,5 +1534,191 @@ mod tests {
         let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
         assert_eq!(plan.fusion_stats().fused_blocks, 0);
         assert_eq!(plan.ops().len(), 3);
+    }
+
+    fn class_of(p: &Program) -> CircuitClass {
+        CompiledProgram::compile(p, &QubitModel::Perfect)
+            .unwrap()
+            .circuit_class()
+    }
+
+    #[test]
+    fn clifford_terminal_covers_clifford_prefix_plus_terminal_measures() {
+        assert_eq!(class_of(&bell()), CircuitClass::CliffordTerminal);
+        // A trailing per-qubit measure run qualifies too.
+        let run = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure(0)
+            .measure(1)
+            .build();
+        assert_eq!(class_of(&run), CircuitClass::CliffordTerminal);
+    }
+
+    #[test]
+    fn interleaved_feedback_free_measures_stay_terminal_class() {
+        // The scheduler hoists each measure next to its qubit's last gate,
+        // so measures land mid-sequence. Without feedback (no cond, no
+        // prep_z) the frame sampler still applies.
+        let p = Program::builder(3)
+            .gate(GateKind::H, &[0])
+            .gate(GateKind::Cnot, &[0, 1])
+            .measure(1)
+            .gate(GateKind::Cnot, &[0, 2])
+            .measure(0)
+            .measure(2)
+            .build();
+        assert_eq!(class_of(&p), CircuitClass::CliffordTerminal);
+        // A trailing gate after the last measure is still feedback-free.
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .gate(GateKind::X, &[1])
+            .build();
+        assert_eq!(class_of(&p), CircuitClass::CliffordTerminal);
+        // But a mid-sequence measure_all is not frame-sampleable.
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure_all()
+            .gate(GateKind::X, &[1])
+            .measure(1)
+            .build();
+        assert_eq!(class_of(&p), CircuitClass::Clifford);
+    }
+
+    #[test]
+    fn non_clifford_gates_classify_general() {
+        for kind in [
+            GateKind::T,
+            GateKind::Tdag,
+            GateKind::Rz(0.3),
+            GateKind::Rx(0.3),
+            GateKind::Toffoli,
+        ] {
+            let qubits: &[usize] = if kind == GateKind::Toffoli {
+                &[0, 1, 2]
+            } else {
+                &[0]
+            };
+            let p = Program::builder(3).gate(kind, qubits).measure_all().build();
+            assert_eq!(class_of(&p), CircuitClass::General, "{kind:?}");
+        }
+        // Rz at a Clifford angle is still symbolic: the classifier keys on
+        // the gate kind, not the parameter, so it stays General.
+        let quarter = Program::builder(1)
+            .gate(GateKind::Rz(std::f64::consts::FRAC_PI_2), &[0])
+            .measure_all()
+            .build();
+        assert_eq!(class_of(&quarter), CircuitClass::General);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_demotes_terminal_to_clifford() {
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .measure(0)
+            .cond(0, GateKind::X, &[1])
+            .measure_all()
+            .build();
+        let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+        assert_eq!(plan.circuit_class(), CircuitClass::Clifford);
+        assert!(plan.stab_ops().is_some());
+        // prep_z mid-circuit likewise blocks the frame sampler's
+        // terminal shape but keeps the tableau path.
+        let p = Program::builder(2)
+            .gate(GateKind::H, &[0])
+            .prep_z(0)
+            .measure_all()
+            .build();
+        assert_eq!(class_of(&p), CircuitClass::Clifford);
+    }
+
+    #[test]
+    fn register_width_limits_demote_to_general() {
+        // A mid-circuit measure past the 64-bit classical register cannot
+        // lower to StabOps; the plan must stay on the state-vector engine
+        // (and is then over its width ceiling).
+        let mut p = Program::new(70);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[65]));
+        s.push(Instruction::Measure(cqasm::Qubit(65)));
+        p.push_subcircuit(s);
+        assert_eq!(
+            CompiledProgram::compile(&p, &QubitModel::Perfect),
+            Err(ExecuteError::TooManyQubits {
+                needed: 70,
+                max: MAX_SIM_QUBITS
+            })
+        );
+        // measure_all on >64 qubits cannot fill a u64 register either.
+        let mut p = Program::new(70);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::MeasureAll);
+        p.push_subcircuit(s);
+        assert!(CompiledProgram::compile(&p, &QubitModel::Perfect).is_err());
+        // But a terminal measure *run* on low qubits keeps wide Clifford
+        // programs servable.
+        let mut p = Program::new(70);
+        let mut s = cqasm::Subcircuit::new("s");
+        s.push(Instruction::gate(GateKind::H, &[0]));
+        s.push(Instruction::gate(GateKind::Cnot, &[0, 69]));
+        s.push(Instruction::Measure(cqasm::Qubit(0)));
+        p.push_subcircuit(s);
+        assert_eq!(class_of(&p), CircuitClass::CliffordTerminal);
+    }
+
+    #[test]
+    fn noise_models_classify_general() {
+        let noisy = QubitModel::realistic_depolarizing(0.01, 0.01, 0.0);
+        let plan = CompiledProgram::compile(&bell(), &noisy).unwrap();
+        assert_eq!(plan.circuit_class(), CircuitClass::General);
+        assert!(plan.stab_ops().is_none());
+        // Readout error alone also forces the state-vector path.
+        let readout = QubitModel::Realistic(crate::qubit_model::RealisticParams {
+            channel_1q: crate::error_model::ErrorChannel::None,
+            channel_2q: crate::error_model::ErrorChannel::None,
+            readout_error: 0.02,
+            idle_channel: crate::error_model::ErrorChannel::None,
+        });
+        let plan = CompiledProgram::compile(&bell(), &readout).unwrap();
+        assert_eq!(plan.circuit_class(), CircuitClass::General);
+    }
+
+    #[test]
+    fn stab_ops_presence_matches_class() {
+        for (p, class) in [
+            (bell(), CircuitClass::CliffordTerminal),
+            (
+                Program::builder(2)
+                    .gate(GateKind::H, &[0])
+                    .measure(0)
+                    .gate(GateKind::H, &[0])
+                    .measure_all()
+                    .build(),
+                CircuitClass::Clifford,
+            ),
+            (
+                Program::builder(2)
+                    .gate(GateKind::T, &[0])
+                    .measure_all()
+                    .build(),
+                CircuitClass::General,
+            ),
+        ] {
+            let plan = CompiledProgram::compile(&p, &QubitModel::Perfect).unwrap();
+            assert_eq!(plan.circuit_class(), class);
+            assert_eq!(
+                plan.stab_ops().is_some(),
+                class != CircuitClass::General,
+                "{class:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_names_are_stable_wire_tokens() {
+        assert_eq!(CircuitClass::CliffordTerminal.name(), "clifford_terminal");
+        assert_eq!(CircuitClass::Clifford.name(), "clifford");
+        assert_eq!(CircuitClass::General.name(), "general");
     }
 }

@@ -17,16 +17,28 @@ impl fmt::Display for JobId {
 }
 
 /// Which execution engine runs the shots. The dispatcher honours this per
-/// job: both engines consume the same cached compiled plan.
+/// job: every engine consumes the same cached compiled plan.
+///
+/// `StateVector` jobs are really *sweep-family* jobs: the dispatcher
+/// routes each plan to the cheapest sweep engine that is provably exact
+/// for its [`qxsim::CircuitClass`] (Pauli-frame sampler, then tableau,
+/// then state vector). Set [`JobSpec::force_engine`] to pin one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Monte-Carlo trajectory sampling on the state-vector engine (the
-    /// default; scales to [`qxsim::MAX_SIM_QUBITS`] qubits).
+    /// Monte-Carlo trajectory sampling: the default sweep family, with
+    /// automatic stabilizer dispatch for Clifford plans (state-vector
+    /// fallback scales to [`qxsim::MAX_SIM_QUBITS`] qubits).
     #[default]
     StateVector,
     /// Exact channel evolution on the density-matrix engine (small
     /// registers, up to [`qxsim::MAX_DENSITY_QUBITS`] qubits).
     DensityMatrix,
+    /// The CHP tableau executor: Clifford-class plans only, up to
+    /// [`qxsim::MAX_STAB_QUBITS`] qubits.
+    Tableau,
+    /// The bit-packed Pauli-frame sampler: terminally-measured
+    /// Clifford plans only, up to [`qxsim::MAX_STAB_QUBITS`] qubits.
+    PauliFrame,
 }
 
 impl Engine {
@@ -35,14 +47,19 @@ impl Engine {
         match self {
             Engine::StateVector => "statevector",
             Engine::DensityMatrix => "density",
+            Engine::Tableau => "tableau",
+            Engine::PauliFrame => "pauli_frame",
         }
     }
 
-    /// Parses a wire name (`"statevector"` / `"density"`).
+    /// Parses a wire name (`"statevector"` / `"density"` / `"tableau"` /
+    /// `"pauli_frame"`).
     pub fn parse(name: &str) -> Option<Engine> {
         match name {
             "statevector" => Some(Engine::StateVector),
             "density" => Some(Engine::DensityMatrix),
+            "tableau" => Some(Engine::Tableau),
+            "pauli_frame" => Some(Engine::PauliFrame),
             _ => None,
         }
     }
@@ -162,6 +179,11 @@ pub struct JobSpec {
     pub deadline_ms: Option<u64>,
     /// Which engine executes the shots.
     pub engine: Engine,
+    /// Pins a specific engine, bypassing automatic class-based dispatch.
+    /// `None` (the default) lets the dispatcher pick; a forced engine
+    /// that cannot execute the plan fails the job with a typed
+    /// [`ServiceError::Execute`] instead of running elsewhere.
+    pub force_engine: Option<Engine>,
     /// The qubit model to simulate under.
     pub qubits: QubitKind,
     /// Retry policy for transient failures.
@@ -181,6 +203,7 @@ impl JobSpec {
             priority: 0,
             deadline_ms: None,
             engine: Engine::StateVector,
+            force_engine: None,
             qubits: QubitKind::Perfect,
             retry: RetryPolicy::none(),
             faults: JobFaults::none(),
@@ -214,6 +237,13 @@ impl JobSpec {
     /// Sets the execution engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Pins the execution engine, bypassing automatic dispatch (see
+    /// [`JobSpec::force_engine`]).
+    pub fn with_force_engine(mut self, engine: Engine) -> Self {
+        self.force_engine = Some(engine);
         self
     }
 
@@ -254,6 +284,13 @@ pub struct JobOutcome {
     /// Execution attempts this job took (1 = succeeded first try; more
     /// means transient failures were retried).
     pub attempts: u32,
+    /// Wire name of the engine that actually executed the shots, after
+    /// automatic dispatch (`"state_vector"` / `"tableau"` /
+    /// `"pauli_frame"` / `"density"`).
+    pub engine: &'static str,
+    /// Circuit class of the compiled plan (`"clifford_terminal"` /
+    /// `"clifford"` / `"general"`).
+    pub class: &'static str,
 }
 
 /// Where a job is in its lifecycle.
@@ -391,7 +428,12 @@ mod tests {
 
     #[test]
     fn engine_names_round_trip() {
-        for e in [Engine::StateVector, Engine::DensityMatrix] {
+        for e in [
+            Engine::StateVector,
+            Engine::DensityMatrix,
+            Engine::Tableau,
+            Engine::PauliFrame,
+        ] {
             assert_eq!(Engine::parse(e.name()), Some(e));
         }
         assert_eq!(Engine::parse("quantum-annealer"), None);
@@ -405,12 +447,14 @@ mod tests {
             .with_priority(3)
             .with_deadline_ms(500)
             .with_engine(Engine::DensityMatrix)
+            .with_force_engine(Engine::Tableau)
             .with_qubits(QubitKind::real_transmon());
         assert_eq!(spec.shots, 42);
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.priority, 3);
         assert_eq!(spec.deadline_ms, Some(500));
         assert_eq!(spec.engine, Engine::DensityMatrix);
+        assert_eq!(spec.force_engine, Some(Engine::Tableau));
     }
 
     #[test]

@@ -235,6 +235,9 @@ struct ShardTask {
     shards: usize,
     exec_started: Instant,
     started_at: Instant,
+    /// Resolved engine and circuit class, for the settled outcome.
+    engine: &'static str,
+    class: &'static str,
     merge: Mutex<ShardMerge>,
 }
 
@@ -520,6 +523,7 @@ impl ServiceHandle {
             h.write(&spec.seed.to_le_bytes());
             h.write(&spec.shots.to_le_bytes());
             h.write_field(spec.engine.name());
+            h.write_field(spec.force_engine.map_or("auto", |e| e.name()));
             // Retry policy and fault injection change execution behaviour,
             // so jobs differing in them must never coalesce.
             h.write(&spec.retry.max_attempts.to_le_bytes());
@@ -1032,6 +1036,8 @@ fn lead_step(shared: &Shared, id: JobId) -> StepOutcome {
                     shards: 1,
                     started_at: claim.started_at,
                     exec_started: claim.started_at,
+                    engine: "none",
+                    class: "unknown",
                 },
             );
             StepOutcome::Panicked
@@ -1160,6 +1166,8 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
                 shards: 1,
                 started_at: claim.started_at,
                 exec_started: claim.started_at,
+                engine: "none",
+                class: "unknown",
             },
         );
         return RunOutcome::Finished;
@@ -1202,27 +1210,67 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
                     shards: 1,
                     started_at: claim.started_at,
                     exec_started: claim.started_at,
+                    engine: "none",
+                    class: "unknown",
                 },
             );
             return RunOutcome::Finished;
         }
     };
 
-    // Execute. Shard large state-vector sweeps across the pool.
-    let sim = Simulator::with_model(spec.qubits.to_model()).with_seed(spec.seed);
+    // Execute. Auto dispatch routes each sweep to the cheapest engine
+    // that is exact for the plan's circuit class; `force_engine` pins
+    // one, and a pinned engine that cannot run the plan is a typed,
+    // non-transient failure (pre-flighted here so sharded sweeps fail
+    // the same way unsharded ones do). Large sweeps shard across the
+    // pool regardless of which sweep engine runs them.
+    let select = match spec.force_engine {
+        None | Some(Engine::DensityMatrix) => qxsim::EngineSelect::Auto,
+        Some(Engine::StateVector) => qxsim::EngineSelect::StateVector,
+        Some(Engine::Tableau) => qxsim::EngineSelect::Tableau,
+        Some(Engine::PauliFrame) => qxsim::EngineSelect::PauliFrame,
+    };
+    let sim = Simulator::with_model(spec.qubits.to_model())
+        .with_seed(spec.seed)
+        .with_engine_select(select);
+    let density =
+        spec.engine == Engine::DensityMatrix || spec.force_engine == Some(Engine::DensityMatrix);
+    let class = artifact.plan.circuit_class().name();
     let exec_started = Instant::now();
-    let shards = if spec.engine == Engine::StateVector
-        && shared.config.workers > 1
-        && spec.shots >= shared.config.shard_min_shots
-    {
-        shared
-            .config
-            .workers
-            .min(usize::try_from(spec.shots / shared.config.shard_min_shots.max(1)).unwrap_or(1))
+    let engine = if density {
+        "density"
     } else {
-        1
-    }
-    .max(1);
+        match sim.plan_engine(&artifact.plan) {
+            Ok(resolved) => resolved.name(),
+            Err(e) => {
+                settle_batch(
+                    shared,
+                    &claim.batch,
+                    Err(execute_failure(&e)),
+                    ExecMeta {
+                        cache_hit,
+                        compile_us,
+                        shards: 1,
+                        started_at: claim.started_at,
+                        exec_started,
+                        engine: "none",
+                        class,
+                    },
+                );
+                return RunOutcome::Finished;
+            }
+        }
+    };
+    shared.telemetry.incr_labeled("service.engine", engine, 1);
+    let shards =
+        if !density && shared.config.workers > 1 && spec.shots >= shared.config.shard_min_shots {
+            shared.config.workers.min(
+                usize::try_from(spec.shots / shared.config.shard_min_shots.max(1)).unwrap_or(1),
+            )
+        } else {
+            1
+        }
+        .max(1);
     if shards > 1 {
         let task = Arc::new(ShardTask {
             sim,
@@ -1233,6 +1281,8 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
             shards,
             exec_started,
             started_at: claim.started_at,
+            engine,
+            class,
             merge: Mutex::new(ShardMerge {
                 histogram: ShotHistogram::new(),
                 remaining: shards,
@@ -1270,9 +1320,10 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
             hi: spec.shots / shards as u64,
         };
     }
-    let result = match spec.engine {
-        Engine::StateVector => sim.run_shots_planned(&artifact.plan, spec.shots, 1),
-        Engine::DensityMatrix => sim.run_density_planned(&artifact.plan, spec.shots),
+    let result = if density {
+        sim.run_density_planned(&artifact.plan, spec.shots)
+    } else {
+        sim.run_shots_planned(&artifact.plan, spec.shots, 1)
     }
     .map_err(|e| execute_failure(&e));
     settle_batch(
@@ -1285,6 +1336,8 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
             shards: 1,
             started_at: claim.started_at,
             exec_started,
+            engine,
+            class,
         },
     );
     RunOutcome::Finished
@@ -1409,6 +1462,8 @@ fn shard_done(
                 shards: task.shards,
                 started_at: task.started_at,
                 exec_started: task.exec_started,
+                engine: task.engine,
+                class: task.class,
             },
         );
     }
@@ -1423,6 +1478,11 @@ struct ExecMeta {
     shards: usize,
     started_at: Instant,
     exec_started: Instant,
+    /// Wire name of the engine that executed the shots (`"none"` when
+    /// settlement happened before dispatch).
+    engine: &'static str,
+    /// Circuit class of the compiled plan (`"unknown"` before compile).
+    class: &'static str,
 }
 
 /// Delivers one execution's result to every job in its batch: success
@@ -1515,6 +1575,8 @@ fn settle_batch(
                         wait_us,
                         exec_us,
                         attempts: record.attempts,
+                        engine: meta.engine,
+                        class: meta.class,
                     }));
                     state.totals.completed += 1;
                     completed += 1;
@@ -1681,11 +1743,12 @@ mod tests {
 
     const BELL: &str = "qubits 2\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n";
 
-    /// A circuit the sampling fast path cannot serve (mid-circuit
-    /// measurement forces per-shot interpretation), used to keep the
-    /// single worker busy while the test arranges the queue behind it.
+    /// A circuit the fast paths cannot serve (the T gate keeps it off
+    /// the stabilizer engines; mid-circuit measurement forces per-shot
+    /// state-vector interpretation), used to keep the single worker busy
+    /// while the test arranges the queue behind it.
     fn slow_circuit() -> String {
-        let mut s = String::from("qubits 12\n");
+        let mut s = String::from("qubits 12\nt q[0]\n");
         for q in 0..12 {
             s.push_str(&format!("h q[{q}]\n"));
         }
@@ -1915,6 +1978,114 @@ mod tests {
         assert_eq!(outcome.shards, 1, "density jobs must never shard");
         assert_eq!(outcome.histogram.shots(), 2000);
         service.shutdown();
+    }
+
+    #[test]
+    fn clifford_jobs_dispatch_to_stabilizer_engines() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        // Terminal-measured Clifford -> Pauli-frame sampler.
+        let bell = wait(&handle, handle.submit(JobSpec::new(BELL)).unwrap());
+        assert_eq!(bell.engine, "pauli_frame");
+        assert_eq!(bell.class, "clifford_terminal");
+        assert_eq!(bell.histogram.count(0b01) + bell.histogram.count(0b10), 0);
+        // Mid-circuit measurement -> tableau executor.
+        let mid = "qubits 2\nh q[0]\nmeasure q[0]\nc-x b[0], q[1]\nmeasure_all\n";
+        let mid = wait(&handle, handle.submit(JobSpec::new(mid)).unwrap());
+        assert_eq!(mid.engine, "tableau");
+        assert_eq!(mid.class, "clifford");
+        // A T gate pins the job to the state-vector engine.
+        let t = wait(
+            &handle,
+            handle
+                .submit(JobSpec::new("qubits 1\nt q[0]\nmeasure_all\n"))
+                .unwrap(),
+        );
+        assert_eq!(t.engine, "state_vector");
+        assert_eq!(t.class, "general");
+        service.shutdown();
+    }
+
+    #[test]
+    fn forced_engine_mismatch_is_a_typed_failure() {
+        let service = single_worker(16);
+        let handle = service.handle();
+        let forced =
+            JobSpec::new("qubits 1\nt q[0]\nmeasure_all\n").with_force_engine(Engine::Tableau);
+        let id = handle.submit(forced).unwrap();
+        match handle.wait(id, Duration::from_secs(10)) {
+            Err(ServiceError::Execute(msg)) => {
+                assert!(msg.contains("engine mismatch"), "unexpected message: {msg}");
+            }
+            other => panic!("expected a typed execute error, got {other:?}"),
+        }
+        // Forcing the frame sampler onto a mid-circuit-measurement plan
+        // fails the same way; forcing a matching engine succeeds.
+        let mid = "qubits 2\nh q[0]\nmeasure q[0]\nc-x b[0], q[1]\nmeasure_all\n";
+        let id = handle
+            .submit(JobSpec::new(mid).with_force_engine(Engine::PauliFrame))
+            .unwrap();
+        assert!(matches!(
+            handle.wait(id, Duration::from_secs(10)),
+            Err(ServiceError::Execute(_))
+        ));
+        let ok = wait(
+            &handle,
+            handle
+                .submit(JobSpec::new(mid).with_force_engine(Engine::Tableau))
+                .unwrap(),
+        );
+        assert_eq!(ok.engine, "tableau");
+        service.shutdown();
+    }
+
+    /// A GHZ chain over `n` qubits with a terminal measure run on the
+    /// first `k`.
+    fn ghz_source(n: usize, k: usize) -> String {
+        let mut s = format!("qubits {n}\nh q[0]\n");
+        for q in 0..n - 1 {
+            s.push_str(&format!("cnot q[{q}], q[{}]\n", q + 1));
+        }
+        for q in 0..k {
+            s.push_str(&format!("measure q[{q}]\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn thousand_qubit_ghz_serves_identically_at_any_worker_count() {
+        // Far past MAX_SIM_QUBITS = 30: only the stabilizer path can
+        // serve this, and its histogram must be bit-identical whether
+        // the sweep runs unsharded or sharded 2 or 4 ways.
+        let spec = JobSpec::new(ghz_source(1000, 32))
+            .with_seed(5)
+            .with_shots(2000);
+        let mut histograms = Vec::new();
+        for workers in [1, 2, 4] {
+            let service = Service::with_config(ServiceConfig {
+                workers,
+                shard_min_shots: 500,
+                ..ServiceConfig::default()
+            });
+            let handle = service.handle();
+            let outcome = wait(&handle, handle.submit(spec.clone()).unwrap());
+            assert_eq!(outcome.engine, "pauli_frame");
+            assert_eq!(outcome.class, "clifford_terminal");
+            assert_eq!(outcome.histogram.shots(), 2000);
+            if workers > 1 {
+                assert!(outcome.shards > 1, "expected a sharded sweep");
+            }
+            let all_ones = (1u64 << 32) - 1;
+            assert_eq!(
+                outcome.histogram.count(0) + outcome.histogram.count(all_ones),
+                2000,
+                "GHZ must only ever measure all-zeros or all-ones"
+            );
+            histograms.push(outcome.histogram.clone());
+            service.shutdown();
+        }
+        assert_eq!(histograms[0], histograms[1]);
+        assert_eq!(histograms[0], histograms[2]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! | verb     | request fields                                        | response |
 //! |----------|-------------------------------------------------------|----------|
-//! | `submit` | `circuit` (required), `shots`, `seed`, `priority`, `deadline_ms`, `engine` (`statevector`/`density`), `qubits` (`perfect`/`transmon`) | `{"ok":true,"job":N}` |
+//! | `submit` | `circuit` (required), `shots`, `seed`, `priority`, `deadline_ms`, `engine` (`statevector`/`density`), `force_engine` (`statevector`/`tableau`/`pauli_frame`/`density` — pins the engine, bypassing class-based dispatch), `qubits` (`perfect`/`transmon`) | `{"ok":true,"job":N}` |
 //! | `status` | `job`                                                 | `{"ok":true,"job":N,"status":"queued"...}` |
 //! | `result` | `job`, `timeout_ms` (default 30000)                   | status + `histogram` + cache/batch/latency fields |
 //! | `cancel` | `job`                                                 | `{"ok":true,"cancelled":bool}` |
@@ -118,6 +118,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 spec.engine =
                     Engine::parse(engine).ok_or_else(|| format!("unknown engine {engine:?}"))?;
             }
+            if let Some(forced) = v.get("force_engine").and_then(JsonValue::as_str) {
+                spec.force_engine = Some(
+                    Engine::parse(forced)
+                        .ok_or_else(|| format!("unknown force_engine {forced:?}"))?,
+                );
+            }
             if let Some(qubits) = v.get("qubits").and_then(JsonValue::as_str) {
                 spec.qubits = match qubits {
                     "perfect" => QubitKind::Perfect,
@@ -184,6 +190,9 @@ pub fn encode_request(request: &Request) -> String {
             );
             if let Some(deadline) = spec.deadline_ms {
                 out.push_str(&format!(",\"deadline_ms\":{deadline}"));
+            }
+            if let Some(forced) = spec.force_engine {
+                out.push_str(&format!(",\"force_engine\":\"{}\"", forced.name()));
             }
             match spec.qubits {
                 QubitKind::Perfect => out.push_str(",\"qubits\":\"perfect\""),
@@ -373,7 +382,7 @@ pub fn handle_line(handle: &ServiceHandle, line: &str) -> String {
                         "{{\"ok\":true,\"job\":{},\"status\":\"done\",",
                         "\"histogram\":{},\"shots\":{},\"cache_hit\":{},",
                         "\"batch_size\":{},\"shards\":{},\"wait_us\":{},\"exec_us\":{},",
-                        "\"attempts\":{}}}"
+                        "\"attempts\":{},\"engine\":\"{}\",\"class\":\"{}\"}}"
                     ),
                     id.0,
                     histogram_json(&outcome.histogram),
@@ -384,6 +393,8 @@ pub fn handle_line(handle: &ServiceHandle, line: &str) -> String {
                     outcome.wait_us,
                     outcome.exec_us,
                     outcome.attempts,
+                    outcome.engine,
+                    outcome.class,
                 ),
                 Err(err) => error_response(error_kind(&err), &err.to_string()),
             }
@@ -429,6 +440,22 @@ mod tests {
     }
 
     #[test]
+    fn parses_force_engine() {
+        let line = concat!(
+            "{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nh q[0]\\n\",",
+            "\"force_engine\":\"tableau\"}"
+        );
+        let Request::Submit(spec) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.force_engine, Some(Engine::Tableau));
+        assert!(parse_request(
+            "{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nh q[0]\\n\",\"force_engine\":\"abacus\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
     fn submit_defaults_match_jobspec_defaults() {
         let line = "{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nh q[0]\\n\"}";
         let Request::Submit(spec) = parse_request(line).unwrap() else {
@@ -468,6 +495,7 @@ mod tests {
         spec.priority = 3;
         spec.deadline_ms = Some(500);
         spec.engine = Engine::DensityMatrix;
+        spec.force_engine = Some(Engine::PauliFrame);
         spec.qubits = QubitKind::real_transmon();
         for req in [
             Request::Submit(spec),

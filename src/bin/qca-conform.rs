@@ -4,19 +4,27 @@
 //! qca-conform --seed 7 --cases 200       # run a campaign; exit 0 iff all engines agree
 //! qca-conform --replay 81985529216486895 # re-run one case by its seed, verbosely
 //! qca-conform --cases 200 --fail-file failing-seeds.txt
+//! qca-conform --cases 200 --clifford-only --min-tableau 200 --min-frame 80
 //! ```
 //!
 //! Each case is a randomly generated cQASM program (including mid-circuit
-//! measurement and binary-controlled gates) executed through every
-//! state-vector engine in the stack — the independent reference oracle,
-//! the interpreter, the compiled plan, and sharded shot ranges — which
-//! must produce bit-identical histograms, plus a statistical check of the
+//! measurement, binary-controlled gates, resets and stabilizer-code ESM
+//! rounds) executed through every engine in the stack — the independent
+//! reference oracle, the interpreter, the compiled plan, sharded shot
+//! ranges, and (on Clifford-class cases) the CHP tableau executor and
+//! Pauli-frame sampler with 1/2/4-worker shard splits — which must
+//! produce bit-identical histograms, plus a statistical check of the
 //! density-matrix engine where it applies. Campaigns are bit-reproducible:
 //! a failing case prints its seed, `--replay <seed>` reproduces it
 //! exactly, and `--fail-file` writes the failing seeds one per line (for
 //! CI artifact upload).
+//!
+//! `--clifford-only` restricts generation to the Clifford-family shapes;
+//! `--min-tableau` / `--min-frame` are coverage floors: the campaign fails
+//! if fewer cases exercised the corresponding stabilizer engine, so CI
+//! cannot silently stop covering the fast paths.
 
-use qca_core::conform::{run_campaign, run_case};
+use qca_core::conform::{run_campaign_filtered, run_case};
 use std::process::ExitCode;
 
 struct Args {
@@ -24,6 +32,9 @@ struct Args {
     cases: u64,
     replay: Option<u64>,
     fail_file: Option<String>,
+    clifford_only: bool,
+    min_tableau: u64,
+    min_frame: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +43,9 @@ fn parse_args() -> Result<Args, String> {
         cases: 200,
         replay: None,
         fail_file: None,
+        clifford_only: false,
+        min_tableau: 0,
+        min_frame: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,8 +61,11 @@ fn parse_args() -> Result<Args, String> {
             "--cases" => args.cases = parse("--cases", take("--cases")?)?,
             "--replay" => args.replay = Some(parse("--replay", take("--replay")?)?),
             "--fail-file" => args.fail_file = Some(take("--fail-file")?),
+            "--clifford-only" => args.clifford_only = true,
+            "--min-tableau" => args.min_tableau = parse("--min-tableau", take("--min-tableau")?)?,
+            "--min-frame" => args.min_frame = parse("--min-frame", take("--min-frame")?)?,
             "--help" | "-h" => return Err(
-                "usage: qca-conform [--seed N] [--cases M] [--replay CASE_SEED] [--fail-file PATH]"
+                "usage: qca-conform [--seed N] [--cases M] [--replay CASE_SEED] [--fail-file PATH] [--clifford-only] [--min-tableau N] [--min-frame N]"
                     .to_string(),
             ),
             other => return Err(format!("unknown flag `{other}`")),
@@ -84,13 +101,17 @@ fn main() -> ExitCode {
         };
     }
 
-    let report = run_campaign(args.seed, args.cases);
+    let report = run_campaign_filtered(args.seed, args.cases, args.clifford_only);
     println!(
         "conformance campaign: seed {} cases {} -> {} passed, {} diverged",
         args.seed,
         report.cases,
         report.passed,
         report.failures.len()
+    );
+    println!(
+        "stabilizer coverage : tableau {} cases, pauli-frame {} cases",
+        report.tableau_cases, report.frame_cases
     );
     for case in &report.failures {
         println!(
@@ -115,7 +136,22 @@ fn main() -> ExitCode {
             println!("failing seeds written to {path}");
         }
     }
-    if report.failures.is_empty() {
+    let mut floor_failed = false;
+    if report.tableau_cases < args.min_tableau {
+        println!(
+            "COVERAGE FLOOR: only {} tableau cases (< {})",
+            report.tableau_cases, args.min_tableau
+        );
+        floor_failed = true;
+    }
+    if report.frame_cases < args.min_frame {
+        println!(
+            "COVERAGE FLOOR: only {} pauli-frame cases (< {})",
+            report.frame_cases, args.min_frame
+        );
+        floor_failed = true;
+    }
+    if report.failures.is_empty() && !floor_failed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -168,7 +168,24 @@ fn circuit_mix(seed: u64, draws: usize) -> Vec<(String, u64)> {
         s.push_str("cnot q[0], q[2]\ncnot q[1], q[3]\nmeasure_all\n");
         s
     };
-    let shapes = [bell, ghz3, ghz5, rotations];
+    // Clifford shapes targeting the stabilizer dispatch: a GHZ chain
+    // beyond the state-vector qubit ceiling (Pauli-frame engine only) and
+    // a teleportation circuit whose measurement feedback pins the
+    // per-shot tableau executor.
+    let ghz48 = {
+        let mut s = String::from("qubits 48\nh q[0]\n");
+        for q in 0..47 {
+            s.push_str(&format!("cnot q[{q}], q[{}]\n", q + 1));
+        }
+        for q in 0..8 {
+            s.push_str(&format!("measure q[{q}]\n"));
+        }
+        s
+    };
+    let teleport = "qubits 3\nh q[1]\ncnot q[1], q[2]\ncnot q[0], q[1]\nh q[0]\n\
+                    measure q[0]\nmeasure q[1]\nc-x b[1], q[2]\nc-z b[0], q[2]\nmeasure_all\n"
+        .to_string();
+    let shapes = [bell, ghz3, ghz5, rotations, ghz48, teleport];
     let mut rng = seed;
     (0..draws)
         .map(|_| {

@@ -5,7 +5,7 @@
 use cqasm::{Error, GateKind, Instruction, Program};
 use openql::{Compiler, Platform};
 use proptest::prelude::*;
-use qxsim::{ExecuteError, Simulator, MAX_SIM_QUBITS};
+use qxsim::{ExecuteError, Simulator, MAX_SIM_QUBITS, MAX_STAB_QUBITS};
 
 const QUBITS: usize = 4;
 
@@ -141,11 +141,30 @@ fn measure_all_only_program_executes_cleanly() {
 
 #[test]
 fn oversized_program_is_rejected_not_aborted() {
-    let p = Program::new(MAX_SIM_QUBITS + 40);
+    // A non-Clifford gate keeps the plan on the state-vector engine,
+    // where the dense-allocation guard must still fire.
+    let n = MAX_SIM_QUBITS + 40;
+    let p = Program::parse(&format!("qubits {n}\nt q[0]\n")).expect("parses");
     match Simulator::perfect().run_shots(&p, 1) {
         Err(ExecuteError::TooManyQubits { needed, max }) => {
-            assert_eq!(needed, MAX_SIM_QUBITS + 40);
+            assert_eq!(needed, n);
             assert_eq!(max, MAX_SIM_QUBITS);
+        }
+        other => panic!("expected TooManyQubits, got {other:?}"),
+    }
+
+    // The same register with only Clifford structure now dispatches to
+    // the stabilizer engine and serves fine…
+    let clifford = Program::new(n);
+    let result = Simulator::perfect().run_shots(&clifford, 1).expect("runs");
+    assert_eq!(result.shots(), 1);
+
+    // …but the stabilizer ceiling is still enforced.
+    let huge = Program::new(MAX_STAB_QUBITS + 1);
+    match Simulator::perfect().run_shots(&huge, 1) {
+        Err(ExecuteError::TooManyQubits { needed, max }) => {
+            assert_eq!(needed, MAX_STAB_QUBITS + 1);
+            assert_eq!(max, MAX_STAB_QUBITS);
         }
         other => panic!("expected TooManyQubits, got {other:?}"),
     }

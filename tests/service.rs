@@ -425,9 +425,10 @@ fn compile_failures_are_never_retried() {
         ..ServiceConfig::default()
     });
     let handle = service.handle();
-    // Parses fine but exceeds the simulator's qubit capacity at plan
-    // compile time.
-    let spec = JobSpec::new("qubits 31\nh q[0]\nmeasure_all\n")
+    // Parses fine but exceeds the dense simulator's qubit capacity at
+    // plan compile time (the `t` keeps it off the stabilizer engines,
+    // which would happily serve 31 Clifford qubits).
+    let spec = JobSpec::new("qubits 31\nt q[0]\nmeasure_all\n")
         .with_shots(10)
         .with_retry(RetryPolicy::with_attempts(4, 0));
     match handle.wait(handle.submit(spec).unwrap(), Duration::from_secs(30)) {

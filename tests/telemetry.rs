@@ -5,7 +5,7 @@
 use cqasm::Program;
 use qca_core::telemetry::{json, validate_chrome_trace, Snapshot};
 use qca_core::{ExecutionBackend, FullStack, QubitKind, Telemetry};
-use qxsim::Simulator;
+use qxsim::{EngineSelect, Simulator};
 
 fn bell() -> Program {
     Program::parse("version 1.0\nqubits 2\n.bell\nh q[0]\ncnot q[0], q[1]\nmeasure_all\n")
@@ -96,8 +96,11 @@ fn counters_are_bit_identical_across_thread_counts() {
         let telemetry = Telemetry::enabled();
         // Disable the terminal-sampling shortcut so the threaded shot loop
         // (and its per-worker kernel-dispatch counters) actually runs.
+        // Pin the state-vector engine: the GHZ chain is Clifford and
+        // would otherwise auto-dispatch to the stabilizer fast path.
         let sim = Simulator::perfect()
             .with_seed(0xD15C0)
+            .with_engine_select(EngineSelect::StateVector)
             .with_sampling_fast_path(false)
             .with_telemetry(telemetry.clone());
         let hist = sim
@@ -193,8 +196,11 @@ fn metrics_report_round_trips_through_the_json_parser() {
 fn sampling_fast_path_matches_full_resimulation_bell() {
     let program = bell();
     let telemetry = Telemetry::enabled();
+    // Bell is Clifford; pin the state-vector engine so the sampling
+    // fast path (not the stabilizer sampler) is what gets exercised.
     let fast = Simulator::perfect()
         .with_seed(0xB311)
+        .with_engine_select(EngineSelect::StateVector)
         .with_telemetry(telemetry.clone());
     let slow = fast.clone().with_sampling_fast_path(false);
     let fast_hist = fast.run_shots(&program, 2000).expect("fast path runs");
@@ -213,6 +219,7 @@ fn sampling_fast_path_matches_full_resimulation_ghz16() {
     let telemetry = Telemetry::enabled();
     let fast = Simulator::perfect()
         .with_seed(0x61216)
+        .with_engine_select(EngineSelect::StateVector)
         .with_telemetry(telemetry.clone());
     let slow = fast.clone().with_sampling_fast_path(false);
     let fast_hist = fast.run_shots(&program, 200).expect("fast path runs");
