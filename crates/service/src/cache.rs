@@ -9,6 +9,7 @@
 //! runs keep theirs.
 
 use crate::hash::Fnv64;
+use crate::snapshot::{self, SnapshotEntry};
 use openql::{CompileReport, CompilerOptions, Mapping, Platform};
 use qca_core::QubitKind;
 use qca_telemetry::Telemetry;
@@ -27,6 +28,12 @@ pub struct CompiledArtifact {
     pub final_mapping: Option<Mapping>,
     /// The lowered qxsim execution plan, replayed per shot.
     pub plan: qxsim::CompiledProgram,
+    /// The canonical cQASM source this artifact was compiled from —
+    /// what cache snapshots persist (recompiling the source reproduces
+    /// the plan bit-for-bit).
+    pub source: String,
+    /// The qubit model the plan was lowered for.
+    pub qubits: QubitKind,
 }
 
 /// Computes the content address of a job's compiled artifact.
@@ -158,6 +165,35 @@ impl PlanCache {
         }
     }
 
+    /// Exports every resident artifact's source for an on-disk snapshot,
+    /// least-recently-used first (so a reload that overflows capacity
+    /// keeps the hottest entries). Returns the entries plus how many
+    /// residents were skipped because their qubit model has no snapshot
+    /// representation.
+    pub fn export_entries(&self) -> (Vec<SnapshotEntry>, usize) {
+        let state = self.lock();
+        let mut by_stamp: Vec<(&u64, &(Arc<CompiledArtifact>, u64))> =
+            state.entries.iter().collect();
+        by_stamp.sort_by_key(|(_, (_, stamp))| *stamp);
+        let mut skipped = 0usize;
+        let entries = by_stamp
+            .into_iter()
+            .filter_map(|(key, (artifact, _))| {
+                if snapshot::snapshot_representable(&artifact.qubits) {
+                    Some(SnapshotEntry {
+                        key: *key,
+                        qubits: artifact.qubits,
+                        source: artifact.source.clone(),
+                    })
+                } else {
+                    skipped += 1;
+                    None
+                }
+            })
+            .collect();
+        (entries, skipped)
+    }
+
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
         let state = self.lock();
@@ -188,6 +224,7 @@ mod tests {
 
     fn artifact(text: &str) -> Arc<CompiledArtifact> {
         let program = cqasm::Program::parse(text).unwrap();
+        let canonical = program.to_string();
         let out = openql::Compiler::new(Platform::perfect(program.qubit_count()))
             .compile_cqasm(&program)
             .unwrap();
@@ -197,6 +234,8 @@ mod tests {
             report: out.report,
             final_mapping: out.final_mapping,
             plan,
+            source: canonical,
+            qubits: QubitKind::Perfect,
         })
     }
 

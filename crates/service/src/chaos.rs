@@ -60,10 +60,22 @@ pub enum Scenario {
     MalformedFrame,
     /// A client submits and vanishes; the job still completes.
     ClientDisconnect,
+    /// Tenant flooders hammer the admission rings while another thread
+    /// calls `shutdown_now`: every accepted job settles typed, every
+    /// rejection is typed backpressure — nothing is stranded in a ring.
+    TenantFloodShutdown,
+    /// A manual cache-snapshot save races `shutdown_now`'s own save; the
+    /// file that survives is either loadable or a typed decode error on
+    /// the next start — never a panic, never a half-warm cache.
+    SnapshotShutdownRace,
+    /// Admission into a full queue while the pool respawns a panicked
+    /// worker: overflow draws typed `QueueFull`, everything admitted
+    /// settles, and the pool heals.
+    FullRingRespawn,
 }
 
 /// All scenarios, in the order the campaign cycles through them.
-pub const SCENARIOS: [Scenario; 9] = [
+pub const SCENARIOS: [Scenario; 12] = [
     Scenario::WorkerPanicHeals,
     Scenario::TransientRetry,
     Scenario::RetryExhausted,
@@ -73,6 +85,9 @@ pub const SCENARIOS: [Scenario; 9] = [
     Scenario::OversizedFrame,
     Scenario::MalformedFrame,
     Scenario::ClientDisconnect,
+    Scenario::TenantFloodShutdown,
+    Scenario::SnapshotShutdownRace,
+    Scenario::FullRingRespawn,
 ];
 
 /// One case's verdict.
@@ -142,6 +157,9 @@ pub fn run_case(seed: u64) -> CaseReport {
         Scenario::OversizedFrame => oversized_frame(&mut rng),
         Scenario::MalformedFrame => malformed_frame(&mut rng),
         Scenario::ClientDisconnect => client_disconnect(&mut rng),
+        Scenario::TenantFloodShutdown => tenant_flood_shutdown(&mut rng),
+        Scenario::SnapshotShutdownRace => snapshot_shutdown_race(&mut rng, seed),
+        Scenario::FullRingRespawn => full_ring_respawn(&mut rng),
     };
     CaseReport {
         seed,
@@ -573,6 +591,205 @@ fn client_disconnect(rng: &mut StdRng) -> Option<String> {
     server.stop();
     service.shutdown();
     verdict.err().or(follow_up)
+}
+
+fn tenant_flood_shutdown(rng: &mut StdRng) -> Option<String> {
+    use crate::tenant::TenantConfig;
+    let service = Service::with_config(ServiceConfig {
+        workers: rng.gen_range(1..=2),
+        queue_capacity: rng.gen_range(8..32),
+        tenants: vec![
+            TenantConfig::new("flood", 1),
+            TenantConfig::new("vip", 4),
+        ],
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    // Two flooder threads hammer the "flood" ring while the main thread
+    // mixes in vip work and then yanks the service down mid-flood.
+    let flooders: Vec<_> = (0..2)
+        .map(|t| {
+            let handle = handle.clone();
+            let mut spec = base_spec(rng);
+            std::thread::spawn(move || {
+                let mut admitted = Vec::new();
+                for i in 0..30_u64 {
+                    spec.seed = spec.seed.wrapping_add(t * 1000 + i);
+                    match handle.submit(spec.clone().with_tenant("flood")) {
+                        Ok(id) => admitted.push(id),
+                        // Backpressure and shutdown are the *expected*
+                        // typed rejections under flood; anything else is
+                        // a scenario failure.
+                        Err(ServiceError::QueueFull { .. }
+                        | ServiceError::TenantQuotaExceeded { .. }
+                        | ServiceError::ShuttingDown) => {}
+                        Err(other) => return Err(format!("flood submit: {other}")),
+                    }
+                }
+                Ok(admitted)
+            })
+        })
+        .collect();
+    let mut vip_ids = Vec::new();
+    for _ in 0..rng.gen_range(2..6) {
+        match handle.submit(base_spec(rng).with_tenant("vip")) {
+            Ok(id) => vip_ids.push(id),
+            Err(ServiceError::QueueFull { .. } | ServiceError::ShuttingDown) => {}
+            Err(e) => return Some(format!("vip submit: {e}")),
+        }
+    }
+    std::thread::sleep(Duration::from_millis(rng.gen_range(0..10)));
+    service.shutdown_now();
+    let mut admitted = vip_ids;
+    for flooder in flooders {
+        match flooder.join() {
+            Ok(Ok(ids)) => admitted.extend(ids),
+            Ok(Err(e)) => return Some(e),
+            Err(_) => return Some("flooder thread panicked".to_string()),
+        }
+    }
+    // Every accepted ticket must be terminal — a job stranded inside a
+    // ring (admitted but never failed by the shutdown sweep) times out
+    // here and fails the case.
+    for id in admitted {
+        match handle.wait(id, Duration::from_secs(5)) {
+            Ok(_) => {}
+            Err(ServiceError::ShuttingDown | ServiceError::WorkerPanic { .. }) => {}
+            Err(ServiceError::WaitTimeout) => {
+                return Some(format!("job {} stranded in a ring by shutdown", id.0));
+            }
+            Err(other) => return Some(format!("unexpected terminal state: {other}")),
+        }
+    }
+    None
+}
+
+fn snapshot_shutdown_race(rng: &mut StdRng, seed: u64) -> Option<String> {
+    let path = std::env::temp_dir().join(format!(
+        "qca-chaos-snap-{}-{seed:016x}.qpsn",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let config = ServiceConfig {
+        workers: 1,
+        snapshot_path: Some(path.clone()),
+        ..ServiceConfig::default()
+    };
+    let service = Service::with_config(config.clone());
+    let handle = service.handle();
+    // Populate the cache so both racing saves have real entries.
+    for _ in 0..rng.gen_range(1..4) {
+        let id = match handle.submit(base_spec(rng)) {
+            Ok(id) => id,
+            Err(e) => return Some(format!("populate submit: {e}")),
+        };
+        if let Err(e) = handle.wait(id, TERMINAL_BOUND) {
+            return Some(format!("populate run: {e}"));
+        }
+    }
+    // A manual save races shutdown_now's own snapshot of the same path.
+    let saver = {
+        let handle = handle.clone();
+        let path = path.clone();
+        std::thread::spawn(move || handle.save_snapshot(&path))
+    };
+    std::thread::sleep(Duration::from_millis(rng.gen_range(0..3)));
+    service.shutdown_now();
+    // The manual save may succeed or fail typed; it must not panic.
+    if saver.join().is_err() {
+        let _ = std::fs::remove_file(&path);
+        return Some("manual snapshot save panicked".to_string());
+    }
+    // Whatever file won the race: the next start either warms from it or
+    // reports a typed decode error and stays cold — and serves either way.
+    let revived = Service::with_config(config);
+    let handle = revived.handle();
+    let warm = handle.warm_status();
+    let verdict = (|| {
+        match warm {
+            Some(Ok(_)) | Some(Err(_)) => {}
+            None => return Err("snapshot file vanished after two saves".to_string()),
+        }
+        let id = handle
+            .submit(base_spec(rng))
+            .map_err(|e| format!("post-restart submit: {e}"))?;
+        handle
+            .wait(id, TERMINAL_BOUND)
+            .map_err(|e| format!("post-restart run: {e}"))?;
+        Ok(())
+    })();
+    revived.shutdown();
+    let _ = std::fs::remove_file(&path);
+    verdict.err()
+}
+
+fn full_ring_respawn(rng: &mut StdRng) -> Option<String> {
+    let capacity = rng.gen_range(2..5);
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        queue_capacity: capacity,
+        ..ServiceConfig::default()
+    });
+    let handle = service.handle();
+    // The pin panics once and retries: the single worker dies and the
+    // supervisor respawns it while the flood below slams the full ring.
+    let pin = base_spec(rng)
+        .with_faults(JobFaults {
+            panic_attempts: 1,
+            fail_attempts: 0,
+        })
+        .with_retry(RetryPolicy {
+            max_attempts: 2,
+            backoff_base_ms: rng.gen_range(1..5),
+            jitter_seed: rng.gen_range(0..1_000),
+        });
+    let pin_id = match handle.submit(pin) {
+        Ok(id) => id,
+        Err(e) => return Some(format!("pin submit: {e}")),
+    };
+    let mut admitted = vec![pin_id];
+    let mut rejected = 0_u32;
+    for _ in 0..(capacity * 6) {
+        match handle.submit(base_spec(rng)) {
+            Ok(id) => admitted.push(id),
+            Err(ServiceError::QueueFull {
+                capacity: reported,
+            }) => {
+                if reported != capacity {
+                    return Some(format!(
+                        "QueueFull reported capacity {reported}, configured {capacity}"
+                    ));
+                }
+                rejected += 1;
+            }
+            Err(e) => return Some(format!("flood submit: {e}")),
+        }
+    }
+    if rejected == 0 {
+        return Some(format!(
+            "flooding {} jobs past capacity {capacity} drew no QueueFull",
+            capacity * 6
+        ));
+    }
+    for id in admitted {
+        match handle.wait(id, TERMINAL_BOUND) {
+            Ok(_) => {}
+            Err(ServiceError::WorkerPanic { .. }) => {}
+            Err(ServiceError::WaitTimeout) => {
+                return Some(format!("job {} stranded during respawn", id.0));
+            }
+            Err(other) => return Some(format!("unexpected terminal state: {other}")),
+        }
+    }
+    if let Some(fail) = pool_heals(&handle, 1) {
+        return Some(fail);
+    }
+    let stats = handle.stats();
+    if stats.rejected < u64::from(rejected) {
+        return Some("shed jobs were not counted in stats.rejected".to_string());
+    }
+    service.shutdown();
+    None
 }
 
 #[cfg(test)]

@@ -190,6 +190,10 @@ pub struct JobSpec {
     pub retry: RetryPolicy,
     /// Deterministic fault injection (chaos harness and tests only).
     pub faults: JobFaults,
+    /// Which tenant submits this job, for quota accounting and the
+    /// weighted fair dequeue. `None` (and any name the service was not
+    /// configured with) lands in the built-in `"default"` lane.
+    pub tenant: Option<String>,
 }
 
 impl JobSpec {
@@ -207,6 +211,7 @@ impl JobSpec {
             qubits: QubitKind::Perfect,
             retry: RetryPolicy::none(),
             faults: JobFaults::none(),
+            tenant: None,
         }
     }
 
@@ -262,6 +267,12 @@ impl JobSpec {
     /// Sets deterministic fault injection (chaos harness and tests only).
     pub fn with_faults(mut self, faults: JobFaults) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Names the submitting tenant (see [`JobSpec::tenant`]).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 }
@@ -369,6 +380,14 @@ pub enum ServiceError {
         /// The configured queue capacity.
         capacity: usize,
     },
+    /// The submitting tenant already has its quota of jobs queued —
+    /// per-tenant backpressure; other tenants are unaffected.
+    TenantQuotaExceeded {
+        /// The tenant whose quota is exhausted.
+        tenant: String,
+        /// That tenant's configured queued-job quota.
+        quota: usize,
+    },
     /// The circuit failed to parse.
     Parse(String),
     /// Compilation failed.
@@ -402,6 +421,9 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::QueueFull { capacity } => {
                 write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServiceError::TenantQuotaExceeded { tenant, quota } => {
+                write!(f, "tenant '{tenant}' has its quota of {quota} jobs queued")
             }
             ServiceError::Parse(m) => write!(f, "parse: {m}"),
             ServiceError::Compile(m) => write!(f, "compile: {m}"),

@@ -7,9 +7,11 @@
 //! - **Content-addressed plan cache** ([`PlanCache`]): compiled artifacts
 //!   keyed by FNV-1a over (canonical cQASM, platform, compiler options,
 //!   qubit model); repeat submissions skip compilation entirely.
-//! - **Job scheduler** ([`Service`]): bounded admission queue with
+//! - **Job scheduler** ([`Service`]): bounded lock-free admission with
 //!   priorities, per-job deadlines, cancellation and typed backpressure;
-//!   identical queued jobs coalesce into one execution.
+//!   identical queued jobs coalesce into one execution, and a per-tenant
+//!   deficit-round-robin dequeue ([`tenant`]) keeps adversarial clients
+//!   from starving each other.
 //! - **Worker pool**: `std::thread` workers dispatch per-job engines
 //!   (state-vector or density-matrix) and split large sweeps into
 //!   shot-range shards whose merged histogram is bit-identical to a
@@ -18,8 +20,12 @@
 //!   newline-delimited-JSON TCP server ([`TcpServer`], the `qca-serve`
 //!   binary).
 //!
-//! Std-only by design: no async runtime, no serde — the queue is a
-//! `Mutex` + `Condvar`, the wire format reuses `qca_telemetry`'s JSON.
+//! Std-only by design: no async runtime, no serde — admission is a
+//! lock-free MPMC ring ([`ring`]) per tenant (the scheduler's `Mutex` +
+//! `Condvar` remain only for worker parking and settlement), the wire
+//! format reuses `qca_telemetry`'s JSON, and the plan cache can persist
+//! itself to a checksummed on-disk snapshot ([`snapshot`]) for instant
+//! warm starts.
 //!
 //! ```
 //! use qca_service::{JobSpec, Service};
@@ -42,8 +48,11 @@ pub mod cache;
 pub mod chaos;
 pub mod hash;
 pub mod job;
+pub mod ring;
 pub mod service;
+pub mod snapshot;
 pub mod tcp;
+pub mod tenant;
 pub mod wire;
 
 pub use cache::{artifact_key, CacheStats, CompiledArtifact, PlanCache};
@@ -52,7 +61,14 @@ pub use job::{
     Engine, JobFaults, JobId, JobLifecycle, JobOutcome, JobSpec, JobStatus, RetryPolicy,
     ServiceError,
 };
+pub use ring::Ring;
 pub use service::{
     LatencySummary, PlatformSpec, Service, ServiceConfig, ServiceHandle, ServiceStats, TcpStats,
+    TenantStat,
+};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, SnapshotEntry, SnapshotError,
+    SnapshotReport, SNAPSHOT_VERSION,
 };
 pub use tcp::{TcpConfig, TcpServer, MAX_REQUEST_BYTES};
+pub use tenant::{DrrQueue, TenantConfig};

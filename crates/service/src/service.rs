@@ -4,9 +4,16 @@
 //! # Scheduling model
 //!
 //! Submission parses and content-hashes the circuit, then admits the job
-//! to a bounded priority queue (higher priority first, FIFO within a
-//! priority; a full queue rejects with [`ServiceError::QueueFull`] —
-//! backpressure, not buffering). Worker threads pop entries and:
+//! through a *lock-free* path: capacity and per-tenant quota are
+//! reserved with atomic counters (a full queue rejects with
+//! [`ServiceError::QueueFull`], an exhausted tenant with
+//! [`ServiceError::TenantQuotaExceeded`] — backpressure, not buffering)
+//! and the job is pushed into its tenant's bounded MPMC ring
+//! ([`crate::ring::Ring`]) without ever touching the scheduler mutex.
+//! Workers drain the rings into per-tenant priority heaps (higher
+//! priority first, FIFO within a priority) and dequeue across tenants
+//! with a deficit-round-robin picker ([`crate::tenant::DrrQueue`]), so
+//! no client can starve another. Worker threads then:
 //!
 //! 1. **Coalesce** — every still-queued job with the same execution key
 //!    (circuit hash + seed + shots + engine + model) is batched and served
@@ -27,12 +34,16 @@
 use crate::cache::{artifact_key, CacheStats, CompiledArtifact, PlanCache};
 use crate::hash::Fnv64;
 use crate::job::{Engine, JobId, JobLifecycle, JobOutcome, JobSpec, JobStatus, ServiceError};
+use crate::ring::Ring;
+use crate::snapshot::{self, SnapshotError, SnapshotReport};
+use crate::tenant::{DrrQueue, TenantConfig};
 use openql::{Compiler, CompilerOptions, Platform};
 use qca_telemetry::{LogHistogram, Telemetry};
 use qxsim::{ExecuteError, ShotHistogram, Simulator};
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -85,6 +96,17 @@ pub struct ServiceConfig {
     /// `1` traces every job. Content-based sampling means the *same*
     /// jobs are traced on every run of a seeded workload.
     pub trace_sample_n: u64,
+    /// Tenant lanes for the weighted fair dequeue. A `"default"` lane
+    /// (weight 1, no quota) is always present; jobs naming no tenant or
+    /// an unconfigured name land there. Empty = single-tenant service.
+    pub tenants: Vec<TenantConfig>,
+    /// Where to persist the plan cache across restarts. On start, a
+    /// readable snapshot at this path warms the cache (sources are
+    /// recompiled, so warm hits are bit-identical); a corrupt or
+    /// version-skewed file is a typed warning and the cache starts cold.
+    /// On shutdown the cache is snapshotted back. `None` disables
+    /// persistence.
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +120,8 @@ impl Default for ServiceConfig {
             options: CompilerOptions::default(),
             max_respawns: 8,
             trace_sample_n: 8,
+            tenants: Vec::new(),
+            snapshot_path: None,
         }
     }
 }
@@ -135,8 +159,29 @@ pub struct TcpStats {
     pub timeouts: u64,
 }
 
+/// Per-tenant counters, surfaced on [`ServiceStats`] and the `stats`
+/// wire verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStat {
+    /// The tenant's configured name (`"default"` for the built-in lane).
+    pub name: String,
+    /// DRR weight in force for this lane.
+    pub weight: u32,
+    /// Queued-job quota, if one is configured.
+    pub quota: Option<usize>,
+    /// Jobs this tenant currently has queued.
+    pub queued: usize,
+    /// Jobs this tenant has had admitted.
+    pub submitted: u64,
+    /// Jobs this tenant has had finish successfully.
+    pub completed: u64,
+    /// Submissions shed for this tenant (global backpressure or its own
+    /// quota).
+    pub shed: u64,
+}
+
 /// A snapshot of service-level counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Jobs admitted.
     pub submitted: u64,
@@ -175,12 +220,13 @@ pub struct ServiceStats {
     /// TCP front-end counters (zero unless a `TcpServer` fronts this
     /// service).
     pub tcp: TcpStats,
+    /// Per-tenant counters, in lane order (the `"default"` lane is
+    /// always present).
+    pub tenants: Vec<TenantStat>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
 struct Totals {
-    submitted: u64,
-    rejected: u64,
     completed: u64,
     failed: u64,
     cancelled: u64,
@@ -197,6 +243,9 @@ struct JobRecord {
     platform: Platform,
     artifact_key: u64,
     exec_key: u64,
+    /// Index of the tenant lane this job was admitted through (resolved
+    /// once at submission; drives quota release and fair dequeue).
+    lane: usize,
     submitted_at: Instant,
     status: JobStatus,
     /// Execution attempts started so far (incremented when a batch
@@ -266,6 +315,9 @@ struct QueueEntry {
 /// A retry waiting out its backoff before re-entering the ready queue.
 struct DelayedEntry {
     ready_at: Instant,
+    /// Tenant lane the entry re-enters through (retries compete fairly
+    /// like fresh work).
+    lane: usize,
     entry: QueueEntry,
 }
 
@@ -290,15 +342,18 @@ impl Ord for QueueEntry {
 }
 
 struct SchedState {
-    queue: BinaryHeap<QueueEntry>,
+    /// Shot-range shards of sweeps already claimed — always dequeued
+    /// before fresh leads, so started work finishes promptly.
+    shards: BinaryHeap<QueueEntry>,
+    /// Fresh leads and retries, one priority heap per tenant lane under
+    /// the deficit-round-robin picker.
+    ready: DrrQueue<QueueEntry>,
     /// Retries sleeping out their backoff (small; scanned linearly).
     delayed: Vec<DelayedEntry>,
     jobs: HashMap<u64, JobRecord>,
     /// Execution key → still-queued job ids, for coalescing.
     pending: HashMap<u64, Vec<u64>>,
-    next_id: u64,
     next_seq: u64,
-    queued: usize,
     running: usize,
     /// Worker threads currently alive (spawn-accounted, exit-decremented).
     live_workers: usize,
@@ -316,6 +371,30 @@ struct SchedState {
     lat_e2e: LogHistogram,
 }
 
+/// A job travelling from the lock-free admission path to the scheduler:
+/// everything `drain_admissions` needs to file it under the lock.
+struct AdmitMsg {
+    id: u64,
+    priority: u8,
+    record: JobRecord,
+}
+
+/// One tenant's admission lane: the lock-free ring submissions land in,
+/// plus quota state and counters (all atomics — the submit path never
+/// takes the scheduler lock).
+struct TenantLane {
+    name: String,
+    weight: u32,
+    quota: Option<usize>,
+    ring: Ring<AdmitMsg>,
+    /// Jobs this tenant currently has queued (reserved at submit,
+    /// released at claim/cancel/expiry, re-reserved on retry).
+    queued: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+}
+
 struct Shared {
     state: Mutex<SchedState>,
     work_ready: Condvar,
@@ -323,6 +402,28 @@ struct Shared {
     cache: PlanCache,
     config: ServiceConfig,
     telemetry: Telemetry,
+    /// Tenant admission lanes, in DRR order. The `"default"` lane always
+    /// exists.
+    lanes: Vec<TenantLane>,
+    /// Tenant name → lane index.
+    lane_index: HashMap<String, usize>,
+    /// Lane for jobs naming no tenant (or an unknown one).
+    default_lane: usize,
+    /// Ticket allocator for the lock-free submit path.
+    next_id: AtomicU64,
+    /// Jobs queued across all tenants — the global-capacity reservation
+    /// counter on the submit path.
+    queued_total: AtomicUsize,
+    submitted_total: AtomicU64,
+    rejected_total: AtomicU64,
+    /// Mirrors `SchedState::shutdown` for the lock-free submit path.
+    shutdown_flag: AtomicBool,
+    /// Workers currently parked in `work_ready.wait` — submit only
+    /// bounces on the mutex to notify when someone is actually asleep.
+    sleepers: AtomicUsize,
+    /// What the warm start from `config.snapshot_path` accomplished:
+    /// `None` when persistence is off or no snapshot file existed.
+    warm: Option<Result<SnapshotReport, SnapshotError>>,
     /// When the service started; job lifecycle records report offsets
     /// from this epoch.
     epoch: Instant,
@@ -348,6 +449,17 @@ impl Shared {
         match self.worker_handles.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Wakes one parked worker if any are parked. The lock bounce before
+    /// `notify_one` closes the race where a worker registered as a
+    /// sleeper but has not yet reached `wait` — acquiring the mutex
+    /// orders this notify after the sleeper releases it inside `wait`.
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.lock());
+            self.work_ready.notify_one();
         }
     }
 }
@@ -402,15 +514,55 @@ impl Service {
         config.workers = config.workers.max(1);
         config.queue_capacity = config.queue_capacity.max(1);
         let max_respawns = config.max_respawns;
+        // Tenant lanes: configured tenants in order, plus the built-in
+        // "default" lane if none of them claims the name.
+        let mut tenant_cfgs = config.tenants.clone();
+        if !tenant_cfgs.iter().any(|t| t.name == "default") {
+            tenant_cfgs.push(TenantConfig::new("default", 1));
+        }
+        let mut lane_index = HashMap::new();
+        let lanes: Vec<TenantLane> = tenant_cfgs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                lane_index.entry(t.name.clone()).or_insert(i);
+                // Quota and global capacity bound the jobs outstanding in
+                // a lane's ring, so a ring this size can never overflow.
+                let ring_cap = t
+                    .quota
+                    .unwrap_or(config.queue_capacity)
+                    .min(config.queue_capacity)
+                    .max(1);
+                TenantLane {
+                    name: t.name.clone(),
+                    weight: t.weight.max(1),
+                    quota: t.quota,
+                    ring: Ring::with_capacity(ring_cap),
+                    queued: AtomicUsize::new(0),
+                    submitted: AtomicU64::new(0),
+                    completed: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        let default_lane = lane_index.get("default").copied().unwrap_or(0);
+        let weights: Vec<u32> = lanes.iter().map(|l| l.weight).collect();
+        // Warm the plan cache from the configured snapshot before any
+        // worker can race a compile against the load.
+        let cache = PlanCache::new(config.cache_capacity, telemetry.clone());
+        let warm = config
+            .snapshot_path
+            .as_deref()
+            .filter(|p| p.exists())
+            .map(|p| warm_start(&cache, &config, &telemetry, p));
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
-                queue: BinaryHeap::new(),
+                shards: BinaryHeap::new(),
+                ready: DrrQueue::new(&weights),
                 delayed: Vec::new(),
                 jobs: HashMap::new(),
                 pending: HashMap::new(),
-                next_id: 1,
                 next_seq: 0,
-                queued: 0,
                 running: 0,
                 live_workers: 0,
                 respawns_left: max_respawns,
@@ -423,9 +575,19 @@ impl Service {
             }),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
-            cache: PlanCache::new(config.cache_capacity, telemetry.clone()),
+            cache,
             config,
             telemetry,
+            lanes,
+            lane_index,
+            default_lane,
+            next_id: AtomicU64::new(1),
+            queued_total: AtomicUsize::new(0),
+            submitted_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            shutdown_flag: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            warm,
             epoch: Instant::now(),
             tcp_shed: AtomicU64::new(0),
             tcp_oversized: AtomicU64::new(0),
@@ -470,6 +632,7 @@ impl Service {
         {
             let mut state = self.shared.lock();
             state.shutdown = true;
+            self.shared.shutdown_flag.store(true, Ordering::SeqCst);
         }
         self.shared.work_ready.notify_all();
         // Join until the pool is empty; a respawned worker registers its
@@ -489,6 +652,19 @@ impl Service {
                 }
             }
         }
+        // Final sweep: a submission racing shutdown can land in a ring
+        // after the last worker's final drain. Fail it typed rather than
+        // strand its waiter.
+        fail_queued_jobs(&self.shared, &ServiceError::ShuttingDown);
+        if let Some(path) = self.shared.config.snapshot_path.clone() {
+            match save_snapshot_to(&self.shared, &path) {
+                Ok(n) => self
+                    .shared
+                    .telemetry
+                    .incr("service.snapshot.saved_entries", n as u64),
+                Err(_) => self.shared.telemetry.incr("service.snapshot.save_failed", 1),
+            }
+        }
         self.shared.job_done.notify_all();
     }
 }
@@ -500,14 +676,17 @@ impl Drop for Service {
 }
 
 impl ServiceHandle {
-    /// Submits a job: parses and content-hashes the circuit, admits it to
-    /// the queue and returns its ticket.
+    /// Submits a job: parses and content-hashes the circuit, reserves
+    /// capacity and tenant quota with atomic counters, and pushes the
+    /// job into its tenant's lock-free admission ring — the scheduler
+    /// mutex is never taken on this path.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Parse`] for invalid cQASM,
-    /// [`ServiceError::QueueFull`] under backpressure,
-    /// [`ServiceError::ShuttingDown`] after shutdown began.
+    /// [`ServiceError::QueueFull`] under global backpressure,
+    /// [`ServiceError::TenantQuotaExceeded`] when the tenant's own quota
+    /// is spent, [`ServiceError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServiceError> {
         let shared = &self.shared;
         let program =
@@ -525,7 +704,9 @@ impl ServiceHandle {
             h.write_field(spec.engine.name());
             h.write_field(spec.force_engine.map_or("auto", |e| e.name()));
             // Retry policy and fault injection change execution behaviour,
-            // so jobs differing in them must never coalesce.
+            // so jobs differing in them must never coalesce. The tenant is
+            // deliberately NOT hashed: identical work from different
+            // tenants still deduplicates into one execution.
             h.write(&spec.retry.max_attempts.to_le_bytes());
             h.write(&spec.retry.backoff_base_ms.to_le_bytes());
             h.write(&spec.retry.jitter_seed.to_le_bytes());
@@ -533,62 +714,116 @@ impl ServiceHandle {
             h.write(&spec.faults.fail_attempts.to_le_bytes());
             h.finish()
         };
-        let mut state = shared.lock();
-        if state.shutdown {
+        if shared.shutdown_flag.load(Ordering::SeqCst) {
             shared.telemetry.incr("service.jobs.rejected", 1);
             return Err(ServiceError::ShuttingDown);
         }
-        if state.queued >= shared.config.queue_capacity {
-            state.totals.rejected += 1;
-            drop(state);
-            shared.telemetry.incr("service.jobs.rejected", 1);
+        let lane_idx = spec
+            .tenant
+            .as_deref()
+            .and_then(|name| shared.lane_index.get(name))
+            .copied()
+            .unwrap_or(shared.default_lane);
+        let lane = &shared.lanes[lane_idx];
+        // Reserve global capacity, then the tenant quota; undo on
+        // failure. fetch_add-then-check makes concurrent submits race
+        // safely: the loser sees the counter over the limit and backs
+        // out its own reservation.
+        let prev = shared.queued_total.fetch_add(1, Ordering::SeqCst);
+        if prev >= shared.config.queue_capacity {
+            shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+            self.count_shed(lane);
             return Err(ServiceError::QueueFull {
                 capacity: shared.config.queue_capacity,
             });
         }
-        let id = state.next_id;
-        state.next_id += 1;
-        let seq = state.next_seq;
-        state.next_seq += 1;
+        let tenant_prev = lane.queued.fetch_add(1, Ordering::SeqCst);
+        if let Some(quota) = lane.quota {
+            if tenant_prev >= quota {
+                lane.queued.fetch_sub(1, Ordering::SeqCst);
+                shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+                self.count_shed(lane);
+                return Err(ServiceError::TenantQuotaExceeded {
+                    tenant: lane.name.clone(),
+                    quota,
+                });
+            }
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
         let priority = spec.priority;
         // Deterministic 1-in-N trace sampling by content hash: the same
         // jobs of a seeded workload are traced on every run.
         let sample_n = shared.config.trace_sample_n;
         let sampled = sample_n > 0 && exec_key % sample_n == 0;
-        state.jobs.insert(
-            id,
-            JobRecord {
-                spec,
-                program,
-                platform,
-                artifact_key: akey,
-                exec_key,
-                submitted_at: Instant::now(),
-                status: JobStatus::Queued,
-                attempts: 0,
-                sampled,
-                claimed_at: None,
-                compile_us: None,
-                exec_started_at: None,
-                settled_at: None,
-            },
-        );
-        state.pending.entry(exec_key).or_default().push(id);
-        state.queue.push(QueueEntry {
-            priority,
-            seq,
-            item: Item::Lead(JobId(id)),
-        });
-        state.queued += 1;
-        state.totals.submitted += 1;
-        let depth = state.queued;
-        drop(state);
+        let record = JobRecord {
+            spec,
+            program,
+            platform,
+            artifact_key: akey,
+            exec_key,
+            lane: lane_idx,
+            submitted_at: Instant::now(),
+            status: JobStatus::Queued,
+            attempts: 0,
+            sampled,
+            claimed_at: None,
+            compile_us: None,
+            exec_started_at: None,
+            settled_at: None,
+        };
+        if lane
+            .ring
+            .push(AdmitMsg {
+                id,
+                priority,
+                record,
+            })
+            .is_err()
+        {
+            // Unreachable in practice: the reservations above bound the
+            // jobs outstanding in this ring below its capacity. Kept as
+            // typed backpressure rather than an assertion.
+            lane.queued.fetch_sub(1, Ordering::SeqCst);
+            shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+            self.count_shed(lane);
+            return Err(ServiceError::QueueFull {
+                capacity: shared.config.queue_capacity,
+            });
+        }
+        shared.submitted_total.fetch_add(1, Ordering::SeqCst);
+        lane.submitted.fetch_add(1, Ordering::SeqCst);
         shared.telemetry.incr("service.jobs.submitted", 1);
-        shared
-            .telemetry
-            .record_value("service.queue.depth", depth as f64);
-        shared.work_ready.notify_one();
+        if shared.telemetry.is_enabled() {
+            shared
+                .telemetry
+                .incr_labeled("service.tenant.submitted", &lane.name, 1);
+            shared.telemetry.record_value(
+                "service.queue.depth",
+                shared.queued_total.load(Ordering::SeqCst) as f64,
+            );
+        }
+        // Close the race with a shutdown that drained the rings between
+        // the flag check above and our push: if the flag is now set, make
+        // sure this job either runs or fails typed — never strands.
+        if shared.shutdown_flag.load(Ordering::SeqCst) {
+            if let Some(err) = rescue_shutdown_race(shared, id) {
+                return Err(err);
+            }
+        }
+        shared.wake_one();
         Ok(JobId(id))
+    }
+
+    /// Counts a shed submission, both globally and per tenant.
+    fn count_shed(&self, lane: &TenantLane) {
+        self.shared.rejected_total.fetch_add(1, Ordering::SeqCst);
+        lane.shed.fetch_add(1, Ordering::SeqCst);
+        self.shared.telemetry.incr("service.jobs.rejected", 1);
+        if self.shared.telemetry.is_enabled() {
+            self.shared
+                .telemetry
+                .incr_labeled("service.tenant.shed", &lane.name, 1);
+        }
     }
 
     /// The job's current status.
@@ -597,7 +832,13 @@ impl ServiceHandle {
     ///
     /// [`ServiceError::UnknownJob`] for a ticket this service never issued.
     pub fn poll(&self, id: JobId) -> Result<JobStatus, ServiceError> {
-        let state = self.shared.lock();
+        let mut state = self.shared.lock();
+        // The job may still be in its admission ring (submitted but not
+        // yet drained by a worker): help the drain so a submit-then-poll
+        // caller always sees its own ticket.
+        if !state.jobs.contains_key(&id.0) {
+            drain_admissions(&self.shared, &mut state);
+        }
         state
             .jobs
             .get(&id.0)
@@ -615,6 +856,9 @@ impl ServiceHandle {
     pub fn wait(&self, id: JobId, timeout: Duration) -> Result<Arc<JobOutcome>, ServiceError> {
         let deadline = Instant::now() + timeout;
         let mut state = self.shared.lock();
+        if !state.jobs.contains_key(&id.0) {
+            drain_admissions(&self.shared, &mut state);
+        }
         loop {
             match state.jobs.get(&id.0) {
                 None => return Err(ServiceError::UnknownJob(id.0)),
@@ -648,6 +892,9 @@ impl ServiceHandle {
     /// [`ServiceError::UnknownJob`] for a foreign ticket.
     pub fn cancel(&self, id: JobId) -> Result<bool, ServiceError> {
         let mut state = self.shared.lock();
+        if !state.jobs.contains_key(&id.0) {
+            drain_admissions(&self.shared, &mut state);
+        }
         let record = state
             .jobs
             .get_mut(&id.0)
@@ -664,10 +911,12 @@ impl ServiceHandle {
         )
         .unwrap_or(u64::MAX);
         let priority = record.spec.priority;
+        let lane = record.lane;
         state.lat_e2e.record(e2e_us);
-        state.queued -= 1;
         state.totals.cancelled += 1;
         drop(state);
+        self.shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+        self.shared.lanes[lane].queued.fetch_sub(1, Ordering::SeqCst);
         self.shared.telemetry.incr("service.jobs.cancelled", 1);
         if self.shared.telemetry.is_enabled() {
             let prio = priority.to_string();
@@ -683,15 +932,29 @@ impl ServiceHandle {
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
+        let tenants = self
+            .shared
+            .lanes
+            .iter()
+            .map(|lane| TenantStat {
+                name: lane.name.clone(),
+                weight: lane.weight,
+                quota: lane.quota,
+                queued: lane.queued.load(Ordering::SeqCst),
+                submitted: lane.submitted.load(Ordering::SeqCst),
+                completed: lane.completed.load(Ordering::SeqCst),
+                shed: lane.shed.load(Ordering::SeqCst),
+            })
+            .collect();
         let state = self.shared.lock();
         ServiceStats {
-            submitted: state.totals.submitted,
-            rejected: state.totals.rejected,
+            submitted: self.shared.submitted_total.load(Ordering::SeqCst),
+            rejected: self.shared.rejected_total.load(Ordering::SeqCst),
             completed: state.totals.completed,
             failed: state.totals.failed,
             cancelled: state.totals.cancelled,
             coalesced: state.totals.coalesced,
-            queued: state.queued,
+            queued: self.shared.queued_total.load(Ordering::SeqCst),
             running: state.running,
             workers: self.shared.config.workers,
             workers_live: state.live_workers,
@@ -714,7 +977,27 @@ impl ServiceHandle {
                 oversized: self.shared.tcp_oversized.load(Ordering::Relaxed),
                 timeouts: self.shared.tcp_timeouts.load(Ordering::Relaxed),
             },
+            tenants,
         }
+    }
+
+    /// What warming the cache from `snapshot_path` accomplished: `None`
+    /// when persistence is off or no snapshot file existed at start,
+    /// `Some(Err(..))` when the file was unreadable (the service still
+    /// started, with a cold cache).
+    pub fn warm_status(&self) -> Option<Result<SnapshotReport, SnapshotError>> {
+        self.shared.warm.clone()
+    }
+
+    /// Snapshots the current plan cache to `path` (atomic tmp + rename),
+    /// independent of the configured shutdown snapshot. Returns how many
+    /// entries were written.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be written.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        save_snapshot_to(&self.shared, path)
     }
 
     /// The job's lifecycle record: when it passed each stage (admit →
@@ -731,7 +1014,10 @@ impl ServiceHandle {
         let offset = |at: Instant| -> u64 {
             u64::try_from(at.saturating_duration_since(epoch).as_micros()).unwrap_or(u64::MAX)
         };
-        let state = self.shared.lock();
+        let mut state = self.shared.lock();
+        if !state.jobs.contains_key(&id.0) {
+            drain_admissions(&self.shared, &mut state);
+        }
         let record = state
             .jobs
             .get(&id.0)
@@ -880,7 +1166,12 @@ fn fail_queued_jobs(shared: &Shared, error: &ServiceError) {
     let orphaned_shards = {
         let mut state = shared.lock();
         state.shutdown = true;
-        let mut entries: Vec<QueueEntry> = state.queue.drain().collect();
+        shared.shutdown_flag.store(true, Ordering::SeqCst);
+        // Pull ring-resident submissions into the scheduler first so
+        // they fail typed like everything else.
+        drain_admissions(shared, &mut state);
+        let mut entries: Vec<QueueEntry> = state.shards.drain().collect();
+        entries.extend(state.ready.drain_all());
         entries.extend(state.delayed.drain(..).map(|d| d.entry));
         state.pending.clear();
         let mut orphans = Vec::new();
@@ -892,7 +1183,10 @@ fn fail_queued_jobs(shared: &Shared, error: &ServiceError) {
                     if let Some(record) = state.jobs.get_mut(&id.0) {
                         if record.status == JobStatus::Queued {
                             record.status = JobStatus::Failed(error.clone());
-                            state.queued -= 1;
+                            shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+                            shared.lanes[record.lane]
+                                .queued
+                                .fetch_sub(1, Ordering::SeqCst);
                             state.totals.failed += 1;
                         }
                     }
@@ -931,12 +1225,147 @@ fn worker_loop(shared: &Shared) -> WorkerExit {
     }
 }
 
-/// Pops the next runnable entry: promotes retries whose backoff elapsed,
-/// then waits (bounded by the earliest pending backoff) for work.
-/// Returns `None` when the service is shut down and fully drained.
+/// Moves every ring-resident submission into the scheduler's per-tenant
+/// heaps: assigns dequeue sequence numbers, files the job record, and
+/// registers it for coalescing. Called by workers before each dequeue
+/// and by client-side lookups that miss (so a freshly-submitted ticket
+/// is always observable) — draining is cooperative, not owned by any
+/// one thread.
+fn drain_admissions(shared: &Shared, state: &mut SchedState) {
+    for (lane_idx, lane) in shared.lanes.iter().enumerate() {
+        while let Some(msg) = lane.ring.pop() {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state
+                .pending
+                .entry(msg.record.exec_key)
+                .or_default()
+                .push(msg.id);
+            state.jobs.insert(msg.id, msg.record);
+            state.ready.push(
+                lane_idx,
+                QueueEntry {
+                    priority: msg.priority,
+                    seq,
+                    item: Item::Lead(JobId(msg.id)),
+                },
+            );
+        }
+    }
+}
+
+/// Closes the submit/shutdown race: called by `submit` when it observed
+/// the shutdown flag *after* pushing into a ring. By then a shutdown's
+/// final drain may already have passed this ring. Drains again under the
+/// lock; if the job is still queued it fails typed (`Some(error)` tells
+/// submit to report rejection), and if a worker already picked it up it
+/// will settle normally (`None`).
+fn rescue_shutdown_race(shared: &Shared, id: u64) -> Option<ServiceError> {
+    let mut state = shared.lock();
+    drain_admissions(shared, &mut state);
+    let Some(record) = state.jobs.get_mut(&id) else {
+        return Some(ServiceError::ShuttingDown);
+    };
+    if record.status != JobStatus::Queued {
+        return None;
+    }
+    record.status = JobStatus::Failed(ServiceError::ShuttingDown);
+    record.settled_at = Some(Instant::now());
+    let lane = record.lane;
+    state.totals.failed += 1;
+    drop(state);
+    shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+    shared.lanes[lane].queued.fetch_sub(1, Ordering::SeqCst);
+    shared.job_done.notify_all();
+    Some(ServiceError::ShuttingDown)
+}
+
+/// Warms the plan cache from an on-disk snapshot: each persisted source
+/// is recompiled deterministically (same platform selection, options and
+/// qubit model as live submissions), so subsequent cache hits serve
+/// plans bit-identical to the run that wrote the snapshot. Compilation
+/// here deliberately does *not* attach telemetry and emits no compile
+/// span — a warm-started service serving a cached job must look exactly
+/// like a hot cache, which is the observable warm-start criterion.
+fn warm_start(
+    cache: &PlanCache,
+    config: &ServiceConfig,
+    telemetry: &Telemetry,
+    path: &Path,
+) -> Result<SnapshotReport, SnapshotError> {
+    let entries = snapshot::read_snapshot(path)?;
+    let _span = telemetry.span("service", "warm_start");
+    let total = entries.len();
+    let mut loaded = 0usize;
+    let mut skipped = 0usize;
+    let mut rekeyed = 0usize;
+    for entry in entries {
+        let Ok(program) = cqasm::Program::parse(&entry.source) else {
+            skipped += 1;
+            continue;
+        };
+        let canonical = program.to_string();
+        let platform = config.platform.platform_for(program.qubit_count());
+        let Ok(out) =
+            Compiler::with_options(platform.clone(), config.options).compile_cqasm(&program)
+        else {
+            skipped += 1;
+            continue;
+        };
+        let Ok(plan) = Simulator::with_model(entry.qubits.to_model()).compile(&out.program) else {
+            skipped += 1;
+            continue;
+        };
+        let akey = artifact_key(&canonical, &platform, &config.options, &entry.qubits);
+        if akey != entry.key {
+            // The snapshot predates a compiler/platform change; the entry
+            // is still usable, filed under its *current* key.
+            rekeyed += 1;
+        }
+        cache.insert(
+            akey,
+            Arc::new(CompiledArtifact {
+                cqasm: out.program,
+                report: out.report,
+                final_mapping: out.final_mapping,
+                plan,
+                source: canonical,
+                qubits: entry.qubits,
+            }),
+        );
+        loaded += 1;
+    }
+    telemetry.incr("service.snapshot.loaded_entries", loaded as u64);
+    Ok(SnapshotReport {
+        entries: total,
+        loaded,
+        skipped,
+        rekeyed,
+    })
+}
+
+/// Persists the plan cache to `path` (atomic tmp-file + rename), LRU
+/// first so a capacity-bounded reload keeps the hottest entries.
+/// Returns how many entries were written.
+fn save_snapshot_to(shared: &Shared, path: &Path) -> Result<usize, SnapshotError> {
+    let (entries, _skipped) = shared.cache.export_entries();
+    let count = entries.len();
+    snapshot::write_snapshot(path, &entries)?;
+    Ok(count)
+}
+
+/// The failsafe cap on a worker's park time: even if a wakeup is lost,
+/// the worker re-drains the admission rings at least this often.
+const PARK_FAILSAFE: Duration = Duration::from_millis(50);
+
+/// Pops the next runnable entry: drains the admission rings, promotes
+/// retries whose backoff elapsed, serves claimed shards first and then
+/// the fair dequeue. Returns `None` when the service is shut down and
+/// fully drained.
 fn next_entry(shared: &Shared) -> Option<QueueEntry> {
     let mut state = shared.lock();
     loop {
+        drain_admissions(shared, &mut state);
         let now = Instant::now();
         let mut next_ready: Option<Instant> = None;
         let mut i = 0;
@@ -944,32 +1373,43 @@ fn next_entry(shared: &Shared) -> Option<QueueEntry> {
             // Under shutdown, backoffs are cut short so the drain finishes.
             if state.shutdown || state.delayed[i].ready_at <= now {
                 let due = state.delayed.swap_remove(i);
-                state.queue.push(due.entry);
+                state.ready.push(due.lane, due.entry);
             } else {
                 let at = state.delayed[i].ready_at;
                 next_ready = Some(next_ready.map_or(at, |cur| cur.min(at)));
                 i += 1;
             }
         }
-        if let Some(entry) = state.queue.pop() {
+        // Shards of already-claimed sweeps run before fresh leads: the
+        // fair dequeue arbitrates admission, not completion of work the
+        // pool already started.
+        if let Some(entry) = state.shards.pop() {
+            return Some(entry);
+        }
+        if let Some(entry) = state.ready.pop() {
             return Some(entry);
         }
         if state.shutdown {
             return None;
         }
-        state = match next_ready {
-            Some(at) => {
-                let wait = at.saturating_duration_since(now);
-                match shared.work_ready.wait_timeout(state, wait) {
-                    Ok((guard, _)) => guard,
-                    Err(poisoned) => poisoned.into_inner().0,
-                }
-            }
-            None => match shared.work_ready.wait(state) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            },
+        // Park. Register as a sleeper, then re-drain: a submit that
+        // pushed before our registration may have skipped its notify
+        // (it saw zero sleepers), so the work must be re-checked after
+        // the registration is visible.
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        drain_admissions(shared, &mut state);
+        if !state.ready.is_empty() || !state.shards.is_empty() || state.shutdown {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let wait = next_ready.map_or(PARK_FAILSAFE, |at| {
+            at.saturating_duration_since(now).min(PARK_FAILSAFE)
+        });
+        state = match shared.work_ready.wait_timeout(state, wait) {
+            Ok((guard, _)) => guard,
+            Err(poisoned) => poisoned.into_inner().0,
         };
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -1076,12 +1516,15 @@ fn claim_batch(shared: &Shared, id: JobId) -> Option<Claim> {
     if let Some(deadline_ms) = record.spec.deadline_ms {
         if record.submitted_at.elapsed() >= Duration::from_millis(deadline_ms) {
             let err = ServiceError::DeadlineExceeded { deadline_ms };
+            let mut lane = 0;
             if let Some(r) = state.jobs.get_mut(&id.0) {
                 r.status = JobStatus::Failed(err);
+                lane = r.lane;
             }
-            state.queued -= 1;
             state.totals.failed += 1;
             drop(state);
+            shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+            shared.lanes[lane].queued.fetch_sub(1, Ordering::SeqCst);
             shared.telemetry.incr("service.jobs.deadline_expired", 1);
             shared.job_done.notify_all();
             return None;
@@ -1107,20 +1550,24 @@ fn claim_batch(shared: &Shared, id: JobId) -> Option<Claim> {
                 if jid == id.0 {
                     attempt = r.attempts;
                 }
+                let lane = r.lane;
                 batch.push((jid, r.attempts));
+                shared.lanes[lane].queued.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
     if batch.is_empty() {
         return None;
     }
-    state.queued -= batch.len();
     state.running += batch.len();
     state.totals.coalesced += (batch.len() - 1) as u64;
     let priority = spec.priority;
-    let depth = state.queued;
     let inflight = state.running;
     drop(state);
+    let depth = shared
+        .queued_total
+        .fetch_sub(batch.len(), Ordering::SeqCst)
+        .saturating_sub(batch.len());
     // Sampled gauges: one observation per claim, so the min/max/mean of
     // queue depth and inflight jobs track load without a poller thread.
     shared
@@ -1296,7 +1743,10 @@ fn run_claim(shared: &Shared, claim: &Claim) -> RunOutcome {
                 let hi = spec.shots * (t as u64 + 1) / shards as u64;
                 let seq = state.next_seq;
                 state.next_seq += 1;
-                state.queue.push(QueueEntry {
+                // Shards bypass the fair dequeue: they belong to a claim
+                // the pool already admitted, so they go on the dedicated
+                // shards heap every worker serves first.
+                state.shards.push(QueueEntry {
                     priority: claim.priority,
                     seq,
                     item: Item::Shard {
@@ -1378,9 +1828,11 @@ fn compile_artifact(
         report: out.report,
         final_mapping: out.final_mapping,
         plan,
+        source: program.to_string(),
+        qubits: spec.qubits,
     });
     let akey = artifact_key(
-        &program.to_string(),
+        &artifact.source,
         platform,
         &shared.config.options,
         &spec.qubits,
@@ -1520,6 +1972,7 @@ fn settle_batch(
         e2e_us: u64,
         sampled: bool,
         submitted_at: Instant,
+        lane: usize,
     }
     let mut settled: Vec<Settled> = Vec::new();
     {
@@ -1554,6 +2007,7 @@ fn settle_batch(
             let priority = record.spec.priority;
             let sampled = record.sampled;
             let submitted_at = record.submitted_at;
+            let lane = record.lane;
             state.lat_queue_wait.record(wait_us);
             state.lat_execute.record(exec_us);
             if let Some(c) = meta.compile_us {
@@ -1580,6 +2034,7 @@ fn settle_batch(
                     }));
                     state.totals.completed += 1;
                     completed += 1;
+                    shared.lanes[lane].completed.fetch_add(1, Ordering::SeqCst);
                     state.lat_e2e.record(e2e_us);
                     settled.push(Settled {
                         id,
@@ -1590,6 +2045,7 @@ fn settle_batch(
                         e2e_us,
                         sampled,
                         submitted_at,
+                        lane,
                     });
                 }
                 Err(failure) => {
@@ -1603,7 +2059,8 @@ fn settle_batch(
                         record.status = JobStatus::Queued;
                         let delay_ms = record.spec.retry.backoff_ms(record.attempts);
                         let priority = record.spec.priority;
-                        state.queued += 1;
+                        shared.queued_total.fetch_add(1, Ordering::SeqCst);
+                        shared.lanes[lane].queued.fetch_add(1, Ordering::SeqCst);
                         state.totals.retries_scheduled += 1;
                         retried += 1;
                         state.pending.entry(record.exec_key).or_default().push(id);
@@ -1615,11 +2072,12 @@ fn settle_batch(
                             item: Item::Lead(JobId(id)),
                         };
                         if delay_ms == 0 {
-                            state.queue.push(entry);
+                            state.ready.push(lane, entry);
                         } else {
                             state.delayed.push(DelayedEntry {
                                 ready_at: Instant::now() + Duration::from_millis(delay_ms),
                                 entry,
+                                lane,
                             });
                         }
                         settled.push(Settled {
@@ -1631,6 +2089,7 @@ fn settle_batch(
                             e2e_us,
                             sampled,
                             submitted_at,
+                            lane,
                         });
                     } else {
                         record.status = JobStatus::Failed(failure.error.clone());
@@ -1650,6 +2109,7 @@ fn settle_batch(
                             e2e_us,
                             sampled,
                             submitted_at,
+                            lane,
                         });
                     }
                 }
@@ -1680,6 +2140,13 @@ fn settle_batch(
                 shared
                     .telemetry
                     .record_hist_labeled("service.latency.e2e_us", &labels, s.e2e_us);
+                if s.outcome == "ok" {
+                    shared.telemetry.incr_labeled(
+                        "service.tenant.completed",
+                        &shared.lanes[s.lane].name,
+                        1,
+                    );
+                }
             }
             if s.sampled && s.terminal {
                 let id = s.id;

@@ -6,11 +6,11 @@
 //!
 //! | verb     | request fields                                        | response |
 //! |----------|-------------------------------------------------------|----------|
-//! | `submit` | `circuit` (required), `shots`, `seed`, `priority`, `deadline_ms`, `engine` (`statevector`/`density`), `force_engine` (`statevector`/`tableau`/`pauli_frame`/`density` — pins the engine, bypassing class-based dispatch), `qubits` (`perfect`/`transmon`) | `{"ok":true,"job":N}` |
+//! | `submit` | `circuit` (required), `shots`, `seed`, `priority`, `deadline_ms`, `engine` (`statevector`/`density`), `force_engine` (`statevector`/`tableau`/`pauli_frame`/`density` — pins the engine, bypassing class-based dispatch), `qubits` (`perfect`/`transmon`), `tenant` (fair-dequeue lane name; unconfigured names fold onto `default`) | `{"ok":true,"job":N}` |
 //! | `status` | `job`                                                 | `{"ok":true,"job":N,"status":"queued"...}` |
 //! | `result` | `job`, `timeout_ms` (default 30000)                   | status + `histogram` + cache/batch/latency fields |
 //! | `cancel` | `job`                                                 | `{"ok":true,"cancelled":bool}` |
-//! | `stats`  | —                                                     | service + cache + tcp counters, latency percentiles |
+//! | `stats`  | —                                                     | service + cache + tcp counters, latency percentiles, per-tenant `tenants` array |
 //! | `metrics`| `format` (`json` default, or `prometheus`)            | the full telemetry snapshot: embedded JSON report or Prometheus text in `"metrics"` |
 //! | `trace`  | `job`                                                 | the job's lifecycle record (admit/claim/compile/execute/settle stamps + `sampled`) |
 //!
@@ -131,6 +131,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     other => return Err(format!("unknown qubit model {other:?}")),
                 };
             }
+            if let Some(tenant) = v.get("tenant").and_then(JsonValue::as_str) {
+                spec.tenant = Some(tenant.to_string());
+            }
             if let Some(attempts) = get_u64(&v, "retry_max_attempts") {
                 spec.retry.max_attempts = u32::try_from(attempts).unwrap_or(u32::MAX).max(1);
             }
@@ -199,6 +202,9 @@ pub fn encode_request(request: &Request) -> String {
                 k if k == QubitKind::real_transmon() => out.push_str(",\"qubits\":\"transmon\""),
                 _ => {}
             }
+            if let Some(tenant) = &spec.tenant {
+                out.push_str(&format!(",\"tenant\":\"{}\"", escape(tenant)));
+            }
             if spec.retry != RetryPolicy::none() {
                 out.push_str(&format!(
                     ",\"retry_max_attempts\":{},\"retry_backoff_ms\":{},\"retry_jitter_seed\":{}",
@@ -231,6 +237,7 @@ pub fn encode_request(request: &Request) -> String {
 fn error_kind(err: &ServiceError) -> &'static str {
     match err {
         ServiceError::QueueFull { .. } => "queue_full",
+        ServiceError::TenantQuotaExceeded { .. } => "tenant_quota",
         ServiceError::Parse(_) => "parse",
         ServiceError::Compile(_) => "compile",
         ServiceError::Execute(_) => "execute",
@@ -263,6 +270,31 @@ fn histogram_json(hist: &ShotHistogram) -> String {
     out
 }
 
+fn tenants_json(stats: &ServiceStats) -> String {
+    let mut out = String::from("[");
+    for (i, t) in stats.tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"name\":\"{}\",\"weight\":{},\"quota\":{},\"queued\":{},",
+                "\"submitted\":{},\"completed\":{},\"shed\":{}}}"
+            ),
+            escape(&t.name),
+            t.weight,
+            t.quota
+                .map_or_else(|| "null".to_string(), |q| q.to_string()),
+            t.queued,
+            t.submitted,
+            t.completed,
+            t.shed,
+        ));
+    }
+    out.push(']');
+    out
+}
+
 fn stats_json(stats: &ServiceStats) -> String {
     format!(
         concat!(
@@ -275,7 +307,8 @@ fn stats_json(stats: &ServiceStats) -> String {
             "\"tcp\":{{\"shed\":{},\"oversized\":{},\"timeouts\":{}}},",
             "\"latency\":{{\"queue_wait_p50_us\":{},\"queue_wait_p99_us\":{},",
             "\"execute_p50_us\":{},\"execute_p99_us\":{},",
-            "\"e2e_p50_us\":{},\"e2e_p99_us\":{},\"jobs_measured\":{}}}}}"
+            "\"e2e_p50_us\":{},\"e2e_p99_us\":{},\"jobs_measured\":{}}},",
+            "\"tenants\":{}}}"
         ),
         stats.submitted,
         stats.completed,
@@ -306,6 +339,7 @@ fn stats_json(stats: &ServiceStats) -> String {
         stats.latency.e2e_p50_us,
         stats.latency.e2e_p99_us,
         stats.latency.jobs_measured,
+        tenants_json(stats),
     )
 }
 
@@ -456,6 +490,27 @@ mod tests {
     }
 
     #[test]
+    fn parses_and_encodes_tenant() {
+        let line = concat!(
+            "{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nh q[0]\\n\",",
+            "\"tenant\":\"batch\"}"
+        );
+        let Request::Submit(spec) = parse_request(line).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.tenant.as_deref(), Some("batch"));
+        let encoded = encode_request(&Request::Submit(spec));
+        assert!(encoded.contains("\"tenant\":\"batch\""));
+        // Omitted tenant stays None (routes to the default lane).
+        let Request::Submit(spec) =
+            parse_request("{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nh q[0]\\n\"}").unwrap()
+        else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.tenant, None);
+    }
+
+    #[test]
     fn submit_defaults_match_jobspec_defaults() {
         let line = "{\"verb\":\"submit\",\"circuit\":\"qubits 1\\nh q[0]\\n\"}";
         let Request::Submit(spec) = parse_request(line).unwrap() else {
@@ -497,6 +552,7 @@ mod tests {
         spec.engine = Engine::DensityMatrix;
         spec.force_engine = Some(Engine::PauliFrame);
         spec.qubits = QubitKind::real_transmon();
+        spec.tenant = Some("team-\"alpha\"".to_string());
         for req in [
             Request::Submit(spec),
             Request::Status(JobId(7)),

@@ -8,6 +8,8 @@
 //! qca-load                                   # self-host, 50 jobs/s for 5s
 //! qca-load --rate 200 --duration 2s --seed 7 --out BENCH_load.json
 //! qca-load --addr 127.0.0.1:7878             # drive an external qca-serve
+//! qca-load --tenants batch:1,interactive:4   # round-robin the submissions
+//!                                            # across weighted tenant lanes
 //! ```
 //!
 //! **Open-loop** means submissions happen at their scheduled arrival
@@ -22,7 +24,7 @@
 //! exposition and validates it with `qca_telemetry::prometheus::validate`,
 //! so CI catches schema drift on a live daemon.
 
-use qca_service::{Service, ServiceConfig, TcpConfig, TcpServer};
+use qca_service::{Service, ServiceConfig, TcpConfig, TcpServer, TenantConfig};
 use qca_telemetry::hist::LogHistogram;
 use qca_telemetry::json::{self, JsonValue};
 use qca_telemetry::Telemetry;
@@ -45,6 +47,25 @@ struct Args {
     workers: usize,
     queue: usize,
     collectors: usize,
+    /// `NAME:WEIGHT` lanes; submissions round-robin across them.
+    tenants: Vec<(String, u32)>,
+}
+
+fn parse_tenants(v: &str) -> Result<Vec<(String, u32)>, String> {
+    v.split(',')
+        .map(|part| {
+            let (name, weight) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad --tenants entry {part:?}: expected NAME:WEIGHT"))?;
+            if name.is_empty() {
+                return Err(format!("bad --tenants entry {part:?}: empty name"));
+            }
+            let weight = weight
+                .parse::<u32>()
+                .map_err(|e| format!("bad --tenants entry {part:?}: {e}"))?;
+            Ok((name.to_string(), weight))
+        })
+        .collect()
 }
 
 fn parse_duration(v: &str) -> Result<Duration, String> {
@@ -72,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         queue: 256,
         collectors: 4,
+        tenants: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -121,12 +143,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --collectors: {e}"))?
                     .max(1);
             }
+            "--tenants" => args.tenants = parse_tenants(&take("--tenants")?)?,
             "--help" | "-h" => {
                 return Err(concat!(
                     "usage: qca-load [--addr HOST:PORT] [--rate JOBS_PER_S] [--duration 5s]\n",
                     "                [--seed N] [--shots N] [--out FILE] [--timeout-ms N]\n",
                     "                [--workers N] [--queue N] [--collectors N]\n",
-                    "without --addr, a service is self-hosted on a loopback port"
+                    "                [--tenants NAME:WEIGHT[,NAME:WEIGHT]...]\n",
+                    "without --addr, a service is self-hosted on a loopback port;\n",
+                    "--tenants configures the self-hosted lanes and round-robins\n",
+                    "submissions across them (per-tenant tallies land in the report)"
                 )
                 .to_string())
             }
@@ -250,6 +276,9 @@ struct Tally {
     wait: LogHistogram,
     /// Server-reported execution time.
     exec: LogHistogram,
+    /// Per-tenant (accepted, completed) when `--tenants` is set; indexed
+    /// like `Args::tenants`.
+    per_tenant: Vec<(u64, u64)>,
 }
 
 fn percentiles_json(h: &LogHistogram) -> String {
@@ -272,6 +301,11 @@ fn run(args: &Args) -> Result<(), String> {
         let config = ServiceConfig {
             workers: args.workers,
             queue_capacity: args.queue,
+            tenants: args
+                .tenants
+                .iter()
+                .map(|(name, weight)| TenantConfig::new(name, *weight))
+                .collect(),
             ..ServiceConfig::default()
         };
         let service = Service::with_telemetry(config, Telemetry::enabled());
@@ -293,8 +327,11 @@ fn run(args: &Args) -> Result<(), String> {
 
     let total_jobs = (args.rate * args.duration.as_secs_f64()).ceil() as usize;
     let mix = circuit_mix(args.seed, total_jobs);
-    let tally = Arc::new(Mutex::new(Tally::default()));
-    let (tx, rx) = mpsc::channel::<(u64, Instant)>();
+    let tally = Arc::new(Mutex::new(Tally {
+        per_tenant: vec![(0, 0); args.tenants.len()],
+        ..Tally::default()
+    }));
+    let (tx, rx) = mpsc::channel::<(u64, Instant, Option<usize>)>();
     let rx = Arc::new(Mutex::new(rx));
 
     // Collector threads: each owns a TCP connection and blocks on
@@ -312,7 +349,7 @@ fn run(args: &Args) -> Result<(), String> {
                     let guard = rx.lock().map_err(|_| "collector channel poisoned")?;
                     guard.recv()
                 };
-                let Ok((id, submitted_at)) = job else {
+                let Ok((id, submitted_at, tenant)) = job else {
                     return Ok(()); // channel closed: submitter is done
                 };
                 let response = client.ask(&format!(
@@ -323,6 +360,9 @@ fn run(args: &Args) -> Result<(), String> {
                 let mut t = tally.lock().map_err(|_| "tally poisoned")?;
                 if ok {
                     t.completed += 1;
+                    if let Some(idx) = tenant {
+                        t.per_tenant[idx].1 += 1;
+                    }
                     t.e2e.record(e2e_us);
                     if let Some(w) = response.get("wait_us").and_then(JsonValue::as_f64) {
                         t.wait.record(w as u64);
@@ -349,8 +389,16 @@ fn run(args: &Args) -> Result<(), String> {
             std::thread::sleep(due - now);
         }
         let escaped = circuit.replace('\n', "\\n");
+        let tenant_idx = if args.tenants.is_empty() {
+            None
+        } else {
+            Some(i % args.tenants.len())
+        };
+        let tenant_field = tenant_idx
+            .map(|idx| format!(",\"tenant\":\"{}\"", args.tenants[idx].0))
+            .unwrap_or_default();
         let response = submitter.ask(&format!(
-            "{{\"verb\":\"submit\",\"circuit\":\"{escaped}\",\"shots\":{},\"seed\":{job_seed}}}",
+            "{{\"verb\":\"submit\",\"circuit\":\"{escaped}\",\"shots\":{},\"seed\":{job_seed}{tenant_field}}}",
             args.shots
         ))?;
         let submitted_at = Instant::now();
@@ -359,8 +407,11 @@ fn run(args: &Args) -> Result<(), String> {
         match response.get("job").and_then(JsonValue::as_f64) {
             Some(id) => {
                 t.accepted += 1;
+                if let Some(idx) = tenant_idx {
+                    t.per_tenant[idx].0 += 1;
+                }
                 drop(t);
-                let _ = tx.send((id as u64, submitted_at));
+                let _ = tx.send((id as u64, submitted_at, tenant_idx));
             }
             None => {
                 t.rejected += 1;
@@ -407,6 +458,31 @@ fn run(args: &Args) -> Result<(), String> {
         .and_then(|l| l.get("queue_wait_p99_us"))
         .and_then(JsonValue::as_f64)
         .unwrap_or(0.0);
+    // Per-tenant accounting and the non-starvation check: under fair
+    // dequeue, every lane that got work admitted must also get work
+    // completed — a lane with accepted jobs and zero completions means
+    // the scheduler starved it.
+    let tenants_report = if args.tenants.is_empty() {
+        "[]".to_string()
+    } else {
+        let mut out = String::from("[");
+        for (idx, (name, weight)) in args.tenants.iter().enumerate() {
+            let (accepted, completed) = t.per_tenant[idx];
+            if accepted > 0 && completed == 0 {
+                return Err(format!(
+                    "tenant {name:?} starved: {accepted} accepted, 0 completed"
+                ));
+            }
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"weight\":{weight},\"accepted\":{accepted},\"completed\":{completed}}}"
+            ));
+        }
+        out.push(']');
+        out
+    };
     let report = format!(
         concat!(
             "{{\n",
@@ -426,6 +502,7 @@ fn run(args: &Args) -> Result<(), String> {
             "  \"latency_queue_wait\": {},\n",
             "  \"latency_execute\": {},\n",
             "  \"server_queue_wait_p99_us\": {},\n",
+            "  \"tenants\": {},\n",
             "  \"prometheus_samples\": {}\n",
             "}}\n"
         ),
@@ -444,6 +521,7 @@ fn run(args: &Args) -> Result<(), String> {
         percentiles_json(&t.wait),
         percentiles_json(&t.exec),
         server_queue_p99,
+        tenants_report,
         check.samples,
     );
     json::parse(&report).map_err(|e| format!("internal: report is not valid JSON: {e}"))?;

@@ -6,6 +6,12 @@
 //! qca-serve --addr 127.0.0.1:9000 --workers 4 --queue 512 --cache 128
 //! qca-serve --max-frame 65536 --max-conns 32
 //! qca-serve --trace-sample 1            # emit lifecycle spans for every job
+//! qca-serve --tenant batch:1 --tenant interactive:4:32
+//!                                        # weighted fair dequeue lanes
+//!                                        # (NAME:WEIGHT[:QUOTA], repeatable)
+//! qca-serve --snapshot /var/lib/qca/plans.qpsn
+//!                                        # warm the plan cache from disk and
+//!                                        # persist it periodically + on stop
 //! qca-serve --smoke                      # self-test: in-process client,
 //!                                        # 3 jobs + abuse probes
 //! ```
@@ -19,12 +25,17 @@
 //! port) without external tooling — including an oversized frame, a
 //! malformed request and an abrupt client disconnect.
 
-use qca_service::{Service, ServiceConfig, TcpConfig, TcpServer};
+use qca_service::{Service, ServiceConfig, TcpConfig, TcpServer, TenantConfig};
 use qca_telemetry::Telemetry;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// How often the daemon re-persists the plan cache when `--snapshot` is
+/// configured (stop-time saving alone would lose the cache on SIGKILL).
+const SNAPSHOT_INTERVAL: Duration = Duration::from_secs(30);
 
 struct Args {
     addr: String,
@@ -34,7 +45,33 @@ struct Args {
     max_frame: usize,
     max_conns: usize,
     trace_sample: u64,
+    tenants: Vec<TenantConfig>,
+    snapshot: Option<PathBuf>,
     smoke: bool,
+}
+
+/// Parses one `--tenant` value: `NAME:WEIGHT[:QUOTA]`.
+fn parse_tenant(value: &str) -> Result<TenantConfig, String> {
+    let mut parts = value.split(':');
+    let name = parts
+        .next()
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| format!("bad --tenant {value:?}: empty name"))?;
+    let weight = parts
+        .next()
+        .ok_or_else(|| format!("bad --tenant {value:?}: expected NAME:WEIGHT[:QUOTA]"))?
+        .parse::<u32>()
+        .map_err(|e| format!("bad --tenant {value:?}: weight: {e}"))?;
+    let tenant = TenantConfig::new(name, weight);
+    match parts.next() {
+        None => Ok(tenant),
+        Some(quota) => {
+            let quota = quota
+                .parse::<usize>()
+                .map_err(|e| format!("bad --tenant {value:?}: quota: {e}"))?;
+            Ok(tenant.with_quota(quota))
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
         max_frame: defaults.max_request_bytes,
         max_conns: defaults.max_connections,
         trace_sample: ServiceConfig::default().trace_sample_n,
+        tenants: Vec::new(),
+        snapshot: None,
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -70,10 +109,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<u64>()
                     .map_err(|e| format!("bad value for --trace-sample: {e}"))?;
             }
+            "--tenant" => args.tenants.push(parse_tenant(&take("--tenant")?)?),
+            "--snapshot" => args.snapshot = Some(PathBuf::from(take("--snapshot")?)),
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--max-frame BYTES] [--max-conns N] [--trace-sample N] [--smoke]"
+                    "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--max-frame BYTES] [--max-conns N] [--trace-sample N] [--tenant NAME:WEIGHT[:QUOTA]]... [--snapshot PATH] [--smoke]"
                         .to_string(),
                 )
             }
@@ -96,6 +137,8 @@ fn main() -> ExitCode {
         queue_capacity: args.queue,
         cache_capacity: args.cache,
         trace_sample_n: args.trace_sample,
+        tenants: args.tenants.clone(),
+        snapshot_path: args.snapshot.clone(),
         ..ServiceConfig::default()
     };
     let tcp_config = TcpConfig {
@@ -104,6 +147,26 @@ fn main() -> ExitCode {
         ..TcpConfig::default()
     };
     let service = Service::with_telemetry(config, Telemetry::enabled());
+    if let Some(path) = &args.snapshot {
+        match service.handle().warm_status() {
+            Some(Ok(report)) => println!(
+                "qca-serve: warm start from {}: {} of {} entries loaded ({} skipped, {} rekeyed)",
+                path.display(),
+                report.loaded,
+                report.entries,
+                report.skipped,
+                report.rekeyed
+            ),
+            Some(Err(e)) => eprintln!(
+                "qca-serve: snapshot {} unusable ({e}); starting cold",
+                path.display()
+            ),
+            None => println!(
+                "qca-serve: no snapshot at {}; starting cold",
+                path.display()
+            ),
+        }
+    }
     if args.smoke {
         return smoke_test(&service, tcp_config);
     }
@@ -115,17 +178,28 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "qca-serve: listening on {} ({} workers, queue {}, cache {}, max frame {} B, max conns {})",
+        "qca-serve: listening on {} ({} workers, queue {}, cache {}, max frame {} B, max conns {}, tenants {})",
         server.local_addr(),
         args.workers,
         args.queue,
         args.cache,
         tcp_config.max_request_bytes,
-        tcp_config.max_connections
+        tcp_config.max_connections,
+        service.handle().stats().tenants.len()
     );
-    // Serve until killed; the accept loop owns the listener.
-    loop {
-        std::thread::park();
+    // Serve until killed; the accept loop owns the listener. With a
+    // snapshot configured, re-persist the cache periodically so a hard
+    // kill loses at most one interval of compilations.
+    match &args.snapshot {
+        Some(path) => loop {
+            std::thread::sleep(SNAPSHOT_INTERVAL);
+            if let Err(e) = service.handle().save_snapshot(path) {
+                eprintln!("qca-serve: snapshot save failed: {e}");
+            }
+        },
+        None => loop {
+            std::thread::park();
+        },
     }
 }
 
@@ -205,6 +279,21 @@ fn smoke_test(service: &Service, tcp_config: TcpConfig) -> ExitCode {
             .ok_or_else(|| format!("no latency summary in stats: {stats:?}"))?;
         if measured < 3.0 {
             return Err(format!("latency summary missed jobs: {stats:?}"));
+        }
+        // The per-tenant array: this service has only the implicit
+        // default lane, and all three jobs must be accounted to it.
+        let tenant_submitted = match stats.get("tenants") {
+            Some(qca_telemetry::json::JsonValue::Array(tenants)) => tenants
+                .first()
+                .and_then(|t| t.get("submitted"))
+                .and_then(qca_telemetry::json::JsonValue::as_f64),
+            _ => None,
+        }
+        .ok_or_else(|| format!("no tenants array in stats: {stats:?}"))?;
+        if tenant_submitted < 3.0 {
+            return Err(format!(
+                "default tenant missed submissions: {stats:?}"
+            ));
         }
         println!("smoke: 3 jobs served over TCP, {hits} cache hit(s)");
 

@@ -1,0 +1,206 @@
+//! Concurrency stress tests for the lock-free admission ring.
+//!
+//! The ring is the only lock-free structure in the serving stack, so it
+//! gets the full treatment: an N×M producer/consumer matrix asserting
+//! zero loss, zero duplication and per-producer FIFO order at 1/2/4/8
+//! threads per side, plus a proptest comparing sequential push/pop
+//! interleavings against a `VecDeque` model.
+
+use proptest::prelude::*;
+use qca_service::Ring;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Tags an item with its producer and per-producer sequence number so
+/// consumers can check provenance and order after the fact.
+fn tag(producer: usize, seq: u64) -> u64 {
+    ((producer as u64) << 32) | seq
+}
+
+/// Drives `producers`×`consumers` threads through one shared ring and
+/// checks the three invariants every MPMC queue must keep:
+///
+/// 1. no loss — every pushed item is popped exactly once;
+/// 2. no duplication — no item is popped twice;
+/// 3. per-producer FIFO — each consumer's log, restricted to one
+///    producer, is strictly increasing. (Each consumer's pops are a
+///    subsequence of the ring's global FIFO order, so any reordering
+///    within a producer would show up in some consumer's local log.)
+fn stress(producers: usize, consumers: usize, capacity: usize, per_producer: u64) {
+    let ring: Arc<Ring<u64>> = Arc::new(Ring::with_capacity(capacity));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let producer_handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for seq in 0..per_producer {
+                    let mut item = tag(p, seq);
+                    loop {
+                        match ring.push(item) {
+                            Ok(()) => break,
+                            // Push returns the rejected value on a full
+                            // ring; retry with exactly that value so a
+                            // lost hand-back would break the count.
+                            Err(back) => {
+                                item = back;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let consumer_handles: Vec<_> = (0..consumers)
+        .map(|_| {
+            let ring = Arc::clone(&ring);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut log = Vec::new();
+                loop {
+                    match ring.pop() {
+                        Some(item) => log.push(item),
+                        None if done.load(Ordering::SeqCst) => {
+                            // Producers are finished: one final sweep
+                            // picks up anything pushed before the flag.
+                            while let Some(item) = ring.pop() {
+                                log.push(item);
+                            }
+                            return log;
+                        }
+                        None => thread::yield_now(),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in producer_handles {
+        h.join().unwrap();
+    }
+    done.store(true, Ordering::SeqCst);
+    let logs: Vec<Vec<u64>> = consumer_handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    let mut seen = vec![vec![0u32; per_producer as usize]; producers];
+    for log in &logs {
+        let mut last_seq = vec![None::<u64>; producers];
+        for &item in log {
+            let p = (item >> 32) as usize;
+            let seq = item & 0xFFFF_FFFF;
+            assert!(p < producers, "alien item {item:#x} popped from the ring");
+            if let Some(prev) = last_seq[p] {
+                assert!(
+                    seq > prev,
+                    "per-producer FIFO violated: producer {p} seq {seq} after {prev}"
+                );
+            }
+            last_seq[p] = Some(seq);
+            seen[p][seq as usize] += 1;
+        }
+    }
+    for (p, counts) in seen.iter().enumerate() {
+        for (seq, &count) in counts.iter().enumerate() {
+            assert_eq!(
+                count, 1,
+                "producer {p} seq {seq}: popped {count} times (want exactly once)"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_to_one_keeps_every_item_in_order() {
+    stress(1, 1, 8, 2_000);
+}
+
+#[test]
+fn producer_consumer_matrix_loses_and_duplicates_nothing() {
+    // The full 1/2/4/8 matrix. A small capacity forces constant
+    // wraparound so the stamp arithmetic is exercised far past one lap.
+    for &producers in &[1usize, 2, 4, 8] {
+        for &consumers in &[1usize, 2, 4, 8] {
+            stress(producers, consumers, 16, 500);
+        }
+    }
+}
+
+#[test]
+fn capacity_one_ring_degenerates_to_a_rendezvous() {
+    // The tightest ring still keeps all three invariants.
+    stress(4, 4, 1, 300);
+}
+
+#[test]
+fn push_reports_full_and_hands_the_value_back() {
+    let ring: Ring<String> = Ring::with_capacity(2);
+    assert!(ring.push("a".to_string()).is_ok());
+    assert!(ring.push("b".to_string()).is_ok());
+    let back = ring.push("c".to_string()).unwrap_err();
+    assert_eq!(back, "c", "a rejected push must return the exact value");
+    assert_eq!(ring.pop().as_deref(), Some("a"));
+    assert!(ring.push(back).is_ok());
+    assert_eq!(ring.pop().as_deref(), Some("b"));
+    assert_eq!(ring.pop().as_deref(), Some("c"));
+    assert_eq!(ring.pop(), None);
+}
+
+/// One step of the model test: push a value or pop one.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u16),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u16..=u16::MAX).prop_map(Op::Push),
+            2 => Just(Op::Pop),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequentially, the ring is observationally equivalent to a bounded
+    /// `VecDeque`: same accepted pushes, same popped values, same
+    /// length, for every interleaving of operations.
+    #[test]
+    fn ring_matches_a_bounded_vecdeque_model(capacity in 1usize..32, ops in arb_ops()) {
+        let ring: Ring<u16> = Ring::with_capacity(capacity);
+        let bound = ring.capacity();
+        let mut model: VecDeque<u16> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let got = ring.push(v);
+                    if model.len() < bound {
+                        model.push_back(v);
+                        prop_assert!(got.is_ok(), "ring rejected a push the model accepts");
+                    } else {
+                        prop_assert!(got == Err(v), "ring accepted a push past capacity");
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(ring.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.is_empty(), model.is_empty());
+        }
+        // Drain: whatever order went in comes out.
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(ring.pop(), Some(want));
+        }
+        prop_assert_eq!(ring.pop(), None);
+    }
+}

@@ -5,6 +5,7 @@
 
 use qca_service::{
     JobFaults, JobSpec, RetryPolicy, Service, ServiceConfig, ServiceError, TcpConfig, TcpServer,
+    TenantConfig,
 };
 use qca_telemetry::json::{self, JsonValue};
 use qca_telemetry::Telemetry;
@@ -765,6 +766,144 @@ fn metrics_and_trace_verbs_round_trip_over_tcp() {
     assert!(admit <= settle, "trace stamps must be ordered: {trace:?}");
     let missing = client.ask("{\"verb\":\"trace\",\"job\":424242}");
     assert_eq!(missing.get("ok"), Some(&JsonValue::Bool(false)));
+
+    server.stop();
+    service.shutdown();
+}
+
+/// A wide, deep circuit whose execution takes real wall-clock time:
+/// `layers` alternating rounds of Hadamards and a CNOT chain over
+/// `qubits` qubits. Shot counts do not buy time (sampling is performed
+/// per outcome, not per shot), so tests that need a busy worker use
+/// gate count instead.
+fn heavy_circuit(qubits: usize, layers: usize) -> String {
+    let mut s = format!("qubits {qubits}\n");
+    for _ in 0..layers {
+        for q in 0..qubits {
+            s.push_str(&format!("h q[{q}]\n"));
+        }
+        for q in 0..qubits - 1 {
+            s.push_str(&format!("cnot q[{q}], q[{}]\n", q + 1));
+        }
+    }
+    s.push_str("measure_all\n");
+    s
+}
+
+/// Satellite: multi-tenancy on the wire. A tenant-tagged submission
+/// lands in its configured lane, the per-tenant counters (weight,
+/// quota, queued, submitted, completed, shed) are published by the
+/// `stats` verb, and a quota shed surfaces as the typed `tenant_quota`
+/// error kind — all through the TCP front-end.
+#[test]
+fn tenant_stats_and_quota_sheds_round_trip_over_the_wire() {
+    let service = Service::with_config(ServiceConfig {
+        workers: 1,
+        tenants: vec![
+            TenantConfig::new("batch", 1).with_quota(1),
+            TenantConfig::new("vip", 3),
+        ],
+        ..ServiceConfig::default()
+    });
+    let server = TcpServer::bind("127.0.0.1:0", service.handle()).unwrap();
+    let mut client = WireClient::connect(server.local_addr());
+
+    let bell_wire = "qubits 2\\nh q[0]\\ncnot q[0], q[1]\\nmeasure_all\\n";
+    // A compute-heavy untagged job (shots are sampled in O(outcomes), so
+    // only gate count buys wall-clock time) pins the single worker on
+    // the default lane; the batch submissions below then stay queued
+    // against their quota.
+    let heavy_wire = heavy_circuit(16, 6).replace('\n', "\\n");
+    let plug = client.ask(&format!(
+        "{{\"verb\":\"submit\",\"circuit\":\"{heavy_wire}\",\"seed\":9}}"
+    ));
+    let plug_job = plug.get("job").and_then(JsonValue::as_f64).unwrap() as u64;
+
+    // Pipeline a burst of batch submissions in one TCP write so they hit
+    // admission back to back — a request/response loop would let the
+    // worker drain the lane between round trips and never trip the
+    // quota. The handler processes them in order; with the worker pinned
+    // (or merely ~1ms per job), at least one lands on a full lane.
+    let mut burst = String::new();
+    for seed in 1..=20u64 {
+        burst.push_str(&format!(
+            "{{\"verb\":\"submit\",\"circuit\":\"{bell_wire}\",\"seed\":{seed},\"tenant\":\"batch\"}}\n"
+        ));
+    }
+    client.writer.write_all(burst.as_bytes()).unwrap();
+    let mut batch_jobs = Vec::new();
+    let mut shed_seen = false;
+    for _ in 0..20 {
+        let mut line = String::new();
+        client.reader.read_line(&mut line).unwrap();
+        let response = json::parse(&line).unwrap();
+        if response.get("ok") == Some(&JsonValue::Bool(true)) {
+            batch_jobs.push(response.get("job").and_then(JsonValue::as_f64).unwrap() as u64);
+        } else {
+            assert_eq!(
+                response.get("error").and_then(JsonValue::as_str),
+                Some("tenant_quota"),
+                "a quota shed must be the typed tenant_quota kind: {response:?}"
+            );
+            shed_seen = true;
+        }
+    }
+    assert!(
+        shed_seen,
+        "20 pipelined submissions against a quota of 1 never tripped it"
+    );
+
+    let stats = client.ask("{\"verb\":\"stats\"}");
+    let tenants = match stats.get("tenants") {
+        Some(JsonValue::Array(items)) => items.clone(),
+        other => panic!("stats must publish a tenants array, got {other:?}"),
+    };
+    let lane = |name: &str| {
+        tenants
+            .iter()
+            .find(|t| t.get("name").and_then(JsonValue::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("lane {name} missing from {tenants:?}"))
+            .clone()
+    };
+    let batch = lane("batch");
+    assert_eq!(batch.get("weight").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(batch.get("quota").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(
+        batch.get("submitted").and_then(JsonValue::as_f64),
+        Some(batch_jobs.len() as f64),
+        "every admitted batch job must be counted: {batch:?}"
+    );
+    assert!(
+        batch.get("shed").and_then(JsonValue::as_f64).unwrap() >= 1.0,
+        "the quota rejection must be counted: {batch:?}"
+    );
+    let vip = lane("vip");
+    assert_eq!(vip.get("weight").and_then(JsonValue::as_f64), Some(3.0));
+    assert_eq!(vip.get("quota"), Some(&JsonValue::Null));
+    assert_eq!(vip.get("submitted").and_then(JsonValue::as_f64), Some(0.0));
+
+    // Every admitted job completes; afterwards nothing is queued and the
+    // batch lane records exactly its own completions.
+    for job in std::iter::once(plug_job).chain(batch_jobs.iter().copied()) {
+        let result = client.ask(&format!(
+            "{{\"verb\":\"result\",\"job\":{job},\"timeout_ms\":120000}}"
+        ));
+        assert_eq!(result.get("ok"), Some(&JsonValue::Bool(true)), "{result:?}");
+    }
+    let stats = client.ask("{\"verb\":\"stats\"}");
+    let tenants = match stats.get("tenants") {
+        Some(JsonValue::Array(items)) => items.clone(),
+        other => panic!("stats must publish a tenants array, got {other:?}"),
+    };
+    let batch = tenants
+        .iter()
+        .find(|t| t.get("name").and_then(JsonValue::as_str) == Some("batch"))
+        .unwrap();
+    assert_eq!(batch.get("queued").and_then(JsonValue::as_f64), Some(0.0));
+    assert_eq!(
+        batch.get("completed").and_then(JsonValue::as_f64),
+        Some(batch_jobs.len() as f64)
+    );
 
     server.stop();
     service.shutdown();

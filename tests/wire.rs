@@ -42,10 +42,14 @@ fn arb_submit() -> impl Strategy<Value = Request> {
             prop_oneof![Just(Engine::StateVector), Just(Engine::DensityMatrix)],
             prop_oneof![Just(QubitKind::Perfect), Just(QubitKind::real_transmon())],
         ),
-        (arb_retry(), arb_faults()),
+        (arb_retry(), arb_faults(), arb_tenant()),
     )
         .prop_map(
-            |((circuit, shots, seed), (priority, deadline_ms, engine, qubits), (retry, faults))| {
+            |(
+                (circuit, shots, seed),
+                (priority, deadline_ms, engine, qubits),
+                (retry, faults, tenant),
+            )| {
                 let mut spec = JobSpec::new(circuit);
                 spec.shots = shots;
                 spec.seed = seed;
@@ -55,6 +59,7 @@ fn arb_submit() -> impl Strategy<Value = Request> {
                 spec.qubits = qubits;
                 spec.retry = retry;
                 spec.faults = faults;
+                spec.tenant = tenant;
                 Request::Submit(spec)
             },
         )
@@ -72,6 +77,27 @@ fn arb_retry() -> impl Strategy<Value = RetryPolicy> {
                 jitter_seed: jitter,
             }
         }),
+    ]
+}
+
+/// Tenant names exercise the same escaping paths as circuits: quotes,
+/// backslashes, control characters, non-ASCII. `None` checks that the
+/// field is genuinely optional on the wire.
+fn arb_tenant() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        2 => Just(None),
+        1 => Just(Some("batch".to_string())),
+        1 => Just(Some("team \"alpha\"".to_string())),
+        1 => Just(Some("back\\slash\ttab".to_string())),
+        1 => Just(Some("ψ-tenant".to_string())),
+        1 => proptest::collection::vec(
+            prop_oneof![
+                Just('a'), Just('Z'), Just('0'), Just('-'), Just('"'), Just('\\'),
+                Just('\n'), Just('\t'), Just('\u{1}'), Just('ψ'), Just('⟩'),
+            ],
+            1..12,
+        )
+        .prop_map(|cs| Some(cs.into_iter().collect())),
     ]
 }
 
